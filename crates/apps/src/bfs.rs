@@ -1,0 +1,111 @@
+use mlvc_core::{Combine, InitActive, VertexCtx, VertexProgram};
+use mlvc_graph::VertexId;
+use mlvc_core::Update;
+
+/// Breadth-first search from a source vertex.
+///
+/// State = BFS level (`UNVISITED` until reached). A vertex adopts the
+/// minimum level offered by incoming messages and floods `level + 1` to
+/// its neighbors exactly once. Updates merge with `min`, so BFS belongs to
+/// the paper's "merging updates acceptable" class and also runs on
+/// GraFBoost.
+///
+/// The paper's Fig. 5 workload: BFS's frontier starts tiny and widens,
+/// which is the best case for selective active-vertex loading.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    pub source: VertexId,
+}
+
+/// Level value of an unreached vertex.
+pub const UNVISITED: u64 = u64::MAX;
+
+impl Bfs {
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+
+    /// Decode a state word into a level (`None` = unreached).
+    pub fn level(state: u64) -> Option<u64> {
+        (state != UNVISITED).then_some(state)
+    }
+}
+
+impl VertexProgram for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn init_state(&self, _v: VertexId) -> u64 {
+        UNVISITED
+    }
+
+    fn init_active(&self, _n: usize) -> InitActive {
+        InitActive::Seeds(vec![Update::new(self.source, self.source, 0)])
+    }
+
+    fn process(&self, ctx: &mut VertexCtx<'_>) {
+        if ctx.state() != UNVISITED {
+            return; // already settled; BFS levels only decrease via first touch
+        }
+        let level = ctx.msgs().iter().map(|m| m.data).min().expect("active implies messages");
+        ctx.set_state(level);
+        ctx.send_all(level + 1);
+    }
+
+    fn combine(&self) -> Option<Combine> {
+        Some(u64::min as Combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::bfs_reference;
+    use mlvc_core::{Engine, EngineConfig, MultiLogEngine};
+    use mlvc_graph::{StoredGraph, VertexIntervals};
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    fn run_bfs(csr: &mlvc_graph::Csr, src: u32) -> Vec<u64> {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
+        let sg = StoredGraph::store_with(&ssd, csr, "b", iv);
+        let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
+        let r = eng.run(&Bfs::new(src), 200);
+        assert!(r.converged);
+        eng.states().to_vec()
+    }
+
+    #[test]
+    fn bfs_on_grid_matches_reference() {
+        let g = mlvc_gen::grid(6, 7);
+        let got = run_bfs(&g, 0);
+        let expect = bfs_reference(&g, 0);
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(Bfs::level(got[v as usize]), expect[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bfs_leaves_unreachable_unvisited() {
+        // Two components: path 0-1-2 and isolated 3,4.
+        let mut b = mlvc_graph::EdgeListBuilder::new(5).symmetrize(true);
+        b.push(0, 1);
+        b.push(1, 2);
+        let got = run_bfs(&b.build(), 0);
+        assert_eq!(Bfs::level(got[2]), Some(2));
+        assert_eq!(Bfs::level(got[3]), None);
+        assert_eq!(Bfs::level(got[4]), None);
+    }
+
+    #[test]
+    fn bfs_on_rmat_matches_reference() {
+        let g = mlvc_gen::rmat(mlvc_gen::RmatParams::social(9, 6), 13);
+        let got = run_bfs(&g, 1);
+        let expect = bfs_reference(&g, 1);
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(Bfs::level(got[v as usize]), expect[v as usize], "vertex {v}");
+        }
+    }
+}

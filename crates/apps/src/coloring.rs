@@ -1,0 +1,197 @@
+use std::collections::HashMap;
+
+use mlvc_core::{InitActive, VertexCtx, VertexProgram};
+use mlvc_graph::VertexId;
+use parking_lot::{Mutex, RwLock};
+
+/// Greedy graph coloring with conflict-driven recoloring (GC; the paper
+/// cites the PowerGraph formulation [9]).
+///
+/// Every vertex starts with color 0 and announces it. Each vertex
+/// remembers the most recent color announced by each neighbor (the paper
+/// stores these in the edge values on storage — "active vertices access
+/// in-edge weights and store the updates received via source vertices",
+/// §VIII; this reproduction keeps the equivalent per-vertex map in host
+/// memory for *both* engines, so the I/O comparison is unaffected —
+/// recorded in DESIGN.md). On a conflict the *smaller* id yields and moves
+/// to the minimum color excluded by everything it knows (mex); the winner
+/// re-announces its color to the offender only, repairing stale views.
+/// No messages → no conflicts → converged to a proper coloring, with
+/// activity shrinking superstep over superstep (the paper's Fig. 2
+/// workload).
+///
+/// Conflict detection consumes each `(source, color)` pair individually —
+/// colors cannot be merged — placing GC in the paper's "merging updates
+/// not possible" class.
+pub struct Coloring {
+    known: RwLock<Vec<Mutex<HashMap<VertexId, u64>>>>,
+}
+
+impl Default for Coloring {
+    fn default() -> Self {
+        Coloring { known: RwLock::new(Vec::new()) }
+    }
+}
+
+impl Coloring {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode a state word into the color.
+    pub fn color(state: u64) -> u32 {
+        state as u32
+    }
+}
+
+/// Minimum color absent from `used`.
+fn mex(mut used: Vec<u64>) -> u64 {
+    used.sort_unstable();
+    used.dedup();
+    let mut candidate = 0u64;
+    for &c in &used {
+        match c.cmp(&candidate) {
+            std::cmp::Ordering::Equal => candidate += 1,
+            std::cmp::Ordering::Greater => break,
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    candidate
+}
+
+impl VertexProgram for Coloring {
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+
+    fn init_state(&self, _v: VertexId) -> u64 {
+        0
+    }
+
+    fn init_active(&self, n: usize) -> InitActive {
+        // Fresh per-run neighbor-color memory.
+        *self.known.write() = (0..n).map(|_| Mutex::new(HashMap::new())).collect();
+        InitActive::All
+    }
+
+    fn process(&self, ctx: &mut VertexCtx<'_>) {
+        let v = ctx.vertex();
+        if ctx.superstep() == 1 {
+            if ctx.degree() > 0 {
+                ctx.send_all(0);
+            }
+            return;
+        }
+        let known_all = self.known.read();
+        let mut known = known_all[v as usize].lock();
+        for m in ctx.msgs() {
+            known.insert(m.src, m.data);
+        }
+        let my = ctx.state();
+        let conflict_higher = known.iter().any(|(&u, &c)| c == my && u > v);
+        if conflict_higher {
+            let new = mex(known.values().copied().collect());
+            drop(known);
+            ctx.set_state(new);
+            ctx.send_all(new);
+        } else {
+            // Keep the color; repair stale lower-priority offenders.
+            let offenders: Vec<VertexId> = known
+                .iter()
+                .filter(|&(&u, &c)| c == my && u < v)
+                .map(|(&u, _)| u)
+                .collect();
+            drop(known);
+            for o in offenders {
+                ctx.send(o, my);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_proper_coloring;
+    use mlvc_core::{Engine, EngineConfig, MultiLogEngine};
+    use mlvc_graph::{StoredGraph, VertexIntervals};
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    fn run_coloring(csr: &mlvc_graph::Csr, steps: usize) -> (Vec<u32>, bool) {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
+        let sg = StoredGraph::store_with(&ssd, csr, "gc", iv);
+        let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
+        let r = eng.run(&Coloring::new(), steps);
+        (
+            eng.states().iter().map(|&s| Coloring::color(s)).collect(),
+            r.converged,
+        )
+    }
+
+    #[test]
+    fn mex_picks_smallest_free_color() {
+        assert_eq!(mex(vec![0, 1, 2]), 3);
+        assert_eq!(mex(vec![1, 2]), 0);
+        assert_eq!(mex(vec![0, 2, 2, 5]), 1);
+        assert_eq!(mex(vec![]), 0);
+    }
+
+    #[test]
+    fn colors_complete_graph_properly_with_n_colors() {
+        let g = mlvc_gen::complete(6);
+        let (colors, converged) = run_coloring(&g, 100);
+        assert!(converged);
+        assert!(is_proper_coloring(&g, &colors));
+        let mut distinct = colors.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 6, "K6 needs 6 colors");
+    }
+
+    #[test]
+    fn colors_grid_with_few_colors() {
+        let g = mlvc_gen::grid(6, 6);
+        let (colors, converged) = run_coloring(&g, 200);
+        assert!(converged);
+        assert!(is_proper_coloring(&g, &colors));
+        let max = colors.iter().max().unwrap();
+        assert!(*max <= 4, "grid degree <= 4 bounds mex; got max color {max}");
+    }
+
+    #[test]
+    fn colors_rmat_properly() {
+        let g = mlvc_gen::rmat(mlvc_gen::RmatParams::social(9, 4), 8);
+        let (colors, converged) = run_coloring(&g, 400);
+        assert!(converged, "conflict-driven coloring must settle");
+        assert!(is_proper_coloring(&g, &colors));
+    }
+
+    #[test]
+    fn isolated_vertices_get_color_zero() {
+        let mut b = mlvc_graph::EdgeListBuilder::new(3).symmetrize(true);
+        b.push(0, 1);
+        let (colors, _) = run_coloring(&b.build(), 20);
+        assert_eq!(colors[2], 0);
+        assert_ne!(colors[0], colors[1]);
+    }
+
+    #[test]
+    fn activity_shrinks_over_supersteps() {
+        // The Fig. 2 shape: GC activity collapses as colors settle.
+        let g = mlvc_gen::rmat(mlvc_gen::RmatParams::social(9, 4), 2);
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let sg = StoredGraph::store_with(
+            &ssd,
+            &g,
+            "gc",
+            VertexIntervals::uniform(g.num_vertices(), 4),
+        );
+        let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
+        let r = eng.run(&Coloring::new(), 15);
+        let first = r.supersteps.first().unwrap().active_vertices;
+        let last = r.supersteps.last().unwrap().active_vertices;
+        assert!(last < first / 2, "GC activity must shrink: {first} -> {last}");
+    }
+}

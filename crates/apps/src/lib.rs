@@ -1,0 +1,69 @@
+//! # mlvc-apps — the paper's six evaluation applications
+//!
+//! Written once against the engine-neutral [`mlvc_core::VertexProgram`]
+//! trait, so the identical code runs on MultiLogVC, the GraphChi baseline,
+//! and the GraFBoost baseline (where its combine restriction allows).
+//!
+//! Two classes, as in the paper (§VII):
+//!
+//! * **Merging updates acceptable** (associative + commutative `combine`
+//!   provided): [`Bfs`], [`PageRank`]. These run on all three engines.
+//! * **Merging updates not possible** (every message consumed
+//!   individually): [`Cdlp`] (community detection by label propagation),
+//!   [`Coloring`] (speculative greedy coloring), [`Mis`] (Luby's maximal
+//!   independent set), [`RandomWalk`] (DrunkardMob-style walks). These run
+//!   on MultiLogVC and GraphChi, plus the *adapted* GraFBoost variant that
+//!   keeps all updates in its single log.
+//!
+//! All randomized programs draw from [`mlvc_core::VertexCtx::rand_u64`],
+//! a deterministic per-(run, vertex, superstep) stream, so results are
+//! identical across engines — the engine-agreement tests depend on it.
+
+mod bfs;
+mod cdlp;
+mod coloring;
+mod kcore;
+mod mis;
+mod pagerank;
+mod rw;
+mod sssp;
+mod validate;
+mod wcc;
+
+pub use bfs::Bfs;
+pub use cdlp::Cdlp;
+pub use coloring::Coloring;
+pub use kcore::{coreness_reference, KCore};
+pub use mis::{Mis, MisState};
+pub use pagerank::PageRank;
+pub use rw::RandomWalk;
+pub use sssp::Sssp;
+pub use validate::{
+    bfs_reference, dijkstra_reference, is_maximal_independent_set, is_proper_coloring,
+    pagerank_reference,
+};
+pub use wcc::Wcc;
+
+/// Pack an `f64` payload into the opaque message/state word.
+#[inline]
+pub fn pack_f64(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Unpack an `f64` payload.
+#[inline]
+pub fn unpack_f64(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        for x in [0.0, 1.0, -3.5, 0.15, f64::MAX] {
+            assert_eq!(unpack_f64(pack_f64(x)), x);
+        }
+    }
+}

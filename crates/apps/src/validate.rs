@@ -1,0 +1,137 @@
+//! In-memory reference implementations and validity checkers used by the
+//! test suite to verify engine results against ground truth.
+
+use std::collections::VecDeque;
+
+use mlvc_graph::{Csr, VertexId};
+
+/// Reference BFS levels by queue traversal (`None` = unreachable).
+pub fn bfs_reference(g: &Csr, source: VertexId) -> Vec<Option<u64>> {
+    let n = g.num_vertices();
+    let mut levels = vec![None; n];
+    let mut q = VecDeque::new();
+    levels[source as usize] = Some(0);
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        let next = levels[v as usize].unwrap() + 1;
+        for &u in g.out_edges(v) {
+            if levels[u as usize].is_none() {
+                levels[u as usize] = Some(next);
+                q.push_back(u);
+            }
+        }
+    }
+    levels
+}
+
+/// Reference synchronous pull PageRank: `iters` iterations of
+/// `r ← (1-d)·1 + d·Aᵀ r` from `r = (1-d)·1` (matching the delta-push
+/// program's starting estimate), unnormalized.
+pub fn pagerank_reference(g: &Csr, damping: f64, iters: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let base = 1.0 - damping;
+    let mut r = vec![base; n];
+    for _ in 0..iters {
+        let mut next = vec![base; n];
+        for v in 0..n as VertexId {
+            let deg = g.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = damping * r[v as usize] / deg as f64;
+            for &u in g.out_edges(v) {
+                next[u as usize] += share;
+            }
+        }
+        r = next;
+    }
+    r
+}
+
+/// Reference Dijkstra distances on a weighted graph (`None` = unreachable).
+pub fn dijkstra_reference(g: &Csr, source: VertexId) -> Vec<Option<f64>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    // (ordered bits of distance, vertex): f64 bits of non-negative floats
+    // order like the floats themselves.
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0.0f64.to_bits(), source)));
+    while let Some(Reverse((db, v))) = heap.pop() {
+        let d = f64::from_bits(db);
+        if d > dist[v as usize] {
+            continue;
+        }
+        let weights = g.out_weights(v).expect("weighted graph required");
+        for (k, &u) in g.out_edges(v).iter().enumerate() {
+            let nd = d + weights[k] as f64;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd.to_bits(), u)));
+            }
+        }
+    }
+    dist.into_iter().map(|d| d.is_finite().then_some(d)).collect()
+}
+
+/// Is `colors` a proper coloring (no edge monochromatic)?
+pub fn is_proper_coloring(g: &Csr, colors: &[u32]) -> bool {
+    g.edges().all(|(s, d)| s == d || colors[s as usize] != colors[d as usize])
+}
+
+/// Is `in_set` an independent set that is also maximal (every excluded
+/// vertex has an in-set neighbor)?
+pub fn is_maximal_independent_set(g: &Csr, in_set: &[bool]) -> bool {
+    // Independence.
+    for (s, d) in g.edges() {
+        if s != d && in_set[s as usize] && in_set[d as usize] {
+            return false;
+        }
+    }
+    // Maximality.
+    for v in 0..g.num_vertices() as VertexId {
+        if !in_set[v as usize] && !g.out_edges(v).iter().any(|&u| in_set[u as usize]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_reference_on_path() {
+        let g = mlvc_gen::path(5);
+        let l = bfs_reference(&g, 0);
+        assert_eq!(l, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn pagerank_reference_on_cycle_is_uniform() {
+        let g = mlvc_gen::cycle(9);
+        let r = pagerank_reference(&g, 0.85, 100);
+        for x in &r {
+            assert!((x - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn coloring_checker_detects_violation() {
+        let g = mlvc_gen::path(3);
+        assert!(is_proper_coloring(&g, &[0, 1, 0]));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1]));
+    }
+
+    #[test]
+    fn mis_checker_detects_non_independence_and_non_maximality() {
+        let g = mlvc_gen::path(4); // 0-1-2-3
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
+        assert!(!is_maximal_independent_set(&g, &[true, true, false, false]));
+        // {0} is independent but not maximal: 2 and 3 uncovered.
+        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+    }
+}

@@ -1,0 +1,69 @@
+//! Wall-clock end-to-end engine benchmarks: the same application on
+//! MultiLogVC, GraphChi, and GraFBoost. (The *simulated-time* comparisons
+//! live in the fig* binaries; these measure the host cost of running the
+//! frameworks themselves.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlvc_bench::Settings;
+use mlvc_core::Engine;
+
+fn settings() -> Settings {
+    Settings { scale: 11, memory_bytes: 512 << 10, supersteps: 10, seed: 42 }
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let s = settings();
+    let g = mlvc_gen::cf_mini(s.scale, s.seed).graph;
+    let app = mlvc_apps::Bfs::new(0);
+    let mut grp = c.benchmark_group("engines_bfs");
+    grp.sample_size(10);
+    grp.bench_function("multilogvc", |b| {
+        b.iter(|| {
+            let mut e = s.mlvc(&g);
+            e.run(&app, s.supersteps)
+        })
+    });
+    grp.bench_function("graphchi", |b| {
+        b.iter(|| {
+            let mut e = s.graphchi(&g);
+            e.run(&app, s.supersteps)
+        })
+    });
+    grp.bench_function("grafboost", |b| {
+        b.iter(|| {
+            let mut e = s.grafboost(&g);
+            e.run(&app, s.supersteps)
+        })
+    });
+    grp.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let s = settings();
+    let g = mlvc_gen::cf_mini(s.scale, s.seed).graph;
+    let app = mlvc_apps::PageRank::default();
+    let mut grp = c.benchmark_group("engines_pagerank");
+    grp.sample_size(10);
+    grp.bench_function("multilogvc", |b| {
+        b.iter(|| {
+            let mut e = s.mlvc(&g);
+            e.run(&app, s.supersteps)
+        })
+    });
+    grp.bench_function("graphchi", |b| {
+        b.iter(|| {
+            let mut e = s.graphchi(&g);
+            e.run(&app, s.supersteps)
+        })
+    });
+    grp.bench_function("grafboost", |b| {
+        b.iter(|| {
+            let mut e = s.grafboost(&g);
+            e.run(&app, s.supersteps)
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! External sort microbenchmarks — the GraFBoost bottleneck the multi-log
+//! design eliminates. Compares the in-memory fast path, external runs +
+//! merge, and the sort-reduce (combine) path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlvc_grafboost::external_sort;
+use mlvc_log::Update;
+use mlvc_ssd::{Ssd, SsdConfig};
+
+const N: u64 = 200_000;
+
+fn make_log(ssd: &Ssd) -> mlvc_ssd::FileId {
+    let f = ssd.open_or_create("log");
+    ssd.truncate(f);
+    let ups: Vec<Update> = (0..N)
+        .map(|k| Update::new(((k * 2_654_435_761) % 50_000) as u32, k as u32, 1))
+        .collect();
+    mlvc_grafboost::write_log_pages(ssd, f, &ups);
+    f
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extsort");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("in_memory_200k", |b| {
+        b.iter_batched(
+            || {
+                let ssd = Ssd::new(SsdConfig::default());
+                let f = make_log(&ssd);
+                (ssd, f)
+            },
+            |(ssd, f)| external_sort(&ssd, f, 64 << 20, None, "b"),
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("external_200k", |b| {
+        b.iter_batched(
+            || {
+                let ssd = Ssd::new(SsdConfig::default());
+                let f = make_log(&ssd);
+                (ssd, f)
+            },
+            |(ssd, f)| external_sort(&ssd, f, 256 << 10, None, "b"),
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("external_sort_reduce_200k", |b| {
+        b.iter_batched(
+            || {
+                let ssd = Ssd::new(SsdConfig::default());
+                let f = make_log(&ssd);
+                (ssd, f)
+            },
+            |(ssd, f)| external_sort(&ssd, f, 256 << 10, Some(u64::wrapping_add as _), "b"),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

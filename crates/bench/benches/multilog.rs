@@ -1,0 +1,76 @@
+//! Microbenchmarks of the multi-log update unit and the sort & group unit
+//! — the hot path of every MultiLogVC superstep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlvc_graph::VertexIntervals;
+use mlvc_log::{group_by_dest, MultiLog, MultiLogConfig, SortGroup, Update};
+use mlvc_ssd::{Ssd, SsdConfig};
+use std::sync::Arc;
+
+const N_SENDS: u64 = 100_000;
+
+fn fresh_multilog() -> MultiLog {
+    let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+    let iv = VertexIntervals::uniform(1 << 16, 64);
+    MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes: 1 << 20 }, "bench")
+}
+
+fn updates(n: u64) -> Vec<Update> {
+    (0..n)
+        .map(|k| Update::new(((k * 2_654_435_761) % (1 << 16)) as u32, k as u32, k))
+        .collect()
+}
+
+fn bench_send(c: &mut Criterion) {
+    let ups = updates(N_SENDS);
+    let mut g = c.benchmark_group("multilog");
+    g.throughput(Throughput::Elements(N_SENDS));
+    g.bench_function("send_100k", |b| {
+        b.iter_batched(
+            fresh_multilog,
+            |mut ml| {
+                for &u in &ups {
+                    ml.send(u);
+                }
+                ml.finish_superstep()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_sort_group(c: &mut Criterion) {
+    let ups = updates(N_SENDS);
+    let mut g = c.benchmark_group("sortgroup");
+    g.throughput(Throughput::Elements(N_SENDS));
+    g.bench_function("load_sort_group_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut ml = fresh_multilog();
+                for &u in &ups {
+                    ml.send(u);
+                }
+                let counts = ml.finish_superstep();
+                (ml, counts)
+            },
+            |(mut ml, counts)| {
+                let sg = SortGroup::new(4 << 20);
+                let mut total = 0usize;
+                for r in sg.plan(&counts) {
+                    let batch = sg.load_batch(&mut ml, r);
+                    for (_, grp) in group_by_dest(&batch.updates) {
+                        total += grp.len();
+                    }
+                }
+                assert_eq!(total as u64, N_SENDS);
+                total
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_send, bench_sort_group);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs only the extension ablations (edge log, channels, async, FTL).
+use mlvc_bench::figures;
+
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    for section in [
+        figures::ablation_edgelog(&s),
+        figures::ablation_channels(&s),
+        figures::ablation_async(&s),
+        figures::ablation_ftl(&s),
+    ] {
+        println!("{section}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 on the scaled datasets. Knobs: MLVC_SCALE,
+//! MLVC_MEM_KB, MLVC_STEPS, MLVC_SEED (see mlvc-bench crate docs).
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    println!("{}", mlvc_bench::figures::fig7(&s));
+}

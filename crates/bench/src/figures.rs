@@ -1,0 +1,617 @@
+//! One function per table/figure of the paper's evaluation. Each returns
+//! a Markdown section with the regenerated numbers next to the paper's
+//! reported shape.
+
+use mlvc_apps::{Bfs, Cdlp, Coloring, Mis, PageRank, RandomWalk};
+use mlvc_core::{Engine, RunReport, VertexProgram};
+use mlvc_graph::{Csr, VertexId};
+
+use crate::harness::{ms, Settings};
+
+/// Factory producing a fresh program instance for a graph (apps with
+/// per-run auxiliary state need a new instance per run).
+type AppFactory = Box<dyn Fn(&Csr) -> Box<dyn VertexProgram>>;
+
+/// Highest-degree vertex — a BFS source with a large reachable set.
+pub fn best_source(g: &Csr) -> VertexId {
+    (0..g.num_vertices() as VertexId)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(0)
+}
+
+/// A low-degree vertex on the periphery of the giant component — a BFS
+/// source whose frontier grows slowly, stretching the traversal over many
+/// supersteps (the paper's small-traversal-fraction regime).
+pub fn peripheral_source(g: &Csr) -> VertexId {
+    let levels = mlvc_apps::bfs_reference(g, best_source(g));
+    // Farthest vertex from the hub that is still connected to it.
+    (0..g.num_vertices() as VertexId)
+        .filter(|&v| levels[v as usize].is_some())
+        .max_by_key(|&v| (levels[v as usize].unwrap(), std::cmp::Reverse(g.degree(v))))
+        .unwrap_or(0)
+}
+
+fn apps_all() -> Vec<(&'static str, AppFactory)> {
+    vec![
+        ("bfs", Box::new(|g: &Csr| Box::new(Bfs::new(best_source(g))) as Box<dyn VertexProgram>)),
+        ("pagerank", Box::new(|_| Box::new(PageRank::default()) as _)),
+        ("cdlp", Box::new(|_| Box::new(Cdlp) as _)),
+        ("coloring", Box::new(|_| Box::new(Coloring::new()) as _)),
+        ("mis", Box::new(|_| Box::new(Mis) as _)),
+        ("randomwalk", Box::new(|_| Box::new(RandomWalk::new(1000, 1, 10)) as _)),
+    ]
+}
+
+/// Table I: dataset inventory (scaled stand-ins).
+pub fn table1(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Table I — datasets\n\n\
+         | Dataset | Stands for | Vertices | Edges (stored) | Max deg | Mean deg | Top-1% edge share |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        let st = mlvc_gen::degree_stats(&d.graph);
+        out += &format!(
+            "| {} | {} | {} | {} | {} | {:.1} | {:.2} |\n",
+            d.name,
+            d.stands_for,
+            st.num_vertices,
+            st.num_edges,
+            st.max_degree,
+            st.mean_degree,
+            st.top1pct_edge_share
+        );
+    }
+    out
+}
+
+/// Fig. 2: active vertices / edges per superstep for graph coloring.
+pub fn fig2(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 2 — active vertices and edges over supersteps (graph coloring)\n\n\
+         Paper shape: both fractions shrink dramatically as supersteps progress.\n\n\
+         | Dataset | Superstep | Active vertices / V | Updates / E |\n|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        let mut eng = s.mlvc(&d.graph);
+        let r = eng.run(&Coloring::new(), s.supersteps);
+        let n = d.graph.num_vertices() as f64;
+        let e = d.graph.num_edges() as f64;
+        for st in &r.supersteps {
+            out += &format!(
+                "| {} | {} | {:.4} | {:.4} |\n",
+                d.name,
+                st.superstep,
+                st.active_vertices as f64 / n,
+                st.messages_processed as f64 / e
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 3: fraction of accessed column-index pages with <10% utilization.
+pub fn fig3(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 3 — accessed graph pages with <10% utilization\n\n\
+         Paper shape: a large share (~32% avg) of accessed pages are barely used.\n\n\
+         | Dataset | App | Pages accessed | Inefficient (<10%) | Share |\n|---|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        for (name, make) in apps_all() {
+            let app = make(&d.graph);
+            let mut eng = s.mlvc_no_edgelog(&d.graph); // raw CSR access pattern
+            let r = eng.run(app.as_ref(), s.supersteps);
+            let acc: u64 = r.supersteps.iter().map(|x| x.colidx_pages_accessed).sum();
+            let bad: u64 = r.supersteps.iter().map(|x| x.colidx_pages_inefficient).sum();
+            out += &format!(
+                "| {} | {} | {} | {} | {:.1}% |\n",
+                d.name,
+                name,
+                acc,
+                bad,
+                if acc == 0 { 0.0 } else { 100.0 * bad as f64 / acc as f64 }
+            );
+        }
+    }
+    out
+}
+
+/// Fraction of the reachable set visited after `steps` BFS supersteps.
+fn bfs_fraction_at(g: &Csr, src: VertexId, steps: usize) -> f64 {
+    let levels = mlvc_apps::bfs_reference(g, src);
+    let reachable = levels.iter().flatten().count();
+    let cum = levels
+        .iter()
+        .flatten()
+        .filter(|&&l| (l as usize) < steps)
+        .count();
+    cum as f64 / reachable.max(1) as f64
+}
+
+/// Fig. 5a/5b/5c: BFS vs traversal fraction — speedup, page ratio, split.
+/// Each row caps the run at a superstep count; the achieved traversal
+/// fraction is the x-axis of the paper's plot.
+pub fn fig5(s: &Settings) -> String {
+    let d = &s.datasets()[0]; // paper plots BFS on traversal fractions of one graph at a time
+    let src = peripheral_source(&d.graph);
+    let levels = mlvc_apps::bfs_reference(&d.graph, src);
+    let max_level = levels.iter().flatten().max().copied().unwrap_or(1) as usize;
+    let mut out = format!(
+        "## Fig. 5 — BFS ({} dataset, source {})\n\n\
+         Paper shape: speedup is largest for small traversal fractions (page ratio ~90×\n\
+         at 0.1 falling to ~6× at full traversal; avg speedup 17.8×); storage time is\n\
+         ~75–90% for MultiLogVC and ~95%+ for GraphChi.\n\n\
+         | Fraction traversed | Supersteps | Speedup (5a) | Page ratio GChi/MLVC (5b) | MLVC storage % (5c) | GChi storage % |\n\
+         |---|---|---|---|---|---|\n",
+        d.name, src
+    );
+    for steps in 2..=(max_level + 1) {
+        let frac = bfs_fraction_at(&d.graph, src, steps);
+        let app = Bfs::new(src);
+        let mut m = s.mlvc(&d.graph);
+        let rm = m.run(&app, steps);
+        let mut g = s.graphchi(&d.graph);
+        let rg = g.run(&app, steps);
+        out += &format!(
+            "| {:.3} | {} | {:.2}x | {:.2}x | {:.0}% | {:.0}% |\n",
+            frac,
+            steps,
+            rm.speedup_over(&rg),
+            rg.total_pages() as f64 / rm.total_pages().max(1) as f64,
+            100.0 * rm.storage_fraction(),
+            100.0 * rg.storage_fraction(),
+        );
+    }
+    out
+}
+
+/// Run one app on MultiLogVC and GraphChi; return both reports.
+fn run_pair(
+    s: &Settings,
+    graph: &Csr,
+    app: &dyn VertexProgram,
+) -> (RunReport, RunReport) {
+    let mut m = s.mlvc(graph);
+    let rm = m.run(app, s.supersteps);
+    let mut g = s.graphchi(graph);
+    let rg = g.run(app, s.supersteps);
+    (rm, rg)
+}
+
+/// Fig. 6a–e: per-application speedup over GraphChi.
+pub fn fig6(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 6 — application speedup over GraphChi (15 supersteps)\n\n\
+         Paper averages: PR 1.2×, CDLP 1.7×, GC 1.38×, MIS 3.2×, RW 6×.\n\n\
+         | Dataset | App | MLVC time (ms, sim) | GraphChi time (ms, sim) | Speedup |\n|---|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        for (name, make) in apps_all() {
+            if name == "bfs" {
+                continue; // BFS is Fig. 5
+            }
+            let app = make(&d.graph);
+            let (rm, rg) = run_pair(s, &d.graph, app.as_ref());
+            out += &format!(
+                "| {} | {} | {} | {} | {:.2}x |\n",
+                d.name,
+                name,
+                ms(rm.total_sim_time_ns()),
+                ms(rg.total_sim_time_ns()),
+                rm.speedup_over(&rg)
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 7a–d: per-superstep relative performance (GraphChi time / MLVC
+/// time per superstep).
+pub fn fig7(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 7 — per-superstep speedup over GraphChi\n\n\
+         Paper shape: early supersteps (many active vertices, big logs) are at or below\n\
+         parity; later supersteps favor MultiLogVC strongly.\n\n\
+         | Dataset | App | Superstep | Speedup |\n|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        for (name, make) in apps_all() {
+            if name == "bfs" || name == "randomwalk" {
+                continue; // Fig. 7 plots PR, CDLP, GC, MIS
+            }
+            let app = make(&d.graph);
+            let (rm, rg) = run_pair(s, &d.graph, app.as_ref());
+            let k = rm.supersteps.len().min(rg.supersteps.len());
+            for i in 0..k {
+                out += &format!(
+                    "| {} | {} | {} | {:.2}x |\n",
+                    d.name,
+                    name,
+                    i + 1,
+                    rg.supersteps[i].sim_time_ns() as f64
+                        / rm.supersteps[i].sim_time_ns().max(1) as f64
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 8: GraFBoost comparison — PR first iteration, plus adapted
+/// GraFBoost running graph coloring.
+pub fn fig8(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 8 — MultiLogVC vs GraFBoost\n\n\
+         Paper: PR first iteration 2.8× average (4× on the larger YWS — external sort\n\
+         of the big log dominates); adapted GraFBoost on coloring: 2.72× (CF) / 2.67× (YWS).\n\n\
+         | Dataset | Experiment | MLVC (ms, sim) | GraFBoost (ms, sim) | Speedup |\n|---|---|---|---|---|\n",
+    );
+    // PR first iteration needs the paper's regime: the whole-graph update
+    // log is *many* times the sort budget (3.6 B edges × 16 B vs 1 GB in
+    // the paper, ~60:1), so the single-log engine pays run generation and
+    // multi-pass merging, and in-chunk sort-reduce barely dedups (each
+    // chunk covers a small slice of the vertex space). Run two sizes up
+    // with an eighth of the memory to land in that ratio.
+    let s8 = Settings {
+        scale: s.scale + 2,
+        memory_bytes: (s.memory_bytes / 8).max(64 << 10),
+        ..*s
+    };
+    for d in s8.datasets() {
+        let app = PageRank::default();
+        let mut m = s8.mlvc(&d.graph);
+        let rm = m.run(&app, 2);
+        let mut f = s8.grafboost(&d.graph);
+        let rf = f.run(&app, 2);
+        out += &format!(
+            "| {} (scale +2) | pagerank (1st iter) | {} | {} | {:.2}x |\n",
+            d.name,
+            ms(rm.total_sim_time_ns()),
+            ms(rf.total_sim_time_ns()),
+            rm.speedup_over(&rf)
+        );
+    }
+    for d in s.datasets() {
+        let mut m = s.mlvc(&d.graph);
+        let rm = m.run(&Coloring::new(), s.supersteps);
+        let mut f = s.grafboost(&d.graph);
+        let rf = f.run(&Coloring::new(), s.supersteps);
+        out += &format!(
+            "| {} | coloring (adapted GraFBoost) | {} | {} | {:.2}x |\n",
+            d.name,
+            ms(rm.total_sim_time_ns()),
+            ms(rf.total_sim_time_ns()),
+            rm.speedup_over(&rf)
+        );
+    }
+    out
+}
+
+/// Fig. 9: edge-log optimizer prediction accuracy per application.
+pub fn fig9(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 9 — correctly predicted inefficient pages\n\n\
+         Paper: ~34% of inefficiently used pages predicted on average; lower for\n\
+         fast-converging CDLP/GC, higher for apps with sustained activity.\n\n\
+         | Dataset | App | Inefficient pages | Predicted correctly | Accuracy |\n|---|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        for (name, make) in apps_all() {
+            let app = make(&d.graph);
+            let mut eng = s.mlvc(&d.graph);
+            let r = eng.run(app.as_ref(), s.supersteps);
+            let el = r.edgelog.unwrap_or_default();
+            out += &format!(
+                "| {} | {} | {} | {} | {} |\n",
+                d.name,
+                name,
+                el.actual_inefficient_pages,
+                el.correctly_predicted_pages,
+                el.prediction_accuracy()
+                    .map(|a| format!("{:.0}%", a * 100.0))
+                    .unwrap_or_else(|| "n/a".into())
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 10: memory scalability — MIS speedup over GraphChi at 1×/4×/8×
+/// the base memory budget.
+pub fn fig10(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Fig. 10 — memory scalability (MIS)\n\n\
+         Paper: speedup over GraphChi stays about the same as memory grows\n\
+         (≈5–10% improvement at larger budgets).\n\n\
+         | Dataset | Memory | Speedup over GraphChi |\n|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        // Adding host memory does not re-ingest the graph: the on-SSD
+        // interval layout is fixed at the base setting, as in the paper.
+        let iv = s.intervals(&d.graph);
+        for mult in [1usize, 4, 8] {
+            let sm = Settings { memory_bytes: s.memory_bytes * mult, ..*s };
+            let mut m = sm.mlvc_with(&d.graph, iv.clone());
+            let rm = m.run(&Mis, sm.supersteps);
+            let mut g = sm.graphchi_with(&d.graph, iv.clone());
+            let rg = g.run(&Mis, sm.supersteps);
+            out += &format!(
+                "| {} | {} KiB | {:.2}x |\n",
+                d.name,
+                sm.memory_bytes >> 10,
+                rm.speedup_over(&rg)
+            );
+        }
+    }
+    out
+}
+
+/// Extension (DESIGN.md §8): edge-log optimizer ablation — same runs with
+/// the optimizer on/off.
+pub fn ablation_edgelog(s: &Settings) -> String {
+    let mut out = String::from(
+        "## Ablation — edge-log optimizer on/off\n\n\
+         | Dataset | App | Pages read (on) | Pages read (off) | Sim time on/off |\n|---|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        for (name, make) in apps_all() {
+            if name == "pagerank" {
+                continue; // threshold-0.4 PR has too few supersteps to stage logs
+            }
+            // Longer horizon than the figures: the optimizer's opportunity
+            // (sparse, repeatedly-active tails) grows as runs converge.
+            let steps = s.supersteps * 2;
+            let app = make(&d.graph);
+            let mut on = s.mlvc(&d.graph);
+            let ron = on.run(app.as_ref(), steps);
+            let app2 = make(&d.graph);
+            let mut off = s.mlvc_no_edgelog(&d.graph);
+            let roff = off.run(app2.as_ref(), steps);
+            assert_eq!(on.states(), off.states(), "{name}: ablation changed results");
+            out += &format!(
+                "| {} | {} | {} | {} | {:.3} |\n",
+                d.name,
+                name,
+                ron.total_pages_read(),
+                roff.total_pages_read(),
+                ron.total_sim_time_ns() as f64 / roff.total_sim_time_ns().max(1) as f64
+            );
+        }
+    }
+    out
+}
+
+/// Extension (DESIGN.md §8): flash channel-count sweep — how much of the
+/// multi-log design's benefit rides on channel parallelism.
+pub fn ablation_channels(s: &Settings) -> String {
+    use mlvc_graph::StoredGraph;
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    let mut out = String::from(
+        "## Ablation — flash channel count (BFS + PageRank, CF)\n\n\
+         Logs are striped across all channels (paper §V-A3), so simulated time should\n\
+         fall with channel count on both engines, with ratios roughly preserved.\n\n\
+         | Channels | App | MLVC sim ms | GraphChi sim ms | Speedup |\n|---|---|---|---|---|\n",
+    );
+    let d = &s.datasets()[0];
+    let iv = s.intervals(&d.graph);
+    for channels in [1usize, 4, 8] {
+        for (name, make) in apps_all() {
+            if name != "bfs" && name != "pagerank" {
+                continue;
+            }
+            let app = make(&d.graph);
+            let cfg = SsdConfig::default().with_channels(channels);
+            let ssd = Arc::new(Ssd::new(cfg.clone()));
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone());
+            ssd.stats().reset();
+            let mut m = mlvc_core::MultiLogEngine::new(ssd, sg, s.engine_config());
+            let rm = m.run(app.as_ref(), s.supersteps);
+
+            let ssd = Arc::new(Ssd::new(cfg));
+            let mut g = mlvc_graphchi::GraphChiEngine::new(
+                Arc::clone(&ssd),
+                &d.graph,
+                iv.clone(),
+                s.engine_config(),
+            );
+            ssd.stats().reset();
+            let rg = g.run(app.as_ref(), s.supersteps);
+            out += &format!(
+                "| {} | {} | {} | {} | {:.2}x |\n",
+                channels,
+                name,
+                ms(rm.total_sim_time_ns()),
+                ms(rg.total_sim_time_ns()),
+                rm.speedup_over(&rg)
+            );
+        }
+    }
+    out
+}
+
+/// Extension (DESIGN.md §8): synchronous vs asynchronous computation model
+/// (paper §V-F) on monotone algorithms.
+pub fn ablation_async(s: &Settings) -> String {
+    use mlvc_apps::Wcc;
+    use mlvc_graph::StoredGraph;
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    let mut out = String::from(
+        "## Ablation — synchronous vs asynchronous model (WCC)\n\n\
+         Async delivers current-superstep updates to later intervals (§V-F), cutting\n\
+         supersteps on monotone algorithms at identical results.\n\n\
+         | Dataset | Model | Supersteps | Sim ms | Results equal |\n|---|---|---|---|---|\n",
+    );
+    for d in s.datasets() {
+        let iv = s.intervals(&d.graph);
+        let run = |async_mode: bool| {
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone());
+            ssd.stats().reset();
+            let mut e = mlvc_core::MultiLogEngine::new(
+                ssd,
+                sg,
+                s.engine_config().with_async(async_mode),
+            );
+            let r = e.run(&Wcc, 500);
+            (e.states().to_vec(), r)
+        };
+        let (st_sync, r_sync) = run(false);
+        let (st_async, r_async) = run(true);
+        let equal = st_sync == st_async;
+        out += &format!(
+            "| {} | sync | {} | {} | |\n| {} | async | {} | {} | {} |\n",
+            d.name,
+            r_sync.supersteps.len(),
+            ms(r_sync.total_sim_time_ns()),
+            d.name,
+            r_async.supersteps.len(),
+            ms(r_async.total_sim_time_ns()),
+            equal
+        );
+    }
+    out
+}
+
+/// Extension (DESIGN.md §8): device-level write amplification. Replays
+/// each engine's host write/trim trace through the FTL model — the
+/// append-and-trim multi-log should stay near WA 1.0 while GraphChi's
+/// in-place shard rewrites force GC relocations.
+pub fn ablation_ftl(s: &Settings) -> String {
+    use mlvc_graph::StoredGraph;
+    use mlvc_ssd::{FtlConfig, FtlModel, Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    let mut out = String::from(
+        "## Ablation — device write amplification (FTL replay, PageRank, CF)\n\n\
+         Host write/trim traces of a full run replayed through a page-mapping FTL with\n\
+         greedy GC. Multi-log writes are append-then-trim (flash friendly, paper §IV-A);\n\
+         GraphChi overwrites shard pages in place.\n\n\
+         | Engine | Host writes | Physical writes | GC relocations | Write amplification |\n\
+         |---|---|---|---|---|\n",
+    );
+    let d = &s.datasets()[0];
+    let iv = s.intervals(&d.graph);
+    let app = PageRank::new(0.85, 0.01);
+
+    // Traces include the graph ingest: the cold resident CSR / shard data
+    // is exactly what pins erase blocks and creates GC pressure.
+    let traces: Vec<(&str, Vec<mlvc_ssd::FtlOp>)> = vec![
+        {
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            ssd.enable_trace();
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone());
+            let mut e = mlvc_core::MultiLogEngine::new(Arc::clone(&ssd), sg, s.engine_config());
+            e.run(&app, s.supersteps);
+            ("MultiLogVC", ssd.take_trace())
+        },
+        {
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            ssd.enable_trace();
+            let mut e = mlvc_graphchi::GraphChiEngine::new(
+                Arc::clone(&ssd),
+                &d.graph,
+                iv.clone(),
+                s.engine_config(),
+            );
+            e.run(&app, s.supersteps);
+            ("GraphChi", ssd.take_trace())
+        },
+    ];
+    // One device geometry for both engines: the larger peak live footprint
+    // at ~85% occupancy — the regime where GC pressure is realistic.
+    let peak_live = |trace: &[mlvc_ssd::FtlOp]| {
+        let mut peak = 0i64;
+        let mut live = 0i64;
+        let mut seen = std::collections::HashSet::new();
+        for op in trace {
+            match op {
+                mlvc_ssd::FtlOp::Write(l) => {
+                    if seen.insert(*l) {
+                        live += 1;
+                        peak = peak.max(live);
+                    }
+                }
+                mlvc_ssd::FtlOp::Trim(l) => {
+                    if seen.remove(l) {
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        peak
+    };
+    let peak = traces.iter().map(|(_, t)| peak_live(t)).max().unwrap();
+    let ppb = 64usize;
+    let blocks = (((peak as f64 / 0.85) / ppb as f64).ceil() as usize).max(8);
+    for (name, trace) in traces {
+        let mut ftl = FtlModel::new(FtlConfig {
+            pages_per_block: ppb,
+            blocks,
+            gc_low_watermark: 2,
+        });
+        ftl.replay(&trace);
+        let st = ftl.stats();
+        out += &format!(
+            "| {} | {} | {} | {} | {:.3} |\n",
+            name,
+            st.host_writes,
+            st.physical_writes,
+            st.gc_relocations,
+            st.write_amplification()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Settings {
+        Settings { scale: 8, memory_bytes: 128 << 10, supersteps: 8, seed: 7 }
+    }
+
+    #[test]
+    fn best_source_is_a_hub() {
+        let g = mlvc_gen::star(10);
+        assert_eq!(best_source(&g), 0);
+    }
+
+    #[test]
+    fn bfs_fraction_is_monotone_in_supersteps() {
+        let g = mlvc_gen::cf_mini(9, 3).graph;
+        let src = best_source(&g);
+        let f2 = bfs_fraction_at(&g, src, 2);
+        let f5 = bfs_fraction_at(&g, src, 5);
+        let f50 = bfs_fraction_at(&g, src, 50);
+        assert!(f2 <= f5 && f5 <= f50);
+        assert!((f50 - 1.0).abs() < 1e-12, "everything reachable visited: {f50}");
+    }
+
+    #[test]
+    fn peripheral_source_is_far_from_hub() {
+        let g = mlvc_gen::cf_mini(9, 3).graph;
+        let hub = best_source(&g);
+        let periph = peripheral_source(&g);
+        let levels = mlvc_apps::bfs_reference(&g, hub);
+        let max_level = levels.iter().flatten().max().copied().unwrap();
+        assert_eq!(levels[periph as usize], Some(max_level));
+    }
+
+    #[test]
+    fn table1_renders() {
+        let md = table1(&tiny());
+        assert!(md.contains("| CF |") && md.contains("| YWS |"));
+    }
+
+    #[test]
+    fn fig2_renders_shrinking_activity() {
+        let md = fig2(&tiny());
+        assert!(md.lines().count() > 8, "per-superstep rows expected:\n{md}");
+    }
+}

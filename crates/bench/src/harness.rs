@@ -1,0 +1,170 @@
+use std::sync::Arc;
+
+use mlvc_core::{Engine, EngineConfig, MultiLogEngine, RunReport, VertexProgram};
+use mlvc_gen::Dataset;
+use mlvc_grafboost::GrafBoostEngine;
+use mlvc_graph::{Csr, StoredGraph, VertexIntervals};
+use mlvc_graphchi::GraphChiEngine;
+use mlvc_log::UPDATE_BYTES;
+use mlvc_ssd::{Ssd, SsdConfig};
+
+/// Experiment scaling knobs (see crate docs for the environment variables).
+#[derive(Debug, Clone, Copy)]
+pub struct Settings {
+    pub scale: u32,
+    pub memory_bytes: usize,
+    pub supersteps: usize,
+    pub seed: u64,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { scale: 14, memory_bytes: 2 << 20, supersteps: 15, seed: 42 }
+    }
+}
+
+impl Settings {
+    pub fn from_env() -> Self {
+        let mut s = Settings::default();
+        if let Ok(v) = std::env::var("MLVC_SCALE") {
+            s.scale = v.parse().expect("MLVC_SCALE");
+        }
+        if let Ok(v) = std::env::var("MLVC_MEM_KB") {
+            s.memory_bytes = v.parse::<usize>().expect("MLVC_MEM_KB") << 10;
+        }
+        if let Ok(v) = std::env::var("MLVC_STEPS") {
+            s.supersteps = v.parse().expect("MLVC_STEPS");
+        }
+        if let Ok(v) = std::env::var("MLVC_SEED") {
+            s.seed = v.parse().expect("MLVC_SEED");
+        }
+        s
+    }
+
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::default()
+            .with_memory(self.memory_bytes)
+            .with_seed(self.seed)
+    }
+
+    /// The two evaluation datasets (Table I stand-ins).
+    pub fn datasets(&self) -> Vec<Dataset> {
+        vec![
+            mlvc_gen::cf_mini(self.scale, self.seed),
+            mlvc_gen::yws_mini(self.scale, self.seed),
+        ]
+    }
+
+    /// Interval partition shared by every engine (paper §V-A1 sizing).
+    pub fn intervals(&self, graph: &Csr) -> VertexIntervals {
+        VertexIntervals::for_graph(graph, UPDATE_BYTES, self.engine_config().sort_budget())
+    }
+
+    /// A fresh MultiLogVC engine on its own simulated SSD.
+    pub fn mlvc(&self, graph: &Csr) -> MultiLogEngine {
+        self.mlvc_with(graph, self.intervals(graph))
+    }
+
+    /// MultiLogVC engine with an explicit interval partition (memory
+    /// sweeps keep the on-SSD layout fixed while the budget varies).
+    pub fn mlvc_with(&self, graph: &Csr, iv: VertexIntervals) -> MultiLogEngine {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let sg = StoredGraph::store_with(&ssd, graph, "g", iv);
+        ssd.stats().reset(); // setup I/O is not part of any experiment
+        MultiLogEngine::new(ssd, sg, self.engine_config())
+    }
+
+    /// GraphChi engine with an explicit interval partition.
+    pub fn graphchi_with(&self, graph: &Csr, iv: VertexIntervals) -> GraphChiEngine {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let eng = GraphChiEngine::new(Arc::clone(&ssd), graph, iv, self.engine_config());
+        ssd.stats().reset();
+        eng
+    }
+
+    /// A fresh MultiLogVC engine with the edge-log optimizer disabled
+    /// (ablation runs).
+    pub fn mlvc_no_edgelog(&self, graph: &Csr) -> MultiLogEngine {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let sg = StoredGraph::store_with(&ssd, graph, "g", self.intervals(graph));
+        ssd.stats().reset();
+        MultiLogEngine::new(ssd, sg, self.engine_config().with_edge_log(false))
+    }
+
+    /// A fresh GraphChi engine on its own simulated SSD.
+    pub fn graphchi(&self, graph: &Csr) -> GraphChiEngine {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let eng = GraphChiEngine::new(
+            Arc::clone(&ssd),
+            graph,
+            self.intervals(graph),
+            self.engine_config(),
+        );
+        ssd.stats().reset();
+        eng
+    }
+
+    /// A fresh GraFBoost engine on its own simulated SSD.
+    pub fn grafboost(&self, graph: &Csr) -> GrafBoostEngine {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let sg = StoredGraph::store_with(&ssd, graph, "g", self.intervals(graph));
+        ssd.stats().reset();
+        GrafBoostEngine::new(ssd, sg, self.engine_config())
+    }
+}
+
+/// Run a program on an engine, returning the report.
+pub fn run_on(
+    engine: &mut dyn Engine,
+    prog: &dyn VertexProgram,
+    supersteps: usize,
+) -> RunReport {
+    engine.run(prog, supersteps)
+}
+
+/// Simulated-time speedup of `fast` over `slow` (paper Y-axis convention:
+/// baseline time / MultiLogVC time).
+pub fn speedup(ours: &RunReport, baseline: &RunReport) -> f64 {
+    ours.speedup_over(baseline)
+}
+
+/// Format nanoseconds as milliseconds with 2 decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_env_roundtrip() {
+        let s = Settings::default();
+        assert_eq!(s.scale, 14);
+        assert_eq!(s.engine_config().memory_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn engines_share_interval_partition() {
+        let s = Settings { scale: 9, ..Default::default() };
+        let g = mlvc_gen::cf_mini(9, 1).graph;
+        let iv1 = s.intervals(&g);
+        let iv2 = s.intervals(&g);
+        assert_eq!(iv1, iv2);
+    }
+
+    #[test]
+    fn all_three_engines_run_bfs_consistently() {
+        let s = Settings { scale: 9, memory_bytes: 256 << 10, ..Default::default() };
+        let g = mlvc_gen::cf_mini(9, 3).graph;
+        let app = mlvc_apps::Bfs::new(0);
+        let mut a = s.mlvc(&g);
+        let mut b = s.graphchi(&g);
+        let mut c = s.grafboost(&g);
+        a.run(&app, 50);
+        b.run(&app, 50);
+        c.run(&app, 50);
+        assert_eq!(a.states(), b.states());
+        assert_eq!(a.states(), c.states());
+    }
+}

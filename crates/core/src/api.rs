@@ -1,0 +1,264 @@
+use mlvc_graph::{StructuralUpdate, VertexId};
+use mlvc_log::Update;
+
+/// Commutative+associative message reduction (paper §V-D). When a program
+/// provides one, the sort & group unit merges each destination's messages
+/// into a single update before the processing function runs.
+pub type Combine = fn(u64, u64) -> u64;
+
+/// How a program seeds superstep 1.
+#[derive(Debug, Clone)]
+pub enum InitActive {
+    /// Every vertex is processed in superstep 1 with an empty inbox
+    /// (PageRank, CDLP, coloring, MIS: "initially many vertices are
+    /// active").
+    All,
+    /// Only the destinations of these initial updates are active in
+    /// superstep 1 (BFS from a source, random-walk sources).
+    Seeds(Vec<Update>),
+}
+
+/// Everything a vertex sees and does during its processing call — the
+/// paper's `ProcessVertex(VertexId, VertexData, VertexUpdates)` plus the
+/// `SendUpdate` / `deactivate` surface (Algorithm 2).
+///
+/// Engines construct one per processed vertex and collect the outputs.
+pub struct VertexCtx<'a> {
+    v: VertexId,
+    superstep: usize,
+    num_vertices: usize,
+    state: u64,
+    msgs: &'a [Update],
+    edges: &'a [VertexId],
+    weights: Option<&'a [f32]>,
+    sends: Vec<Update>,
+    keep_active: bool,
+    structural: Vec<StructuralUpdate>,
+    seed: u64,
+    rng_counter: u64,
+}
+
+/// What a processing call produced, drained by the engine.
+pub struct VertexOutputs {
+    pub state: u64,
+    pub sends: Vec<Update>,
+    pub keep_active: bool,
+    pub structural: Vec<StructuralUpdate>,
+}
+
+impl<'a> VertexCtx<'a> {
+    /// Engine-implementor constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        v: VertexId,
+        superstep: usize,
+        num_vertices: usize,
+        state: u64,
+        msgs: &'a [Update],
+        edges: &'a [VertexId],
+        weights: Option<&'a [f32]>,
+        seed: u64,
+    ) -> Self {
+        VertexCtx {
+            v,
+            superstep,
+            num_vertices,
+            state,
+            msgs,
+            edges,
+            weights,
+            sends: Vec::new(),
+            keep_active: false,
+            structural: Vec::new(),
+            seed,
+            rng_counter: 0,
+        }
+    }
+
+    /// Drain the call's effects.
+    pub fn into_outputs(self) -> VertexOutputs {
+        VertexOutputs {
+            state: self.state,
+            sends: self.sends,
+            keep_active: self.keep_active,
+            structural: self.structural,
+        }
+    }
+
+    /// The vertex being processed.
+    pub fn vertex(&self) -> VertexId {
+        self.v
+    }
+
+    /// Current superstep number (1-based; seeds are delivered in 1).
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// This vertex's value (the paper's `V_inf.get_value()`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Update this vertex's value (`V_inf.set_value(...)`).
+    pub fn set_state(&mut self, s: u64) {
+        self.state = s;
+    }
+
+    /// All incoming messages, individually preserved (the salient
+    /// generality property of MultiLogVC, §V-D). With a `combine` operator
+    /// installed, engines deliver the single reduced message instead.
+    pub fn msgs(&self) -> &[Update] {
+        self.msgs
+    }
+
+    /// Out-neighbors of this vertex.
+    pub fn edges(&self) -> &[VertexId] {
+        self.edges
+    }
+
+    /// Out-edge weights (only when the program declares `needs_weights`).
+    pub fn weights(&self) -> Option<&[f32]> {
+        self.weights
+    }
+
+    pub fn degree(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The paper's `SendUpdate(v_dest, m)`: the message is logged into the
+    /// destination interval's log and delivered next superstep. The
+    /// source id is filled in automatically.
+    pub fn send(&mut self, dest: VertexId, data: u64) {
+        self.sends.push(Update::new(dest, self.v, data));
+    }
+
+    /// Send the same payload over every out-edge.
+    pub fn send_all(&mut self, data: u64) {
+        for k in 0..self.edges.len() {
+            let dest = self.edges[k];
+            self.sends.push(Update::new(dest, self.v, data));
+        }
+    }
+
+    /// Stay active next superstep even without incoming messages (the
+    /// inverse of the paper's `deactivate`: a vertex is deactivated by
+    /// default and reactivated by messages; algorithms with round structure
+    /// — MIS — keep undecided vertices alive explicitly).
+    pub fn keep_active(&mut self) {
+        self.keep_active = true;
+    }
+
+    /// Queue a structural edge addition (merged per §V-E batching).
+    pub fn add_edge(&mut self, dest: VertexId) {
+        self.structural.push(StructuralUpdate::AddEdge { src: self.v, dst: dest });
+    }
+
+    /// Queue a structural edge removal.
+    pub fn remove_edge(&mut self, dest: VertexId) {
+        self.structural
+            .push(StructuralUpdate::RemoveEdge { src: self.v, dst: dest });
+    }
+
+    /// Deterministic per-(run, vertex, superstep, call) random stream —
+    /// randomized algorithms (MIS, random walk) stay reproducible across
+    /// engines and runs.
+    pub fn rand_u64(&mut self) -> u64 {
+        self.rng_counter += 1;
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((self.v as u64) << 32)
+            .wrapping_add(self.superstep as u64)
+            .wrapping_add(self.rng_counter.wrapping_mul(0xD1B54A32D192ED03));
+        // splitmix64 finalizer.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        x
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn rand_f64(&mut self) -> f64 {
+        (self.rand_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A vertex-centric program (paper §V-F). State is an opaque `u64` encoded
+/// by the application; helpers for packing floats/labels live in
+/// `mlvc-apps`.
+pub trait VertexProgram: Send + Sync {
+    /// Application name used in reports ("bfs", "pagerank", …).
+    fn name(&self) -> &'static str;
+
+    /// Initial per-vertex state.
+    fn init_state(&self, v: VertexId) -> u64;
+
+    /// Initial active set / seed messages for superstep 1.
+    fn init_active(&self, num_vertices: usize) -> InitActive;
+
+    /// The vertex processing function.
+    fn process(&self, ctx: &mut VertexCtx<'_>);
+
+    /// Optional associative+commutative reduction over message payloads.
+    /// Returning `Some` lets engines merge messages (MultiLogVC's optional
+    /// optimization path; GraFBoost *requires* it).
+    fn combine(&self) -> Option<Combine> {
+        None
+    }
+
+    /// Whether `process` reads out-edge weights (loads `val` pages).
+    fn needs_weights(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_send_fills_source() {
+        let edges = [5u32, 6];
+        let mut ctx = VertexCtx::new(3, 1, 10, 0, &[], &edges, None, 42);
+        ctx.send(5, 99);
+        ctx.send_all(7);
+        let out = ctx.into_outputs();
+        assert_eq!(out.sends.len(), 3);
+        assert!(out.sends.iter().all(|u| u.src == 3));
+        assert_eq!(out.sends[1].dest, 5);
+        assert_eq!(out.sends[2].dest, 6);
+    }
+
+    #[test]
+    fn ctx_state_and_flags() {
+        let mut ctx = VertexCtx::new(0, 2, 4, 11, &[], &[], None, 0);
+        assert_eq!(ctx.state(), 11);
+        ctx.set_state(22);
+        ctx.keep_active();
+        ctx.add_edge(1);
+        ctx.remove_edge(2);
+        let out = ctx.into_outputs();
+        assert_eq!(out.state, 22);
+        assert!(out.keep_active);
+        assert_eq!(out.structural.len(), 2);
+    }
+
+    #[test]
+    fn rand_is_deterministic_and_varies() {
+        let mut a = VertexCtx::new(1, 1, 4, 0, &[], &[], None, 7);
+        let mut b = VertexCtx::new(1, 1, 4, 0, &[], &[], None, 7);
+        assert_eq!(a.rand_u64(), b.rand_u64());
+        assert_ne!(a.rand_u64(), a.rand_u64(), "stream advances");
+        let mut c = VertexCtx::new(2, 1, 4, 0, &[], &[], None, 7);
+        assert_ne!(b.rand_u64(), c.rand_u64(), "different vertex, different value");
+        let f = c.rand_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

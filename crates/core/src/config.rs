@@ -1,0 +1,141 @@
+use serde::{Deserialize, Serialize};
+
+/// Simulated compute-time model. Storage access dominates in every
+/// experiment of the paper (75–95% of execution time, Fig. 5c); these
+/// constants put compute in that regime while keeping it non-zero so the
+/// storage/compute split (Fig. 5c) is measurable.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost to apply one incoming message in `process`, nanoseconds.
+    pub msg_process_ns: u64,
+    /// Cost to scan one adjacency entry, nanoseconds.
+    pub edge_scan_ns: u64,
+    /// Per-record cost of the in-memory sort & group pass, nanoseconds.
+    pub sort_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { msg_process_ns: 30, edge_scan_ns: 2, sort_ns: 10 }
+    }
+}
+
+/// Engine configuration mirroring the paper's memory layout (Fig. 4):
+/// a total host-memory budget split into the sort & group area (X%,
+/// default 75%), the multi-log buffer (A%, default 5%), and the edge-log
+/// buffer (B%, default 5%).
+///
+/// The paper's default budget is 1 GB against ≤100 GB graphs; the
+/// reproduction default is 16 MiB against the scaled-down datasets,
+/// preserving the graph:memory ratio (DESIGN.md §2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Total host memory budget in bytes.
+    pub memory_bytes: usize,
+    /// Fraction for the sort & group unit (paper X% = 0.75).
+    pub sort_frac: f64,
+    /// Fraction for multi-log page buffers (paper A% = 0.05).
+    pub multilog_frac: f64,
+    /// Fraction for edge-log page buffers (paper B% = 0.05).
+    pub edgelog_frac: f64,
+    /// Enable the edge-log optimizer (§V-C). Off = ablation baseline.
+    pub enable_edge_log: bool,
+    /// Asynchronous computation model (§V-F): updates logged earlier in
+    /// the *current* superstep are delivered to intervals processed later
+    /// in the same superstep. Valid for monotone / accumulative algorithms
+    /// (BFS, WCC, SSSP, delta-PageRank); phase-structured ones (MIS,
+    /// coloring rounds) require the default synchronous model.
+    pub async_mode: bool,
+    /// Pending structural updates per interval that trigger a merge (§V-E).
+    pub structural_merge_threshold: usize,
+    /// Seed for deterministic per-vertex randomness.
+    pub seed: u64,
+    pub cost: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            memory_bytes: 16 << 20,
+            sort_frac: 0.75,
+            multilog_frac: 0.05,
+            edgelog_frac: 0.05,
+            enable_edge_log: true,
+            async_mode: false,
+            structural_merge_threshold: 1024,
+            seed: 0xC0FFEE,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn with_memory(mut self, bytes: usize) -> Self {
+        self.memory_bytes = bytes;
+        self
+    }
+
+    pub fn with_edge_log(mut self, enabled: bool) -> Self {
+        self.enable_edge_log = enabled;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable the asynchronous computation model (§V-F).
+    pub fn with_async(mut self, yes: bool) -> Self {
+        self.async_mode = yes;
+        self
+    }
+
+    /// Bytes allocated to the sort & group unit.
+    pub fn sort_budget(&self) -> usize {
+        ((self.memory_bytes as f64) * self.sort_frac) as usize
+    }
+
+    /// Bytes allocated to multi-log page buffers.
+    pub fn multilog_budget(&self) -> usize {
+        ((self.memory_bytes as f64) * self.multilog_frac) as usize
+    }
+
+    /// Bytes allocated to edge-log page buffers.
+    pub fn edgelog_budget(&self) -> usize {
+        ((self.memory_bytes as f64) * self.edgelog_frac) as usize
+    }
+
+    fn validate(&self) {
+        assert!(self.memory_bytes >= 1 << 12, "budget unrealistically small");
+        let f = self.sort_frac + self.multilog_frac + self.edgelog_frac;
+        assert!(f <= 1.0 + 1e-9, "memory fractions exceed the budget");
+        assert!(self.sort_frac > 0.0 && self.multilog_frac > 0.0 && self.edgelog_frac > 0.0);
+    }
+
+    /// Validate and return self (builder terminal).
+    pub fn validated(self) -> Self {
+        self.validate();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_split_matches_paper() {
+        let c = EngineConfig::default().validated();
+        assert_eq!(c.sort_budget(), (16 << 20) * 3 / 4);
+        assert_eq!(c.multilog_budget(), ((16 << 20) as f64 * 0.05) as usize);
+        assert_eq!(c.edgelog_budget(), c.multilog_budget());
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_allocated_fractions_rejected() {
+        let c = EngineConfig { sort_frac: 0.9, multilog_frac: 0.1, edgelog_frac: 0.1, ..Default::default() };
+        c.validated();
+    }
+}

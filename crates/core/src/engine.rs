@@ -1,0 +1,821 @@
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlvc_graph::{GraphLoader, LoadedVertex, StoredGraph, StructuralUpdateBuffer, VertexId};
+use mlvc_log::{
+    group_by_dest, BitSet, EdgeLogConfig, EdgeLogOptimizer, MultiLog, MultiLogConfig, SortGroup,
+    Update,
+};
+use mlvc_ssd::Ssd;
+use rayon::prelude::*;
+
+use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
+
+/// The MultiLogVC engine — Algorithm 1 of the paper.
+///
+/// Per superstep:
+/// 1. the **sort & group unit** plans interval fusion from the previous
+///    superstep's per-interval message counts, loads each fused log batch
+///    with full channel parallelism, and stable-sorts it in memory;
+/// 2. the active vertex set is extracted from the message destinations
+///    (plus explicitly kept-active vertices);
+/// 3. the **graph loader unit** fetches adjacency for active vertices only
+///    — from the **edge log** when the previous superstep staged it there,
+///    otherwise from the pages of the per-interval CSR that actually hold
+///    active data;
+/// 4. the user's processing function runs in parallel over active
+///    vertices; outgoing updates go through the **multi-log update unit**;
+/// 5. the **edge-log optimizer** stages out-edges of predicted-active
+///    vertices sitting on inefficiently used pages;
+/// 6. logs flush, structural updates past the threshold merge, statistics
+///    are recorded.
+pub struct MultiLogEngine {
+    ssd: Arc<Ssd>,
+    graph: Arc<StoredGraph>,
+    cfg: EngineConfig,
+    states: Vec<u64>,
+}
+
+/// Work unit handed to the parallel processing stage.
+struct WorkItem<'a> {
+    v: VertexId,
+    msgs: &'a [Update],
+    edges: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+    /// CSR page span of the vertex's edges; `None` when served from the
+    /// edge log.
+    csr_pages: Option<(u64, u64)>,
+}
+
+impl MultiLogEngine {
+    pub fn new(ssd: Arc<Ssd>, graph: StoredGraph, cfg: EngineConfig) -> Self {
+        let cfg = cfg.validated();
+        let states = vec![0u64; graph.num_vertices()];
+        MultiLogEngine { ssd, graph: Arc::new(graph), cfg, states }
+    }
+
+    /// Engine over an already shared stored graph.
+    pub fn with_shared_graph(ssd: Arc<Ssd>, graph: Arc<StoredGraph>, cfg: EngineConfig) -> Self {
+        let cfg = cfg.validated();
+        let states = vec![0u64; graph.num_vertices()];
+        MultiLogEngine { ssd, graph, cfg, states }
+    }
+
+    pub fn graph(&self) -> &Arc<StoredGraph> {
+        &self.graph
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Active vertices of one interval in this batch: destinations holding
+    /// messages merged with explicitly kept-active vertices (or the whole
+    /// interval on an all-active superstep). Returns `(v, message range)`
+    /// pairs sorted by vertex.
+    fn actives_for_interval(
+        groups: &[(VertexId, Range<usize>)],
+        self_active: &[VertexId],
+        interval: Range<VertexId>,
+        all_active: bool,
+    ) -> Vec<(VertexId, Range<usize>)> {
+        let gs = groups.partition_point(|(v, _)| *v < interval.start);
+        let ge = groups.partition_point(|(v, _)| *v < interval.end);
+        let groups = &groups[gs..ge];
+        if all_active {
+            let mut gi = 0usize;
+            return interval
+                .map(|v| {
+                    if gi < groups.len() && groups[gi].0 == v {
+                        gi += 1;
+                        (v, groups[gi - 1].1.clone())
+                    } else {
+                        (v, 0..0)
+                    }
+                })
+                .collect();
+        }
+        let ss = self_active.partition_point(|&v| v < interval.start);
+        let se = self_active.partition_point(|&v| v < interval.end);
+        let self_active = &self_active[ss..se];
+        // Merge two sorted, duplicate-free streams.
+        let mut out = Vec::with_capacity(groups.len() + self_active.len());
+        let (mut gi, mut si) = (0usize, 0usize);
+        while gi < groups.len() || si < self_active.len() {
+            if si >= self_active.len()
+                || (gi < groups.len() && groups[gi].0 <= self_active[si])
+            {
+                if si < self_active.len() && groups[gi].0 == self_active[si] {
+                    si += 1;
+                }
+                out.push(groups[gi].clone());
+                gi += 1;
+            } else {
+                out.push((self_active[si], 0..0));
+                si += 1;
+            }
+        }
+        out
+    }
+}
+
+impl Engine for MultiLogEngine {
+    fn name(&self) -> &'static str {
+        "MultiLogVC"
+    }
+
+    fn states(&self) -> &[u64] {
+        &self.states
+    }
+
+    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+        let n = self.graph.num_vertices();
+        let intervals = self.graph.intervals().clone();
+        let needs_weights = prog.needs_weights();
+        let combine = prog.combine();
+
+        self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
+
+        let mut multilog = MultiLog::new(
+            Arc::clone(&self.ssd),
+            intervals.clone(),
+            MultiLogConfig { buffer_bytes: self.cfg.multilog_budget() },
+            "mlvc",
+        );
+        let sortgroup = SortGroup::new(self.cfg.sort_budget());
+        let mut edgelog = EdgeLogOptimizer::new(
+            Arc::clone(&self.ssd),
+            n,
+            EdgeLogConfig {
+                buffer_bytes: self.cfg.edgelog_budget(),
+                ..Default::default()
+            },
+            "mlvc",
+        );
+        let mut loader = GraphLoader::new();
+        let mut structural =
+            StructuralUpdateBuffer::new(intervals.clone(), self.cfg.structural_merge_threshold);
+
+        let mut report = RunReport {
+            engine: self.name().to_string(),
+            app: prog.name().to_string(),
+            ..Default::default()
+        };
+
+        // Seeding (superstep 0): initial messages go through the multi-log
+        // exactly like any other update.
+        let mut all_active = false;
+        let mut pending: Vec<u64> = match prog.init_active(n) {
+            InitActive::All => {
+                all_active = true;
+                vec![0; intervals.num_intervals()]
+            }
+            InitActive::Seeds(seeds) => {
+                for u in seeds {
+                    multilog.send(u);
+                }
+                multilog.finish_superstep()
+            }
+        };
+        let mut self_active: Vec<VertexId> = Vec::new();
+
+        for superstep in 1..=max_supersteps {
+            if !all_active && pending.iter().all(|&c| c == 0) && self_active.is_empty() {
+                report.converged = true;
+                break;
+            }
+            let wall0 = Instant::now();
+            let io0 = self.ssd.stats().snapshot();
+            let mut st = SuperstepStats { superstep, ..Default::default() };
+            let mut active_bits = BitSet::new(n);
+            let mut next_self_active: Vec<VertexId> = Vec::new();
+
+            let plan = sortgroup.plan(&pending);
+            for range in plan {
+                // 1. Load + in-memory sort of the fused interval logs.
+                let batch = sortgroup.load_batch(&mut multilog, range.clone());
+                st.messages_processed += batch.updates.len() as u64;
+
+                for i in range {
+                    let iv_range = intervals.range(i);
+                    // This interval's inbox: the contiguous dest range of
+                    // the sorted batch, plus — in the asynchronous model —
+                    // whatever the current superstep already logged for it.
+                    let lo = batch.updates.partition_point(|u| u.dest < iv_range.start);
+                    let hi = batch.updates.partition_point(|u| u.dest < iv_range.end);
+                    let mut updates: Vec<Update> = batch.updates[lo..hi].to_vec();
+                    if self.cfg.async_mode {
+                        let extra = multilog.take_log_current(i);
+                        if !extra.is_empty() {
+                            st.messages_processed += extra.len() as u64;
+                            updates.extend(extra);
+                            // Stable: later (current-superstep) updates stay
+                            // behind earlier ones within a destination.
+                            updates.sort_by_key(|u| u.dest);
+                        }
+                    }
+                    let mut groups: Vec<(VertexId, Range<usize>)> = Vec::new();
+                    {
+                        let mut offset = 0usize;
+                        for (dest, g) in group_by_dest(&updates) {
+                            groups.push((dest, offset..offset + g.len()));
+                            offset += g.len();
+                        }
+                    }
+                    let actives = Self::actives_for_interval(
+                        &groups,
+                        &self_active,
+                        iv_range,
+                        all_active,
+                    );
+                    if actives.is_empty() {
+                        continue;
+                    }
+
+                    // 2. Split adjacency sources: edge log vs CSR pages.
+                    let use_elog = self.cfg.enable_edge_log && !needs_weights;
+                    let mut elog_vs: Vec<VertexId> = Vec::new();
+                    let mut csr_vs: Vec<VertexId> = Vec::new();
+                    for (v, _) in &actives {
+                        if use_elog && edgelog.contains(*v) {
+                            elog_vs.push(*v);
+                        } else {
+                            csr_vs.push(*v);
+                        }
+                    }
+                    st.edge_log_hits += elog_vs.len() as u64;
+
+                    let loaded = loader.load_active(
+                        &self.graph,
+                        i,
+                        &csr_vs,
+                        needs_weights,
+                        Some(&structural),
+                    );
+                    let mut elog_adj = edgelog.fetch(&elog_vs);
+                    for (v, edges) in &mut elog_adj {
+                        structural.patch_adjacency(*v, edges);
+                    }
+
+                    // 3. Assemble work items in vertex order.
+                    let mut items: Vec<WorkItem> = Vec::with_capacity(actives.len());
+                    let mut li = 0usize;
+                    let mut ei = 0usize;
+                    let combined_storage: Vec<Option<Update>> = actives
+                        .iter()
+                        .map(|(v, r)| {
+                            combine.and_then(|f| {
+                                if r.is_empty() {
+                                    None
+                                } else {
+                                    let data = updates[r.clone()]
+                                        .iter()
+                                        .map(|u| u.data)
+                                        .reduce(f)
+                                        .unwrap();
+                                    Some(Update::new(*v, VertexId::MAX, data))
+                                }
+                            })
+                        })
+                        .collect();
+                    for (k, (v, r)) in actives.iter().enumerate() {
+                        let (edges, weights, csr_pages) =
+                            if li < loaded.len() && loaded[li].v == *v {
+                                let LoadedVertex { edges, weights, page_lo, page_hi, .. } = {
+                                    li += 1;
+                                    loaded[li - 1].clone()
+                                };
+                                let span = (page_lo <= page_hi).then_some((page_lo, page_hi));
+                                (edges, weights, span)
+                            } else {
+                                debug_assert_eq!(elog_adj[ei].0, *v);
+                                ei += 1;
+                                (elog_adj[ei - 1].1.clone(), None, None)
+                            };
+                        st.edges_scanned += edges.len() as u64;
+                        let msgs: &[Update] = match &combined_storage[k] {
+                            Some(u) => std::slice::from_ref(u),
+                            None => &updates[r.clone()],
+                        };
+                        st.messages_delivered += msgs.len() as u64;
+                        items.push(WorkItem { v: *v, msgs, edges, weights, csr_pages });
+                    }
+
+                    // 4. Parallel vertex processing.
+                    let states = &self.states;
+                    let seed = self.cfg.seed;
+                    let outputs: Vec<_> = items
+                        .par_iter()
+                        .map(|item| {
+                            let mut ctx = VertexCtx::new(
+                                item.v,
+                                superstep,
+                                n,
+                                states[item.v as usize],
+                                item.msgs,
+                                &item.edges,
+                                item.weights.as_deref(),
+                                seed,
+                            );
+                            prog.process(&mut ctx);
+                            ctx.into_outputs()
+                        })
+                        .collect();
+
+                    // 5. Apply outputs: state, sends, activity, mutations,
+                    //    edge-log staging.
+                    let colidx_file = self.graph.colidx_file(i);
+                    for (item, out) in items.iter().zip(outputs) {
+                        self.states[item.v as usize] = out.state;
+                        active_bits.set(item.v as usize);
+                        st.active_vertices += 1;
+                        for u in out.sends {
+                            multilog.send(u);
+                        }
+                        if out.keep_active {
+                            next_self_active.push(item.v);
+                        }
+                        for su in out.structural {
+                            structural.push(su);
+                        }
+                        if use_elog {
+                            let known = multilog.dest_seen(item.v);
+                            match item.csr_pages {
+                                Some((lo, hi)) => {
+                                    if edgelog.should_log(
+                                        item.v,
+                                        item.edges.len(),
+                                        known,
+                                        colidx_file,
+                                        lo..=hi,
+                                    ) {
+                                        edgelog.log_edges(item.v, &item.edges);
+                                    }
+                                }
+                                None => {
+                                    // Served from the edge log: keep the dense
+                                    // copy alive while the vertex stays active.
+                                    if known || edgelog.predicted_active(item.v) {
+                                        edgelog.log_edges(item.v, &item.edges);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 6. Superstep close-out.
+            let usage = loader.take_page_usage(self.ssd.page_size());
+            st.colidx_pages_accessed = usage.len() as u64;
+            st.colidx_pages_inefficient = usage
+                .iter()
+                .filter(|u| {
+                    u.useful_bytes > 0
+                        && u.utilization() < edgelog.config().inefficiency_threshold
+                })
+                .count() as u64;
+            edgelog.end_superstep(&active_bits, &usage);
+            pending = multilog.finish_superstep();
+            st.messages_sent = pending.iter().sum();
+            structural.merge_over_threshold(&self.graph);
+            next_self_active.sort_unstable();
+            next_self_active.dedup();
+            self_active = next_self_active;
+            all_active = false;
+
+            st.io = self.ssd.stats().snapshot().since(&io0);
+            st.compute_ns = st.messages_processed * self.cfg.cost.sort_ns
+                + st.messages_delivered * self.cfg.cost.msg_process_ns
+                + st.edges_scanned * self.cfg.cost.edge_scan_ns;
+            st.wall_ns = wall0.elapsed().as_nanos() as u64;
+            report.supersteps.push(st);
+        }
+        if !report.converged
+            && pending.iter().all(|&c| c == 0)
+            && self_active.is_empty()
+            && !all_active
+        {
+            report.converged = true;
+        }
+
+        structural.merge_all(&self.graph);
+        report.multilog = Some(multilog.stats());
+        report.edgelog = Some(edgelog.stats());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlvc_ssd::SsdConfig;
+
+    /// Flood: every vertex starts active with state 0; a vertex whose state
+    /// is smaller than an incoming payload adopts the max and floods it.
+    /// Converges to max(vertex id) on every connected component.
+    struct Flood;
+    impl VertexProgram for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn init_state(&self, v: VertexId) -> u64 {
+            v as u64
+        }
+        fn init_active(&self, _n: usize) -> InitActive {
+            InitActive::All
+        }
+        fn process(&self, ctx: &mut VertexCtx<'_>) {
+            let best = ctx
+                .msgs()
+                .iter()
+                .map(|m| m.data)
+                .fold(ctx.state(), u64::max);
+            if best > ctx.state() || ctx.superstep() == 1 {
+                ctx.set_state(best);
+                ctx.send_all(best);
+            }
+        }
+    }
+
+    fn engine_for(csr: mlvc_graph::Csr) -> MultiLogEngine {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let iv = mlvc_graph::VertexIntervals::uniform(csr.num_vertices(), 4);
+        let sg = StoredGraph::store_with(&ssd, &csr, "g", iv);
+        MultiLogEngine::new(ssd, sg, EngineConfig::default())
+    }
+
+    fn ring(n: usize) -> mlvc_graph::Csr {
+        let mut b = mlvc_graph::EdgeListBuilder::new(n).symmetrize(true);
+        for v in 0..n as u32 {
+            b.push(v, (v + 1) % n as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn flood_converges_to_component_max() {
+        let mut eng = engine_for(ring(32));
+        let report = eng.run(&Flood, 40);
+        assert!(report.converged, "flood must converge within the cap");
+        for v in 0..32u32 {
+            assert_eq!(eng.state_of(v), 31, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn seeded_program_only_touches_reachable_vertices() {
+        /// Mark: seed at vertex 0; each marked vertex marks neighbors once.
+        struct Mark;
+        impl VertexProgram for Mark {
+            fn name(&self) -> &'static str {
+                "mark"
+            }
+            fn init_state(&self, _v: VertexId) -> u64 {
+                0
+            }
+            fn init_active(&self, _n: usize) -> InitActive {
+                InitActive::Seeds(vec![Update::new(0, 0, 1)])
+            }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                if ctx.state() == 0 {
+                    ctx.set_state(1);
+                    ctx.send_all(1);
+                }
+            }
+        }
+        // Two disjoint rings 0..16 and 16..32.
+        let mut b = mlvc_graph::EdgeListBuilder::new(32).symmetrize(true);
+        for v in 0..16u32 {
+            b.push(v, (v + 1) % 16);
+        }
+        for v in 16..32u32 {
+            b.push(v, 16 + (v + 1 - 16) % 16);
+        }
+        let mut eng = engine_for(b.build());
+        let report = eng.run(&Mark, 40);
+        assert!(report.converged);
+        for v in 0..16u32 {
+            assert_eq!(eng.state_of(v), 1);
+        }
+        for v in 16..32u32 {
+            assert_eq!(eng.state_of(v), 0, "unreachable vertex {v} untouched");
+        }
+        // Activity shrinks to zero; first superstep processed only the seed.
+        assert_eq!(report.supersteps[0].active_vertices, 1);
+    }
+
+    #[test]
+    fn report_records_io_and_activity() {
+        let mut eng = engine_for(ring(32));
+        let report = eng.run(&Flood, 40);
+        assert_eq!(report.engine, "MultiLogVC");
+        assert_eq!(report.app, "flood");
+        let s1 = &report.supersteps[0];
+        assert_eq!(s1.active_vertices, 32, "all-active first superstep");
+        assert!(s1.io.pages_read > 0, "adjacency loads are charged");
+        assert!(s1.sim_time_ns() > 0);
+        assert!(report.total_messages() > 0);
+        // Activity must shrink over supersteps for flood on a ring.
+        let last = report.supersteps.last().unwrap();
+        assert!(last.active_vertices < s1.active_vertices);
+    }
+
+    #[test]
+    fn keep_active_processes_vertex_without_messages() {
+        /// Countdown: every vertex counts down from 3 using keep_active,
+        /// never sending messages.
+        struct Countdown;
+        impl VertexProgram for Countdown {
+            fn name(&self) -> &'static str {
+                "countdown"
+            }
+            fn init_state(&self, _v: VertexId) -> u64 {
+                3
+            }
+            fn init_active(&self, _n: usize) -> InitActive {
+                InitActive::All
+            }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                let s = ctx.state() - 1;
+                ctx.set_state(s);
+                if s > 0 {
+                    ctx.keep_active();
+                }
+            }
+        }
+        let mut eng = engine_for(ring(8));
+        let report = eng.run(&Countdown, 10);
+        assert!(report.converged);
+        assert_eq!(report.supersteps.len(), 3);
+        for v in 0..8u32 {
+            assert_eq!(eng.state_of(v), 0);
+        }
+    }
+
+    #[test]
+    fn combine_path_matches_preserved_path() {
+        /// MaxAgg: superstep 1 every vertex sends its id to neighbors;
+        /// superstep 2 records the max received. Combinable with max.
+        struct MaxAgg {
+            combinable: bool,
+        }
+        impl VertexProgram for MaxAgg {
+            fn name(&self) -> &'static str {
+                "maxagg"
+            }
+            fn init_state(&self, _v: VertexId) -> u64 {
+                0
+            }
+            fn init_active(&self, _n: usize) -> InitActive {
+                InitActive::All
+            }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                if ctx.superstep() == 1 {
+                    let id = ctx.vertex() as u64;
+                    ctx.send_all(id);
+                } else {
+                    let best = ctx.msgs().iter().map(|m| m.data).fold(0, u64::max);
+                    ctx.set_state(best);
+                }
+            }
+            fn combine(&self) -> Option<crate::Combine> {
+                self.combinable.then_some(u64::max as crate::Combine)
+            }
+        }
+        let mut e1 = engine_for(ring(16));
+        e1.run(&MaxAgg { combinable: false }, 3);
+        let mut e2 = engine_for(ring(16));
+        e2.run(&MaxAgg { combinable: true }, 3);
+        assert_eq!(e1.states(), e2.states());
+        for v in 0..16u32 {
+            let expect = std::cmp::max((v + 1) % 16, (v + 15) % 16) as u64;
+            assert_eq!(e1.state_of(v), expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn structural_updates_visible_next_superstep() {
+        /// Superstep 1: vertex 0 adds an edge to vertex 7 and keeps active;
+        /// superstep 2: vertex 0 sends over its (patched) edges; superstep
+        /// 3: receivers record.
+        struct Grower;
+        impl VertexProgram for Grower {
+            fn name(&self) -> &'static str {
+                "grower"
+            }
+            fn init_state(&self, _v: VertexId) -> u64 {
+                0
+            }
+            fn init_active(&self, _n: usize) -> InitActive {
+                InitActive::Seeds(vec![Update::new(0, 0, 0)])
+            }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                match ctx.superstep() {
+                    1 => {
+                        ctx.add_edge(7);
+                        ctx.keep_active();
+                    }
+                    2 => ctx.send_all(9),
+                    _ => ctx.set_state(ctx.msgs().iter().map(|m| m.data).sum()),
+                }
+            }
+        }
+        // Path 0-1 so vertex 0 initially has one neighbor.
+        let mut b = mlvc_graph::EdgeListBuilder::new(8).symmetrize(true);
+        b.push(0, 1);
+        let mut eng = engine_for(b.build());
+        eng.run(&Grower, 5);
+        assert_eq!(eng.state_of(1), 9);
+        assert_eq!(eng.state_of(7), 9, "structurally added edge delivered");
+    }
+
+    #[test]
+    fn bsp_delivery_holds_under_memory_pressure() {
+        /// Every vertex stamps the superstep at which its first message
+        /// arrived. On a star, the hub's superstep-1 broadcast must reach
+        /// every leaf in superstep 2 — never earlier, even when the tiny
+        /// sort budget splits superstep 2 into many fused batches and log
+        /// pages flush to the SSD mid-superstep.
+        struct Stamp;
+        impl VertexProgram for Stamp {
+            fn name(&self) -> &'static str {
+                "stamp"
+            }
+            fn init_state(&self, _v: VertexId) -> u64 {
+                0
+            }
+            fn init_active(&self, _n: usize) -> InitActive {
+                InitActive::Seeds(vec![Update::new(0, 0, 0)])
+            }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                if ctx.state() == 0 {
+                    ctx.set_state(ctx.superstep() as u64);
+                    if ctx.vertex() == 0 {
+                        ctx.send_all(1);
+                    }
+                }
+            }
+        }
+        // Star with 512 leaves; 16 intervals; minimal memory so the sort
+        // budget fuses only a couple of interval logs per batch and the
+        // multilog buffer thrashes.
+        let mut b = mlvc_graph::EdgeListBuilder::new(513).symmetrize(true);
+        for leaf in 1..513u32 {
+            b.push(0, leaf);
+        }
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let sg = StoredGraph::store_with(
+            &ssd,
+            &b.build(),
+            "bsp",
+            mlvc_graph::VertexIntervals::uniform(513, 16),
+        );
+        let cfg = EngineConfig::default().with_memory(8 << 10);
+        let mut eng = MultiLogEngine::new(ssd, sg, cfg);
+        eng.run(&Stamp, 5);
+        assert_eq!(eng.state_of(0), 1);
+        for leaf in 1..513u32 {
+            assert_eq!(
+                eng.state_of(leaf),
+                2,
+                "leaf {leaf} must see the broadcast exactly in superstep 2"
+            );
+        }
+    }
+
+    #[test]
+    fn async_mode_matches_sync_results_in_fewer_supersteps() {
+        /// Min-flood: monotone (min-semilattice), so asynchronous delivery
+        /// is safe. On a path the minimum id (vertex 0) propagates in
+        /// ascending interval order — the flow the async model accelerates:
+        /// the front crosses each of the 7 interval boundaries within a
+        /// superstep instead of paying one superstep per crossing.
+        struct MinFlood;
+        impl VertexProgram for MinFlood {
+            fn name(&self) -> &'static str {
+                "minflood"
+            }
+            fn init_state(&self, v: VertexId) -> u64 {
+                v as u64
+            }
+            fn init_active(&self, _n: usize) -> InitActive {
+                InitActive::All
+            }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                let best = ctx.msgs().iter().map(|m| m.data).fold(ctx.state(), u64::min);
+                if best < ctx.state() || ctx.superstep() == 1 {
+                    ctx.set_state(best);
+                    ctx.send_all(best);
+                }
+            }
+        }
+        let n = 64usize;
+        let mut b = mlvc_graph::EdgeListBuilder::new(n).symmetrize(true);
+        for v in 1..n as u32 {
+            b.push(v - 1, v);
+        }
+        let csr = b.build();
+        let iv = mlvc_graph::VertexIntervals::uniform(n, 8);
+
+        let run = |async_mode: bool| {
+            let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+            let sg = StoredGraph::store_with(&ssd, &csr, "a", iv.clone());
+            let mut eng = MultiLogEngine::new(
+                ssd,
+                sg,
+                EngineConfig::default().with_async(async_mode),
+            );
+            let r = eng.run(&MinFlood, 200);
+            assert!(r.converged);
+            (eng.states().to_vec(), r.supersteps.len())
+        };
+        let (sync_states, sync_steps) = run(false);
+        let (async_states, async_steps) = run(true);
+        assert_eq!(sync_states, async_states, "same fixpoint");
+        assert!(async_states.iter().all(|&x| x == 0), "min reached everyone");
+        // Async saves one superstep per interval boundary the front
+        // crosses (intra-interval hops still cost one superstep each).
+        assert!(
+            sync_steps - async_steps >= 7,
+            "async {async_steps} vs sync {sync_steps} supersteps"
+        );
+    }
+
+    #[test]
+    fn memory_pressure_does_not_change_results() {
+        // High message volume + many intervals + tiny budget: superstep
+        // processing splits into several fused batches and log pages flush
+        // mid-superstep. Results must match a run with ample memory, and
+        // the multi-log must never read more updates than were logged
+        // (the signature of same-superstep log leakage).
+        let mut b = mlvc_graph::EdgeListBuilder::new(1024).symmetrize(true).dedup(true);
+        for v in 0..1024u32 {
+            for k in 1..9u32 {
+                b.push(v, (v * 37 + k * 131) % 1024);
+            }
+        }
+        let csr = b.drop_self_loops(true).build();
+        let iv = mlvc_graph::VertexIntervals::uniform(1024, 32);
+
+        let run = |mem: usize| {
+            let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+            let sg = StoredGraph::store_with(&ssd, &csr, "p", iv.clone());
+            let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
+            let r = eng.run(&Flood, 40);
+            (eng.states().to_vec(), r)
+        };
+        let (tight_states, tight) = run(16 << 10);
+        let (roomy_states, roomy) = run(8 << 20);
+        assert_eq!(tight_states, roomy_states, "budget must not affect results");
+        assert!(tight.converged && roomy.converged);
+
+        let ml = tight.multilog.unwrap();
+        assert!(
+            ml.updates_read <= ml.updates_logged,
+            "log leakage: read {} of {} logged",
+            ml.updates_read,
+            ml.updates_logged
+        );
+        assert!(ml.evictions > 0, "the tight run must actually hit pressure");
+        // Identical superstep trajectories: same message counts per step.
+        assert_eq!(tight.supersteps.len(), roomy.supersteps.len());
+        for (a, b) in tight.supersteps.iter().zip(&roomy.supersteps) {
+            assert_eq!(a.messages_processed, b.messages_processed, "superstep {}", a.superstep);
+            assert_eq!(a.active_vertices, b.active_vertices);
+        }
+    }
+
+    #[test]
+    fn edge_log_ablation_changes_io_not_results() {
+        let csr = ring(64);
+        let ssd1 = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let g1 = StoredGraph::store_with(
+            &ssd1,
+            &csr,
+            "a",
+            mlvc_graph::VertexIntervals::uniform(64, 4),
+        );
+        let mut on = MultiLogEngine::new(ssd1, g1, EngineConfig::default());
+        let ron = on.run(&Flood, 80);
+
+        let ssd2 = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let g2 = StoredGraph::store_with(
+            &ssd2,
+            &csr,
+            "b",
+            mlvc_graph::VertexIntervals::uniform(64, 4),
+        );
+        let mut off =
+            MultiLogEngine::new(ssd2, g2, EngineConfig::default().with_edge_log(false));
+        let roff = off.run(&Flood, 80);
+
+        assert_eq!(on.states(), off.states(), "ablation must not change results");
+        assert_eq!(
+            roff.supersteps.iter().map(|s| s.edge_log_hits).sum::<u64>(),
+            0
+        );
+        assert!(ron.converged && roff.converged);
+    }
+}

@@ -1,0 +1,146 @@
+use mlvc_log::{EdgeLogStats, MultiLogStats};
+use mlvc_ssd::SsdStatsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one superstep — the per-superstep rows behind the paper's
+/// Figures 2, 3, 5 and 7.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SuperstepStats {
+    /// 1-based superstep number.
+    pub superstep: usize,
+    /// Vertices processed this superstep (Fig. 2 numerator).
+    pub active_vertices: u64,
+    /// Incoming messages consumed from the logs (= updates sent over
+    /// edges in the previous superstep; Fig. 2's "active edges"). This is
+    /// the pre-`combine` count and is charged the per-record sort cost.
+    pub messages_processed: u64,
+    /// Messages handed to the processing function (post-`combine`: one per
+    /// destination when a reduction is installed). Charged the per-message
+    /// processing cost.
+    pub messages_delivered: u64,
+    /// Outgoing messages produced this superstep.
+    pub messages_sent: u64,
+    /// Adjacency entries scanned.
+    pub edges_scanned: u64,
+    /// Active vertices whose adjacency came from the edge log instead of
+    /// the CSR.
+    pub edge_log_hits: u64,
+    /// Column-index pages accessed / accessed-and-inefficient (<10%
+    /// utilization) — Fig. 3's ratio.
+    pub colidx_pages_accessed: u64,
+    pub colidx_pages_inefficient: u64,
+    /// Device activity during this superstep (pages, bytes, simulated I/O
+    /// time).
+    pub io: SsdStatsSnapshot,
+    /// Simulated compute time (cost model over messages + edges).
+    pub compute_ns: u64,
+    /// Host wall-clock time of the superstep (reference only; experiment
+    /// claims use simulated time).
+    pub wall_ns: u64,
+}
+
+impl SuperstepStats {
+    /// Simulated superstep time: I/O + compute (the experiment currency).
+    pub fn sim_time_ns(&self) -> u64 {
+        self.io.io_time_ns() + self.compute_ns
+    }
+
+    /// Fraction of simulated time spent on storage (Fig. 5c).
+    pub fn storage_fraction(&self) -> f64 {
+        let t = self.sim_time_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.io.io_time_ns() as f64 / t as f64
+        }
+    }
+}
+
+/// Full-run statistics returned by [`crate::Engine::run`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    pub engine: String,
+    pub app: String,
+    pub supersteps: Vec<SuperstepStats>,
+    /// True if the run converged (no pending work) before the cap.
+    pub converged: bool,
+    /// Engine-specific extras.
+    pub multilog: Option<MultiLogStats>,
+    pub edgelog: Option<EdgeLogStats>,
+}
+
+impl RunReport {
+    pub fn total_sim_time_ns(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.sim_time_ns()).sum()
+    }
+
+    pub fn total_io_time_ns(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.io.io_time_ns()).sum()
+    }
+
+    pub fn total_compute_ns(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.compute_ns).sum()
+    }
+
+    pub fn total_pages_read(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.io.pages_read).sum()
+    }
+
+    pub fn total_pages_written(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.io.pages_written).sum()
+    }
+
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages_read() + self.total_pages_written()
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.messages_processed).sum()
+    }
+
+    /// Storage fraction of the whole run (Fig. 5c).
+    pub fn storage_fraction(&self) -> f64 {
+        let t = self.total_sim_time_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.total_io_time_ns() as f64 / t as f64
+        }
+    }
+
+    /// Speedup of this run over `other` in simulated time (the paper's
+    /// Y-axes: "application execution time on GraphChi divided by
+    /// application execution time on the MultiLogVC framework").
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        other.total_sim_time_ns() as f64 / self.total_sim_time_ns().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(io_ns: u64, compute_ns: u64) -> SuperstepStats {
+        SuperstepStats {
+            io: SsdStatsSnapshot { read_time_ns: io_ns, ..Default::default() },
+            compute_ns,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sim_time_and_storage_fraction() {
+        let s = step(900, 100);
+        assert_eq!(s.sim_time_ns(), 1000);
+        assert!((s.storage_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_totals_and_speedup() {
+        let fast = RunReport { supersteps: vec![step(100, 10), step(50, 5)], ..Default::default() };
+        let slow = RunReport { supersteps: vec![step(500, 10), step(250, 5)], ..Default::default() };
+        assert_eq!(fast.total_sim_time_ns(), 165);
+        let sp = fast.speedup_over(&slow);
+        assert!(sp > 4.0 && sp < 5.0, "speedup {sp}");
+    }
+}

@@ -1,0 +1,163 @@
+use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the recursive-matrix (R-MAT) generator.
+///
+/// `2^scale` vertices, `edge_factor * 2^scale` undirected edges before
+/// dedup/self-loop removal. The (a, b, c, d) quadrant probabilities control
+/// skew; `noise` perturbs them per level so degree distributions smooth out
+/// (standard Graph500 practice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub scale: u32,
+    pub edge_factor: usize,
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph500-style social-network skew (stands in for com-friendster).
+    pub fn social(scale: u32, edge_factor: usize) -> Self {
+        RmatParams { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.05 }
+    }
+
+    /// More skewed, sparser quadrants typical of web crawls (stands in for
+    /// the Yahoo WebScope hyperlink graph).
+    pub fn web(scale: u32, edge_factor: usize) -> Self {
+        RmatParams { scale, edge_factor, a: 0.65, b: 0.15, c: 0.15, d: 0.05, noise: 0.10 }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    pub fn num_edges_target(&self) -> usize {
+        self.edge_factor << self.scale
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1");
+        assert!(self.scale >= 1 && self.scale <= 30);
+        assert!(self.edge_factor >= 1);
+    }
+}
+
+/// Generate an undirected R-MAT graph (both directions stored, self-loops
+/// dropped, duplicates removed), deterministically from `seed`.
+pub fn rmat(params: RmatParams, seed: u64) -> Csr {
+    params.validate();
+    let n = params.num_vertices();
+    let m = params.num_edges_target();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = EdgeListBuilder::new(n)
+        .symmetrize(true)
+        .dedup(true)
+        .drop_self_loops(true);
+    b.reserve(m);
+    for _ in 0..m {
+        let (src, dst) = sample_edge(&params, &mut rng);
+        b.push(src, dst);
+    }
+    b.build()
+}
+
+fn sample_edge(p: &RmatParams, rng: &mut ChaCha8Rng) -> (VertexId, VertexId) {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    for _ in 0..p.scale {
+        // Per-level noisy quadrant probabilities.
+        let na = p.a * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+        let nb = p.b * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+        let nc = p.c * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+        let nd = p.d * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+        let total = na + nb + nc + nd;
+        let r: f64 = rng.gen::<f64>() * total;
+        src <<= 1;
+        dst <<= 1;
+        if r < na {
+            // top-left quadrant: neither bit set
+        } else if r < na + nb {
+            dst |= 1;
+        } else if r < na + nb + nc {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    (src as VertexId, dst as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let p = RmatParams::social(8, 4);
+        let a = rmat(p, 7);
+        let b = rmat(p, 7);
+        assert_eq!(a, b);
+        let c = rmat(p, 8);
+        assert_ne!(a, c, "different seed, different graph");
+    }
+
+    #[test]
+    fn undirected_and_clean() {
+        let g = rmat(RmatParams::social(8, 4), 1);
+        let n = g.num_vertices();
+        assert_eq!(n, 256);
+        // No self loops, every edge has its reverse.
+        for (s, d) in g.edges() {
+            assert_ne!(s, d);
+            assert!(g.out_edges(d).contains(&s), "missing reverse of {s}->{d}");
+        }
+        // In-degree == out-degree (undirected, both directions stored).
+        let ind = g.in_degrees();
+        for v in 0..n as u32 {
+            assert_eq!(ind[v as usize] as usize, g.degree(v));
+        }
+    }
+
+    #[test]
+    fn power_law_skew() {
+        let g = rmat(RmatParams::social(12, 8), 3);
+        let n = g.num_vertices();
+        let mut degs: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..n / 100].iter().sum();
+        let total: usize = degs.iter().sum();
+        // Heavy tail: top 1% of vertices should hold well above 1% of edges.
+        assert!(
+            top1pct as f64 > 0.08 * total as f64,
+            "top 1% holds {} of {} edges",
+            top1pct,
+            total
+        );
+        // And some vertices should be isolated or near-isolated (skew).
+        assert!(degs.last().copied().unwrap() <= 1);
+    }
+
+    #[test]
+    fn web_params_are_more_skewed_than_social() {
+        // Higher `a` concentrates edges into a smaller vertex core, leaving
+        // more of the id space untouched — a robust skew indicator.
+        let gs = rmat(RmatParams::social(11, 8), 5);
+        let gw = rmat(RmatParams::web(11, 8), 5);
+        let iso = |g: &Csr| (0..g.num_vertices() as u32).filter(|&v| g.degree(v) == 0).count();
+        let (is, iw) = (iso(&gs), iso(&gw));
+        assert!(iw > is, "web isolated {iw} vs social {is}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probabilities() {
+        let p = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5, scale: 4, edge_factor: 2, noise: 0.0 };
+        rmat(p, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Small deterministic topologies used heavily in unit and property tests:
+//! their algorithmic ground truths (BFS levels, colorings, MIS sizes) are
+//! known in closed form.
+
+use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
+
+/// Path 0–1–2–…–(n-1), undirected.
+pub fn path(n: usize) -> Csr {
+    let mut b = EdgeListBuilder::new(n).symmetrize(true);
+    for v in 1..n {
+        b.push((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle of length n, undirected.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3);
+    let mut b = EdgeListBuilder::new(n).symmetrize(true);
+    for v in 0..n {
+        b.push(v as VertexId, ((v + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// rows×cols grid, undirected, vertex (r, c) = r*cols + c.
+pub fn grid(rows: usize, cols: usize) -> Csr {
+    let n = rows * cols;
+    let mut b = EdgeListBuilder::new(n).symmetrize(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as VertexId;
+            if c + 1 < cols {
+                b.push(v, v + 1);
+            }
+            if r + 1 < rows {
+                b.push(v, v + cols as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Star: center 0 connected to 1..n-1, undirected.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 2);
+    let mut b = EdgeListBuilder::new(n).symmetrize(true);
+    for v in 1..n {
+        b.push(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// Complete graph K_n, undirected.
+pub fn complete(n: usize) -> Csr {
+    let mut b = EdgeListBuilder::new(n).symmetrize(true);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.push(i as VertexId, j as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_degrees() {
+        let g = path(5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(6);
+        for v in 0..6u32 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Corner has 2 neighbors, interior 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn star_center_degree() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        for v in 1..10u32 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        for v in 0..5u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.num_edges(), 20);
+    }
+}

@@ -1,0 +1,69 @@
+use mlvc_graph::Csr;
+
+/// Degree-distribution summary for Table I style reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    pub median_degree: usize,
+    pub p99_degree: usize,
+    /// Fraction of all edge endpoints held by the top 1% of vertices —
+    /// a quick skew indicator (≈0.01 for uniform, ≫0.01 for power law).
+    pub top1pct_edge_share: f64,
+    pub isolated_vertices: usize,
+}
+
+/// Compute [`DegreeStats`] for a graph.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut degs: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    let total: usize = degs.iter().sum();
+    let top = n.div_ceil(100);
+    let top_sum: usize = degs[n - top..].iter().sum();
+    DegreeStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        min_degree: *degs.first().unwrap_or(&0),
+        max_degree: *degs.last().unwrap_or(&0),
+        mean_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        median_degree: degs.get(n / 2).copied().unwrap_or(0),
+        p99_degree: degs.get(n * 99 / 100).copied().unwrap_or(0),
+        top1pct_edge_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+        isolated_vertices: degs.iter().take_while(|&&d| d == 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::{complete, star};
+
+    #[test]
+    fn star_stats() {
+        let s = degree_stats(&star(10));
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.num_edges, 18);
+        assert_eq!(s.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn complete_graph_is_uniform() {
+        let s = degree_stats(&complete(20));
+        assert_eq!(s.min_degree, s.max_degree);
+        assert_eq!(s.median_degree, 19);
+        assert!((s.mean_degree - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmat_is_skewed_complete_is_not() {
+        let r = degree_stats(&crate::rmat(crate::RmatParams::social(11, 8), 2));
+        let k = degree_stats(&complete(64));
+        assert!(r.top1pct_edge_share > 3.0 * k.top1pct_edge_share);
+        assert!(r.isolated_vertices > 0, "rmat leaves some vertices isolated");
+    }
+}

@@ -1,0 +1,33 @@
+//! # mlvc-grafboost — the GraFBoost baseline engine
+//!
+//! A software model of GraFBoost (Jun et al., ISCA'18), the paper's
+//! log-based comparison point: **one** global update log plus an
+//! **external merge sort** to group updates by destination at each
+//! superstep.
+//!
+//! The paper's arguments against this design, all reproduced here:
+//!
+//! * with a single log, "at the start of the next superstep, the entire
+//!   log must be parsed to find all the messages bound to a given
+//!   destination vertex" (§IV-A) — the whole log is read, chunk-sorted
+//!   into runs, and multi-way merged, **paying SSD traffic proportional to
+//!   the log size times the number of merge passes**;
+//! * GraFBoost's efficiency rests on its *sort-reduce* trick: updates are
+//!   merged with the algorithm's `combine` during sorting, shortening the
+//!   runs. Algorithms without a combine (CDLP, coloring, MIS, random walk)
+//!   keep every update — the **adapted GraFBoost** configuration of the
+//!   paper's §VIII, which MultiLogVC beats ~2.7× on coloring;
+//! * "GraFBoost currently does not support loading only active graph
+//!   data" (§VIII): adjacency is fetched in whole-interval scans, not
+//!   page-selectively.
+//!
+//! The FPGA accelerator of the original system only accelerates the sort;
+//! the I/O volume — what the simulated SSD charges — is the same, which is
+//! why a software model is a fair stand-in (DESIGN.md §2).
+
+mod engine;
+mod extsort;
+
+pub use engine::GrafBoostEngine;
+pub use extsort::{external_sort, read_log_pages, write_log_pages, ExtSortStats, Sorted, SortedGroups};
+

@@ -1,0 +1,219 @@
+use crate::{Csr, VertexId};
+
+/// Accumulates an edge list and builds a [`Csr`].
+///
+/// Input edges may arrive in any order and may contain duplicates and
+/// self-loops; `dedup` / `drop_self_loops` control whether they survive.
+/// `symmetrize` inserts the reverse of every edge — the paper's datasets are
+/// undirected with both directions materialized (§VI).
+#[derive(Debug, Default, Clone)]
+pub struct EdgeListBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Option<Vec<f32>>,
+    num_vertices: usize,
+    symmetrize: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl EdgeListBuilder {
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeListBuilder {
+            num_vertices,
+            ..Default::default()
+        }
+    }
+
+    /// Store the reverse of every edge as well (undirected graph).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Remove duplicate (src, dst) pairs when building.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove v→v edges when building.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    pub fn reserve(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            self.weights.is_none(),
+            "cannot mix weighted and unweighted pushes"
+        );
+        assert!((src as usize) < self.num_vertices && (dst as usize) < self.num_vertices);
+        self.edges.push((src, dst));
+    }
+
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: f32) {
+        assert!((src as usize) < self.num_vertices && (dst as usize) < self.num_vertices);
+        let weights = self.weights.get_or_insert_with(Vec::new);
+        assert_eq!(
+            weights.len(),
+            self.edges.len(),
+            "cannot mix weighted and unweighted pushes"
+        );
+        self.edges.push((src, dst));
+        weights.push(w);
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Build the CSR. Counting sort over sources: O(V + E), no comparison
+    /// sort of the whole edge list. Per-vertex neighbor order follows
+    /// insertion order (stable) unless `dedup` reorders by sorting.
+    pub fn build(mut self) -> Csr {
+        let n = self.num_vertices;
+        if self.drop_self_loops {
+            match &mut self.weights {
+                Some(w) => {
+                    let mut keep = Vec::with_capacity(self.edges.len());
+                    let mut kw = Vec::with_capacity(w.len());
+                    for (i, &(s, d)) in self.edges.iter().enumerate() {
+                        if s != d {
+                            keep.push((s, d));
+                            kw.push(w[i]);
+                        }
+                    }
+                    self.edges = keep;
+                    *w = kw;
+                }
+                None => self.edges.retain(|&(s, d)| s != d),
+            }
+        }
+        if self.symmetrize {
+            let m = self.edges.len();
+            self.edges.reserve(m);
+            for i in 0..m {
+                let (s, d) = self.edges[i];
+                self.edges.push((d, s));
+            }
+            if let Some(w) = &mut self.weights {
+                w.reserve(m);
+                for i in 0..m {
+                    let x = w[i];
+                    w.push(x);
+                }
+            }
+        }
+        if self.dedup {
+            assert!(
+                self.weights.is_none(),
+                "dedup of weighted edges is ambiguous; dedup before pushing"
+            );
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+
+        let mut counts = vec![0u64; n + 1];
+        for &(s, _) in &self.edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut cursor = counts;
+        let mut col_idx = vec![0u32; self.edges.len()];
+        let mut weights = self.weights.as_ref().map(|w| vec![0.0f32; w.len()]);
+        for (i, &(s, d)) in self.edges.iter().enumerate() {
+            let slot = cursor[s as usize] as usize;
+            col_idx[slot] = d;
+            if let (Some(src_w), Some(dst_w)) = (self.weights.as_ref(), weights.as_mut()) {
+                dst_w[slot] = src_w[i];
+            }
+            cursor[s as usize] += 1;
+        }
+        Csr::from_parts(row_ptr, col_idx, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_insertion_order() {
+        let mut b = EdgeListBuilder::new(4);
+        b.push(2, 3);
+        b.push(0, 1);
+        b.push(0, 3);
+        b.push(0, 2);
+        let g = b.build();
+        assert_eq!(g.out_edges(0), &[1, 3, 2]);
+        assert_eq!(g.out_edges(2), &[3]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut b = EdgeListBuilder::new(3).symmetrize(true);
+        b.push(0, 1);
+        b.push(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_edges(1), &[2, 0]);
+        // Undirected: in-degree equals out-degree.
+        let ind = g.in_degrees();
+        for v in 0..3u32 {
+            assert_eq!(ind[v as usize] as usize, g.degree(v));
+        }
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = EdgeListBuilder::new(3).dedup(true).drop_self_loops(true);
+        b.push(0, 1);
+        b.push(0, 1);
+        b.push(1, 1);
+        b.push(2, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_edges(0), &[1]);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn weights_follow_edges() {
+        let mut b = EdgeListBuilder::new(3).symmetrize(true);
+        b.push_weighted(0, 1, 2.5);
+        b.push_weighted(1, 2, 7.0);
+        let g = b.build();
+        assert_eq!(g.out_weights(0).unwrap(), &[2.5]);
+        assert_eq!(g.out_weights(1).unwrap(), &[7.0, 2.5]);
+        assert_eq!(g.out_weights(2).unwrap(), &[7.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeListBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5u32 {
+            assert!(g.out_edges(v).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_vertex() {
+        let mut b = EdgeListBuilder::new(2);
+        b.push(0, 2);
+    }
+}

@@ -1,0 +1,192 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Csr, VertexId};
+
+/// Index of a vertex interval.
+pub type IntervalId = u32;
+
+/// Contiguous partition of the vertex space into intervals (paper §V-A1).
+///
+/// MultiLogVC "statically partitions the vertices into contiguous segments
+/// of vertices, such that the sum of the number of incoming updates to the
+/// vertices is less than the memory allocated for the sorting and grouping
+/// process", conservatively assuming one update per in-edge. The same
+/// intervals define the GraphChi baseline's shards, the per-interval CSR
+/// partitions, and the multi-log's log-per-interval mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexIntervals {
+    /// `starts[i]` is the first vertex of interval `i`; a final sentinel
+    /// equal to the vertex count closes the last interval. Always has at
+    /// least two entries (one interval may be empty only for empty graphs).
+    starts: Vec<VertexId>,
+}
+
+impl VertexIntervals {
+    /// Partition so every interval's worst-case update volume
+    /// (`Σ in_degree(v) * update_bytes`, plus one `update_bytes` floor per
+    /// vertex so zero-degree runs don't produce unbounded intervals) fits in
+    /// `sort_budget_bytes`. A vertex whose own in-degree exceeds the budget
+    /// gets a singleton interval — its log may spill, but the partition
+    /// still covers the space.
+    pub fn by_inbound_budget(in_degrees: &[u64], update_bytes: usize, sort_budget_bytes: usize) -> Self {
+        assert!(update_bytes > 0 && sort_budget_bytes > 0);
+        let n = in_degrees.len();
+        let budget = sort_budget_bytes as u64;
+        let ub = update_bytes as u64;
+        let mut starts = vec![0 as VertexId];
+        let mut acc = 0u64;
+        for (v, &d) in in_degrees.iter().enumerate() {
+            let cost = (d.max(1)) * ub;
+            if acc > 0 && acc + cost > budget {
+                starts.push(v as VertexId);
+                acc = 0;
+            }
+            acc += cost;
+        }
+        starts.push(n as VertexId);
+        VertexIntervals { starts }
+    }
+
+    /// Partition a graph by its in-degree profile.
+    pub fn for_graph(graph: &Csr, update_bytes: usize, sort_budget_bytes: usize) -> Self {
+        Self::by_inbound_budget(&graph.in_degrees(), update_bytes, sort_budget_bytes)
+    }
+
+    /// Evenly sized intervals (used by tests and synthetic setups).
+    pub fn uniform(num_vertices: usize, num_intervals: usize) -> Self {
+        assert!(num_intervals >= 1);
+        let k = num_intervals.min(num_vertices.max(1));
+        let mut starts = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            starts.push((num_vertices * i / k) as VertexId);
+        }
+        starts.dedup();
+        if starts.len() == 1 {
+            starts.push(num_vertices as VertexId);
+        }
+        VertexIntervals { starts }
+    }
+
+    /// Construct from explicit boundaries (`starts` plus sentinel).
+    pub fn from_starts(starts: Vec<VertexId>) -> Self {
+        assert!(starts.len() >= 2, "need at least [0, n]");
+        assert_eq!(starts[0], 0);
+        assert!(starts.windows(2).all(|w| w[0] < w[1] || (w[0] == w[1] && starts.len() == 2)));
+        VertexIntervals { starts }
+    }
+
+    pub fn num_intervals(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        *self.starts.last().unwrap() as usize
+    }
+
+    /// First vertex of interval `i`.
+    pub fn start(&self, i: IntervalId) -> VertexId {
+        self.starts[i as usize]
+    }
+
+    /// One past the last vertex of interval `i`.
+    pub fn end(&self, i: IntervalId) -> VertexId {
+        self.starts[i as usize + 1]
+    }
+
+    /// Half-open vertex range of interval `i`.
+    pub fn range(&self, i: IntervalId) -> std::ops::Range<VertexId> {
+        self.start(i)..self.end(i)
+    }
+
+    pub fn len_of(&self, i: IntervalId) -> usize {
+        (self.end(i) - self.start(i)) as usize
+    }
+
+    /// The paper's `vId2IntervalMap` (§V-A): interval containing vertex `v`.
+    /// Binary search over the boundary array — O(log I).
+    pub fn interval_of(&self, v: VertexId) -> IntervalId {
+        debug_assert!((v as usize) < self.num_vertices(), "vertex out of range");
+        match self.starts.binary_search(&v) {
+            Ok(i) if i == self.starts.len() - 1 => (i - 1) as IntervalId,
+            Ok(i) => i as IntervalId,
+            Err(i) => (i - 1) as IntervalId,
+        }
+    }
+
+    pub fn iter_ids(&self) -> impl Iterator<Item = IntervalId> {
+        0..self.num_intervals() as IntervalId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_everything() {
+        let iv = VertexIntervals::uniform(10, 3);
+        assert_eq!(iv.num_intervals(), 3);
+        assert_eq!(iv.num_vertices(), 10);
+        let total: usize = iv.iter_ids().map(|i| iv.len_of(i)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn interval_of_maps_each_vertex_once() {
+        let iv = VertexIntervals::uniform(100, 7);
+        for v in 0..100u32 {
+            let i = iv.interval_of(v);
+            assert!(iv.range(i).contains(&v), "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn inbound_budget_respected() {
+        // 10 vertices with in-degree 3 each, 16-byte updates, 100-byte budget:
+        // each vertex costs 48 bytes, so two vertices per interval.
+        let ind = vec![3u64; 10];
+        let iv = VertexIntervals::by_inbound_budget(&ind, 16, 100);
+        assert_eq!(iv.num_vertices(), 10);
+        for i in iv.iter_ids() {
+            let cost: u64 = iv.range(i).map(|v| ind[v as usize].max(1) * 16).sum();
+            assert!(cost <= 100 || iv.len_of(i) == 1, "interval {i} cost {cost}");
+        }
+        assert_eq!(iv.num_intervals(), 5);
+    }
+
+    #[test]
+    fn huge_vertex_gets_singleton() {
+        let ind = vec![1, 1000, 1, 1];
+        let iv = VertexIntervals::by_inbound_budget(&ind, 16, 64);
+        // Vertex 1 costs 16000 bytes > budget — must sit alone.
+        let i = iv.interval_of(1);
+        assert_eq!(iv.len_of(i), 1);
+        // Coverage is still exact.
+        assert_eq!(iv.num_vertices(), 4);
+    }
+
+    #[test]
+    fn zero_degree_vertices_do_not_collapse_to_one_interval() {
+        let ind = vec![0u64; 1000];
+        let iv = VertexIntervals::by_inbound_budget(&ind, 16, 160);
+        // Each vertex gets the 1-update floor => 10 vertices per interval.
+        assert_eq!(iv.num_intervals(), 100);
+    }
+
+    #[test]
+    fn more_intervals_than_vertices_clamps() {
+        let iv = VertexIntervals::uniform(3, 10);
+        assert_eq!(iv.num_intervals(), 3);
+    }
+
+    #[test]
+    fn boundaries_are_found_correctly() {
+        let iv = VertexIntervals::from_starts(vec![0, 4, 9, 12]);
+        assert_eq!(iv.interval_of(0), 0);
+        assert_eq!(iv.interval_of(3), 0);
+        assert_eq!(iv.interval_of(4), 1);
+        assert_eq!(iv.interval_of(8), 1);
+        assert_eq!(iv.interval_of(9), 2);
+        assert_eq!(iv.interval_of(11), 2);
+    }
+}

@@ -1,0 +1,382 @@
+use std::collections::HashMap;
+
+use mlvc_ssd::FileId;
+
+/// Page payloads plus a page-index lookup, as fetched by one batch read.
+type PageBatch = (Vec<Vec<u8>>, HashMap<u64, usize>);
+
+use crate::{
+    IntervalId, StoredGraph, StructuralUpdateBuffer, VertexId, COL_IDX_BYTES, ROW_PTR_BYTES,
+};
+
+/// Adjacency of one active vertex as returned by the loader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedVertex {
+    pub v: VertexId,
+    pub edges: Vec<VertexId>,
+    pub weights: Option<Vec<f32>>,
+    /// Column-index pages of the interval extent holding this vertex's
+    /// edges (`page_lo > page_hi` for zero-degree vertices). The edge-log
+    /// optimizer keys its page-efficiency decision on this span.
+    pub page_lo: u64,
+    pub page_hi: u64,
+}
+
+/// Utilization of one column-index page accessed during a superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageUsage {
+    pub file: FileId,
+    pub page: u64,
+    /// Useful adjacency bytes consumed from this page.
+    pub useful_bytes: u32,
+    /// Page capacity in bytes.
+    pub page_bytes: u32,
+}
+
+impl PageUsage {
+    /// Fraction of the page that was actually needed.
+    pub fn utilization(&self) -> f64 {
+        self.useful_bytes as f64 / self.page_bytes as f64
+    }
+}
+
+/// The Graph Loader Unit (paper §V-B2).
+///
+/// "The graph data unit loops over the row pointer array for the range of
+/// vertices in the active vertex list ... For the vertices active in the row
+/// pointer buffer, vertex data required by the application, such as
+/// out-edges or in-edges, are fetched from the colIdx or val vectors stored
+/// in the SSD, accessing **only the pages in SSD that have active vertex
+/// data**."
+///
+/// The loader also accumulates per-page utilization of the column-index
+/// extents it touches. That record serves two consumers:
+/// * the paper's Fig. 3 measurement (fraction of accessed pages with <10%
+///   utilization), and
+/// * the edge-log optimizer's page-efficiency predictor (§V-C), which uses
+///   the *current* superstep's utilization to predict the next one's.
+pub struct GraphLoader {
+    colidx_usage: HashMap<(FileId, u64), u32>,
+    rowptr_pages_read: u64,
+    colidx_pages_read: u64,
+    vertices_loaded: u64,
+    edges_loaded: u64,
+}
+
+impl GraphLoader {
+    pub fn new() -> Self {
+        GraphLoader {
+            colidx_usage: HashMap::new(),
+            rowptr_pages_read: 0,
+            colidx_pages_read: 0,
+            vertices_loaded: 0,
+            edges_loaded: 0,
+        }
+    }
+
+    /// Load the out-adjacency of the given **sorted** active vertices of
+    /// interval `i`. Only pages overlapping active vertex data are read,
+    /// each exactly once per call. `patch` applies pending (un-merged)
+    /// structural updates so callers always observe the current graph.
+    pub fn load_active(
+        &mut self,
+        graph: &StoredGraph,
+        i: IntervalId,
+        active: &[VertexId],
+        want_weights: bool,
+        patch: Option<&StructuralUpdateBuffer>,
+    ) -> Vec<LoadedVertex> {
+        if active.is_empty() {
+            return Vec::new();
+        }
+        let ssd = graph.ssd();
+        let page_size = ssd.page_size();
+        let start = graph.intervals().start(i);
+        let end = graph.intervals().end(i);
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active must be sorted+unique");
+        assert!(active[0] >= start && *active.last().unwrap() < end, "vertex outside interval");
+
+        // --- Row pointers: entries (v-start) and (v-start+1) per vertex. ---
+        let rp_file = graph.rowptr_file(i);
+        let rp_per_page = page_size / ROW_PTR_BYTES;
+        let mut rp_pages: HashMap<u64, u32> = HashMap::new(); // page -> useful bytes
+        for &v in active {
+            let j = (v - start) as usize;
+            for e in [j, j + 1] {
+                *rp_pages.entry((e / rp_per_page) as u64).or_insert(0) += ROW_PTR_BYTES as u32;
+            }
+        }
+        let mut rp_reqs: Vec<(FileId, u64, usize)> = rp_pages
+            .iter()
+            .map(|(&p, &u)| (rp_file, p, (u as usize).min(page_size)))
+            .collect();
+        rp_reqs.sort_unstable_by_key(|r| r.1);
+        let rp_data = ssd.read_batch(&rp_reqs);
+        self.rowptr_pages_read += rp_reqs.len() as u64;
+        let rp_page_index: HashMap<u64, usize> =
+            rp_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+        let rp_entry = |e: usize| -> u64 {
+            let page = (e / rp_per_page) as u64;
+            let off = (e % rp_per_page) * ROW_PTR_BYTES;
+            let data = &rp_data[rp_page_index[&page]];
+            u64::from_le_bytes(data[off..off + ROW_PTR_BYTES].try_into().unwrap())
+        };
+
+        // --- Column indices: byte range [lo*4, hi*4) per vertex. ---
+        let ci_file = graph.colidx_file(i);
+        let mut ranges: Vec<(VertexId, u64, u64)> = Vec::with_capacity(active.len());
+        let mut ci_pages: HashMap<u64, u32> = HashMap::new();
+        for &v in active {
+            let j = (v - start) as usize;
+            let lo = rp_entry(j);
+            let hi = rp_entry(j + 1);
+            ranges.push((v, lo, hi));
+            if hi > lo {
+                let byte_lo = lo * COL_IDX_BYTES as u64;
+                let byte_hi = hi * COL_IDX_BYTES as u64;
+                let p_lo = byte_lo / page_size as u64;
+                let p_hi = (byte_hi - 1) / page_size as u64;
+                for p in p_lo..=p_hi {
+                    let pg_start = p * page_size as u64;
+                    let pg_end = pg_start + page_size as u64;
+                    let overlap = byte_hi.min(pg_end) - byte_lo.max(pg_start);
+                    *ci_pages.entry(p).or_insert(0) += overlap as u32;
+                }
+            }
+        }
+        let mut ci_reqs: Vec<(FileId, u64, usize)> = ci_pages
+            .iter()
+            .map(|(&p, &u)| (ci_file, p, (u as usize).min(page_size)))
+            .collect();
+        ci_reqs.sort_unstable_by_key(|r| r.1);
+        let ci_data = ssd.read_batch(&ci_reqs);
+        self.colidx_pages_read += ci_reqs.len() as u64;
+        let ci_page_index: HashMap<u64, usize> =
+            ci_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+        for (&p, &u) in &ci_pages {
+            let e = self.colidx_usage.entry((ci_file, p)).or_insert(0);
+            *e = (*e).saturating_add(u);
+        }
+
+        // Weights ride on a parallel extent with identical offsets.
+        let val_file = want_weights.then(|| graph.val_file(i).expect("graph has no weights"));
+        let val_data: Option<PageBatch> = val_file.map(|vf| {
+            let reqs: Vec<(FileId, u64, usize)> =
+                ci_reqs.iter().map(|&(_, p, u)| (vf, p, u)).collect();
+            let data = ssd.read_batch(&reqs);
+            let idx = reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+            (data, idx)
+        });
+
+        let extract_u32 = |data: &[Vec<u8>], page_index: &HashMap<u64, usize>, lo: u64, hi: u64| {
+            let mut out = Vec::with_capacity((hi - lo) as usize);
+            for e in lo..hi {
+                let byte = e * COL_IDX_BYTES as u64;
+                let page = byte / page_size as u64;
+                let off = (byte % page_size as u64) as usize;
+                let d = &data[page_index[&page]];
+                out.push(u32::from_le_bytes(d[off..off + COL_IDX_BYTES].try_into().unwrap()));
+            }
+            out
+        };
+
+        let mut out = Vec::with_capacity(active.len());
+        for (v, lo, hi) in ranges {
+            let mut edges = extract_u32(&ci_data, &ci_page_index, lo, hi);
+            let weights = val_data.as_ref().map(|(data, idx)| {
+                extract_u32(data, idx, lo, hi)
+                    .into_iter()
+                    .map(f32::from_bits)
+                    .collect::<Vec<f32>>()
+            });
+            if let Some(buf) = patch {
+                buf.patch_adjacency(v, &mut edges);
+            }
+            self.edges_loaded += edges.len() as u64;
+            let (page_lo, page_hi) = if hi > lo {
+                (
+                    lo * COL_IDX_BYTES as u64 / page_size as u64,
+                    (hi * COL_IDX_BYTES as u64 - 1) / page_size as u64,
+                )
+            } else {
+                (1, 0)
+            };
+            out.push(LoadedVertex { v, edges, weights, page_lo, page_hi });
+        }
+        self.vertices_loaded += out.len() as u64;
+        out
+    }
+
+    /// Per-page utilization of column-index pages accessed since the last
+    /// call; clears the record (call once per superstep).
+    pub fn take_page_usage(&mut self, page_size: usize) -> Vec<PageUsage> {
+        let mut v: Vec<PageUsage> = self
+            .colidx_usage
+            .drain()
+            .map(|((file, page), useful)| PageUsage {
+                file,
+                page,
+                useful_bytes: useful.min(page_size as u32),
+                page_bytes: page_size as u32,
+            })
+            .collect();
+        v.sort_unstable_by_key(|p| (p.file, p.page));
+        v
+    }
+
+    pub fn rowptr_pages_read(&self) -> u64 {
+        self.rowptr_pages_read
+    }
+
+    pub fn colidx_pages_read(&self) -> u64 {
+        self.colidx_pages_read
+    }
+
+    pub fn vertices_loaded(&self) -> u64 {
+        self.vertices_loaded
+    }
+
+    pub fn edges_loaded(&self) -> u64 {
+        self.edges_loaded
+    }
+}
+
+impl Default for GraphLoader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeListBuilder, VertexIntervals};
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    /// 64 vertices in a ring plus some chords; 256-byte pages hold 64
+    /// adjacency entries, so the colidx extents span multiple pages.
+    fn stored() -> (Arc<Ssd>, StoredGraph) {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let mut b = EdgeListBuilder::new(64);
+        for v in 0..64u32 {
+            b.push(v, (v + 1) % 64);
+            b.push(v, (v + 7) % 64);
+            b.push(v, (v + 31) % 64);
+        }
+        let g = b.build();
+        let sg = StoredGraph::store_with(&ssd, &g, "ring", VertexIntervals::uniform(64, 4));
+        (ssd, sg)
+    }
+
+    #[test]
+    fn loads_exactly_the_requested_vertices() {
+        let (_ssd, sg) = stored();
+        let mut loader = GraphLoader::new();
+        let got = loader.load_active(&sg, 0, &[0, 3, 9], false, None);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].v, 0);
+        assert_eq!(got[0].edges, vec![1, 7, 31]);
+        assert_eq!(got[2].edges, vec![10, 16, 40]);
+        assert!(got[0].weights.is_none());
+    }
+
+    #[test]
+    fn sparse_active_set_reads_fewer_pages_than_full_interval() {
+        // One big interval: 64 vertices × 3 edges = 192 entries = 3 colidx
+        // pages at 64 entries/page; 65 rowptr entries = 3 pages.
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let mut b = EdgeListBuilder::new(64);
+        for v in 0..64u32 {
+            b.push(v, (v + 1) % 64);
+            b.push(v, (v + 7) % 64);
+            b.push(v, (v + 31) % 64);
+        }
+        let g = b.build();
+        let sg = StoredGraph::store_with(&ssd, &g, "one", VertexIntervals::uniform(64, 1));
+
+        let mut l1 = GraphLoader::new();
+        ssd.stats().reset();
+        l1.load_active(&sg, 0, &[0], false, None);
+        let sparse = ssd.stats().snapshot().pages_read;
+
+        ssd.stats().reset();
+        let all: Vec<u32> = (0..64).collect();
+        let mut l2 = GraphLoader::new();
+        l2.load_active(&sg, 0, &all, false, None);
+        let full = ssd.stats().snapshot().pages_read;
+        assert!(sparse < full, "sparse {sparse} vs full {full}");
+        assert_eq!(sparse, 2, "one rowptr page + one colidx page");
+        assert_eq!(full, 6);
+    }
+
+    #[test]
+    fn page_usage_reflects_useful_bytes() {
+        let (_ssd, sg) = stored();
+        let mut loader = GraphLoader::new();
+        loader.load_active(&sg, 0, &[0], false, None);
+        let usage = loader.take_page_usage(256);
+        // Vertex 0 has 3 edges = 12 bytes on one page.
+        assert_eq!(usage.len(), 1);
+        assert_eq!(usage[0].useful_bytes, 12);
+        assert!(usage[0].utilization() < 0.10, "inefficient page detected");
+        // Record cleared after take.
+        assert!(loader.take_page_usage(256).is_empty());
+    }
+
+    #[test]
+    fn usage_accumulates_across_calls_within_a_superstep() {
+        let (_ssd, sg) = stored();
+        let mut loader = GraphLoader::new();
+        loader.load_active(&sg, 0, &[0], false, None);
+        loader.load_active(&sg, 0, &[1], false, None);
+        let usage = loader.take_page_usage(256);
+        assert_eq!(usage.len(), 1, "both vertices live on the same page");
+        assert_eq!(usage[0].useful_bytes, 24);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let (_ssd, sg) = stored();
+        let mut loader = GraphLoader::new();
+        loader.load_active(&sg, 1, &[16, 17, 18], false, None);
+        assert_eq!(loader.vertices_loaded(), 3);
+        assert_eq!(loader.edges_loaded(), 9);
+        assert!(loader.rowptr_pages_read() >= 1);
+        assert!(loader.colidx_pages_read() >= 1);
+    }
+
+    #[test]
+    fn empty_active_set_is_free() {
+        let (ssd, sg) = stored();
+        ssd.stats().reset();
+        let mut loader = GraphLoader::new();
+        let got = loader.load_active(&sg, 0, &[], false, None);
+        assert!(got.is_empty());
+        assert_eq!(ssd.stats().snapshot().pages_read, 0);
+    }
+
+    #[test]
+    fn weighted_load() {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let mut b = EdgeListBuilder::new(8);
+        b.push_weighted(0, 1, 1.5);
+        b.push_weighted(0, 2, 2.5);
+        b.push_weighted(4, 5, 4.5);
+        let g = b.build();
+        let sg = StoredGraph::store_with(&ssd, &g, "w", VertexIntervals::uniform(8, 2));
+        let mut loader = GraphLoader::new();
+        let got = loader.load_active(&sg, 0, &[0], true, None);
+        assert_eq!(got[0].weights.as_deref().unwrap(), &[1.5, 2.5]);
+        let got = loader.load_active(&sg, 1, &[4], true, None);
+        assert_eq!(got[0].weights.as_deref().unwrap(), &[4.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vertex_outside_interval_panics() {
+        let (_ssd, sg) = stored();
+        let mut loader = GraphLoader::new();
+        loader.load_active(&sg, 0, &[60], false, None);
+    }
+}

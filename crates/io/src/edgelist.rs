@@ -1,0 +1,244 @@
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
+
+use crate::IoError;
+
+/// Ingestion options for edge-list text.
+#[derive(Debug, Clone)]
+pub struct EdgeListOptions {
+    /// Store the reverse of every edge too (the paper's datasets are
+    /// undirected with both directions materialized, §VI).
+    pub symmetrize: bool,
+    /// Drop duplicate (src, dst) pairs (unweighted input only).
+    pub dedup: bool,
+    /// Drop v→v edges.
+    pub drop_self_loops: bool,
+    /// Vertex count; `None` = 1 + max id seen.
+    pub num_vertices: Option<usize>,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions {
+            symmetrize: true,
+            dedup: true,
+            drop_self_loops: true,
+            num_vertices: None,
+        }
+    }
+}
+
+/// Parse SNAP-style edge-list text: one `src dst` (or `src dst weight`)
+/// per line, whitespace-separated; lines starting with `#` or `%` and
+/// blank lines are skipped. Weighted and unweighted lines must not mix.
+pub fn read_edge_list<R: Read>(reader: R, opts: &EdgeListOptions) -> Result<Csr, IoError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut weights: Option<Vec<f32>> = None;
+    let mut max_id: u32 = 0;
+
+    let buf = BufReader::new(reader);
+    let mut line_no = 0usize;
+    let mut line = String::new();
+    let mut buf = buf;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let src: u32 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| IoError::Parse { line: line_no, msg: format!("src: {e}") })?;
+        let dst: u32 = it
+            .next()
+            .ok_or_else(|| IoError::Parse { line: line_no, msg: "missing dst".into() })?
+            .parse()
+            .map_err(|e| IoError::Parse { line: line_no, msg: format!("dst: {e}") })?;
+        let w: Option<f32> = match it.next() {
+            Some(tok) => Some(tok.parse().map_err(|e| IoError::Parse {
+                line: line_no,
+                msg: format!("weight: {e}"),
+            })?),
+            None => None,
+        };
+        if it.next().is_some() {
+            return Err(IoError::Parse { line: line_no, msg: "too many fields".into() });
+        }
+        let mixed = || IoError::Parse {
+            line: line_no,
+            msg: "mixed weighted and unweighted lines".into(),
+        };
+        match (&weights, w) {
+            (None, Some(_)) if edges.is_empty() => weights = Some(Vec::new()),
+            (None, Some(_)) => return Err(mixed()),
+            (Some(_), None) => return Err(mixed()),
+            _ => {}
+        }
+        if let (Some(ws), Some(x)) = (&mut weights, w) {
+            ws.push(x);
+        }
+        edges.push((src, dst));
+        max_id = max_id.max(src).max(dst);
+    }
+
+    let n = opts
+        .num_vertices
+        .unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    if let Some(explicit) = opts.num_vertices {
+        if !edges.is_empty() && max_id as usize >= explicit {
+            return Err(IoError::Parse {
+                line: 0,
+                msg: format!("vertex id {max_id} exceeds declared count {explicit}"),
+            });
+        }
+    }
+    let mut b = EdgeListBuilder::new(n.max(1))
+        .symmetrize(opts.symmetrize)
+        .drop_self_loops(opts.drop_self_loops)
+        .dedup(opts.dedup && weights.is_none());
+    match weights {
+        Some(ws) => {
+            for ((s, d), w) in edges.into_iter().zip(ws) {
+                b.push_weighted(s, d, w);
+            }
+        }
+        None => {
+            for (s, d) in edges {
+                b.push(s, d);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Write a graph as edge-list text (one directed edge per line; weights
+/// included when present). Round-trips through [`read_edge_list`] with
+/// `symmetrize: false, dedup: false, drop_self_loops: false`.
+pub fn write_edge_list<W: Write>(writer: W, graph: &Csr) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# mlvc edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for v in 0..graph.num_vertices() as VertexId {
+        let edges = graph.out_edges(v);
+        match graph.out_weights(v) {
+            Some(ws) => {
+                for (d, x) in edges.iter().zip(ws) {
+                    writeln!(w, "{v} {d} {x}")?;
+                }
+            }
+            None => {
+                for d in edges {
+                    writeln!(w, "{v} {d}")?;
+                }
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_opts() -> EdgeListOptions {
+        EdgeListOptions {
+            symmetrize: false,
+            dedup: false,
+            drop_self_loops: false,
+            num_vertices: None,
+        }
+    }
+
+    #[test]
+    fn parses_snap_style_text() {
+        let text = "# comment line\n% matrix-market comment\n\n0 1\n1 2\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), &raw_opts()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_edges(2), &[0]);
+    }
+
+    #[test]
+    fn parses_weights() {
+        let text = "0 1 2.5\n1 2 0.25\n";
+        let g = read_edge_list(text.as_bytes(), &raw_opts()).unwrap();
+        assert!(g.has_weights());
+        assert_eq!(g.out_weights(0).unwrap(), &[2.5]);
+        assert_eq!(g.out_weights(1).unwrap(), &[0.25]);
+    }
+
+    #[test]
+    fn default_options_clean_and_symmetrize() {
+        let text = "0 1\n0 1\n1 1\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), &EdgeListOptions::default()).unwrap();
+        // Dedup killed the duplicate, self-loop dropped, symmetrized.
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.out_edges(0).contains(&1) && g.out_edges(0).contains(&2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_edge_list("0 x\n".as_bytes(), &raw_opts()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("0\n".as_bytes(), &raw_opts()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("0 1 2 3\n".as_bytes(), &raw_opts()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("0 1\n1 2 0.5\n".as_bytes(), &raw_opts()),
+            Err(IoError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn respects_declared_vertex_count() {
+        let opts = EdgeListOptions { num_vertices: Some(10), ..raw_opts() };
+        let g = read_edge_list("0 1\n".as_bytes(), &opts).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        let opts = EdgeListOptions { num_vertices: Some(2), ..raw_opts() };
+        assert!(read_edge_list("0 5\n".as_bytes(), &opts).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_unweighted() {
+        let g = mlvc_gen::rmat(mlvc_gen::RmatParams::social(7, 4), 3);
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let opts = EdgeListOptions { num_vertices: Some(g.num_vertices()), ..raw_opts() };
+        let back = read_edge_list(buf.as_slice(), &opts).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_roundtrip_weighted() {
+        let mut b = mlvc_graph::EdgeListBuilder::new(5);
+        b.push_weighted(0, 1, 1.5);
+        b.push_weighted(4, 2, -3.25);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let opts = EdgeListOptions { num_vertices: Some(5), ..raw_opts() };
+        let back = read_edge_list(buf.as_slice(), &opts).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes(), &raw_opts()).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,465 @@
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use mlvc_graph::{PageUsage, VertexId};
+use mlvc_ssd::{FileId, Ssd};
+use serde::{Deserialize, Serialize};
+
+use crate::BitSet;
+
+/// Configuration of the edge-log optimizer (paper §V-C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeLogConfig {
+    /// Host-memory cap for edge-log page buffers — the paper's "B%" of
+    /// total memory (default 5%).
+    pub buffer_bytes: usize,
+    /// A column-index page whose utilization is in (0, threshold) counts as
+    /// inefficiently used. Paper: "we chose a threshold of 10%".
+    pub inefficiency_threshold: f64,
+    /// History window N for the activity predictor. Paper: "this simple
+    /// history-based prediction with N equal to one proved effective".
+    pub history_supersteps: usize,
+}
+
+impl Default for EdgeLogConfig {
+    fn default() -> Self {
+        EdgeLogConfig {
+            buffer_bytes: 4 << 20,
+            inefficiency_threshold: 0.10,
+            history_supersteps: 1,
+        }
+    }
+}
+
+/// Counters of edge-log behaviour — including the Fig. 9 prediction-
+/// accuracy inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeLogStats {
+    /// Vertices whose out-edges were copied into the edge log.
+    pub vertices_logged: u64,
+    /// Edge-log pages appended to the SSD.
+    pub pages_written: u64,
+    /// Active vertices served from the edge log (CSR pages avoided).
+    pub hits: u64,
+    /// Inefficient pages observed (actual, per superstep, accumulated).
+    pub actual_inefficient_pages: u64,
+    /// Of the actual inefficient pages, how many the previous superstep's
+    /// predictor had flagged (Fig. 9 numerator).
+    pub correctly_predicted_pages: u64,
+}
+
+impl EdgeLogStats {
+    /// Fig. 9 metric: fraction of inefficiently used pages that were
+    /// predicted correctly.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
+        if self.actual_inefficient_pages == 0 {
+            None
+        } else {
+            Some(self.correctly_predicted_pages as f64 / self.actual_inefficient_pages as f64)
+        }
+    }
+}
+
+/// Location of one logged adjacency record on the edge log (entry units of
+/// 4 bytes within a page).
+#[derive(Debug, Clone, Copy)]
+struct RecordLoc {
+    page: u64,
+    offset_entries: u32,
+    len: u32,
+}
+
+/// The Edge-Log Optimizer (paper §V-C).
+///
+/// While a superstep processes vertex `v` (whose out-edges are in hand),
+/// the optimizer decides whether to *copy* those edges into a dense
+/// sequential log so the **next** superstep can read them without touching
+/// the underutilized CSR pages they came from. The decision requires all of:
+///
+/// 1. `v` is predicted active next superstep — *known* if a message for
+///    `v` was already logged this superstep, else predicted from the last
+///    N supersteps' activity bit vectors;
+/// 2. `v`'s edges live on a page predicted to be inefficiently used —
+///    pages under the utilization threshold in the current superstep are
+///    predicted inefficient for the next;
+/// 3. the record fits in one edge-log page (high-degree vertices already
+///    use their pages efficiently and are never logged).
+///
+/// Two files alternate between write and read roles across supersteps, so
+/// the log written during superstep `t` is consumed during `t + 1` while
+/// `t + 1` writes the other file.
+pub struct EdgeLogOptimizer {
+    ssd: Arc<Ssd>,
+    cfg: EdgeLogConfig,
+    files: [FileId; 2],
+    /// Index of the file currently being *written*.
+    write_side: usize,
+
+    // Write side (filled during the current superstep).
+    write_index: HashMap<VertexId, RecordLoc>,
+    top: Vec<u32>,
+    staged: Vec<Vec<u8>>,
+    sealed_pages: u64,
+    flushed_pages: u64,
+
+    // Read side (filled during the previous superstep).
+    read_index: HashMap<VertexId, RecordLoc>,
+
+    // Predictors.
+    history: VecDeque<BitSet>,
+    predicted_inefficient: HashSet<(FileId, u64)>,
+
+    num_vertices: usize,
+    stats: EdgeLogStats,
+}
+
+impl EdgeLogOptimizer {
+    pub fn new(ssd: Arc<Ssd>, num_vertices: usize, cfg: EdgeLogConfig, tag: &str) -> Self {
+        assert!(cfg.history_supersteps >= 1);
+        assert!(cfg.inefficiency_threshold > 0.0 && cfg.inefficiency_threshold < 1.0);
+        let files = [
+            ssd.open_or_create(&format!("{tag}.edgelog.a")),
+            ssd.open_or_create(&format!("{tag}.edgelog.b")),
+        ];
+        ssd.truncate(files[0]);
+        ssd.truncate(files[1]);
+        EdgeLogOptimizer {
+            ssd,
+            cfg,
+            files,
+            write_side: 0,
+            write_index: HashMap::new(),
+            top: Vec::new(),
+            staged: Vec::new(),
+            sealed_pages: 0,
+            flushed_pages: 0,
+            read_index: HashMap::new(),
+            history: VecDeque::new(),
+            predicted_inefficient: HashSet::new(),
+            num_vertices,
+            stats: EdgeLogStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> EdgeLogStats {
+        self.stats
+    }
+
+    pub fn config(&self) -> &EdgeLogConfig {
+        &self.cfg
+    }
+
+    fn entries_per_page(&self) -> usize {
+        self.ssd.page_size() / 4
+    }
+
+    /// Was `v` active within the last N supersteps? (The history-bit-vector
+    /// predictor.)
+    pub fn predicted_active(&self, v: VertexId) -> bool {
+        self.history.iter().any(|h| h.get(v as usize))
+    }
+
+    /// Is any of the given column-index pages predicted inefficient for the
+    /// next superstep?
+    pub fn page_predicted_inefficient(&self, file: FileId, pages: std::ops::RangeInclusive<u64>) -> bool {
+        pages.into_iter().any(|p| self.predicted_inefficient.contains(&(file, p)))
+    }
+
+    /// Full logging decision for vertex `v` (see type-level docs).
+    /// `known_active` is the multi-log's seen-destination bit.
+    pub fn should_log(
+        &self,
+        v: VertexId,
+        degree: usize,
+        known_active: bool,
+        colidx_file: FileId,
+        pages: std::ops::RangeInclusive<u64>,
+    ) -> bool {
+        if degree == 0 || degree + 2 > self.entries_per_page() {
+            return false;
+        }
+        if !(known_active || self.predicted_active(v)) {
+            return false;
+        }
+        self.page_predicted_inefficient(colidx_file, pages)
+    }
+
+    /// Copy `v`'s out-edges into the edge log. Record layout (u32 entries):
+    /// `[v][len][edges…]`, never straddling a page.
+    pub fn log_edges(&mut self, v: VertexId, edges: &[VertexId]) {
+        let rec_len = edges.len() + 2;
+        let cap = self.entries_per_page();
+        assert!(rec_len <= cap, "record exceeds a page; should_log must gate this");
+        if self.top.len() + rec_len > cap {
+            self.seal_top();
+        }
+        let loc = RecordLoc {
+            page: self.sealed_pages,
+            offset_entries: self.top.len() as u32,
+            len: edges.len() as u32,
+        };
+        self.top.push(v);
+        self.top.push(edges.len() as u32);
+        self.top.extend_from_slice(edges);
+        self.write_index.insert(v, loc);
+        self.stats.vertices_logged += 1;
+    }
+
+    fn seal_top(&mut self) {
+        if self.top.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(self.top.len() * 4);
+        for &e in &self.top {
+            buf.extend_from_slice(&e.to_le_bytes());
+        }
+        self.top.clear();
+        self.staged.push(buf);
+        self.sealed_pages += 1;
+        let page_size = self.ssd.page_size();
+        if self.staged.len() * page_size > self.cfg.buffer_bytes {
+            self.flush_staged();
+        }
+    }
+
+    fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let file = self.files[self.write_side];
+        let refs: Vec<&[u8]> = self.staged.iter().map(|p| p.as_slice()).collect();
+        let first = self.ssd.append_pages(file, &refs);
+        debug_assert_eq!(first, self.flushed_pages);
+        self.flushed_pages += refs.len() as u64;
+        self.stats.pages_written += refs.len() as u64;
+        self.staged.clear();
+    }
+
+    /// Does the *read* side hold `v`'s edges (logged last superstep)?
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.read_index.contains_key(&v)
+    }
+
+    /// Fetch logged adjacencies for the given vertices (all must satisfy
+    /// [`Self::contains`]). Pages are read once per batch; utilization of
+    /// edge-log pages is high by construction — that is the optimization.
+    pub fn fetch(&mut self, vs: &[VertexId]) -> Vec<(VertexId, Vec<VertexId>)> {
+        if vs.is_empty() {
+            return Vec::new();
+        }
+        let file = self.files[1 - self.write_side];
+        let mut page_useful: HashMap<u64, usize> = HashMap::new();
+        for &v in vs {
+            let loc = self.read_index[&v];
+            *page_useful.entry(loc.page).or_insert(0) += (loc.len as usize + 2) * 4;
+        }
+        let mut reqs: Vec<(FileId, u64, usize)> = page_useful
+            .iter()
+            .map(|(&p, &u)| (file, p, u.min(self.ssd.page_size())))
+            .collect();
+        reqs.sort_unstable_by_key(|r| r.1);
+        let data = self.ssd.read_batch(&reqs);
+        let page_index: HashMap<u64, usize> =
+            reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+        let mut out = Vec::with_capacity(vs.len());
+        for &v in vs {
+            let loc = self.read_index[&v];
+            let page = &data[page_index[&loc.page]];
+            let base = loc.offset_entries as usize * 4;
+            let stored_v = u32::from_le_bytes(page[base..base + 4].try_into().unwrap());
+            let stored_len = u32::from_le_bytes(page[base + 4..base + 8].try_into().unwrap());
+            debug_assert_eq!(stored_v, v);
+            debug_assert_eq!(stored_len, loc.len);
+            let mut edges = Vec::with_capacity(loc.len as usize);
+            for k in 0..loc.len as usize {
+                let o = base + 8 + k * 4;
+                edges.push(u32::from_le_bytes(page[o..o + 4].try_into().unwrap()));
+            }
+            out.push((v, edges));
+        }
+        self.stats.hits += vs.len() as u64;
+        out
+    }
+
+    /// End-of-superstep bookkeeping:
+    /// * update Fig. 9 accuracy from the superstep's actual page usage
+    ///   versus the predictions made a superstep ago;
+    /// * predict next superstep's inefficient pages from current usage;
+    /// * push the superstep's *actual* active set into the history window;
+    /// * flush the write side and swap read/write files.
+    pub fn end_superstep(&mut self, active: &BitSet, usage: &[PageUsage]) {
+        assert_eq!(active.len(), self.num_vertices);
+        // Actual inefficient pages this superstep.
+        let actual: HashSet<(FileId, u64)> = usage
+            .iter()
+            .filter(|u| u.useful_bytes > 0 && u.utilization() < self.cfg.inefficiency_threshold)
+            .map(|u| (u.file, u.page))
+            .collect();
+        self.stats.actual_inefficient_pages += actual.len() as u64;
+        self.stats.correctly_predicted_pages += actual
+            .iter()
+            .filter(|p| self.predicted_inefficient.contains(p))
+            .count() as u64;
+        self.predicted_inefficient = actual;
+
+        self.history.push_back(active.clone());
+        while self.history.len() > self.cfg.history_supersteps {
+            self.history.pop_front();
+        }
+
+        // Flush & swap.
+        self.seal_top();
+        self.flush_staged();
+        self.read_index = std::mem::take(&mut self.write_index);
+        self.write_side = 1 - self.write_side;
+        self.ssd.truncate(self.files[self.write_side]);
+        self.sealed_pages = 0;
+        self.flushed_pages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlvc_ssd::SsdConfig;
+
+    fn setup() -> (Arc<Ssd>, EdgeLogOptimizer) {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let opt = EdgeLogOptimizer::new(Arc::clone(&ssd), 128, EdgeLogConfig::default(), "t");
+        (ssd, opt)
+    }
+
+    fn active_set(vs: &[u32]) -> BitSet {
+        let mut b = BitSet::new(128);
+        for &v in vs {
+            b.set(v as usize);
+        }
+        b
+    }
+
+    #[test]
+    fn log_then_fetch_roundtrip() {
+        let (_ssd, mut opt) = setup();
+        opt.log_edges(3, &[10, 11, 12]);
+        opt.log_edges(90, &[1]);
+        opt.end_superstep(&active_set(&[3, 90]), &[]);
+        assert!(opt.contains(3) && opt.contains(90));
+        assert!(!opt.contains(4));
+        let got = opt.fetch(&[3, 90]);
+        assert_eq!(got, vec![(3, vec![10, 11, 12]), (90, vec![1])]);
+        assert_eq!(opt.stats().hits, 2);
+    }
+
+    #[test]
+    fn records_never_straddle_pages() {
+        let (_ssd, mut opt) = setup();
+        // 256-byte pages = 64 entries. Records of 20 edges = 22 entries;
+        // 3 fit per page (66 > 64, so actually 2 per page).
+        for v in 0..10u32 {
+            let edges: Vec<u32> = (0..20).map(|k| v * 100 + k).collect();
+            opt.log_edges(v, &edges);
+        }
+        opt.end_superstep(&active_set(&(0..10).collect::<Vec<_>>()), &[]);
+        for v in 0..10u32 {
+            let got = opt.fetch(&[v]);
+            assert_eq!(got[0].1.len(), 20);
+            assert_eq!(got[0].1[0], v * 100);
+        }
+    }
+
+    #[test]
+    fn read_side_survives_next_superstep_writes() {
+        let (_ssd, mut opt) = setup();
+        opt.log_edges(5, &[50, 51]);
+        opt.end_superstep(&active_set(&[5]), &[]);
+        // Next superstep logs new data while the old is being read.
+        opt.log_edges(6, &[60]);
+        assert_eq!(opt.fetch(&[5]), vec![(5, vec![50, 51])]);
+        opt.end_superstep(&active_set(&[6]), &[]);
+        assert!(!opt.contains(5), "old log rotated out");
+        assert_eq!(opt.fetch(&[6]), vec![(6, vec![60])]);
+    }
+
+    #[test]
+    fn history_window_predicts_activity() {
+        let (_ssd, mut opt) = setup();
+        assert!(!opt.predicted_active(7));
+        opt.end_superstep(&active_set(&[7]), &[]);
+        assert!(opt.predicted_active(7), "active last superstep => predicted");
+        // N = 1: one more superstep without activity forgets vertex 7.
+        opt.end_superstep(&active_set(&[]), &[]);
+        assert!(!opt.predicted_active(7));
+    }
+
+    #[test]
+    fn longer_history_window() {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let cfg = EdgeLogConfig { history_supersteps: 3, ..Default::default() };
+        let mut opt = EdgeLogOptimizer::new(ssd, 128, cfg, "h");
+        opt.end_superstep(&active_set(&[9]), &[]);
+        opt.end_superstep(&active_set(&[]), &[]);
+        opt.end_superstep(&active_set(&[]), &[]);
+        assert!(opt.predicted_active(9), "still within N=3 window");
+        opt.end_superstep(&active_set(&[]), &[]);
+        assert!(!opt.predicted_active(9));
+    }
+
+    #[test]
+    fn inefficient_page_prediction_and_accuracy() {
+        let (_ssd, mut opt) = setup();
+        let usage = |useful: u32| PageUsage { file: 42, page: 7, useful_bytes: useful, page_bytes: 256 };
+        // Superstep 1: page (42,7) used at 5% -> predicted inefficient.
+        opt.end_superstep(&active_set(&[]), &[usage(12)]);
+        assert!(opt.page_predicted_inefficient(42, 7..=7));
+        assert!(!opt.page_predicted_inefficient(42, 8..=8));
+        // Superstep 2: same page inefficient again -> correct prediction.
+        opt.end_superstep(&active_set(&[]), &[usage(12)]);
+        let s = opt.stats();
+        assert_eq!(s.actual_inefficient_pages, 2);
+        assert_eq!(s.correctly_predicted_pages, 1);
+        assert_eq!(s.prediction_accuracy(), Some(0.5));
+    }
+
+    #[test]
+    fn fully_used_and_untouched_pages_are_not_inefficient() {
+        let (_ssd, mut opt) = setup();
+        let full = PageUsage { file: 1, page: 0, useful_bytes: 256, page_bytes: 256 };
+        let untouched = PageUsage { file: 1, page: 1, useful_bytes: 0, page_bytes: 256 };
+        opt.end_superstep(&active_set(&[]), &[full, untouched]);
+        assert_eq!(opt.stats().actual_inefficient_pages, 0);
+        assert!(!opt.page_predicted_inefficient(1, 0..=1));
+    }
+
+    #[test]
+    fn should_log_requires_all_three_conditions() {
+        let (_ssd, mut opt) = setup();
+        let usage = PageUsage { file: 9, page: 3, useful_bytes: 8, page_bytes: 256 };
+        opt.end_superstep(&active_set(&[4]), &[usage]);
+        // All conditions met: low degree, active history, inefficient page.
+        assert!(opt.should_log(4, 2, false, 9, 3..=3));
+        // Not predicted active and not known active.
+        assert!(!opt.should_log(5, 2, false, 9, 3..=3));
+        // Known active overrides history.
+        assert!(opt.should_log(5, 2, true, 9, 3..=3));
+        // Page efficient.
+        assert!(!opt.should_log(4, 2, false, 9, 4..=4));
+        // Degree too large to fit a 64-entry page.
+        assert!(!opt.should_log(4, 63, false, 9, 3..=3));
+        // Zero degree never logs.
+        assert!(!opt.should_log(4, 0, false, 9, 3..=3));
+    }
+
+    #[test]
+    fn buffer_pressure_flushes_incrementally() {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let cfg = EdgeLogConfig { buffer_bytes: 2 * 256, ..Default::default() };
+        let mut opt = EdgeLogOptimizer::new(Arc::clone(&ssd), 4096, cfg, "b");
+        for v in 0..200u32 {
+            opt.log_edges(v, &[v + 1, v + 2, v + 3]);
+        }
+        assert!(opt.stats().pages_written > 0, "pressure flushed mid-superstep");
+        opt.end_superstep(&BitSet::new(4096), &[]);
+        let got = opt.fetch(&[0, 99, 199]);
+        assert_eq!(got[1], (99, vec![100, 101, 102]));
+    }
+}

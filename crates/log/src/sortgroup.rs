@@ -1,0 +1,211 @@
+use std::ops::Range;
+
+use mlvc_graph::{IntervalId, VertexId};
+use rayon::prelude::*;
+
+use crate::{MultiLog, Update, UPDATE_BYTES};
+
+/// One fused group of consecutive interval logs, loaded and sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedBatch {
+    pub range: Range<IntervalId>,
+    /// Updates sorted by destination; insertion order preserved within a
+    /// destination (stable sort) — required by algorithms that consume
+    /// every message individually.
+    pub updates: Vec<Update>,
+}
+
+/// Plan interval fusing (paper §V-A2, §V-B): walk intervals in order and
+/// fuse consecutive ones while the estimated log volume (`count ×
+/// UPDATE_BYTES`, from the per-interval message counters) fits in the sort
+/// budget. Every interval lands in exactly one contiguous range; an
+/// interval whose own log exceeds the budget gets a range of its own.
+pub fn plan_fusion(counts: &[u64], sort_budget_bytes: usize) -> Vec<Range<IntervalId>> {
+    assert!(sort_budget_bytes >= UPDATE_BYTES);
+    let budget = sort_budget_bytes as u64;
+    let mut plan = Vec::new();
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        let bytes = c * UPDATE_BYTES as u64;
+        if i as u32 > start && acc + bytes > budget {
+            plan.push(start..i as IntervalId);
+            start = i as u32;
+            acc = 0;
+        }
+        acc += bytes;
+    }
+    if (start as usize) < counts.len() {
+        plan.push(start..counts.len() as IntervalId);
+    }
+    plan
+}
+
+/// The Sort & Group Unit (paper §V-B): loads fused interval logs and sorts
+/// them **in host memory** — the step that replaces GraFBoost's external
+/// sort.
+pub struct SortGroup {
+    sort_budget_bytes: usize,
+}
+
+impl SortGroup {
+    pub fn new(sort_budget_bytes: usize) -> Self {
+        assert!(sort_budget_bytes >= UPDATE_BYTES);
+        SortGroup { sort_budget_bytes }
+    }
+
+    pub fn sort_budget_bytes(&self) -> usize {
+        self.sort_budget_bytes
+    }
+
+    /// Plan fusion for the given pending counts.
+    pub fn plan(&self, counts: &[u64]) -> Vec<Range<IntervalId>> {
+        plan_fusion(counts, self.sort_budget_bytes)
+    }
+
+    /// Load every log in `range` (the paper's `LoadLog`), concatenate in
+    /// interval order, and stable-sort by destination in parallel.
+    pub fn load_batch(&self, multilog: &mut MultiLog, range: Range<IntervalId>) -> FusedBatch {
+        let mut updates = Vec::new();
+        for i in range.clone() {
+            updates.extend(multilog.take_log(i));
+        }
+        // Stable parallel merge sort: messages to one destination keep
+        // their log order, so non-combinable algorithms see a deterministic
+        // message sequence.
+        updates.par_sort_by_key(|u| u.dest);
+        FusedBatch { range, updates }
+    }
+}
+
+/// Iterate `(dest, messages)` groups over a dest-sorted update slice — the
+/// "group" half of the sort & group unit. Each group is the full set of
+/// messages bound for one vertex, preserved individually (§V-D).
+pub fn group_by_dest(sorted: &[Update]) -> impl Iterator<Item = (VertexId, &[Update])> {
+    let mut pos = 0usize;
+    std::iter::from_fn(move || {
+        if pos >= sorted.len() {
+            return None;
+        }
+        let dest = sorted[pos].dest;
+        let start = pos;
+        while pos < sorted.len() && sorted[pos].dest == dest {
+            pos += 1;
+        }
+        Some((dest, &sorted[start..pos]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiLogConfig;
+    use mlvc_graph::VertexIntervals;
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fusion_respects_budget() {
+        // counts in updates; budget of 10 updates = 160 bytes.
+        let counts = vec![4, 4, 4, 20, 1, 1, 1, 1];
+        let plan = plan_fusion(&counts, 160);
+        // 4+4 fits (8), adding third 4 = 12 > 10 -> split; 20 alone; rest fuse.
+        assert_eq!(plan, vec![0..2, 2..3, 3..4, 4..8]);
+        // Coverage: every interval exactly once, in order.
+        let flat: Vec<u32> = plan.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(flat, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn oversized_interval_gets_own_range() {
+        let plan = plan_fusion(&[1000, 1], 160);
+        assert_eq!(plan, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn empty_counts_plan_nothing_extra() {
+        let plan = plan_fusion(&[0, 0, 0], 160);
+        assert_eq!(plan, vec![0..3], "idle intervals all fuse into one batch");
+    }
+
+    #[test]
+    fn group_by_dest_partitions_exactly() {
+        let sorted = vec![
+            Update::new(1, 9, 0),
+            Update::new(1, 8, 1),
+            Update::new(3, 7, 2),
+            Update::new(9, 6, 3),
+            Update::new(9, 5, 4),
+        ];
+        let groups: Vec<(u32, usize)> = group_by_dest(&sorted).map(|(d, g)| (d, g.len())).collect();
+        assert_eq!(groups, vec![(1, 2), (3, 1), (9, 2)]);
+    }
+
+    #[test]
+    fn load_batch_sorts_stably() {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let iv = VertexIntervals::uniform(100, 4);
+        let mut ml = MultiLog::new(ssd, iv, MultiLogConfig::default(), "sg");
+        // Interleaved sends to two destinations in interval 0.
+        ml.send(Update::new(5, 100, 0));
+        ml.send(Update::new(3, 200, 1));
+        ml.send(Update::new(5, 101, 2));
+        ml.send(Update::new(3, 201, 3));
+        ml.finish_superstep();
+        let sg = SortGroup::new(1 << 20);
+        let batch = sg.load_batch(&mut ml, 0..1);
+        assert_eq!(
+            batch.updates,
+            vec![
+                Update::new(3, 200, 1),
+                Update::new(3, 201, 3),
+                Update::new(5, 100, 0),
+                Update::new(5, 101, 2),
+            ]
+        );
+    }
+
+    proptest! {
+        /// DESIGN.md invariant: messages inserted == messages retrieved
+        /// (multiset), grouped exactly by destination, insertion order
+        /// preserved within each destination — for any send pattern and
+        /// any (tiny) buffer pressure.
+        #[test]
+        fn multilog_sort_group_roundtrip(
+            sends in proptest::collection::vec((0u32..64, 0u32..64, any::<u64>()), 0..300),
+            buffer_pages in 4usize..16,
+        ) {
+            let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+            let iv = VertexIntervals::uniform(64, 4);
+            let mut ml = MultiLog::new(
+                ssd,
+                iv,
+                MultiLogConfig { buffer_bytes: buffer_pages * 256 },
+                "p",
+            );
+            for &(d, s, x) in &sends {
+                ml.send(Update::new(d, s, x));
+            }
+            let counts = ml.finish_superstep();
+            prop_assert_eq!(counts.iter().sum::<u64>() as usize, sends.len());
+
+            let sg = SortGroup::new(1 << 20);
+            let mut collected = Vec::new();
+            for r in sg.plan(&counts) {
+                let batch = sg.load_batch(&mut ml, r);
+                for (dest, group) in group_by_dest(&batch.updates) {
+                    // Group order must equal insertion order for that dest.
+                    let expect: Vec<Update> = sends
+                        .iter()
+                        .filter(|&&(d, _, _)| d == dest)
+                        .map(|&(d, s, x)| Update::new(d, s, x))
+                        .collect();
+                    prop_assert_eq!(group, expect.as_slice());
+                    collected.extend_from_slice(group);
+                }
+            }
+            prop_assert_eq!(collected.len(), sends.len());
+        }
+    }
+}

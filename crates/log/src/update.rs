@@ -1,0 +1,65 @@
+use mlvc_graph::VertexId;
+
+/// One logged message: `<v_dest, m>` where `m` carries the sending vertex
+/// and an 8-byte payload (paper §V-A: "Each message appended to the log is
+/// of the format <v_dest, m>").
+///
+/// The payload is an opaque `u64`; applications encode labels, ranks,
+/// colors, walk states, … into it (helpers in `mlvc-apps`). 16 bytes per
+/// update matches the conservative interval-sizing arithmetic used
+/// throughout the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    pub dest: VertexId,
+    pub src: VertexId,
+    pub data: u64,
+}
+
+/// Encoded size of one update on a log page.
+pub const UPDATE_BYTES: usize = 16;
+
+impl Update {
+    pub fn new(dest: VertexId, src: VertexId, data: u64) -> Self {
+        Update { dest, src, data }
+    }
+
+    /// Serialize into exactly [`UPDATE_BYTES`] little-endian bytes.
+    pub fn encode(&self, out: &mut [u8]) {
+        out[0..4].copy_from_slice(&self.dest.to_le_bytes());
+        out[4..8].copy_from_slice(&self.src.to_le_bytes());
+        out[8..16].copy_from_slice(&self.data.to_le_bytes());
+    }
+
+    /// Deserialize from [`UPDATE_BYTES`] bytes.
+    pub fn decode(buf: &[u8]) -> Self {
+        Update {
+            dest: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            src: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            data: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let u = Update::new(42, 7, 0xDEADBEEF_CAFEBABE);
+        let mut buf = [0u8; UPDATE_BYTES];
+        u.encode(&mut buf);
+        assert_eq!(Update::decode(&buf), u);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any(dest: u32, src: u32, data: u64) {
+            let u = Update::new(dest, src, data);
+            let mut buf = [0u8; UPDATE_BYTES];
+            u.encode(&mut buf);
+            prop_assert_eq!(Update::decode(&buf), u);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DEFAULT_CHANNELS, DEFAULT_PAGE_SIZE};
+
+/// Configuration of the simulated SSD: geometry and service-time model.
+///
+/// Defaults correspond to a SATA TLC drive in the class of the paper's
+/// Samsung 860 EVO: ~120 µs page reads, ~240 µs page programs, 4 channels
+/// (~530 MB/s read, ~270 MB/s sustained write).
+/// Absolute values only scale the simulated clock; the experiments report
+/// *ratios* between engines running on identical devices, so shapes are
+/// insensitive to the exact figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Page size in bytes; minimum unit of every read and write.
+    pub page_size: usize,
+    /// Number of independent flash channels. Requests in one batch are
+    /// striped across channels and serviced in parallel.
+    pub channels: usize,
+    /// Service time to read one page on one channel, nanoseconds.
+    pub read_ns: u64,
+    /// Service time to program (write) one page on one channel, nanoseconds.
+    pub write_ns: u64,
+    /// Multiplier (0 < d ≤ 1) applied to pages that continue a sequential
+    /// run on the same channel: sequential access amortizes command setup
+    /// and read-ahead. 1.0 disables the discount.
+    pub seq_discount: f64,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            channels: DEFAULT_CHANNELS,
+            read_ns: 120_000,
+            write_ns: 240_000,
+            seq_discount: 0.7,
+        }
+    }
+}
+
+impl SsdConfig {
+    /// A config with `page_size` overridden (builder-style convenience).
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size unrealistically small");
+        self.page_size = page_size;
+        self
+    }
+
+    /// A config with `channels` overridden.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        assert!(channels >= 1);
+        self.channels = channels;
+        self
+    }
+
+    /// A small-page config convenient for unit tests (256-byte pages) so
+    /// that page-boundary behaviour is exercised with tiny data.
+    pub fn test_small() -> Self {
+        SsdConfig::default().with_page_size(256)
+    }
+
+    /// Number of pages needed to hold `bytes` bytes.
+    pub fn pages_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_geometry() {
+        let c = SsdConfig::default();
+        assert_eq!(c.page_size, 16 * 1024);
+        assert_eq!(c.channels, 4);
+        // SATA-class read bandwidth: page_size * channels / read_ns.
+        let mbps = (c.page_size * c.channels) as f64 / (c.read_ns as f64 / 1e9) / 1e6;
+        assert!((400.0..700.0).contains(&mbps), "read bandwidth {mbps} MB/s");
+        assert!(c.read_ns < c.write_ns, "flash programs are slower than reads");
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let c = SsdConfig::test_small();
+        assert_eq!(c.pages_for(0), 0);
+        assert_eq!(c.pages_for(1), 1);
+        assert_eq!(c.pages_for(256), 1);
+        assert_eq!(c.pages_for(257), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_channels_rejected() {
+        let _ = SsdConfig::default().with_channels(0);
+    }
+}

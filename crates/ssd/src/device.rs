@@ -1,0 +1,605 @@
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+use parking_lot::Mutex;
+
+use crate::config::SsdConfig;
+use crate::cost::{batch_time_ns, PageAddr};
+use crate::ftl::FtlOp;
+use crate::stats::SsdStats;
+
+/// Identifier of a file on the simulated device.
+pub type FileId = u32;
+
+/// Where page payloads live.
+///
+/// * `Mem` — pages are kept in heap buffers. Deterministic and fast; the
+///   default for tests and benches. Accounting (the experiment currency) is
+///   identical to the disk backend.
+/// * `Dir` — each simulated file is an ordinary file under the given
+///   directory and pages are read/written with positional I/O. Use for
+///   out-of-core realism on large runs.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    Mem,
+    Dir(PathBuf),
+}
+
+enum Store {
+    Mem(Vec<Box<[u8]>>),
+    Disk { file: fs::File, pages: u64 },
+}
+
+struct FileEntry {
+    name: String,
+    store: Store,
+}
+
+/// The simulated SSD: a set of named page files plus the cost model and
+/// activity counters shared by every engine in the reproduction.
+///
+/// All operations are page-granular. Reads *copy* page payloads out so that
+/// callers never hold locks while processing; the simulated service time is
+/// charged at dispatch.
+pub struct Ssd {
+    cfg: SsdConfig,
+    backend: Backend,
+    stats: SsdStats,
+    files: Mutex<Files>,
+    /// Optional host-level write/trim trace for FTL replay (see
+    /// [`crate::FtlModel`]); `None` keeps the hot path allocation-free.
+    trace: Mutex<Option<Vec<FtlOp>>>,
+}
+
+#[derive(Default)]
+struct Files {
+    entries: Vec<Option<FileEntry>>,
+    by_name: HashMap<String, FileId>,
+}
+
+impl Ssd {
+    /// Create a device with the in-memory backend.
+    pub fn new(cfg: SsdConfig) -> Self {
+        Ssd {
+            cfg,
+            backend: Backend::Mem,
+            stats: SsdStats::default(),
+            files: Mutex::new(Files::default()),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Create a device whose files live under `dir` on the host filesystem.
+    pub fn new_on_disk(cfg: SsdConfig, dir: PathBuf) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(Ssd {
+            cfg,
+            backend: Backend::Dir(dir),
+            stats: SsdStats::default(),
+            files: Mutex::new(Files::default()),
+            trace: Mutex::new(None),
+        })
+    }
+
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.cfg.page_size
+    }
+
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// Start recording a host-level write/trim trace for FTL replay.
+    /// Discards any previous trace.
+    pub fn enable_trace(&self) {
+        *self.trace.lock() = Some(Vec::new());
+    }
+
+    /// Stop recording and return the trace (empty if tracing was off).
+    pub fn take_trace(&self) -> Vec<FtlOp> {
+        self.trace.lock().take().unwrap_or_default()
+    }
+
+    fn trace_writes(&self, addrs: &[PageAddr]) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.extend(addrs.iter().map(|a| FtlOp::Write((a.file, a.page))));
+        }
+    }
+
+    fn trace_trims(&self, file: FileId, pages: u64) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.extend((0..pages).map(|p| FtlOp::Trim((file, p))));
+        }
+    }
+
+    /// Create a file, or return the existing id if the name is taken.
+    pub fn open_or_create(&self, name: &str) -> FileId {
+        let mut files = self.files.lock();
+        if let Some(&id) = files.by_name.get(name) {
+            return id;
+        }
+        let store = match &self.backend {
+            Backend::Mem => Store::Mem(Vec::new()),
+            Backend::Dir(dir) => {
+                let path = dir.join(sanitize(name));
+                let file = fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(path)
+                    .expect("open backing file");
+                Store::Disk { file, pages: 0 }
+            }
+        };
+        let id = files.entries.len() as FileId;
+        files.entries.push(Some(FileEntry {
+            name: name.to_string(),
+            store,
+        }));
+        files.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a file by name.
+    pub fn lookup(&self, name: &str) -> Option<FileId> {
+        self.files.lock().by_name.get(name).copied()
+    }
+
+    /// Number of pages currently in `file`.
+    pub fn num_pages(&self, file: FileId) -> u64 {
+        let files = self.files.lock();
+        match &files.entries[file as usize] {
+            Some(e) => match &e.store {
+                Store::Mem(pages) => pages.len() as u64,
+                Store::Disk { pages, .. } => *pages,
+            },
+            None => panic!("file {file} deleted"),
+        }
+    }
+
+    /// Drop all pages of `file` (the file itself stays; logs are truncated
+    /// at the start of each superstep after their updates are consumed).
+    ///
+    /// Truncation is a metadata operation (FTL trim); it is not charged.
+    pub fn truncate(&self, file: FileId) {
+        let dropped;
+        {
+            let mut files = self.files.lock();
+            let entry = files.entries[file as usize]
+                .as_mut()
+                .expect("truncate of deleted file");
+            match &mut entry.store {
+                Store::Mem(pages) => {
+                    dropped = pages.len() as u64;
+                    pages.clear();
+                }
+                Store::Disk { file, pages } => {
+                    dropped = *pages;
+                    file.set_len(0).expect("truncate backing file");
+                    *pages = 0;
+                }
+            }
+        }
+        self.trace_trims(file, dropped);
+    }
+
+    /// Remove a file entirely. Uncharged (metadata operation).
+    pub fn delete(&self, file: FileId) {
+        let dropped;
+        {
+            let mut files = self.files.lock();
+            let Some(entry) = files.entries[file as usize].take() else {
+                return;
+            };
+            dropped = match &entry.store {
+                Store::Mem(pages) => pages.len() as u64,
+                Store::Disk { pages, .. } => *pages,
+            };
+            files.by_name.remove(&entry.name);
+            if let (Backend::Dir(dir), true) = (&self.backend, true) {
+                let _ = fs::remove_file(dir.join(sanitize(&entry.name)));
+            }
+        }
+        self.trace_trims(file, dropped);
+    }
+
+    /// Append one page (payload may be shorter than a page; it is
+    /// zero-padded). Returns the page index. Charged as a 1-page write batch.
+    pub fn append_page(&self, file: FileId, data: &[u8]) -> u64 {
+        self.append_pages(file, std::slice::from_ref(&data))
+    }
+
+    /// Append several pages in one batch (e.g. multi-log eviction flushing
+    /// many interval logs at once). Returns the index of the first page.
+    pub fn append_pages(&self, file: FileId, pages: &[&[u8]]) -> u64 {
+        let first = self.store_append(file, pages);
+        let addrs: Vec<PageAddr> = (0..pages.len() as u64)
+            .map(|i| PageAddr::new(file, first + i))
+            .collect();
+        self.charge_write(&addrs);
+        first
+    }
+
+    /// Append pages to *multiple* files as one dispatch — the multi-log
+    /// eviction path: several interval logs flush their top pages together
+    /// and the writes pipeline across channels (paper §V-A3).
+    pub fn append_scattered(&self, writes: &[(FileId, &[u8])]) -> Vec<u64> {
+        let mut addrs = Vec::with_capacity(writes.len());
+        let mut out = Vec::with_capacity(writes.len());
+        for &(fid, data) in writes {
+            let idx = self.store_append(fid, &[data]);
+            addrs.push(PageAddr::new(fid, idx));
+            out.push(idx);
+        }
+        self.charge_write(&addrs);
+        out
+    }
+
+    /// Overwrite an existing page in place. Charged as a 1-page write.
+    pub fn write_page(&self, file: FileId, page: u64, data: &[u8]) {
+        assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
+        {
+            let mut files = self.files.lock();
+            let entry = files.entries[file as usize]
+                .as_mut()
+                .expect("write to deleted file");
+            match &mut entry.store {
+                Store::Mem(pages) => {
+                    let slot = pages
+                        .get_mut(page as usize)
+                        .unwrap_or_else(|| panic!("page {page} out of bounds"));
+                    let mut buf = vec![0u8; self.cfg.page_size];
+                    buf[..data.len()].copy_from_slice(data);
+                    *slot = buf.into_boxed_slice();
+                }
+                Store::Disk { file, pages } => {
+                    assert!(page < *pages, "page {page} out of bounds");
+                    let mut buf = vec![0u8; self.cfg.page_size];
+                    buf[..data.len()].copy_from_slice(data);
+                    write_at(file, &buf, page * self.cfg.page_size as u64);
+                }
+            }
+        }
+        self.charge_write(&[PageAddr::new(file, page)]);
+    }
+
+    /// Overwrite many pages (possibly across files) as one dispatch —
+    /// the shard write-back path of the GraphChi baseline, where a whole
+    /// shard plus its sliding windows go back to disk together.
+    pub fn write_batch(&self, writes: &[(FileId, u64, &[u8])]) {
+        {
+            let mut files = self.files.lock();
+            for &(fid, page, data) in writes {
+                assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
+                let entry = files.entries[fid as usize]
+                    .as_mut()
+                    .expect("write to deleted file");
+                let mut buf = vec![0u8; self.cfg.page_size];
+                buf[..data.len()].copy_from_slice(data);
+                match &mut entry.store {
+                    Store::Mem(pages) => {
+                        let slot = pages
+                            .get_mut(page as usize)
+                            .unwrap_or_else(|| panic!("page {page} out of bounds"));
+                        *slot = buf.into_boxed_slice();
+                    }
+                    Store::Disk { file, pages } => {
+                        assert!(page < *pages, "page {page} out of bounds");
+                        write_at(file, &buf, page * self.cfg.page_size as u64);
+                    }
+                }
+            }
+        }
+        let addrs: Vec<PageAddr> = writes
+            .iter()
+            .map(|&(f, p, _)| PageAddr::new(f, p))
+            .collect();
+        self.charge_write(&addrs);
+    }
+
+    /// Read one page, declaring how many of its bytes the caller will
+    /// actually use (for read-amplification accounting).
+    pub fn read_page(&self, file: FileId, page: u64, useful: usize) -> Vec<u8> {
+        let mut out = self.read_batch(&[(file, page, useful)]);
+        out.pop().unwrap()
+    }
+
+    /// Read a batch of pages dispatched together: `(file, page, useful)`.
+    /// The whole batch is charged as one parallel dispatch across channels.
+    pub fn read_batch(&self, reqs: &[(FileId, u64, usize)]) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut useful_total = 0u64;
+        {
+            let mut files = self.files.lock();
+            for &(fid, page, useful) in reqs {
+                assert!(
+                    useful <= self.cfg.page_size,
+                    "useful bytes cannot exceed the page size"
+                );
+                useful_total += useful as u64;
+                let entry = files.entries[fid as usize]
+                    .as_mut()
+                    .expect("read from deleted file");
+                let data = match &mut entry.store {
+                    Store::Mem(pages) => pages
+                        .get(page as usize)
+                        .unwrap_or_else(|| panic!("page {page} out of bounds in {}", entry.name))
+                        .to_vec(),
+                    Store::Disk { file, pages } => {
+                        assert!(page < *pages, "page {page} out of bounds in {}", entry.name);
+                        let mut buf = vec![0u8; self.cfg.page_size];
+                        read_at(file, &mut buf, page * self.cfg.page_size as u64);
+                        buf
+                    }
+                };
+                out.push(data);
+            }
+        }
+        let addrs: Vec<PageAddr> = reqs
+            .iter()
+            .map(|&(f, p, _)| PageAddr::new(f, p))
+            .collect();
+        self.charge_read(&addrs, useful_total);
+        out
+    }
+
+    /// Retroactively declare useful bytes for data already read. Intended
+    /// for log readers whose per-page payload size lives *inside* the page
+    /// (a count header) and is unknown at dispatch time.
+    pub fn declare_useful(&self, bytes: u64) {
+        self.stats.useful_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Read every page of a file as one sequential batch (whole-log load).
+    pub fn read_all(&self, file: FileId, useful_per_page: impl Fn(u64) -> usize) -> Vec<Vec<u8>> {
+        let n = self.num_pages(file);
+        let reqs: Vec<(FileId, u64, usize)> =
+            (0..n).map(|p| (file, p, useful_per_page(p))).collect();
+        self.read_batch(&reqs)
+    }
+
+    fn store_append(&self, file: FileId, pages: &[&[u8]]) -> u64 {
+        let mut files = self.files.lock();
+        let entry = files.entries[file as usize]
+            .as_mut()
+            .expect("append to deleted file");
+        match &mut entry.store {
+            Store::Mem(existing) => {
+                let first = existing.len() as u64;
+                for data in pages {
+                    assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
+                    let mut buf = vec![0u8; self.cfg.page_size];
+                    buf[..data.len()].copy_from_slice(data);
+                    existing.push(buf.into_boxed_slice());
+                }
+                first
+            }
+            Store::Disk { file, pages: n } => {
+                let first = *n;
+                for data in pages {
+                    assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
+                    let mut buf = vec![0u8; self.cfg.page_size];
+                    buf[..data.len()].copy_from_slice(data);
+                    write_at(file, &buf, *n * self.cfg.page_size as u64);
+                    *n += 1;
+                }
+                first
+            }
+        }
+    }
+
+    fn charge_read(&self, addrs: &[PageAddr], useful: u64) {
+        if addrs.is_empty() {
+            return;
+        }
+        let t = batch_time_ns(&self.cfg, addrs, self.cfg.read_ns);
+        let s = &self.stats;
+        s.pages_read.fetch_add(addrs.len() as u64, Ordering::Relaxed);
+        s.bytes_read
+            .fetch_add(addrs.len() as u64 * self.cfg.page_size as u64, Ordering::Relaxed);
+        s.useful_bytes_read.fetch_add(useful, Ordering::Relaxed);
+        s.read_time_ns.fetch_add(t, Ordering::Relaxed);
+        s.read_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn charge_write(&self, addrs: &[PageAddr]) {
+        if addrs.is_empty() {
+            return;
+        }
+        self.trace_writes(addrs);
+        let t = batch_time_ns(&self.cfg, addrs, self.cfg.write_ns);
+        let s = &self.stats;
+        s.pages_written.fetch_add(addrs.len() as u64, Ordering::Relaxed);
+        s.bytes_written
+            .fetch_add(addrs.len() as u64 * self.cfg.page_size as u64, Ordering::Relaxed);
+        s.write_time_ns.fetch_add(t, Ordering::Relaxed);
+        s.write_batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(unix)]
+fn read_at(file: &fs::File, buf: &mut [u8], offset: u64) {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset).expect("read_at");
+}
+
+#[cfg(unix)]
+fn write_at(file: &fs::File, buf: &[u8], offset: u64) {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset).expect("write_at");
+}
+
+#[cfg(not(unix))]
+fn read_at(_file: &fs::File, _buf: &mut [u8], _offset: u64) {
+    unimplemented!("disk backend requires unix positional I/O");
+}
+
+#[cfg(not(unix))]
+fn write_at(_file: &fs::File, _buf: &[u8], _offset: u64) {
+    unimplemented!("disk backend requires unix positional I/O");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Ssd {
+        Ssd::new(SsdConfig::test_small())
+    }
+
+    #[test]
+    fn roundtrip_single_page() {
+        let ssd = dev();
+        let f = ssd.open_or_create("a");
+        let idx = ssd.append_page(f, b"hello");
+        assert_eq!(idx, 0);
+        let page = ssd.read_page(f, 0, 5);
+        assert_eq!(&page[..5], b"hello");
+        assert!(page[5..].iter().all(|&b| b == 0), "zero padded");
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent() {
+        let ssd = dev();
+        let a = ssd.open_or_create("x");
+        let b = ssd.open_or_create("x");
+        assert_eq!(a, b);
+        assert_ne!(a, ssd.open_or_create("y"));
+    }
+
+    #[test]
+    fn append_grows_and_truncate_clears() {
+        let ssd = dev();
+        let f = ssd.open_or_create("log");
+        for i in 0..5u8 {
+            ssd.append_page(f, &[i; 16]);
+        }
+        assert_eq!(ssd.num_pages(f), 5);
+        let p3 = ssd.read_page(f, 3, 16);
+        assert_eq!(&p3[..16], &[3u8; 16]);
+        ssd.truncate(f);
+        assert_eq!(ssd.num_pages(f), 0);
+    }
+
+    #[test]
+    fn write_page_overwrites_in_place() {
+        let ssd = dev();
+        let f = ssd.open_or_create("v");
+        ssd.append_page(f, b"old");
+        ssd.write_page(f, 0, b"new!");
+        assert_eq!(&ssd.read_page(f, 0, 4)[..4], b"new!");
+    }
+
+    #[test]
+    fn stats_account_pages_and_useful_bytes() {
+        let ssd = dev();
+        let f = ssd.open_or_create("s");
+        ssd.append_page(f, &[1; 100]);
+        ssd.append_page(f, &[2; 100]);
+        let before = ssd.stats().snapshot();
+        assert_eq!(before.pages_written, 2);
+        ssd.read_batch(&[(f, 0, 10), (f, 1, 20)]);
+        let after = ssd.stats().snapshot().since(&before);
+        assert_eq!(after.pages_read, 2);
+        assert_eq!(after.useful_bytes_read, 30);
+        assert_eq!(after.bytes_read, 2 * 256);
+        assert!(after.read_amplification().unwrap() > 1.0);
+        assert_eq!(after.read_batches, 1);
+    }
+
+    #[test]
+    fn batched_read_is_cheaper_than_serial_reads() {
+        let cfg = SsdConfig::test_small();
+        let ssd1 = Ssd::new(cfg.clone());
+        let f1 = ssd1.open_or_create("a");
+        for _ in 0..16 {
+            ssd1.append_page(f1, &[0; 8]);
+        }
+        ssd1.stats().reset();
+        ssd1.read_batch(&(0..16).map(|p| (f1, p, 8)).collect::<Vec<_>>());
+        let batched = ssd1.stats().snapshot().read_time_ns;
+
+        let ssd2 = Ssd::new(cfg);
+        let f2 = ssd2.open_or_create("a");
+        for _ in 0..16 {
+            ssd2.append_page(f2, &[0; 8]);
+        }
+        ssd2.stats().reset();
+        for p in 0..16 {
+            ssd2.read_page(f2, p, 8);
+        }
+        let serial = ssd2.stats().snapshot().read_time_ns;
+        assert!(
+            batched < serial,
+            "channel-parallel batch ({batched}) must beat serial ({serial})"
+        );
+    }
+
+    #[test]
+    fn scattered_append_hits_multiple_files() {
+        let ssd = dev();
+        let a = ssd.open_or_create("a");
+        let b = ssd.open_or_create("b");
+        let pa = [7u8; 4];
+        let pb = [9u8; 4];
+        let idx = ssd.append_scattered(&[(a, &pa), (b, &pb), (a, &pa)]);
+        assert_eq!(idx, vec![0, 0, 1]);
+        assert_eq!(ssd.num_pages(a), 2);
+        assert_eq!(ssd.num_pages(b), 1);
+        assert_eq!(ssd.stats().snapshot().write_batches, 1);
+    }
+
+    #[test]
+    fn delete_frees_name() {
+        let ssd = dev();
+        let f = ssd.open_or_create("tmp");
+        ssd.delete(f);
+        assert!(ssd.lookup("tmp").is_none());
+        let g = ssd.open_or_create("tmp");
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn disk_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mlvc-ssd-test-{}", std::process::id()));
+        let ssd = Ssd::new_on_disk(SsdConfig::test_small(), dir.clone()).unwrap();
+        let f = ssd.open_or_create("durable");
+        ssd.append_page(f, b"on real disk");
+        ssd.append_page(f, b"second page");
+        let p = ssd.read_page(f, 1, 11);
+        assert_eq!(&p[..11], b"second page");
+        ssd.write_page(f, 0, b"rewritten");
+        assert_eq!(&ssd.read_page(f, 0, 9)[..9], b"rewritten");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_payload_panics() {
+        let ssd = dev();
+        let f = ssd.open_or_create("big");
+        ssd.append_page(f, &vec![0u8; 257]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let ssd = dev();
+        let f = ssd.open_or_create("a");
+        ssd.read_page(f, 0, 0);
+    }
+}

@@ -1,0 +1,139 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Live counters of device activity. All counters are monotonically
+/// increasing atomics so engines may account I/O from worker threads.
+///
+/// `useful_bytes_read` is declared by callers: a reader that fetches a 16 KB
+/// page to consume one 8-byte adjacency entry reports 8 useful bytes. The
+/// ratio `bytes_read / useful_bytes_read` is the read amplification the
+/// paper's Fig. 3 and the edge-log optimizer are about.
+#[derive(Debug, Default)]
+pub struct SsdStats {
+    pub pages_read: AtomicU64,
+    pub pages_written: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub bytes_written: AtomicU64,
+    pub useful_bytes_read: AtomicU64,
+    /// Simulated time spent servicing reads, nanoseconds.
+    pub read_time_ns: AtomicU64,
+    /// Simulated time spent servicing writes, nanoseconds.
+    pub write_time_ns: AtomicU64,
+    /// Number of read batches issued (each batch = one parallel dispatch).
+    pub read_batches: AtomicU64,
+    /// Number of write batches issued.
+    pub write_batches: AtomicU64,
+}
+
+impl SsdStats {
+    pub fn snapshot(&self) -> SsdStatsSnapshot {
+        SsdStatsSnapshot {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            useful_bytes_read: self.useful_bytes_read.load(Ordering::Relaxed),
+            read_time_ns: self.read_time_ns.load(Ordering::Relaxed),
+            write_time_ns: self.write_time_ns.load(Ordering::Relaxed),
+            read_batches: self.read_batches.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.useful_bytes_read.store(0, Ordering::Relaxed);
+        self.read_time_ns.store(0, Ordering::Relaxed);
+        self.write_time_ns.store(0, Ordering::Relaxed);
+        self.read_batches.store(0, Ordering::Relaxed);
+        self.write_batches.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`SsdStats`], with derived metrics. Subtract two
+/// snapshots to get the activity of one phase or superstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsdStatsSnapshot {
+    pub pages_read: u64,
+    pub pages_written: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub useful_bytes_read: u64,
+    pub read_time_ns: u64,
+    pub write_time_ns: u64,
+    pub read_batches: u64,
+    pub write_batches: u64,
+}
+
+impl SsdStatsSnapshot {
+    /// Total simulated I/O time, nanoseconds.
+    pub fn io_time_ns(&self) -> u64 {
+        self.read_time_ns + self.write_time_ns
+    }
+
+    /// Read amplification: fetched bytes per useful byte (≥ 1 whenever any
+    /// useful byte was declared; `None` if nothing useful was read).
+    pub fn read_amplification(&self) -> Option<f64> {
+        if self.useful_bytes_read == 0 {
+            None
+        } else {
+            Some(self.bytes_read as f64 / self.useful_bytes_read as f64)
+        }
+    }
+
+    /// Activity between an earlier snapshot `start` and `self`.
+    pub fn since(&self, start: &SsdStatsSnapshot) -> SsdStatsSnapshot {
+        SsdStatsSnapshot {
+            pages_read: self.pages_read - start.pages_read,
+            pages_written: self.pages_written - start.pages_written,
+            bytes_read: self.bytes_read - start.bytes_read,
+            bytes_written: self.bytes_written - start.bytes_written,
+            useful_bytes_read: self.useful_bytes_read - start.useful_bytes_read,
+            read_time_ns: self.read_time_ns - start.read_time_ns,
+            write_time_ns: self.write_time_ns - start.write_time_ns,
+            read_batches: self.read_batches - start.read_batches,
+            write_batches: self.write_batches - start.write_batches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let s = SsdStats::default();
+        s.pages_read.store(10, Ordering::Relaxed);
+        s.bytes_read.store(160, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.pages_read.store(25, Ordering::Relaxed);
+        s.bytes_read.store(400, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.pages_read, 15);
+        assert_eq!(d.bytes_read, 240);
+    }
+
+    #[test]
+    fn amplification() {
+        let mut s = SsdStatsSnapshot::default();
+        assert_eq!(s.read_amplification(), None);
+        s.bytes_read = 16384;
+        s.useful_bytes_read = 1024;
+        assert_eq!(s.read_amplification(), Some(16.0));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = SsdStats::default();
+        s.pages_read.store(5, Ordering::Relaxed);
+        s.write_time_ns.store(7, Ordering::Relaxed);
+        s.reset();
+        assert_eq!(s.snapshot(), SsdStatsSnapshot::default());
+    }
+}

@@ -1,0 +1,419 @@
+//! `mlvc` — command-line front end for the MultiLogVC framework.
+//!
+//! ```text
+//! mlvc gen   --kind rmat-social --scale 14 --seed 42 --out graph.csr
+//! mlvc stats graph.csr
+//! mlvc convert graph.txt graph.csr
+//! mlvc run   --app pagerank --graph graph.csr --engine mlvc --steps 15
+//! ```
+//!
+//! Graph files: `.csr` = mlvc binary snapshot, anything else = SNAP-style
+//! edge-list text (auto-detected by magic on read).
+
+use std::fs::File;
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multilogvc::apps::{
+    Bfs, Cdlp, Coloring, KCore, Mis, PageRank, RandomWalk, Sssp, Wcc,
+};
+use multilogvc::core::{
+    Engine, EngineConfig, MultiLogEngine, ReferenceEngine, RunReport, VertexProgram,
+};
+use multilogvc::grafboost::GrafBoostEngine;
+use multilogvc::graph::{Csr, VertexIntervals};
+use multilogvc::graphchi::GraphChiEngine;
+use multilogvc::io::{
+    read_csr_binary, read_edge_list, write_csr_binary, write_edge_list, EdgeListOptions,
+};
+use multilogvc::ssd::{Ssd, SsdConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mlvc gen --kind <rmat-social|rmat-web|er|ba> [--scale N] [--vertices N]
+           [--edges-per-vertex K] [--seed S] --out <file>
+  mlvc stats <graph>
+  mlvc convert <in> <out>
+  mlvc run --app <bfs|pagerank|cdlp|coloring|mis|randomwalk|wcc|kcore|sssp>
+           --graph <file> [--engine mlvc|graphchi|grafboost|reference]
+           [--steps N] [--memory-kb K] [--source V] [--seed S] [--async]
+
+graph files ending in .csr are binary snapshots; all others are
+SNAP-style edge-list text (auto-detected on read).";
+
+/// Minimal flag parser: `--key value` pairs plus positionals.
+struct Args<'a> {
+    flags: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+    positional: Vec<&'a str>,
+}
+
+fn parse_args<'a>(args: &'a [String]) -> Result<Args<'a>, String> {
+    let mut out = Args { flags: Vec::new(), switches: Vec::new(), positional: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(key) = a.strip_prefix("--") {
+            if key == "async" {
+                out.switches.push(key);
+                i += 1;
+            } else {
+                let val = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                out.flags.push((key, val.as_str()));
+                i += 2;
+            }
+        } else {
+            out.positional.push(a);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl<'a> Args<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.flags.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+    fn has(&self, switch: &str) -> bool {
+        self.switches.contains(&switch)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = parse_args(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&rest),
+        "stats" => cmd_stats(&rest),
+        "convert" => cmd_convert(&rest),
+        "run" => cmd_run(&rest),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+// --- graph file handling -------------------------------------------------
+
+fn load_graph(path: &str) -> Result<Csr, String> {
+    let mut f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut head = [0u8; 8];
+    let n = f.read(&mut head).map_err(|e| e.to_string())?;
+    let is_snapshot = n == 8 && &head == multilogvc::io::SNAPSHOT_MAGIC;
+    let f = File::open(path).map_err(|e| e.to_string())?;
+    if is_snapshot {
+        read_csr_binary(f).map_err(|e| format!("{path}: {e}"))
+    } else {
+        read_edge_list(f, &EdgeListOptions::default()).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn save_graph(path: &str, g: &Csr) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".csr") {
+        write_csr_binary(f, g).map_err(|e| e.to_string())
+    } else {
+        write_edge_list(f, g).map_err(|e| e.to_string())
+    }
+}
+
+// --- subcommands ----------------------------------------------------------
+
+fn cmd_gen(a: &Args) -> Result<(), String> {
+    let kind = a.get("kind").ok_or("gen needs --kind")?;
+    let out = a.get("out").ok_or("gen needs --out")?;
+    let seed: u64 = a.get_parsed("seed", 42)?;
+    let scale: u32 = a.get_parsed("scale", 14)?;
+    let epv: usize = a.get_parsed("edges-per-vertex", 8)?;
+    let vertices: usize = a.get_parsed("vertices", 1usize << scale)?;
+    let g = match kind {
+        "rmat-social" => mlvc_gen::rmat(mlvc_gen::RmatParams::social(scale, epv), seed),
+        "rmat-web" => mlvc_gen::rmat(mlvc_gen::RmatParams::web(scale, epv), seed),
+        "er" => mlvc_gen::erdos_renyi(vertices, vertices * epv, seed),
+        "ba" => mlvc_gen::barabasi_albert(vertices, epv.max(1), seed),
+        other => return Err(format!("unknown --kind {other}")),
+    };
+    save_graph(out, &g)?;
+    println!(
+        "wrote {out}: {} vertices, {} stored edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stats(a: &Args) -> Result<(), String> {
+    let path = a.positional.first().ok_or("stats needs a graph file")?;
+    let g = load_graph(path)?;
+    let s = mlvc_gen::degree_stats(&g);
+    println!("{path}");
+    println!("  vertices        {}", s.num_vertices);
+    println!("  stored edges    {}", s.num_edges);
+    println!("  degree min/med/mean/p99/max  {}/{}/{:.1}/{}/{}",
+        s.min_degree, s.median_degree, s.mean_degree, s.p99_degree, s.max_degree);
+    println!("  isolated        {}", s.isolated_vertices);
+    println!("  top-1% edge share {:.3}", s.top1pct_edge_share);
+    println!("  weighted        {}", g.has_weights());
+    Ok(())
+}
+
+fn cmd_convert(a: &Args) -> Result<(), String> {
+    let [input, output] = a.positional.as_slice() else {
+        return Err("convert needs <in> <out>".into());
+    };
+    let g = load_graph(input)?;
+    save_graph(output, &g)?;
+    println!("{input} -> {output} ({} vertices, {} edges)", g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+fn make_app(name: &str, g: &Csr, source: u32) -> Result<Box<dyn VertexProgram>, String> {
+    Ok(match name {
+        "bfs" => Box::new(Bfs::new(source)),
+        "pagerank" => Box::new(PageRank::default()),
+        "cdlp" => Box::new(Cdlp),
+        "coloring" => Box::new(Coloring::new()),
+        "mis" => Box::new(Mis),
+        "randomwalk" => Box::new(RandomWalk::default()),
+        "wcc" => Box::new(Wcc),
+        "kcore" => Box::new(KCore::new()),
+        "sssp" => {
+            if !g.has_weights() {
+                return Err("sssp needs a weighted graph".into());
+            }
+            Box::new(Sssp::new(source))
+        }
+        other => return Err(format!("unknown --app {other}")),
+    })
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let app_name = a.get("app").ok_or("run needs --app")?;
+    let path = a.get("graph").ok_or("run needs --graph")?;
+    let engine_name = a.get("engine").unwrap_or("mlvc");
+    let steps: usize = a.get_parsed("steps", 15)?;
+    let memory_kb: usize = a.get_parsed("memory-kb", 2048)?;
+    let seed: u64 = a.get_parsed("seed", 42)?;
+    let source: u32 = a.get_parsed("source", 0u32)?;
+
+    let g = load_graph(path)?;
+    if source as usize >= g.num_vertices() {
+        return Err(format!("--source {source} out of range"));
+    }
+    let app = make_app(app_name, &g, source)?;
+    let cfg = EngineConfig::default()
+        .with_memory(memory_kb << 10)
+        .with_seed(seed)
+        .with_async(a.has("async"));
+    let iv = VertexIntervals::for_graph(&g, 16, cfg.sort_budget());
+
+    println!(
+        "running {app_name} on {path} ({} vertices, {} edges) with {engine_name}, {} KiB budget",
+        g.num_vertices(),
+        g.num_edges(),
+        memory_kb
+    );
+    let report: RunReport = match engine_name {
+        "mlvc" => {
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            let sg = multilogvc::graph::StoredGraph::store_with(&ssd, &g, "cli", iv);
+            ssd.stats().reset();
+            let mut e = MultiLogEngine::new(ssd, sg, cfg);
+            let r = e.run(app.as_ref(), steps);
+            print_states_summary(app_name, e.states());
+            r
+        }
+        "graphchi" => {
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            let mut e = GraphChiEngine::new(Arc::clone(&ssd), &g, iv, cfg);
+            ssd.stats().reset();
+            let r = e.run(app.as_ref(), steps);
+            print_states_summary(app_name, e.states());
+            r
+        }
+        "grafboost" => {
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            let sg = multilogvc::graph::StoredGraph::store_with(&ssd, &g, "cli", iv);
+            ssd.stats().reset();
+            let mut e = GrafBoostEngine::new(ssd, sg, cfg);
+            let r = e.run(app.as_ref(), steps);
+            print_states_summary(app_name, e.states());
+            r
+        }
+        "reference" => {
+            let mut e = ReferenceEngine::new(g.clone(), seed);
+            let r = e.run(app.as_ref(), steps);
+            print_states_summary(app_name, e.states());
+            r
+        }
+        other => return Err(format!("unknown --engine {other}")),
+    };
+
+    println!("\nsuperstep | active | msgs in | pages R | pages W | sim ms");
+    for s in &report.supersteps {
+        println!(
+            "{:9} | {:6} | {:7} | {:7} | {:7} | {:6.2}",
+            s.superstep,
+            s.active_vertices,
+            s.messages_processed,
+            s.io.pages_read,
+            s.io.pages_written,
+            s.sim_time_ns() as f64 / 1e6
+        );
+    }
+    println!(
+        "\nconverged: {}; total {:.2} ms simulated ({:.0}% storage)",
+        report.converged,
+        report.total_sim_time_ns() as f64 / 1e6,
+        100.0 * report.storage_fraction()
+    );
+    Ok(())
+}
+
+fn print_states_summary(app: &str, states: &[u64]) {
+    match app {
+        "bfs" => {
+            let reached = states.iter().filter(|&&s| Bfs::level(s).is_some()).count();
+            let depth = states.iter().filter_map(|&s| Bfs::level(s)).max().unwrap_or(0);
+            println!("reached {reached} vertices, max level {depth}");
+        }
+        "pagerank" => {
+            let top = states
+                .iter()
+                .enumerate()
+                .max_by(|a, b| PageRank::rank(*a.1).total_cmp(&PageRank::rank(*b.1)))
+                .map(|(v, &s)| (v, PageRank::rank(s)));
+            if let Some((v, r)) = top {
+                println!("top rank: vertex {v} at {r:.4}");
+            }
+        }
+        "wcc" | "cdlp" => {
+            let mut labels: Vec<u64> = states.to_vec();
+            labels.sort_unstable();
+            labels.dedup();
+            println!("{} distinct labels", labels.len());
+        }
+        "coloring" => {
+            let max = states.iter().map(|&s| Coloring::color(s)).max().unwrap_or(0);
+            println!("colors used: {}", max + 1);
+        }
+        "mis" => {
+            let k = states
+                .iter()
+                .filter(|&&s| Mis::state(s) == multilogvc::apps::MisState::InSet)
+                .count();
+            println!("independent set size: {k}");
+        }
+        "kcore" => {
+            let max = states.iter().map(|&s| KCore::coreness(s)).max().unwrap_or(0);
+            println!("max coreness: {max}");
+        }
+        "randomwalk" => {
+            println!("total visits: {}", states.iter().sum::<u64>());
+        }
+        "sssp" => {
+            let reached = states.iter().filter(|&&s| Sssp::distance(s).is_some()).count();
+            println!("reached {reached} vertices");
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_handles_flags_switches_positionals() {
+        let raw = strs(&["--app", "bfs", "in.txt", "--async", "--steps", "9", "out.csr"]);
+        let a = parse_args(&raw).unwrap();
+        assert_eq!(a.get("app"), Some("bfs"));
+        assert_eq!(a.get_parsed("steps", 0usize).unwrap(), 9);
+        assert!(a.has("async"));
+        assert_eq!(a.positional, vec!["in.txt", "out.csr"]);
+        assert_eq!(a.get_parsed("memory-kb", 7usize).unwrap(), 7, "default");
+    }
+
+    #[test]
+    fn parser_rejects_dangling_flag_and_bad_values() {
+        assert!(parse_args(&strs(&["--app"])).is_err());
+        let raw = strs(&["--steps", "abc"]);
+        let a = parse_args(&raw).unwrap();
+        assert!(a.get_parsed("steps", 0usize).is_err());
+    }
+
+    #[test]
+    fn gen_stats_convert_run_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mlvc-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csr = dir.join("g.csr");
+        let txt = dir.join("g.txt");
+        let csr_s = csr.to_str().unwrap();
+        let txt_s = txt.to_str().unwrap();
+
+        run(&strs(&["gen", "--kind", "rmat-social", "--scale", "8", "--out", csr_s])).unwrap();
+        run(&strs(&["stats", csr_s])).unwrap();
+        run(&strs(&["convert", csr_s, txt_s])).unwrap();
+        // Text and binary load to the same graph.
+        let a = load_graph(csr_s).unwrap();
+        let b = read_edge_list(
+            File::open(&txt) .unwrap(),
+            &EdgeListOptions {
+                symmetrize: false,
+                dedup: false,
+                drop_self_loops: false,
+                num_vertices: Some(a.num_vertices()),
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b);
+
+        for engine in ["mlvc", "graphchi", "grafboost", "reference"] {
+            run(&strs(&[
+                "run", "--app", "wcc", "--graph", csr_s, "--engine", engine, "--steps", "50",
+            ]))
+            .unwrap();
+        }
+        run(&strs(&[
+            "run", "--app", "bfs", "--graph", csr_s, "--engine", "mlvc", "--async", "--steps",
+            "50",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_commands_and_apps_error_cleanly() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&strs(&[])).is_err());
+        let g = mlvc_gen::path(4);
+        assert!(make_app("nope", &g, 0).is_err());
+        assert!(make_app("sssp", &g, 0).is_err(), "unweighted graph rejected");
+    }
+}

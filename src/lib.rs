@@ -1,0 +1,42 @@
+//! # multilogvc — facade crate
+//!
+//! Re-exports the public API of the MultiLogVC reproduction (Matam, Hashemi,
+//! Annavaram — "MultiLogVC: Efficient Out-of-Core Graph Processing Framework
+//! for Flash Storage", IPDPS 2021): the SSD simulator substrate, graph
+//! storage, the multi-log engine, the vertex-centric applications, and the
+//! GraphChi / GraFBoost baseline engines.
+//!
+//! Quick start:
+//!
+//! ```
+//! use multilogvc::prelude::*;
+//!
+//! // A small power-law graph, a simulated SSD, and the MultiLogVC engine.
+//! let graph = mlvc_gen::rmat(RmatParams::social(10, 8), 42);
+//! let ssd = std::sync::Arc::new(Ssd::new(SsdConfig::default()));
+//! let stored = StoredGraph::store(&ssd, &graph, "demo");
+//! let mut engine = MultiLogEngine::new(ssd, stored, EngineConfig::default());
+//! let report = engine.run(&Bfs::new(0), 15);
+//! assert!(report.supersteps.len() >= 1);
+//! ```
+
+pub use mlvc_apps as apps;
+pub use mlvc_core as core;
+pub use mlvc_gen as gen;
+pub use mlvc_grafboost as grafboost;
+pub use mlvc_graph as graph;
+pub use mlvc_io as io;
+pub use mlvc_graphchi as graphchi;
+pub use mlvc_log as log;
+pub use mlvc_ssd as ssd;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use mlvc_apps::{Bfs, Cdlp, Coloring, Mis, PageRank, RandomWalk, Sssp, Wcc};
+    pub use mlvc_core::{Engine, EngineConfig, MultiLogEngine, RunReport, VertexProgram};
+    pub use mlvc_gen::{self, RmatParams};
+    pub use mlvc_grafboost::GrafBoostEngine;
+    pub use mlvc_graph::{Csr, StoredGraph, VertexId};
+    pub use mlvc_graphchi::GraphChiEngine;
+    pub use mlvc_ssd::{Ssd, SsdConfig};
+}

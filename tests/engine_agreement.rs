@@ -1,0 +1,177 @@
+//! Cross-engine agreement: the same vertex program must produce identical
+//! results on MultiLogVC, the GraphChi baseline, and (where its model
+//! allows) the GraFBoost baseline — the property that makes the paper's
+//! performance comparison meaningful.
+
+use std::sync::Arc;
+
+use multilogvc::apps::{Bfs, Cdlp, Coloring, KCore, Mis, PageRank, RandomWalk, Wcc};
+use multilogvc::core::{Engine, EngineConfig, MultiLogEngine, ReferenceEngine, VertexProgram};
+use multilogvc::grafboost::GrafBoostEngine;
+use multilogvc::graph::{Csr, StoredGraph, VertexIntervals};
+use multilogvc::graphchi::GraphChiEngine;
+use multilogvc::ssd::{Ssd, SsdConfig};
+
+fn graphs() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("cf_mini", mlvc_gen::cf_mini(9, 11).graph),
+        ("yws_mini", mlvc_gen::yws_mini(8, 11).graph),
+        ("grid", mlvc_gen::grid(12, 13)),
+        ("sbm", mlvc_gen::sbm(
+            mlvc_gen::SbmParams { n: 300, communities: 3, intra_degree: 8.0, inter_degree: 0.7 },
+            5,
+        )),
+    ]
+}
+
+fn run_three(csr: &Csr, prog: &dyn VertexProgram, steps: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let iv = VertexIntervals::uniform(csr.num_vertices(), 5);
+    let cfg = EngineConfig::default().with_memory(512 << 10);
+
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let sg = StoredGraph::store_with(&ssd, csr, "m", iv.clone());
+    let mut m = MultiLogEngine::new(ssd, sg, cfg.clone());
+    m.run(prog, steps);
+
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let mut g = GraphChiEngine::new(ssd, csr, iv.clone(), cfg.clone());
+    g.run(prog, steps);
+
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let sg = StoredGraph::store_with(&ssd, csr, "f", iv);
+    let mut f = GrafBoostEngine::new(ssd, sg, cfg);
+    f.run(prog, steps);
+
+    (m.states().to_vec(), g.states().to_vec(), f.states().to_vec())
+}
+
+#[test]
+fn bfs_agrees_everywhere() {
+    for (name, g) in graphs() {
+        let (m, c, f) = run_three(&g, &Bfs::new(1), 60);
+        assert_eq!(m, c, "{name}: MultiLogVC vs GraphChi");
+        assert_eq!(m, f, "{name}: MultiLogVC vs GraFBoost");
+    }
+}
+
+#[test]
+fn cdlp_agrees_everywhere() {
+    for (name, g) in graphs() {
+        let (m, c, f) = run_three(&g, &Cdlp, 12);
+        assert_eq!(m, c, "{name}: MultiLogVC vs GraphChi");
+        assert_eq!(m, f, "{name}: MultiLogVC vs adapted GraFBoost");
+    }
+}
+
+#[test]
+fn coloring_agrees_and_is_proper() {
+    for (name, g) in graphs() {
+        let iv = VertexIntervals::uniform(g.num_vertices(), 5);
+        let cfg = EngineConfig::default().with_memory(512 << 10);
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let sg = StoredGraph::store_with(&ssd, &g, "m", iv.clone());
+        let mut m = MultiLogEngine::new(ssd, sg, cfg.clone());
+        let rm = m.run(&Coloring::new(), 500);
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let mut c = GraphChiEngine::new(ssd, &g, iv, cfg);
+        let rc = c.run(&Coloring::new(), 500);
+        assert!(rm.converged && rc.converged, "{name} must converge");
+        assert_eq!(m.states(), c.states(), "{name}");
+        let colors: Vec<u32> = m.states().iter().map(|&s| s as u32).collect();
+        assert!(mlvc_apps::is_proper_coloring(&g, &colors), "{name}");
+    }
+}
+
+#[test]
+fn mis_agrees_and_is_maximal() {
+    for (name, g) in graphs() {
+        let (m, c, f) = run_three(&g, &Mis, 300);
+        assert_eq!(m, c, "{name}");
+        assert_eq!(m, f, "{name}");
+        let in_set: Vec<bool> = m
+            .iter()
+            .map(|&s| mlvc_apps::Mis::state(s) == mlvc_apps::MisState::InSet)
+            .collect();
+        assert!(
+            mlvc_apps::is_maximal_independent_set(&g, &in_set),
+            "{name}: MIS invalid"
+        );
+    }
+}
+
+#[test]
+fn pagerank_agrees_within_tolerance() {
+    for (name, g) in graphs() {
+        let (m, c, f) = run_three(&g, &PageRank::new(0.85, 1e-9), 120);
+        for v in 0..g.num_vertices() {
+            let a = PageRank::rank(m[v]);
+            let b = PageRank::rank(c[v]);
+            let d = PageRank::rank(f[v]);
+            assert!((a - b).abs() < 1e-8, "{name} v={v}: {a} vs {b}");
+            assert!((a - d).abs() < 1e-8, "{name} v={v}: {a} vs {d}");
+        }
+    }
+}
+
+#[test]
+fn wcc_agrees_everywhere_including_reference() {
+    for (name, g) in graphs() {
+        let (m, c, f) = run_three(&g, &Wcc, 80);
+        assert_eq!(m, c, "{name}: MultiLogVC vs GraphChi");
+        assert_eq!(m, f, "{name}: MultiLogVC vs GraFBoost");
+        let mut r = ReferenceEngine::new(g.clone(), 0xC0FFEE);
+        r.run(&Wcc, 80);
+        assert_eq!(m, r.states(), "{name}: MultiLogVC vs Reference");
+    }
+}
+
+#[test]
+fn kcore_agrees_and_matches_peeling() {
+    for (name, g) in graphs() {
+        let (m, c, f) = run_three(&g, &KCore::new(), 200);
+        assert_eq!(m, c, "{name}: MultiLogVC vs GraphChi");
+        assert_eq!(m, f, "{name}: MultiLogVC vs adapted GraFBoost");
+        let expect = multilogvc::apps::coreness_reference(&g);
+        let got: Vec<u32> = m.iter().map(|&s| KCore::coreness(s)).collect();
+        assert_eq!(got, expect, "{name}: coreness vs peeling reference");
+    }
+}
+
+#[test]
+fn reference_engine_agrees_on_every_app() {
+    let g = mlvc_gen::cf_mini(9, 11).graph;
+    // Two instances per app: programs with per-run auxiliary state (the
+    // coloring/k-core neighbor maps) must not be shared across engines.
+    type AppPair = (Box<dyn VertexProgram>, Box<dyn VertexProgram>, usize);
+    let apps: Vec<AppPair> = vec![
+        (Box::new(Bfs::new(1)), Box::new(Bfs::new(1)), 60),
+        (Box::new(Cdlp), Box::new(Cdlp), 12),
+        (Box::new(Mis), Box::new(Mis), 300),
+        (Box::new(Coloring::new()), Box::new(Coloring::new()), 500),
+        (Box::new(KCore::new()), Box::new(KCore::new()), 200),
+        (Box::new(Wcc), Box::new(Wcc), 80),
+    ];
+    for (app_m, app_r, steps) in apps {
+        let iv = VertexIntervals::uniform(g.num_vertices(), 5);
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let sg = StoredGraph::store_with(&ssd, &g, "m", iv);
+        let mut m = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(512 << 10));
+        m.run(app_m.as_ref(), steps);
+        let mut r = ReferenceEngine::new(g.clone(), 0xC0FFEE);
+        r.run(app_r.as_ref(), steps);
+        assert_eq!(m.states(), r.states(), "app {}", app_r.name());
+    }
+}
+
+#[test]
+fn random_walk_visit_totals_agree() {
+    for (name, g) in graphs() {
+        let app = RandomWalk::new(50, 2, 10);
+        let (m, c, f) = run_three(&g, &app, 20);
+        let tm: u64 = m.iter().sum();
+        let tc: u64 = c.iter().sum();
+        let tf: u64 = f.iter().sum();
+        assert_eq!(tm, tc, "{name}: MultiLogVC vs GraphChi totals");
+        assert_eq!(tm, tf, "{name}: MultiLogVC vs GraFBoost totals");
+    }
+}

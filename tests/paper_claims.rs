@@ -1,0 +1,145 @@
+//! Small-scale assertions of the paper's headline claims — the qualitative
+//! *shapes* that the figure harness regenerates at full scale.
+
+use std::sync::Arc;
+
+use multilogvc::apps::{Bfs, Coloring, Mis, PageRank};
+use multilogvc::core::{Engine, EngineConfig, MultiLogEngine, RunReport, VertexProgram};
+use multilogvc::grafboost::GrafBoostEngine;
+use multilogvc::graph::{Csr, StoredGraph, VertexIntervals};
+use multilogvc::graphchi::GraphChiEngine;
+use multilogvc::ssd::{Ssd, SsdConfig};
+
+fn mlvc_run(g: &Csr, app: &dyn VertexProgram, steps: usize, mem: usize) -> RunReport {
+    let iv = VertexIntervals::uniform(g.num_vertices(), 8);
+    let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+    let sg = StoredGraph::store_with(&ssd, g, "m", iv);
+    ssd.stats().reset();
+    let mut e = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
+    e.run(app, steps)
+}
+
+fn gchi_run(g: &Csr, app: &dyn VertexProgram, steps: usize, mem: usize) -> RunReport {
+    let iv = VertexIntervals::uniform(g.num_vertices(), 8);
+    let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+    let e0 = GraphChiEngine::new(Arc::clone(&ssd), g, iv, EngineConfig::default().with_memory(mem));
+    ssd.stats().reset();
+    let mut e = e0;
+    e.run(app, steps)
+}
+
+const MEM: usize = 1 << 20;
+
+/// §I / Fig. 5: BFS touching a small part of the graph reads far fewer
+/// pages on MultiLogVC than on shard-loading GraphChi.
+#[test]
+fn claim_bfs_sparse_traversal_page_advantage() {
+    let g = mlvc_gen::cf_mini(12, 17).graph;
+    let app = Bfs::new(0);
+    let rm = mlvc_run(&g, &app, 3, MEM);
+    let rg = gchi_run(&g, &app, 3, MEM);
+    assert!(
+        rg.total_pages() as f64 > 2.5 * rm.total_pages() as f64,
+        "GraphChi {} vs MultiLogVC {} pages",
+        rg.total_pages(),
+        rm.total_pages()
+    );
+    assert!(rm.speedup_over(&rg) > 1.5);
+}
+
+/// §II-B / Fig. 2: the active set shrinks dramatically over supersteps.
+#[test]
+fn claim_active_set_shrinks() {
+    let g = mlvc_gen::cf_mini(11, 2).graph;
+    let r = mlvc_run(&g, &Coloring::new(), 40, MEM);
+    // Active vertices shrink (Fig. 2 major axis)...
+    let first_v = r.supersteps.first().unwrap().active_vertices;
+    let last_v = r.supersteps.last().unwrap().active_vertices;
+    assert!(last_v * 2 <= first_v, "vertices {first_v} -> {last_v}");
+    // ...and active edges (updates sent over edges, the minor axis) shrink
+    // dramatically — this is what drives the I/O advantage.
+    let first_m = r.supersteps[1].messages_processed;
+    let last_m = r.supersteps.last().unwrap().messages_processed;
+    assert!(last_m * 5 < first_m, "messages {first_m} -> {last_m}");
+}
+
+/// Fig. 6d: MIS — probabilistic selection keeps few vertices active, so
+/// MultiLogVC wins clearly.
+#[test]
+fn claim_mis_speedup() {
+    let g = mlvc_gen::cf_mini(11, 5).graph;
+    let rm = mlvc_run(&g, &Mis, 15, MEM);
+    let rg = gchi_run(&g, &Mis, 15, MEM);
+    assert!(
+        rm.speedup_over(&rg) > 1.5,
+        "MIS speedup {}",
+        rm.speedup_over(&rg)
+    );
+}
+
+/// Fig. 5c: storage access dominates execution time on both engines.
+#[test]
+fn claim_storage_time_dominates() {
+    let g = mlvc_gen::cf_mini(11, 9).graph;
+    let rm = mlvc_run(&g, &PageRank::default(), 15, MEM);
+    let rg = gchi_run(&g, &PageRank::default(), 15, MEM);
+    assert!(rm.storage_fraction() > 0.5, "MLVC {:.2}", rm.storage_fraction());
+    assert!(rg.storage_fraction() > 0.7, "GChi {:.2}", rg.storage_fraction());
+}
+
+/// Fig. 8: once the single log outgrows memory, GraFBoost pays for the
+/// external sort and MultiLogVC wins — and the gap *widens* as memory
+/// shrinks relative to the log.
+#[test]
+fn claim_grafboost_external_sort_gap() {
+    let g = mlvc_gen::cf_mini(12, 3).graph;
+    let app = PageRank::new(0.85, 1e-3);
+    let iv = VertexIntervals::uniform(g.num_vertices(), 8);
+
+    let gfb_time = |mem: usize| {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let sg = StoredGraph::store_with(&ssd, &g, "f", iv.clone());
+        ssd.stats().reset();
+        let mut e = GrafBoostEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
+        e.run(&app, 2).total_sim_time_ns()
+    };
+    let rm = mlvc_run(&g, &app, 2, 256 << 10);
+    let tight = gfb_time(256 << 10);
+    let roomy = gfb_time(32 << 20);
+    assert!(
+        tight > roomy,
+        "external sort must cost more under memory pressure: {tight} vs {roomy}"
+    );
+    assert!(
+        (tight as f64) > 1.2 * rm.total_sim_time_ns() as f64,
+        "MultiLogVC {} vs GraFBoost {}",
+        rm.total_sim_time_ns(),
+        tight
+    );
+}
+
+/// §V-C: the edge-log optimizer reduces pages read for iterative
+/// algorithms without changing results.
+#[test]
+fn claim_edge_log_reduces_reads() {
+    let g = mlvc_gen::cf_mini(11, 4).graph;
+    let iv = VertexIntervals::uniform(g.num_vertices(), 8);
+    let run = |enable: bool| {
+        let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+        let sg = StoredGraph::store_with(&ssd, &g, "m", iv.clone());
+        ssd.stats().reset();
+        let mut e = MultiLogEngine::new(
+            ssd,
+            sg,
+            EngineConfig::default().with_memory(MEM).with_edge_log(enable),
+        );
+        let r = e.run(&Coloring::new(), 15);
+        (e.states().to_vec(), r)
+    };
+    let (s_on, r_on) = run(true);
+    let (s_off, r_off) = run(false);
+    assert_eq!(s_on, s_off, "optimizer must not change results");
+    let hits: u64 = r_on.supersteps.iter().map(|s| s.edge_log_hits).sum();
+    assert!(hits > 0, "optimizer should serve some vertices from the log");
+    let _ = r_off;
+}

@@ -1,0 +1,218 @@
+//! Cross-crate property-based tests (proptest) of the invariants listed in
+//! DESIGN.md §7, on randomly generated graphs and access patterns.
+
+use std::sync::Arc;
+
+use multilogvc::apps::{Bfs, Coloring, Mis, MisState};
+use multilogvc::core::{Engine, EngineConfig, InitActive, MultiLogEngine, VertexCtx, VertexProgram};
+use multilogvc::graph::{
+    Csr, EdgeListBuilder, GraphLoader, StoredGraph, StructuralUpdate, StructuralUpdateBuffer,
+    VertexIntervals, VertexId,
+};
+use multilogvc::ssd::{Ssd, SsdConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random graph as (vertex count, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..80).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..300);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut b = EdgeListBuilder::new(n)
+        .symmetrize(true)
+        .dedup(true)
+        .drop_self_loops(true);
+    for &(s, d) in edges {
+        b.push(s, d);
+    }
+    b.build()
+}
+
+fn store(csr: &Csr, k: usize) -> (Arc<Ssd>, StoredGraph) {
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let iv = VertexIntervals::uniform(csr.num_vertices(), k);
+    let sg = StoredGraph::store_with(&ssd, csr, "p", iv);
+    (ssd, sg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR → SSD → CSR is the identity for any graph and partition.
+    #[test]
+    fn stored_graph_roundtrip((n, edges) in arb_graph(), k in 1usize..9) {
+        let csr = build(n, &edges);
+        let (_ssd, sg) = store(&csr, k);
+        prop_assert_eq!(sg.to_csr(), csr);
+    }
+
+    /// The selective loader returns exactly the CSR adjacency for any
+    /// active subset of any interval.
+    #[test]
+    fn loader_matches_csr((n, edges) in arb_graph(), k in 1usize..6, pick in any::<u64>()) {
+        let csr = build(n, &edges);
+        let (_ssd, sg) = store(&csr, k);
+        let mut loader = GraphLoader::new();
+        for i in sg.intervals().iter_ids() {
+            // Pseudo-random subset of the interval.
+            let active: Vec<VertexId> = sg
+                .intervals()
+                .range(i)
+                .filter(|v| (pick >> (v % 61)) & 1 == 1)
+                .collect();
+            let got = loader.load_active(&sg, i, &active, false, None);
+            prop_assert_eq!(got.len(), active.len());
+            for lv in got {
+                prop_assert_eq!(lv.edges.as_slice(), csr.out_edges(lv.v), "vertex {}", lv.v);
+            }
+        }
+    }
+
+    /// Interval partitions cover every vertex exactly once, whatever the
+    /// in-degree profile and budget.
+    #[test]
+    fn intervals_partition_vertex_space(
+        in_deg in proptest::collection::vec(0u64..50, 1..200),
+        budget in 64usize..4096,
+    ) {
+        let iv = VertexIntervals::by_inbound_budget(&in_deg, 16, budget);
+        prop_assert_eq!(iv.num_vertices(), in_deg.len());
+        let mut seen = vec![false; in_deg.len()];
+        for i in iv.iter_ids() {
+            for v in iv.range(i) {
+                prop_assert!(!seen[v as usize], "vertex {} covered twice", v);
+                seen[v as usize] = true;
+                prop_assert_eq!(iv.interval_of(v), i);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Batched structural merging equals eager merging for any update
+    /// sequence (DESIGN.md §7).
+    #[test]
+    fn structural_batched_equals_eager(
+        (n, edges) in arb_graph(),
+        ups in proptest::collection::vec((any::<bool>(), 0u32..80, 0u32..80), 0..40),
+    ) {
+        let csr = build(n, &edges);
+        let ups: Vec<StructuralUpdate> = ups
+            .into_iter()
+            .filter(|&(_, s, d)| (s as usize) < n && (d as usize) < n)
+            .map(|(add, src, dst)| if add {
+                StructuralUpdate::AddEdge { src, dst }
+            } else {
+                StructuralUpdate::RemoveEdge { src, dst }
+            })
+            .collect();
+
+        let (_s1, sg_batched) = store(&csr, 4);
+        let mut buf = StructuralUpdateBuffer::new(sg_batched.intervals().clone(), 8);
+        for &u in &ups {
+            buf.push(u);
+            buf.merge_over_threshold(&sg_batched);
+        }
+        buf.merge_all(&sg_batched);
+
+        let (_s2, sg_eager) = store(&csr, 4);
+        let mut eager = StructuralUpdateBuffer::new(sg_eager.intervals().clone(), 1);
+        for &u in &ups {
+            eager.push(u);
+            eager.merge_all(&sg_eager);
+        }
+        prop_assert_eq!(sg_batched.to_csr(), sg_eager.to_csr());
+    }
+
+    /// Flood (max-id propagation) on any graph converges to the component
+    /// maximum — checked against union-find ground truth.
+    #[test]
+    fn flood_matches_union_find((n, edges) in arb_graph()) {
+        struct Flood;
+        impl VertexProgram for Flood {
+            fn name(&self) -> &'static str { "flood" }
+            fn init_state(&self, v: VertexId) -> u64 { v as u64 }
+            fn init_active(&self, _n: usize) -> InitActive { InitActive::All }
+            fn process(&self, ctx: &mut VertexCtx<'_>) {
+                let best = ctx.msgs().iter().map(|m| m.data).fold(ctx.state(), u64::max);
+                if best > ctx.state() || ctx.superstep() == 1 {
+                    ctx.set_state(best);
+                    ctx.send_all(best);
+                }
+            }
+        }
+        let csr = build(n, &edges);
+        let (ssd, sg) = store(&csr, 4);
+        let mut eng = MultiLogEngine::with_shared_graph(
+            ssd,
+            Arc::new(sg),
+            EngineConfig::default().with_memory(64 << 10),
+        );
+        let r = eng.run(&Flood, 4 * n + 4);
+        prop_assert!(r.converged);
+
+        // Union-find ground truth.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for (s, d) in csr.edges() {
+            let (a, b) = (find(&mut parent, s as usize), find(&mut parent, d as usize));
+            parent[a.min(b)] = a.max(b);
+        }
+        for v in 0..n {
+            let root = find(&mut parent, v);
+            let comp_max = (0..n).filter(|&u| find(&mut parent, u) == root).max().unwrap();
+            prop_assert_eq!(eng.state_of(v as u32), comp_max as u64, "vertex {}", v);
+        }
+    }
+
+    /// BFS levels equal the queue-based reference on any graph and source.
+    #[test]
+    fn bfs_matches_reference_any_graph((n, edges) in arb_graph(), src_pick in any::<u32>()) {
+        let csr = build(n, &edges);
+        let src = src_pick % n as u32;
+        let (ssd, sg) = store(&csr, 3);
+        let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(64 << 10));
+        let r = eng.run(&Bfs::new(src), 2 * n + 2);
+        prop_assert!(r.converged);
+        let expect = mlvc_apps::bfs_reference(&csr, src);
+        for (v, e) in expect.iter().enumerate() {
+            prop_assert_eq!(Bfs::level(eng.state_of(v as u32)), *e);
+        }
+    }
+
+    /// MIS output is a valid maximal independent set on any graph.
+    #[test]
+    fn mis_valid_any_graph((n, edges) in arb_graph()) {
+        let csr = build(n, &edges);
+        let (ssd, sg) = store(&csr, 3);
+        let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(64 << 10));
+        let r = eng.run(&Mis, 8 * n + 8);
+        prop_assert!(r.converged);
+        let in_set: Vec<bool> = eng
+            .states()
+            .iter()
+            .map(|&s| Mis::state(s) == MisState::InSet)
+            .collect();
+        prop_assert!(mlvc_apps::is_maximal_independent_set(&csr, &in_set));
+    }
+
+    /// Coloring output is proper on any graph.
+    #[test]
+    fn coloring_proper_any_graph((n, edges) in arb_graph()) {
+        let csr = build(n, &edges);
+        let (ssd, sg) = store(&csr, 3);
+        let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(64 << 10));
+        let r = eng.run(&Coloring::new(), 40 * n + 40);
+        prop_assert!(r.converged);
+        let colors: Vec<u32> = eng.states().iter().map(|&s| s as u32).collect();
+        prop_assert!(mlvc_apps::is_proper_coloring(&csr, &colors));
+    }
+}
