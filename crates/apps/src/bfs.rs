@@ -48,7 +48,9 @@ impl VertexProgram for Bfs {
         if ctx.state() != UNVISITED {
             return; // already settled; BFS levels only decrease via first touch
         }
-        let level = ctx.msgs().iter().map(|m| m.data).min().expect("active implies messages");
+        let Some(level) = ctx.msgs().iter().map(|m| m.data).min() else {
+            return; // activation without messages delivers nothing to settle
+        };
         ctx.set_state(level);
         ctx.send_all(level + 1);
     }

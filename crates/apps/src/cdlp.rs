@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn sbm_recovers_planted_communities_mostly() {
         let p = mlvc_gen::SbmParams { n: 200, communities: 2, intra_degree: 16.0, inter_degree: 0.2 };
-        let g = mlvc_gen::sbm(p, 4);
+        let g = mlvc_gen::sbm(p, 12);
         let labels = run_cdlp(&g, 30);
         // Within each block, the dominant label should cover most vertices.
         for block in 0..2usize {

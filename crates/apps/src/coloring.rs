@@ -2,20 +2,22 @@ use std::collections::HashMap;
 
 use mlvc_core::{InitActive, VertexCtx, VertexProgram};
 use mlvc_graph::VertexId;
-use parking_lot::{Mutex, RwLock};
+use mlvc_core::sync::{Mutex, RwLock};
 
-/// Greedy graph coloring with conflict-driven recoloring (GC; the paper
-/// cites the PowerGraph formulation [9]).
+/// Speculative greedy graph coloring with conflict-driven recoloring (GC;
+/// the paper cites the PowerGraph formulation [9]).
 ///
-/// Every vertex starts with color 0 and announces it. Each vertex
-/// remembers the most recent color announced by each neighbor (the paper
-/// stores these in the edge values on storage — "active vertices access
-/// in-edge weights and store the updates received via source vertices",
-/// §VIII; this reproduction keeps the equivalent per-vertex map in host
-/// memory for *both* engines, so the I/O comparison is unaffected —
-/// recorded in DESIGN.md). On a conflict the *smaller* id yields and moves
-/// to the minimum color excluded by everything it knows (mex); the winner
-/// re-announces its color to the offender only, repairing stale views.
+/// Every vertex speculatively picks a pseudo-random color from its feasible
+/// window `[0, degree]` and announces it. Each vertex remembers the most
+/// recent color announced by each neighbor (the paper stores these in the
+/// edge values on storage — "active vertices access in-edge weights and
+/// store the updates received via source vertices", §VIII; this
+/// reproduction keeps the equivalent per-vertex map in host memory for
+/// *both* engines, so the I/O comparison is unaffected — recorded in
+/// DESIGN.md). On a conflict the *smaller* id yields and moves to a
+/// pseudo-random color its window allows that no known neighbor holds —
+/// the random draw (rather than a deterministic mex) keeps simultaneous
+/// yielders from colliding again, so conflicts die off geometrically.
 /// No messages → no conflicts → converged to a proper coloring, with
 /// activity shrinking superstep over superstep (the paper's Fig. 2
 /// workload).
@@ -42,6 +44,44 @@ impl Coloring {
     pub fn color(state: u64) -> u32 {
         state as u32
     }
+}
+
+/// SplitMix64 finalizer — the per-(vertex, superstep) deterministic draw
+/// behind speculative color choices.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pseudo-random color from the feasible window `[0, degree]` that no
+/// known neighbor currently holds. The window always has a free slot
+/// (a vertex has at most `degree` distinct neighbors), and staying inside
+/// it bounds the palette by `max_degree + 1` — the greedy guarantee.
+fn pick_color(v: VertexId, superstep: usize, degree: usize, used: &mut Vec<u64>) -> u64 {
+    used.sort_unstable();
+    used.dedup();
+    let window = degree as u64 + 1;
+    let in_window = used.iter().filter(|&&c| c < window).count() as u64;
+    let free = window - in_window;
+    if free == 0 {
+        // Possible only when in-degree exceeds out-degree (non-symmetric
+        // adjacency): fall back to the smallest globally free color.
+        return mex(std::mem::take(used));
+    }
+    let mut r = mix((v as u64) << 32 | superstep as u64) % free;
+    let mut candidate = 0u64;
+    for &c in used.iter().filter(|&&c| c < window) {
+        // `candidate..c` are free slots; is the r-th free one among them?
+        let gap = c - candidate;
+        if r < gap {
+            return candidate + r;
+        }
+        r -= gap;
+        candidate = c + 1;
+    }
+    candidate + r
 }
 
 /// Minimum color absent from `used`.
@@ -77,8 +117,10 @@ impl VertexProgram for Coloring {
     fn process(&self, ctx: &mut VertexCtx<'_>) {
         let v = ctx.vertex();
         if ctx.superstep() == 1 {
+            let c = pick_color(v, 1, ctx.degree(), &mut Vec::new());
+            ctx.set_state(c);
             if ctx.degree() > 0 {
-                ctx.send_all(0);
+                ctx.send_all(c);
             }
             return;
         }
@@ -90,10 +132,19 @@ impl VertexProgram for Coloring {
         let my = ctx.state();
         let conflict_higher = known.iter().any(|(&u, &c)| c == my && u > v);
         if conflict_higher {
-            let new = mex(known.values().copied().collect());
-            drop(known);
-            ctx.set_state(new);
-            ctx.send_all(new);
+            // Yield on a fair per-(vertex, superstep) draw; otherwise hold
+            // the color and retry next superstep. The staggering keeps
+            // simultaneous yielders from stampeding onto the same mex.
+            if mix((v as u64) << 32 | ctx.superstep() as u64) & 1 == 0 {
+                let used: Vec<u64> = known.values().copied().collect();
+                drop(known);
+                let new = mex(used);
+                ctx.set_state(new);
+                ctx.send_all(new);
+            } else {
+                drop(known);
+                ctx.keep_active();
+            }
         } else {
             // Keep the color; repair stale lower-priority offenders.
             let offenders: Vec<VertexId> = known
@@ -139,6 +190,22 @@ mod tests {
     }
 
     #[test]
+    fn pick_color_avoids_used_and_stays_in_window() {
+        for v in 0..64u32 {
+            for step in 1..8usize {
+                let mut used = vec![0, 2, 3];
+                let c = pick_color(v, step, 4, &mut used);
+                assert!(c == 1 || c == 4, "free slots of [0,4] minus {{0,2,3}}; got {c}");
+            }
+        }
+        // Degree 0 has a single feasible color.
+        assert_eq!(pick_color(9, 1, 0, &mut Vec::new()), 0);
+        // A full low window forces the one remaining slot.
+        let mut used = vec![0, 1, 2];
+        assert_eq!(pick_color(3, 2, 3, &mut used), 3);
+    }
+
+    #[test]
     fn colors_complete_graph_properly_with_n_colors() {
         let g = mlvc_gen::complete(6);
         let (colors, converged) = run_coloring(&g, 100);
@@ -157,7 +224,7 @@ mod tests {
         assert!(converged);
         assert!(is_proper_coloring(&g, &colors));
         let max = colors.iter().max().unwrap();
-        assert!(*max <= 4, "grid degree <= 4 bounds mex; got max color {max}");
+        assert!(*max <= 4, "grid degree <= 4 bounds the window; got max color {max}");
     }
 
     #[test]

@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use mlvc_core::{InitActive, VertexCtx, VertexProgram};
 use mlvc_graph::VertexId;
-use parking_lot::{Mutex, RwLock};
+use mlvc_core::sync::{Mutex, RwLock};
 
 /// Distributed k-core decomposition (coreness) in the style of Montresor
 /// et al. — a DESIGN.md §8 extension app in the "merging updates not

@@ -13,7 +13,9 @@ pub fn bfs_reference(g: &Csr, source: VertexId) -> Vec<Option<u64>> {
     levels[source as usize] = Some(0);
     q.push_back(source);
     while let Some(v) = q.pop_front() {
-        let next = levels[v as usize].unwrap() + 1;
+        // Every vertex has its level set before being enqueued.
+        let Some(cur) = levels[v as usize] else { continue };
+        let next = cur + 1;
         for &u in g.out_edges(v) {
             if levels[u as usize].is_none() {
                 levels[u as usize] = Some(next);
@@ -64,6 +66,7 @@ pub fn dijkstra_reference(g: &Csr, source: VertexId) -> Vec<Option<f64>> {
         if d > dist[v as usize] {
             continue;
         }
+        // mlvc-lint: allow(no-panic-in-lib) -- validating SSSP against an unweighted graph is a setup bug; abort loudly
         let weights = g.out_weights(v).expect("weighted graph required");
         for (k, &u) in g.out_edges(v).iter().enumerate() {
             let nd = d + weights[k] as f64;

@@ -3,67 +3,42 @@
 //! live in the fig* binaries; these measure the host cost of running the
 //! frameworks themselves.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mlvc_bench::Settings;
+use mlvc_bench::{micro, Settings};
 use mlvc_core::Engine;
 
 fn settings() -> Settings {
     Settings { scale: 11, memory_bytes: 512 << 10, supersteps: 10, seed: 42 }
 }
 
-fn bench_bfs(c: &mut Criterion) {
+fn main() {
     let s = settings();
     let g = mlvc_gen::cf_mini(s.scale, s.seed).graph;
-    let app = mlvc_apps::Bfs::new(0);
-    let mut grp = c.benchmark_group("engines_bfs");
-    grp.sample_size(10);
-    grp.bench_function("multilogvc", |b| {
-        b.iter(|| {
-            let mut e = s.mlvc(&g);
-            e.run(&app, s.supersteps)
-        })
-    });
-    grp.bench_function("graphchi", |b| {
-        b.iter(|| {
-            let mut e = s.graphchi(&g);
-            e.run(&app, s.supersteps)
-        })
-    });
-    grp.bench_function("grafboost", |b| {
-        b.iter(|| {
-            let mut e = s.grafboost(&g);
-            e.run(&app, s.supersteps)
-        })
-    });
-    grp.finish();
-}
 
-fn bench_pagerank(c: &mut Criterion) {
-    let s = settings();
-    let g = mlvc_gen::cf_mini(s.scale, s.seed).graph;
-    let app = mlvc_apps::PageRank::default();
-    let mut grp = c.benchmark_group("engines_pagerank");
-    grp.sample_size(10);
-    grp.bench_function("multilogvc", |b| {
-        b.iter(|| {
-            let mut e = s.mlvc(&g);
-            e.run(&app, s.supersteps)
-        })
+    let bfs = mlvc_apps::Bfs::new(0);
+    micro::case("engines_bfs/multilogvc", 10, None, || (), |()| {
+        let mut e = s.mlvc(&g);
+        e.run(&bfs, s.supersteps)
     });
-    grp.bench_function("graphchi", |b| {
-        b.iter(|| {
-            let mut e = s.graphchi(&g);
-            e.run(&app, s.supersteps)
-        })
+    micro::case("engines_bfs/graphchi", 10, None, || (), |()| {
+        let mut e = s.graphchi(&g);
+        e.run(&bfs, s.supersteps)
     });
-    grp.bench_function("grafboost", |b| {
-        b.iter(|| {
-            let mut e = s.grafboost(&g);
-            e.run(&app, s.supersteps)
-        })
+    micro::case("engines_bfs/grafboost", 10, None, || (), |()| {
+        let mut e = s.grafboost(&g);
+        e.run(&bfs, s.supersteps)
     });
-    grp.finish();
-}
 
-criterion_group!(benches, bench_bfs, bench_pagerank);
-criterion_main!(benches);
+    let pr = mlvc_apps::PageRank::default();
+    micro::case("engines_pagerank/multilogvc", 10, None, || (), |()| {
+        let mut e = s.mlvc(&g);
+        e.run(&pr, s.supersteps)
+    });
+    micro::case("engines_pagerank/graphchi", 10, None, || (), |()| {
+        let mut e = s.graphchi(&g);
+        e.run(&pr, s.supersteps)
+    });
+    micro::case("engines_pagerank/grafboost", 10, None, || (), |()| {
+        let mut e = s.grafboost(&g);
+        e.run(&pr, s.supersteps)
+    });
+}

@@ -2,7 +2,7 @@
 //! design eliminates. Compares the in-memory fast path, external runs +
 //! merge, and the sort-reduce (combine) path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlvc_bench::micro;
 use mlvc_grafboost::external_sort;
 use mlvc_log::Update;
 use mlvc_ssd::{Ssd, SsdConfig};
@@ -19,45 +19,20 @@ fn make_log(ssd: &Ssd) -> mlvc_ssd::FileId {
     f
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extsort");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("in_memory_200k", |b| {
-        b.iter_batched(
-            || {
-                let ssd = Ssd::new(SsdConfig::default());
-                let f = make_log(&ssd);
-                (ssd, f)
-            },
-            |(ssd, f)| external_sort(&ssd, f, 64 << 20, None, "b"),
-            BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("external_200k", |b| {
-        b.iter_batched(
-            || {
-                let ssd = Ssd::new(SsdConfig::default());
-                let f = make_log(&ssd);
-                (ssd, f)
-            },
-            |(ssd, f)| external_sort(&ssd, f, 256 << 10, None, "b"),
-            BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("external_sort_reduce_200k", |b| {
-        b.iter_batched(
-            || {
-                let ssd = Ssd::new(SsdConfig::default());
-                let f = make_log(&ssd);
-                (ssd, f)
-            },
-            |(ssd, f)| external_sort(&ssd, f, 256 << 10, Some(u64::wrapping_add as _), "b"),
-            BatchSize::LargeInput,
-        );
-    });
-    g.finish();
+fn setup() -> (Ssd, mlvc_ssd::FileId) {
+    let ssd = Ssd::new(SsdConfig::default());
+    let f = make_log(&ssd);
+    (ssd, f)
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    micro::case("extsort/in_memory_200k", 10, Some(N), setup, |(ssd, f)| {
+        external_sort(&ssd, f, 64 << 20, None, "b")
+    });
+    micro::case("extsort/external_200k", 10, Some(N), setup, |(ssd, f)| {
+        external_sort(&ssd, f, 256 << 10, None, "b")
+    });
+    micro::case("extsort/external_sort_reduce_200k", 10, Some(N), setup, |(ssd, f)| {
+        external_sort(&ssd, f, 256 << 10, Some(u64::wrapping_add as _), "b")
+    });
+}

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the multi-log update unit and the sort & group unit
 //! — the hot path of every MultiLogVC superstep.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlvc_bench::micro;
 use mlvc_graph::VertexIntervals;
 use mlvc_log::{group_by_dest, MultiLog, MultiLogConfig, SortGroup, Update};
 use mlvc_ssd::{Ssd, SsdConfig};
@@ -21,56 +21,39 @@ fn updates(n: u64) -> Vec<Update> {
         .collect()
 }
 
-fn bench_send(c: &mut Criterion) {
+fn main() {
     let ups = updates(N_SENDS);
-    let mut g = c.benchmark_group("multilog");
-    g.throughput(Throughput::Elements(N_SENDS));
-    g.bench_function("send_100k", |b| {
-        b.iter_batched(
-            fresh_multilog,
-            |mut ml| {
-                for &u in &ups {
-                    ml.send(u);
-                }
-                ml.finish_superstep()
-            },
-            BatchSize::LargeInput,
-        );
-    });
-    g.finish();
-}
 
-fn bench_sort_group(c: &mut Criterion) {
-    let ups = updates(N_SENDS);
-    let mut g = c.benchmark_group("sortgroup");
-    g.throughput(Throughput::Elements(N_SENDS));
-    g.bench_function("load_sort_group_100k", |b| {
-        b.iter_batched(
-            || {
-                let mut ml = fresh_multilog();
-                for &u in &ups {
-                    ml.send(u);
-                }
-                let counts = ml.finish_superstep();
-                (ml, counts)
-            },
-            |(mut ml, counts)| {
-                let sg = SortGroup::new(4 << 20);
-                let mut total = 0usize;
-                for r in sg.plan(&counts) {
-                    let batch = sg.load_batch(&mut ml, r);
-                    for (_, grp) in group_by_dest(&batch.updates) {
-                        total += grp.len();
-                    }
-                }
-                assert_eq!(total as u64, N_SENDS);
-                total
-            },
-            BatchSize::LargeInput,
-        );
+    micro::case("multilog/send_100k", 10, Some(N_SENDS), fresh_multilog, |mut ml| {
+        for &u in &ups {
+            ml.send(u);
+        }
+        ml.finish_superstep()
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_send, bench_sort_group);
-criterion_main!(benches);
+    micro::case(
+        "sortgroup/load_sort_group_100k",
+        10,
+        Some(N_SENDS),
+        || {
+            let mut ml = fresh_multilog();
+            for &u in &ups {
+                ml.send(u);
+            }
+            let counts = ml.finish_superstep();
+            (ml, counts)
+        },
+        |(mut ml, counts)| {
+            let sg = SortGroup::new(4 << 20);
+            let mut total = 0usize;
+            for r in sg.plan(&counts) {
+                let batch = sg.load_batch(&mut ml, r);
+                for (_, grp) in group_by_dest(&batch.updates) {
+                    total += grp.len();
+                }
+            }
+            assert_eq!(total as u64, N_SENDS);
+            total
+        },
+    );
+}

@@ -2,22 +2,11 @@
 //! graph loader versus a full-interval scan, and raw simulated-SSD batch
 //! reads.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlvc_bench::micro;
 use mlvc_gen::RmatParams;
 use mlvc_graph::{GraphLoader, StoredGraph, VertexIntervals};
 use mlvc_ssd::{Ssd, SsdConfig};
 use std::sync::Arc;
-
-fn bench_csr_build(c: &mut Criterion) {
-    let p = RmatParams::social(12, 8);
-    let mut g = c.benchmark_group("csr");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(p.num_edges_target() as u64));
-    g.bench_function("rmat_build_scale12", |b| {
-        b.iter(|| mlvc_gen::rmat(p, 7));
-    });
-    g.finish();
-}
 
 fn stored() -> (Arc<Ssd>, StoredGraph) {
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
@@ -27,34 +16,30 @@ fn stored() -> (Arc<Ssd>, StoredGraph) {
     (ssd, sg)
 }
 
-fn bench_loader(c: &mut Criterion) {
+fn main() {
+    let p = RmatParams::social(12, 8);
+    micro::case(
+        "csr/rmat_build_scale12",
+        10,
+        Some(p.num_edges_target() as u64),
+        || (),
+        |()| mlvc_gen::rmat(p, 7),
+    );
+
     let (_ssd, sg) = stored();
-    let mut g = c.benchmark_group("loader");
-    g.sample_size(30);
+    let iv0 = sg.intervals().range(0);
 
     // 1% of interval 0's vertices, spread out.
-    let iv0 = sg.intervals().range(0);
     let sparse: Vec<u32> = iv0.clone().step_by(100).collect();
-    g.bench_function("selective_1pct", |b| {
-        b.iter_batched(
-            GraphLoader::new,
-            |mut loader| loader.load_active(&sg, 0, &sparse, false, None),
-            BatchSize::SmallInput,
-        );
+    micro::case("loader/selective_1pct", 30, None, GraphLoader::new, |mut loader| {
+        loader.load_active(&sg, 0, &sparse, false, None)
     });
 
     let all: Vec<u32> = iv0.collect();
-    g.bench_function("full_interval", |b| {
-        b.iter_batched(
-            GraphLoader::new,
-            |mut loader| loader.load_active(&sg, 0, &all, false, None),
-            BatchSize::SmallInput,
-        );
+    micro::case("loader/full_interval", 30, None, GraphLoader::new, |mut loader| {
+        loader.load_active(&sg, 0, &all, false, None)
     });
-    g.finish();
-}
 
-fn bench_ssd_batch(c: &mut Criterion) {
     let ssd = Ssd::new(SsdConfig::default());
     let f = ssd.open_or_create("raw");
     let payload = vec![0xA5u8; 16 * 1024];
@@ -62,13 +47,5 @@ fn bench_ssd_batch(c: &mut Criterion) {
         ssd.append_page(f, &payload);
     }
     let reqs: Vec<_> = (0..256u64).map(|p| (f, p, 1024)).collect();
-    let mut g = c.benchmark_group("ssd");
-    g.throughput(Throughput::Bytes(256 * 16 * 1024));
-    g.bench_function("read_batch_256_pages", |b| {
-        b.iter(|| ssd.read_batch(&reqs));
-    });
-    g.finish();
+    micro::case("ssd/read_batch_256_pages", 50, Some(256), || (), |()| ssd.read_batch(&reqs));
 }
-
-criterion_group!(benches, bench_csr_build, bench_loader, bench_ssd_batch);
-criterion_main!(benches);

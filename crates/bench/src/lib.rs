@@ -18,5 +18,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod micro;
 
 pub use harness::Settings;

@@ -1,0 +1,71 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! A deliberate, dependency-free stand-in for criterion: each case runs a
+//! fixed number of timed samples (setup excluded from the timing) and
+//! prints min / median / max wall time plus derived throughput. Host
+//! wall-clock is appropriate here — these measure framework CPU cost, not
+//! simulated SSD time (which only ever comes from the `mlvc-ssd` cost
+//! model; see the `no-wallclock-in-sim` lint).
+
+use std::time::Instant;
+
+/// Run one benchmark case: `samples` timed invocations of `routine`, each
+/// on a fresh `setup()` value. `elements` (if given) is the per-iteration
+/// work count used to report throughput.
+pub fn case<S, T>(
+    name: &str,
+    samples: usize,
+    elements: Option<u64>,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) {
+    assert!(samples >= 1, "benchmark needs at least one sample");
+    let mut times_ns: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let input = setup();
+        let t0 = Instant::now();
+        let out = routine(input);
+        times_ns.push(t0.elapsed().as_nanos());
+        drop(out);
+    }
+    times_ns.sort_unstable();
+    let min = times_ns[0];
+    let med = times_ns[times_ns.len() / 2];
+    let max = times_ns[times_ns.len() - 1];
+    let rate = match elements {
+        Some(e) if med > 0 => {
+            format!("  {:.2} Melem/s", e as f64 / (med as f64 / 1e9) / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} min {:>10}  med {:>10}  max {:>10}{rate}",
+        fmt_ns(min),
+        fmt_ns(med),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_runs_routine_each_sample() {
+        let mut count = 0u32;
+        case("noop", 3, Some(1), || (), |()| count += 1);
+        assert_eq!(count, 3);
+    }
+}

@@ -1,10 +1,9 @@
-use serde::{Deserialize, Serialize};
 
 /// Simulated compute-time model. Storage access dominates in every
 /// experiment of the paper (75–95% of execution time, Fig. 5c); these
 /// constants put compute in that regime while keeping it non-zero so the
 /// storage/compute split (Fig. 5c) is measurable.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// Cost to apply one incoming message in `process`, nanoseconds.
     pub msg_process_ns: u64,
@@ -28,7 +27,7 @@ impl Default for CostModel {
 /// The paper's default budget is 1 GB against ≤100 GB graphs; the
 /// reproduction default is 16 MiB against the scaled-down datasets,
 /// preserving the graph:memory ratio (DESIGN.md §2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Total host memory budget in bytes.
     pub memory_bytes: usize,

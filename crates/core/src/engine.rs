@@ -8,7 +8,6 @@ use mlvc_log::{
     Update,
 };
 use mlvc_ssd::Ssd;
-use rayon::prelude::*;
 
 use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
 
@@ -266,16 +265,11 @@ impl Engine for MultiLogEngine {
                         .iter()
                         .map(|(v, r)| {
                             combine.and_then(|f| {
-                                if r.is_empty() {
-                                    None
-                                } else {
-                                    let data = updates[r.clone()]
-                                        .iter()
-                                        .map(|u| u.data)
-                                        .reduce(f)
-                                        .unwrap();
-                                    Some(Update::new(*v, VertexId::MAX, data))
-                                }
+                                updates[r.clone()]
+                                    .iter()
+                                    .map(|u| u.data)
+                                    .reduce(f)
+                                    .map(|data| Update::new(*v, VertexId::MAX, data))
                             })
                         })
                         .collect();
@@ -305,9 +299,8 @@ impl Engine for MultiLogEngine {
                     // 4. Parallel vertex processing.
                     let states = &self.states;
                     let seed = self.cfg.seed;
-                    let outputs: Vec<_> = items
-                        .par_iter()
-                        .map(|item| {
+                    let outputs: Vec<_> =
+                        mlvc_par::par_map(&items, |item| {
                             let mut ctx = VertexCtx::new(
                                 item.v,
                                 superstep,
@@ -320,8 +313,7 @@ impl Engine for MultiLogEngine {
                             );
                             prog.process(&mut ctx);
                             ctx.into_outputs()
-                        })
-                        .collect();
+                        });
 
                     // 5. Apply outputs: state, sends, activity, mutations,
                     //    edge-log staging.

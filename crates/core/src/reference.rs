@@ -2,7 +2,6 @@ use std::time::Instant;
 
 use mlvc_graph::{Csr, VertexId};
 use mlvc_log::Update;
-use rayon::prelude::*;
 
 use crate::{Engine, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
 
@@ -118,13 +117,11 @@ impl Engine for ReferenceEngine {
                 .iter()
                 .map(|(v, r)| {
                     combine.and_then(|f| {
-                        if r.is_empty() {
-                            None
-                        } else {
-                            let data =
-                                inbox[r.clone()].iter().map(|u| u.data).reduce(f).unwrap();
-                            Some(Update::new(*v, VertexId::MAX, data))
-                        }
+                        inbox[r.clone()]
+                            .iter()
+                            .map(|u| u.data)
+                            .reduce(f)
+                            .map(|data| Update::new(*v, VertexId::MAX, data))
                     })
                 })
                 .collect();
@@ -132,10 +129,8 @@ impl Engine for ReferenceEngine {
             let states = &self.states;
             let seed = self.seed;
             let inbox_ref = &inbox;
-            let outputs: Vec<_> = work
-                .par_iter()
-                .zip(combined.par_iter())
-                .map(|((v, r), comb)| {
+            let outputs: Vec<_> =
+                mlvc_par::par_map2(&work, &combined, |(v, r), comb| {
                     let msgs: &[Update] = match comb {
                         Some(u) => std::slice::from_ref(u),
                         None => &inbox_ref[r.clone()],
@@ -152,8 +147,7 @@ impl Engine for ReferenceEngine {
                     );
                     prog.process(&mut ctx);
                     ctx.into_outputs()
-                })
-                .collect();
+                });
 
             let mut next_inbox = Vec::new();
             let mut next_self = Vec::new();

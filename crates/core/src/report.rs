@@ -1,10 +1,9 @@
 use mlvc_log::{EdgeLogStats, MultiLogStats};
 use mlvc_ssd::SsdStatsSnapshot;
-use serde::{Deserialize, Serialize};
 
 /// Statistics of one superstep — the per-superstep rows behind the paper's
 /// Figures 2, 3, 5 and 7.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SuperstepStats {
     /// 1-based superstep number.
     pub superstep: usize,
@@ -57,7 +56,7 @@ impl SuperstepStats {
 }
 
 /// Full-run statistics returned by [`crate::Engine::run`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     pub engine: String,
     pub app: String,

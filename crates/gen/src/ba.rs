@@ -1,6 +1,5 @@
+use crate::rng::SeededRng;
 use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Barabási–Albert preferential attachment: each new vertex attaches to
 /// `m_per_vertex` existing vertices chosen proportionally to degree.
@@ -8,7 +7,7 @@ use rand_chacha::ChaCha8Rng;
 /// stressing page-utilization behaviour with extreme hubs.
 pub fn barabasi_albert(n: usize, m_per_vertex: usize, seed: u64) -> Csr {
     assert!(m_per_vertex >= 1 && n > m_per_vertex);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut b = EdgeListBuilder::new(n)
         .symmetrize(true)
         .dedup(true)

@@ -1,13 +1,12 @@
+use crate::rng::SeededRng;
 use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Erdős–Rényi G(n, m): `m` undirected edges drawn uniformly at random
 /// (self-loops and duplicates removed, so the result may have slightly
 /// fewer than `m` distinct edges). Deterministic in `seed`.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
     assert!(n >= 2);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut b = EdgeListBuilder::new(n)
         .symmetrize(true)
         .dedup(true)

@@ -14,13 +14,15 @@
 //!   **web-like** dataset (`yws_mini`, sparser, higher diameter, more
 //!   skewed) standing in for com-friendster and YahooWebScope.
 //!
-//! All generators take an explicit seed and use ChaCha8 so outputs are
-//! reproducible across platforms and runs.
+//! All generators take an explicit seed and use the in-repo deterministic
+//! RNG ([`rng::SeededRng`], xoshiro256++) so outputs are reproducible
+//! across platforms, runs, and dependency upgrades.
 
 mod ba;
 mod datasets;
 mod er;
 mod rmat;
+pub mod rng;
 mod sbm;
 mod simple;
 mod stats;

@@ -1,6 +1,5 @@
+use crate::rng::SeededRng;
 use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Parameters of the recursive-matrix (R-MAT) generator.
 ///
@@ -53,7 +52,7 @@ pub fn rmat(params: RmatParams, seed: u64) -> Csr {
     params.validate();
     let n = params.num_vertices();
     let m = params.num_edges_target();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut b = EdgeListBuilder::new(n)
         .symmetrize(true)
         .dedup(true)
@@ -66,17 +65,17 @@ pub fn rmat(params: RmatParams, seed: u64) -> Csr {
     b.build()
 }
 
-fn sample_edge(p: &RmatParams, rng: &mut ChaCha8Rng) -> (VertexId, VertexId) {
+fn sample_edge(p: &RmatParams, rng: &mut SeededRng) -> (VertexId, VertexId) {
     let mut src = 0u64;
     let mut dst = 0u64;
     for _ in 0..p.scale {
         // Per-level noisy quadrant probabilities.
-        let na = p.a * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
-        let nb = p.b * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
-        let nc = p.c * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
-        let nd = p.d * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+        let na = p.a * (1.0 + p.noise * (rng.gen_f64() - 0.5));
+        let nb = p.b * (1.0 + p.noise * (rng.gen_f64() - 0.5));
+        let nc = p.c * (1.0 + p.noise * (rng.gen_f64() - 0.5));
+        let nd = p.d * (1.0 + p.noise * (rng.gen_f64() - 0.5));
         let total = na + nb + nc + nd;
-        let r: f64 = rng.gen::<f64>() * total;
+        let r: f64 = rng.gen_f64() * total;
         src <<= 1;
         dst <<= 1;
         if r < na {

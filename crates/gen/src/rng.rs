@@ -1,0 +1,162 @@
+//! Deterministic pseudo-random number generator for graph generation and
+//! tests.
+//!
+//! xoshiro256++ seeded through SplitMix64 — the standard pairing from
+//! Blackman & Vigna. In-repo (no external `rand` crate) so that the
+//! workspace builds offline and generator output is stable across toolchain
+//! and dependency upgrades: every dataset in EXPERIMENTS.md is a pure
+//! function of `(params, seed)` and nothing else.
+//!
+//! Not cryptographic. Do not use for anything security-sensitive.
+
+use std::ops::Range;
+
+/// Deterministic RNG used by every generator and randomized test.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    s: [u64; 4],
+}
+
+impl SeededRng {
+    /// Derive a full 256-bit state from a 64-bit seed via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SeededRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `bool` with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in a half-open range. Implemented for the integer and
+    /// float ranges the generators use; panics on an empty range.
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire-style rejection (unbiased).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range on an empty range");
+        // Rejection zone keeps the multiply-shift reduction unbiased.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone || zone == 0 {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`SeededRng`].
+pub trait RangeSample: Sized {
+    fn sample(rng: &mut SeededRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_int_sample {
+    ($($ty:ty),*) => {$(
+        impl RangeSample for $ty {
+            fn sample(rng: &mut SeededRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on an empty range");
+                let span = (range.end as u64) - (range.start as u64);
+                range.start + rng.bounded_u64(span) as Self
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(usize, u64, u32);
+
+impl RangeSample for f64 {
+    fn sample(rng: &mut SeededRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range on an empty range");
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+}
+
+impl RangeSample for f32 {
+    fn sample(rng: &mut SeededRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range on an empty range");
+        range.start + (rng.gen_f64() as f32) * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SeededRng::seed_from_u64(42);
+        let mut b = SeededRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SeededRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SeededRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.5f32..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = SeededRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        SeededRng::seed_from_u64(0).gen_range(5usize..5);
+    }
+}

@@ -1,6 +1,5 @@
+use crate::rng::SeededRng;
 use mlvc_graph::{Csr, EdgeListBuilder, VertexId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Stochastic block model parameters: `communities` equal-size blocks over
 /// `n` vertices; expected `intra_degree` neighbors inside the block and
@@ -17,7 +16,7 @@ pub struct SbmParams {
 /// Generate an SBM graph, deterministic in `seed`.
 pub fn sbm(p: SbmParams, seed: u64) -> Csr {
     assert!(p.communities >= 1 && p.n >= p.communities);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let block = p.n / p.communities;
     let mut b = EdgeListBuilder::new(p.n)
         .symmetrize(true)

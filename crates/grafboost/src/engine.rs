@@ -6,7 +6,6 @@ use mlvc_core::{
 };
 use mlvc_graph::{StoredGraph, VertexId};
 use mlvc_ssd::Ssd;
-use rayon::prelude::*;
 
 use crate::extsort::{external_sort, write_log_pages, SortedGroups};
 
@@ -99,7 +98,9 @@ impl Engine for GrafBoostEngine {
                     if *d >= iv.end {
                         break;
                     }
-                    msg_groups.push(peeked.take().unwrap());
+                    if let Some(g) = peeked.take() {
+                        msg_groups.push(g);
+                    }
                     peeked = groups.next();
                 }
                 // Active set: receivers ∪ kept-active ∪ (all at superstep 1).
@@ -149,9 +150,8 @@ impl Engine for GrafBoostEngine {
 
                 let states = &self.states;
                 let seed = self.cfg.seed;
-                let outputs: Vec<_> = work
-                    .par_iter()
-                    .map(|(v, msgs)| {
+                let outputs: Vec<_> =
+                    mlvc_par::par_map(&work, |(v, msgs)| {
                         let mut ctx = VertexCtx::new(
                             *v,
                             superstep,
@@ -164,8 +164,7 @@ impl Engine for GrafBoostEngine {
                         );
                         prog.process(&mut ctx);
                         ctx.into_outputs()
-                    })
-                    .collect();
+                    });
 
                 for ((v, msgs), out) in work.iter().zip(outputs) {
                     self.states[*v as usize] = out.state;

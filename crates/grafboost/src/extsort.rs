@@ -111,7 +111,12 @@ pub fn external_sort(
         }
         runs = merged;
     }
-    let file = runs.pop().unwrap();
+    let file = match runs.pop() {
+        Some(f) => f,
+        // Unreachable: the fast path returns on an empty log, so the
+        // partition phase always produces at least one run.
+        None => return (Sorted::InMemory(Vec::new()), stats),
+    };
     (Sorted::OnDisk { file }, stats)
 }
 
@@ -210,7 +215,8 @@ fn merge_runs(ssd: &Ssd, runs: &[FileId], out: FileId, combine: Option<Combine>,
     let flush_at = (buf_pages as usize).max(1) * cap;
     let mut outbuf: Vec<Update> = Vec::with_capacity(flush_at);
     while let Some(std::cmp::Reverse((_, k))) = heap.pop() {
-        let u = cursors[k].peek().unwrap();
+        // The heap only holds cursors whose peek succeeded.
+        let Some(u) = cursors[k].peek() else { continue };
         cursors[k].pos += 1;
         cursors[k].refill(ssd, buf_pages);
         if let Some(next) = cursors[k].peek() {

@@ -1,3 +1,4 @@
+use crate::checked::{idx, mem_idx};
 use crate::{Csr, VertexId};
 
 /// Accumulates an edge list and builds a [`Csr`].
@@ -51,12 +52,12 @@ impl EdgeListBuilder {
             self.weights.is_none(),
             "cannot mix weighted and unweighted pushes"
         );
-        assert!((src as usize) < self.num_vertices && (dst as usize) < self.num_vertices);
+        assert!(idx(src) < self.num_vertices && idx(dst) < self.num_vertices);
         self.edges.push((src, dst));
     }
 
     pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: f32) {
-        assert!((src as usize) < self.num_vertices && (dst as usize) < self.num_vertices);
+        assert!(idx(src) < self.num_vertices && idx(dst) < self.num_vertices);
         let weights = self.weights.get_or_insert_with(Vec::new);
         assert_eq!(
             weights.len(),
@@ -123,7 +124,7 @@ impl EdgeListBuilder {
 
         let mut counts = vec![0u64; n + 1];
         for &(s, _) in &self.edges {
-            counts[s as usize + 1] += 1;
+            counts[idx(s) + 1] += 1;
         }
         for i in 0..n {
             counts[i + 1] += counts[i];
@@ -133,12 +134,12 @@ impl EdgeListBuilder {
         let mut col_idx = vec![0u32; self.edges.len()];
         let mut weights = self.weights.as_ref().map(|w| vec![0.0f32; w.len()]);
         for (i, &(s, d)) in self.edges.iter().enumerate() {
-            let slot = cursor[s as usize] as usize;
+            let slot = mem_idx(cursor[idx(s)]);
             col_idx[slot] = d;
             if let (Some(src_w), Some(dst_w)) = (self.weights.as_ref(), weights.as_mut()) {
                 dst_w[slot] = src_w[i];
             }
-            cursor[s as usize] += 1;
+            cursor[idx(s)] += 1;
         }
         Csr::from_parts(row_ptr, col_idx, weights)
     }

@@ -1,5 +1,5 @@
-use serde::{Deserialize, Serialize};
 
+use crate::checked::{idx, mem_idx};
 use crate::VertexId;
 
 /// In-memory compressed sparse row graph (paper §III, Fig. 1a).
@@ -13,7 +13,7 @@ use crate::VertexId;
 /// neighboring list of the other end vertex" (§VI) — i.e. every edge is
 /// stored in both directions, so the out-adjacency doubles as the
 /// in-adjacency and the out-degree equals the in-degree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Csr {
     row_ptr: Vec<u64>,
     col_idx: Vec<VertexId>,
@@ -25,14 +25,14 @@ impl Csr {
     /// this is the constructor of last resort; prefer [`crate::EdgeListBuilder`].
     pub fn from_parts(row_ptr: Vec<u64>, col_idx: Vec<VertexId>, weights: Option<Vec<f32>>) -> Self {
         assert!(!row_ptr.is_empty(), "row_ptr needs at least one entry");
-        assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len());
+        assert_eq!(row_ptr.last().map(|&e| mem_idx(e)), Some(col_idx.len()));
         assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be monotone");
         if let Some(w) = &weights {
             assert_eq!(w.len(), col_idx.len());
         }
         let n = row_ptr.len() - 1;
         assert!(
-            col_idx.iter().all(|&c| (c as usize) < n),
+            col_idx.iter().all(|&c| idx(c) < n),
             "column index out of range"
         );
         Csr { row_ptr, col_idx, weights }
@@ -50,21 +50,21 @@ impl Csr {
 
     /// Out-degree of `v`.
     pub fn degree(&self, v: VertexId) -> usize {
-        (self.row_ptr[v as usize + 1] - self.row_ptr[v as usize]) as usize
+        mem_idx(self.row_ptr[idx(v) + 1] - self.row_ptr[idx(v)])
     }
 
     /// Out-neighbors of `v`.
     pub fn out_edges(&self, v: VertexId) -> &[VertexId] {
-        let lo = self.row_ptr[v as usize] as usize;
-        let hi = self.row_ptr[v as usize + 1] as usize;
+        let lo = mem_idx(self.row_ptr[idx(v)]);
+        let hi = mem_idx(self.row_ptr[idx(v) + 1]);
         &self.col_idx[lo..hi]
     }
 
     /// Edge weights of `v` (if the graph carries weights).
     pub fn out_weights(&self, v: VertexId) -> Option<&[f32]> {
         let w = self.weights.as_ref()?;
-        let lo = self.row_ptr[v as usize] as usize;
-        let hi = self.row_ptr[v as usize + 1] as usize;
+        let lo = mem_idx(self.row_ptr[idx(v)]);
+        let hi = mem_idx(self.row_ptr[idx(v) + 1]);
         Some(&w[lo..hi])
     }
 
@@ -91,7 +91,7 @@ impl Csr {
     pub fn in_degrees(&self) -> Vec<u64> {
         let mut d = vec![0u64; self.num_vertices()];
         for &c in &self.col_idx {
-            d[c as usize] += 1;
+            d[idx(c)] += 1;
         }
         d
     }
@@ -101,7 +101,7 @@ impl Csr {
         let n = self.num_vertices();
         let mut counts = vec![0u64; n + 1];
         for &c in &self.col_idx {
-            counts[c as usize + 1] += 1;
+            counts[idx(c) + 1] += 1;
         }
         for i in 0..n {
             counts[i + 1] += counts[i];
@@ -111,11 +111,11 @@ impl Csr {
         let mut col_idx = vec![0u32; self.col_idx.len()];
         let mut weights = self.weights.as_ref().map(|_| vec![0.0f32; self.col_idx.len()]);
         for v in 0..n {
-            let lo = self.row_ptr[v] as usize;
-            let hi = self.row_ptr[v + 1] as usize;
+            let lo = mem_idx(self.row_ptr[v]);
+            let hi = mem_idx(self.row_ptr[v + 1]);
             for e in lo..hi {
-                let dst = self.col_idx[e] as usize;
-                let slot = cursor[dst] as usize;
+                let dst = idx(self.col_idx[e]);
+                let slot = mem_idx(cursor[dst]);
                 col_idx[slot] = v as VertexId;
                 if let (Some(w_out), Some(w_in)) = (self.weights.as_ref(), weights.as_mut()) {
                     w_in[slot] = w_out[e];

@@ -1,5 +1,5 @@
-use serde::{Deserialize, Serialize};
 
+use crate::checked::{idx, to_u64};
 use crate::{Csr, VertexId};
 
 /// Index of a vertex interval.
@@ -13,7 +13,7 @@ pub type IntervalId = u32;
 /// process", conservatively assuming one update per in-edge. The same
 /// intervals define the GraphChi baseline's shards, the per-interval CSR
 /// partitions, and the multi-log's log-per-interval mapping.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VertexIntervals {
     /// `starts[i]` is the first vertex of interval `i`; a final sentinel
     /// equal to the vertex count closes the last interval. Always has at
@@ -31,8 +31,8 @@ impl VertexIntervals {
     pub fn by_inbound_budget(in_degrees: &[u64], update_bytes: usize, sort_budget_bytes: usize) -> Self {
         assert!(update_bytes > 0 && sort_budget_bytes > 0);
         let n = in_degrees.len();
-        let budget = sort_budget_bytes as u64;
-        let ub = update_bytes as u64;
+        let budget = to_u64(sort_budget_bytes);
+        let ub = to_u64(update_bytes);
         let mut starts = vec![0 as VertexId];
         let mut acc = 0u64;
         for (v, &d) in in_degrees.iter().enumerate() {
@@ -80,17 +80,17 @@ impl VertexIntervals {
     }
 
     pub fn num_vertices(&self) -> usize {
-        *self.starts.last().unwrap() as usize
+        self.starts.last().map_or(0, |&v| idx(v))
     }
 
     /// First vertex of interval `i`.
     pub fn start(&self, i: IntervalId) -> VertexId {
-        self.starts[i as usize]
+        self.starts[idx(i)]
     }
 
     /// One past the last vertex of interval `i`.
     pub fn end(&self, i: IntervalId) -> VertexId {
-        self.starts[i as usize + 1]
+        self.starts[idx(i) + 1]
     }
 
     /// Half-open vertex range of interval `i`.
@@ -99,13 +99,13 @@ impl VertexIntervals {
     }
 
     pub fn len_of(&self, i: IntervalId) -> usize {
-        (self.end(i) - self.start(i)) as usize
+        idx(self.end(i) - self.start(i))
     }
 
     /// The paper's `vId2IntervalMap` (§V-A): interval containing vertex `v`.
     /// Binary search over the boundary array — O(log I).
     pub fn interval_of(&self, v: VertexId) -> IntervalId {
-        debug_assert!((v as usize) < self.num_vertices(), "vertex out of range");
+        debug_assert!(idx(v) < self.num_vertices(), "vertex out of range");
         match self.starts.binary_search(&v) {
             Ok(i) if i == self.starts.len() - 1 => (i - 1) as IntervalId,
             Ok(i) => i as IntervalId,

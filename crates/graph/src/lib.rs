@@ -26,11 +26,14 @@ mod loader;
 mod stored;
 mod structural;
 
+/// Checked width conversions shared across the format crates.
+pub use mlvc_ssd::checked;
+
 pub use builder::EdgeListBuilder;
 pub use csr::Csr;
 pub use intervals::{IntervalId, VertexIntervals};
 pub use loader::{GraphLoader, LoadedVertex, PageUsage};
-pub use stored::StoredGraph;
+pub use stored::{StoredGraph, UPDATE_BYTES};
 pub use structural::{StructuralUpdate, StructuralUpdateBuffer};
 
 /// Vertex identifier. The paper uses 4-byte vertex ids (§VI).

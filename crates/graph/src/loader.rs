@@ -5,6 +5,7 @@ use mlvc_ssd::FileId;
 /// Page payloads plus a page-index lookup, as fetched by one batch read.
 type PageBatch = (Vec<Vec<u8>>, HashMap<u64, usize>);
 
+use crate::checked::{idx, mem_idx, to_u32, to_u64};
 use crate::{
     IntervalId, StoredGraph, StructuralUpdateBuffer, VertexId, COL_IDX_BYTES, ROW_PTR_BYTES,
 };
@@ -94,72 +95,80 @@ impl GraphLoader {
         let start = graph.intervals().start(i);
         let end = graph.intervals().end(i);
         debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active must be sorted+unique");
-        assert!(active[0] >= start && *active.last().unwrap() < end, "vertex outside interval");
+        assert!(
+            active[0] >= start && active.last().is_some_and(|&v| v < end),
+            "vertex outside interval"
+        );
 
         // --- Row pointers: entries (v-start) and (v-start+1) per vertex. ---
         let rp_file = graph.rowptr_file(i);
         let rp_per_page = page_size / ROW_PTR_BYTES;
-        let mut rp_pages: HashMap<u64, u32> = HashMap::new(); // page -> useful bytes
+        let mut rp_pages: HashMap<u64, usize> = HashMap::new(); // page -> useful bytes
         for &v in active {
-            let j = (v - start) as usize;
+            let j = idx(v - start);
             for e in [j, j + 1] {
-                *rp_pages.entry((e / rp_per_page) as u64).or_insert(0) += ROW_PTR_BYTES as u32;
+                *rp_pages.entry(to_u64(e / rp_per_page)).or_insert(0) += ROW_PTR_BYTES;
             }
         }
         let mut rp_reqs: Vec<(FileId, u64, usize)> = rp_pages
             .iter()
-            .map(|(&p, &u)| (rp_file, p, (u as usize).min(page_size)))
+            .map(|(&p, &u)| (rp_file, p, u.min(page_size)))
             .collect();
         rp_reqs.sort_unstable_by_key(|r| r.1);
         let rp_data = ssd.read_batch(&rp_reqs);
-        self.rowptr_pages_read += rp_reqs.len() as u64;
+        self.rowptr_pages_read += to_u64(rp_reqs.len());
         let rp_page_index: HashMap<u64, usize> =
             rp_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
         let rp_entry = |e: usize| -> u64 {
-            let page = (e / rp_per_page) as u64;
+            let page = to_u64(e / rp_per_page);
             let off = (e % rp_per_page) * ROW_PTR_BYTES;
-            let data = &rp_data[rp_page_index[&page]];
-            u64::from_le_bytes(data[off..off + ROW_PTR_BYTES].try_into().unwrap())
+            let d = &rp_data[rp_page_index[&page]][off..off + ROW_PTR_BYTES];
+            // The slice is exactly ROW_PTR_BYTES long; Err is unreachable.
+            d.try_into().map_or(0, u64::from_le_bytes)
         };
 
         // --- Column indices: byte range [lo*4, hi*4) per vertex. ---
         let ci_file = graph.colidx_file(i);
         let mut ranges: Vec<(VertexId, u64, u64)> = Vec::with_capacity(active.len());
-        let mut ci_pages: HashMap<u64, u32> = HashMap::new();
+        let mut ci_pages: HashMap<u64, usize> = HashMap::new();
+        let cib = to_u64(COL_IDX_BYTES);
+        let psz = to_u64(page_size);
         for &v in active {
-            let j = (v - start) as usize;
+            let j = idx(v - start);
             let lo = rp_entry(j);
             let hi = rp_entry(j + 1);
             ranges.push((v, lo, hi));
             if hi > lo {
-                let byte_lo = lo * COL_IDX_BYTES as u64;
-                let byte_hi = hi * COL_IDX_BYTES as u64;
-                let p_lo = byte_lo / page_size as u64;
-                let p_hi = (byte_hi - 1) / page_size as u64;
+                let byte_lo = lo * cib;
+                let byte_hi = hi * cib;
+                let p_lo = byte_lo / psz;
+                let p_hi = (byte_hi - 1) / psz;
                 for p in p_lo..=p_hi {
-                    let pg_start = p * page_size as u64;
-                    let pg_end = pg_start + page_size as u64;
+                    let pg_start = p * psz;
+                    let pg_end = pg_start + psz;
                     let overlap = byte_hi.min(pg_end) - byte_lo.max(pg_start);
-                    *ci_pages.entry(p).or_insert(0) += overlap as u32;
+                    // Overlap is bounded by the page size, so it fits usize.
+                    *ci_pages.entry(p).or_insert(0) += mem_idx(overlap);
                 }
             }
         }
         let mut ci_reqs: Vec<(FileId, u64, usize)> = ci_pages
             .iter()
-            .map(|(&p, &u)| (ci_file, p, (u as usize).min(page_size)))
+            .map(|(&p, &u)| (ci_file, p, u.min(page_size)))
             .collect();
         ci_reqs.sort_unstable_by_key(|r| r.1);
         let ci_data = ssd.read_batch(&ci_reqs);
-        self.colidx_pages_read += ci_reqs.len() as u64;
+        self.colidx_pages_read += to_u64(ci_reqs.len());
         let ci_page_index: HashMap<u64, usize> =
             ci_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
         for (&p, &u) in &ci_pages {
             let e = self.colidx_usage.entry((ci_file, p)).or_insert(0);
-            *e = (*e).saturating_add(u);
+            // Per-page useful bytes saturate at the u32 the predictor uses.
+            *e = (*e).saturating_add(to_u32("page useful bytes", u).unwrap_or(u32::MAX));
         }
 
         // Weights ride on a parallel extent with identical offsets.
-        let val_file = want_weights.then(|| graph.val_file(i).expect("graph has no weights"));
+        let val_file = if want_weights { graph.val_file(i) } else { None };
         let val_data: Option<PageBatch> = val_file.map(|vf| {
             let reqs: Vec<(FileId, u64, usize)> =
                 ci_reqs.iter().map(|&(_, p, u)| (vf, p, u)).collect();
@@ -169,13 +178,14 @@ impl GraphLoader {
         });
 
         let extract_u32 = |data: &[Vec<u8>], page_index: &HashMap<u64, usize>, lo: u64, hi: u64| {
-            let mut out = Vec::with_capacity((hi - lo) as usize);
+            let mut out = Vec::with_capacity(mem_idx(hi - lo));
             for e in lo..hi {
-                let byte = e * COL_IDX_BYTES as u64;
-                let page = byte / page_size as u64;
-                let off = (byte % page_size as u64) as usize;
-                let d = &data[page_index[&page]];
-                out.push(u32::from_le_bytes(d[off..off + COL_IDX_BYTES].try_into().unwrap()));
+                let byte = e * cib;
+                let page = byte / psz;
+                let off = mem_idx(byte % psz);
+                let d = &data[page_index[&page]][off..off + COL_IDX_BYTES];
+                // The slice is exactly COL_IDX_BYTES long; Err is unreachable.
+                out.push(d.try_into().map_or(0, u32::from_le_bytes));
             }
             out
         };
@@ -192,18 +202,15 @@ impl GraphLoader {
             if let Some(buf) = patch {
                 buf.patch_adjacency(v, &mut edges);
             }
-            self.edges_loaded += edges.len() as u64;
+            self.edges_loaded += to_u64(edges.len());
             let (page_lo, page_hi) = if hi > lo {
-                (
-                    lo * COL_IDX_BYTES as u64 / page_size as u64,
-                    (hi * COL_IDX_BYTES as u64 - 1) / page_size as u64,
-                )
+                (lo * cib / psz, (hi * cib - 1) / psz)
             } else {
                 (1, 0)
             };
             out.push(LoadedVertex { v, edges, weights, page_lo, page_hi });
         }
-        self.vertices_loaded += out.len() as u64;
+        self.vertices_loaded += to_u64(out.len());
         out
     }
 
@@ -213,11 +220,9 @@ impl GraphLoader {
         let mut v: Vec<PageUsage> = self
             .colidx_usage
             .drain()
-            .map(|((file, page), useful)| PageUsage {
-                file,
-                page,
-                useful_bytes: useful.min(page_size as u32),
-                page_bytes: page_size as u32,
+            .map(|((file, page), useful)| {
+                let cap = to_u32("page size", page_size).unwrap_or(u32::MAX);
+                PageUsage { file, page, useful_bytes: useful.min(cap), page_bytes: cap }
             })
             .collect();
         v.sort_unstable_by_key(|p| (p.file, p.page));

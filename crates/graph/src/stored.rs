@@ -2,6 +2,7 @@ use std::sync::Arc;
 
 use mlvc_ssd::{FileId, Ssd};
 
+use crate::checked::{idx, mem_idx, to_u64};
 use crate::{Csr, IntervalId, VertexIntervals, VertexId, COL_IDX_BYTES, ROW_PTR_BYTES};
 
 /// Default memory allocated to the sort & group unit when callers do not
@@ -59,13 +60,13 @@ impl StoredGraph {
 
         for i in intervals.iter_ids() {
             let range = intervals.range(i);
-            let base = graph.row_ptr()[range.start as usize];
+            let base = graph.row_ptr()[idx(range.start)];
             // Local row pointers: offsets relative to this interval's extent.
             let local: Vec<u64> = (range.start..=range.end)
-                .map(|v| graph.row_ptr()[v as usize] - base)
+                .map(|v| graph.row_ptr()[idx(v)] - base)
                 .collect();
-            let lo = graph.row_ptr()[range.start as usize] as usize;
-            let hi = graph.row_ptr()[range.end as usize] as usize;
+            let lo = mem_idx(graph.row_ptr()[idx(range.start)]);
+            let hi = mem_idx(graph.row_ptr()[idx(range.end)]);
 
             let rp = ssd.open_or_create(&format!("{name}.rowptr.{i}"));
             append_u64s(ssd, rp, &local);
@@ -75,16 +76,10 @@ impl StoredGraph {
             append_u32s(ssd, ci, &graph.col_idx()[lo..hi]);
             colidx_files.push(ci);
 
-            if let Some(vf) = val_files.as_mut() {
+            if let (Some(vf), Some(wall)) = (val_files.as_mut(), graph.weights_all()) {
                 let f = ssd.open_or_create(&format!("{name}.val.{i}"));
-                let w: Vec<u32> = graph.col_idx()[lo..hi]
-                    .iter()
-                    .enumerate()
-                    .map(|(k, _)| {
-                        // Weights vector is parallel to col_idx.
-                        f32::to_bits(graph_weights(graph)[lo + k])
-                    })
-                    .collect();
+                // Weights vector is parallel to col_idx.
+                let w: Vec<u32> = wall[lo..hi].iter().map(|&x| f32::to_bits(x)).collect();
                 append_u32s(ssd, f, &w);
                 vf.push(f);
             }
@@ -97,7 +92,7 @@ impl StoredGraph {
             rowptr_files,
             colidx_files,
             val_files,
-            num_edges: std::sync::atomic::AtomicU64::new(graph.num_edges() as u64),
+            num_edges: std::sync::atomic::AtomicU64::new(to_u64(graph.num_edges())),
         }
     }
 
@@ -126,17 +121,17 @@ impl StoredGraph {
     }
 
     pub(crate) fn rowptr_file(&self, i: IntervalId) -> FileId {
-        self.rowptr_files[i as usize]
+        self.rowptr_files[idx(i)]
     }
 
     /// Column-index extent of interval `i` (public so the edge-log
     /// optimizer can key page-efficiency predictions on it).
     pub fn colidx_file(&self, i: IntervalId) -> FileId {
-        self.colidx_files[i as usize]
+        self.colidx_files[idx(i)]
     }
 
     pub(crate) fn val_file(&self, i: IntervalId) -> Option<FileId> {
-        self.val_files.as_ref().map(|v| v[i as usize])
+        self.val_files.as_ref().map(|v| v[idx(i)])
     }
 
     /// Read the whole interval back into memory (row pointers + adjacency).
@@ -145,7 +140,7 @@ impl StoredGraph {
     pub fn read_interval(&self, i: IntervalId) -> (Vec<u64>, Vec<VertexId>, Option<Vec<f32>>) {
         let n_local = self.intervals.len_of(i) + 1;
         let rowptr = read_u64s(&self.ssd, self.rowptr_file(i), n_local);
-        let n_edges = *rowptr.last().unwrap() as usize;
+        let n_edges = rowptr.last().map_or(0, |&e| mem_idx(e));
         let colidx = read_u32s(&self.ssd, self.colidx_file(i), n_edges);
         let weights = self.val_file(i).map(|f| {
             read_u32s(&self.ssd, f, n_edges)
@@ -166,15 +161,15 @@ impl StoredGraph {
         rowptr.push(0u64);
         for adj in local_adj {
             colidx.extend_from_slice(adj);
-            rowptr.push(colidx.len() as u64);
+            rowptr.push(to_u64(colidx.len()));
         }
         let old_edges = {
             let old = read_u64s(&self.ssd, self.rowptr_file(i), self.intervals.len_of(i) + 1);
-            *old.last().unwrap()
+            old.last().copied().unwrap_or(0)
         };
         // Single writer per interval; Relaxed add/sub is sufficient.
         self.num_edges
-            .fetch_add(colidx.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(to_u64(colidx.len()), std::sync::atomic::Ordering::Relaxed);
         self.num_edges
             .fetch_sub(old_edges, std::sync::atomic::Ordering::Relaxed);
 
@@ -201,7 +196,7 @@ impl StoredGraph {
         let mut weights: Option<Vec<f32>> = self.has_weights().then(Vec::new);
         for i in self.intervals.iter_ids() {
             let (rp, ci, w) = self.read_interval(i);
-            let base = col_idx.len() as u64;
+            let base = to_u64(col_idx.len());
             for &off in &rp[1..] {
                 row_ptr.push(base + off);
             }
@@ -212,10 +207,6 @@ impl StoredGraph {
         }
         Csr::from_parts(row_ptr, col_idx, weights)
     }
-}
-
-fn graph_weights(g: &Csr) -> &[f32] {
-    g.weights_all().expect("graph has no weights")
 }
 
 /// Append a u64 slice to `file` as little-endian pages (batched).
@@ -254,10 +245,10 @@ pub(crate) fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) {
 
 pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u64> {
     let per_page = ssd.page_size() / ROW_PTR_BYTES;
-    let n_pages = n.div_ceil(per_page) as u64;
+    let n_pages = to_u64(n.div_ceil(per_page));
     let reqs: Vec<_> = (0..n_pages)
         .map(|p| {
-            let entries = per_page.min(n - (p as usize) * per_page);
+            let entries = per_page.min(n - mem_idx(p) * per_page);
             (file, p, entries * ROW_PTR_BYTES)
         })
         .collect();
@@ -265,9 +256,11 @@ pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(n);
     for (k, page) in pages.iter().enumerate() {
         let entries = per_page.min(n - k * per_page);
-        for e in 0..entries {
-            let b = &page[e * ROW_PTR_BYTES..(e + 1) * ROW_PTR_BYTES];
-            out.push(u64::from_le_bytes(b.try_into().unwrap()));
+        for chunk in page.chunks_exact(ROW_PTR_BYTES).take(entries) {
+            // chunks_exact guarantees the width; the Err arm is unreachable.
+            if let Ok(b) = chunk.try_into() {
+                out.push(u64::from_le_bytes(b));
+            }
         }
     }
     out
@@ -275,10 +268,10 @@ pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u64> {
 
 pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u32> {
     let per_page = ssd.page_size() / COL_IDX_BYTES;
-    let n_pages = n.div_ceil(per_page) as u64;
+    let n_pages = to_u64(n.div_ceil(per_page));
     let reqs: Vec<_> = (0..n_pages)
         .map(|p| {
-            let entries = per_page.min(n - (p as usize) * per_page);
+            let entries = per_page.min(n - mem_idx(p) * per_page);
             (file, p, entries * COL_IDX_BYTES)
         })
         .collect();
@@ -286,9 +279,11 @@ pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u32> {
     let mut out = Vec::with_capacity(n);
     for (k, page) in pages.iter().enumerate() {
         let entries = per_page.min(n - k * per_page);
-        for e in 0..entries {
-            let b = &page[e * COL_IDX_BYTES..(e + 1) * COL_IDX_BYTES];
-            out.push(u32::from_le_bytes(b.try_into().unwrap()));
+        for chunk in page.chunks_exact(COL_IDX_BYTES).take(entries) {
+            // chunks_exact guarantees the width; the Err arm is unreachable.
+            if let Ok(b) = chunk.try_into() {
+                out.push(u32::from_le_bytes(b));
+            }
         }
     }
     out

@@ -1,3 +1,4 @@
+use crate::checked::{idx, mem_idx};
 use crate::{IntervalId, StoredGraph, VertexIntervals, VertexId};
 
 /// One graph mutation generated during vertex processing (paper §V-E).
@@ -48,7 +49,7 @@ impl StructuralUpdateBuffer {
 
     pub fn push(&mut self, u: StructuralUpdate) {
         let i = self.intervals.interval_of(u.src());
-        self.pending[i as usize].push(u);
+        self.pending[idx(i)].push(u);
     }
 
     pub fn total_pending(&self) -> usize {
@@ -56,14 +57,14 @@ impl StructuralUpdateBuffer {
     }
 
     pub fn pending_for(&self, i: IntervalId) -> &[StructuralUpdate] {
-        &self.pending[i as usize]
+        &self.pending[idx(i)]
     }
 
     /// Apply pending updates for vertex `v` to its freshly loaded adjacency,
     /// in insertion order (the loader's "most current graph data" view).
     pub fn patch_adjacency(&self, v: VertexId, edges: &mut Vec<VertexId>) {
         let i = self.intervals.interval_of(v);
-        for u in &self.pending[i as usize] {
+        for u in &self.pending[idx(i)] {
             match *u {
                 StructuralUpdate::AddEdge { src, dst } if src == v => edges.push(dst),
                 StructuralUpdate::RemoveEdge { src, dst } if src == v => {
@@ -84,7 +85,7 @@ impl StructuralUpdateBuffer {
         let ids: Vec<IntervalId> = self
             .intervals
             .iter_ids()
-            .filter(|&i| self.pending[i as usize].len() >= self.threshold)
+            .filter(|&i| self.pending[idx(i)].len() >= self.threshold)
             .collect();
         for &i in &ids {
             self.merge_interval(graph, i);
@@ -98,7 +99,7 @@ impl StructuralUpdateBuffer {
         let ids: Vec<IntervalId> = self
             .intervals
             .iter_ids()
-            .filter(|&i| !self.pending[i as usize].is_empty())
+            .filter(|&i| !self.pending[idx(i)].is_empty())
             .collect();
         for &i in &ids {
             self.merge_interval(graph, i);
@@ -110,13 +111,13 @@ impl StructuralUpdateBuffer {
         let start = self.intervals.start(i);
         let (rowptr, colidx, _w) = graph.read_interval(i);
         let mut adj: Vec<Vec<VertexId>> = (0..self.intervals.len_of(i))
-            .map(|k| colidx[rowptr[k] as usize..rowptr[k + 1] as usize].to_vec())
+            .map(|k| colidx[mem_idx(rowptr[k])..mem_idx(rowptr[k + 1])].to_vec())
             .collect();
-        for u in self.pending[i as usize].drain(..) {
+        for u in self.pending[idx(i)].drain(..) {
             match u {
-                StructuralUpdate::AddEdge { src, dst } => adj[(src - start) as usize].push(dst),
+                StructuralUpdate::AddEdge { src, dst } => adj[idx(src - start)].push(dst),
                 StructuralUpdate::RemoveEdge { src, dst } => {
-                    let list = &mut adj[(src - start) as usize];
+                    let list = &mut adj[idx(src - start)];
                     if let Some(pos) = list.iter().position(|&e| e == dst) {
                         list.remove(pos);
                     }

@@ -8,7 +8,6 @@ use mlvc_core::{
 use mlvc_graph::{Csr, IntervalId, VertexIntervals, VertexId};
 use mlvc_log::BitSet;
 use mlvc_ssd::Ssd;
-use rayon::prelude::*;
 
 use crate::shards::{ShardRecord, ShardSet};
 
@@ -221,12 +220,10 @@ impl Engine for GraphChiEngine {
                     .iter()
                     .map(|(v, m, _)| {
                         combine.and_then(|f| {
-                            if m.is_empty() {
-                                None
-                            } else {
-                                let data = m.iter().map(|u| u.data).reduce(f).unwrap();
-                                Some(Update::new(*v, VertexId::MAX, data))
-                            }
+                            m.iter()
+                                .map(|u| u.data)
+                                .reduce(f)
+                                .map(|data| Update::new(*v, VertexId::MAX, data))
                         })
                     })
                     .collect();
@@ -236,10 +233,8 @@ impl Engine for GraphChiEngine {
                         None => m.len() as u64,
                     };
                 }
-                let outputs: Vec<_> = work
-                    .par_iter()
-                    .zip(combined.par_iter())
-                    .map(|((v, m, edges), comb)| {
+                let outputs: Vec<_> =
+                    mlvc_par::par_map2(&work, &combined, |(v, m, edges), comb| {
                         let msgs_view: &[Update] = match comb {
                             Some(u) => std::slice::from_ref(u),
                             None => m,
@@ -256,8 +251,7 @@ impl Engine for GraphChiEngine {
                         );
                         prog.process(&mut ctx);
                         ctx.into_outputs()
-                    })
-                    .collect();
+                    });
 
                 // --- Apply outputs: states, on-edge sends, activity. ---
                 let mut shard_image = shard_records;
@@ -288,6 +282,7 @@ impl Engine for GraphChiEngine {
                             .iter()
                             .find(|&&(d, _, _)| d == u.dest)
                             .unwrap_or_else(|| {
+                                // mlvc-lint: allow(no-panic-in-lib) -- a send along a non-edge violates the GraphChi model; abort
                                 panic!(
                                     "GraphChi model requires sends along existing edges \
                                      ({v} -> {} missing)",

@@ -27,14 +27,28 @@ impl ShardRecord {
         out[16..20].copy_from_slice(&self.tag.to_le_bytes());
     }
 
+    /// Decode from a fixed-layout page slice. A short buffer decodes to
+    /// zeroed fields rather than panicking mid-superstep.
     pub fn decode(buf: &[u8]) -> Self {
         ShardRecord {
-            src: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
-            dst: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
-            data: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
-            tag: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            src: le_u32(buf, 0),
+            dst: le_u32(buf, 4),
+            data: le_u64(buf, 8),
+            tag: le_u32(buf, 16),
         }
     }
+}
+
+fn le_u32(buf: &[u8], off: usize) -> u32 {
+    buf.get(off..off + 4)
+        .and_then(|s| s.try_into().ok())
+        .map_or(0, u32::from_le_bytes)
+}
+
+fn le_u64(buf: &[u8], off: usize) -> u64 {
+    buf.get(off..off + 8)
+        .and_then(|s| s.try_into().ok())
+        .map_or(0, u64::from_le_bytes)
 }
 
 /// Records per page (records never straddle pages).

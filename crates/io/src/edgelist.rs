@@ -54,7 +54,7 @@ pub fn read_edge_list<R: Read>(reader: R, opts: &EdgeListOptions) -> Result<Csr,
         let mut it = t.split_whitespace();
         let src: u32 = it
             .next()
-            .unwrap()
+            .ok_or_else(|| IoError::Parse { line: line_no, msg: "missing src".into() })?
             .parse()
             .map_err(|e| IoError::Parse { line: line_no, msg: format!("src: {e}") })?;
         let dst: u32 = it

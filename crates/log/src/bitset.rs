@@ -1,3 +1,5 @@
+use crate::checked::idx;
+
 /// Dense fixed-capacity bit set over vertex ids. Used for the edge-log
 /// optimizer's per-superstep activity history ("maintained using bit
 /// vectors", §V-C) and for the multi-log's seen-destination tracking.
@@ -43,7 +45,7 @@ impl BitSet {
 
     /// Number of set bits.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words.iter().map(|w| idx(w.count_ones())).sum()
     }
 
     /// Reset every bit to 0 (retains allocation).
@@ -59,7 +61,7 @@ impl BitSet {
                 if bits == 0 {
                     None
                 } else {
-                    let b = bits.trailing_zeros() as usize;
+                    let b = idx(bits.trailing_zeros());
                     bits &= bits - 1;
                     Some(wi * 64 + b)
                 }

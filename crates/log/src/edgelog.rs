@@ -1,14 +1,14 @@
+use crate::checked::{idx, to_u32, to_u64};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use mlvc_graph::{PageUsage, VertexId};
 use mlvc_ssd::{FileId, Ssd};
-use serde::{Deserialize, Serialize};
 
 use crate::BitSet;
 
 /// Configuration of the edge-log optimizer (paper §V-C).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EdgeLogConfig {
     /// Host-memory cap for edge-log page buffers — the paper's "B%" of
     /// total memory (default 5%).
@@ -33,7 +33,7 @@ impl Default for EdgeLogConfig {
 
 /// Counters of edge-log behaviour — including the Fig. 9 prediction-
 /// accuracy inputs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EdgeLogStats {
     /// Vertices whose out-edges were copied into the edge log.
     pub vertices_logged: u64,
@@ -156,7 +156,7 @@ impl EdgeLogOptimizer {
     /// Was `v` active within the last N supersteps? (The history-bit-vector
     /// predictor.)
     pub fn predicted_active(&self, v: VertexId) -> bool {
-        self.history.iter().any(|h| h.get(v as usize))
+        self.history.iter().any(|h| h.get(idx(v)))
     }
 
     /// Is any of the given column-index pages predicted inefficient for the
@@ -193,13 +193,16 @@ impl EdgeLogOptimizer {
         if self.top.len() + rec_len > cap {
             self.seal_top();
         }
+        // Both fields are bounded by entries_per_page via the assert
+        // above, so the saturating fallbacks are unreachable.
+        let len32 = to_u32("edge-log record length", edges.len()).unwrap_or(u32::MAX);
         let loc = RecordLoc {
             page: self.sealed_pages,
-            offset_entries: self.top.len() as u32,
-            len: edges.len() as u32,
+            offset_entries: to_u32("edge-log record offset", self.top.len()).unwrap_or(u32::MAX),
+            len: len32,
         };
         self.top.push(v);
-        self.top.push(edges.len() as u32);
+        self.top.push(len32);
         self.top.extend_from_slice(edges);
         self.write_index.insert(v, loc);
         self.stats.vertices_logged += 1;
@@ -230,14 +233,21 @@ impl EdgeLogOptimizer {
         let refs: Vec<&[u8]> = self.staged.iter().map(|p| p.as_slice()).collect();
         let first = self.ssd.append_pages(file, &refs);
         debug_assert_eq!(first, self.flushed_pages);
-        self.flushed_pages += refs.len() as u64;
-        self.stats.pages_written += refs.len() as u64;
+        self.flushed_pages += to_u64(refs.len());
+        self.stats.pages_written += to_u64(refs.len());
         self.staged.clear();
     }
 
     /// Does the *read* side hold `v`'s edges (logged last superstep)?
     pub fn contains(&self, v: VertexId) -> bool {
         self.read_index.contains_key(&v)
+    }
+
+    /// Little-endian `u32` at byte offset `off`. The slice indexing
+    /// bounds-checks; the width-conversion `Err` arm is unreachable
+    /// because the slice is exactly four bytes.
+    fn le_u32(page: &[u8], off: usize) -> u32 {
+        page[off..off + 4].try_into().map_or(0, u32::from_le_bytes)
     }
 
     /// Fetch logged adjacencies for the given vertices (all must satisfy
@@ -251,7 +261,7 @@ impl EdgeLogOptimizer {
         let mut page_useful: HashMap<u64, usize> = HashMap::new();
         for &v in vs {
             let loc = self.read_index[&v];
-            *page_useful.entry(loc.page).or_insert(0) += (loc.len as usize + 2) * 4;
+            *page_useful.entry(loc.page).or_insert(0) += (idx(loc.len) + 2) * 4;
         }
         let mut reqs: Vec<(FileId, u64, usize)> = page_useful
             .iter()
@@ -265,19 +275,19 @@ impl EdgeLogOptimizer {
         for &v in vs {
             let loc = self.read_index[&v];
             let page = &data[page_index[&loc.page]];
-            let base = loc.offset_entries as usize * 4;
-            let stored_v = u32::from_le_bytes(page[base..base + 4].try_into().unwrap());
-            let stored_len = u32::from_le_bytes(page[base + 4..base + 8].try_into().unwrap());
+            let base = idx(loc.offset_entries) * 4;
+            let stored_v = Self::le_u32(page, base);
+            let stored_len = Self::le_u32(page, base + 4);
             debug_assert_eq!(stored_v, v);
             debug_assert_eq!(stored_len, loc.len);
-            let mut edges = Vec::with_capacity(loc.len as usize);
-            for k in 0..loc.len as usize {
+            let mut edges = Vec::with_capacity(idx(loc.len));
+            for k in 0..idx(loc.len) {
                 let o = base + 8 + k * 4;
-                edges.push(u32::from_le_bytes(page[o..o + 4].try_into().unwrap()));
+                edges.push(Self::le_u32(page, o));
             }
             out.push((v, edges));
         }
-        self.stats.hits += vs.len() as u64;
+        self.stats.hits += to_u64(vs.len());
         out
     }
 
@@ -295,11 +305,12 @@ impl EdgeLogOptimizer {
             .filter(|u| u.useful_bytes > 0 && u.utilization() < self.cfg.inefficiency_threshold)
             .map(|u| (u.file, u.page))
             .collect();
-        self.stats.actual_inefficient_pages += actual.len() as u64;
-        self.stats.correctly_predicted_pages += actual
+        self.stats.actual_inefficient_pages += to_u64(actual.len());
+        let correct = actual
             .iter()
             .filter(|p| self.predicted_inefficient.contains(p))
-            .count() as u64;
+            .count();
+        self.stats.correctly_predicted_pages += to_u64(correct);
         self.predicted_inefficient = actual;
 
         self.history.push_back(active.clone());

@@ -56,8 +56,11 @@ mod multilog;
 mod sortgroup;
 mod update;
 
+/// Checked width conversions shared across the format crates.
+pub use mlvc_ssd::checked;
+
 pub use bitset::BitSet;
 pub use edgelog::{EdgeLogConfig, EdgeLogOptimizer, EdgeLogStats};
 pub use multilog::{decode_log_page, encode_log_page, page_record_capacity, MultiLog, MultiLogConfig, MultiLogStats};
 pub use sortgroup::{group_by_dest, plan_fusion, FusedBatch, SortGroup};
-pub use update::{Update, UPDATE_BYTES};
+pub use update::{DecodeError, Update, UPDATE_BYTES};

@@ -1,13 +1,13 @@
+use crate::checked::{idx, to_u32, to_u64};
 use std::sync::Arc;
 
 use mlvc_graph::{IntervalId, VertexIntervals, VertexId};
 use mlvc_ssd::{FileId, Ssd};
-use serde::{Deserialize, Serialize};
 
 use crate::{BitSet, Update, UPDATE_BYTES};
 
 /// Configuration of the Multi-Log Update Unit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiLogConfig {
     /// Host-memory cap for multi-log page buffers — the paper's "A%" of
     /// total memory (§V-A3, default 5% of 1 GB). At least one page per
@@ -23,7 +23,7 @@ impl Default for MultiLogConfig {
 }
 
 /// Activity counters of the multi-log unit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MultiLogStats {
     pub updates_logged: u64,
     pub pages_flushed: u64,
@@ -76,8 +76,11 @@ pub fn page_record_capacity(page_size: usize) -> usize {
 /// Encode a full or partial page: `[u32 count][count × 16 B records]`.
 pub fn encode_log_page(updates: &[Update], page_size: usize) -> Vec<u8> {
     assert!(updates.len() <= page_record_capacity(page_size));
+    // The capacity assert above bounds the count far below u32::MAX for
+    // any sane page size, so the saturating fallback is unreachable.
+    let count = to_u32("log page record count", updates.len()).unwrap_or(u32::MAX);
     let mut buf = vec![0u8; 4 + updates.len() * UPDATE_BYTES];
-    buf[0..4].copy_from_slice(&(updates.len() as u32).to_le_bytes());
+    buf[0..4].copy_from_slice(&count.to_le_bytes());
     for (k, u) in updates.iter().enumerate() {
         u.encode(&mut buf[4 + k * UPDATE_BYTES..4 + (k + 1) * UPDATE_BYTES]);
     }
@@ -87,12 +90,22 @@ pub fn encode_log_page(updates: &[Update], page_size: usize) -> Vec<u8> {
 /// Decode a log page produced by [`encode_log_page`]. Returns the records
 /// and the number of payload bytes they occupy (for useful-byte accounting).
 pub fn decode_log_page(page: &[u8], out: &mut Vec<Update>) -> usize {
-    let count = u32::from_le_bytes(page[0..4].try_into().unwrap()) as usize;
+    // A page too short for its header or records is torn; decode what is
+    // well-formed rather than panicking mid-superstep.
+    let Some((hdr, body)) = page.split_first_chunk::<4>() else {
+        return 0;
+    };
+    let count = idx(u32::from_le_bytes(*hdr));
     out.reserve(count);
-    for k in 0..count {
-        out.push(Update::decode(&page[4 + k * UPDATE_BYTES..4 + (k + 1) * UPDATE_BYTES]));
+    let mut decoded = 0;
+    for rec in body.chunks_exact(UPDATE_BYTES).take(count) {
+        match Update::decode(rec) {
+            Ok(u) => out.push(u),
+            Err(_) => break,
+        }
+        decoded += 1;
     }
-    4 + count * UPDATE_BYTES
+    4 + decoded * UPDATE_BYTES
 }
 
 impl MultiLog {
@@ -152,9 +165,9 @@ impl MultiLog {
     /// The paper's `SendUpdate(v_dest, m)` tail half: append to the top
     /// page of the destination's interval log.
     pub fn send(&mut self, u: Update) {
-        let i = self.intervals.interval_of(u.dest) as usize;
+        let i = idx(self.intervals.interval_of(u.dest));
         self.counts[i] += 1;
-        self.dest_seen.set(u.dest as usize);
+        self.dest_seen.set(idx(u.dest));
         self.stats.updates_logged += 1;
         self.tops[i].push(u);
         if self.tops[i].len() == self.page_cap {
@@ -169,7 +182,7 @@ impl MultiLog {
     /// Whether a message bound for `v` has been logged this superstep
     /// (known next-superstep activity, §V-C).
     pub fn dest_seen(&self, v: VertexId) -> bool {
-        self.dest_seen.get(v as usize)
+        self.dest_seen.get(idx(v))
     }
 
     /// Pages currently buffered in host memory.
@@ -208,12 +221,12 @@ impl MultiLog {
         let encoded: Vec<(FileId, Vec<u8>)> = self
             .sealed
             .drain(..)
-            .map(|(i, ups)| (self.files[i as usize][side], encode_log_page(&ups, page_size)))
+            .map(|(i, ups)| (self.files[idx(i)][side], encode_log_page(&ups, page_size)))
             .collect();
         let writes: Vec<(FileId, &[u8])> =
             encoded.iter().map(|(f, p)| (*f, p.as_slice())).collect();
         self.ssd.append_scattered(&writes);
-        self.stats.pages_flushed += writes.len() as u64;
+        self.stats.pages_flushed += to_u64(writes.len());
     }
 
     /// End-of-superstep flush: every buffered page goes to its log file.
@@ -244,12 +257,12 @@ impl MultiLog {
     /// not double-scheduled for the next superstep.
     pub fn take_log_current(&mut self, i: IntervalId) -> Vec<Update> {
         let mut out = Vec::new();
-        let file = self.files[i as usize][self.write_side];
+        let file = self.files[idx(i)][self.write_side];
         if self.ssd.num_pages(file) > 0 {
             let pages = self.ssd.read_all(file, |_| 0);
             let mut useful = 0u64;
             for p in &pages {
-                useful += decode_log_page(p, &mut out) as u64;
+                useful += to_u64(decode_log_page(p, &mut out));
             }
             self.ssd.declare_useful(useful);
             self.ssd.truncate(file);
@@ -262,9 +275,9 @@ impl MultiLog {
                 self.sealed.push((j, ups));
             }
         }
-        out.append(&mut self.tops[i as usize]);
-        self.counts[i as usize] -= out.len() as u64;
-        self.stats.updates_read += out.len() as u64;
+        out.append(&mut self.tops[idx(i)]);
+        self.counts[idx(i)] -= to_u64(out.len());
+        self.stats.updates_read += to_u64(out.len());
         out
     }
 
@@ -272,7 +285,7 @@ impl MultiLog {
     /// batch), decode in log order, truncate the file. Useful bytes are
     /// declared from the in-page record counts.
     pub fn take_log(&mut self, i: IntervalId) -> Vec<Update> {
-        let file = self.files[i as usize][1 - self.write_side];
+        let file = self.files[idx(i)][1 - self.write_side];
         let n = self.ssd.num_pages(file);
         if n == 0 {
             return Vec::new();
@@ -281,11 +294,11 @@ impl MultiLog {
         let mut out = Vec::new();
         let mut useful = 0u64;
         for p in &pages {
-            useful += decode_log_page(p, &mut out) as u64;
+            useful += to_u64(decode_log_page(p, &mut out));
         }
         self.ssd.declare_useful(useful);
         self.ssd.truncate(file);
-        self.stats.updates_read += out.len() as u64;
+        self.stats.updates_read += to_u64(out.len());
         out
     }
 }

@@ -1,8 +1,9 @@
 use std::ops::Range;
 
 use mlvc_graph::{IntervalId, VertexId};
-use rayon::prelude::*;
+use mlvc_par::par_sort_by_key;
 
+use crate::checked::{to_u32, to_u64};
 use crate::{MultiLog, Update, UPDATE_BYTES};
 
 /// One fused group of consecutive interval logs, loaded and sorted.
@@ -22,21 +23,25 @@ pub struct FusedBatch {
 /// interval whose own log exceeds the budget gets a range of its own.
 pub fn plan_fusion(counts: &[u64], sort_budget_bytes: usize) -> Vec<Range<IntervalId>> {
     assert!(sort_budget_bytes >= UPDATE_BYTES);
-    let budget = sort_budget_bytes as u64;
+    // Interval counts are bounded by the (u32) vertex count, so the id
+    // conversion cannot saturate in practice.
+    let interval_id = |n: usize| to_u32("interval id", n).unwrap_or(IntervalId::MAX);
+    let budget = to_u64(sort_budget_bytes);
+    let ub = to_u64(UPDATE_BYTES);
     let mut plan = Vec::new();
-    let mut start = 0u32;
+    let mut start = 0usize;
     let mut acc = 0u64;
     for (i, &c) in counts.iter().enumerate() {
-        let bytes = c * UPDATE_BYTES as u64;
-        if i as u32 > start && acc + bytes > budget {
-            plan.push(start..i as IntervalId);
-            start = i as u32;
+        let bytes = c * ub;
+        if i > start && acc + bytes > budget {
+            plan.push(interval_id(start)..interval_id(i));
+            start = i;
             acc = 0;
         }
         acc += bytes;
     }
-    if (start as usize) < counts.len() {
-        plan.push(start..counts.len() as IntervalId);
+    if start < counts.len() {
+        plan.push(interval_id(start)..interval_id(counts.len()));
     }
     plan
 }
@@ -73,7 +78,7 @@ impl SortGroup {
         // Stable parallel merge sort: messages to one destination keep
         // their log order, so non-combinable algorithms see a deterministic
         // message sequence.
-        updates.par_sort_by_key(|u| u.dest);
+        par_sort_by_key(&mut updates, |u| u.dest);
         FusedBatch { range, updates }
     }
 }
@@ -102,7 +107,7 @@ mod tests {
     use crate::MultiLogConfig;
     use mlvc_graph::VertexIntervals;
     use mlvc_ssd::{Ssd, SsdConfig};
-    use proptest::prelude::*;
+    use mlvc_gen::rng::SeededRng;
     use std::sync::Arc;
 
     #[test]
@@ -166,16 +171,20 @@ mod tests {
         );
     }
 
-    proptest! {
-        /// DESIGN.md invariant: messages inserted == messages retrieved
-        /// (multiset), grouped exactly by destination, insertion order
-        /// preserved within each destination — for any send pattern and
-        /// any (tiny) buffer pressure.
-        #[test]
-        fn multilog_sort_group_roundtrip(
-            sends in proptest::collection::vec((0u32..64, 0u32..64, any::<u64>()), 0..300),
-            buffer_pages in 4usize..16,
-        ) {
+    /// DESIGN.md invariant: messages inserted == messages retrieved
+    /// (multiset), grouped exactly by destination, insertion order
+    /// preserved within each destination — for any send pattern and
+    /// any (tiny) buffer pressure. Randomized over 64 seeded cases.
+    #[test]
+    fn multilog_sort_group_roundtrip() {
+        let mut rng = SeededRng::seed_from_u64(0x4D4C_0006);
+        for _case in 0..64 {
+            let n_sends = rng.gen_range(0usize..300);
+            let sends: Vec<(u32, u32, u64)> = (0..n_sends)
+                .map(|_| (rng.gen_range(0u32..64), rng.gen_range(0u32..64), rng.next_u64()))
+                .collect();
+            let buffer_pages = rng.gen_range(4usize..16);
+
             let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
             let iv = VertexIntervals::uniform(64, 4);
             let mut ml = MultiLog::new(
@@ -188,7 +197,7 @@ mod tests {
                 ml.send(Update::new(d, s, x));
             }
             let counts = ml.finish_superstep();
-            prop_assert_eq!(counts.iter().sum::<u64>() as usize, sends.len());
+            assert_eq!(counts.iter().sum::<u64>() as usize, sends.len());
 
             let sg = SortGroup::new(1 << 20);
             let mut collected = Vec::new();
@@ -201,11 +210,11 @@ mod tests {
                         .filter(|&&(d, _, _)| d == dest)
                         .map(|&(d, s, x)| Update::new(d, s, x))
                         .collect();
-                    prop_assert_eq!(group, expect.as_slice());
+                    assert_eq!(group, expect.as_slice());
                     collected.extend_from_slice(group);
                 }
             }
-            prop_assert_eq!(collected.len(), sends.len());
+            assert_eq!(collected.len(), sends.len());
         }
     }
 }

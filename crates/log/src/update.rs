@@ -1,3 +1,5 @@
+use std::fmt;
+
 use mlvc_graph::VertexId;
 
 /// One logged message: `<v_dest, m>` where `m` carries the sending vertex
@@ -18,6 +20,22 @@ pub struct Update {
 /// Encoded size of one update on a log page.
 pub const UPDATE_BYTES: usize = 16;
 
+/// A buffer handed to [`Update::decode`] was not exactly [`UPDATE_BYTES`]
+/// long — a torn log page or a corrupt record offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Bytes actually available.
+    pub len: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update record needs exactly {UPDATE_BYTES} bytes, got {}", self.len)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 impl Update {
     pub fn new(dest: VertexId, src: VertexId, data: u64) -> Self {
         Update { dest, src, data }
@@ -30,36 +48,56 @@ impl Update {
         out[8..16].copy_from_slice(&self.data.to_le_bytes());
     }
 
-    /// Deserialize from [`UPDATE_BYTES`] bytes.
-    pub fn decode(buf: &[u8]) -> Self {
-        Update {
-            dest: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
-            src: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
-            data: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+    /// Deserialize from exactly [`UPDATE_BYTES`] bytes, with a typed error
+    /// on any other length instead of a panic mid-superstep.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let err = DecodeError { len: buf.len() };
+        if buf.len() != UPDATE_BYTES {
+            return Err(err);
         }
+        let (dest, rest) = buf.split_first_chunk::<4>().ok_or(err)?;
+        let (src, rest) = rest.split_first_chunk::<4>().ok_or(err)?;
+        let (data, _) = rest.split_first_chunk::<8>().ok_or(err)?;
+        Ok(Update {
+            dest: u32::from_le_bytes(*dest),
+            src: u32::from_le_bytes(*src),
+            data: u64::from_le_bytes(*data),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mlvc_gen::rng::SeededRng;
 
     #[test]
     fn encode_decode_roundtrip() {
         let u = Update::new(42, 7, 0xDEADBEEF_CAFEBABE);
         let mut buf = [0u8; UPDATE_BYTES];
         u.encode(&mut buf);
-        assert_eq!(Update::decode(&buf), u);
+        assert_eq!(Update::decode(&buf), Ok(u));
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_any(dest: u32, src: u32, data: u64) {
-            let u = Update::new(dest, src, data);
+    #[test]
+    fn decode_rejects_wrong_lengths() {
+        assert_eq!(Update::decode(&[0u8; 15]), Err(DecodeError { len: 15 }));
+        assert_eq!(Update::decode(&[0u8; 17]), Err(DecodeError { len: 17 }));
+        assert_eq!(Update::decode(&[]), Err(DecodeError { len: 0 }));
+    }
+
+    #[test]
+    fn roundtrip_any() {
+        let mut rng = SeededRng::seed_from_u64(0x5EED);
+        for _ in 0..4096 {
+            let u = Update::new(
+                rng.next_u64() as u32,
+                rng.next_u64() as u32,
+                rng.next_u64(),
+            );
             let mut buf = [0u8; UPDATE_BYTES];
             u.encode(&mut buf);
-            prop_assert_eq!(Update::decode(&buf), u);
+            assert_eq!(Update::decode(&buf), Ok(u));
         }
     }
 }

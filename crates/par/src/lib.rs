@@ -1,0 +1,215 @@
+//! # mlvc-par — scoped-thread data-parallel helpers
+//!
+//! The engines need exactly three parallel shapes: map a slice, map two
+//! zipped slices, and stable-sort a slice by key. This crate provides them
+//! on plain `std::thread::scope`, with no external dependencies, so the
+//! workspace builds offline and the parallelism story stays auditable.
+//!
+//! Determinism: results are always concatenated in input order and the sort
+//! is stable (ties keep their input order), so every helper is a drop-in,
+//! bit-for-bit replacement for its sequential counterpart — a property the
+//! BSP engines rely on for reproducible supersteps.
+
+use std::thread;
+
+/// Number of worker threads to use for `n` items.
+fn threads_for(n: usize) -> usize {
+    let hw = thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Re-raise a worker panic on the calling thread.
+fn join_unwind<R>(r: thread::Result<R>) -> R {
+    match r {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Parallel `items.iter().map(f).collect()`, preserving input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(join_unwind(h.join()));
+        }
+    });
+    out
+}
+
+/// Parallel `a.iter().zip(b).map(|(x, y)| f(x, y)).collect()`, preserving
+/// input order. Panics if the slices differ in length (caller bug).
+pub fn par_map2<A, B, R, F>(a: &[A], b: &[B], f: F) -> Vec<R>
+where
+    A: Sync,
+    B: Sync,
+    R: Send,
+    F: Fn(&A, &B) -> R + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_map2 requires equal-length slices");
+    let n = a.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return a.iter().zip(b).map(|(x, y)| f(x, y)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = a
+            .chunks(chunk)
+            .zip(b.chunks(chunk))
+            .map(|(ca, cb)| {
+                s.spawn(move || ca.iter().zip(cb).map(|(x, y)| f(x, y)).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(join_unwind(h.join()));
+        }
+    });
+    out
+}
+
+/// Stable parallel sort by key: chunks are stably sorted on worker threads,
+/// then merged left-to-right, so equal keys keep their input order — the
+/// same guarantee `slice::sort_by_key` gives, which the sort & group unit
+/// depends on for deterministic message order.
+pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F)
+where
+    T: Send + Clone,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 || n < 4096 {
+        items.sort_by_key(key);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let key = &key;
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(move || c.sort_by_key(key)))
+            .collect();
+        for h in handles {
+            join_unwind(h.join());
+        }
+    });
+    // Merge sorted runs pairwise until one run remains.
+    let mut run = chunk;
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    while run < n {
+        let mut start = 0;
+        while start + run < n {
+            let mid = start + run;
+            let end = (mid + run).min(n);
+            merge_runs(&mut items[start..end], mid - start, key, &mut scratch);
+            start = end;
+        }
+        run *= 2;
+    }
+}
+
+/// Stably merge the two sorted runs `[0, mid)` and `[mid, len)` of `buf`.
+/// On ties the left run wins, preserving input order.
+fn merge_runs<T, K, F>(buf: &mut [T], mid: usize, key: &F, scratch: &mut Vec<T>)
+where
+    T: Clone,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    scratch.clear();
+    {
+        let (left, right) = buf.split_at(mid);
+        let mut i = 0;
+        let mut j = 0;
+        while i < left.len() && j < right.len() {
+            if key(&left[i]) <= key(&right[j]) {
+                scratch.push(left[i].clone());
+                i += 1;
+            } else {
+                scratch.push(right[j].clone());
+                j += 1;
+            }
+        }
+        scratch.extend_from_slice(&left[i..]);
+        scratch.extend_from_slice(&right[j..]);
+    }
+    buf.clone_from_slice(scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let doubled = par_map(&items, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map2_zips_in_order() {
+        let a: Vec<u64> = (0..5_000).collect();
+        let b: Vec<u64> = (0..5_000).map(|x| x * 10).collect();
+        let sums = par_map2(&a, &b, |x, y| x + y);
+        assert_eq!(sums, (0..5_000).map(|x| x * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_map2_rejects_length_mismatch() {
+        par_map2(&[1u8, 2], &[1u8], |a, b| a + b);
+    }
+
+    #[test]
+    fn par_sort_matches_stable_sort() {
+        // Deterministic pseudo-random permutation, large enough to engage
+        // the parallel path (>= 4096 elements).
+        let mut items: Vec<(u64, usize)> = (0..20_000usize)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 97, i))
+            .collect();
+        let mut expect = items.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        par_sort_by_key(&mut items, |&(k, _)| k);
+        assert_eq!(items, expect, "parallel sort must be stable");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            let items: Vec<u32> = (0..10_000).collect();
+            par_map(&items, |x| {
+                assert!(*x != 5_000, "boom");
+                *x
+            })
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Checked width conversions for on-disk quantities.
+//!
+//! The on-disk format speaks `u32` (vertex ids, record counts) and `u64`
+//! (page numbers, byte offsets) while in-memory code speaks `usize`. Raw
+//! `as` casts between these silently truncate once a dataset outgrows the
+//! narrower type, which is why `no-truncating-cast` bans them in the
+//! format crates. These helpers are the sanctioned replacements: the
+//! lossless directions are free functions built on `From`/`TryFrom`, and
+//! the genuinely fallible directions return a typed [`WidthError`].
+
+use std::fmt;
+
+// The lossless claims below assume a pointer width between 32 and 64
+// bits; make the assumption explicit so a 16- or 128-bit port fails to
+// build here rather than corrupting offsets at runtime.
+const _: () = assert!(size_of::<usize>() >= size_of::<u32>());
+const _: () = assert!(size_of::<usize>() <= size_of::<u64>());
+
+/// A width conversion failed: `value` does not fit the target type of the
+/// conversion named by `what`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthError {
+    /// What was being converted (e.g. `"log page record count"`).
+    pub what: &'static str,
+    /// The offending value, widened for display.
+    pub value: u128,
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} value {} exceeds the on-disk field width", self.what, self.value)
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+/// Widen an in-memory count/length to the on-disk `u64`. Lossless: usize
+/// is at most 64 bits (const-asserted above).
+pub fn to_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Widen a `u32` on-disk field (vertex id, file id, record count) to an
+/// in-memory index. Lossless: usize is at least 32 bits (const-asserted
+/// above).
+pub fn idx(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Widen a `u32` on-disk field into `u64` arithmetic. Always lossless.
+pub fn wide(v: u32) -> u64 {
+    u64::from(v)
+}
+
+/// Narrow an on-disk `u64` to an in-memory index, with a typed error for
+/// the 32-bit-host case where the value genuinely does not fit.
+pub fn to_usize(what: &'static str, v: u64) -> Result<usize, WidthError> {
+    usize::try_from(v).map_err(|_| WidthError { what, value: u128::from(v) })
+}
+
+/// Index an in-memory buffer with an on-disk `u64` that is bounded by the
+/// buffer's length *by construction* (e.g. CSR row offsets, which index
+/// the in-memory `col_idx`). On a host where the value cannot fit a
+/// `usize` the buffer could never have been allocated either; saturating
+/// turns that impossibility into an out-of-bounds panic at the indexing
+/// site instead of a silent wrapped read.
+pub fn mem_idx(v: u64) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Narrow a count/length to a `u32` on-disk field with a typed error.
+pub fn to_u32(what: &'static str, n: usize) -> Result<u32, WidthError> {
+    u32::try_from(n).map_err(|_| WidthError { what, value: n as u128 })
+}
+
+/// Byte offset of `page` within a file of `page_size`-byte pages, with a
+/// typed error on 64-bit overflow (a corrupt page number or an absurd
+/// page size, either of which must not silently wrap into a valid-looking
+/// offset).
+pub fn page_byte_offset(page: u64, page_size: usize) -> Result<u64, WidthError> {
+    page.checked_mul(to_u64(page_size))
+        .ok_or(WidthError { what: "page byte offset", value: u128::from(page) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_directions_round_trip() {
+        assert_eq!(to_u64(0), 0);
+        assert_eq!(to_u64(usize::MAX), usize::MAX as u64);
+        assert_eq!(idx(u32::MAX), u32::MAX as usize);
+        assert_eq!(wide(7), 7u64);
+        assert_eq!(mem_idx(42), 42usize);
+    }
+
+    #[test]
+    fn fallible_directions_report_typed_errors() {
+        assert_eq!(to_usize("x", 5).unwrap(), 5);
+        let e = to_u32("record count", usize::MAX).unwrap_err();
+        assert_eq!(e.what, "record count");
+        assert!(e.to_string().contains("record count"));
+    }
+
+    #[test]
+    fn page_byte_offset_checks_overflow() {
+        assert_eq!(page_byte_offset(3, 16 * 1024).unwrap(), 3 * 16 * 1024);
+        assert!(page_byte_offset(u64::MAX, 2).is_err());
+    }
+}

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 use crate::{DEFAULT_CHANNELS, DEFAULT_PAGE_SIZE};
 
@@ -10,7 +9,7 @@ use crate::{DEFAULT_CHANNELS, DEFAULT_PAGE_SIZE};
 /// Absolute values only scale the simulated clock; the experiments report
 /// *ratios* between engines running on identical devices, so shapes are
 /// insensitive to the exact figures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SsdConfig {
     /// Page size in bytes; minimum unit of every read and write.
     pub page_size: usize,

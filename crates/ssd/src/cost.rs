@@ -1,3 +1,4 @@
+use crate::checked::{mem_idx, to_u64, wide};
 use crate::config::SsdConfig;
 use crate::device::FileId;
 
@@ -23,7 +24,9 @@ impl PageAddr {
 /// Flash channel servicing a given page.
 pub fn channel_of(addr: PageAddr, channels: usize) -> usize {
     debug_assert!(channels >= 1);
-    ((addr.file as u64).wrapping_mul(31).wrapping_add(addr.page) % channels as u64) as usize
+    // The modulo result is below `channels`, itself a usize, so the
+    // narrowing back is lossless by construction.
+    mem_idx(wide(addr.file).wrapping_mul(31).wrapping_add(addr.page) % to_u64(channels))
 }
 
 /// Simulated service time for a *batch* of page requests issued together.
@@ -53,7 +56,7 @@ pub fn batch_time_ns(cfg: &SsdConfig, addrs: &[PageAddr], per_page_ns: u64) -> u
         let ch = channel_of(a, channels);
         let seq = matches!(
             chan_prev[ch],
-            Some(p) if p.file == a.file && a.page > p.page && a.page - p.page <= channels as u64
+            Some(p) if p.file == a.file && a.page > p.page && a.page - p.page <= to_u64(channels)
         );
         // Striding by `channels` pages within the same file keeps hitting the
         // same channel with (nearly) consecutive physical pages — that is what
@@ -67,6 +70,7 @@ pub fn batch_time_ns(cfg: &SsdConfig, addrs: &[PageAddr], per_page_ns: u64) -> u
         chan_time[ch] += cost;
         chan_prev[ch] = Some(a);
     }
+    // mlvc-lint: allow(no-truncating-cast) -- f64 has no TryFrom<u64>; nanosecond totals stay far below 2^53
     chan_time.iter().cloned().fold(0.0, f64::max).round() as u64
 }
 

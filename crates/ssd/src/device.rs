@@ -4,7 +4,9 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
+
+use crate::checked::{idx, mem_idx, page_byte_offset, to_u64};
 
 use crate::config::SsdConfig;
 use crate::cost::{batch_time_ns, PageAddr};
@@ -92,6 +94,13 @@ impl Ssd {
         self.cfg.page_size
     }
 
+    /// Byte offset of `page` in a backing file. A page number that
+    /// overflows 64-bit byte addressing cannot name a real page, so the
+    /// saturated offset makes the positional I/O below fail loudly.
+    fn byte_offset(&self, page: u64) -> u64 {
+        page_byte_offset(page, self.cfg.page_size).unwrap_or(u64::MAX)
+    }
+
     pub fn stats(&self) -> &SsdStats {
         &self.stats
     }
@@ -135,6 +144,7 @@ impl Ssd {
                     .create(true)
                     .truncate(true)
                     .open(path)
+                    // mlvc-lint: allow(no-panic-in-lib) -- host filesystem failure creating the backing store; the simulator cannot continue
                     .expect("open backing file");
                 Store::Disk { file, pages: 0 }
             }
@@ -156,11 +166,12 @@ impl Ssd {
     /// Number of pages currently in `file`.
     pub fn num_pages(&self, file: FileId) -> u64 {
         let files = self.files.lock();
-        match &files.entries[file as usize] {
+        match &files.entries[idx(file)] {
             Some(e) => match &e.store {
-                Store::Mem(pages) => pages.len() as u64,
+                Store::Mem(pages) => to_u64(pages.len()),
                 Store::Disk { pages, .. } => *pages,
             },
+            // mlvc-lint: allow(no-panic-in-lib) -- deleted-file access is a caller bug; abort the experiment
             None => panic!("file {file} deleted"),
         }
     }
@@ -173,16 +184,18 @@ impl Ssd {
         let dropped;
         {
             let mut files = self.files.lock();
-            let entry = files.entries[file as usize]
+            let entry = files.entries[idx(file)]
                 .as_mut()
+                // mlvc-lint: allow(no-panic-in-lib) -- truncating a deleted file is a caller bug; abort the experiment
                 .expect("truncate of deleted file");
             match &mut entry.store {
                 Store::Mem(pages) => {
-                    dropped = pages.len() as u64;
+                    dropped = to_u64(pages.len());
                     pages.clear();
                 }
                 Store::Disk { file, pages } => {
                     dropped = *pages;
+                    // mlvc-lint: allow(no-panic-in-lib) -- host filesystem failure; the simulator cannot continue
                     file.set_len(0).expect("truncate backing file");
                     *pages = 0;
                 }
@@ -196,11 +209,11 @@ impl Ssd {
         let dropped;
         {
             let mut files = self.files.lock();
-            let Some(entry) = files.entries[file as usize].take() else {
+            let Some(entry) = files.entries[idx(file)].take() else {
                 return;
             };
             dropped = match &entry.store {
-                Store::Mem(pages) => pages.len() as u64,
+                Store::Mem(pages) => to_u64(pages.len()),
                 Store::Disk { pages, .. } => *pages,
             };
             files.by_name.remove(&entry.name);
@@ -221,7 +234,7 @@ impl Ssd {
     /// many interval logs at once). Returns the index of the first page.
     pub fn append_pages(&self, file: FileId, pages: &[&[u8]]) -> u64 {
         let first = self.store_append(file, pages);
-        let addrs: Vec<PageAddr> = (0..pages.len() as u64)
+        let addrs: Vec<PageAddr> = (0..to_u64(pages.len()))
             .map(|i| PageAddr::new(file, first + i))
             .collect();
         self.charge_write(&addrs);
@@ -248,13 +261,15 @@ impl Ssd {
         assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
         {
             let mut files = self.files.lock();
-            let entry = files.entries[file as usize]
+            let entry = files.entries[idx(file)]
                 .as_mut()
+                // mlvc-lint: allow(no-panic-in-lib) -- writing a deleted file is a caller bug; abort the experiment
                 .expect("write to deleted file");
             match &mut entry.store {
                 Store::Mem(pages) => {
                     let slot = pages
-                        .get_mut(page as usize)
+                        .get_mut(mem_idx(page))
+                        // mlvc-lint: allow(no-panic-in-lib) -- out-of-bounds page is a caller bug (see #[should_panic] tests); abort
                         .unwrap_or_else(|| panic!("page {page} out of bounds"));
                     let mut buf = vec![0u8; self.cfg.page_size];
                     buf[..data.len()].copy_from_slice(data);
@@ -264,7 +279,7 @@ impl Ssd {
                     assert!(page < *pages, "page {page} out of bounds");
                     let mut buf = vec![0u8; self.cfg.page_size];
                     buf[..data.len()].copy_from_slice(data);
-                    write_at(file, &buf, page * self.cfg.page_size as u64);
+                    write_at(file, &buf, self.byte_offset(page));
                 }
             }
         }
@@ -279,21 +294,23 @@ impl Ssd {
             let mut files = self.files.lock();
             for &(fid, page, data) in writes {
                 assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
-                let entry = files.entries[fid as usize]
+                let entry = files.entries[idx(fid)]
                     .as_mut()
+                    // mlvc-lint: allow(no-panic-in-lib) -- writing a deleted file is a caller bug; abort the experiment
                     .expect("write to deleted file");
                 let mut buf = vec![0u8; self.cfg.page_size];
                 buf[..data.len()].copy_from_slice(data);
                 match &mut entry.store {
                     Store::Mem(pages) => {
                         let slot = pages
-                            .get_mut(page as usize)
-                            .unwrap_or_else(|| panic!("page {page} out of bounds"));
+                            .get_mut(mem_idx(page))
+                            // mlvc-lint: allow(no-panic-in-lib) -- out-of-bounds page is a caller bug (see #[should_panic] tests); abort
+                        .unwrap_or_else(|| panic!("page {page} out of bounds"));
                         *slot = buf.into_boxed_slice();
                     }
                     Store::Disk { file, pages } => {
                         assert!(page < *pages, "page {page} out of bounds");
-                        write_at(file, &buf, page * self.cfg.page_size as u64);
+                        write_at(file, &buf, self.byte_offset(page));
                     }
                 }
             }
@@ -309,7 +326,8 @@ impl Ssd {
     /// actually use (for read-amplification accounting).
     pub fn read_page(&self, file: FileId, page: u64, useful: usize) -> Vec<u8> {
         let mut out = self.read_batch(&[(file, page, useful)]);
-        out.pop().unwrap()
+        // read_batch returns exactly one buffer per request.
+        out.pop().unwrap_or_default()
     }
 
     /// Read a batch of pages dispatched together: `(file, page, useful)`.
@@ -324,19 +342,21 @@ impl Ssd {
                     useful <= self.cfg.page_size,
                     "useful bytes cannot exceed the page size"
                 );
-                useful_total += useful as u64;
-                let entry = files.entries[fid as usize]
+                useful_total += to_u64(useful);
+                let entry = files.entries[idx(fid)]
                     .as_mut()
+                    // mlvc-lint: allow(no-panic-in-lib) -- reading a deleted file is a caller bug; abort the experiment
                     .expect("read from deleted file");
                 let data = match &mut entry.store {
                     Store::Mem(pages) => pages
-                        .get(page as usize)
+                        .get(mem_idx(page))
+                        // mlvc-lint: allow(no-panic-in-lib) -- out-of-bounds page is a caller bug (see #[should_panic] tests); abort
                         .unwrap_or_else(|| panic!("page {page} out of bounds in {}", entry.name))
                         .to_vec(),
                     Store::Disk { file, pages } => {
                         assert!(page < *pages, "page {page} out of bounds in {}", entry.name);
                         let mut buf = vec![0u8; self.cfg.page_size];
-                        read_at(file, &mut buf, page * self.cfg.page_size as u64);
+                        read_at(file, &mut buf, self.byte_offset(page));
                         buf
                     }
                 };
@@ -368,12 +388,13 @@ impl Ssd {
 
     fn store_append(&self, file: FileId, pages: &[&[u8]]) -> u64 {
         let mut files = self.files.lock();
-        let entry = files.entries[file as usize]
+        let entry = files.entries[idx(file)]
             .as_mut()
+            // mlvc-lint: allow(no-panic-in-lib) -- appending to a deleted file is a caller bug; abort the experiment
             .expect("append to deleted file");
         match &mut entry.store {
             Store::Mem(existing) => {
-                let first = existing.len() as u64;
+                let first = to_u64(existing.len());
                 for data in pages {
                     assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
                     let mut buf = vec![0u8; self.cfg.page_size];
@@ -388,7 +409,7 @@ impl Ssd {
                     assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
                     let mut buf = vec![0u8; self.cfg.page_size];
                     buf[..data.len()].copy_from_slice(data);
-                    write_at(file, &buf, *n * self.cfg.page_size as u64);
+                    write_at(file, &buf, self.byte_offset(*n));
                     *n += 1;
                 }
                 first
@@ -402,9 +423,9 @@ impl Ssd {
         }
         let t = batch_time_ns(&self.cfg, addrs, self.cfg.read_ns);
         let s = &self.stats;
-        s.pages_read.fetch_add(addrs.len() as u64, Ordering::Relaxed);
+        s.pages_read.fetch_add(to_u64(addrs.len()), Ordering::Relaxed);
         s.bytes_read
-            .fetch_add(addrs.len() as u64 * self.cfg.page_size as u64, Ordering::Relaxed);
+            .fetch_add(to_u64(addrs.len()) * to_u64(self.cfg.page_size), Ordering::Relaxed);
         s.useful_bytes_read.fetch_add(useful, Ordering::Relaxed);
         s.read_time_ns.fetch_add(t, Ordering::Relaxed);
         s.read_batches.fetch_add(1, Ordering::Relaxed);
@@ -417,9 +438,9 @@ impl Ssd {
         self.trace_writes(addrs);
         let t = batch_time_ns(&self.cfg, addrs, self.cfg.write_ns);
         let s = &self.stats;
-        s.pages_written.fetch_add(addrs.len() as u64, Ordering::Relaxed);
+        s.pages_written.fetch_add(to_u64(addrs.len()), Ordering::Relaxed);
         s.bytes_written
-            .fetch_add(addrs.len() as u64 * self.cfg.page_size as u64, Ordering::Relaxed);
+            .fetch_add(to_u64(addrs.len()) * to_u64(self.cfg.page_size), Ordering::Relaxed);
         s.write_time_ns.fetch_add(t, Ordering::Relaxed);
         s.write_batches.fetch_add(1, Ordering::Relaxed);
     }
@@ -434,12 +455,14 @@ fn sanitize(name: &str) -> String {
 #[cfg(unix)]
 fn read_at(file: &fs::File, buf: &mut [u8], offset: u64) {
     use std::os::unix::fs::FileExt;
+    // mlvc-lint: allow(no-panic-in-lib) -- host positional-I/O failure; the simulator cannot continue
     file.read_exact_at(buf, offset).expect("read_at");
 }
 
 #[cfg(unix)]
 fn write_at(file: &fs::File, buf: &[u8], offset: u64) {
     use std::os::unix::fs::FileExt;
+    // mlvc-lint: allow(no-panic-in-lib) -- host positional-I/O failure; the simulator cannot continue
     file.write_all_at(buf, offset).expect("write_at");
 }
 

@@ -17,7 +17,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 /// Logical page address used by the FTL replay: (file, page index).
 pub type Lpa = (u32, u64);
@@ -32,7 +31,7 @@ pub enum FtlOp {
 }
 
 /// Device geometry and GC policy for the replay.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FtlConfig {
     /// Pages per erase block (flash blocks hold 64–256 pages; default 128).
     pub pages_per_block: usize,
@@ -49,7 +48,7 @@ impl Default for FtlConfig {
 }
 
 /// Replay outcome.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FtlStats {
     /// Host-issued page programs.
     pub host_writes: u64,
@@ -173,15 +172,16 @@ impl FtlModel {
 
     fn program_gc(&mut self, lpa: Lpa) {
         let ppb = self.cfg.pages_per_block;
-        if self.gc_block.is_none() || self.gc_ptr == ppb {
-            self.gc_block = Some(
-                self.free_blocks
-                    .pop()
-                    .expect("GC found no room for relocations"),
-            );
-            self.gc_ptr = 0;
-        }
-        let b = self.gc_block.unwrap();
+        let b = match self.gc_block {
+            Some(b) if self.gc_ptr < ppb => b,
+            _ => {
+                // mlvc-lint: allow(no-panic-in-lib) -- no room for GC relocations means the device was sized wrong; abort
+                let b = self.free_blocks.pop().expect("GC found no room for relocations");
+                self.gc_block = Some(b);
+                self.gc_ptr = 0;
+                b
+            }
+        };
         let ppa = b * ppb + self.gc_ptr;
         self.gc_ptr += 1;
         debug_assert!(matches!(self.pages[ppa], PageState::Free));
@@ -201,6 +201,7 @@ impl FtlModel {
         self.open_block = self
             .free_blocks
             .pop()
+            // mlvc-lint: allow(no-panic-in-lib) -- a trace exceeding physical capacity is a configuration error; abort
             .expect("device full: trace exceeds physical capacity + over-provisioning");
         self.write_ptr = 0;
     }

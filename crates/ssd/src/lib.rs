@@ -37,11 +37,13 @@
 //! assert!(stats.read_amplification().unwrap() > 1000.0); // 11 B of 16 KiB
 //! ```
 
+pub mod checked;
 mod config;
 mod cost;
 mod device;
 mod ftl;
 mod stats;
+pub mod sync;
 
 pub use config::SsdConfig;
 pub use cost::{batch_time_ns, PageAddr};

@@ -1,6 +1,5 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
 
 /// Live counters of device activity. All counters are monotonically
 /// increasing atomics so engines may account I/O from worker threads.
@@ -56,7 +55,7 @@ impl SsdStats {
 
 /// Point-in-time copy of [`SsdStats`], with derived metrics. Subtract two
 /// snapshots to get the activity of one phase or superstep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SsdStatsSnapshot {
     pub pages_read: u64,
     pub pages_written: u64,

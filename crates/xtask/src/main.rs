@@ -1,0 +1,66 @@
+//! `cargo run -p xtask -- lint [FILE...]` — see the library docs.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [FILE...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(files: &[String]) -> ExitCode {
+    let root = xtask::workspace_root();
+    let result = if files.is_empty() {
+        xtask::lint_workspace(&root)
+    } else {
+        // Explicit files: lint each against its path relative to the
+        // workspace root. Fixture files live under a `fixtures/` directory
+        // whose subtree mirrors real workspace paths (rule scoping is
+        // path-based), so everything through `fixtures/` is stripped first.
+        let mut out = Vec::new();
+        for f in files {
+            let p = Path::new(f);
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let rel = match rel.find("fixtures/") {
+                Some(i) => rel[i + "fixtures/".len()..].to_string(),
+                None => rel,
+            };
+            match xtask::lint_file(p, &rel) {
+                Ok(d) => out.extend(d),
+                Err(e) => {
+                    eprintln!("error: {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Ok(out)
+    };
+    match result {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("mlvc-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("mlvc-lint: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

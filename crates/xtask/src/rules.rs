@@ -1,0 +1,414 @@
+//! The mlvc-lint rule set.
+//!
+//! Each rule pattern-matches the blanked code lines produced by
+//! [`crate::scan`] and is scoped to the crates where its invariant lives
+//! (see DESIGN.md "Static analysis & invariants"):
+//!
+//! * `no-truncating-cast` — `as u32/u64/usize/i64` in the on-disk-format
+//!   crates (`ssd`, `log`, `graph`) silently truncates or sign-extends a
+//!   page offset, record count, or vertex id once a dataset outgrows the
+//!   type; use `try_from` or the crate's checked helpers.
+//! * `no-panic-in-lib` — `unwrap()/expect()/panic!` in library code tears
+//!   the multi-log if it fires mid-flush; return an error instead.
+//! * `no-magic-layout-literal` — byte-layout numbers (`16 * 1024` pages,
+//!   the 16-byte update record) may appear only in their defining module;
+//!   everywhere else they silently de-sync from the on-disk format.
+//! * `no-wallclock-in-sim` — the SSD emulator and cost model advance a
+//!   virtual clock; host time in that crate breaks the determinism every
+//!   figure depends on.
+//! * `no-lock-across-par` — a `Mutex`/`RwLock` guard held across a
+//!   `mlvc_par`/rayon fan-out or an `ssd.` I/O call serializes the very
+//!   work being fanned out (or deadlocks on re-entry).
+
+use crate::scan::Scanned;
+
+/// All rule names, in diagnostic order.
+pub const RULES: [&str; 5] = [
+    "no-truncating-cast",
+    "no-panic-in-lib",
+    "no-magic-layout-literal",
+    "no-wallclock-in-sim",
+    "no-lock-across-par",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Is `path` (workspace-relative, `/`-separated) inside one of the
+/// on-disk-format crates' library sources?
+fn in_format_crates(path: &str) -> bool {
+    ["crates/ssd/src/", "crates/log/src/", "crates/graph/src/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+/// Library code for the panic rule: every crate's `src/` plus the root
+/// facade, minus the bench harness and this tool (host-side code where a
+/// panic aborts one run, not a multi-gigabyte flush).
+fn in_panic_scope(path: &str) -> bool {
+    let lib = (path.starts_with("crates/") && path.contains("/src/"))
+        || (path.starts_with("src/") && path.ends_with(".rs"));
+    lib && !path.starts_with("crates/bench/") && !path.starts_with("crates/xtask/")
+}
+
+/// Match `ident` at `pos` in `code` with word boundaries on both sides.
+fn word_at(code: &str, pos: usize, ident: &str) -> bool {
+    if !code[pos..].starts_with(ident) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || !code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = pos + ident.len();
+    let after_ok = !code[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Find every word-boundary occurrence of `ident` in `code`.
+fn find_words<'a>(code: &'a str, ident: &'a str) -> impl Iterator<Item = usize> + 'a {
+    code.match_indices(ident)
+        .map(|(i, _)| i)
+        .filter(move |&i| word_at(code, i, ident))
+}
+
+/// Run every rule over one scanned file.
+pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let diag = |out: &mut Vec<Diagnostic>, line: usize, rule: &'static str, message: String| {
+        out.push(Diagnostic { file: path.to_string(), line, rule, message });
+    };
+
+    // no-lock-across-par needs cross-line state.
+    struct Guard {
+        name: String,
+        depth: i64,
+        line: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i64 = 0;
+
+    for (idx, l) in scanned.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = l.code.as_str();
+
+        // ---- no-truncating-cast -------------------------------------
+        if !l.in_test && in_format_crates(path) {
+            for target in ["u32", "u64", "usize", "i64"] {
+                for pos in find_words(code, "as") {
+                    let rest = code[pos + 2..].trim_start();
+                    if rest.starts_with(target)
+                        && word_at(rest, 0, target)
+                        && !rest[target.len()..].trim_start().starts_with("::")
+                    {
+                        diag(
+                            &mut out,
+                            lineno,
+                            "no-truncating-cast",
+                            format!(
+                                "`as {target}` cast in an on-disk-format crate; \
+                                 use `try_from`/checked helpers"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- no-panic-in-lib ----------------------------------------
+        if !l.in_test && in_panic_scope(path) {
+            for (needle, what) in
+                [(".unwrap()", "unwrap()"), (".expect(", "expect()"), ("panic!", "panic!")]
+            {
+                let mut hits = code.matches(needle).count();
+                // `core::panic!`-style paths still match; `#[should_panic]`
+                // cannot appear outside test code, which is already exempt.
+                if needle == "panic!" {
+                    hits = find_words(code, "panic")
+                        .filter(|&i| code[i + 5..].starts_with('!'))
+                        .count();
+                }
+                for _ in 0..hits {
+                    diag(
+                        &mut out,
+                        lineno,
+                        "no-panic-in-lib",
+                        format!("{what} in library code; return an error instead"),
+                    );
+                }
+            }
+        }
+
+        // ---- no-magic-layout-literal --------------------------------
+        if !l.in_test && in_format_crates(path) {
+            let page_defining = path == "crates/ssd/src/lib.rs";
+            if !page_defining {
+                let squashed: String = code.split_whitespace().collect::<Vec<_>>().join(" ");
+                if find_words(&squashed, "16384").next().is_some()
+                    || squashed.contains("16 * 1024")
+                    || squashed.contains("16*1024")
+                {
+                    diag(
+                        &mut out,
+                        lineno,
+                        "no-magic-layout-literal",
+                        "page-size literal outside its defining module; \
+                         use `DEFAULT_PAGE_SIZE`/`SsdConfig::page_size`"
+                            .to_string(),
+                    );
+                }
+            }
+            let record_defining =
+                path == "crates/log/src/update.rs" || path == "crates/graph/src/stored.rs";
+            if !record_defining
+                && (code.contains("BYTES") || code.contains("bytes"))
+                && find_words(code, "16").next().is_some()
+            {
+                diag(
+                    &mut out,
+                    lineno,
+                    "no-magic-layout-literal",
+                    "update-record byte literal outside its defining module; \
+                     use `UPDATE_BYTES`"
+                        .to_string(),
+                );
+            }
+        }
+
+        // ---- no-wallclock-in-sim ------------------------------------
+        if path.starts_with("crates/ssd/src/") {
+            for needle in ["Instant::now", "SystemTime", "thread::sleep"] {
+                if code.contains(needle) {
+                    diag(
+                        &mut out,
+                        lineno,
+                        "no-wallclock-in-sim",
+                        format!("{needle} in the SSD simulator; use the virtual clock"),
+                    );
+                }
+            }
+        }
+
+        // ---- no-lock-across-par -------------------------------------
+        if !l.in_test && in_panic_scope(path) {
+            // 1. Released guards: `drop(name)`.
+            guards.retain(|g| !code.contains(format!("drop({})", g.name).as_str()));
+
+            // 2. Fan-out or I/O with a live guard?
+            let fans_out = ["par_map", "par_map2", "par_sort_by_key", "par_iter", "rayon::"]
+                .iter()
+                .any(|n| code.contains(n))
+                || find_words(code, "ssd").any(|i| code[i + 3..].starts_with('.'));
+            if fans_out {
+                for g in &guards {
+                    diag(
+                        &mut out,
+                        lineno,
+                        "no-lock-across-par",
+                        format!(
+                            "guard `{}` (line {}) is live across a parallel/I/O call",
+                            g.name, g.line
+                        ),
+                    );
+                }
+            }
+
+            // 3. Track depth; pop guards whose scope closed; record a new
+            //    guard binding at the depth where its `let` actually sits.
+            let binding = guard_binding(code);
+            let let_pos = binding.as_ref().map(|(_, p)| *p).unwrap_or(usize::MAX);
+            let mut depth_at_let = depth;
+            for (ci, ch) in code.char_indices() {
+                if ci == let_pos {
+                    depth_at_let = depth;
+                }
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        guards.retain(|g| g.depth <= depth);
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((name, _)) = binding {
+                if depth_at_let <= depth {
+                    guards.push(Guard { name, depth: depth_at_let, line: lineno });
+                }
+            }
+        }
+    }
+
+    // ---- allow() escape hatch ---------------------------------------
+    let mut suppressed = vec![false; out.len()];
+    for d in &scanned.allows {
+        if d.reason.is_empty() {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: d.line,
+                rule: "lint-allow",
+                message: "allow() without a `-- <reason>`; every allow must say why".to_string(),
+            });
+            suppressed.push(false);
+            continue;
+        }
+        for r in &d.rules {
+            if !RULES.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    file: path.to_string(),
+                    line: d.line,
+                    rule: "lint-allow",
+                    message: format!("allow() names unknown rule `{r}`"),
+                });
+                suppressed.push(false);
+            }
+        }
+        for (k, v) in out.iter().enumerate() {
+            if (v.line == d.line || v.line == d.line + 1)
+                && d.rules.iter().any(|r| r == v.rule)
+            {
+                suppressed[k] = true;
+            }
+        }
+    }
+    out.iter()
+        .zip(&suppressed)
+        .filter(|(_, &s)| !s)
+        .map(|(d, _)| d.clone())
+        .collect()
+}
+
+/// Detect a lock-guard `let` binding; returns (bound name, byte offset of
+/// the `let` keyword).
+fn guard_binding(code: &str) -> Option<(String, usize)> {
+    let let_pos = find_words(code, "let").next()?;
+    let locks = [".lock()", ".read()", ".write()"]
+        .iter()
+        .any(|n| code[let_pos..].contains(n));
+    if !locks {
+        return None;
+    }
+    let after_let = code[let_pos + 3..].trim_start();
+    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let).trim_start();
+    let name: String = after_mut
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && name != "_").then_some((name, let_pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(path, &scan(src))
+    }
+
+    #[test]
+    fn cast_rule_only_fires_in_format_crates() {
+        let src = "fn f(x: u64) -> usize { x as usize }\n";
+        assert_eq!(lint("crates/ssd/src/device.rs", src).len(), 1);
+        assert_eq!(lint("crates/core/src/engine.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn cast_rule_skips_test_code_and_paths() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(x: u64) -> usize { x as usize }\n}\n";
+        assert!(lint("crates/log/src/update.rs", src).is_empty());
+        // `as usize::...` path syntax is not a cast (not that it parses, but
+        // the scanner must not false-positive on `usize::MAX` after `as`).
+        assert!(lint("crates/log/src/a.rs", "let x = usize::MAX;").is_empty());
+    }
+
+    #[test]
+    fn panic_rule_counts_each_occurrence() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); }\n";
+        let d = lint("crates/core/src/engine.rs", src);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|d| d.rule == "no-panic-in-lib"));
+        // unwrap_or_else and expected() must not match.
+        let ok = "fn f() { a.unwrap_or_else(|| 1); expected(); }\n";
+        assert!(lint("crates/core/src/engine.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_exempts_bench_xtask_and_tests_dirs() {
+        let src = "fn f() { a.unwrap(); }\n";
+        assert!(lint("crates/bench/src/harness.rs", src).is_empty());
+        assert!(lint("crates/xtask/src/main.rs", src).is_empty());
+        assert!(lint("tests/properties.rs", src).is_empty());
+        assert!(lint("crates/log/benches/multilog.rs", src).is_empty());
+    }
+
+    #[test]
+    fn layout_rule_fires_outside_defining_module() {
+        assert_eq!(lint("crates/log/src/multilog.rs", "let p = 16 * 1024;\n").len(), 1);
+        assert_eq!(lint("crates/log/src/multilog.rs", "let p = 16384;\n").len(), 1);
+        assert!(lint("crates/ssd/src/lib.rs", "pub const DEFAULT_PAGE_SIZE: usize = 16 * 1024;\n").is_empty());
+        // Bare 16 needs byte-layout vocabulary on the line.
+        assert_eq!(lint("crates/log/src/multilog.rs", "let bytes = n * 16;\n").len(), 1);
+        assert!(lint("crates/log/src/multilog.rs", "for i in 0..16 {\n").is_empty());
+        assert!(lint("crates/log/src/update.rs", "let bytes = 16;\n").is_empty());
+    }
+
+    #[test]
+    fn wallclock_rule_scoped_to_ssd() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(lint("crates/ssd/src/cost.rs", src).len(), 1);
+        assert!(lint("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_across_par_detected_and_released_by_drop() {
+        let src = "fn f() {\n let g = m.lock();\n let r = par_map(&xs, |x| x);\n}\n";
+        let d = lint("crates/apps/src/kcore.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-lock-across-par");
+        assert_eq!(d[0].line, 3);
+
+        let ok = "fn f() {\n let g = m.lock();\n drop(g);\n let r = par_map(&xs, |x| x);\n}\n";
+        assert!(lint("crates/apps/src/kcore.rs", ok).is_empty());
+
+        let scoped = "fn f() {\n { let g = m.lock(); }\n ssd.read_batch(&reqs);\n}\n";
+        assert!(lint("crates/apps/src/kcore.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line_and_needs_reason() {
+        let same = "fn f() { a.unwrap(); } // mlvc-lint: allow(no-panic-in-lib) -- demo\n";
+        assert!(lint("crates/core/src/engine.rs", same).is_empty());
+
+        let above = "// mlvc-lint: allow(no-panic-in-lib) -- demo\nfn f() { a.unwrap(); }\n";
+        assert!(lint("crates/core/src/engine.rs", above).is_empty());
+
+        let bare = "fn f() { a.unwrap(); } // mlvc-lint: allow(no-panic-in-lib)\n";
+        let d = lint("crates/core/src/engine.rs", bare);
+        assert!(d.iter().any(|d| d.rule == "lint-allow"));
+        assert!(d.iter().any(|d| d.rule == "no-panic-in-lib"), "reasonless allow must not suppress");
+
+        let unknown = "// mlvc-lint: allow(no-such-rule) -- x\nfn g() {}\n";
+        let d = lint("crates/core/src/engine.rs", unknown);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lint-allow");
+    }
+}

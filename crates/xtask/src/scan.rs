@@ -1,0 +1,388 @@
+//! Comment/string-aware source scanner.
+//!
+//! Turns a `.rs` file into per-line records where comment and string
+//! *contents* are blanked out, so the rule engine can pattern-match code
+//! without tripping over prose. The scanner also extracts `mlvc-lint:`
+//! directives from comments and marks the line ranges of `#[cfg(test)]`
+//! regions by brace tracking. It is deliberately not a parser: every rule
+//! works on this token-level view, which is robust exactly because it is
+//! simple.
+
+/// One `mlvc-lint: allow(no-truncating-cast) -- reason` directive found
+/// in a comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-indexed line the directive sits on. It suppresses matching
+    /// diagnostics on its own line (trailing form) and on the following
+    /// line (standalone form).
+    pub line: usize,
+    /// Rules being allowed.
+    pub rules: Vec<String>,
+    /// The `-- <reason>` text; empty when the author omitted it, which is
+    /// itself reported as a violation.
+    pub reason: String,
+}
+
+/// A scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comment and string-literal contents replaced by spaces.
+    pub code: String,
+    /// Comment text of the line (for directive extraction; already parsed).
+    pub in_test: bool,
+}
+
+/// Scanner output for one file.
+#[derive(Debug)]
+pub struct Scanned {
+    pub lines: Vec<Line>,
+    pub allows: Vec<AllowDirective>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+struct TestRegionTracker {
+    depth: i64,
+    /// `Some(depth_at_open)` while inside a `#[cfg(test)] { ... }` region.
+    test_until: Option<i64>,
+    /// A `#[cfg(test)]` attribute was seen and its `{` not yet opened.
+    pending: bool,
+}
+
+impl TestRegionTracker {
+    fn new() -> Self {
+        TestRegionTracker { depth: 0, test_until: None, pending: false }
+    }
+
+    /// Feed one blanked code line; returns whether the line is test code.
+    fn feed(&mut self, code: &str) -> bool {
+        let started_in_test = self.test_until.is_some();
+        if self.test_until.is_none()
+            && (code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(all(test")
+                || code.contains("#[cfg(any(test"))
+        {
+            self.pending = true;
+        }
+        let mut line_is_test = started_in_test;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if self.pending && self.test_until.is_none() {
+                        self.test_until = Some(self.depth);
+                        self.pending = false;
+                        line_is_test = true;
+                    }
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if let Some(open) = self.test_until {
+                        if self.depth <= open {
+                            self.test_until = None;
+                        }
+                    }
+                }
+                // A `#[cfg(test)]` that gates an item without braces on the
+                // same line (e.g. `mod tests;`) ends at the semicolon.
+                ';' => {
+                    if self.pending && self.test_until.is_none() {
+                        self.pending = false;
+                        line_is_test = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        line_is_test || self.test_until.is_some()
+    }
+}
+
+/// Scan a whole file.
+pub fn scan(source: &str) -> Scanned {
+    let mut lines = Vec::new();
+    let mut allows = Vec::new();
+    let mut mode = Mode::Code;
+    let mut tracker = TestRegionTracker::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let (code, comment, next_mode) = split_line(raw, mode);
+        mode = next_mode;
+        if let Some(d) = parse_allow(&comment, lineno) {
+            allows.push(d);
+        }
+        let in_test = tracker.feed(&code);
+        lines.push(Line { code, in_test });
+    }
+    Scanned { lines, allows }
+}
+
+/// Blank out comments/strings of one line given the carried-over mode;
+/// returns (blanked code, collected comment text, mode after the line).
+fn split_line(raw: &str, start: Mode) -> (String, String, Mode) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut mode = start;
+    // A line comment never carries over.
+    if mode == Mode::LineComment {
+        mode = Mode::Code;
+    }
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    code.push('"');
+                }
+                'r' | 'b' => {
+                    // Possible raw/byte string start: r", r#", br", b".
+                    if let Some((hashes, consumed)) = raw_string_open(&b[i..]) {
+                        mode = Mode::RawStr(hashes);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                    code.push(c);
+                }
+                '\'' => {
+                    // Distinguish a char literal from a lifetime.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                    code.push('\'');
+                }
+                _ => code.push(c),
+            },
+            Mode::LineComment => {
+                comment.push(c);
+                code.push(' ');
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 { Mode::Code } else { Mode::BlockComment(depth - 1) };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                code.push(' ');
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    mode = Mode::Code;
+                    code.push('"');
+                }
+                _ => code.push(' '),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&b[i + 1..], hashes) {
+                    mode = Mode::Code;
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                code.push(' ');
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    mode = Mode::Code;
+                    code.push('\'');
+                }
+                _ => code.push(' '),
+            },
+        }
+        i += 1;
+    }
+    if mode == Mode::LineComment {
+        mode = Mode::Code;
+    }
+    // An unterminated plain string at end of line: Rust allows a trailing
+    // `\` continuation; carry the string mode over either way.
+    (code, comment, mode)
+}
+
+/// If `s` begins a raw/byte string opener (`r"`, `r#"`, `br##"`, `b"`, …),
+/// return (hash count, chars consumed through the opening quote).
+fn raw_string_open(s: &[char]) -> Option<(u32, usize)> {
+    let mut i = 0usize;
+    if s.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if s.get(i) == Some(&'r') {
+        i += 1;
+        let mut hashes = 0u32;
+        while s.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if s.get(i) == Some(&'"') {
+            return Some((hashes, i + 1));
+        }
+        return None;
+    }
+    // Plain byte string b"..." behaves like a normal string: the caller
+    // emits the `b` as code and the next iteration opens Str mode.
+    None
+}
+
+/// Does `rest` (the chars after a `"`) contain exactly `hashes` `#`s?
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+/// Parse an `mlvc-lint: allow(no-panic-in-lib) -- reason` directive out
+/// of a line's comment text.
+fn parse_allow(comment: &str, line: usize) -> Option<AllowDirective> {
+    let at = comment.find("mlvc-lint:")?;
+    let rest = comment[at + "mlvc-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let open = rest.strip_prefix('(')?;
+    let close = open.find(')')?;
+    let rules: Vec<String> = open[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = open[close + 1..].trim();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("").to_string();
+    Some(AllowDirective { line, rules, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let c = codes("let x = 1; // as u32\nlet y /* as u64 */ = 2;");
+        assert!(!c[0].contains("as u32"));
+        assert!(c[0].contains("let x = 1;"));
+        assert!(!c[1].contains("as u64"));
+        assert!(c[1].contains("= 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = codes("a /* one /* two */ still */ b");
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn multiline_block_comment_carries_over() {
+        let c = codes("x /* open\nas usize\nclose */ y");
+        assert!(!c[1].contains("as usize"));
+        assert!(c[2].contains('y'));
+    }
+
+    #[test]
+    fn string_contents_blanked_but_quotes_kept() {
+        let c = codes(r#"call("as u32 // not a comment") + tail"#);
+        assert!(!c[0].contains("as u32"));
+        assert!(c[0].contains("+ tail"), "comment-lookalike inside string must not eat code");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let c = codes("let s = r#\"as u64 \" quote\"# ; let t = \"esc \\\" as i64\"; done");
+        assert!(!c[0].contains("as u64"));
+        assert!(!c[0].contains("as i64"));
+        assert!(c[0].contains("done"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = codes("fn f<'a>(x: &'a str) { let q = '\"'; let z = 1; }");
+        assert!(c[0].contains("&'a str"), "lifetime must survive");
+        assert!(c[0].contains("let z = 1;"), "quote char literal must not open a string");
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let s = scan(src);
+        let t: Vec<bool> = s.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(t, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn allow_directive_parsed_with_reason() {
+        let s = scan("x(); // mlvc-lint: allow(no-panic-in-lib, no-truncating-cast) -- checked above\n");
+        assert_eq!(s.allows.len(), 1);
+        let d = &s.allows[0];
+        assert_eq!(d.line, 1);
+        assert_eq!(d.rules, vec!["no-panic-in-lib", "no-truncating-cast"]);
+        assert_eq!(d.reason, "checked above");
+    }
+
+    #[test]
+    fn allow_without_reason_has_empty_reason() {
+        let s = scan("// mlvc-lint: allow(no-panic-in-lib)\n");
+        assert_eq!(s.allows[0].reason, "");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: `no-lock-across-par` must fire when a lock guard is live
+//! across a parallel fan-out or `ssd.` I/O call, and stay quiet once the
+//! guard is dropped or scoped out.
+
+pub fn held_across_fanout(m: &std::sync::Mutex<Vec<u64>>, xs: &[u64]) -> Vec<u64> {
+    let guard = m.lock();
+    let out = par_map(xs, |x| x + guard.len() as u64);
+    out
+}
+
+pub fn held_across_io(m: &std::sync::Mutex<Vec<u64>>, ssd: &Ssd) {
+    let guard = m.lock();
+    ssd.read_page(guard.len());
+}
+
+pub fn released_before_fanout(m: &std::sync::Mutex<Vec<u64>>, xs: &[u64]) -> Vec<u64> {
+    let guard = m.lock();
+    drop(guard);
+    par_map(xs, |x| x + 1)
+}
+
+pub fn scoped_before_io(m: &std::sync::Mutex<Vec<u64>>, ssd: &Ssd) {
+    {
+        let guard = m.lock();
+        let _ = guard.len();
+    }
+    ssd.read_page(0);
+}

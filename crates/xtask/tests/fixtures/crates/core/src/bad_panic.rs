@@ -1,0 +1,31 @@
+//! Fixture: `no-panic-in-lib` must fire on unwrap/expect/panic! in library
+//! code, skip `#[cfg(test)]`, and honor a reasoned allow.
+
+pub fn hot_path(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn message_path(x: Option<u64>) -> u64 {
+    x.expect("missing update")
+}
+
+pub fn bail() {
+    panic!("mid-flush abort");
+}
+
+pub fn allowed(x: Option<u64>) -> u64 {
+    // mlvc-lint: allow(no-panic-in-lib) -- invariant: caller checked is_some
+    x.unwrap()
+}
+
+pub fn fine(x: Option<u64>) -> u64 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        Some(1u64).unwrap();
+    }
+}

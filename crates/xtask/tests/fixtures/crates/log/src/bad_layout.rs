@@ -1,0 +1,28 @@
+//! Fixture: `no-magic-layout-literal` must fire on page-size and
+//! update-record byte literals outside their defining modules.
+
+pub fn page_bytes() -> usize {
+    16 * 1024
+}
+
+pub fn page_bytes_flat() -> usize {
+    16384
+}
+
+pub fn record_bytes(n: usize) -> usize {
+    let bytes = n * 16;
+    bytes
+}
+
+pub fn allowed_page() -> usize {
+    // mlvc-lint: allow(no-magic-layout-literal) -- fixture demonstrates suppression
+    16 * 1024
+}
+
+pub fn loop_bound_is_fine() -> usize {
+    let mut s = 0;
+    for i in 0..16 {
+        s += i;
+    }
+    s
+}

@@ -1,0 +1,24 @@
+//! Fixture: `no-truncating-cast` must fire on every lossy `as` cast in an
+//! on-disk-format crate, skip test code, and honor a reasoned allow.
+
+pub fn page_offset(page: u64, page_size: usize) -> usize {
+    (page * page_size as u64) as usize // two casts: lines counted by test
+}
+
+pub fn narrow(v: u64) -> u32 {
+    v as u32
+}
+
+pub fn allowed(v: u16) -> u64 {
+    // mlvc-lint: allow(no-truncating-cast) -- u16 -> u64 widens, never truncates
+    v as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_here_are_exempt() {
+        let x = 5u64 as usize;
+        assert_eq!(x, 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: `no-wallclock-in-sim` must fire on host-time APIs inside the
+//! SSD simulator crate.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn allowed() -> Instant {
+    // mlvc-lint: allow(no-wallclock-in-sim) -- fixture demonstrates suppression
+    Instant::now()
+}

@@ -1,0 +1,116 @@
+//! End-to-end tests for mlvc-lint over the seeded-violation fixtures in
+//! `tests/fixtures/`. The fixture subtree mirrors real workspace paths
+//! because rule scoping is path-based; the CLI strips everything through
+//! the `fixtures/` component when deriving the scope path.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use xtask::Diagnostic;
+
+/// (fixture path under tests/fixtures/, scope path the CLI derives).
+const FIXTURES: [(&str, &str); 5] = [
+    ("crates/ssd/src/bad_cast.rs", "no-truncating-cast"),
+    ("crates/core/src/bad_panic.rs", "no-panic-in-lib"),
+    ("crates/log/src/bad_layout.rs", "no-magic-layout-literal"),
+    ("crates/ssd/src/bad_wallclock.rs", "no-wallclock-in-sim"),
+    ("crates/apps/src/bad_lock.rs", "no-lock-across-par"),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(rel: &str) -> Vec<Diagnostic> {
+    let src = std::fs::read_to_string(fixture_dir().join(rel)).unwrap();
+    xtask::lint_source(rel, &src)
+}
+
+fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn cast_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/ssd/src/bad_cast.rs");
+    // Line 5 holds two casts; line 9 one; line 14 is allow-suppressed and
+    // the #[cfg(test)] cast at the bottom is exempt.
+    assert_eq!(lines_of(&d, "no-truncating-cast"), vec![5, 5, 9]);
+    assert!(d.iter().all(|d| d.rule == "no-truncating-cast"), "{d:?}");
+}
+
+#[test]
+fn panic_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/core/src/bad_panic.rs");
+    // unwrap at 5, expect at 9, panic! at 13; allow-suppressed unwrap at
+    // 18; unwrap_or_default and the test module never fire.
+    assert_eq!(lines_of(&d, "no-panic-in-lib"), vec![5, 9, 13]);
+    assert!(d.iter().all(|d| d.rule == "no-panic-in-lib"), "{d:?}");
+}
+
+#[test]
+fn layout_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/log/src/bad_layout.rs");
+    // 16 * 1024 at 5, 16384 at 9, record-byte 16 at 13; allow-suppressed
+    // page literal at 19; the 0..16 loop bound never fires.
+    assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![5, 9, 13]);
+    assert!(d.iter().all(|d| d.rule == "no-magic-layout-literal"), "{d:?}");
+}
+
+#[test]
+fn wallclock_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/ssd/src/bad_wallclock.rs");
+    // The `use` at 4, Instant::now at 7, SystemTime in the signature at 10
+    // and the call at 11, thread::sleep at 15; allow-suppressed Instant::now
+    // at 20.
+    assert_eq!(lines_of(&d, "no-wallclock-in-sim"), vec![4, 7, 10, 11, 15]);
+    assert!(d.iter().all(|d| d.rule == "no-wallclock-in-sim"), "{d:?}");
+}
+
+#[test]
+fn lock_fixture_fires_across_fanout_and_io_only() {
+    let d = lint_fixture("crates/apps/src/bad_lock.rs");
+    // Guard live across par_map at 7 and across ssd. I/O at 13; the
+    // drop()-released and block-scoped variants never fire.
+    assert_eq!(lines_of(&d, "no-lock-across-par"), vec![7, 13]);
+    assert!(d.iter().all(|d| d.rule == "no-lock-across-par"), "{d:?}");
+}
+
+#[test]
+fn every_fixture_fails_the_cli_with_exit_code_one() {
+    for (rel, rule) in FIXTURES {
+        let path = fixture_dir().join(rel);
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .arg("lint")
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rel} must fail the lint (stderr: {})",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "{rel} diagnostics must name {rule}, got:\n{stdout}"
+        );
+        // Diagnostics carry the scope path and 1-indexed lines.
+        assert!(stdout.contains(&format!("{rel}:")), "{rel} path missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn workspace_lint_is_clean() {
+    // The repo must stay violation-free: every historical violation is
+    // either fixed or carries a reasoned allow. This is the enforcement
+    // backstop for `cargo run -p xtask -- lint` exiting 0.
+    let diags = xtask::lint_workspace(&xtask::workspace_root()).unwrap();
+    assert!(
+        diags.is_empty(),
+        "workspace lint found {} violation(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

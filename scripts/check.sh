@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo gate: static analysis first (cheap, catches format/determinism/panic
+# regressions before any compile of the heavy test suite), then the tier-1
+# build-and-test pass from ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== mlvc-lint =="
+cargo run -q -p xtask -- lint
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test -q --workspace

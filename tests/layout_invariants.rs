@@ -1,0 +1,34 @@
+//! Cross-crate on-disk layout invariants.
+//!
+//! The interval planner in `mlvc-graph` sizes sort batches with its own
+//! update-record width because the dependency arrow points the other way
+//! (`mlvc-log` depends on `mlvc-graph`), so neither crate can check the
+//! other at compile time. This root-level test pins the duplicated
+//! constants together; `mlvc-lint`'s `no-magic-layout-literal` rule keeps
+//! further copies from appearing elsewhere.
+
+use multilogvc::graph;
+use multilogvc::log::{DecodeError, Update, UPDATE_BYTES};
+
+#[test]
+fn update_record_width_agrees_across_crates() {
+    assert_eq!(UPDATE_BYTES, graph::UPDATE_BYTES);
+}
+
+#[test]
+fn update_record_width_matches_its_field_layout() {
+    // dest: u32, src: u32, data: u64 — little-endian, no padding.
+    assert_eq!(UPDATE_BYTES, 4 + 4 + 8);
+    let u = Update::new(1, 2, 3);
+    let mut buf = [0u8; UPDATE_BYTES];
+    u.encode(&mut buf);
+    assert_eq!(Update::decode(&buf), Ok(u));
+    assert_eq!(Update::decode(&buf[..UPDATE_BYTES - 1]), Err(DecodeError { len: UPDATE_BYTES - 1 }));
+}
+
+#[test]
+fn csr_entry_widths_match_their_element_types() {
+    // Row pointers are u64 edge offsets; column indices are u32 vertex ids.
+    assert_eq!(graph::ROW_PTR_BYTES, std::mem::size_of::<u64>());
+    assert_eq!(graph::COL_IDX_BYTES, std::mem::size_of::<multilogvc::graph::VertexId>());
+}

@@ -1,5 +1,9 @@
-//! Cross-crate property-based tests (proptest) of the invariants listed in
-//! DESIGN.md §7, on randomly generated graphs and access patterns.
+//! Cross-crate randomized property tests of the invariants listed in
+//! DESIGN.md §7, on seeded randomly generated graphs and access patterns.
+//!
+//! Each test draws its cases from the in-repo deterministic RNG
+//! (`mlvc_gen::rng::SeededRng`), so failures reproduce exactly from the
+//! seed embedded in the test.
 
 use std::sync::Arc;
 
@@ -7,17 +11,22 @@ use multilogvc::apps::{Bfs, Coloring, Mis, MisState};
 use multilogvc::core::{Engine, EngineConfig, InitActive, MultiLogEngine, VertexCtx, VertexProgram};
 use multilogvc::graph::{
     Csr, EdgeListBuilder, GraphLoader, StoredGraph, StructuralUpdate, StructuralUpdateBuffer,
-    VertexIntervals, VertexId,
+    VertexId, VertexIntervals,
 };
 use multilogvc::ssd::{Ssd, SsdConfig};
-use proptest::prelude::*;
 
-/// Strategy: a random graph as (vertex count, edge list).
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..80).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..300);
-        (Just(n), edges)
-    })
+use mlvc_gen::rng::SeededRng;
+
+const CASES: usize = 32;
+
+/// A random graph as (vertex count, edge list).
+fn arb_graph(rng: &mut SeededRng) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.gen_range(2usize..80);
+    let m = rng.gen_range(0usize..300);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0u32..n as u32), rng.gen_range(0u32..n as u32)))
+        .collect();
+    (n, edges)
 }
 
 fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
@@ -38,21 +47,28 @@ fn store(csr: &Csr, k: usize) -> (Arc<Ssd>, StoredGraph) {
     (ssd, sg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// CSR → SSD → CSR is the identity for any graph and partition.
-    #[test]
-    fn stored_graph_roundtrip((n, edges) in arb_graph(), k in 1usize..9) {
+/// CSR → SSD → CSR is the identity for any graph and partition.
+#[test]
+fn stored_graph_roundtrip() {
+    let mut rng = SeededRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..9);
         let csr = build(n, &edges);
         let (_ssd, sg) = store(&csr, k);
-        prop_assert_eq!(sg.to_csr(), csr);
+        assert_eq!(sg.to_csr(), csr);
     }
+}
 
-    /// The selective loader returns exactly the CSR adjacency for any
-    /// active subset of any interval.
-    #[test]
-    fn loader_matches_csr((n, edges) in arb_graph(), k in 1usize..6, pick in any::<u64>()) {
+/// The selective loader returns exactly the CSR adjacency for any
+/// active subset of any interval.
+#[test]
+fn loader_matches_csr() {
+    let mut rng = SeededRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..6);
+        let pick = rng.next_u64();
         let csr = build(n, &edges);
         let (_ssd, sg) = store(&csr, k);
         let mut loader = GraphLoader::new();
@@ -64,48 +80,61 @@ proptest! {
                 .filter(|v| (pick >> (v % 61)) & 1 == 1)
                 .collect();
             let got = loader.load_active(&sg, i, &active, false, None);
-            prop_assert_eq!(got.len(), active.len());
+            assert_eq!(got.len(), active.len());
             for lv in got {
-                prop_assert_eq!(lv.edges.as_slice(), csr.out_edges(lv.v), "vertex {}", lv.v);
+                assert_eq!(lv.edges.as_slice(), csr.out_edges(lv.v), "vertex {}", lv.v);
             }
         }
     }
+}
 
-    /// Interval partitions cover every vertex exactly once, whatever the
-    /// in-degree profile and budget.
-    #[test]
-    fn intervals_partition_vertex_space(
-        in_deg in proptest::collection::vec(0u64..50, 1..200),
-        budget in 64usize..4096,
-    ) {
+/// Interval partitions cover every vertex exactly once, whatever the
+/// in-degree profile and budget.
+#[test]
+fn intervals_partition_vertex_space() {
+    let mut rng = SeededRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..200);
+        let in_deg: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..50)).collect();
+        let budget = rng.gen_range(64usize..4096);
         let iv = VertexIntervals::by_inbound_budget(&in_deg, 16, budget);
-        prop_assert_eq!(iv.num_vertices(), in_deg.len());
+        assert_eq!(iv.num_vertices(), in_deg.len());
         let mut seen = vec![false; in_deg.len()];
         for i in iv.iter_ids() {
             for v in iv.range(i) {
-                prop_assert!(!seen[v as usize], "vertex {} covered twice", v);
+                assert!(!seen[v as usize], "vertex {} covered twice", v);
                 seen[v as usize] = true;
-                prop_assert_eq!(iv.interval_of(v), i);
+                assert_eq!(iv.interval_of(v), i);
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    /// Batched structural merging equals eager merging for any update
-    /// sequence (DESIGN.md §7).
-    #[test]
-    fn structural_batched_equals_eager(
-        (n, edges) in arb_graph(),
-        ups in proptest::collection::vec((any::<bool>(), 0u32..80, 0u32..80), 0..40),
-    ) {
+/// Batched structural merging equals eager merging for any update
+/// sequence (DESIGN.md §7).
+#[test]
+fn structural_batched_equals_eager() {
+    let mut rng = SeededRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
         let csr = build(n, &edges);
-        let ups: Vec<StructuralUpdate> = ups
-            .into_iter()
+        let n_ups = rng.gen_range(0usize..40);
+        let ups: Vec<StructuralUpdate> = (0..n_ups)
+            .map(|_| {
+                (
+                    rng.gen_bool(0.5),
+                    rng.gen_range(0u32..80),
+                    rng.gen_range(0u32..80),
+                )
+            })
             .filter(|&(_, s, d)| (s as usize) < n && (d as usize) < n)
-            .map(|(add, src, dst)| if add {
-                StructuralUpdate::AddEdge { src, dst }
-            } else {
-                StructuralUpdate::RemoveEdge { src, dst }
+            .map(|(add, src, dst)| {
+                if add {
+                    StructuralUpdate::AddEdge { src, dst }
+                } else {
+                    StructuralUpdate::RemoveEdge { src, dst }
+                }
             })
             .collect();
 
@@ -123,26 +152,36 @@ proptest! {
             eager.push(u);
             eager.merge_all(&sg_eager);
         }
-        prop_assert_eq!(sg_batched.to_csr(), sg_eager.to_csr());
+        assert_eq!(sg_batched.to_csr(), sg_eager.to_csr());
     }
+}
 
-    /// Flood (max-id propagation) on any graph converges to the component
-    /// maximum — checked against union-find ground truth.
-    #[test]
-    fn flood_matches_union_find((n, edges) in arb_graph()) {
-        struct Flood;
-        impl VertexProgram for Flood {
-            fn name(&self) -> &'static str { "flood" }
-            fn init_state(&self, v: VertexId) -> u64 { v as u64 }
-            fn init_active(&self, _n: usize) -> InitActive { InitActive::All }
-            fn process(&self, ctx: &mut VertexCtx<'_>) {
-                let best = ctx.msgs().iter().map(|m| m.data).fold(ctx.state(), u64::max);
-                if best > ctx.state() || ctx.superstep() == 1 {
-                    ctx.set_state(best);
-                    ctx.send_all(best);
-                }
+/// Flood (max-id propagation) on any graph converges to the component
+/// maximum — checked against union-find ground truth.
+#[test]
+fn flood_matches_union_find() {
+    struct Flood;
+    impl VertexProgram for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn init_state(&self, v: VertexId) -> u64 {
+            v as u64
+        }
+        fn init_active(&self, _n: usize) -> InitActive {
+            InitActive::All
+        }
+        fn process(&self, ctx: &mut VertexCtx<'_>) {
+            let best = ctx.msgs().iter().map(|m| m.data).fold(ctx.state(), u64::max);
+            if best > ctx.state() || ctx.superstep() == 1 {
+                ctx.set_state(best);
+                ctx.send_all(best);
             }
         }
+    }
+    let mut rng = SeededRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
         let csr = build(n, &edges);
         let (ssd, sg) = store(&csr, 4);
         let mut eng = MultiLogEngine::with_shared_graph(
@@ -151,7 +190,7 @@ proptest! {
             EngineConfig::default().with_memory(64 << 10),
         );
         let r = eng.run(&Flood, 4 * n + 4);
-        prop_assert!(r.converged);
+        assert!(r.converged);
 
         // Union-find ground truth.
         let mut parent: Vec<usize> = (0..n).collect();
@@ -169,50 +208,62 @@ proptest! {
         for v in 0..n {
             let root = find(&mut parent, v);
             let comp_max = (0..n).filter(|&u| find(&mut parent, u) == root).max().unwrap();
-            prop_assert_eq!(eng.state_of(v as u32), comp_max as u64, "vertex {}", v);
+            assert_eq!(eng.state_of(v as u32), comp_max as u64, "vertex {}", v);
         }
     }
+}
 
-    /// BFS levels equal the queue-based reference on any graph and source.
-    #[test]
-    fn bfs_matches_reference_any_graph((n, edges) in arb_graph(), src_pick in any::<u32>()) {
+/// BFS levels equal the queue-based reference on any graph and source.
+#[test]
+fn bfs_matches_reference_any_graph() {
+    let mut rng = SeededRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
         let csr = build(n, &edges);
-        let src = src_pick % n as u32;
+        let src = rng.gen_range(0u32..n as u32);
         let (ssd, sg) = store(&csr, 3);
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(64 << 10));
         let r = eng.run(&Bfs::new(src), 2 * n + 2);
-        prop_assert!(r.converged);
+        assert!(r.converged);
         let expect = mlvc_apps::bfs_reference(&csr, src);
         for (v, e) in expect.iter().enumerate() {
-            prop_assert_eq!(Bfs::level(eng.state_of(v as u32)), *e);
+            assert_eq!(Bfs::level(eng.state_of(v as u32)), *e);
         }
     }
+}
 
-    /// MIS output is a valid maximal independent set on any graph.
-    #[test]
-    fn mis_valid_any_graph((n, edges) in arb_graph()) {
+/// MIS output is a valid maximal independent set on any graph.
+#[test]
+fn mis_valid_any_graph() {
+    let mut rng = SeededRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
         let csr = build(n, &edges);
         let (ssd, sg) = store(&csr, 3);
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(64 << 10));
         let r = eng.run(&Mis, 8 * n + 8);
-        prop_assert!(r.converged);
+        assert!(r.converged);
         let in_set: Vec<bool> = eng
             .states()
             .iter()
             .map(|&s| Mis::state(s) == MisState::InSet)
             .collect();
-        prop_assert!(mlvc_apps::is_maximal_independent_set(&csr, &in_set));
+        assert!(mlvc_apps::is_maximal_independent_set(&csr, &in_set));
     }
+}
 
-    /// Coloring output is proper on any graph.
-    #[test]
-    fn coloring_proper_any_graph((n, edges) in arb_graph()) {
+/// Coloring output is proper on any graph.
+#[test]
+fn coloring_proper_any_graph() {
+    let mut rng = SeededRng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
         let csr = build(n, &edges);
         let (ssd, sg) = store(&csr, 3);
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(64 << 10));
         let r = eng.run(&Coloring::new(), 40 * n + 40);
-        prop_assert!(r.converged);
+        assert!(r.converged);
         let colors: Vec<u32> = eng.states().iter().map(|&s| s as u32).collect();
-        prop_assert!(mlvc_apps::is_proper_coloring(&csr, &colors));
+        assert!(mlvc_apps::is_proper_coloring(&csr, &colors));
     }
 }
