@@ -72,7 +72,7 @@ mod tests {
     fn run_bfs(csr: &mlvc_graph::Csr, src: u32) -> Vec<u64> {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, csr, "b", iv);
+        let sg = StoredGraph::store_with(&ssd, csr, "b", iv).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&Bfs::new(src), 200);
         assert!(r.converged);

@@ -81,7 +81,7 @@ mod tests {
     fn run_cdlp(csr: &mlvc_graph::Csr, steps: usize) -> Vec<u32> {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, csr, "c", iv);
+        let sg = StoredGraph::store_with(&ssd, csr, "c", iv).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         eng.run(&Cdlp, steps);
         eng.states().iter().map(|&s| Cdlp::label(s)).collect()

@@ -172,7 +172,7 @@ mod tests {
     fn run_coloring(csr: &mlvc_graph::Csr, steps: usize) -> (Vec<u32>, bool) {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, csr, "gc", iv);
+        let sg = StoredGraph::store_with(&ssd, csr, "gc", iv).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&Coloring::new(), steps);
         (
@@ -254,7 +254,7 @@ mod tests {
             &g,
             "gc",
             VertexIntervals::uniform(g.num_vertices(), 4),
-        );
+        ).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&Coloring::new(), 15);
         let first = r.supersteps.first().unwrap().active_vertices;

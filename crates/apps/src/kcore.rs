@@ -147,7 +147,7 @@ mod tests {
             csr,
             "k",
             VertexIntervals::uniform(csr.num_vertices(), 4),
-        );
+        ).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&KCore::new(), steps);
         assert!(r.converged, "coreness must converge");

@@ -111,7 +111,7 @@ mod tests {
     fn run_mis(csr: &mlvc_graph::Csr, steps: usize) -> (Vec<MisState>, bool) {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, csr, "m", iv);
+        let sg = StoredGraph::store_with(&ssd, csr, "m", iv).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&Mis, steps);
         (

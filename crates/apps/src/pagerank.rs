@@ -96,7 +96,7 @@ mod tests {
     fn run_pr(csr: &mlvc_graph::Csr, pr: PageRank, steps: usize) -> Vec<f64> {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, csr, "p", iv);
+        let sg = StoredGraph::store_with(&ssd, csr, "p", iv).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         eng.run(&pr, steps);
         eng.states().iter().map(|&s| PageRank::rank(s)).collect()
@@ -150,7 +150,7 @@ mod tests {
             &g,
             "p",
             VertexIntervals::uniform(g.num_vertices(), 4),
-        );
+        ).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&PageRank::new(0.85, 0.05), 15);
         assert!(r.supersteps.len() >= 3);

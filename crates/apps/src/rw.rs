@@ -93,7 +93,7 @@ mod tests {
     fn run_rw(csr: &mlvc_graph::Csr, rw: RandomWalk, steps: usize) -> (Vec<u64>, bool) {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, csr, "r", iv);
+        let sg = StoredGraph::store_with(&ssd, csr, "r", iv).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&rw, steps);
         (eng.states().to_vec(), r.converged)
@@ -113,7 +113,7 @@ mod tests {
     fn walks_terminate_after_max_steps() {
         let g = mlvc_gen::cycle(12);
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg = StoredGraph::store_with(&ssd, &g, "r", VertexIntervals::uniform(12, 2));
+        let sg = StoredGraph::store_with(&ssd, &g, "r", VertexIntervals::uniform(12, 2)).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&RandomWalk::new(100, 3, 4), 50);
         assert!(r.converged);

@@ -98,7 +98,7 @@ mod tests {
             csr,
             "s",
             VertexIntervals::uniform(csr.num_vertices(), 4),
-        );
+        ).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&Sssp::new(src), steps);
         assert!(r.converged);

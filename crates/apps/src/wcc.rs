@@ -59,7 +59,7 @@ mod tests {
             csr,
             "w",
             VertexIntervals::uniform(csr.num_vertices(), 4),
-        );
+        ).unwrap();
         let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r = eng.run(&Wcc, steps);
         assert!(r.converged);

@@ -10,12 +10,12 @@ use mlvc_ssd::{Ssd, SsdConfig};
 const N: u64 = 200_000;
 
 fn make_log(ssd: &Ssd) -> mlvc_ssd::FileId {
-    let f = ssd.open_or_create("log");
-    ssd.truncate(f);
+    let f = ssd.open_or_create("log").unwrap();
+    ssd.truncate(f).unwrap();
     let ups: Vec<Update> = (0..N)
         .map(|k| Update::new(((k * 2_654_435_761) % 50_000) as u32, k as u32, 1))
         .collect();
-    mlvc_grafboost::write_log_pages(ssd, f, &ups);
+    mlvc_grafboost::write_log_pages(ssd, f, &ups).unwrap();
     f
 }
 

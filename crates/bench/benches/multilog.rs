@@ -12,7 +12,7 @@ const N_SENDS: u64 = 100_000;
 fn fresh_multilog() -> MultiLog {
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
     let iv = VertexIntervals::uniform(1 << 16, 64);
-    MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes: 1 << 20 }, "bench")
+    MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes: 1 << 20 }, "bench").unwrap()
 }
 
 fn updates(n: u64) -> Vec<Update> {
@@ -26,7 +26,7 @@ fn main() {
 
     micro::case("multilog/send_100k", 10, Some(N_SENDS), fresh_multilog, |mut ml| {
         for &u in &ups {
-            ml.send(u);
+            ml.send(u).unwrap();
         }
         ml.finish_superstep()
     });
@@ -38,16 +38,16 @@ fn main() {
         || {
             let mut ml = fresh_multilog();
             for &u in &ups {
-                ml.send(u);
+                ml.send(u).unwrap();
             }
-            let counts = ml.finish_superstep();
+            let counts = ml.finish_superstep().unwrap();
             (ml, counts)
         },
         |(mut ml, counts)| {
             let sg = SortGroup::new(4 << 20);
             let mut total = 0usize;
             for r in sg.plan(&counts) {
-                let batch = sg.load_batch(&mut ml, r);
+                let batch = sg.load_batch(&mut ml, r).unwrap();
                 for (_, grp) in group_by_dest(&batch.updates) {
                     total += grp.len();
                 }

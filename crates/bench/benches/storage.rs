@@ -12,7 +12,7 @@ fn stored() -> (Arc<Ssd>, StoredGraph) {
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
     let g = mlvc_gen::rmat(RmatParams::social(12, 8), 7);
     let iv = VertexIntervals::uniform(g.num_vertices(), 8);
-    let sg = StoredGraph::store_with(&ssd, &g, "bench", iv);
+    let sg = StoredGraph::store_with(&ssd, &g, "bench", iv).unwrap();
     (ssd, sg)
 }
 
@@ -41,10 +41,10 @@ fn main() {
     });
 
     let ssd = Ssd::new(SsdConfig::default());
-    let f = ssd.open_or_create("raw");
+    let f = ssd.open_or_create("raw").unwrap();
     let payload = vec![0xA5u8; 16 * 1024];
     for _ in 0..256 {
-        ssd.append_page(f, &payload);
+        ssd.append_page(f, &payload).unwrap();
     }
     let reqs: Vec<_> = (0..256u64).map(|p| (f, p, 1024)).collect();
     micro::case("ssd/read_batch_256_pages", 50, Some(256), || (), |()| ssd.read_batch(&reqs));

@@ -1,0 +1,8 @@
+//! Checkpoint-cadence ablation: crash-consistency overhead vs cadence
+//! (DESIGN.md §11).
+use mlvc_bench::figures;
+
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    println!("{}", figures::ablation_checkpoint(&s));
+}

@@ -8,6 +8,7 @@ fn main() {
         figures::ablation_channels(&s),
         figures::ablation_async(&s),
         figures::ablation_ftl(&s),
+        figures::ablation_checkpoint(&s),
     ] {
         println!("{section}");
     }

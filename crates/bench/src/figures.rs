@@ -405,7 +405,7 @@ pub fn ablation_channels(s: &Settings) -> String {
             let app = make(&d.graph);
             let cfg = SsdConfig::default().with_channels(channels);
             let ssd = Arc::new(Ssd::new(cfg.clone()));
-            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone());
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone()).unwrap();
             ssd.stats().reset();
             let mut m = mlvc_core::MultiLogEngine::new(ssd, sg, s.engine_config());
             let rm = m.run(app.as_ref(), s.supersteps);
@@ -416,7 +416,8 @@ pub fn ablation_channels(s: &Settings) -> String {
                 &d.graph,
                 iv.clone(),
                 s.engine_config(),
-            );
+            )
+            .unwrap();
             ssd.stats().reset();
             let rg = g.run(app.as_ref(), s.supersteps);
             out += &format!(
@@ -450,7 +451,7 @@ pub fn ablation_async(s: &Settings) -> String {
         let iv = s.intervals(&d.graph);
         let run = |async_mode: bool| {
             let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone());
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone()).unwrap();
             ssd.stats().reset();
             let mut e = mlvc_core::MultiLogEngine::new(
                 ssd,
@@ -504,7 +505,7 @@ pub fn ablation_ftl(s: &Settings) -> String {
         {
             let ssd = Arc::new(Ssd::new(SsdConfig::default()));
             ssd.enable_trace();
-            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone());
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone()).unwrap();
             let mut e = mlvc_core::MultiLogEngine::new(Arc::clone(&ssd), sg, s.engine_config());
             e.run(&app, s.supersteps);
             ("MultiLogVC", ssd.take_trace())
@@ -517,7 +518,8 @@ pub fn ablation_ftl(s: &Settings) -> String {
                 &d.graph,
                 iv.clone(),
                 s.engine_config(),
-            );
+            )
+            .unwrap();
             e.run(&app, s.supersteps);
             ("GraphChi", ssd.take_trace())
         },
@@ -568,12 +570,79 @@ pub fn ablation_ftl(s: &Settings) -> String {
     out
 }
 
+/// Extension (DESIGN.md §11): checkpoint overhead vs cadence. Runs BFS
+/// and PageRank on CF with crash-consistency checkpoints every k
+/// supersteps and reports the write and simulated-time overhead over the
+/// checkpoint-free baseline. Results must be identical at every cadence —
+/// checkpointing is pure overhead, never a behavior change.
+pub fn ablation_checkpoint(s: &Settings) -> String {
+    use mlvc_graph::StoredGraph;
+    use mlvc_ssd::{Ssd, SsdConfig};
+    use std::sync::Arc;
+
+    let mut out = String::from(
+        "## Ablation — checkpoint cadence (crash recovery, CF)\n\n\
+         Crash-consistent checkpoints (vertex values + active set + pending multi-log\n\
+         extents, A/B manifest slots) written every k supersteps. Overheads are relative\n\
+         to the k = off baseline of the same app.\n\n\
+         | App | Cadence | Checkpoints | Pages written | Write overhead | Sim time overhead |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    let d = &s.datasets()[0];
+    let iv = s.intervals(&d.graph);
+    for (name, make) in apps_all() {
+        if name != "bfs" && name != "pagerank" {
+            continue;
+        }
+        let mut baseline: Option<(u64, u64, Vec<u64>)> = None;
+        for cadence in [None, Some(8usize), Some(4), Some(2), Some(1)] {
+            let app = make(&d.graph);
+            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+            let sg = StoredGraph::store_with(&ssd, &d.graph, "g", iv.clone()).unwrap();
+            ssd.stats().reset();
+            let mut cfg = s.engine_config();
+            cfg.checkpoint_every = cadence;
+            let mut e = mlvc_core::MultiLogEngine::new(ssd, sg, cfg);
+            let r = e.run(app.as_ref(), s.supersteps);
+            let written = r.total_pages_written();
+            let sim = r.total_sim_time_ns();
+            let ckpts = r.supersteps.iter().filter(|st| st.checkpointed).count();
+            let (w0, t0, states0) = baseline.get_or_insert_with(|| {
+                (written, sim, e.states().to_vec())
+            });
+            assert_eq!(
+                e.states(),
+                states0.as_slice(),
+                "{name}: checkpointing changed results at cadence {cadence:?}"
+            );
+            out += &format!(
+                "| {} | {} | {} | {} | {:+.1}% | {:+.1}% |\n",
+                name,
+                cadence.map_or("off".to_string(), |k| format!("every {k}")),
+                ckpts,
+                written,
+                100.0 * (written as f64 - *w0 as f64) / (*w0).max(1) as f64,
+                100.0 * (sim as f64 - *t0 as f64) / (*t0).max(1) as f64,
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny() -> Settings {
         Settings { scale: 8, memory_bytes: 128 << 10, supersteps: 8, seed: 7 }
+    }
+
+    #[test]
+    fn ablation_checkpoint_reports_cadence_rows() {
+        let md = ablation_checkpoint(&tiny());
+        assert!(md.contains("| bfs | off |"), "baseline row expected:\n{md}");
+        assert!(md.contains("| bfs | every 1 |"), "densest cadence row expected:\n{md}");
+        assert!(md.contains("| pagerank | off |"), "pagerank rows expected:\n{md}");
     }
 
     #[test]

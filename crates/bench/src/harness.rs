@@ -69,7 +69,7 @@ impl Settings {
     /// sweeps keep the on-SSD layout fixed while the budget varies).
     pub fn mlvc_with(&self, graph: &Csr, iv: VertexIntervals) -> MultiLogEngine {
         let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-        let sg = StoredGraph::store_with(&ssd, graph, "g", iv);
+        let sg = StoredGraph::store_with(&ssd, graph, "g", iv).unwrap();
         ssd.stats().reset(); // setup I/O is not part of any experiment
         MultiLogEngine::new(ssd, sg, self.engine_config())
     }
@@ -77,7 +77,7 @@ impl Settings {
     /// GraphChi engine with an explicit interval partition.
     pub fn graphchi_with(&self, graph: &Csr, iv: VertexIntervals) -> GraphChiEngine {
         let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-        let eng = GraphChiEngine::new(Arc::clone(&ssd), graph, iv, self.engine_config());
+        let eng = GraphChiEngine::new(Arc::clone(&ssd), graph, iv, self.engine_config()).unwrap();
         ssd.stats().reset();
         eng
     }
@@ -86,7 +86,7 @@ impl Settings {
     /// (ablation runs).
     pub fn mlvc_no_edgelog(&self, graph: &Csr) -> MultiLogEngine {
         let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-        let sg = StoredGraph::store_with(&ssd, graph, "g", self.intervals(graph));
+        let sg = StoredGraph::store_with(&ssd, graph, "g", self.intervals(graph)).unwrap();
         ssd.stats().reset();
         MultiLogEngine::new(ssd, sg, self.engine_config().with_edge_log(false))
     }
@@ -99,7 +99,8 @@ impl Settings {
             graph,
             self.intervals(graph),
             self.engine_config(),
-        );
+        )
+        .unwrap();
         ssd.stats().reset();
         eng
     }
@@ -107,7 +108,7 @@ impl Settings {
     /// A fresh GraFBoost engine on its own simulated SSD.
     pub fn grafboost(&self, graph: &Csr) -> GrafBoostEngine {
         let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-        let sg = StoredGraph::store_with(&ssd, graph, "g", self.intervals(graph));
+        let sg = StoredGraph::store_with(&ssd, graph, "g", self.intervals(graph)).unwrap();
         ssd.stats().reset();
         GrafBoostEngine::new(ssd, sg, self.engine_config())
     }

@@ -1,0 +1,43 @@
+//! Smoke test: every figure/ablation binary runs to completion at mini
+//! scale and emits a Markdown section. Catches bit-rot in the experiment
+//! harness without the cost of paper-scale runs.
+
+use std::process::Command;
+
+/// (binary path from Cargo, expected stdout fragment).
+const BINS: &[(&str, &str)] = &[
+    (env!("CARGO_BIN_EXE_table1"), "| CF |"),
+    (env!("CARGO_BIN_EXE_fig2"), "superstep"),
+    (env!("CARGO_BIN_EXE_fig3"), "##"),
+    (env!("CARGO_BIN_EXE_fig5"), "##"),
+    (env!("CARGO_BIN_EXE_fig6"), "##"),
+    (env!("CARGO_BIN_EXE_fig7"), "##"),
+    (env!("CARGO_BIN_EXE_fig8"), "##"),
+    (env!("CARGO_BIN_EXE_fig9"), "##"),
+    (env!("CARGO_BIN_EXE_fig10"), "##"),
+    (env!("CARGO_BIN_EXE_ablation_checkpoint"), "| bfs | off |"),
+];
+
+#[test]
+fn every_figure_binary_runs_at_mini_scale() {
+    for (bin, expect) in BINS {
+        let out = Command::new(bin)
+            .env("MLVC_SCALE", "7")
+            .env("MLVC_MEM_KB", "128")
+            .env("MLVC_STEPS", "4")
+            .env("MLVC_SEED", "7")
+            .output()
+            .unwrap_or_else(|e| panic!("{bin}: spawn failed: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} exited with {:?}\nstderr:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(expect),
+            "{bin}: expected {expect:?} in output:\n{stdout}"
+        );
+    }
+}

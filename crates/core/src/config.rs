@@ -47,6 +47,9 @@ pub struct EngineConfig {
     pub async_mode: bool,
     /// Pending structural updates per interval that trigger a merge (§V-E).
     pub structural_merge_threshold: usize,
+    /// Write a crash-consistent checkpoint every `k` supersteps (`None`
+    /// disables checkpointing). See `mlvc-recover` and DESIGN.md §11.
+    pub checkpoint_every: Option<usize>,
     /// Seed for deterministic per-vertex randomness.
     pub seed: u64,
     pub cost: CostModel,
@@ -62,6 +65,7 @@ impl Default for EngineConfig {
             enable_edge_log: true,
             async_mode: false,
             structural_merge_threshold: 1024,
+            checkpoint_every: None,
             seed: 0xC0FFEE,
             cost: CostModel::default(),
         }
@@ -90,6 +94,12 @@ impl EngineConfig {
         self
     }
 
+    /// Checkpoint every `k` supersteps (crash recovery, DESIGN.md §11).
+    pub fn with_checkpoint_every(mut self, k: usize) -> Self {
+        self.checkpoint_every = Some(k);
+        self
+    }
+
     /// Bytes allocated to the sort & group unit.
     pub fn sort_budget(&self) -> usize {
         ((self.memory_bytes as f64) * self.sort_frac) as usize
@@ -110,6 +120,9 @@ impl EngineConfig {
         let f = self.sort_frac + self.multilog_frac + self.edgelog_frac;
         assert!(f <= 1.0 + 1e-9, "memory fractions exceed the budget");
         assert!(self.sort_frac > 0.0 && self.multilog_frac > 0.0 && self.edgelog_frac > 0.0);
+        if let Some(k) = self.checkpoint_every {
+            assert!(k > 0, "checkpoint cadence must be at least 1 superstep");
+        }
     }
 
     /// Validate and return self (builder terminal).

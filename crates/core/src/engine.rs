@@ -7,9 +7,13 @@ use mlvc_log::{
     group_by_dest, BitSet, EdgeLogConfig, EdgeLogOptimizer, MultiLog, MultiLogConfig, SortGroup,
     Update,
 };
-use mlvc_ssd::Ssd;
+use mlvc_recover::{CheckpointManager, CheckpointState};
+use mlvc_ssd::{DeviceError, Ssd};
 
 use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
+
+/// Device tag under which the engine's checkpoint slot files live.
+const CKPT_TAG: &str = "mlvc";
 
 /// The MultiLogVC engine — Algorithm 1 of the paper.
 ///
@@ -117,31 +121,77 @@ impl MultiLogEngine {
         }
         out
     }
-}
 
-impl Engine for MultiLogEngine {
-    fn name(&self) -> &'static str {
-        "MultiLogVC"
+    /// Resume from the latest valid checkpoint on this engine's device (or
+    /// start fresh when none exists) and run to completion, checkpointing
+    /// along the way per [`EngineConfig::checkpoint_every`].
+    ///
+    /// The graph extents and checkpoint slots must live on the same device
+    /// the interrupted run used; `RunReport::resumed_from` records the
+    /// checkpointed superstep execution restarted after. Recovery is
+    /// bit-exact for pure-compute programs (no structural updates) — see
+    /// DESIGN.md §11 for the exact guarantee.
+    pub fn run_recoverable(
+        &mut self,
+        prog: &dyn VertexProgram,
+        max_supersteps: usize,
+    ) -> RunReport {
+        let mut report = RunReport {
+            engine: self.name().to_string(),
+            app: prog.name().to_string(),
+            ..Default::default()
+        };
+        let resume = match self.load_resume_point() {
+            Ok(r) => r,
+            Err(e) => {
+                report.interrupted = Some(e);
+                return report;
+            }
+        };
+        if let Some(cp) = &resume {
+            report.resumed_from = Some(cp.superstep);
+        }
+        if let Err(e) = self.drive(prog, max_supersteps, resume.as_ref(), &mut report) {
+            report.interrupted = Some(e);
+        }
+        report
     }
 
-    fn states(&self) -> &[u64] {
-        &self.states
+    /// Latest checkpoint usable for this graph, if any. A checkpoint whose
+    /// vertex count does not match the stored graph is ignored (it belongs
+    /// to a different run), not treated as corruption.
+    fn load_resume_point(&self) -> Result<Option<CheckpointState>, DeviceError> {
+        let mgr = CheckpointManager::open(&self.ssd, CKPT_TAG)?;
+        Ok(mgr
+            .load_latest()?
+            .map(|(_, cp)| cp)
+            .filter(|cp| cp.states.len() == self.graph.num_vertices()))
     }
 
-    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+    /// The superstep driver (Algorithm 1). Fresh runs pass `resume: None`;
+    /// `run_recoverable` passes the recovered state. Fills `report` as it
+    /// goes so completed supersteps survive a device fault.
+    fn drive(
+        &mut self,
+        prog: &dyn VertexProgram,
+        max_supersteps: usize,
+        resume: Option<&CheckpointState>,
+        report: &mut RunReport,
+    ) -> Result<(), DeviceError> {
         let n = self.graph.num_vertices();
         let intervals = self.graph.intervals().clone();
         let needs_weights = prog.needs_weights();
         let combine = prog.combine();
 
-        self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
+        report.engine = self.name().to_string();
+        report.app = prog.name().to_string();
 
         let mut multilog = MultiLog::new(
             Arc::clone(&self.ssd),
             intervals.clone(),
             MultiLogConfig { buffer_bytes: self.cfg.multilog_budget() },
             "mlvc",
-        );
+        )?;
         let sortgroup = SortGroup::new(self.cfg.sort_budget());
         let mut edgelog = EdgeLogOptimizer::new(
             Arc::clone(&self.ssd),
@@ -151,35 +201,51 @@ impl Engine for MultiLogEngine {
                 ..Default::default()
             },
             "mlvc",
-        );
+        )?;
         let mut loader = GraphLoader::new();
         let mut structural =
             StructuralUpdateBuffer::new(intervals.clone(), self.cfg.structural_merge_threshold);
 
-        let mut report = RunReport {
-            engine: self.name().to_string(),
-            app: prog.name().to_string(),
-            ..Default::default()
+        let mut ckpt_mgr = match self.cfg.checkpoint_every {
+            Some(_) => Some(CheckpointManager::open(&self.ssd, CKPT_TAG)?),
+            None => None,
         };
 
         // Seeding (superstep 0): initial messages go through the multi-log
-        // exactly like any other update.
+        // exactly like any other update. A resumed run restores the
+        // checkpoint instead: vertex states, self-active set, and the
+        // pending log pages of the checkpointed superstep (the edge log
+        // restarts cold — a pure cache, results are unaffected).
         let mut all_active = false;
-        let mut pending: Vec<u64> = match prog.init_active(n) {
-            InitActive::All => {
-                all_active = true;
-                vec![0; intervals.num_intervals()]
+        let mut self_active: Vec<VertexId> = Vec::new();
+        let start;
+        let mut pending: Vec<u64> = match resume {
+            Some(cp) => {
+                self.states = cp.states.clone();
+                all_active = cp.all_active;
+                self_active = cp.vertices_from_bits();
+                start = cp.superstep as usize + 1;
+                multilog.restore_pending(&cp.msgs)?
             }
-            InitActive::Seeds(seeds) => {
-                for u in seeds {
-                    multilog.send(u);
+            None => {
+                self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
+                start = 1;
+                match prog.init_active(n) {
+                    InitActive::All => {
+                        all_active = true;
+                        vec![0; intervals.num_intervals()]
+                    }
+                    InitActive::Seeds(seeds) => {
+                        for u in seeds {
+                            multilog.send(u)?;
+                        }
+                        multilog.finish_superstep()?
+                    }
                 }
-                multilog.finish_superstep()
             }
         };
-        let mut self_active: Vec<VertexId> = Vec::new();
 
-        for superstep in 1..=max_supersteps {
+        for superstep in start..=max_supersteps {
             if !all_active && pending.iter().all(|&c| c == 0) && self_active.is_empty() {
                 report.converged = true;
                 break;
@@ -193,7 +259,7 @@ impl Engine for MultiLogEngine {
             let plan = sortgroup.plan(&pending);
             for range in plan {
                 // 1. Load + in-memory sort of the fused interval logs.
-                let batch = sortgroup.load_batch(&mut multilog, range.clone());
+                let batch = sortgroup.load_batch(&mut multilog, range.clone())?;
                 st.messages_processed += batch.updates.len() as u64;
 
                 for i in range {
@@ -205,7 +271,7 @@ impl Engine for MultiLogEngine {
                     let hi = batch.updates.partition_point(|u| u.dest < iv_range.end);
                     let mut updates: Vec<Update> = batch.updates[lo..hi].to_vec();
                     if self.cfg.async_mode {
-                        let extra = multilog.take_log_current(i);
+                        let extra = multilog.take_log_current(i)?;
                         if !extra.is_empty() {
                             st.messages_processed += extra.len() as u64;
                             updates.extend(extra);
@@ -251,8 +317,8 @@ impl Engine for MultiLogEngine {
                         &csr_vs,
                         needs_weights,
                         Some(&structural),
-                    );
-                    let mut elog_adj = edgelog.fetch(&elog_vs);
+                    )?;
+                    let mut elog_adj = edgelog.fetch(&elog_vs)?;
                     for (v, edges) in &mut elog_adj {
                         structural.patch_adjacency(*v, edges);
                     }
@@ -323,7 +389,7 @@ impl Engine for MultiLogEngine {
                         active_bits.set(item.v as usize);
                         st.active_vertices += 1;
                         for u in out.sends {
-                            multilog.send(u);
+                            multilog.send(u)?;
                         }
                         if out.keep_active {
                             next_self_active.push(item.v);
@@ -342,14 +408,14 @@ impl Engine for MultiLogEngine {
                                         colidx_file,
                                         lo..=hi,
                                     ) {
-                                        edgelog.log_edges(item.v, &item.edges);
+                                        edgelog.log_edges(item.v, &item.edges)?;
                                     }
                                 }
                                 None => {
                                     // Served from the edge log: keep the dense
                                     // copy alive while the vertex stays active.
                                     if known || edgelog.predicted_active(item.v) {
-                                        edgelog.log_edges(item.v, &item.edges);
+                                        edgelog.log_edges(item.v, &item.edges)?;
                                     }
                                 }
                             }
@@ -368,14 +434,35 @@ impl Engine for MultiLogEngine {
                         && u.utilization() < edgelog.config().inefficiency_threshold
                 })
                 .count() as u64;
-            edgelog.end_superstep(&active_bits, &usage);
-            pending = multilog.finish_superstep();
+            edgelog.end_superstep(&active_bits, &usage)?;
+            pending = multilog.finish_superstep()?;
             st.messages_sent = pending.iter().sum();
-            structural.merge_over_threshold(&self.graph);
+            structural.merge_over_threshold(&self.graph)?;
             next_self_active.sort_unstable();
             next_self_active.dedup();
             self_active = next_self_active;
             all_active = false;
+
+            // Crash-consistency checkpoint (DESIGN.md §11): captured after
+            // the log sides flipped, so the snapshot is exactly the pending
+            // input of superstep+1. Charged to this superstep's I/O.
+            if let Some(mgr) = ckpt_mgr.as_mut() {
+                if self
+                    .cfg
+                    .checkpoint_every
+                    .is_some_and(|k| superstep % k == 0)
+                {
+                    let cp = CheckpointState {
+                        superstep: superstep as u64,
+                        all_active,
+                        states: self.states.clone(),
+                        active_bits: CheckpointState::bits_from_vertices(n, &self_active),
+                        msgs: multilog.snapshot_pending()?,
+                    };
+                    mgr.write(&cp)?;
+                    st.checkpointed = true;
+                }
+            }
 
             st.io = self.ssd.stats().snapshot().since(&io0);
             st.compute_ns = st.messages_processed * self.cfg.cost.sort_ns
@@ -392,9 +479,27 @@ impl Engine for MultiLogEngine {
             report.converged = true;
         }
 
-        structural.merge_all(&self.graph);
+        structural.merge_all(&self.graph)?;
         report.multilog = Some(multilog.stats());
         report.edgelog = Some(edgelog.stats());
+        Ok(())
+    }
+}
+
+impl Engine for MultiLogEngine {
+    fn name(&self) -> &'static str {
+        "MultiLogVC"
+    }
+
+    fn states(&self) -> &[u64] {
+        &self.states
+    }
+
+    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+        let mut report = RunReport::default();
+        if let Err(e) = self.drive(prog, max_supersteps, None, &mut report) {
+            report.interrupted = Some(e);
+        }
         report
     }
 }
@@ -434,7 +539,7 @@ mod tests {
     fn engine_for(csr: mlvc_graph::Csr) -> MultiLogEngine {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = mlvc_graph::VertexIntervals::uniform(csr.num_vertices(), 4);
-        let sg = StoredGraph::store_with(&ssd, &csr, "g", iv);
+        let sg = StoredGraph::store_with(&ssd, &csr, "g", iv).unwrap();
         MultiLogEngine::new(ssd, sg, EngineConfig::default())
     }
 
@@ -663,7 +768,8 @@ mod tests {
             &b.build(),
             "bsp",
             mlvc_graph::VertexIntervals::uniform(513, 16),
-        );
+        )
+        .unwrap();
         let cfg = EngineConfig::default().with_memory(8 << 10);
         let mut eng = MultiLogEngine::new(ssd, sg, cfg);
         eng.run(&Stamp, 5);
@@ -713,7 +819,7 @@ mod tests {
 
         let run = |async_mode: bool| {
             let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-            let sg = StoredGraph::store_with(&ssd, &csr, "a", iv.clone());
+            let sg = StoredGraph::store_with(&ssd, &csr, "a", iv.clone()).unwrap();
             let mut eng = MultiLogEngine::new(
                 ssd,
                 sg,
@@ -753,7 +859,7 @@ mod tests {
 
         let run = |mem: usize| {
             let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-            let sg = StoredGraph::store_with(&ssd, &csr, "p", iv.clone());
+            let sg = StoredGraph::store_with(&ssd, &csr, "p", iv.clone()).unwrap();
             let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
             let r = eng.run(&Flood, 40);
             (eng.states().to_vec(), r)
@@ -788,7 +894,8 @@ mod tests {
             &csr,
             "a",
             mlvc_graph::VertexIntervals::uniform(64, 4),
-        );
+        )
+        .unwrap();
         let mut on = MultiLogEngine::new(ssd1, g1, EngineConfig::default());
         let ron = on.run(&Flood, 80);
 
@@ -798,7 +905,8 @@ mod tests {
             &csr,
             "b",
             mlvc_graph::VertexIntervals::uniform(64, 4),
-        );
+        )
+        .unwrap();
         let mut off =
             MultiLogEngine::new(ssd2, g2, EngineConfig::default().with_edge_log(false));
         let roff = off.run(&Flood, 80);

@@ -230,7 +230,7 @@ mod tests {
         let r1 = reference.run(&Flood, 100);
 
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg = StoredGraph::store_with(&ssd, &csr, "r", VertexIntervals::uniform(48, 4));
+        let sg = StoredGraph::store_with(&ssd, &csr, "r", VertexIntervals::uniform(48, 4)).unwrap();
         let mut mlvc = MultiLogEngine::new(ssd, sg, EngineConfig::default());
         let r2 = mlvc.run(&Flood, 100);
 

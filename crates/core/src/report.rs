@@ -1,5 +1,5 @@
 use mlvc_log::{EdgeLogStats, MultiLogStats};
-use mlvc_ssd::SsdStatsSnapshot;
+use mlvc_ssd::{DeviceError, SsdStatsSnapshot};
 
 /// Statistics of one superstep — the per-superstep rows behind the paper's
 /// Figures 2, 3, 5 and 7.
@@ -36,6 +36,9 @@ pub struct SuperstepStats {
     /// Host wall-clock time of the superstep (reference only; experiment
     /// claims use simulated time).
     pub wall_ns: u64,
+    /// True if a crash-consistency checkpoint was written at this
+    /// superstep's close-out (its I/O is charged to `io`).
+    pub checkpointed: bool,
 }
 
 impl SuperstepStats {
@@ -63,6 +66,13 @@ pub struct RunReport {
     pub supersteps: Vec<SuperstepStats>,
     /// True if the run converged (no pending work) before the cap.
     pub converged: bool,
+    /// Set when the run was cut short by a device fault (simulated crash
+    /// or unrecoverable read error); the report covers the completed
+    /// supersteps only.
+    pub interrupted: Option<DeviceError>,
+    /// Superstep of the checkpoint this run resumed from, when it was
+    /// started via `run_recoverable` and a valid checkpoint existed.
+    pub resumed_from: Option<u64>,
     /// Engine-specific extras.
     pub multilog: Option<MultiLogStats>,
     pub edgelog: Option<EdgeLogStats>,

@@ -5,7 +5,7 @@ use mlvc_core::{
     Engine, EngineConfig, InitActive, RunReport, SuperstepStats, Update, VertexCtx, VertexProgram,
 };
 use mlvc_graph::{StoredGraph, VertexId};
-use mlvc_ssd::Ssd;
+use mlvc_ssd::{DeviceError, Ssd};
 
 use crate::extsort::{external_sort, write_log_pages, SortedGroups};
 
@@ -35,16 +35,15 @@ impl GrafBoostEngine {
     }
 }
 
-impl Engine for GrafBoostEngine {
-    fn name(&self) -> &'static str {
-        "GraFBoost"
-    }
-
-    fn states(&self) -> &[u64] {
-        &self.states
-    }
-
-    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+impl GrafBoostEngine {
+    /// The superstep driver; a device fault aborts the run and surfaces as
+    /// `RunReport::interrupted`.
+    fn drive(
+        &mut self,
+        prog: &dyn VertexProgram,
+        max_supersteps: usize,
+        report: &mut RunReport,
+    ) -> Result<(), DeviceError> {
         assert!(
             !prog.needs_weights(),
             "GraFBoost baseline does not model edge weights"
@@ -54,23 +53,18 @@ impl Engine for GrafBoostEngine {
         let combine = prog.combine();
         self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
 
-        let log = self.ssd.open_or_create("gfb.log");
-        self.ssd.truncate(log);
-        let mut report = RunReport {
-            engine: self.name().to_string(),
-            app: prog.name().to_string(),
-            ..Default::default()
-        };
+        let log = self.ssd.open_or_create("gfb.log")?;
+        self.ssd.truncate(log)?;
 
         let mut all_active = false;
         match prog.init_active(n) {
             InitActive::All => all_active = true,
-            InitActive::Seeds(seeds) => write_log_pages(&self.ssd, log, &seeds),
+            InitActive::Seeds(seeds) => write_log_pages(&self.ssd, log, &seeds)?,
         }
         let mut self_active: Vec<VertexId> = Vec::new();
 
         for superstep in 1..=max_supersteps {
-            if !all_active && self.ssd.num_pages(log) == 0 && self_active.is_empty() {
+            if !all_active && self.ssd.num_pages(log)? == 0 && self_active.is_empty() {
                 report.converged = true;
                 break;
             }
@@ -84,11 +78,11 @@ impl Engine for GrafBoostEngine {
 
             // --- The single-log bottleneck: sort the whole log. ---
             let (sorted, sort_stats) =
-                external_sort(&self.ssd, log, self.cfg.sort_budget(), combine, "gfb");
+                external_sort(&self.ssd, log, self.cfg.sort_budget(), combine, "gfb")?;
             st.messages_processed = sort_stats.updates_in;
             let buf_pages = ((self.cfg.sort_budget() / self.ssd.page_size()) / 4).max(1) as u64;
-            let mut groups = SortedGroups::new(&self.ssd, sorted, buf_pages);
-            let mut peeked: Option<(VertexId, Vec<Update>)> = groups.next();
+            let mut groups = SortedGroups::new(&self.ssd, sorted, buf_pages)?;
+            let mut peeked: Option<(VertexId, Vec<Update>)> = groups.next()?;
 
             for i in intervals.iter_ids() {
                 let iv = intervals.range(i);
@@ -101,7 +95,7 @@ impl Engine for GrafBoostEngine {
                     if let Some(g) = peeked.take() {
                         msg_groups.push(g);
                     }
-                    peeked = groups.next();
+                    peeked = groups.next()?;
                 }
                 // Active set: receivers ∪ kept-active ∪ (all at superstep 1).
                 let ss = self_active.partition_point(|&v| v < iv.start);
@@ -112,7 +106,7 @@ impl Engine for GrafBoostEngine {
                 }
 
                 // --- No selective loading: scan the whole interval. ---
-                let (rowptr, colidx, _w) = self.graph.read_interval(i);
+                let (rowptr, colidx, _w) = self.graph.read_interval(i)?;
                 let adj = |v: VertexId| -> &[VertexId] {
                     let k = (v - iv.start) as usize;
                     &colidx[rowptr[k] as usize..rowptr[k + 1] as usize]
@@ -181,12 +175,12 @@ impl Engine for GrafBoostEngine {
                     sends_total += out.sends.len() as u64;
                     outbox.extend(out.sends);
                     if outbox.len() >= flush_at {
-                        write_log_pages(&self.ssd, log, &outbox);
+                        write_log_pages(&self.ssd, log, &outbox)?;
                         outbox.clear();
                     }
                 }
             }
-            write_log_pages(&self.ssd, log, &outbox);
+            write_log_pages(&self.ssd, log, &outbox)?;
 
             next_self.sort_unstable();
             next_self.dedup();
@@ -200,8 +194,30 @@ impl Engine for GrafBoostEngine {
             st.wall_ns = wall0.elapsed().as_nanos() as u64;
             report.supersteps.push(st);
         }
-        if !all_active && self.ssd.num_pages(log) == 0 && self_active.is_empty() {
+        if !all_active && self.ssd.num_pages(log)? == 0 && self_active.is_empty() {
             report.converged = true;
+        }
+        Ok(())
+    }
+}
+
+impl Engine for GrafBoostEngine {
+    fn name(&self) -> &'static str {
+        "GraFBoost"
+    }
+
+    fn states(&self) -> &[u64] {
+        &self.states
+    }
+
+    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+        let mut report = RunReport {
+            engine: self.name().to_string(),
+            app: prog.name().to_string(),
+            ..Default::default()
+        };
+        if let Err(e) = self.drive(prog, max_supersteps, &mut report) {
+            report.interrupted = Some(e);
         }
         report
     }
@@ -219,10 +235,10 @@ mod tests {
     ) -> (GrafBoostEngine, mlvc_core::MultiLogEngine) {
         let iv = VertexIntervals::uniform(csr.num_vertices(), k);
         let ssd1 = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg1 = StoredGraph::store_with(&ssd1, csr, "g", iv.clone());
+        let sg1 = StoredGraph::store_with(&ssd1, csr, "g", iv.clone()).unwrap();
         let gfb = GrafBoostEngine::new(ssd1, sg1, EngineConfig::default());
         let ssd2 = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg2 = StoredGraph::store_with(&ssd2, csr, "m", iv);
+        let sg2 = StoredGraph::store_with(&ssd2, csr, "m", iv).unwrap();
         let mlvc = mlvc_core::MultiLogEngine::new(ssd2, sg2, EngineConfig::default());
         (gfb, mlvc)
     }
@@ -284,7 +300,7 @@ mod tests {
 
         let run_with = |mem: usize| {
             let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-            let sg = StoredGraph::store_with(&ssd, &g, "g", iv.clone());
+            let sg = StoredGraph::store_with(&ssd, &g, "g", iv.clone()).unwrap();
             let mut eng =
                 GrafBoostEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
             let r = eng.run(&mlvc_apps::PageRank::new(0.85, 1e-3), 2);

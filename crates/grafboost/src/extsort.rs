@@ -2,7 +2,7 @@ use std::collections::BinaryHeap;
 
 use mlvc_core::Combine;
 use mlvc_log::{decode_log_page, encode_log_page, page_record_capacity, Update};
-use mlvc_ssd::{FileId, Ssd};
+use mlvc_ssd::{DeviceError, FileId, Ssd};
 
 /// What an external sort did — the fig. 8 diagnostic: once the log exceeds
 /// the sort memory, run generation + merge passes dominate.
@@ -46,17 +46,17 @@ pub fn external_sort(
     sort_budget: usize,
     combine: Option<Combine>,
     tag: &str,
-) -> (Sorted, ExtSortStats) {
+) -> Result<(Sorted, ExtSortStats), DeviceError> {
     let page_size = ssd.page_size();
     let cap = page_record_capacity(page_size);
     let budget_updates = (sort_budget / mlvc_log::UPDATE_BYTES).max(cap);
-    let total_pages = ssd.num_pages(input);
+    let total_pages = ssd.num_pages(input)?;
     let mut stats = ExtSortStats::default();
 
     // --- Fast path: whole log fits in the sort budget. ---
     if total_pages as usize * cap <= budget_updates {
-        let mut updates = read_log_pages(ssd, input, 0, total_pages);
-        ssd.truncate(input);
+        let mut updates = read_log_pages(ssd, input, 0, total_pages)?;
+        ssd.truncate(input)?;
         stats.updates_in = updates.len() as u64;
         updates.sort_by_key(|u| u.dest);
         if let Some(f) = combine {
@@ -64,7 +64,7 @@ pub fn external_sort(
         }
         stats.in_memory = true;
         stats.updates_out = updates.len() as u64;
-        return (Sorted::InMemory(updates), stats);
+        return Ok((Sorted::InMemory(updates), stats));
     }
 
     // --- Partition phase: budget-sized sorted runs. ---
@@ -74,20 +74,20 @@ pub fn external_sort(
     let mut p = 0u64;
     while p < total_pages {
         let hi = (p + chunk_pages).min(total_pages);
-        let mut chunk = read_log_pages(ssd, input, p, hi);
+        let mut chunk = read_log_pages(ssd, input, p, hi)?;
         stats.updates_in += chunk.len() as u64;
         chunk.sort_by_key(|u| u.dest);
         if let Some(f) = combine {
             chunk = reduce_sorted(chunk, f);
         }
-        let run = ssd.open_or_create(&format!("{tag}.run.{next_run}"));
+        let run = ssd.open_or_create(&format!("{tag}.run.{next_run}"))?;
         next_run += 1;
-        ssd.truncate(run);
-        write_log_pages(ssd, run, &chunk);
+        ssd.truncate(run)?;
+        write_log_pages(ssd, run, &chunk)?;
         runs.push(run);
         p = hi;
     }
-    ssd.truncate(input);
+    ssd.truncate(input)?;
     stats.runs = runs.len();
 
     // --- Merge phase: fan-in bounded by the budget (one input buffer per
@@ -101,11 +101,11 @@ pub fn external_sort(
                 merged.push(group[0]);
                 continue;
             }
-            let out = ssd.open_or_create(&format!("{tag}.merge.{}.{}", stats.merge_passes, g));
-            ssd.truncate(out);
-            merge_runs(ssd, group, out, combine, chunk_pages.max(1) / group.len() as u64 + 1);
+            let out = ssd.open_or_create(&format!("{tag}.merge.{}.{}", stats.merge_passes, g))?;
+            ssd.truncate(out)?;
+            merge_runs(ssd, group, out, combine, chunk_pages.max(1) / group.len() as u64 + 1)?;
             for &r in group {
-                ssd.truncate(r);
+                ssd.truncate(r)?;
             }
             merged.push(out);
         }
@@ -115,31 +115,36 @@ pub fn external_sort(
         Some(f) => f,
         // Unreachable: the fast path returns on an empty log, so the
         // partition phase always produces at least one run.
-        None => return (Sorted::InMemory(Vec::new()), stats),
+        None => return Ok((Sorted::InMemory(Vec::new()), stats)),
     };
-    (Sorted::OnDisk { file }, stats)
+    Ok((Sorted::OnDisk { file }, stats))
 }
 
 /// Read log pages `[lo, hi)` of `file` as one charged batch.
-pub fn read_log_pages(ssd: &Ssd, file: FileId, lo: u64, hi: u64) -> Vec<Update> {
+pub fn read_log_pages(
+    ssd: &Ssd,
+    file: FileId,
+    lo: u64,
+    hi: u64,
+) -> Result<Vec<Update>, DeviceError> {
     if lo >= hi {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let reqs: Vec<(FileId, u64, usize)> = (lo..hi).map(|p| (file, p, 0)).collect();
-    let pages = ssd.read_batch(&reqs);
+    let pages = ssd.read_batch(&reqs)?;
     let mut out = Vec::new();
     let mut useful = 0u64;
     for page in &pages {
         useful += decode_log_page(page, &mut out) as u64;
     }
     ssd.declare_useful(useful);
-    out
+    Ok(out)
 }
 
 /// Append `updates` to `file` as full log pages (one charged batch).
-pub fn write_log_pages(ssd: &Ssd, file: FileId, updates: &[Update]) {
+pub fn write_log_pages(ssd: &Ssd, file: FileId, updates: &[Update]) -> Result<(), DeviceError> {
     if updates.is_empty() {
-        return;
+        return Ok(());
     }
     let cap = page_record_capacity(ssd.page_size());
     let pages: Vec<Vec<u8>> = updates
@@ -147,7 +152,8 @@ pub fn write_log_pages(ssd: &Ssd, file: FileId, updates: &[Update]) {
         .map(|c| encode_log_page(c, ssd.page_size()))
         .collect();
     let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
-    ssd.append_pages(file, &refs);
+    ssd.append_pages(file, &refs)?;
+    Ok(())
 }
 
 /// Reduce a dest-sorted vector with `combine`, one update per destination.
@@ -167,7 +173,13 @@ fn reduce_sorted(updates: Vec<Update>, f: Combine) -> Vec<Update> {
 
 /// Streaming k-way merge of sorted run files into `out`, stable by
 /// (dest, run index). `buf_pages` = pages fetched per refill per run.
-fn merge_runs(ssd: &Ssd, runs: &[FileId], out: FileId, combine: Option<Combine>, buf_pages: u64) {
+fn merge_runs(
+    ssd: &Ssd,
+    runs: &[FileId],
+    out: FileId,
+    combine: Option<Combine>,
+    buf_pages: u64,
+) -> Result<(), DeviceError> {
     struct Cursor {
         file: FileId,
         next_page: u64,
@@ -176,32 +188,33 @@ fn merge_runs(ssd: &Ssd, runs: &[FileId], out: FileId, combine: Option<Combine>,
         pos: usize,
     }
     impl Cursor {
-        fn refill(&mut self, ssd: &Ssd, buf_pages: u64) {
+        fn refill(&mut self, ssd: &Ssd, buf_pages: u64) -> Result<(), DeviceError> {
             if self.pos < self.buf.len() || self.next_page >= self.total_pages {
-                return;
+                return Ok(());
             }
             let hi = (self.next_page + buf_pages).min(self.total_pages);
-            self.buf = read_log_pages(ssd, self.file, self.next_page, hi);
+            self.buf = read_log_pages(ssd, self.file, self.next_page, hi)?;
             self.pos = 0;
             self.next_page = hi;
+            Ok(())
         }
         fn peek(&self) -> Option<Update> {
             self.buf.get(self.pos).copied()
         }
     }
 
-    let mut cursors: Vec<Cursor> = runs
-        .iter()
-        .map(|&f| Cursor {
+    let mut cursors: Vec<Cursor> = Vec::with_capacity(runs.len());
+    for &f in runs {
+        cursors.push(Cursor {
             file: f,
             next_page: 0,
-            total_pages: ssd.num_pages(f),
+            total_pages: ssd.num_pages(f)?,
             buf: Vec::new(),
             pos: 0,
-        })
-        .collect();
+        });
+    }
     for c in cursors.iter_mut() {
-        c.refill(ssd, buf_pages);
+        c.refill(ssd, buf_pages)?;
     }
 
     // Min-heap keyed by (dest, run index) — Reverse for BinaryHeap.
@@ -218,7 +231,7 @@ fn merge_runs(ssd: &Ssd, runs: &[FileId], out: FileId, combine: Option<Combine>,
         // The heap only holds cursors whose peek succeeded.
         let Some(u) = cursors[k].peek() else { continue };
         cursors[k].pos += 1;
-        cursors[k].refill(ssd, buf_pages);
+        cursors[k].refill(ssd, buf_pages)?;
         if let Some(next) = cursors[k].peek() {
             heap.push(std::cmp::Reverse((next.dest, k)));
         }
@@ -233,14 +246,14 @@ fn merge_runs(ssd: &Ssd, runs: &[FileId], out: FileId, combine: Option<Combine>,
                 if outbuf.len() >= flush_at
                     && outbuf.last().map(|l| l.dest) != Some(u.dest)
                 {
-                    write_log_pages(ssd, out, &outbuf);
+                    write_log_pages(ssd, out, &outbuf)?;
                     outbuf.clear();
                 }
                 outbuf.push(u);
             }
         }
     }
-    write_log_pages(ssd, out, &outbuf);
+    write_log_pages(ssd, out, &outbuf)
 }
 
 /// Streaming group iterator over a [`Sorted`] log: yields ascending
@@ -259,8 +272,8 @@ enum Source {
 }
 
 impl<'a> SortedGroups<'a> {
-    pub fn new(ssd: &'a Ssd, sorted: Sorted, buf_pages: u64) -> Self {
-        match sorted {
+    pub fn new(ssd: &'a Ssd, sorted: Sorted, buf_pages: u64) -> Result<Self, DeviceError> {
+        Ok(match sorted {
             Sorted::InMemory(buf) => SortedGroups {
                 ssd,
                 source: Source::Mem,
@@ -270,33 +283,33 @@ impl<'a> SortedGroups<'a> {
             },
             Sorted::OnDisk { file, .. } => SortedGroups {
                 ssd,
-                source: Source::Disk { file, next_page: 0, total_pages: ssd.num_pages(file) },
+                source: Source::Disk { file, next_page: 0, total_pages: ssd.num_pages(file)? },
                 buf: Vec::new(),
                 pos: 0,
                 buf_pages: buf_pages.max(1),
             },
-        }
+        })
     }
 
-    fn refill(&mut self) {
+    fn refill(&mut self) -> Result<(), DeviceError> {
         if let Source::Disk { file, next_page, total_pages } = &mut self.source {
             while self.buf.len() - self.pos < 2 && *next_page < *total_pages {
                 let hi = (*next_page + self.buf_pages).min(*total_pages);
                 self.buf.drain(..self.pos);
                 self.pos = 0;
-                let mut more = read_log_pages(self.ssd, *file, *next_page, hi);
+                let mut more = read_log_pages(self.ssd, *file, *next_page, hi)?;
                 self.buf.append(&mut more);
                 *next_page = hi;
             }
         }
+        Ok(())
     }
 
     /// Next `(dest, updates)` group, ascending by destination.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<(u32, Vec<Update>)> {
-        self.refill();
+    pub fn next(&mut self) -> Result<Option<(u32, Vec<Update>)>, DeviceError> {
+        self.refill()?;
         if self.pos >= self.buf.len() {
-            return None;
+            return Ok(None);
         }
         let dest = self.buf[self.pos].dest;
         let mut group = Vec::new();
@@ -308,7 +321,7 @@ impl<'a> SortedGroups<'a> {
             if self.pos >= self.buf.len() {
                 // Group may continue in the next disk chunk.
                 let before = self.buf.len() - self.pos;
-                self.refill();
+                self.refill()?;
                 if self.buf.len() - self.pos == before {
                     break;
                 }
@@ -316,7 +329,7 @@ impl<'a> SortedGroups<'a> {
                 break;
             }
         }
-        Some((dest, group))
+        Ok(Some((dest, group)))
     }
 }
 
@@ -330,8 +343,8 @@ mod tests {
     }
 
     fn write_updates(ssd: &Ssd, name: &str, ups: &[Update]) -> FileId {
-        let f = ssd.open_or_create(name);
-        write_log_pages(ssd, f, ups);
+        let f = ssd.open_or_create(name).unwrap();
+        write_log_pages(ssd, f, ups).unwrap();
         f
     }
 
@@ -346,7 +359,7 @@ mod tests {
         let ssd = ssd();
         let ups = gen_updates(30, 8);
         let f = write_updates(&ssd, "log", &ups);
-        let (sorted, stats) = external_sort(&ssd, f, 1 << 20, None, "t");
+        let (sorted, stats) = external_sort(&ssd, f, 1 << 20, None, "t").unwrap();
         assert!(stats.in_memory);
         match sorted {
             Sorted::InMemory(v) => {
@@ -355,7 +368,7 @@ mod tests {
             }
             _ => panic!("expected in-memory"),
         }
-        assert_eq!(ssd.num_pages(f), 0, "input consumed");
+        assert_eq!(ssd.num_pages(f).unwrap(), 0, "input consumed");
     }
 
     #[test]
@@ -364,14 +377,14 @@ mod tests {
         // 1500 updates; budget of 4 pages (15 records each) forces runs.
         let ups = gen_updates(1500, 64);
         let f = write_updates(&ssd, "log", &ups);
-        let (sorted, stats) = external_sort(&ssd, f, 4 * 256, None, "t");
+        let (sorted, stats) = external_sort(&ssd, f, 4 * 256, None, "t").unwrap();
         assert!(!stats.in_memory);
         assert!(stats.runs > 1, "runs {}", stats.runs);
         assert!(stats.merge_passes >= 1);
-        let mut groups = SortedGroups::new(&ssd, sorted, 2);
+        let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
         let mut count = 0;
         let mut last = None;
-        while let Some((d, g)) = groups.next() {
+        while let Some((d, g)) = groups.next().unwrap() {
             if let Some(l) = last {
                 assert!(d > l, "ascending groups");
             }
@@ -387,12 +400,12 @@ mod tests {
         // All to one destination: order must equal insertion order.
         let ups: Vec<Update> = (0..200).map(|k| Update::new(7, k, k as u64)).collect();
         let f = write_updates(&ssd, "log", &ups);
-        let (sorted, _) = external_sort(&ssd, f, 4 * 256, None, "t");
-        let mut groups = SortedGroups::new(&ssd, sorted, 2);
-        let (d, g) = groups.next().unwrap();
+        let (sorted, _) = external_sort(&ssd, f, 4 * 256, None, "t").unwrap();
+        let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
+        let (d, g) = groups.next().unwrap().unwrap();
         assert_eq!(d, 7);
         assert_eq!(g, ups);
-        assert!(groups.next().is_none());
+        assert!(groups.next().unwrap().is_none());
     }
 
     #[test]
@@ -400,10 +413,10 @@ mod tests {
         let ssd = ssd();
         let ups: Vec<Update> = (0..500).map(|k| Update::new(k % 10, k, 1)).collect();
         let f = write_updates(&ssd, "log", &ups);
-        let (sorted, _) = external_sort(&ssd, f, 4 * 256, Some(u64::wrapping_add as _), "t");
-        let mut groups = SortedGroups::new(&ssd, sorted, 2);
+        let (sorted, _) = external_sort(&ssd, f, 4 * 256, Some(u64::wrapping_add as _), "t").unwrap();
+        let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
         let mut seen = 0;
-        while let Some((_, g)) = groups.next() {
+        while let Some((_, g)) = groups.next().unwrap() {
             assert_eq!(g.len(), 1, "sort-reduce leaves one update per dest");
             assert_eq!(g[0].data, 50);
             seen += 1;
@@ -419,17 +432,17 @@ mod tests {
         let ssd1 = Ssd::new(cfg.clone());
         let f1 = write_updates(&ssd1, "log", &ups);
         ssd1.stats().reset();
-        let (s1, _) = external_sort(&ssd1, f1, 1 << 20, None, "t");
-        let mut g1 = SortedGroups::new(&ssd1, s1, 4);
-        while g1.next().is_some() {}
+        let (s1, _) = external_sort(&ssd1, f1, 1 << 20, None, "t").unwrap();
+        let mut g1 = SortedGroups::new(&ssd1, s1, 4).unwrap();
+        while g1.next().unwrap().is_some() {}
         let cheap = ssd1.stats().snapshot().io_time_ns();
 
         let ssd2 = Ssd::new(cfg);
         let f2 = write_updates(&ssd2, "log", &ups);
         ssd2.stats().reset();
-        let (s2, _) = external_sort(&ssd2, f2, 4 * 256, None, "t");
-        let mut g2 = SortedGroups::new(&ssd2, s2, 4);
-        while g2.next().is_some() {}
+        let (s2, _) = external_sort(&ssd2, f2, 4 * 256, None, "t").unwrap();
+        let mut g2 = SortedGroups::new(&ssd2, s2, 4).unwrap();
+        while g2.next().unwrap().is_some() {}
         let expensive = ssd2.stats().snapshot().io_time_ns();
 
         assert!(
@@ -441,10 +454,10 @@ mod tests {
     #[test]
     fn empty_log_sorts_to_nothing() {
         let ssd = ssd();
-        let f = ssd.open_or_create("log");
-        let (sorted, stats) = external_sort(&ssd, f, 1 << 20, None, "t");
+        let f = ssd.open_or_create("log").unwrap();
+        let (sorted, stats) = external_sort(&ssd, f, 1 << 20, None, "t").unwrap();
         assert!(stats.in_memory);
-        let mut groups = SortedGroups::new(&ssd, sorted, 2);
-        assert!(groups.next().is_none());
+        let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
+        assert!(groups.next().unwrap().is_none());
     }
 }

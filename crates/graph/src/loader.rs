@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use mlvc_ssd::FileId;
+use mlvc_ssd::{DeviceError, FileId};
 
 /// Page payloads plus a page-index lookup, as fetched by one batch read.
 type PageBatch = (Vec<Vec<u8>>, HashMap<u64, usize>);
@@ -86,9 +86,9 @@ impl GraphLoader {
         active: &[VertexId],
         want_weights: bool,
         patch: Option<&StructuralUpdateBuffer>,
-    ) -> Vec<LoadedVertex> {
+    ) -> Result<Vec<LoadedVertex>, DeviceError> {
         if active.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let ssd = graph.ssd();
         let page_size = ssd.page_size();
@@ -115,7 +115,7 @@ impl GraphLoader {
             .map(|(&p, &u)| (rp_file, p, u.min(page_size)))
             .collect();
         rp_reqs.sort_unstable_by_key(|r| r.1);
-        let rp_data = ssd.read_batch(&rp_reqs);
+        let rp_data = ssd.read_batch(&rp_reqs)?;
         self.rowptr_pages_read += to_u64(rp_reqs.len());
         let rp_page_index: HashMap<u64, usize> =
             rp_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
@@ -157,7 +157,7 @@ impl GraphLoader {
             .map(|(&p, &u)| (ci_file, p, u.min(page_size)))
             .collect();
         ci_reqs.sort_unstable_by_key(|r| r.1);
-        let ci_data = ssd.read_batch(&ci_reqs);
+        let ci_data = ssd.read_batch(&ci_reqs)?;
         self.colidx_pages_read += to_u64(ci_reqs.len());
         let ci_page_index: HashMap<u64, usize> =
             ci_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
@@ -169,13 +169,16 @@ impl GraphLoader {
 
         // Weights ride on a parallel extent with identical offsets.
         let val_file = if want_weights { graph.val_file(i) } else { None };
-        let val_data: Option<PageBatch> = val_file.map(|vf| {
-            let reqs: Vec<(FileId, u64, usize)> =
-                ci_reqs.iter().map(|&(_, p, u)| (vf, p, u)).collect();
-            let data = ssd.read_batch(&reqs);
-            let idx = reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
-            (data, idx)
-        });
+        let val_data: Option<PageBatch> = match val_file {
+            Some(vf) => {
+                let reqs: Vec<(FileId, u64, usize)> =
+                    ci_reqs.iter().map(|&(_, p, u)| (vf, p, u)).collect();
+                let data = ssd.read_batch(&reqs)?;
+                let idx = reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+                Some((data, idx))
+            }
+            None => None,
+        };
 
         let extract_u32 = |data: &[Vec<u8>], page_index: &HashMap<u64, usize>, lo: u64, hi: u64| {
             let mut out = Vec::with_capacity(mem_idx(hi - lo));
@@ -211,7 +214,7 @@ impl GraphLoader {
             out.push(LoadedVertex { v, edges, weights, page_lo, page_hi });
         }
         self.vertices_loaded += to_u64(out.len());
-        out
+        Ok(out)
     }
 
     /// Per-page utilization of column-index pages accessed since the last
@@ -270,7 +273,7 @@ mod tests {
             b.push(v, (v + 31) % 64);
         }
         let g = b.build();
-        let sg = StoredGraph::store_with(&ssd, &g, "ring", VertexIntervals::uniform(64, 4));
+        let sg = StoredGraph::store_with(&ssd, &g, "ring", VertexIntervals::uniform(64, 4)).unwrap();
         (ssd, sg)
     }
 
@@ -278,7 +281,7 @@ mod tests {
     fn loads_exactly_the_requested_vertices() {
         let (_ssd, sg) = stored();
         let mut loader = GraphLoader::new();
-        let got = loader.load_active(&sg, 0, &[0, 3, 9], false, None);
+        let got = loader.load_active(&sg, 0, &[0, 3, 9], false, None).unwrap();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].v, 0);
         assert_eq!(got[0].edges, vec![1, 7, 31]);
@@ -298,17 +301,17 @@ mod tests {
             b.push(v, (v + 31) % 64);
         }
         let g = b.build();
-        let sg = StoredGraph::store_with(&ssd, &g, "one", VertexIntervals::uniform(64, 1));
+        let sg = StoredGraph::store_with(&ssd, &g, "one", VertexIntervals::uniform(64, 1)).unwrap();
 
         let mut l1 = GraphLoader::new();
         ssd.stats().reset();
-        l1.load_active(&sg, 0, &[0], false, None);
+        l1.load_active(&sg, 0, &[0], false, None).unwrap();
         let sparse = ssd.stats().snapshot().pages_read;
 
         ssd.stats().reset();
         let all: Vec<u32> = (0..64).collect();
         let mut l2 = GraphLoader::new();
-        l2.load_active(&sg, 0, &all, false, None);
+        l2.load_active(&sg, 0, &all, false, None).unwrap();
         let full = ssd.stats().snapshot().pages_read;
         assert!(sparse < full, "sparse {sparse} vs full {full}");
         assert_eq!(sparse, 2, "one rowptr page + one colidx page");
@@ -319,7 +322,7 @@ mod tests {
     fn page_usage_reflects_useful_bytes() {
         let (_ssd, sg) = stored();
         let mut loader = GraphLoader::new();
-        loader.load_active(&sg, 0, &[0], false, None);
+        loader.load_active(&sg, 0, &[0], false, None).unwrap();
         let usage = loader.take_page_usage(256);
         // Vertex 0 has 3 edges = 12 bytes on one page.
         assert_eq!(usage.len(), 1);
@@ -333,8 +336,8 @@ mod tests {
     fn usage_accumulates_across_calls_within_a_superstep() {
         let (_ssd, sg) = stored();
         let mut loader = GraphLoader::new();
-        loader.load_active(&sg, 0, &[0], false, None);
-        loader.load_active(&sg, 0, &[1], false, None);
+        loader.load_active(&sg, 0, &[0], false, None).unwrap();
+        loader.load_active(&sg, 0, &[1], false, None).unwrap();
         let usage = loader.take_page_usage(256);
         assert_eq!(usage.len(), 1, "both vertices live on the same page");
         assert_eq!(usage[0].useful_bytes, 24);
@@ -344,7 +347,7 @@ mod tests {
     fn counters_track_activity() {
         let (_ssd, sg) = stored();
         let mut loader = GraphLoader::new();
-        loader.load_active(&sg, 1, &[16, 17, 18], false, None);
+        loader.load_active(&sg, 1, &[16, 17, 18], false, None).unwrap();
         assert_eq!(loader.vertices_loaded(), 3);
         assert_eq!(loader.edges_loaded(), 9);
         assert!(loader.rowptr_pages_read() >= 1);
@@ -356,7 +359,7 @@ mod tests {
         let (ssd, sg) = stored();
         ssd.stats().reset();
         let mut loader = GraphLoader::new();
-        let got = loader.load_active(&sg, 0, &[], false, None);
+        let got = loader.load_active(&sg, 0, &[], false, None).unwrap();
         assert!(got.is_empty());
         assert_eq!(ssd.stats().snapshot().pages_read, 0);
     }
@@ -369,11 +372,11 @@ mod tests {
         b.push_weighted(0, 2, 2.5);
         b.push_weighted(4, 5, 4.5);
         let g = b.build();
-        let sg = StoredGraph::store_with(&ssd, &g, "w", VertexIntervals::uniform(8, 2));
+        let sg = StoredGraph::store_with(&ssd, &g, "w", VertexIntervals::uniform(8, 2)).unwrap();
         let mut loader = GraphLoader::new();
-        let got = loader.load_active(&sg, 0, &[0], true, None);
+        let got = loader.load_active(&sg, 0, &[0], true, None).unwrap();
         assert_eq!(got[0].weights.as_deref().unwrap(), &[1.5, 2.5]);
-        let got = loader.load_active(&sg, 1, &[4], true, None);
+        let got = loader.load_active(&sg, 1, &[4], true, None).unwrap();
         assert_eq!(got[0].weights.as_deref().unwrap(), &[4.5]);
     }
 
@@ -382,6 +385,6 @@ mod tests {
     fn vertex_outside_interval_panics() {
         let (_ssd, sg) = stored();
         let mut loader = GraphLoader::new();
-        loader.load_active(&sg, 0, &[60], false, None);
+        let _ = loader.load_active(&sg, 0, &[60], false, None);
     }
 }

@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use mlvc_ssd::{FileId, Ssd};
+use mlvc_ssd::{DeviceError, FileId, Ssd};
 
 use crate::checked::{idx, mem_idx, to_u64};
 use crate::{Csr, IntervalId, VertexIntervals, VertexId, COL_IDX_BYTES, ROW_PTR_BYTES};
@@ -41,13 +41,18 @@ pub struct StoredGraph {
 
 impl StoredGraph {
     /// Store `graph` with intervals sized by the default sort budget.
-    pub fn store(ssd: &Arc<Ssd>, graph: &Csr, name: &str) -> Self {
+    pub fn store(ssd: &Arc<Ssd>, graph: &Csr, name: &str) -> Result<Self, DeviceError> {
         let intervals = VertexIntervals::for_graph(graph, UPDATE_BYTES, DEFAULT_SORT_BUDGET);
         Self::store_with(ssd, graph, name, intervals)
     }
 
     /// Store `graph` under an explicit interval partition.
-    pub fn store_with(ssd: &Arc<Ssd>, graph: &Csr, name: &str, intervals: VertexIntervals) -> Self {
+    pub fn store_with(
+        ssd: &Arc<Ssd>,
+        graph: &Csr,
+        name: &str,
+        intervals: VertexIntervals,
+    ) -> Result<Self, DeviceError> {
         assert_eq!(intervals.num_vertices(), graph.num_vertices());
         assert_eq!(
             ssd.page_size() % ROW_PTR_BYTES,
@@ -68,24 +73,29 @@ impl StoredGraph {
             let lo = mem_idx(graph.row_ptr()[idx(range.start)]);
             let hi = mem_idx(graph.row_ptr()[idx(range.end)]);
 
-            let rp = ssd.open_or_create(&format!("{name}.rowptr.{i}"));
-            append_u64s(ssd, rp, &local);
+            // `open_or_create` preserves existing contents (so a resumed run
+            // can reattach to its extents); a fresh store starts clean.
+            let rp = ssd.open_or_create(&format!("{name}.rowptr.{i}"))?;
+            ssd.truncate(rp)?;
+            append_u64s(ssd, rp, &local)?;
             rowptr_files.push(rp);
 
-            let ci = ssd.open_or_create(&format!("{name}.colidx.{i}"));
-            append_u32s(ssd, ci, &graph.col_idx()[lo..hi]);
+            let ci = ssd.open_or_create(&format!("{name}.colidx.{i}"))?;
+            ssd.truncate(ci)?;
+            append_u32s(ssd, ci, &graph.col_idx()[lo..hi])?;
             colidx_files.push(ci);
 
             if let (Some(vf), Some(wall)) = (val_files.as_mut(), graph.weights_all()) {
-                let f = ssd.open_or_create(&format!("{name}.val.{i}"));
+                let f = ssd.open_or_create(&format!("{name}.val.{i}"))?;
+                ssd.truncate(f)?;
                 // Weights vector is parallel to col_idx.
                 let w: Vec<u32> = wall[lo..hi].iter().map(|&x| f32::to_bits(x)).collect();
-                append_u32s(ssd, f, &w);
+                append_u32s(ssd, f, &w)?;
                 vf.push(f);
             }
         }
 
-        StoredGraph {
+        Ok(StoredGraph {
             ssd: Arc::clone(ssd),
             name: name.to_string(),
             intervals,
@@ -93,7 +103,7 @@ impl StoredGraph {
             colidx_files,
             val_files,
             num_edges: std::sync::atomic::AtomicU64::new(to_u64(graph.num_edges())),
-        }
+        })
     }
 
     pub fn ssd(&self) -> &Arc<Ssd> {
@@ -137,24 +147,34 @@ impl StoredGraph {
     /// Read the whole interval back into memory (row pointers + adjacency).
     /// Charged as sequential batch reads with 100% declared utilization;
     /// used by structural merging and by tests.
-    pub fn read_interval(&self, i: IntervalId) -> (Vec<u64>, Vec<VertexId>, Option<Vec<f32>>) {
+    pub fn read_interval(
+        &self,
+        i: IntervalId,
+    ) -> Result<(Vec<u64>, Vec<VertexId>, Option<Vec<f32>>), DeviceError> {
         let n_local = self.intervals.len_of(i) + 1;
-        let rowptr = read_u64s(&self.ssd, self.rowptr_file(i), n_local);
+        let rowptr = read_u64s(&self.ssd, self.rowptr_file(i), n_local)?;
         let n_edges = rowptr.last().map_or(0, |&e| mem_idx(e));
-        let colidx = read_u32s(&self.ssd, self.colidx_file(i), n_edges);
-        let weights = self.val_file(i).map(|f| {
-            read_u32s(&self.ssd, f, n_edges)
-                .into_iter()
-                .map(f32::from_bits)
-                .collect()
-        });
-        (rowptr, colidx, weights)
+        let colidx = read_u32s(&self.ssd, self.colidx_file(i), n_edges)?;
+        let weights = match self.val_file(i) {
+            Some(f) => Some(
+                read_u32s(&self.ssd, f, n_edges)?
+                    .into_iter()
+                    .map(f32::from_bits)
+                    .collect(),
+            ),
+            None => None,
+        };
+        Ok((rowptr, colidx, weights))
     }
 
     /// Replace interval `i`'s extents with new adjacency data (the merge
     /// step of batched structural updates, §V-E). `local_adj[k]` is the new
     /// out-neighbor list of vertex `start(i) + k`.
-    pub fn rewrite_interval(&self, i: IntervalId, local_adj: &[Vec<VertexId>]) {
+    pub fn rewrite_interval(
+        &self,
+        i: IntervalId,
+        local_adj: &[Vec<VertexId>],
+    ) -> Result<(), DeviceError> {
         assert_eq!(local_adj.len(), self.intervals.len_of(i));
         let mut rowptr = Vec::with_capacity(local_adj.len() + 1);
         let mut colidx = Vec::new();
@@ -164,7 +184,7 @@ impl StoredGraph {
             rowptr.push(to_u64(colidx.len()));
         }
         let old_edges = {
-            let old = read_u64s(&self.ssd, self.rowptr_file(i), self.intervals.len_of(i) + 1);
+            let old = read_u64s(&self.ssd, self.rowptr_file(i), self.intervals.len_of(i) + 1)?;
             old.last().copied().unwrap_or(0)
         };
         // Single writer per interval; Relaxed add/sub is sufficient.
@@ -174,28 +194,29 @@ impl StoredGraph {
             .fetch_sub(old_edges, std::sync::atomic::Ordering::Relaxed);
 
         let rp = self.rowptr_file(i);
-        self.ssd.truncate(rp);
-        append_u64s(&self.ssd, rp, &rowptr);
+        self.ssd.truncate(rp)?;
+        append_u64s(&self.ssd, rp, &rowptr)?;
         let ci = self.colidx_file(i);
-        self.ssd.truncate(ci);
-        append_u32s(&self.ssd, ci, &colidx);
+        self.ssd.truncate(ci)?;
+        append_u32s(&self.ssd, ci, &colidx)?;
         if let Some(vf) = self.val_file(i) {
             // Structural updates on weighted graphs reset weights to zero;
             // programs that mutate weighted graphs carry weights in vertex or
             // message state instead.
-            self.ssd.truncate(vf);
-            append_u32s(&self.ssd, vf, &vec![0u32; colidx.len()]);
+            self.ssd.truncate(vf)?;
+            append_u32s(&self.ssd, vf, &vec![0u32; colidx.len()])?;
         }
+        Ok(())
     }
 
     /// Reconstruct the full in-memory CSR (test/verification path; charges
     /// a full sequential scan).
-    pub fn to_csr(&self) -> Csr {
+    pub fn to_csr(&self) -> Result<Csr, DeviceError> {
         let mut row_ptr = vec![0u64];
         let mut col_idx = Vec::new();
         let mut weights: Option<Vec<f32>> = self.has_weights().then(Vec::new);
         for i in self.intervals.iter_ids() {
-            let (rp, ci, w) = self.read_interval(i);
+            let (rp, ci, w) = self.read_interval(i)?;
             let base = to_u64(col_idx.len());
             for &off in &rp[1..] {
                 row_ptr.push(base + off);
@@ -205,12 +226,12 @@ impl StoredGraph {
                 acc.extend(wv);
             }
         }
-        Csr::from_parts(row_ptr, col_idx, weights)
+        Ok(Csr::from_parts(row_ptr, col_idx, weights))
     }
 }
 
 /// Append a u64 slice to `file` as little-endian pages (batched).
-pub(crate) fn append_u64s(ssd: &Ssd, file: FileId, data: &[u64]) {
+pub(crate) fn append_u64s(ssd: &Ssd, file: FileId, data: &[u64]) -> Result<(), DeviceError> {
     let per_page = ssd.page_size() / ROW_PTR_BYTES;
     let mut pages: Vec<Vec<u8>> = Vec::with_capacity(data.len().div_ceil(per_page));
     for chunk in data.chunks(per_page) {
@@ -222,12 +243,13 @@ pub(crate) fn append_u64s(ssd: &Ssd, file: FileId, data: &[u64]) {
     }
     let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
     if !refs.is_empty() {
-        ssd.append_pages(file, &refs);
+        ssd.append_pages(file, &refs)?;
     }
+    Ok(())
 }
 
 /// Append a u32 slice to `file` as little-endian pages (batched).
-pub(crate) fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) {
+pub(crate) fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) -> Result<(), DeviceError> {
     let per_page = ssd.page_size() / COL_IDX_BYTES;
     let mut pages: Vec<Vec<u8>> = Vec::with_capacity(data.len().div_ceil(per_page));
     for chunk in data.chunks(per_page) {
@@ -239,11 +261,12 @@ pub(crate) fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) {
     }
     let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
     if !refs.is_empty() {
-        ssd.append_pages(file, &refs);
+        ssd.append_pages(file, &refs)?;
     }
+    Ok(())
 }
 
-pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u64> {
+pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u64>, DeviceError> {
     let per_page = ssd.page_size() / ROW_PTR_BYTES;
     let n_pages = to_u64(n.div_ceil(per_page));
     let reqs: Vec<_> = (0..n_pages)
@@ -252,7 +275,7 @@ pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u64> {
             (file, p, entries * ROW_PTR_BYTES)
         })
         .collect();
-    let pages = ssd.read_batch(&reqs);
+    let pages = ssd.read_batch(&reqs)?;
     let mut out = Vec::with_capacity(n);
     for (k, page) in pages.iter().enumerate() {
         let entries = per_page.min(n - k * per_page);
@@ -263,10 +286,10 @@ pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u64> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
-pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u32> {
+pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u32>, DeviceError> {
     let per_page = ssd.page_size() / COL_IDX_BYTES;
     let n_pages = to_u64(n.div_ceil(per_page));
     let reqs: Vec<_> = (0..n_pages)
@@ -275,7 +298,7 @@ pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u32> {
             (file, p, entries * COL_IDX_BYTES)
         })
         .collect();
-    let pages = ssd.read_batch(&reqs);
+    let pages = ssd.read_batch(&reqs)?;
     let mut out = Vec::with_capacity(n);
     for (k, page) in pages.iter().enumerate() {
         let entries = per_page.min(n - k * per_page);
@@ -286,7 +309,7 @@ pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Vec<u32> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -317,19 +340,19 @@ mod tests {
         let ssd = ssd();
         let g = small_graph(false);
         let iv = VertexIntervals::uniform(8, 3);
-        let sg = StoredGraph::store_with(&ssd, &g, "g", iv);
+        let sg = StoredGraph::store_with(&ssd, &g, "g", iv).unwrap();
         assert_eq!(sg.num_vertices(), 8);
         assert_eq!(sg.num_edges(), 10);
-        assert_eq!(sg.to_csr(), g);
+        assert_eq!(sg.to_csr().unwrap(), g);
     }
 
     #[test]
     fn weighted_roundtrip() {
         let ssd = ssd();
         let g = small_graph(true);
-        let sg = StoredGraph::store_with(&ssd, &g, "gw", VertexIntervals::uniform(8, 2));
+        let sg = StoredGraph::store_with(&ssd, &g, "gw", VertexIntervals::uniform(8, 2)).unwrap();
         assert!(sg.has_weights());
-        let back = sg.to_csr();
+        let back = sg.to_csr().unwrap();
         assert_eq!(back.weights_all().unwrap(), g.weights_all().unwrap());
     }
 
@@ -337,9 +360,9 @@ mod tests {
     fn read_interval_local_offsets_start_at_zero() {
         let ssd = ssd();
         let g = small_graph(false);
-        let sg = StoredGraph::store_with(&ssd, &g, "g2", VertexIntervals::uniform(8, 4));
+        let sg = StoredGraph::store_with(&ssd, &g, "g2", VertexIntervals::uniform(8, 4)).unwrap();
         for i in sg.intervals().iter_ids() {
-            let (rp, ci, _) = sg.read_interval(i);
+            let (rp, ci, _) = sg.read_interval(i).unwrap();
             assert_eq!(rp[0], 0);
             assert_eq!(*rp.last().unwrap() as usize, ci.len());
             assert_eq!(rp.len(), sg.intervals().len_of(i) + 1);
@@ -350,12 +373,12 @@ mod tests {
     fn rewrite_interval_changes_adjacency_and_edge_count() {
         let ssd = ssd();
         let g = small_graph(false);
-        let sg = StoredGraph::store_with(&ssd, &g, "g3", VertexIntervals::uniform(8, 4));
+        let sg = StoredGraph::store_with(&ssd, &g, "g3", VertexIntervals::uniform(8, 4)).unwrap();
         // Interval 0 covers vertices 0..2; replace their adjacency.
         let iv0 = sg.intervals().range(0);
         assert_eq!(iv0, 0..2);
-        sg.rewrite_interval(0, &[vec![7], vec![5, 6, 7]]);
-        let back = sg.to_csr();
+        sg.rewrite_interval(0, &[vec![7], vec![5, 6, 7]]).unwrap();
+        let back = sg.to_csr().unwrap();
         assert_eq!(back.out_edges(0), &[7]);
         assert_eq!(back.out_edges(1), &[5, 6, 7]);
         // Other intervals untouched.
@@ -367,24 +390,24 @@ mod tests {
     fn default_store_uses_inbound_budget_partition() {
         let ssd = ssd();
         let g = small_graph(false);
-        let sg = StoredGraph::store(&ssd, &g, "g4");
+        let sg = StoredGraph::store(&ssd, &g, "g4").unwrap();
         assert!(sg.intervals().num_intervals() >= 1);
-        assert_eq!(sg.to_csr(), g);
+        assert_eq!(sg.to_csr().unwrap(), g);
     }
 
     #[test]
     fn u64_u32_pack_roundtrip_across_pages() {
         let ssd = ssd();
-        let f = ssd.open_or_create("u64s");
+        let f = ssd.open_or_create("u64s").unwrap();
         // 256-byte pages hold 32 u64s; cross several page boundaries.
         let data: Vec<u64> = (0..100).map(|i| i * 1_000_000_007).collect();
-        append_u64s(&ssd, f, &data);
-        assert_eq!(read_u64s(&ssd, f, 100), data);
+        append_u64s(&ssd, f, &data).unwrap();
+        assert_eq!(read_u64s(&ssd, f, 100).unwrap(), data);
 
-        let f2 = ssd.open_or_create("u32s");
+        let f2 = ssd.open_or_create("u32s").unwrap();
         let data2: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
-        append_u32s(&ssd, f2, &data2);
-        assert_eq!(read_u32s(&ssd, f2, 200), data2);
+        append_u32s(&ssd, f2, &data2).unwrap();
+        assert_eq!(read_u32s(&ssd, f2, 200).unwrap(), data2);
     }
 
     #[test]

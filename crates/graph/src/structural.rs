@@ -1,5 +1,6 @@
 use crate::checked::{idx, mem_idx};
 use crate::{IntervalId, StoredGraph, VertexIntervals, VertexId};
+use mlvc_ssd::DeviceError;
 
 /// One graph mutation generated during vertex processing (paper §V-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,35 +82,35 @@ impl StructuralUpdateBuffer {
     /// its CSR partition (read → patch → rewrite). Returns the number of
     /// intervals merged. Call at superstep end (paper: "graph structure
     /// updates in a superstep can be applied at the end of the superstep").
-    pub fn merge_over_threshold(&mut self, graph: &StoredGraph) -> usize {
+    pub fn merge_over_threshold(&mut self, graph: &StoredGraph) -> Result<usize, DeviceError> {
         let ids: Vec<IntervalId> = self
             .intervals
             .iter_ids()
             .filter(|&i| self.pending[idx(i)].len() >= self.threshold)
             .collect();
         for &i in &ids {
-            self.merge_interval(graph, i);
+            self.merge_interval(graph, i)?;
         }
-        ids.len()
+        Ok(ids.len())
     }
 
     /// Force-merge everything (e.g. at run end, so the stored graph equals
     /// the logical graph).
-    pub fn merge_all(&mut self, graph: &StoredGraph) -> usize {
+    pub fn merge_all(&mut self, graph: &StoredGraph) -> Result<usize, DeviceError> {
         let ids: Vec<IntervalId> = self
             .intervals
             .iter_ids()
             .filter(|&i| !self.pending[idx(i)].is_empty())
             .collect();
         for &i in &ids {
-            self.merge_interval(graph, i);
+            self.merge_interval(graph, i)?;
         }
-        ids.len()
+        Ok(ids.len())
     }
 
-    fn merge_interval(&mut self, graph: &StoredGraph, i: IntervalId) {
+    fn merge_interval(&mut self, graph: &StoredGraph, i: IntervalId) -> Result<(), DeviceError> {
         let start = self.intervals.start(i);
-        let (rowptr, colidx, _w) = graph.read_interval(i);
+        let (rowptr, colidx, _w) = graph.read_interval(i)?;
         let mut adj: Vec<Vec<VertexId>> = (0..self.intervals.len_of(i))
             .map(|k| colidx[mem_idx(rowptr[k])..mem_idx(rowptr[k + 1])].to_vec())
             .collect();
@@ -124,7 +125,7 @@ impl StructuralUpdateBuffer {
                 }
             }
         }
-        graph.rewrite_interval(i, &adj);
+        graph.rewrite_interval(i, &adj)
     }
 }
 
@@ -143,7 +144,7 @@ mod tests {
         }
         let g = b.build();
         let iv = VertexIntervals::uniform(8, 2);
-        let sg = StoredGraph::store_with(&ssd, &g, "s", iv.clone());
+        let sg = StoredGraph::store_with(&ssd, &g, "s", iv.clone()).unwrap();
         (sg, StructuralUpdateBuffer::new(iv, 4))
     }
 
@@ -165,10 +166,10 @@ mod tests {
     fn below_threshold_does_not_merge() {
         let (sg, mut buf) = setup();
         buf.push(StructuralUpdate::AddEdge { src: 0, dst: 3 });
-        assert_eq!(buf.merge_over_threshold(&sg), 0);
+        assert_eq!(buf.merge_over_threshold(&sg).unwrap(), 0);
         assert_eq!(buf.total_pending(), 1);
         // The stored CSR is unchanged...
-        assert_eq!(sg.to_csr().out_edges(0), &[1]);
+        assert_eq!(sg.to_csr().unwrap().out_edges(0), &[1]);
         // ...but the loader view (patch) already includes the edge.
         let mut edges = vec![1u32];
         buf.patch_adjacency(0, &mut edges);
@@ -182,9 +183,9 @@ mod tests {
             buf.push(StructuralUpdate::AddEdge { src: 0, dst: d });
         }
         buf.push(StructuralUpdate::RemoveEdge { src: 1, dst: 2 });
-        assert_eq!(buf.merge_over_threshold(&sg), 1);
+        assert_eq!(buf.merge_over_threshold(&sg).unwrap(), 1);
         assert_eq!(buf.total_pending(), 0);
-        let csr = sg.to_csr();
+        let csr = sg.to_csr().unwrap();
         assert_eq!(csr.out_edges(0), &[1, 3, 4, 5]);
         assert!(csr.out_edges(1).is_empty());
         assert_eq!(sg.num_edges(), 8 + 3 - 1);
@@ -198,7 +199,7 @@ mod tests {
             buf.push(StructuralUpdate::AddEdge { src: 0, dst: d });
         }
         buf.push(StructuralUpdate::AddEdge { src: 6, dst: 0 });
-        assert_eq!(buf.merge_over_threshold(&sg), 1);
+        assert_eq!(buf.merge_over_threshold(&sg).unwrap(), 1);
         assert_eq!(buf.total_pending(), 1);
         assert_eq!(buf.pending_for(1).len(), 1);
     }
@@ -208,8 +209,8 @@ mod tests {
         let (sg, mut buf) = setup();
         buf.push(StructuralUpdate::AddEdge { src: 0, dst: 7 });
         buf.push(StructuralUpdate::AddEdge { src: 7, dst: 0 });
-        assert_eq!(buf.merge_all(&sg), 2);
-        let csr = sg.to_csr();
+        assert_eq!(buf.merge_all(&sg).unwrap(), 2);
+        let csr = sg.to_csr().unwrap();
         assert_eq!(csr.out_edges(0), &[1, 7]);
         assert_eq!(csr.out_edges(7), &[0, 0]);
     }
@@ -218,8 +219,8 @@ mod tests {
     fn remove_nonexistent_edge_is_noop() {
         let (sg, mut buf) = setup();
         buf.push(StructuralUpdate::RemoveEdge { src: 0, dst: 99 });
-        buf.merge_all(&sg);
-        assert_eq!(sg.to_csr().out_edges(0), &[1]);
+        buf.merge_all(&sg).unwrap();
+        assert_eq!(sg.to_csr().unwrap().out_edges(0), &[1]);
     }
 
     #[test]
@@ -238,9 +239,9 @@ mod tests {
         for u in updates {
             buf.push(u);
             eager_buf.push(u);
-            eager_buf.merge_all(&sg_eager); // eager: merge after every update
+            eager_buf.merge_all(&sg_eager).unwrap(); // eager: merge after every update
         }
-        buf.merge_all(&sg_batched);
-        assert_eq!(sg_batched.to_csr(), sg_eager.to_csr());
+        buf.merge_all(&sg_batched).unwrap();
+        assert_eq!(sg_batched.to_csr().unwrap(), sg_eager.to_csr().unwrap());
     }
 }

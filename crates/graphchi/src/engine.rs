@@ -7,7 +7,7 @@ use mlvc_core::{
 };
 use mlvc_graph::{Csr, IntervalId, VertexIntervals, VertexId};
 use mlvc_log::BitSet;
-use mlvc_ssd::Ssd;
+use mlvc_ssd::{DeviceError, Ssd};
 
 use crate::shards::{ShardRecord, ShardSet};
 
@@ -48,27 +48,24 @@ impl GraphChiEngine {
         graph: &Csr,
         intervals: VertexIntervals,
         cfg: EngineConfig,
-    ) -> Self {
-        let shards = ShardSet::build(&ssd, graph, intervals, "gchi");
+    ) -> Result<Self, DeviceError> {
+        let shards = ShardSet::build(&ssd, graph, intervals, "gchi")?;
         let states = vec![0u64; graph.num_vertices()];
-        GraphChiEngine { ssd, shards, cfg: cfg.validated(), states }
+        Ok(GraphChiEngine { ssd, shards, cfg: cfg.validated(), states })
     }
 
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
     }
-}
 
-impl Engine for GraphChiEngine {
-    fn name(&self) -> &'static str {
-        "GraphChi"
-    }
-
-    fn states(&self) -> &[u64] {
-        &self.states
-    }
-
-    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+    /// The superstep driver; a device fault aborts the run and surfaces as
+    /// `RunReport::interrupted`.
+    fn drive(
+        &mut self,
+        prog: &dyn VertexProgram,
+        max_supersteps: usize,
+        report: &mut RunReport,
+    ) -> Result<(), DeviceError> {
         assert!(
             !prog.needs_weights(),
             "GraphChi baseline models edge values as message slots; weighted programs unsupported"
@@ -79,12 +76,6 @@ impl Engine for GraphChiEngine {
         let combine = prog.combine();
 
         self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
-
-        let mut report = RunReport {
-            engine: self.name().to_string(),
-            app: prog.name().to_string(),
-            ..Default::default()
-        };
 
         let mut active = BitSet::new(n);
         let mut all_active = false;
@@ -127,7 +118,7 @@ impl Engine for GraphChiEngine {
 
                 // --- Load shard i fully + the interval's out-edge blocks
                 //     from every other shard (parallel sliding windows). ---
-                let shard_records = self.shards.load_shard(i);
+                let shard_records = self.shards.load_shard(i)?;
                 #[allow(unused_mut)]
                 let mut images: Vec<BlockImage> = Vec::new();
                 for j in intervals.iter_ids() {
@@ -138,7 +129,7 @@ impl Engine for GraphChiEngine {
                     if lo >= hi {
                         continue;
                     }
-                    let (records, first_page) = self.shards.load_range(j, lo, hi);
+                    let (records, first_page) = self.shards.load_range(j, lo, hi)?;
                     images.push(BlockImage { shard: j, first_page, records });
                 }
 
@@ -327,10 +318,10 @@ impl Engine for GraphChiEngine {
 
                 // --- Write back the modified pages of the shard and its
                 //     sliding windows. ---
-                self.shards.write_back_dirty(i, 0, &shard_image, &shard_dirty);
+                self.shards.write_back_dirty(i, 0, &shard_image, &shard_dirty)?;
                 for (im, dirty) in images.iter().zip(&img_dirty) {
                     self.shards
-                        .write_back_dirty(im.shard, im.first_page, &im.records, dirty);
+                        .write_back_dirty(im.shard, im.first_page, &im.records, dirty)?;
                 }
             }
 
@@ -358,6 +349,28 @@ impl Engine for GraphChiEngine {
         if !all_active && active.count() == 0 && pending.iter().all(|p| p.is_empty()) {
             report.converged = true;
         }
+        Ok(())
+    }
+}
+
+impl Engine for GraphChiEngine {
+    fn name(&self) -> &'static str {
+        "GraphChi"
+    }
+
+    fn states(&self) -> &[u64] {
+        &self.states
+    }
+
+    fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+        let mut report = RunReport {
+            engine: self.name().to_string(),
+            app: prog.name().to_string(),
+            ..Default::default()
+        };
+        if let Err(e) = self.drive(prog, max_supersteps, &mut report) {
+            report.interrupted = Some(e);
+        }
         report
     }
 }
@@ -373,9 +386,9 @@ mod tests {
     ) -> (GraphChiEngine, mlvc_core::MultiLogEngine) {
         let iv = VertexIntervals::uniform(csr.num_vertices(), k);
         let ssd1 = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let gchi = GraphChiEngine::new(ssd1, csr, iv.clone(), EngineConfig::default());
+        let gchi = GraphChiEngine::new(ssd1, csr, iv.clone(), EngineConfig::default()).unwrap();
         let ssd2 = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg = mlvc_graph::StoredGraph::store_with(&ssd2, csr, "m", iv);
+        let sg = mlvc_graph::StoredGraph::store_with(&ssd2, csr, "m", iv).unwrap();
         let mlvc = mlvc_core::MultiLogEngine::new(ssd2, sg, EngineConfig::default());
         (gchi, mlvc)
     }
@@ -481,7 +494,7 @@ mod tests {
         let g = mlvc_gen::path(64);
         let iv = VertexIntervals::uniform(64, 8);
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let mut gchi = GraphChiEngine::new(Arc::clone(&ssd), &g, iv, EngineConfig::default());
+        let mut gchi = GraphChiEngine::new(Arc::clone(&ssd), &g, iv, EngineConfig::default()).unwrap();
         let r = gchi.run(&mlvc_apps::Bfs::new(0), 2);
         let s1 = &r.supersteps[0];
         // Interval 0's shard + windows only — far fewer pages than the

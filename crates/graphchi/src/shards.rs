@@ -1,7 +1,7 @@
 use std::sync::Arc;
 
 use mlvc_graph::{Csr, IntervalId, VertexIntervals, VertexId};
-use mlvc_ssd::{FileId, Ssd};
+use mlvc_ssd::{DeviceError, FileId, Ssd};
 
 /// One edge record in a shard: source, destination, the message value
 /// riding on the edge, and the superstep that wrote it (0 = never).
@@ -71,7 +71,12 @@ pub struct ShardSet {
 
 impl ShardSet {
     /// Shard `graph` under the given interval partition.
-    pub fn build(ssd: &Arc<Ssd>, graph: &Csr, intervals: VertexIntervals, tag: &str) -> Self {
+    pub fn build(
+        ssd: &Arc<Ssd>,
+        graph: &Csr,
+        intervals: VertexIntervals,
+        tag: &str,
+    ) -> Result<Self, DeviceError> {
         assert_eq!(intervals.num_vertices(), graph.num_vertices());
         let ni = intervals.num_intervals();
         // Bucket in-edges by destination interval.
@@ -97,8 +102,8 @@ impl ShardSet {
                 let hi = records.partition_point(|r| r.src < intervals.end(j));
                 b.push((lo, hi));
             }
-            let file = ssd.open_or_create(&format!("{tag}.shard.{i}"));
-            ssd.truncate(file);
+            let file = ssd.open_or_create(&format!("{tag}.shard.{i}"))?;
+            ssd.truncate(file)?;
             let mut pages: Vec<Vec<u8>> = Vec::with_capacity(records.len().div_ceil(per_page));
             for chunk in records.chunks(per_page) {
                 let mut buf = vec![0u8; chunk.len() * SHARD_RECORD_BYTES];
@@ -109,13 +114,13 @@ impl ShardSet {
             }
             let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
             if !refs.is_empty() {
-                ssd.append_pages(file, &refs);
+                ssd.append_pages(file, &refs)?;
             }
             files.push(file);
             record_counts.push(records.len());
             blocks.push(b);
         }
-        ShardSet { ssd: Arc::clone(ssd), intervals, files, record_counts, blocks }
+        Ok(ShardSet { ssd: Arc::clone(ssd), intervals, files, record_counts, blocks })
     }
 
     pub fn ssd(&self) -> &Arc<Ssd> {
@@ -146,18 +151,23 @@ impl ShardSet {
     /// Load an entire shard (the in-edge load when processing its
     /// interval). Returns the records; utilization is complete by
     /// construction — that is the GraphChi design point.
-    pub fn load_shard(&self, shard: IntervalId) -> Vec<ShardRecord> {
-        let (records, _pages) = self.load_range(shard, 0, self.record_counts[shard as usize]);
-        records
+    pub fn load_shard(&self, shard: IntervalId) -> Result<Vec<ShardRecord>, DeviceError> {
+        let (records, _pages) = self.load_range(shard, 0, self.record_counts[shard as usize])?;
+        Ok(records)
     }
 
     /// Load the records of `shard` covering record range `[lo, hi)` —
     /// page-aligned, so boundary records outside the range are included
     /// (and must be written back unchanged). Returns `(records, first_page)`
     /// where `records` covers the whole page span.
-    pub fn load_range(&self, shard: IntervalId, lo: usize, hi: usize) -> (Vec<ShardRecord>, u64) {
+    pub fn load_range(
+        &self,
+        shard: IntervalId,
+        lo: usize,
+        hi: usize,
+    ) -> Result<(Vec<ShardRecord>, u64), DeviceError> {
         if lo >= hi {
-            return (Vec::new(), 0);
+            return Ok((Vec::new(), 0));
         }
         let per_page = self.per_page();
         let p_lo = (lo / per_page) as u64;
@@ -170,7 +180,7 @@ impl ShardSet {
                 (file, p, recs * SHARD_RECORD_BYTES)
             })
             .collect();
-        let pages = self.ssd.read_batch(&reqs);
+        let pages = self.ssd.read_batch(&reqs)?;
         let mut out = Vec::with_capacity(pages.len() * per_page);
         for (k, page) in pages.iter().enumerate() {
             let base = (p_lo as usize + k) * per_page;
@@ -181,16 +191,21 @@ impl ShardSet {
                 ));
             }
         }
-        (out, p_lo)
+        Ok((out, p_lo))
     }
 
     /// Write a span of records back, page-aligned: `records` must cover
     /// complete pages starting at `first_page` (as returned by
     /// [`Self::load_range`]). One batched dispatch.
-    pub fn write_back(&self, shard: IntervalId, first_page: u64, records: &[ShardRecord]) {
+    pub fn write_back(
+        &self,
+        shard: IntervalId,
+        first_page: u64,
+        records: &[ShardRecord],
+    ) -> Result<(), DeviceError> {
         let pages = records.len().div_ceil(self.per_page());
         let all: Vec<bool> = vec![true; pages];
-        self.write_back_dirty(shard, first_page, records, &all);
+        self.write_back_dirty(shard, first_page, records, &all)
     }
 
     /// Write back only the dirty pages of a loaded span (`dirty[k]` refers
@@ -203,9 +218,9 @@ impl ShardSet {
         first_page: u64,
         records: &[ShardRecord],
         dirty: &[bool],
-    ) {
+    ) -> Result<(), DeviceError> {
         if records.is_empty() {
-            return;
+            return Ok(());
         }
         let per_page = self.per_page();
         assert_eq!(dirty.len(), records.len().div_ceil(per_page));
@@ -222,11 +237,12 @@ impl ShardSet {
             bufs.push((first_page + k as u64, buf));
         }
         if bufs.is_empty() {
-            return;
+            return Ok(());
         }
         let writes: Vec<(FileId, u64, &[u8])> =
             bufs.iter().map(|(p, b)| (file, *p, b.as_slice())).collect();
-        self.ssd.write_batch(&writes);
+        self.ssd.write_batch(&writes)?;
+        Ok(())
     }
 }
 
@@ -250,7 +266,7 @@ mod tests {
         // Paper Fig. 1b intervals: {1}, {2}, {3..6} — we add vertex 0 to
         // the first interval to keep 0-based ids.
         let iv = VertexIntervals::from_starts(vec![0, 2, 3, 7]);
-        ShardSet::build(&ssd, &fig1_graph(), iv, "t")
+        ShardSet::build(&ssd, &fig1_graph(), iv, "t").unwrap()
     }
 
     #[test]
@@ -266,12 +282,12 @@ mod tests {
         let s = build();
         assert_eq!(s.num_shards(), 3);
         // Shard 1 (interval {2}): in-edges of 2 from 1, 3, 6 sorted by src.
-        let shard1 = s.load_shard(1);
+        let shard1 = s.load_shard(1).unwrap();
         let srcs: Vec<u32> = shard1.iter().map(|r| r.src).collect();
         assert_eq!(srcs, vec![1, 3, 6]);
         assert!(shard1.iter().all(|r| r.dst == 2));
         // Shard 2 (interval 3..6): in-edges of 3, 4, 5 — from 1 and 6.
-        let shard2 = s.load_shard(2);
+        let shard2 = s.load_shard(2).unwrap();
         assert_eq!(shard2.len(), 4);
         assert!(shard2.windows(2).all(|w| (w[0].src, w[0].dst) <= (w[1].src, w[1].dst)));
     }
@@ -294,7 +310,7 @@ mod tests {
         let out6: usize = (0..3u32)
             .map(|i| {
                 let (lo, hi) = s.block(i, 2);
-                s.load_shard(i)[lo..hi].iter().filter(|r| r.src == 6).count()
+                s.load_shard(i).unwrap()[lo..hi].iter().filter(|r| r.src == 6).count()
             })
             .sum();
         assert_eq!(out6, 5);
@@ -308,20 +324,20 @@ mod tests {
         for v in 1..61u32 {
             b.push(v, 0);
         }
-        let s = ShardSet::build(&ssd, &b.build(), VertexIntervals::uniform(64, 2), "t");
+        let s = ShardSet::build(&ssd, &b.build(), VertexIntervals::uniform(64, 2), "t").unwrap();
         assert_eq!(s.record_count(0), 60);
-        let (mut recs, first) = s.load_range(0, 13, 27);
+        let (mut recs, first) = s.load_range(0, 13, 27).unwrap();
         assert_eq!(first, 1, "record 13 lives on page 1");
         assert_eq!(recs.len(), 24, "pages 1-2 hold records 12..36");
         for r in recs.iter_mut() {
             r.data = r.src as u64 * 10;
             r.tag = 5;
         }
-        s.write_back(0, first, &recs);
-        let (back, _) = s.load_range(0, 12, 36);
+        s.write_back(0, first, &recs).unwrap();
+        let (back, _) = s.load_range(0, 12, 36).unwrap();
         assert_eq!(back, recs);
         // Outside the span untouched.
-        let (head, _) = s.load_range(0, 0, 12);
+        let (head, _) = s.load_range(0, 0, 12).unwrap();
         assert!(head.iter().all(|r| r.tag == 0));
     }
 
@@ -330,8 +346,8 @@ mod tests {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let mut b = EdgeListBuilder::new(8);
         b.push(4, 5); // no in-edges for interval 0
-        let s = ShardSet::build(&ssd, &b.build(), VertexIntervals::uniform(8, 2), "t");
+        let s = ShardSet::build(&ssd, &b.build(), VertexIntervals::uniform(8, 2), "t").unwrap();
         assert_eq!(s.record_count(0), 0);
-        assert!(s.load_shard(0).is_empty());
+        assert!(s.load_shard(0).unwrap().is_empty());
     }
 }

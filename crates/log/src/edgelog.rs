@@ -3,7 +3,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use mlvc_graph::{PageUsage, VertexId};
-use mlvc_ssd::{FileId, Ssd};
+use mlvc_ssd::{DeviceError, FileId, Ssd};
 
 use crate::BitSet;
 
@@ -114,16 +114,21 @@ pub struct EdgeLogOptimizer {
 }
 
 impl EdgeLogOptimizer {
-    pub fn new(ssd: Arc<Ssd>, num_vertices: usize, cfg: EdgeLogConfig, tag: &str) -> Self {
+    pub fn new(
+        ssd: Arc<Ssd>,
+        num_vertices: usize,
+        cfg: EdgeLogConfig,
+        tag: &str,
+    ) -> Result<Self, DeviceError> {
         assert!(cfg.history_supersteps >= 1);
         assert!(cfg.inefficiency_threshold > 0.0 && cfg.inefficiency_threshold < 1.0);
         let files = [
-            ssd.open_or_create(&format!("{tag}.edgelog.a")),
-            ssd.open_or_create(&format!("{tag}.edgelog.b")),
+            ssd.open_or_create(&format!("{tag}.edgelog.a"))?,
+            ssd.open_or_create(&format!("{tag}.edgelog.b"))?,
         ];
-        ssd.truncate(files[0]);
-        ssd.truncate(files[1]);
-        EdgeLogOptimizer {
+        ssd.truncate(files[0])?;
+        ssd.truncate(files[1])?;
+        Ok(EdgeLogOptimizer {
             ssd,
             cfg,
             files,
@@ -138,7 +143,7 @@ impl EdgeLogOptimizer {
             predicted_inefficient: HashSet::new(),
             num_vertices,
             stats: EdgeLogStats::default(),
-        }
+        })
     }
 
     pub fn stats(&self) -> EdgeLogStats {
@@ -186,12 +191,12 @@ impl EdgeLogOptimizer {
 
     /// Copy `v`'s out-edges into the edge log. Record layout (u32 entries):
     /// `[v][len][edges…]`, never straddling a page.
-    pub fn log_edges(&mut self, v: VertexId, edges: &[VertexId]) {
+    pub fn log_edges(&mut self, v: VertexId, edges: &[VertexId]) -> Result<(), DeviceError> {
         let rec_len = edges.len() + 2;
         let cap = self.entries_per_page();
         assert!(rec_len <= cap, "record exceeds a page; should_log must gate this");
         if self.top.len() + rec_len > cap {
-            self.seal_top();
+            self.seal_top()?;
         }
         // Both fields are bounded by entries_per_page via the assert
         // above, so the saturating fallbacks are unreachable.
@@ -206,11 +211,12 @@ impl EdgeLogOptimizer {
         self.top.extend_from_slice(edges);
         self.write_index.insert(v, loc);
         self.stats.vertices_logged += 1;
+        Ok(())
     }
 
-    fn seal_top(&mut self) {
+    fn seal_top(&mut self) -> Result<(), DeviceError> {
         if self.top.is_empty() {
-            return;
+            return Ok(());
         }
         let mut buf = Vec::with_capacity(self.top.len() * 4);
         for &e in &self.top {
@@ -221,21 +227,23 @@ impl EdgeLogOptimizer {
         self.sealed_pages += 1;
         let page_size = self.ssd.page_size();
         if self.staged.len() * page_size > self.cfg.buffer_bytes {
-            self.flush_staged();
+            self.flush_staged()?;
         }
+        Ok(())
     }
 
-    fn flush_staged(&mut self) {
+    fn flush_staged(&mut self) -> Result<(), DeviceError> {
         if self.staged.is_empty() {
-            return;
+            return Ok(());
         }
         let file = self.files[self.write_side];
         let refs: Vec<&[u8]> = self.staged.iter().map(|p| p.as_slice()).collect();
-        let first = self.ssd.append_pages(file, &refs);
+        let first = self.ssd.append_pages(file, &refs)?;
         debug_assert_eq!(first, self.flushed_pages);
         self.flushed_pages += to_u64(refs.len());
         self.stats.pages_written += to_u64(refs.len());
         self.staged.clear();
+        Ok(())
     }
 
     /// Does the *read* side hold `v`'s edges (logged last superstep)?
@@ -253,9 +261,9 @@ impl EdgeLogOptimizer {
     /// Fetch logged adjacencies for the given vertices (all must satisfy
     /// [`Self::contains`]). Pages are read once per batch; utilization of
     /// edge-log pages is high by construction — that is the optimization.
-    pub fn fetch(&mut self, vs: &[VertexId]) -> Vec<(VertexId, Vec<VertexId>)> {
+    pub fn fetch(&mut self, vs: &[VertexId]) -> Result<Vec<(VertexId, Vec<VertexId>)>, DeviceError> {
         if vs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let file = self.files[1 - self.write_side];
         let mut page_useful: HashMap<u64, usize> = HashMap::new();
@@ -268,7 +276,7 @@ impl EdgeLogOptimizer {
             .map(|(&p, &u)| (file, p, u.min(self.ssd.page_size())))
             .collect();
         reqs.sort_unstable_by_key(|r| r.1);
-        let data = self.ssd.read_batch(&reqs);
+        let data = self.ssd.read_batch(&reqs)?;
         let page_index: HashMap<u64, usize> =
             reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
         let mut out = Vec::with_capacity(vs.len());
@@ -288,7 +296,7 @@ impl EdgeLogOptimizer {
             out.push((v, edges));
         }
         self.stats.hits += to_u64(vs.len());
-        out
+        Ok(out)
     }
 
     /// End-of-superstep bookkeeping:
@@ -297,7 +305,7 @@ impl EdgeLogOptimizer {
     /// * predict next superstep's inefficient pages from current usage;
     /// * push the superstep's *actual* active set into the history window;
     /// * flush the write side and swap read/write files.
-    pub fn end_superstep(&mut self, active: &BitSet, usage: &[PageUsage]) {
+    pub fn end_superstep(&mut self, active: &BitSet, usage: &[PageUsage]) -> Result<(), DeviceError> {
         assert_eq!(active.len(), self.num_vertices);
         // Actual inefficient pages this superstep.
         let actual: HashSet<(FileId, u64)> = usage
@@ -319,13 +327,14 @@ impl EdgeLogOptimizer {
         }
 
         // Flush & swap.
-        self.seal_top();
-        self.flush_staged();
+        self.seal_top()?;
+        self.flush_staged()?;
         self.read_index = std::mem::take(&mut self.write_index);
         self.write_side = 1 - self.write_side;
-        self.ssd.truncate(self.files[self.write_side]);
+        self.ssd.truncate(self.files[self.write_side])?;
         self.sealed_pages = 0;
         self.flushed_pages = 0;
+        Ok(())
     }
 }
 
@@ -336,7 +345,7 @@ mod tests {
 
     fn setup() -> (Arc<Ssd>, EdgeLogOptimizer) {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let opt = EdgeLogOptimizer::new(Arc::clone(&ssd), 128, EdgeLogConfig::default(), "t");
+        let opt = EdgeLogOptimizer::new(Arc::clone(&ssd), 128, EdgeLogConfig::default(), "t").unwrap();
         (ssd, opt)
     }
 
@@ -351,12 +360,12 @@ mod tests {
     #[test]
     fn log_then_fetch_roundtrip() {
         let (_ssd, mut opt) = setup();
-        opt.log_edges(3, &[10, 11, 12]);
-        opt.log_edges(90, &[1]);
-        opt.end_superstep(&active_set(&[3, 90]), &[]);
+        opt.log_edges(3, &[10, 11, 12]).unwrap();
+        opt.log_edges(90, &[1]).unwrap();
+        opt.end_superstep(&active_set(&[3, 90]), &[]).unwrap();
         assert!(opt.contains(3) && opt.contains(90));
         assert!(!opt.contains(4));
-        let got = opt.fetch(&[3, 90]);
+        let got = opt.fetch(&[3, 90]).unwrap();
         assert_eq!(got, vec![(3, vec![10, 11, 12]), (90, vec![1])]);
         assert_eq!(opt.stats().hits, 2);
     }
@@ -368,11 +377,11 @@ mod tests {
         // 3 fit per page (66 > 64, so actually 2 per page).
         for v in 0..10u32 {
             let edges: Vec<u32> = (0..20).map(|k| v * 100 + k).collect();
-            opt.log_edges(v, &edges);
+            opt.log_edges(v, &edges).unwrap();
         }
-        opt.end_superstep(&active_set(&(0..10).collect::<Vec<_>>()), &[]);
+        opt.end_superstep(&active_set(&(0..10).collect::<Vec<_>>()), &[]).unwrap();
         for v in 0..10u32 {
-            let got = opt.fetch(&[v]);
+            let got = opt.fetch(&[v]).unwrap();
             assert_eq!(got[0].1.len(), 20);
             assert_eq!(got[0].1[0], v * 100);
         }
@@ -381,24 +390,24 @@ mod tests {
     #[test]
     fn read_side_survives_next_superstep_writes() {
         let (_ssd, mut opt) = setup();
-        opt.log_edges(5, &[50, 51]);
-        opt.end_superstep(&active_set(&[5]), &[]);
+        opt.log_edges(5, &[50, 51]).unwrap();
+        opt.end_superstep(&active_set(&[5]), &[]).unwrap();
         // Next superstep logs new data while the old is being read.
-        opt.log_edges(6, &[60]);
-        assert_eq!(opt.fetch(&[5]), vec![(5, vec![50, 51])]);
-        opt.end_superstep(&active_set(&[6]), &[]);
+        opt.log_edges(6, &[60]).unwrap();
+        assert_eq!(opt.fetch(&[5]).unwrap(), vec![(5, vec![50, 51])]);
+        opt.end_superstep(&active_set(&[6]), &[]).unwrap();
         assert!(!opt.contains(5), "old log rotated out");
-        assert_eq!(opt.fetch(&[6]), vec![(6, vec![60])]);
+        assert_eq!(opt.fetch(&[6]).unwrap(), vec![(6, vec![60])]);
     }
 
     #[test]
     fn history_window_predicts_activity() {
         let (_ssd, mut opt) = setup();
         assert!(!opt.predicted_active(7));
-        opt.end_superstep(&active_set(&[7]), &[]);
+        opt.end_superstep(&active_set(&[7]), &[]).unwrap();
         assert!(opt.predicted_active(7), "active last superstep => predicted");
         // N = 1: one more superstep without activity forgets vertex 7.
-        opt.end_superstep(&active_set(&[]), &[]);
+        opt.end_superstep(&active_set(&[]), &[]).unwrap();
         assert!(!opt.predicted_active(7));
     }
 
@@ -406,12 +415,12 @@ mod tests {
     fn longer_history_window() {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let cfg = EdgeLogConfig { history_supersteps: 3, ..Default::default() };
-        let mut opt = EdgeLogOptimizer::new(ssd, 128, cfg, "h");
-        opt.end_superstep(&active_set(&[9]), &[]);
-        opt.end_superstep(&active_set(&[]), &[]);
-        opt.end_superstep(&active_set(&[]), &[]);
+        let mut opt = EdgeLogOptimizer::new(ssd, 128, cfg, "h").unwrap();
+        opt.end_superstep(&active_set(&[9]), &[]).unwrap();
+        opt.end_superstep(&active_set(&[]), &[]).unwrap();
+        opt.end_superstep(&active_set(&[]), &[]).unwrap();
         assert!(opt.predicted_active(9), "still within N=3 window");
-        opt.end_superstep(&active_set(&[]), &[]);
+        opt.end_superstep(&active_set(&[]), &[]).unwrap();
         assert!(!opt.predicted_active(9));
     }
 
@@ -420,11 +429,11 @@ mod tests {
         let (_ssd, mut opt) = setup();
         let usage = |useful: u32| PageUsage { file: 42, page: 7, useful_bytes: useful, page_bytes: 256 };
         // Superstep 1: page (42,7) used at 5% -> predicted inefficient.
-        opt.end_superstep(&active_set(&[]), &[usage(12)]);
+        opt.end_superstep(&active_set(&[]), &[usage(12)]).unwrap();
         assert!(opt.page_predicted_inefficient(42, 7..=7));
         assert!(!opt.page_predicted_inefficient(42, 8..=8));
         // Superstep 2: same page inefficient again -> correct prediction.
-        opt.end_superstep(&active_set(&[]), &[usage(12)]);
+        opt.end_superstep(&active_set(&[]), &[usage(12)]).unwrap();
         let s = opt.stats();
         assert_eq!(s.actual_inefficient_pages, 2);
         assert_eq!(s.correctly_predicted_pages, 1);
@@ -436,7 +445,7 @@ mod tests {
         let (_ssd, mut opt) = setup();
         let full = PageUsage { file: 1, page: 0, useful_bytes: 256, page_bytes: 256 };
         let untouched = PageUsage { file: 1, page: 1, useful_bytes: 0, page_bytes: 256 };
-        opt.end_superstep(&active_set(&[]), &[full, untouched]);
+        opt.end_superstep(&active_set(&[]), &[full, untouched]).unwrap();
         assert_eq!(opt.stats().actual_inefficient_pages, 0);
         assert!(!opt.page_predicted_inefficient(1, 0..=1));
     }
@@ -445,7 +454,7 @@ mod tests {
     fn should_log_requires_all_three_conditions() {
         let (_ssd, mut opt) = setup();
         let usage = PageUsage { file: 9, page: 3, useful_bytes: 8, page_bytes: 256 };
-        opt.end_superstep(&active_set(&[4]), &[usage]);
+        opt.end_superstep(&active_set(&[4]), &[usage]).unwrap();
         // All conditions met: low degree, active history, inefficient page.
         assert!(opt.should_log(4, 2, false, 9, 3..=3));
         // Not predicted active and not known active.
@@ -464,13 +473,13 @@ mod tests {
     fn buffer_pressure_flushes_incrementally() {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let cfg = EdgeLogConfig { buffer_bytes: 2 * 256, ..Default::default() };
-        let mut opt = EdgeLogOptimizer::new(Arc::clone(&ssd), 4096, cfg, "b");
+        let mut opt = EdgeLogOptimizer::new(Arc::clone(&ssd), 4096, cfg, "b").unwrap();
         for v in 0..200u32 {
-            opt.log_edges(v, &[v + 1, v + 2, v + 3]);
+            opt.log_edges(v, &[v + 1, v + 2, v + 3]).unwrap();
         }
         assert!(opt.stats().pages_written > 0, "pressure flushed mid-superstep");
-        opt.end_superstep(&BitSet::new(4096), &[]);
-        let got = opt.fetch(&[0, 99, 199]);
+        opt.end_superstep(&BitSet::new(4096), &[]).unwrap();
+        let got = opt.fetch(&[0, 99, 199]).unwrap();
         assert_eq!(got[1], (99, vec![100, 101, 102]));
     }
 }

@@ -29,19 +29,19 @@
 //!
 //! let ssd = Arc::new(Ssd::new(SsdConfig::default()));
 //! let intervals = VertexIntervals::uniform(1000, 8);
-//! let mut mlog = MultiLog::new(ssd, intervals, MultiLogConfig::default(), "doc");
+//! let mut mlog = MultiLog::new(ssd, intervals, MultiLogConfig::default(), "doc").unwrap();
 //!
 //! // SendUpdate(v_dest, m): messages route to the destination's interval log.
-//! mlog.send(Update::new(17, 3, 42));
-//! mlog.send(Update::new(900, 3, 7));
-//! let counts = mlog.finish_superstep();
+//! mlog.send(Update::new(17, 3, 42)).unwrap();
+//! mlog.send(Update::new(900, 3, 7)).unwrap();
+//! let counts = mlog.finish_superstep().unwrap();
 //! assert_eq!(counts.iter().sum::<u64>(), 2);
 //!
 //! // Next superstep: fuse, load, sort in memory, group by destination.
 //! let sg = SortGroup::new(1 << 20);
 //! let mut seen = 0;
 //! for range in sg.plan(&counts) {
-//!     let batch = sg.load_batch(&mut mlog, range);
+//!     let batch = sg.load_batch(&mut mlog, range).unwrap();
 //!     for (dest, msgs) in group_by_dest(&batch.updates) {
 //!         assert!(dest == 17 || dest == 900);
 //!         seen += msgs.len();

@@ -2,7 +2,7 @@ use crate::checked::{idx, to_u32, to_u64};
 use std::sync::Arc;
 
 use mlvc_graph::{IntervalId, VertexIntervals, VertexId};
-use mlvc_ssd::{FileId, Ssd};
+use mlvc_ssd::{DeviceError, FileId, Ssd};
 
 use crate::{BitSet, Update, UPDATE_BYTES};
 
@@ -109,23 +109,27 @@ pub fn decode_log_page(page: &[u8], out: &mut Vec<Update>) -> usize {
 }
 
 impl MultiLog {
-    pub fn new(ssd: Arc<Ssd>, intervals: VertexIntervals, cfg: MultiLogConfig, tag: &str) -> Self {
+    pub fn new(
+        ssd: Arc<Ssd>,
+        intervals: VertexIntervals,
+        cfg: MultiLogConfig,
+        tag: &str,
+    ) -> Result<Self, DeviceError> {
         let n = intervals.num_intervals();
         let page_size = ssd.page_size();
-        let files: Vec<[FileId; 2]> = (0..n)
-            .map(|i| {
-                [
-                    ssd.open_or_create(&format!("{tag}.mlog.{i}.a")),
-                    ssd.open_or_create(&format!("{tag}.mlog.{i}.b")),
-                ]
-            })
-            .collect();
+        let mut files: Vec<[FileId; 2]> = Vec::with_capacity(n);
+        for i in 0..n {
+            files.push([
+                ssd.open_or_create(&format!("{tag}.mlog.{i}.a"))?,
+                ssd.open_or_create(&format!("{tag}.mlog.{i}.b"))?,
+            ]);
+        }
         // A fresh unit starts with empty logs even if a previous run under
         // the same tag left residue (e.g. a non-converged run's last
         // superstep).
         for f in &files {
-            ssd.truncate(f[0]);
-            ssd.truncate(f[1]);
+            ssd.truncate(f[0])?;
+            ssd.truncate(f[1])?;
         }
         // "at least one log buffer is allocated for each vertex interval in
         // the entire graph" (§V-A3) — that floor is interval-count driven,
@@ -139,7 +143,7 @@ impl MultiLog {
         let eviction_batch = 8 * ssd.config().channels.max(8);
         let cap_pages = (cfg.buffer_bytes / page_size).max(n + eviction_batch);
         let num_vertices = intervals.num_vertices();
-        MultiLog {
+        Ok(MultiLog {
             ssd,
             intervals,
             files,
@@ -151,7 +155,7 @@ impl MultiLog {
             cap_pages,
             page_cap: page_record_capacity(page_size),
             stats: MultiLogStats::default(),
-        }
+        })
     }
 
     pub fn stats(&self) -> MultiLogStats {
@@ -163,8 +167,9 @@ impl MultiLog {
     }
 
     /// The paper's `SendUpdate(v_dest, m)` tail half: append to the top
-    /// page of the destination's interval log.
-    pub fn send(&mut self, u: Update) {
+    /// page of the destination's interval log. Fallible: memory pressure
+    /// may force an eviction flush to the device.
+    pub fn send(&mut self, u: Update) -> Result<(), DeviceError> {
         let i = idx(self.intervals.interval_of(u.dest));
         self.counts[i] += 1;
         self.dest_seen.set(idx(u.dest));
@@ -174,9 +179,10 @@ impl MultiLog {
             let full = std::mem::take(&mut self.tops[i]);
             self.sealed.push((i as IntervalId, full));
             if self.buffered_pages() > self.cap_pages {
-                self.evict();
+                self.evict()?;
             }
         }
+        Ok(())
     }
 
     /// Whether a message bound for `v` has been logged this superstep
@@ -195,9 +201,9 @@ impl MultiLog {
         &self.counts
     }
 
-    fn evict(&mut self) {
+    fn evict(&mut self) -> Result<(), DeviceError> {
         self.stats.evictions += 1;
-        self.flush_sealed();
+        self.flush_sealed()?;
         if self.buffered_pages() > self.cap_pages {
             // Still over: flush every non-empty top page too.
             let tops: Vec<(IntervalId, Vec<Update>)> = self
@@ -208,13 +214,14 @@ impl MultiLog {
                 .map(|(i, t)| (i as IntervalId, std::mem::take(t)))
                 .collect();
             self.sealed.extend(tops);
-            self.flush_sealed();
+            self.flush_sealed()?;
         }
+        Ok(())
     }
 
-    fn flush_sealed(&mut self) {
+    fn flush_sealed(&mut self) -> Result<(), DeviceError> {
         if self.sealed.is_empty() {
-            return;
+            return Ok(());
         }
         let page_size = self.ssd.page_size();
         let side = self.write_side;
@@ -225,14 +232,15 @@ impl MultiLog {
             .collect();
         let writes: Vec<(FileId, &[u8])> =
             encoded.iter().map(|(f, p)| (*f, p.as_slice())).collect();
-        self.ssd.append_scattered(&writes);
+        self.ssd.append_scattered(&writes)?;
         self.stats.pages_flushed += to_u64(writes.len());
+        Ok(())
     }
 
     /// End-of-superstep flush: every buffered page goes to its log file.
     /// Returns the per-interval pending message counts (the fusing input
     /// for the next superstep) and resets counters and the seen bit vector.
-    pub fn finish_superstep(&mut self) -> Vec<u64> {
+    pub fn finish_superstep(&mut self) -> Result<Vec<u64>, DeviceError> {
         let tops: Vec<(IntervalId, Vec<Update>)> = self
             .tops
             .iter_mut()
@@ -241,11 +249,53 @@ impl MultiLog {
             .map(|(i, t)| (i as IntervalId, std::mem::take(t)))
             .collect();
         self.sealed.extend(tops);
-        self.flush_sealed();
+        self.flush_sealed()?;
         self.dest_seen.clear();
         // Flip roles: what was written becomes readable next superstep.
         self.write_side = 1 - self.write_side;
-        std::mem::replace(&mut self.counts, vec![0; self.files.len()])
+        Ok(std::mem::replace(&mut self.counts, vec![0; self.files.len()]))
+    }
+
+    /// Raw read-side log pages per interval, *without* consuming them —
+    /// the checkpoint path. Pages are returned exactly as stored
+    /// (log-encoded), so restoring them preserves page boundaries and,
+    /// with them, record order and post-resume I/O shape. The whole page
+    /// is checkpoint payload, so each page counts as fully useful.
+    pub fn snapshot_pending(&self) -> Result<Vec<Vec<Vec<u8>>>, DeviceError> {
+        let side = 1 - self.write_side;
+        let page_size = self.ssd.page_size();
+        let mut out = Vec::with_capacity(self.files.len());
+        for f in &self.files {
+            out.push(self.ssd.read_all(f[side], |_| page_size)?);
+        }
+        Ok(out)
+    }
+
+    /// Inverse of [`Self::snapshot_pending`]: place checkpointed log pages
+    /// back on the read side and return the per-interval pending record
+    /// counts (what [`Self::finish_superstep`] returned when the snapshot
+    /// was taken). Records are re-counted through the torn-tolerant
+    /// decoder, so a tail that does not decode into whole records (see
+    /// [`crate::DecodeError`]) is truncated rather than trusted.
+    pub fn restore_pending(&mut self, snapshot: &[Vec<Vec<u8>>]) -> Result<Vec<u64>, DeviceError> {
+        assert_eq!(snapshot.len(), self.files.len(), "snapshot interval count mismatch");
+        let side = 1 - self.write_side;
+        let mut counts = vec![0u64; self.files.len()];
+        for (i, pages) in snapshot.iter().enumerate() {
+            let file = self.files[i][side];
+            self.ssd.truncate(file)?;
+            if pages.is_empty() {
+                continue;
+            }
+            let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+            self.ssd.append_pages(file, &refs)?;
+            let mut decoded = Vec::new();
+            for p in pages {
+                decode_log_page(p, &mut decoded);
+            }
+            counts[i] = to_u64(decoded.len());
+        }
+        Ok(counts)
     }
 
     /// Asynchronous-model drain (paper §V-F: "the latest updates from the
@@ -255,17 +305,17 @@ impl MultiLog {
     /// flushed write-side pages, sealed pages, and the top page — in log
     /// order. Pending counters are rolled back so the consumed updates are
     /// not double-scheduled for the next superstep.
-    pub fn take_log_current(&mut self, i: IntervalId) -> Vec<Update> {
+    pub fn take_log_current(&mut self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
         let mut out = Vec::new();
         let file = self.files[idx(i)][self.write_side];
-        if self.ssd.num_pages(file) > 0 {
-            let pages = self.ssd.read_all(file, |_| 0);
+        if self.ssd.num_pages(file)? > 0 {
+            let pages = self.ssd.read_all(file, |_| 0)?;
             let mut useful = 0u64;
             for p in &pages {
                 useful += to_u64(decode_log_page(p, &mut out));
             }
             self.ssd.declare_useful(useful);
-            self.ssd.truncate(file);
+            self.ssd.truncate(file)?;
         }
         let sealed = std::mem::take(&mut self.sealed);
         for (j, ups) in sealed {
@@ -278,28 +328,28 @@ impl MultiLog {
         out.append(&mut self.tops[idx(i)]);
         self.counts[idx(i)] -= to_u64(out.len());
         self.stats.updates_read += to_u64(out.len());
-        out
+        Ok(out)
     }
 
     /// Consume interval `i`'s log: read every page (full channel-parallel
     /// batch), decode in log order, truncate the file. Useful bytes are
     /// declared from the in-page record counts.
-    pub fn take_log(&mut self, i: IntervalId) -> Vec<Update> {
+    pub fn take_log(&mut self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
         let file = self.files[idx(i)][1 - self.write_side];
-        let n = self.ssd.num_pages(file);
+        let n = self.ssd.num_pages(file)?;
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let pages = self.ssd.read_all(file, |_| 0);
+        let pages = self.ssd.read_all(file, |_| 0)?;
         let mut out = Vec::new();
         let mut useful = 0u64;
         for p in &pages {
             useful += to_u64(decode_log_page(p, &mut out));
         }
         self.ssd.declare_useful(useful);
-        self.ssd.truncate(file);
+        self.ssd.truncate(file)?;
         self.stats.updates_read += to_u64(out.len());
-        out
+        Ok(out)
     }
 }
 
@@ -312,7 +362,7 @@ mod tests {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         // 256-byte pages: 15 records per page.
         let iv = VertexIntervals::uniform(100, 4);
-        MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes }, "t")
+        MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes }, "t").unwrap()
     }
 
     #[test]
@@ -335,14 +385,14 @@ mod tests {
     fn messages_route_to_destination_interval() {
         let mut ml = setup(1 << 20);
         // Intervals of 25 vertices each: dest 60 -> interval 2.
-        ml.send(Update::new(60, 1, 7));
-        ml.send(Update::new(0, 2, 8));
-        ml.send(Update::new(99, 3, 9));
-        ml.finish_superstep();
-        assert_eq!(ml.take_log(2), vec![Update::new(60, 1, 7)]);
-        assert_eq!(ml.take_log(0), vec![Update::new(0, 2, 8)]);
-        assert_eq!(ml.take_log(3), vec![Update::new(99, 3, 9)]);
-        assert!(ml.take_log(1).is_empty());
+        ml.send(Update::new(60, 1, 7)).unwrap();
+        ml.send(Update::new(0, 2, 8)).unwrap();
+        ml.send(Update::new(99, 3, 9)).unwrap();
+        ml.finish_superstep().unwrap();
+        assert_eq!(ml.take_log(2).unwrap(), vec![Update::new(60, 1, 7)]);
+        assert_eq!(ml.take_log(0).unwrap(), vec![Update::new(0, 2, 8)]);
+        assert_eq!(ml.take_log(3).unwrap(), vec![Update::new(99, 3, 9)]);
+        assert!(ml.take_log(1).unwrap().is_empty());
     }
 
     #[test]
@@ -351,10 +401,10 @@ mod tests {
         // 40 messages to interval 0, spanning several pages (15/page).
         let sent: Vec<Update> = (0..40).map(|k| Update::new(k % 25, k, k as u64)).collect();
         for &u in &sent {
-            ml.send(u);
+            ml.send(u).unwrap();
         }
-        ml.finish_superstep();
-        assert_eq!(ml.take_log(0), sent);
+        ml.finish_superstep().unwrap();
+        assert_eq!(ml.take_log(0).unwrap(), sent);
     }
 
     #[test]
@@ -366,13 +416,13 @@ mod tests {
         for k in 0..3000u32 {
             let u = Update::new(k % 100, k, (k as u64) << 3);
             sent_per_interval[(k % 100 / 25) as usize].push(u);
-            ml.send(u);
+            ml.send(u).unwrap();
         }
-        let counts = ml.finish_superstep();
+        let counts = ml.finish_superstep().unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 3000);
         assert!(ml.stats().evictions > 0, "pressure must trigger evictions");
         for i in 0..4u32 {
-            let got = ml.take_log(i);
+            let got = ml.take_log(i).unwrap();
             assert_eq!(got, sent_per_interval[i as usize], "interval {i}");
         }
     }
@@ -381,19 +431,19 @@ mod tests {
     fn dest_seen_tracks_current_superstep() {
         let mut ml = setup(1 << 20);
         assert!(!ml.dest_seen(42));
-        ml.send(Update::new(42, 0, 1));
+        ml.send(Update::new(42, 0, 1)).unwrap();
         assert!(ml.dest_seen(42));
-        ml.finish_superstep();
+        ml.finish_superstep().unwrap();
         assert!(!ml.dest_seen(42), "cleared at superstep end");
     }
 
     #[test]
     fn counts_reset_after_finish() {
         let mut ml = setup(1 << 20);
-        ml.send(Update::new(1, 0, 0));
-        ml.send(Update::new(2, 0, 0));
+        ml.send(Update::new(1, 0, 0)).unwrap();
+        ml.send(Update::new(2, 0, 0)).unwrap();
         assert_eq!(ml.pending_counts()[0], 2);
-        let counts = ml.finish_superstep();
+        let counts = ml.finish_superstep().unwrap();
         assert_eq!(counts[0], 2);
         assert_eq!(ml.pending_counts()[0], 0);
     }
@@ -401,34 +451,34 @@ mod tests {
     #[test]
     fn take_log_consumes() {
         let mut ml = setup(1 << 20);
-        ml.send(Update::new(5, 0, 1));
-        ml.finish_superstep();
-        assert_eq!(ml.take_log(0).len(), 1);
-        assert!(ml.take_log(0).is_empty(), "second take finds nothing");
+        ml.send(Update::new(5, 0, 1)).unwrap();
+        ml.finish_superstep().unwrap();
+        assert_eq!(ml.take_log(0).unwrap().len(), 1);
+        assert!(ml.take_log(0).unwrap().is_empty(), "second take finds nothing");
     }
 
     #[test]
     fn take_log_current_drains_this_superstep_only() {
         let mut ml = setup(4 * 256);
         // Previous superstep's messages for interval 0.
-        ml.send(Update::new(1, 0, 11));
-        ml.finish_superstep();
+        ml.send(Update::new(1, 0, 11)).unwrap();
+        ml.finish_superstep().unwrap();
         // Current superstep: more messages to interval 0, enough to flush
         // pages plus leave a partial top.
         let current: Vec<Update> = (0..40).map(|k| Update::new(k % 25, k, k as u64)).collect();
         for &u in &current {
-            ml.send(u);
+            ml.send(u).unwrap();
         }
         // Async drain returns exactly the current superstep's messages, in
         // order, without touching the read side.
-        let got = ml.take_log_current(0);
+        let got = ml.take_log_current(0).unwrap();
         assert_eq!(got, current);
         assert_eq!(ml.pending_counts()[0], 0, "counter rolled back");
-        assert_eq!(ml.take_log(0), vec![Update::new(1, 0, 11)], "read side intact");
+        assert_eq!(ml.take_log(0).unwrap(), vec![Update::new(1, 0, 11)], "read side intact");
         // Nothing left on either side for interval 0.
-        assert!(ml.take_log_current(0).is_empty());
-        ml.finish_superstep();
-        assert!(ml.take_log(0).is_empty());
+        assert!(ml.take_log_current(0).unwrap().is_empty());
+        ml.finish_superstep().unwrap();
+        assert!(ml.take_log(0).unwrap().is_empty());
     }
 
     #[test]
@@ -440,12 +490,13 @@ mod tests {
             iv,
             MultiLogConfig { buffer_bytes: 1 << 20 },
             "t",
-        );
+        )
+        .unwrap();
         for k in 0..100u32 {
-            ml.send(Update::new(k, 0, 0));
+            ml.send(Update::new(k, 0, 0)).unwrap();
         }
         ssd.stats().reset();
-        ml.finish_superstep();
+        ml.finish_superstep().unwrap();
         let s = ssd.stats().snapshot();
         assert!(s.pages_written >= 4, "one page per touched interval");
         assert_eq!(s.write_batches, 1, "single scattered dispatch");

@@ -5,6 +5,7 @@ use mlvc_par::par_sort_by_key;
 
 use crate::checked::{to_u32, to_u64};
 use crate::{MultiLog, Update, UPDATE_BYTES};
+use mlvc_ssd::DeviceError;
 
 /// One fused group of consecutive interval logs, loaded and sorted.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,16 +71,20 @@ impl SortGroup {
 
     /// Load every log in `range` (the paper's `LoadLog`), concatenate in
     /// interval order, and stable-sort by destination in parallel.
-    pub fn load_batch(&self, multilog: &mut MultiLog, range: Range<IntervalId>) -> FusedBatch {
+    pub fn load_batch(
+        &self,
+        multilog: &mut MultiLog,
+        range: Range<IntervalId>,
+    ) -> Result<FusedBatch, DeviceError> {
         let mut updates = Vec::new();
         for i in range.clone() {
-            updates.extend(multilog.take_log(i));
+            updates.extend(multilog.take_log(i)?);
         }
         // Stable parallel merge sort: messages to one destination keep
         // their log order, so non-combinable algorithms see a deterministic
         // message sequence.
         par_sort_by_key(&mut updates, |u| u.dest);
-        FusedBatch { range, updates }
+        Ok(FusedBatch { range, updates })
     }
 }
 
@@ -151,15 +156,15 @@ mod tests {
     fn load_batch_sorts_stably() {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let iv = VertexIntervals::uniform(100, 4);
-        let mut ml = MultiLog::new(ssd, iv, MultiLogConfig::default(), "sg");
+        let mut ml = MultiLog::new(ssd, iv, MultiLogConfig::default(), "sg").unwrap();
         // Interleaved sends to two destinations in interval 0.
-        ml.send(Update::new(5, 100, 0));
-        ml.send(Update::new(3, 200, 1));
-        ml.send(Update::new(5, 101, 2));
-        ml.send(Update::new(3, 201, 3));
-        ml.finish_superstep();
+        ml.send(Update::new(5, 100, 0)).unwrap();
+        ml.send(Update::new(3, 200, 1)).unwrap();
+        ml.send(Update::new(5, 101, 2)).unwrap();
+        ml.send(Update::new(3, 201, 3)).unwrap();
+        ml.finish_superstep().unwrap();
         let sg = SortGroup::new(1 << 20);
-        let batch = sg.load_batch(&mut ml, 0..1);
+        let batch = sg.load_batch(&mut ml, 0..1).unwrap();
         assert_eq!(
             batch.updates,
             vec![
@@ -192,17 +197,18 @@ mod tests {
                 iv,
                 MultiLogConfig { buffer_bytes: buffer_pages * 256 },
                 "p",
-            );
+            )
+            .unwrap();
             for &(d, s, x) in &sends {
-                ml.send(Update::new(d, s, x));
+                ml.send(Update::new(d, s, x)).unwrap();
             }
-            let counts = ml.finish_superstep();
+            let counts = ml.finish_superstep().unwrap();
             assert_eq!(counts.iter().sum::<u64>() as usize, sends.len());
 
             let sg = SortGroup::new(1 << 20);
             let mut collected = Vec::new();
             for r in sg.plan(&counts) {
-                let batch = sg.load_batch(&mut ml, r);
+                let batch = sg.load_batch(&mut ml, r).unwrap();
                 for (dest, group) in group_by_dest(&batch.updates) {
                     // Group order must equal insertion order for that dest.
                     let expect: Vec<Update> = sends

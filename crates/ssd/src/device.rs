@@ -6,10 +6,11 @@ use std::sync::atomic::Ordering;
 
 use crate::sync::Mutex;
 
-use crate::checked::{idx, mem_idx, page_byte_offset, to_u64};
+use crate::checked::{idx, mem_idx, page_byte_offset, to_u32, to_u64};
 
 use crate::config::SsdConfig;
 use crate::cost::{batch_time_ns, PageAddr};
+use crate::fault::{DeviceError, FaultCounters, FaultPlan, FaultState, WriteFate};
 use crate::ftl::FtlOp;
 use crate::stats::SsdStats;
 
@@ -46,11 +47,18 @@ struct FileEntry {
 /// All operations are page-granular. Reads *copy* page payloads out so that
 /// callers never hold locks while processing; the simulated service time is
 /// charged at dispatch.
+///
+/// Every operation is fallible: besides genuine caller bugs (deleted files,
+/// out-of-bounds pages, oversized payloads) the device can be armed with a
+/// deterministic [`FaultPlan`] that tears a page mid-write and crashes the
+/// device, or injects transient read faults — the substrate the
+/// `mlvc-recover` crash-point sweep drives.
 pub struct Ssd {
     cfg: SsdConfig,
     backend: Backend,
     stats: SsdStats,
     files: Mutex<Files>,
+    fault: Mutex<FaultState>,
     /// Optional host-level write/trim trace for FTL replay (see
     /// [`crate::FtlModel`]); `None` keeps the hot path allocation-free.
     trace: Mutex<Option<Vec<FtlOp>>>,
@@ -62,6 +70,18 @@ struct Files {
     by_name: HashMap<String, FileId>,
 }
 
+/// Outcome of a store-level append: how many pages actually reached the
+/// media before the batch (possibly) failed.
+struct Placed {
+    first: u64,
+    written: u64,
+    err: Option<DeviceError>,
+}
+
+fn io_err(op: &str, e: &io::Error) -> DeviceError {
+    DeviceError::Io(format!("{op}: {e}"))
+}
+
 impl Ssd {
     /// Create a device with the in-memory backend.
     pub fn new(cfg: SsdConfig) -> Self {
@@ -70,6 +90,7 @@ impl Ssd {
             backend: Backend::Mem,
             stats: SsdStats::default(),
             files: Mutex::new(Files::default()),
+            fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
         }
     }
@@ -82,6 +103,7 @@ impl Ssd {
             backend: Backend::Dir(dir),
             stats: SsdStats::default(),
             files: Mutex::new(Files::default()),
+            fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
         })
     }
@@ -104,6 +126,41 @@ impl Ssd {
     pub fn stats(&self) -> &SsdStats {
         &self.stats
     }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Arm a deterministic fault schedule. Fault counters restart from the
+    /// moment of installation, so a plan's crash/read-fault points are
+    /// relative to the workload that follows.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.fault.lock().install(plan);
+    }
+
+    /// The currently armed plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.lock().plan()
+    }
+
+    /// Whether the device is in the crashed state (every operation fails
+    /// with [`DeviceError::Crashed`]).
+    pub fn is_crashed(&self) -> bool {
+        self.fault.lock().is_crashed()
+    }
+
+    /// Clear the crashed state *and* the armed plan, returning the device
+    /// to fault-free operation. Durable contents — including the torn page
+    /// written at the crash point — are left exactly as the crash left
+    /// them; this is the recovery entry point.
+    pub fn revive(&self) {
+        self.fault.lock().revive();
+    }
+
+    /// Cumulative fault-activity counters (survive install/revive).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault.lock().counters()
+    }
+
+    // ---- tracing ---------------------------------------------------------
 
     /// Start recording a host-level write/trim trace for FTL replay.
     /// Discards any previous trace.
@@ -128,11 +185,19 @@ impl Ssd {
         }
     }
 
+    // ---- namespace -------------------------------------------------------
+
     /// Create a file, or return the existing id if the name is taken.
-    pub fn open_or_create(&self, name: &str) -> FileId {
+    ///
+    /// On the `Dir` backend an existing backing file's contents are
+    /// **preserved** (its page count is recomputed from its length) so that
+    /// a restarted process can find the previous run's checkpoints;
+    /// construction sites that need a fresh file truncate explicitly.
+    pub fn open_or_create(&self, name: &str) -> Result<FileId, DeviceError> {
+        self.fault.lock().check_alive()?;
         let mut files = self.files.lock();
         if let Some(&id) = files.by_name.get(name) {
-            return id;
+            return Ok(id);
         }
         let store = match &self.backend {
             Backend::Mem => Store::Mem(Vec::new()),
@@ -142,20 +207,25 @@ impl Ssd {
                     .read(true)
                     .write(true)
                     .create(true)
-                    .truncate(true)
+                    .truncate(false)
                     .open(path)
-                    // mlvc-lint: allow(no-panic-in-lib) -- host filesystem failure creating the backing store; the simulator cannot continue
-                    .expect("open backing file");
-                Store::Disk { file, pages: 0 }
+                    .map_err(|e| io_err("open backing file", &e))?;
+                let len = file
+                    .metadata()
+                    .map_err(|e| io_err("stat backing file", &e))?
+                    .len();
+                let pages = len / to_u64(self.cfg.page_size).max(1);
+                Store::Disk { file, pages }
             }
         };
-        let id = files.entries.len() as FileId;
+        let id = to_u32("file id", files.entries.len())
+            .map_err(|e| DeviceError::Io(e.to_string()))?;
         files.entries.push(Some(FileEntry {
             name: name.to_string(),
             store,
         }));
         files.by_name.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     /// Look up a file by name.
@@ -164,15 +234,14 @@ impl Ssd {
     }
 
     /// Number of pages currently in `file`.
-    pub fn num_pages(&self, file: FileId) -> u64 {
+    pub fn num_pages(&self, file: FileId) -> Result<u64, DeviceError> {
         let files = self.files.lock();
-        match &files.entries[idx(file)] {
-            Some(e) => match &e.store {
+        match files.entries.get(idx(file)).and_then(Option::as_ref) {
+            Some(e) => Ok(match &e.store {
                 Store::Mem(pages) => to_u64(pages.len()),
                 Store::Disk { pages, .. } => *pages,
-            },
-            // mlvc-lint: allow(no-panic-in-lib) -- deleted-file access is a caller bug; abort the experiment
-            None => panic!("file {file} deleted"),
+            }),
+            None => Err(DeviceError::Deleted { file }),
         }
     }
 
@@ -180,14 +249,16 @@ impl Ssd {
     /// at the start of each superstep after their updates are consumed).
     ///
     /// Truncation is a metadata operation (FTL trim); it is not charged.
-    pub fn truncate(&self, file: FileId) {
+    pub fn truncate(&self, file: FileId) -> Result<(), DeviceError> {
+        self.fault.lock().check_alive()?;
         let dropped;
         {
             let mut files = self.files.lock();
-            let entry = files.entries[idx(file)]
-                .as_mut()
-                // mlvc-lint: allow(no-panic-in-lib) -- truncating a deleted file is a caller bug; abort the experiment
-                .expect("truncate of deleted file");
+            let entry = files
+                .entries
+                .get_mut(idx(file))
+                .and_then(Option::as_mut)
+                .ok_or(DeviceError::Deleted { file })?;
             match &mut entry.store {
                 Store::Mem(pages) => {
                     dropped = to_u64(pages.len());
@@ -195,146 +266,185 @@ impl Ssd {
                 }
                 Store::Disk { file, pages } => {
                     dropped = *pages;
-                    // mlvc-lint: allow(no-panic-in-lib) -- host filesystem failure; the simulator cannot continue
-                    file.set_len(0).expect("truncate backing file");
+                    file.set_len(0).map_err(|e| io_err("truncate backing file", &e))?;
                     *pages = 0;
                 }
             }
         }
         self.trace_trims(file, dropped);
+        Ok(())
     }
 
-    /// Remove a file entirely. Uncharged (metadata operation).
-    pub fn delete(&self, file: FileId) {
+    /// Remove a file entirely. Uncharged (metadata operation). Deleting an
+    /// already-deleted file is a no-op.
+    pub fn delete(&self, file: FileId) -> Result<(), DeviceError> {
+        self.fault.lock().check_alive()?;
         let dropped;
         {
             let mut files = self.files.lock();
-            let Some(entry) = files.entries[idx(file)].take() else {
-                return;
+            let Some(slot) = files.entries.get_mut(idx(file)) else {
+                return Ok(());
+            };
+            let Some(entry) = slot.take() else {
+                return Ok(());
             };
             dropped = match &entry.store {
                 Store::Mem(pages) => to_u64(pages.len()),
                 Store::Disk { pages, .. } => *pages,
             };
             files.by_name.remove(&entry.name);
-            if let (Backend::Dir(dir), true) = (&self.backend, true) {
+            if let Backend::Dir(dir) = &self.backend {
                 let _ = fs::remove_file(dir.join(sanitize(&entry.name)));
             }
         }
         self.trace_trims(file, dropped);
+        Ok(())
     }
+
+    // ---- writes ----------------------------------------------------------
 
     /// Append one page (payload may be shorter than a page; it is
     /// zero-padded). Returns the page index. Charged as a 1-page write batch.
-    pub fn append_page(&self, file: FileId, data: &[u8]) -> u64 {
+    pub fn append_page(&self, file: FileId, data: &[u8]) -> Result<u64, DeviceError> {
         self.append_pages(file, std::slice::from_ref(&data))
     }
 
     /// Append several pages in one batch (e.g. multi-log eviction flushing
     /// many interval logs at once). Returns the index of the first page.
-    pub fn append_pages(&self, file: FileId, pages: &[&[u8]]) -> u64 {
-        let first = self.store_append(file, pages);
-        let addrs: Vec<PageAddr> = (0..to_u64(pages.len()))
-            .map(|i| PageAddr::new(file, first + i))
+    ///
+    /// A crash point inside the batch leaves the pages before it durable
+    /// and the crash page torn; the operation then fails with `Crashed`.
+    pub fn append_pages(&self, file: FileId, pages: &[&[u8]]) -> Result<u64, DeviceError> {
+        let placed = self.store_append(file, pages);
+        let addrs: Vec<PageAddr> = (0..placed.written)
+            .map(|i| PageAddr::new(file, placed.first + i))
             .collect();
         self.charge_write(&addrs);
-        first
+        match placed.err {
+            Some(e) => Err(e),
+            None => Ok(placed.first),
+        }
     }
 
     /// Append pages to *multiple* files as one dispatch — the multi-log
     /// eviction path: several interval logs flush their top pages together
     /// and the writes pipeline across channels (paper §V-A3).
-    pub fn append_scattered(&self, writes: &[(FileId, &[u8])]) -> Vec<u64> {
+    pub fn append_scattered(&self, writes: &[(FileId, &[u8])]) -> Result<Vec<u64>, DeviceError> {
         let mut addrs = Vec::with_capacity(writes.len());
         let mut out = Vec::with_capacity(writes.len());
+        let mut failed = None;
         for &(fid, data) in writes {
-            let idx = self.store_append(fid, &[data]);
-            addrs.push(PageAddr::new(fid, idx));
-            out.push(idx);
+            let placed = self.store_append(fid, &[data]);
+            if placed.written == 1 {
+                addrs.push(PageAddr::new(fid, placed.first));
+                out.push(placed.first);
+            }
+            if let Some(e) = placed.err {
+                failed = Some(e);
+                break;
+            }
         }
         self.charge_write(&addrs);
-        out
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Overwrite an existing page in place. Charged as a 1-page write.
-    pub fn write_page(&self, file: FileId, page: u64, data: &[u8]) {
-        assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
-        {
-            let mut files = self.files.lock();
-            let entry = files.entries[idx(file)]
-                .as_mut()
-                // mlvc-lint: allow(no-panic-in-lib) -- writing a deleted file is a caller bug; abort the experiment
-                .expect("write to deleted file");
-            match &mut entry.store {
-                Store::Mem(pages) => {
-                    let slot = pages
-                        .get_mut(mem_idx(page))
-                        // mlvc-lint: allow(no-panic-in-lib) -- out-of-bounds page is a caller bug (see #[should_panic] tests); abort
-                        .unwrap_or_else(|| panic!("page {page} out of bounds"));
-                    let mut buf = vec![0u8; self.cfg.page_size];
-                    buf[..data.len()].copy_from_slice(data);
-                    *slot = buf.into_boxed_slice();
-                }
-                Store::Disk { file, pages } => {
-                    assert!(page < *pages, "page {page} out of bounds");
-                    let mut buf = vec![0u8; self.cfg.page_size];
-                    buf[..data.len()].copy_from_slice(data);
-                    write_at(file, &buf, self.byte_offset(page));
-                }
-            }
-        }
-        self.charge_write(&[PageAddr::new(file, page)]);
+    pub fn write_page(&self, file: FileId, page: u64, data: &[u8]) -> Result<(), DeviceError> {
+        self.write_batch(&[(file, page, data)])
     }
 
     /// Overwrite many pages (possibly across files) as one dispatch —
     /// the shard write-back path of the GraphChi baseline, where a whole
     /// shard plus its sliding windows go back to disk together.
-    pub fn write_batch(&self, writes: &[(FileId, u64, &[u8])]) {
+    pub fn write_batch(&self, writes: &[(FileId, u64, &[u8])]) -> Result<(), DeviceError> {
+        let mut done: Vec<PageAddr> = Vec::with_capacity(writes.len());
+        let mut failed: Option<DeviceError> = None;
         {
             let mut files = self.files.lock();
             for &(fid, page, data) in writes {
-                assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
-                let entry = files.entries[idx(fid)]
-                    .as_mut()
-                    // mlvc-lint: allow(no-panic-in-lib) -- writing a deleted file is a caller bug; abort the experiment
-                    .expect("write to deleted file");
+                if data.len() > self.cfg.page_size {
+                    failed = Some(DeviceError::PayloadTooLarge {
+                        len: data.len(),
+                        page_size: self.cfg.page_size,
+                    });
+                    break;
+                }
+                let Some(entry) = files.entries.get_mut(idx(fid)).and_then(Option::as_mut)
+                else {
+                    failed = Some(DeviceError::Deleted { file: fid });
+                    break;
+                };
+                let n = match &entry.store {
+                    Store::Mem(pages) => to_u64(pages.len()),
+                    Store::Disk { pages, .. } => *pages,
+                };
+                if page >= n {
+                    failed = Some(DeviceError::OutOfBounds { file: fid, page });
+                    break;
+                }
+                let fate = match self.fault.lock().note_page_write(self.cfg.page_size) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                };
+                let keep = match &fate {
+                    WriteFate::Proceed => data.len(),
+                    WriteFate::Torn { keep } => (*keep).min(data.len()),
+                };
                 let mut buf = vec![0u8; self.cfg.page_size];
-                buf[..data.len()].copy_from_slice(data);
+                buf[..keep].copy_from_slice(&data[..keep]);
                 match &mut entry.store {
-                    Store::Mem(pages) => {
-                        let slot = pages
-                            .get_mut(mem_idx(page))
-                            // mlvc-lint: allow(no-panic-in-lib) -- out-of-bounds page is a caller bug (see #[should_panic] tests); abort
-                        .unwrap_or_else(|| panic!("page {page} out of bounds"));
-                        *slot = buf.into_boxed_slice();
+                    Store::Mem(pages) => pages[mem_idx(page)] = buf.into_boxed_slice(),
+                    Store::Disk { file, .. } => {
+                        if let Err(e) = write_at(file, &buf, self.byte_offset(page)) {
+                            failed = Some(io_err("write_at", &e));
+                            break;
+                        }
                     }
-                    Store::Disk { file, pages } => {
-                        assert!(page < *pages, "page {page} out of bounds");
-                        write_at(file, &buf, self.byte_offset(page));
-                    }
+                }
+                done.push(PageAddr::new(fid, page));
+                if matches!(fate, WriteFate::Torn { .. }) {
+                    failed = Some(DeviceError::Crashed);
+                    break;
                 }
             }
         }
-        let addrs: Vec<PageAddr> = writes
-            .iter()
-            .map(|&(f, p, _)| PageAddr::new(f, p))
-            .collect();
-        self.charge_write(&addrs);
+        self.charge_write(&done);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
+
+    // ---- reads -----------------------------------------------------------
 
     /// Read one page, declaring how many of its bytes the caller will
     /// actually use (for read-amplification accounting).
-    pub fn read_page(&self, file: FileId, page: u64, useful: usize) -> Vec<u8> {
-        let mut out = self.read_batch(&[(file, page, useful)]);
+    pub fn read_page(&self, file: FileId, page: u64, useful: usize) -> Result<Vec<u8>, DeviceError> {
+        let mut out = self.read_batch(&[(file, page, useful)])?;
         // read_batch returns exactly one buffer per request.
-        out.pop().unwrap_or_default()
+        Ok(out.pop().unwrap_or_default())
     }
 
     /// Read a batch of pages dispatched together: `(file, page, useful)`.
     /// The whole batch is charged as one parallel dispatch across channels.
-    pub fn read_batch(&self, reqs: &[(FileId, u64, usize)]) -> Vec<Vec<u8>> {
+    ///
+    /// Transient read faults within the device's retry bound are absorbed
+    /// here, charging one extra page-read service time per retry on the
+    /// virtual clock; a fault streak beyond the bound fails the batch with
+    /// [`DeviceError::ReadUnavailable`].
+    pub fn read_batch(&self, reqs: &[(FileId, u64, usize)]) -> Result<Vec<Vec<u8>>, DeviceError> {
+        self.fault.lock().check_alive()?;
         let mut out = Vec::with_capacity(reqs.len());
+        let mut addrs = Vec::with_capacity(reqs.len());
         let mut useful_total = 0u64;
+        let mut extra_retries = 0u64;
+        let mut failed: Option<DeviceError> = None;
         {
             let mut files = self.files.lock();
             for &(fid, page, useful) in reqs {
@@ -342,33 +452,55 @@ impl Ssd {
                     useful <= self.cfg.page_size,
                     "useful bytes cannot exceed the page size"
                 );
-                useful_total += to_u64(useful);
-                let entry = files.entries[idx(fid)]
-                    .as_mut()
-                    // mlvc-lint: allow(no-panic-in-lib) -- reading a deleted file is a caller bug; abort the experiment
-                    .expect("read from deleted file");
+                let Some(entry) = files.entries.get_mut(idx(fid)).and_then(Option::as_mut)
+                else {
+                    failed = Some(DeviceError::Deleted { file: fid });
+                    break;
+                };
+                let n = match &entry.store {
+                    Store::Mem(pages) => to_u64(pages.len()),
+                    Store::Disk { pages, .. } => *pages,
+                };
+                if page >= n {
+                    failed = Some(DeviceError::OutOfBounds { file: fid, page });
+                    break;
+                }
+                match self.fault.lock().note_page_read() {
+                    Ok(r) => extra_retries += u64::from(r),
+                    Err(retries) => {
+                        failed = Some(DeviceError::ReadUnavailable { file: fid, page, retries });
+                        break;
+                    }
+                }
                 let data = match &mut entry.store {
                     Store::Mem(pages) => pages
                         .get(mem_idx(page))
-                        // mlvc-lint: allow(no-panic-in-lib) -- out-of-bounds page is a caller bug (see #[should_panic] tests); abort
-                        .unwrap_or_else(|| panic!("page {page} out of bounds in {}", entry.name))
-                        .to_vec(),
-                    Store::Disk { file, pages } => {
-                        assert!(page < *pages, "page {page} out of bounds in {}", entry.name);
+                        .map(|p| p.to_vec())
+                        .unwrap_or_default(),
+                    Store::Disk { file, .. } => {
                         let mut buf = vec![0u8; self.cfg.page_size];
-                        read_at(file, &mut buf, self.byte_offset(page));
+                        if let Err(e) = read_at(file, &mut buf, self.byte_offset(page)) {
+                            failed = Some(io_err("read_at", &e));
+                            break;
+                        }
                         buf
                     }
                 };
+                useful_total += to_u64(useful);
+                addrs.push(PageAddr::new(fid, page));
                 out.push(data);
             }
         }
-        let addrs: Vec<PageAddr> = reqs
-            .iter()
-            .map(|&(f, p, _)| PageAddr::new(f, p))
-            .collect();
         self.charge_read(&addrs, useful_total);
-        out
+        if extra_retries > 0 {
+            self.stats
+                .read_time_ns
+                .fetch_add(extra_retries.saturating_mul(self.cfg.read_ns), Ordering::Relaxed);
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Retroactively declare useful bytes for data already read. Intended
@@ -379,42 +511,66 @@ impl Ssd {
     }
 
     /// Read every page of a file as one sequential batch (whole-log load).
-    pub fn read_all(&self, file: FileId, useful_per_page: impl Fn(u64) -> usize) -> Vec<Vec<u8>> {
-        let n = self.num_pages(file);
+    pub fn read_all(
+        &self,
+        file: FileId,
+        useful_per_page: impl Fn(u64) -> usize,
+    ) -> Result<Vec<Vec<u8>>, DeviceError> {
+        let n = self.num_pages(file)?;
         let reqs: Vec<(FileId, u64, usize)> =
             (0..n).map(|p| (file, p, useful_per_page(p))).collect();
         self.read_batch(&reqs)
     }
 
-    fn store_append(&self, file: FileId, pages: &[&[u8]]) -> u64 {
+    fn store_append(&self, file: FileId, pages: &[&[u8]]) -> Placed {
         let mut files = self.files.lock();
-        let entry = files.entries[idx(file)]
-            .as_mut()
-            // mlvc-lint: allow(no-panic-in-lib) -- appending to a deleted file is a caller bug; abort the experiment
-            .expect("append to deleted file");
-        match &mut entry.store {
-            Store::Mem(existing) => {
-                let first = to_u64(existing.len());
-                for data in pages {
-                    assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
-                    let mut buf = vec![0u8; self.cfg.page_size];
-                    buf[..data.len()].copy_from_slice(data);
-                    existing.push(buf.into_boxed_slice());
-                }
-                first
+        let Some(entry) = files.entries.get_mut(idx(file)).and_then(Option::as_mut) else {
+            return Placed { first: 0, written: 0, err: Some(DeviceError::Deleted { file }) };
+        };
+        let first = match &entry.store {
+            Store::Mem(existing) => to_u64(existing.len()),
+            Store::Disk { pages: n, .. } => *n,
+        };
+        let mut written = 0u64;
+        let mut err = None;
+        for data in pages {
+            if data.len() > self.cfg.page_size {
+                err = Some(DeviceError::PayloadTooLarge {
+                    len: data.len(),
+                    page_size: self.cfg.page_size,
+                });
+                break;
             }
-            Store::Disk { file, pages: n } => {
-                let first = *n;
-                for data in pages {
-                    assert!(data.len() <= self.cfg.page_size, "payload exceeds page");
-                    let mut buf = vec![0u8; self.cfg.page_size];
-                    buf[..data.len()].copy_from_slice(data);
-                    write_at(file, &buf, self.byte_offset(*n));
+            let fate = match self.fault.lock().note_page_write(self.cfg.page_size) {
+                Ok(f) => f,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            };
+            let keep = match &fate {
+                WriteFate::Proceed => data.len(),
+                WriteFate::Torn { keep } => (*keep).min(data.len()),
+            };
+            let mut buf = vec![0u8; self.cfg.page_size];
+            buf[..keep].copy_from_slice(&data[..keep]);
+            match &mut entry.store {
+                Store::Mem(existing) => existing.push(buf.into_boxed_slice()),
+                Store::Disk { file, pages: n } => {
+                    if let Err(e) = write_at(file, &buf, self.byte_offset(*n)) {
+                        err = Some(io_err("write_at", &e));
+                        break;
+                    }
                     *n += 1;
                 }
-                first
+            }
+            written += 1;
+            if matches!(fate, WriteFate::Torn { .. }) {
+                err = Some(DeviceError::Crashed);
+                break;
             }
         }
+        Placed { first, written, err }
     }
 
     fn charge_read(&self, addrs: &[PageAddr], useful: u64) {
@@ -453,27 +609,31 @@ fn sanitize(name: &str) -> String {
 }
 
 #[cfg(unix)]
-fn read_at(file: &fs::File, buf: &mut [u8], offset: u64) {
+fn read_at(file: &fs::File, buf: &mut [u8], offset: u64) -> io::Result<()> {
     use std::os::unix::fs::FileExt;
-    // mlvc-lint: allow(no-panic-in-lib) -- host positional-I/O failure; the simulator cannot continue
-    file.read_exact_at(buf, offset).expect("read_at");
+    file.read_exact_at(buf, offset)
 }
 
 #[cfg(unix)]
-fn write_at(file: &fs::File, buf: &[u8], offset: u64) {
+fn write_at(file: &fs::File, buf: &[u8], offset: u64) -> io::Result<()> {
     use std::os::unix::fs::FileExt;
-    // mlvc-lint: allow(no-panic-in-lib) -- host positional-I/O failure; the simulator cannot continue
-    file.write_all_at(buf, offset).expect("write_at");
+    file.write_all_at(buf, offset)
 }
 
 #[cfg(not(unix))]
-fn read_at(_file: &fs::File, _buf: &mut [u8], _offset: u64) {
-    unimplemented!("disk backend requires unix positional I/O");
+fn read_at(_file: &fs::File, _buf: &mut [u8], _offset: u64) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "disk backend requires unix positional I/O",
+    ))
 }
 
 #[cfg(not(unix))]
-fn write_at(_file: &fs::File, _buf: &[u8], _offset: u64) {
-    unimplemented!("disk backend requires unix positional I/O");
+fn write_at(_file: &fs::File, _buf: &[u8], _offset: u64) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "disk backend requires unix positional I/O",
+    ))
 }
 
 #[cfg(test)]
@@ -487,10 +647,10 @@ mod tests {
     #[test]
     fn roundtrip_single_page() {
         let ssd = dev();
-        let f = ssd.open_or_create("a");
-        let idx = ssd.append_page(f, b"hello");
+        let f = ssd.open_or_create("a").unwrap();
+        let idx = ssd.append_page(f, b"hello").unwrap();
         assert_eq!(idx, 0);
-        let page = ssd.read_page(f, 0, 5);
+        let page = ssd.read_page(f, 0, 5).unwrap();
         assert_eq!(&page[..5], b"hello");
         assert!(page[5..].iter().all(|&b| b == 0), "zero padded");
     }
@@ -498,44 +658,44 @@ mod tests {
     #[test]
     fn open_or_create_is_idempotent() {
         let ssd = dev();
-        let a = ssd.open_or_create("x");
-        let b = ssd.open_or_create("x");
+        let a = ssd.open_or_create("x").unwrap();
+        let b = ssd.open_or_create("x").unwrap();
         assert_eq!(a, b);
-        assert_ne!(a, ssd.open_or_create("y"));
+        assert_ne!(a, ssd.open_or_create("y").unwrap());
     }
 
     #[test]
     fn append_grows_and_truncate_clears() {
         let ssd = dev();
-        let f = ssd.open_or_create("log");
+        let f = ssd.open_or_create("log").unwrap();
         for i in 0..5u8 {
-            ssd.append_page(f, &[i; 16]);
+            ssd.append_page(f, &[i; 16]).unwrap();
         }
-        assert_eq!(ssd.num_pages(f), 5);
-        let p3 = ssd.read_page(f, 3, 16);
+        assert_eq!(ssd.num_pages(f).unwrap(), 5);
+        let p3 = ssd.read_page(f, 3, 16).unwrap();
         assert_eq!(&p3[..16], &[3u8; 16]);
-        ssd.truncate(f);
-        assert_eq!(ssd.num_pages(f), 0);
+        ssd.truncate(f).unwrap();
+        assert_eq!(ssd.num_pages(f).unwrap(), 0);
     }
 
     #[test]
     fn write_page_overwrites_in_place() {
         let ssd = dev();
-        let f = ssd.open_or_create("v");
-        ssd.append_page(f, b"old");
-        ssd.write_page(f, 0, b"new!");
-        assert_eq!(&ssd.read_page(f, 0, 4)[..4], b"new!");
+        let f = ssd.open_or_create("v").unwrap();
+        ssd.append_page(f, b"old").unwrap();
+        ssd.write_page(f, 0, b"new!").unwrap();
+        assert_eq!(&ssd.read_page(f, 0, 4).unwrap()[..4], b"new!");
     }
 
     #[test]
     fn stats_account_pages_and_useful_bytes() {
         let ssd = dev();
-        let f = ssd.open_or_create("s");
-        ssd.append_page(f, &[1; 100]);
-        ssd.append_page(f, &[2; 100]);
+        let f = ssd.open_or_create("s").unwrap();
+        ssd.append_page(f, &[1; 100]).unwrap();
+        ssd.append_page(f, &[2; 100]).unwrap();
         let before = ssd.stats().snapshot();
         assert_eq!(before.pages_written, 2);
-        ssd.read_batch(&[(f, 0, 10), (f, 1, 20)]);
+        ssd.read_batch(&[(f, 0, 10), (f, 1, 20)]).unwrap();
         let after = ssd.stats().snapshot().since(&before);
         assert_eq!(after.pages_read, 2);
         assert_eq!(after.useful_bytes_read, 30);
@@ -548,22 +708,22 @@ mod tests {
     fn batched_read_is_cheaper_than_serial_reads() {
         let cfg = SsdConfig::test_small();
         let ssd1 = Ssd::new(cfg.clone());
-        let f1 = ssd1.open_or_create("a");
+        let f1 = ssd1.open_or_create("a").unwrap();
         for _ in 0..16 {
-            ssd1.append_page(f1, &[0; 8]);
+            ssd1.append_page(f1, &[0; 8]).unwrap();
         }
         ssd1.stats().reset();
-        ssd1.read_batch(&(0..16).map(|p| (f1, p, 8)).collect::<Vec<_>>());
+        ssd1.read_batch(&(0..16).map(|p| (f1, p, 8)).collect::<Vec<_>>()).unwrap();
         let batched = ssd1.stats().snapshot().read_time_ns;
 
         let ssd2 = Ssd::new(cfg);
-        let f2 = ssd2.open_or_create("a");
+        let f2 = ssd2.open_or_create("a").unwrap();
         for _ in 0..16 {
-            ssd2.append_page(f2, &[0; 8]);
+            ssd2.append_page(f2, &[0; 8]).unwrap();
         }
         ssd2.stats().reset();
         for p in 0..16 {
-            ssd2.read_page(f2, p, 8);
+            ssd2.read_page(f2, p, 8).unwrap();
         }
         let serial = ssd2.stats().snapshot().read_time_ns;
         assert!(
@@ -575,24 +735,27 @@ mod tests {
     #[test]
     fn scattered_append_hits_multiple_files() {
         let ssd = dev();
-        let a = ssd.open_or_create("a");
-        let b = ssd.open_or_create("b");
+        let a = ssd.open_or_create("a").unwrap();
+        let b = ssd.open_or_create("b").unwrap();
         let pa = [7u8; 4];
         let pb = [9u8; 4];
-        let idx = ssd.append_scattered(&[(a, &pa), (b, &pb), (a, &pa)]);
+        let idx = ssd.append_scattered(&[(a, &pa), (b, &pb), (a, &pa)]).unwrap();
         assert_eq!(idx, vec![0, 0, 1]);
-        assert_eq!(ssd.num_pages(a), 2);
-        assert_eq!(ssd.num_pages(b), 1);
+        assert_eq!(ssd.num_pages(a).unwrap(), 2);
+        assert_eq!(ssd.num_pages(b).unwrap(), 1);
         assert_eq!(ssd.stats().snapshot().write_batches, 1);
     }
 
     #[test]
-    fn delete_frees_name() {
+    fn delete_frees_name_and_types_later_access() {
         let ssd = dev();
-        let f = ssd.open_or_create("tmp");
-        ssd.delete(f);
+        let f = ssd.open_or_create("tmp").unwrap();
+        ssd.delete(f).unwrap();
         assert!(ssd.lookup("tmp").is_none());
-        let g = ssd.open_or_create("tmp");
+        assert_eq!(ssd.num_pages(f), Err(DeviceError::Deleted { file: f }));
+        assert_eq!(ssd.append_page(f, b"x"), Err(DeviceError::Deleted { file: f }));
+        assert_eq!(ssd.read_page(f, 0, 0), Err(DeviceError::Deleted { file: f }));
+        let g = ssd.open_or_create("tmp").unwrap();
         assert_ne!(f, g);
     }
 
@@ -600,29 +763,153 @@ mod tests {
     fn disk_backend_roundtrip() {
         let dir = std::env::temp_dir().join(format!("mlvc-ssd-test-{}", std::process::id()));
         let ssd = Ssd::new_on_disk(SsdConfig::test_small(), dir.clone()).unwrap();
-        let f = ssd.open_or_create("durable");
-        ssd.append_page(f, b"on real disk");
-        ssd.append_page(f, b"second page");
-        let p = ssd.read_page(f, 1, 11);
+        let f = ssd.open_or_create("durable").unwrap();
+        ssd.append_page(f, b"on real disk").unwrap();
+        ssd.append_page(f, b"second page").unwrap();
+        let p = ssd.read_page(f, 1, 11).unwrap();
         assert_eq!(&p[..11], b"second page");
-        ssd.write_page(f, 0, b"rewritten");
-        assert_eq!(&ssd.read_page(f, 0, 9)[..9], b"rewritten");
+        ssd.write_page(f, 0, b"rewritten").unwrap();
+        assert_eq!(&ssd.read_page(f, 0, 9).unwrap()[..9], b"rewritten");
         let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
-    #[should_panic]
-    fn oversized_payload_panics() {
-        let ssd = dev();
-        let f = ssd.open_or_create("big");
-        ssd.append_page(f, &vec![0u8; 257]);
+    fn disk_backend_reopen_preserves_contents() {
+        let dir = std::env::temp_dir()
+            .join(format!("mlvc-ssd-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let ssd = Ssd::new_on_disk(SsdConfig::test_small(), dir.clone()).unwrap();
+            let f = ssd.open_or_create("state").unwrap();
+            ssd.append_page(f, b"survives restart").unwrap();
+            ssd.append_page(f, b"page two").unwrap();
+        }
+        // A new process (new Ssd over the same directory) must see the
+        // previous contents — the property `mlvc resume` depends on.
+        let ssd = Ssd::new_on_disk(SsdConfig::test_small(), dir.clone()).unwrap();
+        let f = ssd.open_or_create("state").unwrap();
+        assert_eq!(ssd.num_pages(f).unwrap(), 2);
+        let p = ssd.read_page(f, 0, 16).unwrap();
+        assert_eq!(&p[..16], b"survives restart");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_bounds_read_panics() {
+    fn oversized_payload_is_rejected() {
         let ssd = dev();
-        let f = ssd.open_or_create("a");
-        ssd.read_page(f, 0, 0);
+        let f = ssd.open_or_create("big").unwrap();
+        assert_eq!(
+            ssd.append_page(f, &vec![0u8; 257]),
+            Err(DeviceError::PayloadTooLarge { len: 257, page_size: 256 })
+        );
+        ssd.append_page(f, &[1u8; 256]).unwrap();
+        assert_eq!(
+            ssd.write_page(f, 0, &vec![0u8; 300]),
+            Err(DeviceError::PayloadTooLarge { len: 300, page_size: 256 })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let ssd = dev();
+        let f = ssd.open_or_create("a").unwrap();
+        assert_eq!(ssd.read_page(f, 0, 0), Err(DeviceError::OutOfBounds { file: f, page: 0 }));
+        assert_eq!(
+            ssd.write_page(f, 3, b"x"),
+            Err(DeviceError::OutOfBounds { file: f, page: 3 })
+        );
+    }
+
+    #[test]
+    fn crash_point_tears_page_and_blocks_device() {
+        let ssd = dev();
+        let f = ssd.open_or_create("wal").unwrap();
+        ssd.install_fault_plan(FaultPlan::crash_after(3, 0xFEED));
+        ssd.append_page(f, &[1u8; 256]).unwrap();
+        ssd.append_page(f, &[2u8; 256]).unwrap();
+        assert_eq!(ssd.append_page(f, &[3u8; 256]), Err(DeviceError::Crashed));
+        assert!(ssd.is_crashed());
+        // Everything fails until revive — including reads and metadata ops.
+        assert_eq!(ssd.read_page(f, 0, 0), Err(DeviceError::Crashed));
+        assert_eq!(ssd.truncate(f), Err(DeviceError::Crashed));
+        assert_eq!(ssd.open_or_create("other"), Err(DeviceError::Crashed));
+        ssd.revive();
+        // Durable state: pages 0 and 1 intact, page 2 torn (a strict
+        // prefix of the payload, then zeroes).
+        assert_eq!(ssd.num_pages(f).unwrap(), 3);
+        assert_eq!(ssd.read_page(f, 0, 0).unwrap(), vec![1u8; 256]);
+        assert_eq!(ssd.read_page(f, 1, 0).unwrap(), vec![2u8; 256]);
+        let torn = ssd.read_page(f, 2, 0).unwrap();
+        let keep = torn.iter().take_while(|&&b| b == 3).count();
+        assert!(keep < 256, "crash page must not be fully programmed");
+        assert!(torn[keep..].iter().all(|&b| b == 0), "tail reads back as zeroes");
+        let c = ssd.fault_counters();
+        assert_eq!((c.torn_writes, c.crashes), (1, 1));
+    }
+
+    #[test]
+    fn crash_is_deterministic_across_replays() {
+        let run = || {
+            let ssd = dev();
+            let f = ssd.open_or_create("wal").unwrap();
+            ssd.install_fault_plan(FaultPlan::crash_after(2, 99));
+            ssd.append_page(f, &[0xAB; 256]).unwrap();
+            let _ = ssd.append_page(f, &[0xCD; 256]);
+            ssd.revive();
+            ssd.read_all(f, |_| 0).unwrap()
+        };
+        assert_eq!(run(), run(), "same plan, same torn bytes");
+    }
+
+    #[test]
+    fn transient_read_fault_retries_and_charges_time() {
+        let ssd = dev();
+        let f = ssd.open_or_create("a").unwrap();
+        ssd.append_page(f, &[5u8; 256]).unwrap();
+        ssd.stats().reset();
+        ssd.read_page(f, 0, 0).unwrap();
+        let clean = ssd.stats().snapshot().read_time_ns;
+        ssd.install_fault_plan(FaultPlan::default().with_read_faults(1, 2));
+        ssd.stats().reset();
+        let page = ssd.read_page(f, 0, 0).unwrap();
+        assert_eq!(page, vec![5u8; 256], "retried read returns good data");
+        let faulted = ssd.stats().snapshot().read_time_ns;
+        assert!(faulted > clean, "retries must cost virtual time ({faulted} vs {clean})");
+        assert_eq!(ssd.fault_counters().retries_charged, 2);
+    }
+
+    #[test]
+    fn unrecoverable_read_fault_surfaces_typed_error() {
+        let ssd = dev();
+        let f = ssd.open_or_create("a").unwrap();
+        ssd.append_page(f, &[5u8; 256]).unwrap();
+        ssd.install_fault_plan(
+            FaultPlan::default().with_read_faults(1, 9).with_max_read_retries(2),
+        );
+        assert_eq!(
+            ssd.read_page(f, 0, 0),
+            Err(DeviceError::ReadUnavailable { file: f, page: 0, retries: 2 })
+        );
+        assert!(!ssd.is_crashed(), "read faults are transient, not crashes");
+        ssd.revive();
+        ssd.read_page(f, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_scattered_append_keeps_earlier_pages() {
+        let ssd = dev();
+        let a = ssd.open_or_create("a").unwrap();
+        let b = ssd.open_or_create("b").unwrap();
+        ssd.install_fault_plan(FaultPlan::crash_after(2, 1));
+        let pa = [1u8; 8];
+        let pb = [2u8; 8];
+        assert_eq!(
+            ssd.append_scattered(&[(a, &pa), (b, &pb), (a, &pa)]),
+            Err(DeviceError::Crashed)
+        );
+        ssd.revive();
+        assert_eq!(ssd.num_pages(a).unwrap(), 1, "first write durable");
+        assert_eq!(ssd.num_pages(b).unwrap(), 1, "second write torn but placed");
+        assert_eq!(&ssd.read_page(a, 0, 0).unwrap()[..8], &pa);
     }
 }

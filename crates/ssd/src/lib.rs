@@ -25,22 +25,28 @@
 //! use mlvc_ssd::{Ssd, SsdConfig};
 //!
 //! let ssd = Ssd::new(SsdConfig::default());
-//! let log = ssd.open_or_create("my.log");
-//! ssd.append_page(log, b"hello flash");
+//! let log = ssd.open_or_create("my.log").unwrap();
+//! ssd.append_page(log, b"hello flash").unwrap();
 //!
 //! // Read it back, declaring how many bytes we actually need — the gap is
 //! // the read amplification the paper's edge-log optimizer attacks.
-//! let page = ssd.read_page(log, 0, 11);
+//! let page = ssd.read_page(log, 0, 11).unwrap();
 //! assert_eq!(&page[..11], b"hello flash");
 //! let stats = ssd.stats().snapshot();
 //! assert_eq!(stats.pages_read, 1);
 //! assert!(stats.read_amplification().unwrap() > 1000.0); // 11 B of 16 KiB
 //! ```
+//!
+//! Every device operation returns a typed [`DeviceError`] `Result`; a
+//! seeded [`FaultPlan`] can deterministically crash the device after N
+//! page writes (tearing the in-flight page) or inject transient read
+//! faults — the substrate of the `mlvc-recover` crash-point sweep.
 
 pub mod checked;
 mod config;
 mod cost;
 mod device;
+mod fault;
 mod ftl;
 mod stats;
 pub mod sync;
@@ -48,6 +54,7 @@ pub mod sync;
 pub use config::SsdConfig;
 pub use cost::{batch_time_ns, PageAddr};
 pub use device::{Backend, FileId, Ssd};
+pub use fault::{DeviceError, FaultCounters, FaultPlan};
 pub use ftl::{FtlConfig, FtlModel, FtlOp, FtlStats, Lpa};
 pub use stats::{SsdStats, SsdStatsSnapshot};
 

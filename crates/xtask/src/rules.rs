@@ -5,9 +5,9 @@
 //! (see DESIGN.md "Static analysis & invariants"):
 //!
 //! * `no-truncating-cast` — `as u32/u64/usize/i64` in the on-disk-format
-//!   crates (`ssd`, `log`, `graph`) silently truncates or sign-extends a
-//!   page offset, record count, or vertex id once a dataset outgrows the
-//!   type; use `try_from` or the crate's checked helpers.
+//!   crates (`ssd`, `log`, `graph`, `recover`) silently truncates or
+//!   sign-extends a page offset, record count, or vertex id once a dataset
+//!   outgrows the type; use `try_from` or the crate's checked helpers.
 //! * `no-panic-in-lib` — `unwrap()/expect()/panic!` in library code tears
 //!   the multi-log if it fires mid-flush; return an error instead.
 //! * `no-magic-layout-literal` — byte-layout numbers (`16 * 1024` pages,
@@ -51,7 +51,7 @@ impl std::fmt::Display for Diagnostic {
 /// Is `path` (workspace-relative, `/`-separated) inside one of the
 /// on-disk-format crates' library sources?
 fn in_format_crates(path: &str) -> bool {
-    ["crates/ssd/src/", "crates/log/src/", "crates/graph/src/"]
+    ["crates/ssd/src/", "crates/log/src/", "crates/graph/src/", "crates/recover/src/"]
         .iter()
         .any(|p| path.starts_with(p))
 }

@@ -1,0 +1,29 @@
+//! Fixture: the checkpoint crate is an on-disk-format crate, so both
+//! `no-truncating-cast` and `no-magic-layout-literal` must fire inside
+//! `crates/recover/src/` exactly as they do in `ssd`/`log`/`graph`.
+
+pub fn manifest_page_offset(seq: u64) -> usize {
+    seq as usize
+}
+
+pub fn segment_pages(len: usize) -> u64 {
+    len as u64
+}
+
+pub fn page_sized_segment() -> usize {
+    16 * 1024
+}
+
+pub fn allowed_widening(v: u16) -> u64 {
+    // mlvc-lint: allow(no-truncating-cast) -- u16 -> u64 widens, never truncates
+    v as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_here_are_exempt() {
+        let page = 9u64 as usize;
+        assert_eq!(page, 9);
+    }
+}

@@ -9,12 +9,13 @@ use std::process::Command;
 use xtask::Diagnostic;
 
 /// (fixture path under tests/fixtures/, scope path the CLI derives).
-const FIXTURES: [(&str, &str); 5] = [
+const FIXTURES: [(&str, &str); 6] = [
     ("crates/ssd/src/bad_cast.rs", "no-truncating-cast"),
     ("crates/core/src/bad_panic.rs", "no-panic-in-lib"),
     ("crates/log/src/bad_layout.rs", "no-magic-layout-literal"),
     ("crates/ssd/src/bad_wallclock.rs", "no-wallclock-in-sim"),
     ("crates/apps/src/bad_lock.rs", "no-lock-across-par"),
+    ("crates/recover/src/bad_ckpt.rs", "no-truncating-cast"),
 ];
 
 fn fixture_dir() -> PathBuf {
@@ -74,6 +75,16 @@ fn lock_fixture_fires_across_fanout_and_io_only() {
     // drop()-released and block-scoped variants never fire.
     assert_eq!(lines_of(&d, "no-lock-across-par"), vec![7, 13]);
     assert!(d.iter().all(|d| d.rule == "no-lock-across-par"), "{d:?}");
+}
+
+#[test]
+fn recover_fixture_fires_both_format_rules_and_allow_suppresses() {
+    let d = lint_fixture("crates/recover/src/bad_ckpt.rs");
+    // Truncating casts at 6 and 10, page-size literal at 14;
+    // allow-suppressed widening cast at 19 and the test module never fire.
+    assert_eq!(lines_of(&d, "no-truncating-cast"), vec![6, 10]);
+    assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![14]);
+    assert_eq!(d.len(), 3, "{d:?}");
 }
 
 #[test]

@@ -73,7 +73,7 @@ fn main() {
     );
 
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-    let stored = StoredGraph::store(&ssd, &graph, "dyn");
+    let stored = StoredGraph::store(&ssd, &graph, "dyn").expect("fresh device");
     ssd.stats().reset();
     let mut engine = MultiLogEngine::new(Arc::clone(&ssd), stored, EngineConfig::default());
     let report = engine.run(&GrowAndGossip, 4096);
@@ -87,7 +87,7 @@ fn main() {
     );
 
     // The structural updates really landed in the stored CSR.
-    let final_graph = engine.graph().to_csr();
+    let final_graph = engine.graph().to_csr().expect("read back stored graph");
     println!(
         "final graph: {} stored edges ({} added by triadic closure)",
         final_graph.num_edges(),

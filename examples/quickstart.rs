@@ -21,7 +21,7 @@ fn main() {
     // 2. A simulated SSD (16 KiB pages, 4 channels, SATA-class timing) and
     //    the graph laid out on it as interval-partitioned CSR.
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-    let stored = StoredGraph::store(&ssd, &graph, "quickstart");
+    let stored = StoredGraph::store(&ssd, &graph, "quickstart").expect("fresh device");
     println!(
         "stored as {} vertex intervals",
         stored.intervals().num_intervals()

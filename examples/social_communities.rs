@@ -36,14 +36,16 @@ fn main() {
 
     // MultiLogVC.
     let ssd_m = Arc::new(Ssd::new(SsdConfig::default()));
-    let sg = StoredGraph::store_with(&ssd_m, &graph, "sbm", intervals.clone());
+    let sg = StoredGraph::store_with(&ssd_m, &graph, "sbm", intervals.clone())
+        .expect("fresh device");
     ssd_m.stats().reset();
     let mut mlvc = MultiLogEngine::new(ssd_m, sg, EngineConfig::default());
     let rm = mlvc.run(&Cdlp, 15);
 
     // GraphChi baseline.
     let ssd_g = Arc::new(Ssd::new(SsdConfig::default()));
-    let mut gchi = GraphChiEngine::new(ssd_g, &graph, intervals, EngineConfig::default());
+    let mut gchi = GraphChiEngine::new(ssd_g, &graph, intervals, EngineConfig::default())
+        .expect("fresh device");
     let rg = gchi.run(&Cdlp, 15);
 
     assert_eq!(mlvc.states(), gchi.states(), "engines must agree exactly");

@@ -25,7 +25,7 @@ fn main() {
     let ssd = Arc::new(
         Ssd::new_on_disk(SsdConfig::default(), dir.clone()).expect("disk backend"),
     );
-    let stored = StoredGraph::store(&ssd, &graph, "walks");
+    let stored = StoredGraph::store(&ssd, &graph, "walks").expect("fresh device");
     ssd.stats().reset();
     let mut engine = MultiLogEngine::new(Arc::clone(&ssd), stored, EngineConfig::default());
 

@@ -23,7 +23,7 @@ fn main() {
     );
 
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-    let stored = StoredGraph::store(&ssd, &graph, "web");
+    let stored = StoredGraph::store(&ssd, &graph, "web").expect("fresh device");
     ssd.stats().reset();
     let mut engine = MultiLogEngine::new(ssd, stored, EngineConfig::default());
 

@@ -5,6 +5,10 @@
 //! mlvc stats graph.csr
 //! mlvc convert graph.txt graph.csr
 //! mlvc run   --app pagerank --graph graph.csr --engine mlvc --steps 15
+//! # crash-consistent checkpointing + recovery (DESIGN.md §11):
+//! mlvc run    --app pagerank --graph graph.csr --ssd-dir /tmp/dev \
+//!             --checkpoint-every 2 --crash-after 500
+//! mlvc resume --app pagerank --graph graph.csr --ssd-dir /tmp/dev
 //! ```
 //!
 //! Graph files: `.csr` = mlvc binary snapshot, anything else = SNAP-style
@@ -12,6 +16,7 @@
 
 use std::fs::File;
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -27,7 +32,8 @@ use multilogvc::graphchi::GraphChiEngine;
 use multilogvc::io::{
     read_csr_binary, read_edge_list, write_csr_binary, write_edge_list, EdgeListOptions,
 };
-use multilogvc::ssd::{Ssd, SsdConfig};
+use multilogvc::graph::StoredGraph;
+use multilogvc::ssd::{DeviceError, FaultPlan, Ssd, SsdConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,9 +57,19 @@ usage:
   mlvc run --app <bfs|pagerank|cdlp|coloring|mis|randomwalk|wcc|kcore|sssp>
            --graph <file> [--engine mlvc|graphchi|grafboost|reference]
            [--steps N] [--memory-kb K] [--source V] [--seed S] [--async]
+           [--ssd-dir DIR] [--checkpoint-every K] [--crash-after N]
+  mlvc resume --app <app> --graph <file> --ssd-dir DIR
+           [--steps N] [--memory-kb K] [--source V] [--seed S]
+           [--checkpoint-every K]
 
 graph files ending in .csr are binary snapshots; all others are
-SNAP-style edge-list text (auto-detected on read).";
+SNAP-style edge-list text (auto-detected on read).
+
+--ssd-dir backs the simulated SSD with host files so checkpoints survive
+the process; --checkpoint-every K writes a crash-consistent checkpoint
+every K supersteps; --crash-after N injects a deterministic device crash
+(torn page) at the Nth page write. `resume` restarts an interrupted
+mlvc-engine run from its last durable checkpoint.";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Args<'a> {
@@ -110,7 +126,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => cmd_gen(&rest),
         "stats" => cmd_stats(&rest),
         "convert" => cmd_convert(&rest),
-        "run" => cmd_run(&rest),
+        "run" => cmd_run(&rest, false),
+        "resume" => cmd_run(&rest, true),
         other => Err(format!("unknown command: {other}")),
     }
 }
@@ -209,7 +226,23 @@ fn make_app(name: &str, g: &Csr, source: u32) -> Result<Box<dyn VertexProgram>, 
     })
 }
 
-fn cmd_run(a: &Args) -> Result<(), String> {
+/// Render a device fault as a CLI error string.
+fn dev(e: DeviceError) -> String {
+    format!("device error: {e}")
+}
+
+/// Device backing the run: host-file-backed under `--ssd-dir` (checkpoints
+/// survive the process, enabling `mlvc resume`), in-memory otherwise.
+fn make_ssd(a: &Args) -> Result<Arc<Ssd>, String> {
+    match a.get("ssd-dir") {
+        Some(dir) => Ssd::new_on_disk(SsdConfig::default(), PathBuf::from(dir))
+            .map(Arc::new)
+            .map_err(|e| format!("--ssd-dir {dir}: {e}")),
+        None => Ok(Arc::new(Ssd::new(SsdConfig::default()))),
+    }
+}
+
+fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
     let app_name = a.get("app").ok_or("run needs --app")?;
     let path = a.get("graph").ok_or("run needs --graph")?;
     let engine_name = a.get("engine").unwrap_or("mlvc");
@@ -217,45 +250,72 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     let memory_kb: usize = a.get_parsed("memory-kb", 2048)?;
     let seed: u64 = a.get_parsed("seed", 42)?;
     let source: u32 = a.get_parsed("source", 0u32)?;
+    let checkpoint_every: usize = a.get_parsed("checkpoint-every", 0)?;
+    let crash_after: u64 = a.get_parsed("crash-after", 0)?;
+    if resume {
+        if engine_name != "mlvc" {
+            return Err("resume supports only --engine mlvc".into());
+        }
+        if a.get("ssd-dir").is_none() {
+            return Err("resume needs --ssd-dir (the device holding the checkpoints)".into());
+        }
+    }
 
     let g = load_graph(path)?;
     if source as usize >= g.num_vertices() {
         return Err(format!("--source {source} out of range"));
     }
     let app = make_app(app_name, &g, source)?;
-    let cfg = EngineConfig::default()
+    let mut cfg = EngineConfig::default()
         .with_memory(memory_kb << 10)
         .with_seed(seed)
         .with_async(a.has("async"));
+    if checkpoint_every > 0 {
+        cfg = cfg.with_checkpoint_every(checkpoint_every);
+    }
     let iv = VertexIntervals::for_graph(&g, 16, cfg.sort_budget());
 
     println!(
-        "running {app_name} on {path} ({} vertices, {} edges) with {engine_name}, {} KiB budget",
+        "{} {app_name} on {path} ({} vertices, {} edges) with {engine_name}, {} KiB budget",
+        if resume { "resuming" } else { "running" },
         g.num_vertices(),
         g.num_edges(),
         memory_kb
     );
     let report: RunReport = match engine_name {
         "mlvc" => {
-            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-            let sg = multilogvc::graph::StoredGraph::store_with(&ssd, &g, "cli", iv);
+            let ssd = make_ssd(a)?;
+            let sg = StoredGraph::store_with(&ssd, &g, "cli", iv).map_err(dev)?;
+            if crash_after > 0 {
+                ssd.install_fault_plan(FaultPlan::crash_after(crash_after, seed));
+            }
             ssd.stats().reset();
             let mut e = MultiLogEngine::new(ssd, sg, cfg);
-            let r = e.run(app.as_ref(), steps);
+            let r = if resume {
+                e.run_recoverable(app.as_ref(), steps)
+            } else {
+                e.run(app.as_ref(), steps)
+            };
             print_states_summary(app_name, e.states());
             r
         }
         "graphchi" => {
-            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-            let mut e = GraphChiEngine::new(Arc::clone(&ssd), &g, iv, cfg);
+            let ssd = make_ssd(a)?;
+            let mut e = GraphChiEngine::new(Arc::clone(&ssd), &g, iv, cfg).map_err(dev)?;
+            if crash_after > 0 {
+                ssd.install_fault_plan(FaultPlan::crash_after(crash_after, seed));
+            }
             ssd.stats().reset();
             let r = e.run(app.as_ref(), steps);
             print_states_summary(app_name, e.states());
             r
         }
         "grafboost" => {
-            let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-            let sg = multilogvc::graph::StoredGraph::store_with(&ssd, &g, "cli", iv);
+            let ssd = make_ssd(a)?;
+            let sg = StoredGraph::store_with(&ssd, &g, "cli", iv).map_err(dev)?;
+            if crash_after > 0 {
+                ssd.install_fault_plan(FaultPlan::crash_after(crash_after, seed));
+            }
             ssd.stats().reset();
             let mut e = GrafBoostEngine::new(ssd, sg, cfg);
             let r = e.run(app.as_ref(), steps);
@@ -274,14 +334,18 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     println!("\nsuperstep | active | msgs in | pages R | pages W | sim ms");
     for s in &report.supersteps {
         println!(
-            "{:9} | {:6} | {:7} | {:7} | {:7} | {:6.2}",
+            "{:9} | {:6} | {:7} | {:7} | {:7} | {:6.2}{}",
             s.superstep,
             s.active_vertices,
             s.messages_processed,
             s.io.pages_read,
             s.io.pages_written,
-            s.sim_time_ns() as f64 / 1e6
+            s.sim_time_ns() as f64 / 1e6,
+            if s.checkpointed { "  ckpt" } else { "" }
         );
+    }
+    if let Some(from) = report.resumed_from {
+        println!("\nresumed from the checkpoint at superstep {from}");
     }
     println!(
         "\nconverged: {}; total {:.2} ms simulated ({:.0}% storage)",
@@ -289,6 +353,15 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         report.total_sim_time_ns() as f64 / 1e6,
         100.0 * report.storage_fraction()
     );
+    if let Some(e) = &report.interrupted {
+        println!("run interrupted: {e}");
+        if a.get("ssd-dir").is_some() {
+            println!(
+                "recover with: mlvc resume --app {app_name} --graph {path} --ssd-dir {}",
+                a.get("ssd-dir").unwrap_or("<dir>")
+            );
+        }
+    }
     Ok(())
 }
 
@@ -405,6 +478,39 @@ mod tests {
             "50",
         ]))
         .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn crash_then_resume_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mlvc-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csr = dir.join("g.csr");
+        let csr_s = csr.to_str().unwrap();
+        let dev = dir.join("dev");
+        let dev_s = dev.to_str().unwrap();
+
+        run(&strs(&["gen", "--kind", "rmat-social", "--scale", "7", "--out", csr_s])).unwrap();
+        // Checkpointed run that crashes partway through.
+        run(&strs(&[
+            "run", "--app", "pagerank", "--graph", csr_s, "--ssd-dir", dev_s,
+            "--checkpoint-every", "2", "--crash-after", "400", "--steps", "10",
+        ]))
+        .unwrap();
+        // Resume from the last durable checkpoint on the same device.
+        run(&strs(&[
+            "resume", "--app", "pagerank", "--graph", csr_s, "--ssd-dir", dev_s,
+            "--steps", "10",
+        ]))
+        .unwrap();
+        // resume demands mlvc + --ssd-dir.
+        assert!(run(&strs(&[
+            "resume", "--app", "pagerank", "--graph", csr_s, "--ssd-dir", dev_s,
+            "--engine", "graphchi",
+        ]))
+        .is_err());
+        assert!(run(&strs(&["resume", "--app", "pagerank", "--graph", csr_s])).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

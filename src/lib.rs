@@ -14,7 +14,7 @@
 //! // A small power-law graph, a simulated SSD, and the MultiLogVC engine.
 //! let graph = mlvc_gen::rmat(RmatParams::social(10, 8), 42);
 //! let ssd = std::sync::Arc::new(Ssd::new(SsdConfig::default()));
-//! let stored = StoredGraph::store(&ssd, &graph, "demo");
+//! let stored = StoredGraph::store(&ssd, &graph, "demo").unwrap();
 //! let mut engine = MultiLogEngine::new(ssd, stored, EngineConfig::default());
 //! let report = engine.run(&Bfs::new(0), 15);
 //! assert!(report.supersteps.len() >= 1);
@@ -28,6 +28,7 @@ pub use mlvc_graph as graph;
 pub use mlvc_io as io;
 pub use mlvc_graphchi as graphchi;
 pub use mlvc_log as log;
+pub use mlvc_recover as recover;
 pub use mlvc_ssd as ssd;
 
 /// Everything needed for typical use, in one import.

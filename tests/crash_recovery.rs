@@ -1,0 +1,142 @@
+//! Crash-point sweep: crash the device at *every* page write of a
+//! checkpointed run, recover, and demand bit-identical final state
+//! (DESIGN.md §11).
+//!
+//! For each application the sweep
+//!
+//! 1. runs fault-free with checkpointing to get the golden states and the
+//!    total number of page writes `W`,
+//! 2. for every crash point `c ∈ 1..=W`: re-runs on a fresh device with
+//!    [`FaultPlan::crash_after(c, seed)`] installed (the crashed run ends
+//!    with `report.interrupted`), revives the device, and resumes with
+//!    [`MultiLogEngine::run_recoverable`],
+//! 3. asserts the recovered states equal the golden states bit-for-bit,
+//!    and that whatever checkpoint is durable after the crash decodes
+//!    cleanly — a crash *during* checkpointing must never corrupt the
+//!    previous checkpoint.
+
+use std::sync::Arc;
+
+use multilogvc::apps::{Bfs, Coloring, PageRank};
+use multilogvc::core::{Engine, EngineConfig, MultiLogEngine, VertexProgram};
+use multilogvc::graph::{StoredGraph, VertexIntervals};
+use multilogvc::recover::CheckpointManager;
+use multilogvc::ssd::{FaultPlan, Ssd, SsdConfig};
+
+/// Checkpoint tag used by the engine (`mlvc-core`'s `CKPT_TAG`).
+const TAG: &str = "mlvc";
+
+fn small_graph() -> multilogvc::graph::Csr {
+    mlvc_gen::erdos_renyi(40, 120, 7)
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig::default()
+        .with_memory(64 << 10)
+        .with_checkpoint_every(2)
+}
+
+/// Fresh small-page device with the graph stored on it.
+fn device(g: &multilogvc::graph::Csr) -> (Arc<Ssd>, Arc<StoredGraph>) {
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let iv = VertexIntervals::uniform(g.num_vertices(), 8);
+    let sg = Arc::new(StoredGraph::store_with(&ssd, g, "cr", iv).unwrap());
+    (ssd, sg)
+}
+
+fn sweep(prog: &dyn VertexProgram, steps: usize) {
+    let g = small_graph();
+
+    // Golden fault-free run (checkpointing on, so the sweep also covers
+    // crash points inside checkpoint writes).
+    let (ssd, sg) = device(&g);
+    let writes_before = ssd.fault_counters().page_writes;
+    let mut golden_eng =
+        MultiLogEngine::with_shared_graph(Arc::clone(&ssd), Arc::clone(&sg), cfg());
+    let golden_report = golden_eng.run(prog, steps);
+    assert!(golden_report.interrupted.is_none(), "golden run must not fault");
+    assert!(
+        golden_report.supersteps.iter().any(|s| s.checkpointed),
+        "cadence 2 must checkpoint at least once"
+    );
+    let golden: Vec<u64> = golden_eng.states().to_vec();
+    let total_writes = ssd.fault_counters().page_writes - writes_before;
+    assert!(total_writes > 0, "{} wrote no pages", prog.name());
+
+    for crash_at in 1..=total_writes {
+        let (ssd, sg) = device(&g);
+        ssd.install_fault_plan(FaultPlan::crash_after(crash_at, 0xC0DE ^ crash_at));
+        let mut eng = MultiLogEngine::with_shared_graph(Arc::clone(&ssd), Arc::clone(&sg), cfg());
+        let crashed = eng.run(prog, steps);
+        assert!(
+            crashed.interrupted.is_some(),
+            "{}: crash at write {crash_at}/{total_writes} did not interrupt the run",
+            prog.name()
+        );
+
+        // Whatever checkpoint is durable after the crash must decode
+        // cleanly: a torn checkpoint write falls back to the previous
+        // slot, never to garbage.
+        ssd.revive();
+        let mgr = CheckpointManager::open(&ssd, TAG).unwrap();
+        if let Some((superstep, cp)) = mgr.load_latest().unwrap() {
+            assert_eq!(cp.states.len(), g.num_vertices());
+            assert!(
+                superstep as usize <= steps,
+                "checkpoint superstep {superstep} beyond the run"
+            );
+        }
+
+        // Resume from the last durable checkpoint (or from scratch when
+        // the crash predates the first checkpoint).
+        let mut rec = MultiLogEngine::with_shared_graph(Arc::clone(&ssd), Arc::clone(&sg), cfg());
+        let recovered = rec.run_recoverable(prog, steps);
+        assert!(
+            recovered.interrupted.is_none(),
+            "{}: recovery after crash at write {crash_at} faulted: {:?}",
+            prog.name(),
+            recovered.interrupted
+        );
+        assert_eq!(
+            rec.states(),
+            golden.as_slice(),
+            "{}: states diverge after crash at write {crash_at}/{total_writes}",
+            prog.name()
+        );
+    }
+}
+
+#[test]
+fn bfs_recovers_bit_identical_from_any_crash_point() {
+    sweep(&Bfs::new(0), 30);
+}
+
+#[test]
+fn pagerank_recovers_bit_identical_from_any_crash_point() {
+    sweep(&PageRank::default(), 6);
+}
+
+#[test]
+fn coloring_recovers_bit_identical_from_any_crash_point() {
+    sweep(&Coloring::new(), 40);
+}
+
+/// Transient read faults within the device retry bound are invisible to
+/// the engine: same states, nonzero retries charged.
+#[test]
+fn bounded_read_faults_do_not_change_results() {
+    let g = small_graph();
+    let (ssd, sg) = device(&g);
+    let mut eng = MultiLogEngine::with_shared_graph(Arc::clone(&ssd), Arc::clone(&sg), cfg());
+    let r = eng.run(&Bfs::new(0), 30);
+    assert!(r.interrupted.is_none());
+    let golden: Vec<u64> = eng.states().to_vec();
+
+    let (ssd, sg) = device(&g);
+    ssd.install_fault_plan(FaultPlan::default().with_read_faults(5, 2));
+    let mut eng = MultiLogEngine::with_shared_graph(Arc::clone(&ssd), Arc::clone(&sg), cfg());
+    let r = eng.run(&Bfs::new(0), 30);
+    assert!(r.interrupted.is_none(), "retryable faults must be absorbed: {:?}", r.interrupted);
+    assert_eq!(eng.states(), golden.as_slice());
+    assert!(ssd.fault_counters().retries_charged > 0, "faults must actually fire");
+}

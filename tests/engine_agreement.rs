@@ -29,16 +29,16 @@ fn run_three(csr: &Csr, prog: &dyn VertexProgram, steps: usize) -> (Vec<u64>, Ve
     let cfg = EngineConfig::default().with_memory(512 << 10);
 
     let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-    let sg = StoredGraph::store_with(&ssd, csr, "m", iv.clone());
+    let sg = StoredGraph::store_with(&ssd, csr, "m", iv.clone()).unwrap();
     let mut m = MultiLogEngine::new(ssd, sg, cfg.clone());
     m.run(prog, steps);
 
     let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-    let mut g = GraphChiEngine::new(ssd, csr, iv.clone(), cfg.clone());
+    let mut g = GraphChiEngine::new(ssd, csr, iv.clone(), cfg.clone()).unwrap();
     g.run(prog, steps);
 
     let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-    let sg = StoredGraph::store_with(&ssd, csr, "f", iv);
+    let sg = StoredGraph::store_with(&ssd, csr, "f", iv).unwrap();
     let mut f = GrafBoostEngine::new(ssd, sg, cfg);
     f.run(prog, steps);
 
@@ -69,11 +69,11 @@ fn coloring_agrees_and_is_proper() {
         let iv = VertexIntervals::uniform(g.num_vertices(), 5);
         let cfg = EngineConfig::default().with_memory(512 << 10);
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg = StoredGraph::store_with(&ssd, &g, "m", iv.clone());
+        let sg = StoredGraph::store_with(&ssd, &g, "m", iv.clone()).unwrap();
         let mut m = MultiLogEngine::new(ssd, sg, cfg.clone());
         let rm = m.run(&Coloring::new(), 500);
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let mut c = GraphChiEngine::new(ssd, &g, iv, cfg);
+        let mut c = GraphChiEngine::new(ssd, &g, iv, cfg).unwrap();
         let rc = c.run(&Coloring::new(), 500);
         assert!(rm.converged && rc.converged, "{name} must converge");
         assert_eq!(m.states(), c.states(), "{name}");
@@ -154,7 +154,7 @@ fn reference_engine_agrees_on_every_app() {
     for (app_m, app_r, steps) in apps {
         let iv = VertexIntervals::uniform(g.num_vertices(), 5);
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-        let sg = StoredGraph::store_with(&ssd, &g, "m", iv);
+        let sg = StoredGraph::store_with(&ssd, &g, "m", iv).unwrap();
         let mut m = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(512 << 10));
         m.run(app_m.as_ref(), steps);
         let mut r = ReferenceEngine::new(g.clone(), 0xC0FFEE);

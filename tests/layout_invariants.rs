@@ -32,3 +32,62 @@ fn csr_entry_widths_match_their_element_types() {
     assert_eq!(graph::ROW_PTR_BYTES, std::mem::size_of::<u64>());
     assert_eq!(graph::COL_IDX_BYTES, std::mem::size_of::<multilogvc::graph::VertexId>());
 }
+
+#[test]
+fn checkpoint_manifest_constants_are_pinned() {
+    use multilogvc::recover as rec;
+
+    // "MLVCCKPT" in big-endian ASCII; bumping either constant invalidates
+    // every checkpoint on disk, so changes here must be deliberate.
+    assert_eq!(rec::CKPT_MAGIC, 0x4D4C_5643_434B_5054);
+    assert_eq!(rec::CKPT_MAGIC.to_be_bytes(), *b"MLVCCKPT");
+    assert_eq!(rec::CKPT_VERSION, 1);
+    assert_eq!(rec::NUM_SEGMENTS, 3);
+    assert_eq!(
+        [rec::SEG_STATES, rec::SEG_ACTIVE, rec::SEG_MSGS],
+        [0, 1, 2],
+        "segment order is part of the on-disk format"
+    );
+}
+
+#[test]
+fn checkpoint_manifest_header_matches_its_field_layout() {
+    use multilogvc::recover as rec;
+    use multilogvc::recover::manifest as mf;
+
+    // magic + version + seq + superstep + num_vertices + flags
+    // + NUM_SEGMENTS × (len: u64, crc: u32) + trailing crc32.
+    assert_eq!(mf::MAGIC_BYTES, 8);
+    assert_eq!(mf::VERSION_BYTES, 4);
+    assert_eq!(mf::SEQ_BYTES, 8);
+    assert_eq!(mf::SUPERSTEP_BYTES, 8);
+    assert_eq!(mf::NUM_VERTICES_BYTES, 8);
+    assert_eq!(mf::FLAGS_BYTES, 4);
+    assert_eq!(mf::SEGMENT_DESC_BYTES, 8 + 4);
+    assert_eq!(mf::MANIFEST_CRC_BYTES, 4);
+    assert_eq!(
+        rec::MANIFEST_HEADER_BYTES,
+        8 + 4 + 8 + 8 + 8 + 4 + rec::NUM_SEGMENTS * 12 + 4
+    );
+    assert_eq!(rec::MANIFEST_HEADER_BYTES, 80);
+
+    // An encoded manifest is exactly the header and round-trips.
+    let m = rec::Manifest {
+        seq: 7,
+        superstep: 3,
+        num_vertices: 100,
+        all_active: true,
+        segments: [rec::SegmentDesc { len: 800, crc: 0xDEAD_BEEF }; rec::NUM_SEGMENTS],
+    };
+    let bytes = m.encode();
+    assert_eq!(bytes.len(), rec::MANIFEST_HEADER_BYTES);
+    assert_eq!(rec::Manifest::decode(&bytes), Some(m));
+}
+
+#[test]
+fn checkpoint_crc_is_crc32_ieee() {
+    // The standard check value pins the polynomial and bit order: a
+    // different CRC variant would still round-trip but reject every
+    // checkpoint written by other builds.
+    assert_eq!(multilogvc::recover::crc32(b"123456789"), 0xCBF4_3926);
+}

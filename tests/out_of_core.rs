@@ -20,14 +20,14 @@ fn disk_backend_matches_memory_backend() {
     let cfg = EngineConfig::default().with_memory(256 << 10);
 
     let ssd_mem = Arc::new(Ssd::new(SsdConfig::test_small()));
-    let sg = StoredGraph::store_with(&ssd_mem, &g, "g", iv.clone());
+    let sg = StoredGraph::store_with(&ssd_mem, &g, "g", iv.clone()).unwrap();
     let mut mem_eng = MultiLogEngine::new(Arc::clone(&ssd_mem), sg, cfg.clone());
     let rm = mem_eng.run(&Bfs::new(0), 60);
 
     let dir = tmpdir("disk");
     let ssd_disk =
         Arc::new(Ssd::new_on_disk(SsdConfig::test_small(), dir.clone()).unwrap());
-    let sg = StoredGraph::store_with(&ssd_disk, &g, "g", iv);
+    let sg = StoredGraph::store_with(&ssd_disk, &g, "g", iv).unwrap();
     let mut disk_eng = MultiLogEngine::new(Arc::clone(&ssd_disk), sg, cfg);
     let rd = disk_eng.run(&Bfs::new(0), 60);
 
@@ -45,8 +45,8 @@ fn stored_graph_round_trips_through_disk() {
     let g = mlvc_gen::yws_mini(8, 5).graph;
     let dir = tmpdir("roundtrip");
     let ssd = Arc::new(Ssd::new_on_disk(SsdConfig::default(), dir.clone()).unwrap());
-    let sg = StoredGraph::store(&ssd, &g, "rt");
-    assert_eq!(sg.to_csr(), g);
+    let sg = StoredGraph::store(&ssd, &g, "rt").unwrap();
+    assert_eq!(sg.to_csr().unwrap(), g);
     let _ = std::fs::remove_dir_all(dir);
 }
 
@@ -54,7 +54,7 @@ fn stored_graph_round_trips_through_disk() {
 fn repeated_runs_on_one_engine_are_reproducible() {
     let g = mlvc_gen::cf_mini(9, 8).graph;
     let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
-    let sg = StoredGraph::store(&ssd, &g, "g");
+    let sg = StoredGraph::store(&ssd, &g, "g").unwrap();
     let mut eng = MultiLogEngine::new(ssd, sg, EngineConfig::default());
     let r1 = eng.run(&Cdlp, 10);
     let s1 = eng.states().to_vec();

@@ -13,7 +13,7 @@ use multilogvc::ssd::{Ssd, SsdConfig};
 fn mlvc_run(g: &Csr, app: &dyn VertexProgram, steps: usize, mem: usize) -> RunReport {
     let iv = VertexIntervals::uniform(g.num_vertices(), 8);
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-    let sg = StoredGraph::store_with(&ssd, g, "m", iv);
+    let sg = StoredGraph::store_with(&ssd, g, "m", iv).unwrap();
     ssd.stats().reset();
     let mut e = MultiLogEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
     e.run(app, steps)
@@ -22,7 +22,9 @@ fn mlvc_run(g: &Csr, app: &dyn VertexProgram, steps: usize, mem: usize) -> RunRe
 fn gchi_run(g: &Csr, app: &dyn VertexProgram, steps: usize, mem: usize) -> RunReport {
     let iv = VertexIntervals::uniform(g.num_vertices(), 8);
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-    let e0 = GraphChiEngine::new(Arc::clone(&ssd), g, iv, EngineConfig::default().with_memory(mem));
+    let e0 =
+        GraphChiEngine::new(Arc::clone(&ssd), g, iv, EngineConfig::default().with_memory(mem))
+            .unwrap();
     ssd.stats().reset();
     let mut e = e0;
     e.run(app, steps)
@@ -98,7 +100,7 @@ fn claim_grafboost_external_sort_gap() {
 
     let gfb_time = |mem: usize| {
         let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-        let sg = StoredGraph::store_with(&ssd, &g, "f", iv.clone());
+        let sg = StoredGraph::store_with(&ssd, &g, "f", iv.clone()).unwrap();
         ssd.stats().reset();
         let mut e = GrafBoostEngine::new(ssd, sg, EngineConfig::default().with_memory(mem));
         e.run(&app, 2).total_sim_time_ns()
@@ -126,7 +128,7 @@ fn claim_edge_log_reduces_reads() {
     let iv = VertexIntervals::uniform(g.num_vertices(), 8);
     let run = |enable: bool| {
         let ssd = Arc::new(Ssd::new(SsdConfig::default()));
-        let sg = StoredGraph::store_with(&ssd, &g, "m", iv.clone());
+        let sg = StoredGraph::store_with(&ssd, &g, "m", iv.clone()).unwrap();
         ssd.stats().reset();
         let mut e = MultiLogEngine::new(
             ssd,

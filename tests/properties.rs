@@ -43,7 +43,7 @@ fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
 fn store(csr: &Csr, k: usize) -> (Arc<Ssd>, StoredGraph) {
     let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
     let iv = VertexIntervals::uniform(csr.num_vertices(), k);
-    let sg = StoredGraph::store_with(&ssd, csr, "p", iv);
+    let sg = StoredGraph::store_with(&ssd, csr, "p", iv).unwrap();
     (ssd, sg)
 }
 
@@ -56,7 +56,7 @@ fn stored_graph_roundtrip() {
         let k = rng.gen_range(1usize..9);
         let csr = build(n, &edges);
         let (_ssd, sg) = store(&csr, k);
-        assert_eq!(sg.to_csr(), csr);
+        assert_eq!(sg.to_csr().unwrap(), csr);
     }
 }
 
@@ -79,7 +79,7 @@ fn loader_matches_csr() {
                 .range(i)
                 .filter(|v| (pick >> (v % 61)) & 1 == 1)
                 .collect();
-            let got = loader.load_active(&sg, i, &active, false, None);
+            let got = loader.load_active(&sg, i, &active, false, None).unwrap();
             assert_eq!(got.len(), active.len());
             for lv in got {
                 assert_eq!(lv.edges.as_slice(), csr.out_edges(lv.v), "vertex {}", lv.v);
@@ -142,17 +142,17 @@ fn structural_batched_equals_eager() {
         let mut buf = StructuralUpdateBuffer::new(sg_batched.intervals().clone(), 8);
         for &u in &ups {
             buf.push(u);
-            buf.merge_over_threshold(&sg_batched);
+            buf.merge_over_threshold(&sg_batched).unwrap();
         }
-        buf.merge_all(&sg_batched);
+        buf.merge_all(&sg_batched).unwrap();
 
         let (_s2, sg_eager) = store(&csr, 4);
         let mut eager = StructuralUpdateBuffer::new(sg_eager.intervals().clone(), 1);
         for &u in &ups {
             eager.push(u);
-            eager.merge_all(&sg_eager);
+            eager.merge_all(&sg_eager).unwrap();
         }
-        assert_eq!(sg_batched.to_csr(), sg_eager.to_csr());
+        assert_eq!(sg_batched.to_csr().unwrap(), sg_eager.to_csr().unwrap());
     }
 }
 
