@@ -43,11 +43,12 @@ fn main() {
             let counts = ml.finish_superstep().unwrap();
             (ml, counts)
         },
-        |(mut ml, counts)| {
+        |(ml, counts)| {
             let sg = SortGroup::new(4 << 20);
+            let reader = ml.reader();
             let mut total = 0usize;
             for r in sg.plan(&counts) {
-                let batch = sg.load_batch(&mut ml, r).unwrap();
+                let batch = sg.load_batch(&reader, r).unwrap();
                 for (_, grp) in group_by_dest(&batch.updates) {
                     total += grp.len();
                 }

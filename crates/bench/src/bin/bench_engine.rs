@@ -1,0 +1,17 @@
+//! Wall-clock benchmark of the pipelined superstep dataflow (DESIGN.md
+//! §12): PageRank and BFS on the evaluation datasets with the pipeline on
+//! and off. Writes `BENCH_engine.json` into the working directory and
+//! prints the Markdown section. Scaling knobs: `MLVC_SCALE`,
+//! `MLVC_MEM_KB`, `MLVC_STEPS`, `MLVC_SEED`, `MLVC_THREADS`.
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    println!(
+        "Settings: scale {} (CF), {} KiB memory, {} supersteps, seed {}.",
+        s.scale,
+        s.memory_bytes >> 10,
+        s.supersteps,
+        s.seed
+    );
+    println!();
+    println!("{}", mlvc_bench::engine_bench::section(&s));
+}

@@ -1,0 +1,198 @@
+//! Engine pipeline benchmark — the BENCH trajectory's wall-clock baseline.
+//!
+//! Runs the paper workloads (PageRank, BFS) on both evaluation datasets
+//! with the pipelined superstep dataflow on and off
+//! ([`EngineConfig::with_pipeline`]; off reproduces the pre-pipeline
+//! engine: inline batch loading and the serial per-update send loop) and
+//! records wall time plus the per-stage superstep timings
+//! (`load`/`sort`/`process`/`scatter`, DESIGN.md §12). Emitted as
+//! `BENCH_engine.json` by the `bench_engine` bin and as a Markdown section
+//! by `run_all`.
+//!
+//! Wall-clock time is the measurement here — unlike the figure
+//! reproductions, which use simulated device time. The two engine modes
+//! must produce bit-identical states; the run asserts it.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlvc_core::{Engine, MultiLogEngine, RunReport, VertexProgram};
+use mlvc_gen::Dataset;
+use mlvc_graph::StoredGraph;
+use mlvc_ssd::{Ssd, SsdConfig};
+
+use crate::harness::{ms, Settings};
+
+/// One workload × both engine modes.
+pub struct WorkloadRow {
+    pub app: &'static str,
+    pub dataset: &'static str,
+    pub wall_ms_pipelined: f64,
+    pub wall_ms_serial: f64,
+    pub speedup: f64,
+    /// Pipelined run's stage totals `[load, sort, process, scatter]` in ns.
+    pub stages_ns: [u64; 4],
+    pub supersteps: usize,
+    pub messages: u64,
+}
+
+pub struct EngineBenchReport {
+    pub threads: usize,
+    pub rows: Vec<WorkloadRow>,
+}
+
+impl EngineBenchReport {
+    /// Geometric mean of the per-workload speedups.
+    pub fn speedup_geomean(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| r.speedup.ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Hand-rolled JSON (the workspace is dependency-free).
+    pub fn to_json(&self, s: &Settings) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"engine_pipeline\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", s.scale));
+        out.push_str(&format!("  \"memory_kb\": {},\n", s.memory_bytes >> 10));
+        out.push_str(&format!("  \"supersteps_cap\": {},\n", s.supersteps));
+        out.push_str(&format!("  \"seed\": {},\n", s.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"workloads\": [\n");
+        for (k, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"app\": \"{}\", \"dataset\": \"{}\", \
+                 \"wall_ms_pipelined\": {:.2}, \"wall_ms_serial\": {:.2}, \"speedup\": {:.3}, \
+                 \"stages_ms\": {{\"load\": {}, \"sort\": {}, \"process\": {}, \"scatter\": {}}}, \
+                 \"supersteps\": {}, \"messages\": {}}}{}\n",
+                r.app,
+                r.dataset,
+                r.wall_ms_pipelined,
+                r.wall_ms_serial,
+                r.speedup,
+                ms(r.stages_ns[0]),
+                ms(r.stages_ns[1]),
+                ms(r.stages_ns[2]),
+                ms(r.stages_ns[3]),
+                r.supersteps,
+                r.messages,
+                if k + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"speedup_geomean\": {:.3}\n", self.speedup_geomean()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Markdown section for `run_all` / EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## BENCH: engine pipeline (wall clock)\n\n");
+        out.push_str(&format!(
+            "Pipelined dataflow (batch prefetch + parallel scatter, DESIGN.md §12) vs the \
+             serial pre-pipeline engine, {} worker threads. Stage columns are the pipelined \
+             run's per-stage wall totals.\n\n",
+            self.threads
+        ));
+        out.push_str(
+            "| app | dataset | pipelined ms | serial ms | speedup | load ms | sort ms | \
+             process ms | scatter ms | steps | messages |\n\
+             |---|---|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {:.1} | {:.2}x | {} | {} | {} | {} | {} | {} |\n",
+                r.app,
+                r.dataset,
+                r.wall_ms_pipelined,
+                r.wall_ms_serial,
+                r.speedup,
+                ms(r.stages_ns[0]),
+                ms(r.stages_ns[1]),
+                ms(r.stages_ns[2]),
+                ms(r.stages_ns[3]),
+                r.supersteps,
+                r.messages,
+            ));
+        }
+        out.push_str(&format!("\nSpeedup geomean: {:.2}x\n", self.speedup_geomean()));
+        out
+    }
+}
+
+/// A fresh MultiLogVC engine on its own simulated SSD with the pipeline
+/// flag set (the `Settings::mlvc` recipe plus the toggle under test).
+fn engine(s: &Settings, d: &Dataset, pipeline: bool) -> MultiLogEngine {
+    let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+    let sg = StoredGraph::store_with(&ssd, &d.graph, "g", s.intervals(&d.graph)).unwrap();
+    ssd.stats().reset();
+    MultiLogEngine::new(ssd, sg, s.engine_config().with_pipeline(pipeline))
+}
+
+/// Best-of-`reps` wall time (minimum filters scheduler noise, the standard
+/// microbenchmark convention), plus the report and states of the best run.
+fn timed_run(
+    s: &Settings,
+    d: &Dataset,
+    prog: &dyn VertexProgram,
+    pipeline: bool,
+    reps: usize,
+) -> (f64, RunReport, Vec<u64>) {
+    let mut best = f64::INFINITY;
+    let mut kept = None;
+    for _ in 0..reps {
+        let mut eng = engine(s, d, pipeline);
+        let t = Instant::now();
+        let report = eng.run(prog, s.supersteps);
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        if wall < best {
+            best = wall;
+            kept = Some((report, eng.states().to_vec()));
+        }
+    }
+    let (report, states) = kept.unwrap();
+    (best, report, states)
+}
+
+/// Run the benchmark: PageRank and BFS on both evaluation datasets.
+pub fn run(s: &Settings) -> EngineBenchReport {
+    let progs: Vec<(&'static str, Box<dyn VertexProgram>)> = vec![
+        ("pagerank", Box::new(mlvc_apps::PageRank::new(0.85, 1e-4))),
+        ("bfs", Box::new(mlvc_apps::Bfs::new(0))),
+    ];
+    let mut rows = Vec::new();
+    for d in s.datasets() {
+        for (app, prog) in &progs {
+            let (wall_p, rep_p, states_p) = timed_run(s, &d, prog.as_ref(), true, 5);
+            let (wall_s, _rep_s, states_s) = timed_run(s, &d, prog.as_ref(), false, 5);
+            assert_eq!(
+                states_p, states_s,
+                "{app}/{}: pipeline toggle must not change results",
+                d.name
+            );
+            rows.push(WorkloadRow {
+                app,
+                dataset: d.name,
+                wall_ms_pipelined: wall_p,
+                wall_ms_serial: wall_s,
+                speedup: wall_s / wall_p.max(1e-9),
+                stages_ns: rep_p.stage_totals_ns(),
+                supersteps: rep_p.supersteps.len(),
+                messages: rep_p.total_messages(),
+            });
+        }
+    }
+    EngineBenchReport { threads: mlvc_par::max_threads(), rows }
+}
+
+/// Run, write `BENCH_engine.json` into the working directory, and return
+/// the Markdown section (the `run_all` entry point).
+pub fn section(s: &Settings) -> String {
+    let report = run(s);
+    std::fs::write("BENCH_engine.json", report.to_json(s)).expect("write BENCH_engine.json");
+    report.to_markdown()
+}

@@ -45,6 +45,13 @@ pub struct EngineConfig {
     /// (BFS, WCC, SSSP, delta-PageRank); phase-structured ones (MIS,
     /// coloring rounds) require the default synchronous model.
     pub async_mode: bool,
+    /// Pipelined superstep dataflow (DESIGN.md §12): prefetch the next
+    /// fused batch on a background thread while the current one is
+    /// processed, and scatter outgoing updates into the multi-log from
+    /// parallel per-interval buffers instead of a serial per-update loop.
+    /// Results are bit-identical either way; `false` reproduces the
+    /// pre-pipeline engine and serves as the perf baseline (`bench_engine`).
+    pub pipeline: bool,
     /// Pending structural updates per interval that trigger a merge (§V-E).
     pub structural_merge_threshold: usize,
     /// Write a crash-consistent checkpoint every `k` supersteps (`None`
@@ -64,6 +71,7 @@ impl Default for EngineConfig {
             edgelog_frac: 0.05,
             enable_edge_log: true,
             async_mode: false,
+            pipeline: true,
             structural_merge_threshold: 1024,
             checkpoint_every: None,
             seed: 0xC0FFEE,
@@ -91,6 +99,12 @@ impl EngineConfig {
     /// Enable the asynchronous computation model (§V-F).
     pub fn with_async(mut self, yes: bool) -> Self {
         self.async_mode = yes;
+        self
+    }
+
+    /// Toggle the pipelined superstep dataflow (DESIGN.md §12).
+    pub fn with_pipeline(mut self, yes: bool) -> Self {
+        self.pipeline = yes;
         self
     }
 

@@ -2,10 +2,10 @@ use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mlvc_graph::{GraphLoader, LoadedVertex, StoredGraph, StructuralUpdateBuffer, VertexId};
+use mlvc_graph::{GraphLoader, IntervalId, StoredGraph, StructuralUpdateBuffer, VertexId};
 use mlvc_log::{
-    group_by_dest, BitSet, EdgeLogConfig, EdgeLogOptimizer, MultiLog, MultiLogConfig, SortGroup,
-    Update,
+    group_by_dest, BitSet, EdgeLogConfig, EdgeLogOptimizer, FusedBatch, MultiLog, MultiLogConfig,
+    SortGroup, Update,
 };
 use mlvc_recover::{CheckpointManager, CheckpointState};
 use mlvc_ssd::{DeviceError, Ssd};
@@ -40,15 +40,39 @@ pub struct MultiLogEngine {
     states: Vec<u64>,
 }
 
-/// Work unit handed to the parallel processing stage.
+/// Work unit handed to the parallel processing stage. Everything is
+/// borrowed in place — message slices from the fused batch, adjacency from
+/// the loader / edge log / combine buffers — so assembling the items copies
+/// nothing (DESIGN.md §12).
 struct WorkItem<'a> {
     v: VertexId,
     msgs: &'a [Update],
-    edges: Vec<VertexId>,
-    weights: Option<Vec<f32>>,
+    edges: &'a [VertexId],
+    weights: Option<&'a [f32]>,
     /// CSR page span of the vertex's edges; `None` when served from the
     /// edge log.
     csr_pages: Option<(u64, u64)>,
+}
+
+/// Stable merge of two dest-sorted runs; on equal destinations `a` (the
+/// previous superstep's batch) stays ahead of `b` (the current superstep's
+/// drained log) — the order the asynchronous model's whole-inbox re-sort
+/// used to produce, without re-sorting already-sorted data.
+fn merge_by_dest(a: &[Update], b: &[Update]) -> Vec<Update> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].dest <= b[j].dest {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl MultiLogEngine {
@@ -192,7 +216,10 @@ impl MultiLogEngine {
             MultiLogConfig { buffer_bytes: self.cfg.multilog_budget() },
             "mlvc",
         )?;
-        let sortgroup = SortGroup::new(self.cfg.sort_budget());
+        let mut sortgroup = SortGroup::new(self.cfg.sort_budget());
+        // The reference mode measures the comparison sort the pre-pipeline
+        // engine ran (both sorts are stable by dest, so results match).
+        sortgroup.set_reference_sort(!self.cfg.pipeline);
         let mut edgelog = EdgeLogOptimizer::new(
             Arc::clone(&self.ssd),
             n,
@@ -245,6 +272,18 @@ impl MultiLogEngine {
             }
         };
 
+        // Hoisted out of the hot loops: per-interval column-index file ids,
+        // the reusable combine buffer, and field borrows (so the superstep
+        // scope below splits `self` cleanly across its closures).
+        let num_iv = intervals.num_intervals();
+        let colidx_files: Vec<_> = (0..num_iv)
+            .map(|i| self.graph.colidx_file(i as IntervalId))
+            .collect();
+        let mut combined_storage: Vec<Option<Update>> = Vec::new();
+        let states = &mut self.states;
+        let cfg = &self.cfg;
+        let graph = &self.graph;
+
         for superstep in start..=max_supersteps {
             if !all_active && pending.iter().all(|&c| c == 0) && self_active.is_empty() {
                 report.converged = true;
@@ -257,172 +296,311 @@ impl MultiLogEngine {
             let mut next_self_active: Vec<VertexId> = Vec::new();
 
             let plan = sortgroup.plan(&pending);
-            for range in plan {
-                // 1. Load + in-memory sort of the fused interval logs.
-                let batch = sortgroup.load_batch(&mut multilog, range.clone())?;
-                st.messages_processed += batch.updates.len() as u64;
-
-                for i in range {
-                    let iv_range = intervals.range(i);
-                    // This interval's inbox: the contiguous dest range of
-                    // the sorted batch, plus — in the asynchronous model —
-                    // whatever the current superstep already logged for it.
-                    let lo = batch.updates.partition_point(|u| u.dest < iv_range.start);
-                    let hi = batch.updates.partition_point(|u| u.dest < iv_range.end);
-                    let mut updates: Vec<Update> = batch.updates[lo..hi].to_vec();
-                    if self.cfg.async_mode {
-                        let extra = multilog.take_log_current(i)?;
-                        if !extra.is_empty() {
-                            st.messages_processed += extra.len() as u64;
-                            updates.extend(extra);
-                            // Stable: later (current-superstep) updates stay
-                            // behind earlier ones within a destination.
-                            updates.sort_by_key(|u| u.dest);
+            // Shared-nothing handle on this superstep's inbox (the read
+            // side), so a prefetch thread can load fused batch k+1 while
+            // batch k is processed and its updates are scattered into the
+            // write side. Prefetch is off in the asynchronous model, where
+            // the current superstep's own log feeds back into later
+            // batches (DESIGN.md §12).
+            let reader = multilog.reader();
+            let prefetch = cfg.pipeline && !cfg.async_mode;
+            std::thread::scope(|scope| -> Result<(), DeviceError> {
+                let sg = &sortgroup;
+                let rd = &reader;
+                let mut next: Option<
+                    std::thread::ScopedJoinHandle<'_, Result<FusedBatch, DeviceError>>,
+                > = None;
+                for (bi, range) in plan.iter().enumerate() {
+                    // 1. Load + in-memory sort of the fused interval logs —
+                    //    double-buffered: prefetched by the previous
+                    //    iteration, or loaded inline.
+                    let batch = match next.take() {
+                        Some(h) => match h.join() {
+                            Ok(b) => b?,
+                            Err(p) => std::panic::resume_unwind(p),
+                        },
+                        None => sg.load_batch(rd, range.clone())?,
+                    };
+                    if prefetch {
+                        if let Some(r) = plan.get(bi + 1).cloned() {
+                            next = Some(scope.spawn(move || sg.load_batch(rd, r)));
                         }
                     }
-                    let mut groups: Vec<(VertexId, Range<usize>)> = Vec::new();
-                    {
-                        let mut offset = 0usize;
-                        for (dest, g) in group_by_dest(&updates) {
-                            groups.push((dest, offset..offset + g.len()));
-                            offset += g.len();
-                        }
-                    }
-                    let actives = Self::actives_for_interval(
-                        &groups,
-                        &self_active,
-                        iv_range,
-                        all_active,
-                    );
-                    if actives.is_empty() {
-                        continue;
-                    }
+                    st.load_ns += batch.load_ns;
+                    st.sort_ns += batch.sort_ns;
+                    st.messages_processed += batch.updates.len() as u64;
 
-                    // 2. Split adjacency sources: edge log vs CSR pages.
-                    let use_elog = self.cfg.enable_edge_log && !needs_weights;
-                    let mut elog_vs: Vec<VertexId> = Vec::new();
-                    let mut csr_vs: Vec<VertexId> = Vec::new();
-                    for (v, _) in &actives {
-                        if use_elog && edgelog.contains(*v) {
-                            elog_vs.push(*v);
+                    for i in range.clone() {
+                        let iv_range = intervals.range(i);
+                        // This interval's inbox: the contiguous dest range
+                        // of the sorted batch, borrowed in place, plus — in
+                        // the asynchronous model — whatever the current
+                        // superstep already logged for it.
+                        let lo = batch.updates.partition_point(|u| u.dest < iv_range.start);
+                        let hi = batch.updates.partition_point(|u| u.dest < iv_range.end);
+                        let merged: Vec<Update>;
+                        let inbox: &[Update] = if !cfg.pipeline {
+                            // Reference path (`bench_engine` baseline): the
+                            // pre-pipeline engine copied every interval's
+                            // inbox out of the batch, and in async mode
+                            // re-sorted the whole copy.
+                            let mut updates: Vec<Update> =
+                                batch.updates[lo..hi].to_vec();
+                            if cfg.async_mode {
+                                let extra = multilog.take_log_current(i)?;
+                                if !extra.is_empty() {
+                                    st.messages_processed += extra.len() as u64;
+                                    updates.extend(extra);
+                                    updates.sort_by_key(|u| u.dest);
+                                }
+                            }
+                            merged = updates;
+                            &merged
+                        } else if cfg.async_mode {
+                            let mut extra = multilog.take_log_current(i)?;
+                            if extra.is_empty() {
+                                &batch.updates[lo..hi]
+                            } else {
+                                st.messages_processed += extra.len() as u64;
+                                // `extra` is in log order; a stable sort of
+                                // the small run plus a two-run merge
+                                // reproduces the old whole-inbox re-sort
+                                // exactly.
+                                extra.sort_by_key(|u| u.dest);
+                                merged = merge_by_dest(&batch.updates[lo..hi], &extra);
+                                &merged
+                            }
                         } else {
-                            csr_vs.push(*v);
+                            &batch.updates[lo..hi]
+                        };
+                        let mut groups: Vec<(VertexId, Range<usize>)> = Vec::new();
+                        {
+                            let mut offset = 0usize;
+                            for (dest, g) in group_by_dest(inbox) {
+                                groups.push((dest, offset..offset + g.len()));
+                                offset += g.len();
+                            }
                         }
-                    }
-                    st.edge_log_hits += elog_vs.len() as u64;
+                        let actives = Self::actives_for_interval(
+                            &groups,
+                            &self_active,
+                            iv_range,
+                            all_active,
+                        );
+                        if actives.is_empty() {
+                            continue;
+                        }
 
-                    let loaded = loader.load_active(
-                        &self.graph,
-                        i,
-                        &csr_vs,
-                        needs_weights,
-                        Some(&structural),
-                    )?;
-                    let mut elog_adj = edgelog.fetch(&elog_vs)?;
-                    for (v, edges) in &mut elog_adj {
-                        structural.patch_adjacency(*v, edges);
-                    }
+                        // 2. Split adjacency sources: edge log vs CSR pages.
+                        let use_elog = cfg.enable_edge_log && !needs_weights;
+                        let mut elog_vs: Vec<VertexId> = Vec::new();
+                        let mut csr_vs: Vec<VertexId> = Vec::new();
+                        for (v, _) in &actives {
+                            if use_elog && edgelog.contains(*v) {
+                                elog_vs.push(*v);
+                            } else {
+                                csr_vs.push(*v);
+                            }
+                        }
+                        st.edge_log_hits += elog_vs.len() as u64;
 
-                    // 3. Assemble work items in vertex order.
-                    let mut items: Vec<WorkItem> = Vec::with_capacity(actives.len());
-                    let mut li = 0usize;
-                    let mut ei = 0usize;
-                    let combined_storage: Vec<Option<Update>> = actives
-                        .iter()
-                        .map(|(v, r)| {
+                        let loaded = loader.load_active(
+                            graph,
+                            i,
+                            &csr_vs,
+                            needs_weights,
+                            Some(&structural),
+                        )?;
+                        let mut elog_adj = edgelog.fetch(&elog_vs)?;
+                        for (v, edges) in &mut elog_adj {
+                            structural.patch_adjacency(*v, edges);
+                        }
+
+                        // 3. Assemble work items in vertex order — borrows
+                        //    only, no adjacency clones or message copies.
+                        //    The reference path allocates its combiner
+                        //    scratch per interval, as the pre-pipeline
+                        //    engine did; the pipelined path reuses one
+                        //    hoisted buffer.
+                        let mut fresh_storage: Vec<Option<Update>>;
+                        let combined_storage: &mut Vec<Option<Update>> =
+                            if cfg.pipeline {
+                                &mut combined_storage
+                            } else {
+                                fresh_storage = Vec::new();
+                                &mut fresh_storage
+                            };
+                        combined_storage.clear();
+                        combined_storage.extend(actives.iter().map(|(v, r)| {
                             combine.and_then(|f| {
-                                updates[r.clone()]
+                                inbox[r.clone()]
                                     .iter()
                                     .map(|u| u.data)
                                     .reduce(f)
                                     .map(|data| Update::new(*v, VertexId::MAX, data))
                             })
-                        })
-                        .collect();
-                    for (k, (v, r)) in actives.iter().enumerate() {
-                        let (edges, weights, csr_pages) =
-                            if li < loaded.len() && loaded[li].v == *v {
-                                let LoadedVertex { edges, weights, page_lo, page_hi, .. } = {
+                        }));
+                        let mut items: Vec<WorkItem> = Vec::with_capacity(actives.len());
+                        let mut li = 0usize;
+                        let mut ei = 0usize;
+                        for (k, (v, r)) in actives.iter().enumerate() {
+                            let (edges, weights, csr_pages) =
+                                if li < loaded.len() && loaded[li].v == *v {
+                                    let lv = &loaded[li];
                                     li += 1;
-                                    loaded[li - 1].clone()
+                                    let span = (lv.page_lo <= lv.page_hi)
+                                        .then_some((lv.page_lo, lv.page_hi));
+                                    (lv.edges.as_slice(), lv.weights.as_deref(), span)
+                                } else {
+                                    debug_assert_eq!(elog_adj[ei].0, *v);
+                                    ei += 1;
+                                    (elog_adj[ei - 1].1.as_slice(), None, None)
                                 };
-                                let span = (page_lo <= page_hi).then_some((page_lo, page_hi));
-                                (edges, weights, span)
-                            } else {
-                                debug_assert_eq!(elog_adj[ei].0, *v);
-                                ei += 1;
-                                (elog_adj[ei - 1].1.clone(), None, None)
+                            st.edges_scanned += edges.len() as u64;
+                            let msgs: &[Update] = match &combined_storage[k] {
+                                Some(u) => std::slice::from_ref(u),
+                                None => &inbox[r.clone()],
                             };
-                        st.edges_scanned += edges.len() as u64;
-                        let msgs: &[Update] = match &combined_storage[k] {
-                            Some(u) => std::slice::from_ref(u),
-                            None => &updates[r.clone()],
+                            st.messages_delivered += msgs.len() as u64;
+                            items.push(WorkItem { v: *v, msgs, edges, weights, csr_pages });
+                        }
+                        // Reference path: the pre-pipeline engine cloned
+                        // every item's adjacency (and weights) out of the
+                        // loader; zero-copy items are part of the pipelined
+                        // dataflow, so the baseline pays the old copies.
+                        let owned_adj: Vec<(Vec<VertexId>, Option<Vec<f32>>)>;
+                        let items: Vec<WorkItem> = if cfg.pipeline {
+                            items
+                        } else {
+                            owned_adj = items
+                                .iter()
+                                .map(|it| {
+                                    (it.edges.to_vec(), it.weights.map(<[f32]>::to_vec))
+                                })
+                                .collect();
+                            items
+                                .iter()
+                                .zip(&owned_adj)
+                                .map(|(it, (e, w))| WorkItem {
+                                    v: it.v,
+                                    msgs: it.msgs,
+                                    edges: e,
+                                    weights: w.as_deref(),
+                                    csr_pages: it.csr_pages,
+                                })
+                                .collect()
                         };
-                        st.messages_delivered += msgs.len() as u64;
-                        items.push(WorkItem { v: *v, msgs, edges, weights, csr_pages });
-                    }
 
-                    // 4. Parallel vertex processing.
-                    let states = &self.states;
-                    let seed = self.cfg.seed;
-                    let outputs: Vec<_> =
-                        mlvc_par::par_map(&items, |item| {
+                        // 4. Parallel vertex processing.
+                        let t_proc = Instant::now();
+                        let frozen: &[u64] = states;
+                        let seed = cfg.seed;
+                        let outputs: Vec<_> = mlvc_par::par_map(&items, |item| {
                             let mut ctx = VertexCtx::new(
                                 item.v,
                                 superstep,
                                 n,
-                                states[item.v as usize],
+                                frozen[item.v as usize],
                                 item.msgs,
-                                &item.edges,
-                                item.weights.as_deref(),
+                                item.edges,
+                                item.weights,
                                 seed,
                             );
                             prog.process(&mut ctx);
                             ctx.into_outputs()
                         });
+                        st.process_ns += t_proc.elapsed().as_nanos() as u64;
 
-                    // 5. Apply outputs: state, sends, activity, mutations,
-                    //    edge-log staging.
-                    let colidx_file = self.graph.colidx_file(i);
-                    for (item, out) in items.iter().zip(outputs) {
-                        self.states[item.v as usize] = out.state;
-                        active_bits.set(item.v as usize);
-                        st.active_vertices += 1;
-                        for u in out.sends {
-                            multilog.send(u)?;
-                        }
-                        if out.keep_active {
-                            next_self_active.push(item.v);
-                        }
-                        for su in out.structural {
-                            structural.push(su);
-                        }
-                        if use_elog {
-                            let known = multilog.dest_seen(item.v);
-                            match item.csr_pages {
-                                Some((lo, hi)) => {
-                                    if edgelog.should_log(
-                                        item.v,
-                                        item.edges.len(),
-                                        known,
-                                        colidx_file,
-                                        lo..=hi,
-                                    ) {
-                                        edgelog.log_edges(item.v, &item.edges)?;
+                        // 5a. Update scatter. Parallel workers partition
+                        //     each output chunk's sends by destination
+                        //     interval; draining interval-major, chunk
+                        //     order within an interval, appends every
+                        //     interval's messages in item-index order —
+                        //     exactly what the serial per-update loop
+                        //     produced, so log pages stay bit-identical
+                        //     for any thread count (DESIGN.md §12).
+                        let t_scatter = Instant::now();
+                        if cfg.pipeline {
+                            let scattered: Vec<Vec<Vec<Update>>> =
+                                mlvc_par::par_chunk_map(&outputs, |chunk| {
+                                    let mut bufs: Vec<Vec<Update>> =
+                                        vec![Vec::new(); num_iv];
+                                    for out in chunk {
+                                        for &u in &out.sends {
+                                            bufs[intervals.interval_of(u.dest) as usize]
+                                                .push(u);
+                                        }
                                     }
+                                    bufs
+                                });
+                            for j in 0..num_iv {
+                                for bufs in &scattered {
+                                    multilog.send_batch(j as IntervalId, &bufs[j])?;
                                 }
-                                None => {
-                                    // Served from the edge log: keep the dense
-                                    // copy alive while the vertex stays active.
-                                    if known || edgelog.predicted_active(item.v) {
-                                        edgelog.log_edges(item.v, &item.edges)?;
+                            }
+                        } else {
+                            // Pre-pipeline serial reference path (the
+                            // `bench_engine` baseline).
+                            for out in &outputs {
+                                for &u in &out.sends {
+                                    multilog.send(u)?;
+                                }
+                            }
+                        }
+                        st.scatter_ns += t_scatter.elapsed().as_nanos() as u64;
+
+                        // 5b. Apply outputs: state, activity, mutations,
+                        //     edge-log staging. `dest_seen` reflects every
+                        //     send of this interval's items (the scatter
+                        //     above ran first) — a whole-item activity
+                        //     signal instead of the old per-item prefix,
+                        //     affecting edge-log I/O only, never results.
+                        let colidx_file = if cfg.pipeline {
+                            colidx_files[i as usize]
+                        } else {
+                            // Reference path: per-interval lookup, as the
+                            // pre-pipeline engine did.
+                            graph.colidx_file(i)
+                        };
+                        for (item, out) in items.iter().zip(outputs) {
+                            states[item.v as usize] = out.state;
+                            active_bits.set(item.v as usize);
+                            st.active_vertices += 1;
+                            if out.keep_active {
+                                next_self_active.push(item.v);
+                            }
+                            for su in out.structural {
+                                structural.push(su);
+                            }
+                            if use_elog {
+                                let known = multilog.dest_seen(item.v);
+                                match item.csr_pages {
+                                    Some((plo, phi)) => {
+                                        if edgelog.should_log(
+                                            item.v,
+                                            item.edges.len(),
+                                            known,
+                                            colidx_file,
+                                            plo..=phi,
+                                        ) {
+                                            edgelog.log_edges(item.v, item.edges)?;
+                                        }
+                                    }
+                                    None => {
+                                        // Served from the edge log: keep
+                                        // the dense copy alive while the
+                                        // vertex stays active.
+                                        if known || edgelog.predicted_active(item.v) {
+                                            edgelog.log_edges(item.v, item.edges)?;
+                                        }
                                     }
                                 }
                             }
                         }
                     }
                 }
-            }
+                Ok(())
+            })?;
 
             // 6. Superstep close-out.
             let usage = loader.take_page_usage(self.ssd.page_size());
@@ -455,7 +633,7 @@ impl MultiLogEngine {
                     let cp = CheckpointState {
                         superstep: superstep as u64,
                         all_active,
-                        states: self.states.clone(),
+                        states: states.clone(),
                         active_bits: CheckpointState::bits_from_vertices(n, &self_active),
                         msgs: multilog.snapshot_pending()?,
                     };

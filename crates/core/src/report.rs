@@ -36,6 +36,15 @@ pub struct SuperstepStats {
     /// Host wall-clock time of the superstep (reference only; experiment
     /// claims use simulated time).
     pub wall_ns: u64,
+    /// Wall-clock time of the pipeline stages (reference only, like
+    /// `wall_ns`): log load + decode, in-memory sort, parallel vertex
+    /// processing, and update scatter into the multi-log. With batch
+    /// prefetch enabled, load + sort of batch *k+1* overlap the process +
+    /// scatter of batch *k*, so these stage times can sum past `wall_ns`.
+    pub load_ns: u64,
+    pub sort_ns: u64,
+    pub process_ns: u64,
+    pub scatter_ns: u64,
     /// True if a crash-consistency checkpoint was written at this
     /// superstep's close-out (its I/O is charged to `io`).
     pub checkpointed: bool,
@@ -105,6 +114,19 @@ impl RunReport {
 
     pub fn total_messages(&self) -> u64 {
         self.supersteps.iter().map(|s| s.messages_processed).sum()
+    }
+
+    /// Per-stage wall-clock totals `[load, sort, process, scatter]` in
+    /// nanoseconds — reference timings for the BENCH trajectory.
+    pub fn stage_totals_ns(&self) -> [u64; 4] {
+        let mut t = [0u64; 4];
+        for s in &self.supersteps {
+            t[0] += s.load_ns;
+            t[1] += s.sort_ns;
+            t[2] += s.process_ns;
+            t[3] += s.scatter_ns;
+        }
+        t
     }
 
     /// Storage fraction of the whole run (Fig. 5c).

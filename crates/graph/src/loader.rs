@@ -2,9 +2,6 @@ use std::collections::HashMap;
 
 use mlvc_ssd::{DeviceError, FileId};
 
-/// Page payloads plus a page-index lookup, as fetched by one batch read.
-type PageBatch = (Vec<Vec<u8>>, HashMap<u64, usize>);
-
 use crate::checked::{idx, mem_idx, to_u32, to_u64};
 use crate::{
     IntervalId, StoredGraph, StructuralUpdateBuffer, VertexId, COL_IDX_BYTES, ROW_PTR_BYTES,
@@ -117,12 +114,14 @@ impl GraphLoader {
         rp_reqs.sort_unstable_by_key(|r| r.1);
         let rp_data = ssd.read_batch(&rp_reqs)?;
         self.rowptr_pages_read += to_u64(rp_reqs.len());
-        let rp_page_index: HashMap<u64, usize> =
-            rp_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+        // The request list is sorted by page, so a binary search replaces
+        // the hash lookup this resolver runs twice per active vertex.
+        let rp_pages_sorted: Vec<u64> = rp_reqs.iter().map(|r| r.1).collect();
         let rp_entry = |e: usize| -> u64 {
             let page = to_u64(e / rp_per_page);
             let off = (e % rp_per_page) * ROW_PTR_BYTES;
-            let d = &rp_data[rp_page_index[&page]][off..off + ROW_PTR_BYTES];
+            let k = rp_pages_sorted.partition_point(|&p| p < page);
+            let d = &rp_data[k][off..off + ROW_PTR_BYTES];
             // The slice is exactly ROW_PTR_BYTES long; Err is unreachable.
             d.try_into().map_or(0, u64::from_le_bytes)
         };
@@ -159,8 +158,7 @@ impl GraphLoader {
         ci_reqs.sort_unstable_by_key(|r| r.1);
         let ci_data = ssd.read_batch(&ci_reqs)?;
         self.colidx_pages_read += to_u64(ci_reqs.len());
-        let ci_page_index: HashMap<u64, usize> =
-            ci_reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
+        let ci_pages_sorted: Vec<u64> = ci_reqs.iter().map(|r| r.1).collect();
         for (&p, &u) in &ci_pages {
             let e = self.colidx_usage.entry((ci_file, p)).or_insert(0);
             // Per-page useful bytes saturate at the u32 the predictor uses.
@@ -169,35 +167,46 @@ impl GraphLoader {
 
         // Weights ride on a parallel extent with identical offsets.
         let val_file = if want_weights { graph.val_file(i) } else { None };
-        let val_data: Option<PageBatch> = match val_file {
+        let val_data: Option<Vec<Vec<u8>>> = match val_file {
             Some(vf) => {
                 let reqs: Vec<(FileId, u64, usize)> =
                     ci_reqs.iter().map(|&(_, p, u)| (vf, p, u)).collect();
-                let data = ssd.read_batch(&reqs)?;
-                let idx = reqs.iter().enumerate().map(|(k, r)| (r.1, k)).collect();
-                Some((data, idx))
+                Some(ssd.read_batch(&reqs)?)
             }
             None => None,
         };
 
-        let extract_u32 = |data: &[Vec<u8>], page_index: &HashMap<u64, usize>, lo: u64, hi: u64| {
-            let mut out = Vec::with_capacity(mem_idx(hi - lo));
-            for e in lo..hi {
-                let byte = e * cib;
-                let page = byte / psz;
-                let off = mem_idx(byte % psz);
-                let d = &data[page_index[&page]][off..off + COL_IDX_BYTES];
+        // A vertex's extent spans contiguous pages, all of which were
+        // requested, so they sit consecutively in the sorted request list:
+        // one binary search per vertex and a sequential walk replace the
+        // per-entry hash lookup and div/mod. (`COL_IDX_BYTES` divides the
+        // page size, so entries never straddle a page boundary.)
+        let extract_u32 = |data: &[Vec<u8>], pages: &[u64], lo: u64, hi: u64| {
+            let mut out: Vec<u32> = Vec::with_capacity(mem_idx(hi - lo));
+            if hi <= lo {
+                return out;
+            }
+            let byte0 = lo * cib;
+            let mut k = pages.partition_point(|&p| p < byte0 / psz);
+            let mut off = mem_idx(byte0 % psz);
+            for _ in lo..hi {
+                let d = &data[k][off..off + COL_IDX_BYTES];
                 // The slice is exactly COL_IDX_BYTES long; Err is unreachable.
                 out.push(d.try_into().map_or(0, u32::from_le_bytes));
+                off += COL_IDX_BYTES;
+                if off >= page_size {
+                    off = 0;
+                    k += 1;
+                }
             }
             out
         };
 
         let mut out = Vec::with_capacity(active.len());
         for (v, lo, hi) in ranges {
-            let mut edges = extract_u32(&ci_data, &ci_page_index, lo, hi);
-            let weights = val_data.as_ref().map(|(data, idx)| {
-                extract_u32(data, idx, lo, hi)
+            let mut edges = extract_u32(&ci_data, &ci_pages_sorted, lo, hi);
+            let weights = val_data.as_ref().map(|data| {
+                extract_u32(data, &ci_pages_sorted, lo, hi)
                     .into_iter()
                     .map(f32::from_bits)
                     .collect::<Vec<f32>>()

@@ -38,10 +38,13 @@
 //! assert_eq!(counts.iter().sum::<u64>(), 2);
 //!
 //! // Next superstep: fuse, load, sort in memory, group by destination.
+//! // The reader is a shared-nothing read-side handle, so a prefetch
+//! // thread can run `load_batch` while the owner keeps sending.
 //! let sg = SortGroup::new(1 << 20);
+//! let reader = mlog.reader();
 //! let mut seen = 0;
 //! for range in sg.plan(&counts) {
-//!     let batch = sg.load_batch(&mut mlog, range).unwrap();
+//!     let batch = sg.load_batch(&reader, range).unwrap();
 //!     for (dest, msgs) in group_by_dest(&batch.updates) {
 //!         assert!(dest == 17 || dest == 900);
 //!         seen += msgs.len();
@@ -61,6 +64,9 @@ pub use mlvc_ssd::checked;
 
 pub use bitset::BitSet;
 pub use edgelog::{EdgeLogConfig, EdgeLogOptimizer, EdgeLogStats};
-pub use multilog::{decode_log_page, encode_log_page, page_record_capacity, MultiLog, MultiLogConfig, MultiLogStats};
+pub use multilog::{
+    decode_log_page, encode_log_page, page_record_capacity, LogReader, MultiLog, MultiLogConfig,
+    MultiLogStats,
+};
 pub use sortgroup::{group_by_dest, plan_fusion, FusedBatch, SortGroup};
 pub use update::{DecodeError, Update, UPDATE_BYTES};

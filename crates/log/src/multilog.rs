@@ -1,4 +1,5 @@
 use crate::checked::{idx, to_u32, to_u64};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mlvc_graph::{IntervalId, VertexIntervals, VertexId};
@@ -65,7 +66,56 @@ pub struct MultiLog {
     dest_seen: BitSet,
     cap_pages: usize,
     page_cap: usize,
+    /// `updates_read` lives outside `stats` in a shared atomic so that a
+    /// [`LogReader`] draining the read side on a prefetch thread counts
+    /// into the same total as the owner.
     stats: MultiLogStats,
+    updates_read: Arc<AtomicU64>,
+}
+
+/// Shared-nothing handle onto the **read side** of the multi-log — the
+/// superstep's inbox, what the sort & group unit consumes. It holds its own
+/// device handle and the read-side file ids captured at creation, so a
+/// prefetch thread can drain the next fused batch while the owning
+/// [`MultiLog`] keeps appending to the write side (the two sides are
+/// disjoint files, and every [`Ssd`] method takes `&self`).
+///
+/// The sides flip at [`MultiLog::finish_superstep`], so a reader is only
+/// valid for the superstep it was created in: create one per superstep via
+/// [`MultiLog::reader`]. Reads are counted into the owner's
+/// `updates_read` statistic through a shared atomic.
+pub struct LogReader {
+    ssd: Arc<Ssd>,
+    files: Vec<FileId>,
+    updates_read: Arc<AtomicU64>,
+}
+
+impl LogReader {
+    /// Consume interval `i`'s read-side log, exactly like
+    /// [`MultiLog::take_log`]: read every page in one channel-parallel
+    /// batch, decode in log order, truncate the file.
+    pub fn take_log(&self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
+        let out = drain_file(&self.ssd, self.files[idx(i)])?;
+        self.updates_read.fetch_add(to_u64(out.len()), Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+/// Read, decode, and truncate one log file (the shared tail of
+/// [`MultiLog::take_log`] and [`LogReader::take_log`]).
+fn drain_file(ssd: &Ssd, file: FileId) -> Result<Vec<Update>, DeviceError> {
+    if ssd.num_pages(file)? == 0 {
+        return Ok(Vec::new());
+    }
+    let pages = ssd.read_all(file, |_| 0)?;
+    let mut out = Vec::new();
+    let mut useful = 0u64;
+    for p in &pages {
+        useful += to_u64(decode_log_page(p, &mut out));
+    }
+    ssd.declare_useful(useful);
+    ssd.truncate(file)?;
+    Ok(out)
 }
 
 /// Records that fit on one log page after the 4-byte count header.
@@ -155,11 +205,25 @@ impl MultiLog {
             cap_pages,
             page_cap: page_record_capacity(page_size),
             stats: MultiLogStats::default(),
+            updates_read: Arc::new(AtomicU64::new(0)),
         })
     }
 
     pub fn stats(&self) -> MultiLogStats {
-        self.stats
+        MultiLogStats {
+            updates_read: self.updates_read.load(Ordering::Relaxed),
+            ..self.stats
+        }
+    }
+
+    /// A read-side handle for this superstep (see [`LogReader`]).
+    pub fn reader(&self) -> LogReader {
+        let side = 1 - self.write_side;
+        LogReader {
+            ssd: Arc::clone(&self.ssd),
+            files: self.files.iter().map(|f| f[side]).collect(),
+            updates_read: Arc::clone(&self.updates_read),
+        }
     }
 
     pub fn intervals(&self) -> &VertexIntervals {
@@ -180,6 +244,42 @@ impl MultiLog {
             self.sealed.push((i as IntervalId, full));
             if self.buffered_pages() > self.cap_pages {
                 self.evict()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffered-send tail for the engine's parallel update scatter: append
+    /// a slice of updates already routed to interval `i`, preserving slice
+    /// order. Equivalent to calling [`Self::send`] on each update — same
+    /// page boundaries, same eviction trigger points — minus the per-update
+    /// interval lookup.
+    pub fn send_batch(&mut self, i: IntervalId, ups: &[Update]) -> Result<(), DeviceError> {
+        if ups.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(
+            ups.iter().all(|u| self.intervals.interval_of(u.dest) == i),
+            "send_batch: updates must be pre-routed to interval {i}"
+        );
+        let ii = idx(i);
+        self.counts[ii] += to_u64(ups.len());
+        self.stats.updates_logged += to_u64(ups.len());
+        let mut rest = ups;
+        while !rest.is_empty() {
+            let room = self.page_cap - self.tops[ii].len();
+            let (now, later) = rest.split_at(room.min(rest.len()));
+            for u in now {
+                self.dest_seen.set(idx(u.dest));
+            }
+            self.tops[ii].extend_from_slice(now);
+            rest = later;
+            if self.tops[ii].len() == self.page_cap {
+                let full = std::mem::take(&mut self.tops[ii]);
+                self.sealed.push((i, full));
+                if self.buffered_pages() > self.cap_pages {
+                    self.evict()?;
+                }
             }
         }
         Ok(())
@@ -327,7 +427,7 @@ impl MultiLog {
         }
         out.append(&mut self.tops[idx(i)]);
         self.counts[idx(i)] -= to_u64(out.len());
-        self.stats.updates_read += to_u64(out.len());
+        self.updates_read.fetch_add(to_u64(out.len()), Ordering::Relaxed);
         Ok(out)
     }
 
@@ -335,20 +435,8 @@ impl MultiLog {
     /// batch), decode in log order, truncate the file. Useful bytes are
     /// declared from the in-page record counts.
     pub fn take_log(&mut self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
-        let file = self.files[idx(i)][1 - self.write_side];
-        let n = self.ssd.num_pages(file)?;
-        if n == 0 {
-            return Ok(Vec::new());
-        }
-        let pages = self.ssd.read_all(file, |_| 0)?;
-        let mut out = Vec::new();
-        let mut useful = 0u64;
-        for p in &pages {
-            useful += to_u64(decode_log_page(p, &mut out));
-        }
-        self.ssd.declare_useful(useful);
-        self.ssd.truncate(file)?;
-        self.stats.updates_read += to_u64(out.len());
+        let out = drain_file(&self.ssd, self.files[idx(i)][1 - self.write_side])?;
+        self.updates_read.fetch_add(to_u64(out.len()), Ordering::Relaxed);
         Ok(out)
     }
 }
@@ -479,6 +567,39 @@ mod tests {
         assert!(ml.take_log_current(0).unwrap().is_empty());
         ml.finish_superstep().unwrap();
         assert!(ml.take_log(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn send_batch_matches_per_update_send() {
+        // Same traffic through both APIs on identical units: identical
+        // stats (page seals, evictions) and identical log contents.
+        let mut a = setup(4 * 256);
+        let mut b = setup(4 * 256);
+        let ups: Vec<Update> =
+            (0..1000u32).map(|k| Update::new(k % 25, k, (k as u64) * 3)).collect();
+        for &u in &ups {
+            a.send(u).unwrap();
+        }
+        b.send_batch(0, &ups).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.pending_counts(), b.pending_counts());
+        assert_eq!(a.buffered_pages(), b.buffered_pages());
+        assert!(b.dest_seen(7));
+        a.finish_superstep().unwrap();
+        b.finish_superstep().unwrap();
+        assert_eq!(a.take_log(0).unwrap(), b.take_log(0).unwrap());
+    }
+
+    #[test]
+    fn reader_drains_read_side_and_counts_into_stats() {
+        let mut ml = setup(1 << 20);
+        ml.send(Update::new(60, 1, 7)).unwrap();
+        ml.finish_superstep().unwrap();
+        let r = ml.reader();
+        assert_eq!(r.take_log(2).unwrap(), vec![Update::new(60, 1, 7)]);
+        assert!(r.take_log(2).unwrap().is_empty(), "reader consumes the log");
+        assert!(r.take_log(0).unwrap().is_empty());
+        assert_eq!(ml.stats().updates_read, 1, "reads flow into owner stats");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 use std::ops::Range;
+use std::time::Instant;
 
 use mlvc_graph::{IntervalId, VertexId};
 use mlvc_par::par_sort_by_key;
 
 use crate::checked::{to_u32, to_u64};
-use crate::{MultiLog, Update, UPDATE_BYTES};
+use crate::multilog::LogReader;
+use crate::{Update, UPDATE_BYTES};
 use mlvc_ssd::DeviceError;
 
 /// One fused group of consecutive interval logs, loaded and sorted.
@@ -15,6 +17,16 @@ pub struct FusedBatch {
     /// destination (stable sort) — required by algorithms that consume
     /// every message individually.
     pub updates: Vec<Update>,
+    /// Wall-clock nanoseconds spent reading + decoding the fused logs, and
+    /// sorting them in memory. Reference timings surfaced through
+    /// `SuperstepStats`; experiment claims use simulated device time, never
+    /// these.
+    pub load_ns: u64,
+    pub sort_ns: u64,
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Plan interval fusing (paper §V-A2, §V-B): walk intervals in order and
@@ -52,12 +64,21 @@ pub fn plan_fusion(counts: &[u64], sort_budget_bytes: usize) -> Vec<Range<Interv
 /// sort.
 pub struct SortGroup {
     sort_budget_bytes: usize,
+    reference_sort: bool,
 }
 
 impl SortGroup {
     pub fn new(sort_budget_bytes: usize) -> Self {
         assert!(sort_budget_bytes >= UPDATE_BYTES);
-        SortGroup { sort_budget_bytes }
+        SortGroup { sort_budget_bytes, reference_sort: false }
+    }
+
+    /// Sort batches with the comparison merge sort instead of the radix
+    /// sort. Both are stable by destination, so the output is bit-identical
+    /// — the switch exists so the engine's pre-pipeline reference mode
+    /// (`bench_engine` baseline) measures the sort the old engine ran.
+    pub fn set_reference_sort(&mut self, yes: bool) {
+        self.reference_sort = yes;
     }
 
     pub fn sort_budget_bytes(&self) -> usize {
@@ -71,20 +92,33 @@ impl SortGroup {
 
     /// Load every log in `range` (the paper's `LoadLog`), concatenate in
     /// interval order, and stable-sort by destination in parallel.
+    ///
+    /// Takes a [`LogReader`] rather than the `MultiLog` itself so the
+    /// engine's prefetch thread can load batch *k+1* while the owner is
+    /// still scattering batch *k*'s updates into the write side.
     pub fn load_batch(
         &self,
-        multilog: &mut MultiLog,
+        reader: &LogReader,
         range: Range<IntervalId>,
     ) -> Result<FusedBatch, DeviceError> {
+        let t_load = Instant::now();
         let mut updates = Vec::new();
         for i in range.clone() {
-            updates.extend(multilog.take_log(i)?);
+            updates.extend(reader.take_log(i)?);
         }
-        // Stable parallel merge sort: messages to one destination keep
-        // their log order, so non-combinable algorithms see a deterministic
-        // message sequence.
-        par_sort_by_key(&mut updates, |u| u.dest);
-        Ok(FusedBatch { range, updates })
+        let load_ns = elapsed_ns(t_load);
+        // Stable sort by destination: messages to one vertex keep their
+        // log order, so non-combinable algorithms see a deterministic
+        // message sequence. Destinations are dense vertex ids, so the
+        // radix sort wins; the comparison merge sort remains as the
+        // bit-identical reference path.
+        let t_sort = Instant::now();
+        if self.reference_sort {
+            par_sort_by_key(&mut updates, |u| u.dest);
+        } else {
+            mlvc_par::par_sort_by_u32_key(&mut updates, |u| u.dest);
+        }
+        Ok(FusedBatch { range, updates, load_ns, sort_ns: elapsed_ns(t_sort) })
     }
 }
 
@@ -109,7 +143,7 @@ pub fn group_by_dest(sorted: &[Update]) -> impl Iterator<Item = (VertexId, &[Upd
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MultiLogConfig;
+    use crate::{MultiLog, MultiLogConfig};
     use mlvc_graph::VertexIntervals;
     use mlvc_ssd::{Ssd, SsdConfig};
     use mlvc_gen::rng::SeededRng;
@@ -164,7 +198,7 @@ mod tests {
         ml.send(Update::new(3, 201, 3)).unwrap();
         ml.finish_superstep().unwrap();
         let sg = SortGroup::new(1 << 20);
-        let batch = sg.load_batch(&mut ml, 0..1).unwrap();
+        let batch = sg.load_batch(&ml.reader(), 0..1).unwrap();
         assert_eq!(
             batch.updates,
             vec![
@@ -206,9 +240,10 @@ mod tests {
             assert_eq!(counts.iter().sum::<u64>() as usize, sends.len());
 
             let sg = SortGroup::new(1 << 20);
+            let reader = ml.reader();
             let mut collected = Vec::new();
             for r in sg.plan(&counts) {
-                let batch = sg.load_batch(&mut ml, r).unwrap();
+                let batch = sg.load_batch(&reader, r).unwrap();
                 for (dest, group) in group_by_dest(&batch.updates) {
                     // Group order must equal insertion order for that dest.
                     let expect: Vec<Update> = sends

@@ -1,21 +1,79 @@
 //! # mlvc-par — scoped-thread data-parallel helpers
 //!
-//! The engines need exactly three parallel shapes: map a slice, map two
-//! zipped slices, and stable-sort a slice by key. This crate provides them
-//! on plain `std::thread::scope`, with no external dependencies, so the
-//! workspace builds offline and the parallelism story stays auditable.
+//! The engines need exactly four parallel shapes: map a slice, map two
+//! zipped slices, map contiguous chunks of a slice, and stable-sort a slice
+//! by key. This crate provides them on plain `std::thread::scope`, with no
+//! external dependencies, so the workspace builds offline and the
+//! parallelism story stays auditable.
 //!
 //! Determinism: results are always concatenated in input order and the sort
 //! is stable (ties keep their input order), so every helper is a drop-in,
-//! bit-for-bit replacement for its sequential counterpart — a property the
-//! BSP engines rely on for reproducible supersteps.
+//! bit-for-bit replacement for its sequential counterpart — **for any
+//! worker thread count** — a property the BSP engines rely on for
+//! reproducible supersteps (DESIGN.md §12).
+//!
+//! ## Thread count
+//!
+//! Workers default to the hardware parallelism. The `MLVC_THREADS`
+//! environment variable (read once per process) pins the count for
+//! reproducible runs and CI; [`set_thread_override`] pins it
+//! programmatically (tests sweeping thread counts). Both are capped at the
+//! hardware parallelism — requesting more threads than cores buys nothing
+//! and makes timings noisy.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
+
+/// Below this length a parallel sort is all overhead; fall back to the
+/// sequential stable sort.
+const PAR_SORT_MIN: usize = 4096;
+
+/// Process-wide programmatic override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
+    thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// `MLVC_THREADS`, parsed once per process; 0 means "unset / invalid".
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MLVC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Pin the worker thread count (`Some(n)`) or restore the default
+/// resolution (`None`: `MLVC_THREADS`, else hardware parallelism). The
+/// value is global to the process and capped at hardware parallelism, like
+/// the environment variable. Intended for tests that sweep thread counts;
+/// production runs should use `MLVC_THREADS`.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The resolved worker thread count: override, else `MLVC_THREADS`, else
+/// hardware parallelism — always in `1..=hardware_parallelism`.
+pub fn max_threads() -> usize {
+    let hw = hardware_threads();
+    let req = match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    };
+    if req == 0 {
+        hw
+    } else {
+        req.min(hw).max(1)
+    }
+}
 
 /// Number of worker threads to use for `n` items.
 fn threads_for(n: usize) -> usize {
-    let hw = thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    hw.min(n).max(1)
+    max_threads().min(n).max(1)
 }
 
 /// Re-raise a worker panic on the calling thread.
@@ -86,74 +144,194 @@ where
     out
 }
 
-/// Stable parallel sort by key: chunks are stably sorted on worker threads,
-/// then merged left-to-right, so equal keys keep their input order — the
-/// same guarantee `slice::sort_by_key` gives, which the sort & group unit
-/// depends on for deterministic message order.
+/// Apply `f` to contiguous chunks of `items` (at most [`max_threads`] of
+/// them), one worker per chunk, returning the per-chunk results in chunk
+/// order.
+///
+/// The chunk boundaries depend on the resolved thread count, so callers
+/// must only combine the results in a chunking-invariant way — e.g. an
+/// order-preserving concatenation of per-chunk buffers, which is exactly
+/// what the engine's parallel update scatter does.
+pub fn par_chunk_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
+        for h in handles {
+            out.push(join_unwind(h.join()));
+        }
+    });
+    out
+}
+
+/// Stable parallel sort by key — the same guarantee `slice::sort_by_key`
+/// gives (equal keys keep their input order), bit-identical for every
+/// thread count, which the sort & group unit depends on for deterministic
+/// message order.
+///
+/// Implementation: keys are computed once, an index permutation is
+/// chunk-sorted on worker threads and then merged level by level — pairs of
+/// runs in parallel — ping-ponging between the permutation and one reusable
+/// scratch buffer (no per-merge allocation). The permutation is applied
+/// in place with cycle swaps, so the element type needs no bounds at all:
+/// workers only ever touch the index buffers and the shared key array.
 pub fn par_sort_by_key<T, K, F>(items: &mut [T], key: F)
 where
-    T: Send + Clone,
-    K: Ord,
-    F: Fn(&T) -> K + Sync,
+    K: Ord + Sync,
+    F: Fn(&T) -> K,
 {
     let n = items.len();
     let threads = threads_for(n);
-    if threads <= 1 || n < 4096 {
+    if threads <= 1 || n < PAR_SORT_MIN {
         items.sort_by_key(key);
         return;
     }
+    let keys: Vec<K> = items.iter().map(&key).collect();
+    let keys = keys.as_slice();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut scratch: Vec<usize> = vec![0; n];
     let chunk = n.div_ceil(threads);
-    let key = &key;
+
+    // 1. Stable chunk sorts: indices within a chunk start ascending, so
+    //    equal keys keep input order.
     thread::scope(|s| {
-        let handles: Vec<_> = items
+        let handles: Vec<_> = perm
             .chunks_mut(chunk)
-            .map(|c| s.spawn(move || c.sort_by_key(key)))
+            .map(|c| s.spawn(move || c.sort_by(|&a, &b| keys[a].cmp(&keys[b]))))
             .collect();
         for h in handles {
             join_unwind(h.join());
         }
     });
-    // Merge sorted runs pairwise until one run remains.
+
+    // 2. Merge levels: every pair of adjacent runs merges concurrently into
+    //    the other buffer; the buffers swap roles between levels.
+    let mut src: &mut [usize] = &mut perm;
+    let mut dst: &mut [usize] = &mut scratch;
     let mut run = chunk;
-    let mut scratch: Vec<T> = Vec::with_capacity(n);
     while run < n {
-        let mut start = 0;
-        while start + run < n {
-            let mid = start + run;
-            let end = (mid + run).min(n);
-            merge_runs(&mut items[start..end], mid - start, key, &mut scratch);
-            start = end;
-        }
+        thread::scope(|s| {
+            let handles: Vec<_> = src
+                .chunks(2 * run)
+                .zip(dst.chunks_mut(2 * run))
+                .map(|(sp, dp)| s.spawn(move || merge_runs_idx(sp, dp, run, keys)))
+                .collect();
+            for h in handles {
+                join_unwind(h.join());
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
         run *= 2;
+    }
+
+    // 3. Apply the permutation in place. The swap loop below applies the
+    //    inverse of the array it walks, so walk the inverse (built into the
+    //    now-free buffer) to apply `src` itself.
+    let (sorted, inverse) = (src, dst);
+    for (i, &p) in sorted.iter().enumerate() {
+        inverse[p] = i;
+    }
+    for i in 0..n {
+        while inverse[i] != i {
+            let j = inverse[i];
+            items.swap(i, j);
+            inverse.swap(i, j);
+        }
     }
 }
 
-/// Stably merge the two sorted runs `[0, mid)` and `[mid, len)` of `buf`.
-/// On ties the left run wins, preserving input order.
-fn merge_runs<T, K, F>(buf: &mut [T], mid: usize, key: &F, scratch: &mut Vec<T>)
-where
-    T: Clone,
-    K: Ord,
-    F: Fn(&T) -> K,
-{
-    scratch.clear();
-    {
-        let (left, right) = buf.split_at(mid);
-        let mut i = 0;
-        let mut j = 0;
-        while i < left.len() && j < right.len() {
-            if key(&left[i]) <= key(&right[j]) {
-                scratch.push(left[i].clone());
-                i += 1;
-            } else {
-                scratch.push(right[j].clone());
-                j += 1;
-            }
+/// Stably merge the two sorted runs `[0, mid)` and `[mid, len)` of the
+/// index slice `src` into `dst`. On ties the left run wins, preserving
+/// input order.
+fn merge_runs_idx<K: Ord>(src: &[usize], dst: &mut [usize], mid: usize, keys: &[K]) {
+    let mid = mid.min(src.len());
+    let (left, right) = src.split_at(mid);
+    let (mut i, mut j, mut o) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if keys[left[i]] <= keys[right[j]] {
+            dst[o] = left[i];
+            i += 1;
+        } else {
+            dst[o] = right[j];
+            j += 1;
         }
-        scratch.extend_from_slice(&left[i..]);
-        scratch.extend_from_slice(&right[j..]);
+        o += 1;
     }
-    buf.clone_from_slice(scratch);
+    dst[o..o + (left.len() - i)].copy_from_slice(&left[i..]);
+    o += left.len() - i;
+    dst[o..].copy_from_slice(&right[j..]);
+}
+
+/// Stable LSD radix sort by a `u32` key — same guarantee as
+/// [`par_sort_by_key`] (equal keys keep input order, output independent of
+/// the thread count) but linear-time, which is what the sort & group unit
+/// wants for the dest-sorted update batches: their keys are dense vertex
+/// ids, so one or two 16-bit counting passes beat any comparison sort.
+///
+/// Keys are extracted once on the worker threads; the counting passes are
+/// serial (their cost is a small fraction of the comparison sort they
+/// replace) and therefore trivially chunking-invariant. Small inputs fall
+/// back to `sort_by_key`, where the histogram setup would dominate.
+pub fn par_sort_by_u32_key<T, F>(items: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u32 + Sync,
+{
+    let n = items.len();
+    if n < PAR_SORT_MIN {
+        items.sort_by_key(|t| key(t));
+        return;
+    }
+    let mut keys: Vec<u32> = Vec::with_capacity(n);
+    for ck in par_chunk_map(items, |c| c.iter().map(&key).collect::<Vec<u32>>()) {
+        keys.extend(ck);
+    }
+    let max = keys.iter().copied().max().unwrap_or(0);
+    let mut scratch: Vec<T> = items.to_vec();
+    let mut kscratch: Vec<u32> = keys.clone();
+    if max <= 0xFFFF {
+        radix_pass_u16(items, &mut scratch, &keys, &mut kscratch, 0);
+        items.copy_from_slice(&scratch);
+    } else {
+        radix_pass_u16(items, &mut scratch, &keys, &mut kscratch, 0);
+        radix_pass_u16(&scratch, items, &kscratch, &mut keys, 16);
+    }
+}
+
+/// One stable counting pass over the 16-bit digit of `keys` at `shift`,
+/// scattering `src` into `dst` (and the keys alongside, so a second pass
+/// sees them in the new order).
+fn radix_pass_u16<T: Copy>(src: &[T], dst: &mut [T], keys: &[u32], kdst: &mut [u32], shift: u32) {
+    let mut counts = vec![0usize; 1 << 16];
+    for &k in keys {
+        counts[((k >> shift) & 0xFFFF) as usize] += 1;
+    }
+    let mut total = 0usize;
+    for c in counts.iter_mut() {
+        let x = *c;
+        *c = total;
+        total += x;
+    }
+    for (i, &k) in keys.iter().enumerate() {
+        let d = ((k >> shift) & 0xFFFF) as usize;
+        dst[counts[d]] = src[i];
+        kdst[counts[d]] = k;
+        counts[d] += 1;
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +367,36 @@ mod tests {
     }
 
     #[test]
+    fn par_chunk_map_concatenates_to_input_order() {
+        let items: Vec<u32> = (0..9_999).collect();
+        let flat: Vec<u32> = par_chunk_map(&items, |c| c.to_vec()).concat();
+        assert_eq!(flat, items);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_chunk_map(&empty, |c: &[u32]| c.len()).is_empty());
+    }
+
+    #[test]
+    fn radix_sort_matches_stable_sort() {
+        // Both digit widths: keys that fit one 16-bit pass and keys that
+        // need two. Stability is visible through the payload index.
+        for spread in [50_000u32, 5_000_000u32] {
+            let mut items: Vec<(u32, usize)> = (0..30_000usize)
+                .map(|i| (((i as u32).wrapping_mul(0x9E37_79B9)) % spread, i))
+                .collect();
+            let mut expect = items.clone();
+            expect.sort_by_key(|p| p.0);
+            par_sort_by_u32_key(&mut items, |p| p.0);
+            assert_eq!(items, expect, "spread {spread}");
+        }
+        // Below the cutoff the fallback must behave identically.
+        let mut small: Vec<(u32, usize)> = (0..100).map(|i| (99 - i as u32, i)).collect();
+        let mut expect = small.clone();
+        expect.sort_by_key(|p| p.0);
+        par_sort_by_u32_key(&mut small, |p| p.0);
+        assert_eq!(small, expect);
+    }
+
+    #[test]
     fn par_sort_matches_stable_sort() {
         // Deterministic pseudo-random permutation, large enough to engage
         // the parallel path (>= 4096 elements).
@@ -199,6 +407,43 @@ mod tests {
         expect.sort_by_key(|&(k, _)| k);
         par_sort_by_key(&mut items, |&(k, _)| k);
         assert_eq!(items, expect, "parallel sort must be stable");
+    }
+
+    #[test]
+    fn par_sort_identical_for_every_thread_count() {
+        let base: Vec<(u64, usize)> = (0..30_000usize)
+            .map(|i| ((i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03) % 41, i))
+            .collect();
+        let mut expect = base.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        for t in [1, 2, 3, 8] {
+            set_thread_override(Some(t));
+            let mut items = base.clone();
+            par_sort_by_key(&mut items, |&(k, _)| k);
+            assert_eq!(items, expect, "thread count {t}");
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn par_sort_needs_no_bounds_on_the_element_type() {
+        // A type that is neither Clone nor Copy: the index-permutation
+        // rewrite moves elements with swaps only.
+        struct NoClone(u64);
+        let mut items: Vec<NoClone> = (0..10_000u64)
+            .map(|i| NoClone(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 113))
+            .collect();
+        par_sort_by_key(&mut items, |x| x.0);
+        assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(items.len(), 10_000);
+    }
+
+    #[test]
+    fn thread_override_caps_at_hardware() {
+        set_thread_override(Some(100_000));
+        assert!(max_threads() <= hardware_threads());
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Thread-count determinism: the pipelined engine (batch prefetch +
+//! parallel update scatter, DESIGN.md §12) must produce bit-identical
+//! vertex states *and* per-superstep message counts for any worker thread
+//! count. This is the guarantee the unit tests cannot check — a
+//! scatter-order bug shows up only when multiple workers race to emit
+//! updates into the multi-log.
+//!
+//! Everything runs inside one `#[test]` because the thread-count override
+//! is process-global: parallel test functions sweeping it concurrently
+//! would still pass (determinism is exactly what's asserted) but would no
+//! longer pin the thread count they claim to.
+
+use std::sync::Arc;
+
+use multilogvc::apps::{Bfs, Coloring, PageRank};
+use multilogvc::core::{Engine, EngineConfig, MultiLogEngine, VertexProgram};
+use multilogvc::graph::{StoredGraph, VertexIntervals};
+use multilogvc::prelude::RmatParams;
+use multilogvc::ssd::{Ssd, SsdConfig};
+
+/// Per-superstep fingerprint: (messages consumed, messages sent, actives).
+type StepCounts = Vec<(u64, u64, u64)>;
+
+fn run_once(prog: &dyn VertexProgram, async_mode: bool) -> (Vec<u64>, StepCounts) {
+    let g = mlvc_gen::rmat(RmatParams::social(10, 8), 0xD7);
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let iv = VertexIntervals::uniform(g.num_vertices(), 16);
+    let sg = StoredGraph::store_with(&ssd, &g, "det", iv).unwrap();
+    // Tight memory: supersteps split into several fused batches, so the
+    // prefetch thread and the parallel scatter are genuinely exercised.
+    let cfg = EngineConfig::default().with_memory(64 << 10).with_async(async_mode);
+    let mut eng = MultiLogEngine::new(ssd, sg, cfg);
+    let r = eng.run(prog, 40);
+    assert!(r.interrupted.is_none());
+    let steps = r
+        .supersteps
+        .iter()
+        .map(|s| (s.messages_processed, s.messages_sent, s.active_vertices))
+        .collect();
+    (eng.states().to_vec(), steps)
+}
+
+#[test]
+fn states_and_message_counts_bit_identical_across_thread_counts() {
+    let progs: Vec<(&str, Box<dyn VertexProgram>)> = vec![
+        ("bfs", Box::new(Bfs::new(0))),
+        ("pagerank", Box::new(PageRank::new(0.85, 1e-4))),
+        ("coloring", Box::new(Coloring::new())),
+    ];
+    for (name, prog) in &progs {
+        for async_mode in [false, true] {
+            // Only monotone algorithms are valid under the asynchronous
+            // model (see `EngineConfig::async_mode`); of the three, that
+            // is BFS.
+            if *name != "bfs" && async_mode {
+                continue;
+            }
+            let mut baseline: Option<(Vec<u64>, StepCounts)> = None;
+            for threads in [1usize, 2, 8] {
+                multilogvc::par::set_thread_override(Some(threads));
+                let got = run_once(prog.as_ref(), async_mode);
+                multilogvc::par::set_thread_override(None);
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(base) => {
+                        assert_eq!(
+                            base.0, got.0,
+                            "{name} (async={async_mode}): states differ at {threads} threads"
+                        );
+                        assert_eq!(
+                            base.1, got.1,
+                            "{name} (async={async_mode}): per-superstep counts differ at \
+                             {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
