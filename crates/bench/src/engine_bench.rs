@@ -36,9 +36,27 @@ pub struct WorkloadRow {
     pub messages: u64,
 }
 
+/// Wall-clock cost of the observability layer (DESIGN.md §13): the same
+/// workload best-of-N with `EngineConfig::obs` on and off. The budget is
+/// < 2% overhead; the measured number is reported, not asserted (CI noise).
+pub struct MetricsOverhead {
+    pub app: &'static str,
+    pub dataset: &'static str,
+    pub wall_ms_enabled: f64,
+    pub wall_ms_disabled: f64,
+}
+
+impl MetricsOverhead {
+    /// Overhead of enabling metrics, as a fraction (0.01 = 1%).
+    pub fn overhead_frac(&self) -> f64 {
+        self.wall_ms_enabled / self.wall_ms_disabled.max(1e-9) - 1.0
+    }
+}
+
 pub struct EngineBenchReport {
     pub threads: usize,
     pub rows: Vec<WorkloadRow>,
+    pub metrics_overhead: Option<MetricsOverhead>,
 }
 
 impl EngineBenchReport {
@@ -83,6 +101,18 @@ impl EngineBenchReport {
             ));
         }
         out.push_str("  ],\n");
+        if let Some(m) = &self.metrics_overhead {
+            out.push_str(&format!(
+                "  \"metrics_overhead\": {{\"app\": \"{}\", \"dataset\": \"{}\", \
+                 \"wall_ms_enabled\": {:.2}, \"wall_ms_disabled\": {:.2}, \
+                 \"overhead_pct\": {:.2}}},\n",
+                m.app,
+                m.dataset,
+                m.wall_ms_enabled,
+                m.wall_ms_disabled,
+                100.0 * m.overhead_frac()
+            ));
+        }
         out.push_str(&format!("  \"speedup_geomean\": {:.3}\n", self.speedup_geomean()));
         out.push_str("}\n");
         out
@@ -120,17 +150,29 @@ impl EngineBenchReport {
             ));
         }
         out.push_str(&format!("\nSpeedup geomean: {:.2}x\n", self.speedup_geomean()));
+        if let Some(m) = &self.metrics_overhead {
+            out.push_str(&format!(
+                "\nObservability layer (`--metrics`, DESIGN.md §13) overhead on {}/{}: \
+                 {:.1} ms enabled vs {:.1} ms disabled ({:+.2}%, budget < 2%).\n",
+                m.app,
+                m.dataset,
+                m.wall_ms_enabled,
+                m.wall_ms_disabled,
+                100.0 * m.overhead_frac()
+            ));
+        }
         out
     }
 }
 
 /// A fresh MultiLogVC engine on its own simulated SSD with the pipeline
-/// flag set (the `Settings::mlvc` recipe plus the toggle under test).
-fn engine(s: &Settings, d: &Dataset, pipeline: bool) -> MultiLogEngine {
+/// and observability flags set (the `Settings::mlvc` recipe plus the
+/// toggles under test).
+fn engine(s: &Settings, d: &Dataset, pipeline: bool, obs: bool) -> MultiLogEngine {
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
     let sg = StoredGraph::store_with(&ssd, &d.graph, "g", s.intervals(&d.graph)).unwrap();
     ssd.stats().reset();
-    MultiLogEngine::new(ssd, sg, s.engine_config().with_pipeline(pipeline))
+    MultiLogEngine::new(ssd, sg, s.engine_config().with_pipeline(pipeline).with_obs(obs))
 }
 
 /// Best-of-`reps` wall time (minimum filters scheduler noise, the standard
@@ -140,12 +182,13 @@ fn timed_run(
     d: &Dataset,
     prog: &dyn VertexProgram,
     pipeline: bool,
+    obs: bool,
     reps: usize,
 ) -> (f64, RunReport, Vec<u64>) {
     let mut best = f64::INFINITY;
     let mut kept = None;
     for _ in 0..reps {
-        let mut eng = engine(s, d, pipeline);
+        let mut eng = engine(s, d, pipeline, obs);
         let t = Instant::now();
         let report = eng.run(prog, s.supersteps);
         let wall = t.elapsed().as_secs_f64() * 1e3;
@@ -165,10 +208,11 @@ pub fn run(s: &Settings) -> EngineBenchReport {
         ("bfs", Box::new(mlvc_apps::Bfs::new(0))),
     ];
     let mut rows = Vec::new();
+    let mut metrics_overhead = None;
     for d in s.datasets() {
         for (app, prog) in &progs {
-            let (wall_p, rep_p, states_p) = timed_run(s, &d, prog.as_ref(), true, 5);
-            let (wall_s, _rep_s, states_s) = timed_run(s, &d, prog.as_ref(), false, 5);
+            let (wall_p, rep_p, states_p) = timed_run(s, &d, prog.as_ref(), true, false, 5);
+            let (wall_s, _rep_s, states_s) = timed_run(s, &d, prog.as_ref(), false, false, 5);
             assert_eq!(
                 states_p, states_s,
                 "{app}/{}: pipeline toggle must not change results",
@@ -184,9 +228,36 @@ pub fn run(s: &Settings) -> EngineBenchReport {
                 supersteps: rep_p.supersteps.len(),
                 messages: rep_p.total_messages(),
             });
+            // Metrics overhead, measured once on the first (heaviest-traffic)
+            // workload. The enabled and disabled reps are interleaved so
+            // both see the same machine state — back-to-back blocks drift
+            // by far more than the effect under measurement.
+            if metrics_overhead.is_none() {
+                let mut wall_obs = f64::INFINITY;
+                let mut wall_off = f64::INFINITY;
+                for _ in 0..5 {
+                    let (w_on, rep_obs, states_obs) =
+                        timed_run(s, &d, prog.as_ref(), true, true, 1);
+                    let (w_off, _, _) = timed_run(s, &d, prog.as_ref(), true, false, 1);
+                    wall_obs = wall_obs.min(w_on);
+                    wall_off = wall_off.min(w_off);
+                    assert_eq!(
+                        states_p, states_obs,
+                        "{app}/{}: metrics must not change results",
+                        d.name
+                    );
+                    assert!(!rep_obs.trace.is_empty(), "obs run must produce a trace");
+                }
+                metrics_overhead = Some(MetricsOverhead {
+                    app,
+                    dataset: d.name,
+                    wall_ms_enabled: wall_obs,
+                    wall_ms_disabled: wall_off,
+                });
+            }
         }
     }
-    EngineBenchReport { threads: mlvc_par::max_threads(), rows }
+    EngineBenchReport { threads: mlvc_par::max_threads(), rows, metrics_overhead }
 }
 
 /// Run, write `BENCH_engine.json` into the working directory, and return

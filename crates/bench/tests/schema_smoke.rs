@@ -1,0 +1,135 @@
+//! Schema smoke test (DESIGN.md §13): the JSON the harness and the
+//! observability layer emit must actually parse, with the shape the
+//! downstream consumers (CI artifact checks, dashboards) rely on.
+//!
+//! Validated with `mlvc_obs::json` — the workspace's own parser — so a
+//! malformed emitter and a broken parser both fail here.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use mlvc_core::{Engine, EngineConfig, MultiLogEngine};
+use mlvc_graph::{StoredGraph, VertexIntervals};
+use mlvc_obs::json::{parse, Json};
+use mlvc_obs::TRACE_FIELDS;
+use mlvc_ssd::{Ssd, SsdConfig};
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("field {key} missing or not a number"))
+}
+
+fn string<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("field {key} missing or not a string"))
+}
+
+/// Run the `bench_engine` binary at a tiny scale in a scratch directory and
+/// schema-validate the `BENCH_engine.json` it writes — including the
+/// `metrics_overhead` section the CI bench smoke relies on.
+#[test]
+fn bench_engine_json_matches_schema() {
+    let dir = std::env::temp_dir().join(format!("mlvc-schema-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_engine"))
+        .current_dir(&dir)
+        .env("MLVC_SCALE", "9")
+        .env("MLVC_MEM_KB", "512")
+        .env("MLVC_STEPS", "5")
+        .output()
+        .expect("run bench_engine");
+    assert!(
+        out.status.success(),
+        "bench_engine failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("BENCH_engine.json")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let doc = parse(&text).expect("BENCH_engine.json parses");
+    assert_eq!(string(&doc, "bench"), "engine_pipeline");
+    assert_eq!(num(&doc, "scale"), 9.0);
+    assert!(num(&doc, "threads") >= 1.0);
+    assert!(num(&doc, "speedup_geomean") > 0.0);
+
+    let workloads = doc.get("workloads").and_then(Json::as_arr).expect("workloads array");
+    assert_eq!(workloads.len(), 4, "2 apps x 2 datasets");
+    for w in workloads {
+        for key in ["app", "dataset"] {
+            assert!(!string(w, key).is_empty(), "workload {key}");
+        }
+        for key in ["wall_ms_pipelined", "wall_ms_serial", "speedup"] {
+            assert!(num(w, key) > 0.0, "workload {key} positive");
+        }
+        assert!(num(w, "supersteps") >= 1.0);
+        let stages = w.get("stages_ms").expect("stages_ms object");
+        for key in ["load", "sort", "process", "scatter"] {
+            assert!(num(stages, key) >= 0.0, "stage {key}");
+        }
+    }
+
+    let m = doc.get("metrics_overhead").expect("metrics_overhead object");
+    assert!(!string(m, "app").is_empty());
+    assert!(!string(m, "dataset").is_empty());
+    assert!(num(m, "wall_ms_enabled") > 0.0);
+    assert!(num(m, "wall_ms_disabled") > 0.0);
+    // Sanity on the number itself, not a budget assertion (CI noise): the
+    // obs layer cannot plausibly double the runtime or halve it.
+    let pct = num(m, "overhead_pct");
+    assert!((-50.0..100.0).contains(&pct), "overhead_pct {pct} implausible");
+}
+
+/// A library run with the obs layer on emits a metrics snapshot and a
+/// trace that round-trip through the JSON parser with the full schema.
+#[test]
+fn metrics_snapshot_and_trace_jsonl_match_schema() {
+    let g = mlvc_gen::cf_mini(9, 7).graph;
+    let iv = VertexIntervals::uniform(g.num_vertices(), 4);
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let sg = StoredGraph::store_with(&ssd, &g, "s", iv).unwrap();
+    let cfg = EngineConfig::default().with_memory(512 << 10).with_obs(true);
+    let mut e = MultiLogEngine::new(ssd, sg, cfg);
+    let r = e.run(&mlvc_apps::PageRank::new(0.85, 1e-4), 8);
+
+    // Snapshot: counters/gauges/histograms objects with the wired families.
+    let snap = r.obs.as_ref().expect("obs snapshot present");
+    let doc = parse(&snap.to_json()).expect("snapshot JSON parses");
+    let counters = doc.get("counters").expect("counters object");
+    for key in [
+        "mlvc_ssd_pages_read_total",
+        "mlvc_ssd_bytes_written_total",
+        "mlvc_log_bytes_appended_total",
+        "mlvc_ftl_physical_writes_total",
+        "mlvc_engine_supersteps_total",
+    ] {
+        assert!(num(counters, key) > 0.0, "counter {key} populated");
+    }
+    let gauges = doc.get("gauges").expect("gauges object");
+    assert!(num(gauges, "mlvc_read_amplification_milli") >= 1000.0);
+    let hists = doc.get("histograms").and_then(Json::as_obj).expect("histograms object");
+    assert!(!hists.is_empty(), "at least one histogram");
+    for (name, h) in hists {
+        let bounds = h.get("bounds").and_then(Json::as_arr).unwrap();
+        let buckets = h.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), bounds.len() + 1, "{name}: finite buckets + overflow");
+        assert!(num(h, "count") > 0.0, "{name}: observed");
+    }
+    // Prometheus exposition declares a type per family.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE mlvc_ssd_pages_read_total counter"));
+    assert!(prom.contains("# TYPE mlvc_superstep_pages_read histogram"));
+
+    // Trace JSONL: one record per line, every schema field present.
+    let jsonl = r.trace_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), r.supersteps.len() + 1, "seed record + one per superstep");
+    for (k, line) in lines.iter().enumerate() {
+        let rec = parse(line).unwrap_or_else(|e| panic!("trace line {k}: {e}"));
+        for field in TRACE_FIELDS {
+            assert!(num(&rec, field) >= 0.0, "line {k}: field {field}");
+        }
+        assert_eq!(num(&rec, "superstep"), k as f64, "records are in order");
+    }
+}

@@ -57,6 +57,12 @@ pub struct EngineConfig {
     /// Write a crash-consistent checkpoint every `k` supersteps (`None`
     /// disables checkpointing). See `mlvc-recover` and DESIGN.md §11.
     pub checkpoint_every: Option<usize>,
+    /// Observability layer (DESIGN.md §13): attach a live FTL model to the
+    /// device, record a deterministic per-superstep [`mlvc_obs::TraceRecord`]
+    /// into `SuperstepStats::metrics` / `RunReport::trace`, and snapshot a
+    /// metrics registry into `RunReport::obs`. Off by default — the
+    /// disabled path costs nothing beyond one branch per superstep.
+    pub obs: bool,
     /// Seed for deterministic per-vertex randomness.
     pub seed: u64,
     pub cost: CostModel,
@@ -74,6 +80,7 @@ impl Default for EngineConfig {
             pipeline: true,
             structural_merge_threshold: 1024,
             checkpoint_every: None,
+            obs: false,
             seed: 0xC0FFEE,
             cost: CostModel::default(),
         }
@@ -111,6 +118,12 @@ impl EngineConfig {
     /// Checkpoint every `k` supersteps (crash recovery, DESIGN.md §11).
     pub fn with_checkpoint_every(mut self, k: usize) -> Self {
         self.checkpoint_every = Some(k);
+        self
+    }
+
+    /// Toggle the observability layer (DESIGN.md §13).
+    pub fn with_obs(mut self, yes: bool) -> Self {
+        self.obs = yes;
         self
     }
 

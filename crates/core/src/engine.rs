@@ -7,13 +7,35 @@ use mlvc_log::{
     group_by_dest, BitSet, EdgeLogConfig, EdgeLogOptimizer, FusedBatch, MultiLog, MultiLogConfig,
     SortGroup, Update,
 };
+use mlvc_log::{EdgeLogStats, MultiLogStats};
+use mlvc_obs::{Registry, TraceRecord, TraceRing};
 use mlvc_recover::{CheckpointManager, CheckpointState};
-use mlvc_ssd::{DeviceError, Ssd};
+use mlvc_ssd::{DeviceError, FtlConfig, FtlStats, Ssd, SsdStatsSnapshot};
 
 use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
 
 /// Device tag under which the engine's checkpoint slot files live.
 const CKPT_TAG: &str = "mlvc";
+
+/// Trace records kept per run when observability is on — far above any
+/// evaluation run (the paper caps at 15 supersteps); beyond it the ring
+/// keeps the most recent records so memory stays bounded.
+const TRACE_RING_CAP: usize = 4096;
+
+/// Engine-side observability state (active only with [`EngineConfig::obs`]).
+/// Holds the trace ring plus the unit-stats baselines subtracted to turn
+/// cumulative counters into per-superstep deltas.
+struct ObsState {
+    ring: TraceRing,
+    /// Device stats at run start — the whole-run baseline behind the
+    /// seed-phase record and the end-of-run registry counters.
+    run_base: SsdStatsSnapshot,
+    ml_base: MultiLogStats,
+    el_base: EdgeLogStats,
+    ftl_base: FtlStats,
+    /// FTL stats at run start, for whole-run amplification gauges.
+    ftl_run_base: FtlStats,
+}
 
 /// The MultiLogVC engine — Algorithm 1 of the paper.
 ///
@@ -210,6 +232,25 @@ impl MultiLogEngine {
         report.engine = self.name().to_string();
         report.app = prog.name().to_string();
 
+        // Observability (DESIGN.md §13): attach the live FTL before any
+        // page write so flash amplification covers the whole run. Bases
+        // are captured here — device stats may already be nonzero (graph
+        // storing), and the FTL survives across runs on the same device.
+        let mut obs: Option<ObsState> = if self.cfg.obs {
+            self.ssd.enable_ftl(FtlConfig::default());
+            let ftl0 = self.ssd.ftl_stats().unwrap_or_default();
+            Some(ObsState {
+                ring: TraceRing::new(TRACE_RING_CAP),
+                run_base: self.ssd.stats().snapshot(),
+                ml_base: MultiLogStats::default(),
+                el_base: EdgeLogStats::default(),
+                ftl_base: ftl0,
+                ftl_run_base: ftl0,
+            })
+        } else {
+            None
+        };
+
         let mut multilog = MultiLog::new(
             Arc::clone(&self.ssd),
             intervals.clone(),
@@ -271,6 +312,36 @@ impl MultiLogEngine {
                 }
             }
         };
+
+        // Seed-phase trace record (superstep 0): the initial activations
+        // logged above — or a resumed checkpoint's restored pending pages —
+        // are I/O too, so the trace accounts for every device operation of
+        // the run (`tests/io_accounting.rs` pins the sum).
+        if let Some(ob) = obs.as_mut() {
+            let io = self.ssd.stats().snapshot().since(&ob.run_base);
+            let ml = multilog.stats();
+            let ftl = self.ssd.ftl_stats().unwrap_or_default();
+            ob.ring.push(TraceRecord {
+                superstep: 0,
+                messages_sent: pending.iter().sum(),
+                pages_read: io.pages_read,
+                pages_written: io.pages_written,
+                bytes_read: io.bytes_read,
+                useful_bytes_read: io.useful_bytes_read,
+                bytes_written: io.bytes_written,
+                log_bytes_appended: ml.bytes_appended,
+                log_pages_flushed: ml.pages_flushed,
+                log_evictions: ml.evictions,
+                ftl_host_writes: ftl.host_writes - ob.ftl_base.host_writes,
+                ftl_physical_writes: ftl.physical_writes - ob.ftl_base.physical_writes,
+                ftl_erases: ftl.erases - ob.ftl_base.erases,
+                ftl_gc_relocations: ftl.gc_relocations - ob.ftl_base.gc_relocations,
+                sim_time_ns: io.io_time_ns(),
+                ..Default::default()
+            });
+            ob.ml_base = ml;
+            ob.ftl_base = ftl;
+        }
 
         // Hoisted out of the hot loops: per-interval column-index file ids,
         // the reusable combine buffer, and field borrows (so the superstep
@@ -647,6 +718,46 @@ impl MultiLogEngine {
                 + st.messages_delivered * self.cfg.cost.msg_process_ns
                 + st.edges_scanned * self.cfg.cost.edge_scan_ns;
             st.wall_ns = wall0.elapsed().as_nanos() as u64;
+
+            // Per-superstep trace record: only counts, cost-model times,
+            // and per-step deltas of the unit stats — every field is
+            // thread-count invariant (DESIGN.md §13), unlike the wall-clock
+            // stage timings which stay out of the trace.
+            if let Some(ob) = obs.as_mut() {
+                let ml = multilog.stats();
+                let el = edgelog.stats();
+                let ftl = self.ssd.ftl_stats().unwrap_or_default();
+                let rec = TraceRecord {
+                    superstep: superstep as u64,
+                    active_vertices: st.active_vertices,
+                    messages_processed: st.messages_processed,
+                    messages_delivered: st.messages_delivered,
+                    messages_sent: st.messages_sent,
+                    edges_scanned: st.edges_scanned,
+                    fused_batches: plan.len() as u64,
+                    pages_read: st.io.pages_read,
+                    pages_written: st.io.pages_written,
+                    bytes_read: st.io.bytes_read,
+                    useful_bytes_read: st.io.useful_bytes_read,
+                    bytes_written: st.io.bytes_written,
+                    log_bytes_appended: ml.bytes_appended - ob.ml_base.bytes_appended,
+                    log_pages_flushed: ml.pages_flushed - ob.ml_base.pages_flushed,
+                    log_evictions: ml.evictions - ob.ml_base.evictions,
+                    edge_log_vertices: el.vertices_logged - ob.el_base.vertices_logged,
+                    edge_log_pages: el.pages_written - ob.el_base.pages_written,
+                    edge_log_hits: st.edge_log_hits,
+                    ftl_host_writes: ftl.host_writes - ob.ftl_base.host_writes,
+                    ftl_physical_writes: ftl.physical_writes - ob.ftl_base.physical_writes,
+                    ftl_erases: ftl.erases - ob.ftl_base.erases,
+                    ftl_gc_relocations: ftl.gc_relocations - ob.ftl_base.gc_relocations,
+                    sim_time_ns: st.sim_time_ns(),
+                };
+                ob.ml_base = ml;
+                ob.el_base = el;
+                ob.ftl_base = ftl;
+                ob.ring.push(rec);
+                st.metrics = Some(rec);
+            }
             report.supersteps.push(st);
         }
         if !report.converged
@@ -660,7 +771,91 @@ impl MultiLogEngine {
         structural.merge_all(&self.graph)?;
         report.multilog = Some(multilog.stats());
         report.edgelog = Some(edgelog.stats());
+        if let Some(ob) = obs {
+            report.trace = ob.ring.records();
+            report.obs = Some(self.obs_snapshot(&ob, &multilog, &edgelog, report));
+        }
         Ok(())
+    }
+
+    /// End-of-run metrics registry snapshot: the `mlvc_ssd_*` counters are
+    /// the device's own stats delta over this run — bit-exact equality with
+    /// `Ssd::stats` is the contract `tests/io_accounting.rs` pins.
+    fn obs_snapshot(
+        &self,
+        ob: &ObsState,
+        multilog: &MultiLog,
+        edgelog: &EdgeLogOptimizer,
+        report: &RunReport,
+    ) -> mlvc_obs::MetricsSnapshot {
+        let reg = Registry::new();
+        let io = self.ssd.stats().snapshot().since(&ob.run_base);
+        reg.counter("mlvc_ssd_pages_read_total").add(io.pages_read);
+        reg.counter("mlvc_ssd_pages_written_total").add(io.pages_written);
+        reg.counter("mlvc_ssd_bytes_read_total").add(io.bytes_read);
+        reg.counter("mlvc_ssd_bytes_written_total").add(io.bytes_written);
+        reg.counter("mlvc_ssd_useful_bytes_read_total").add(io.useful_bytes_read);
+        reg.counter("mlvc_ssd_read_batches_total").add(io.read_batches);
+        reg.counter("mlvc_ssd_write_batches_total").add(io.write_batches);
+        reg.counter("mlvc_ssd_read_time_ns_total").add(io.read_time_ns);
+        reg.counter("mlvc_ssd_write_time_ns_total").add(io.write_time_ns);
+
+        let ml = multilog.stats();
+        reg.counter("mlvc_log_updates_logged_total").add(ml.updates_logged);
+        reg.counter("mlvc_log_updates_read_total").add(ml.updates_read);
+        reg.counter("mlvc_log_pages_flushed_total").add(ml.pages_flushed);
+        reg.counter("mlvc_log_evictions_total").add(ml.evictions);
+        reg.counter("mlvc_log_bytes_appended_total").add(ml.bytes_appended);
+
+        let el = edgelog.stats();
+        reg.counter("mlvc_edgelog_vertices_logged_total").add(el.vertices_logged);
+        reg.counter("mlvc_edgelog_pages_written_total").add(el.pages_written);
+        reg.counter("mlvc_edgelog_hits_total").add(el.hits);
+
+        let ftl = self.ssd.ftl_stats().unwrap_or_default();
+        let fb = &ob.ftl_run_base;
+        reg.counter("mlvc_ftl_host_writes_total").add(ftl.host_writes - fb.host_writes);
+        reg.counter("mlvc_ftl_physical_writes_total")
+            .add(ftl.physical_writes - fb.physical_writes);
+        reg.counter("mlvc_ftl_erases_total").add(ftl.erases - fb.erases);
+        reg.counter("mlvc_ftl_gc_relocations_total")
+            .add(ftl.gc_relocations - fb.gc_relocations);
+
+        reg.counter("mlvc_engine_supersteps_total")
+            .add(report.supersteps.len() as u64);
+        reg.counter("mlvc_engine_messages_processed_total")
+            .add(report.supersteps.iter().map(|s| s.messages_processed).sum());
+        reg.counter("mlvc_engine_messages_sent_total")
+            .add(report.supersteps.iter().map(|s| s.messages_sent).sum());
+        reg.counter("mlvc_engine_edges_scanned_total")
+            .add(report.supersteps.iter().map(|s| s.edges_scanned).sum());
+
+        reg.gauge("mlvc_engine_converged").set(u64::from(report.converged));
+        // Amplification ratios as milli-units (gauges are integral).
+        if io.useful_bytes_read > 0 {
+            reg.gauge("mlvc_read_amplification_milli")
+                .set((io.bytes_read as f64 / io.useful_bytes_read as f64 * 1000.0) as u64);
+        }
+        let host = ftl.host_writes - fb.host_writes;
+        if host > 0 {
+            let physical = ftl.physical_writes - fb.physical_writes;
+            reg.gauge("mlvc_ftl_write_amplification_milli")
+                .set((physical as f64 / host as f64 * 1000.0) as u64);
+        }
+
+        let pages_hist = reg.histogram(
+            "mlvc_superstep_pages_read",
+            &[4, 16, 64, 256, 1024, 4096, 16384],
+        );
+        let msgs_hist = reg.histogram(
+            "mlvc_superstep_messages_sent",
+            &[16, 256, 4096, 65536, 1048576],
+        );
+        for rec in ob.ring.records() {
+            pages_hist.observe(rec.pages_read);
+            msgs_hist.observe(rec.messages_sent);
+        }
+        reg.snapshot()
     }
 }
 

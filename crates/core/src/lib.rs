@@ -33,6 +33,7 @@ pub use report::{RunReport, SuperstepStats};
 
 // Re-exported so applications depend on one crate for the full API surface.
 pub use mlvc_log::Update;
+pub use mlvc_obs::{MetricsSnapshot, TraceRecord};
 pub use mlvc_ssd::sync;
 
 use mlvc_graph::VertexId;

@@ -1,4 +1,5 @@
 use mlvc_log::{EdgeLogStats, MultiLogStats};
+use mlvc_obs::{trace_to_jsonl, MetricsSnapshot, TraceRecord};
 use mlvc_ssd::{DeviceError, SsdStatsSnapshot};
 
 /// Statistics of one superstep — the per-superstep rows behind the paper's
@@ -48,6 +49,9 @@ pub struct SuperstepStats {
     /// True if a crash-consistency checkpoint was written at this
     /// superstep's close-out (its I/O is charged to `io`).
     pub checkpointed: bool,
+    /// Deterministic observability record of this superstep (DESIGN.md
+    /// §13). `None` unless the run had `EngineConfig::obs` enabled.
+    pub metrics: Option<TraceRecord>,
 }
 
 impl SuperstepStats {
@@ -85,6 +89,14 @@ pub struct RunReport {
     /// Engine-specific extras.
     pub multilog: Option<MultiLogStats>,
     pub edgelog: Option<EdgeLogStats>,
+    /// Per-phase trace when `EngineConfig::obs` was enabled: record 0 is
+    /// the seeding phase, records 1.. mirror `supersteps` (bounded by the
+    /// engine's trace ring; very long runs keep the most recent records).
+    pub trace: Vec<TraceRecord>,
+    /// End-of-run metrics registry snapshot when `EngineConfig::obs` was
+    /// enabled. Its `mlvc_ssd_*` counters equal the device's own stats
+    /// delta over the run exactly (`tests/io_accounting.rs`).
+    pub obs: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -144,6 +156,39 @@ impl RunReport {
     /// application execution time on the MultiLogVC framework").
     pub fn speedup_over(&self, other: &RunReport) -> f64 {
         other.total_sim_time_ns() as f64 / self.total_sim_time_ns().max(1) as f64
+    }
+
+    /// The run's observability trace (empty unless `EngineConfig::obs` was
+    /// enabled). Record 0 is the seeding phase; see [`TraceRecord`].
+    pub fn metrics(&self) -> &[TraceRecord] {
+        &self.trace
+    }
+
+    /// The trace as JSON lines — the `mlvc run --metrics <path>` payload.
+    pub fn trace_jsonl(&self) -> String {
+        trace_to_jsonl(&self.trace)
+    }
+
+    /// Prometheus text exposition of the end-of-run registry snapshot
+    /// (empty string when obs was disabled).
+    pub fn prometheus_text(&self) -> String {
+        self.obs.as_ref().map(MetricsSnapshot::to_prometheus).unwrap_or_default()
+    }
+
+    /// Whole-run read amplification from the trace (bytes read / useful
+    /// bytes read), `None` when obs was off or nothing useful was read.
+    pub fn read_amplification(&self) -> Option<f64> {
+        let read: u64 = self.trace.iter().map(|t| t.bytes_read).sum();
+        let useful: u64 = self.trace.iter().map(|t| t.useful_bytes_read).sum();
+        (useful > 0).then(|| read as f64 / useful as f64)
+    }
+
+    /// Whole-run flash write amplification from the FTL counters in the
+    /// trace, `None` when obs was off or nothing was written.
+    pub fn write_amplification(&self) -> Option<f64> {
+        let host: u64 = self.trace.iter().map(|t| t.ftl_host_writes).sum();
+        let physical: u64 = self.trace.iter().map(|t| t.ftl_physical_writes).sum();
+        (host > 0).then(|| physical as f64 / host as f64)
     }
 }
 

@@ -470,6 +470,105 @@ mod tests {
     }
 
     #[test]
+    fn empty_superstep_predicts_and_logs_nothing() {
+        let (_ssd, mut opt) = setup();
+        // An interval with no active vertices and no page usage: the
+        // predictors must stay empty and the swap must be a no-op.
+        opt.end_superstep(&active_set(&[]), &[]).unwrap();
+        for v in 0..128u32 {
+            assert!(!opt.predicted_active(v));
+            assert!(!opt.contains(v));
+        }
+        assert!(!opt.page_predicted_inefficient(0, 0..=1024));
+        assert_eq!(opt.fetch(&[]).unwrap(), vec![]);
+        let s = opt.stats();
+        assert_eq!((s.vertices_logged, s.pages_written, s.hits), (0, 0, 0));
+        assert_eq!(s.prediction_accuracy(), None, "no inefficient pages yet");
+    }
+
+    #[test]
+    fn all_pages_hot_suppresses_every_copy() {
+        let (_ssd, mut opt) = setup();
+        // Every column-index page well-utilized (>= 10%): condition 2 of
+        // should_log fails for every vertex, however active.
+        let hot: Vec<PageUsage> = (0..8)
+            .map(|p| PageUsage { file: 5, page: p, useful_bytes: 26, page_bytes: 256 })
+            .collect();
+        opt.end_superstep(&active_set(&(0..128).collect::<Vec<_>>()), &hot).unwrap();
+        for v in 0..128u32 {
+            assert!(opt.predicted_active(v), "history says active");
+            assert!(!opt.should_log(v, 3, true, 5, 0..=7), "hot pages: never log");
+        }
+        assert_eq!(opt.stats().vertices_logged, 0);
+    }
+
+    #[test]
+    fn single_vertex_spanning_many_pages_is_never_logged() {
+        let (_ssd, mut opt) = setup();
+        // One cold page makes condition 2 true for everything on it.
+        let cold = PageUsage { file: 5, page: 0, useful_bytes: 4, page_bytes: 256 };
+        opt.end_superstep(&active_set(&[1, 2]), &[cold]).unwrap();
+        // 256-byte pages hold 64 u32 entries; the [v][len][edges…] record
+        // fits iff degree + 2 <= 64. Degree 62 is the last loggable degree;
+        // a vertex whose adjacency spans pages (63, 64, 1000 edges) is
+        // already an efficient consumer of its pages and must not be copied.
+        assert!(opt.should_log(1, 62, false, 5, 0..=0));
+        assert!(!opt.should_log(1, 63, false, 5, 0..=0));
+        assert!(!opt.should_log(1, 64, false, 5, 0..=0));
+        assert!(!opt.should_log(1, 1000, false, 5, 0..=3), "multi-page adjacency");
+        // And the loggable boundary case round-trips through the log.
+        let edges: Vec<u32> = (100..162).collect();
+        opt.log_edges(1, &edges).unwrap();
+        opt.end_superstep(&active_set(&[1]), &[]).unwrap();
+        assert_eq!(opt.fetch(&[1]).unwrap(), vec![(1, edges)]);
+    }
+
+    #[test]
+    fn exactly_the_eligible_edge_lists_are_copied() {
+        let (_ssd, mut opt) = setup();
+        // Superstep t: vertices 1, 2, 3 were active; page (7,0) was cold,
+        // page (7,1) hot.
+        let usage = [
+            PageUsage { file: 7, page: 0, useful_bytes: 4, page_bytes: 256 },
+            PageUsage { file: 7, page: 1, useful_bytes: 200, page_bytes: 256 },
+        ];
+        opt.end_superstep(&active_set(&[1, 2, 3]), &usage).unwrap();
+
+        // Superstep t+1: run the decision for a mixed population and copy
+        // exactly what should_log admits.
+        //               (v, degree, known_active, page)
+        let candidates = [
+            (1u32, 3usize, false, 0u64), // active history + cold page  -> log
+            (2, 62, false, 0),           // boundary degree, still fits -> log
+            (3, 63, false, 0),           // record would straddle       -> no
+            (4, 3, false, 0),            // never active                -> no
+            (5, 3, true, 0),             // known active + cold page    -> log
+            (1, 3, false, 1),            // hot page                    -> no
+            (6, 0, true, 0),             // zero degree                 -> no
+        ];
+        let mut logged = Vec::new();
+        for &(v, deg, known, page) in &candidates {
+            if opt.should_log(v, deg, known, 7, page..=page) {
+                let edges: Vec<u32> = (0..deg as u32).map(|k| v * 1000 + k).collect();
+                opt.log_edges(v, &edges).unwrap();
+                logged.push(v);
+            }
+        }
+        assert_eq!(logged, vec![1, 2, 5], "exactly the eligible edge lists");
+        assert_eq!(opt.stats().vertices_logged, 3);
+        opt.end_superstep(&active_set(&[1, 2, 5]), &[]).unwrap();
+        for v in [1u32, 2, 5] {
+            assert!(opt.contains(v), "vertex {v} readable next superstep");
+        }
+        for v in [3u32, 4, 6] {
+            assert!(!opt.contains(v), "vertex {v} must not be in the log");
+        }
+        let got = opt.fetch(&[2]).unwrap();
+        assert_eq!(got[0].1.len(), 62);
+        assert_eq!(got[0].1[0], 2000);
+    }
+
+    #[test]
     fn buffer_pressure_flushes_incrementally() {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         let cfg = EdgeLogConfig { buffer_bytes: 2 * 256, ..Default::default() };

@@ -31,6 +31,10 @@ pub struct MultiLogStats {
     /// Memory-pressure eviction events (buffer exceeded its cap).
     pub evictions: u64,
     pub updates_read: u64,
+    /// Encoded record bytes appended across every interval log (count
+    /// header + records per flushed page — the observability layer's
+    /// "log bytes appended" source).
+    pub bytes_appended: u64,
 }
 
 /// The Multi-Log Update Unit (paper §V-A).
@@ -71,6 +75,8 @@ pub struct MultiLog {
     /// into the same total as the owner.
     stats: MultiLogStats,
     updates_read: Arc<AtomicU64>,
+    /// Per-interval share of `stats.bytes_appended` (same counting).
+    bytes_per_interval: Vec<u64>,
 }
 
 /// Shared-nothing handle onto the **read side** of the multi-log — the
@@ -206,6 +212,7 @@ impl MultiLog {
             page_cap: page_record_capacity(page_size),
             stats: MultiLogStats::default(),
             updates_read: Arc::new(AtomicU64::new(0)),
+            bytes_per_interval: vec![0; n],
         })
     }
 
@@ -214,6 +221,12 @@ impl MultiLog {
             updates_read: self.updates_read.load(Ordering::Relaxed),
             ..self.stats
         }
+    }
+
+    /// Cumulative encoded bytes appended to each interval's log (indexed
+    /// by interval id; same counting as `stats().bytes_appended`).
+    pub fn bytes_appended_per_interval(&self) -> &[u64] {
+        &self.bytes_per_interval
     }
 
     /// A read-side handle for this superstep (see [`LogReader`]).
@@ -325,14 +338,19 @@ impl MultiLog {
         }
         let page_size = self.ssd.page_size();
         let side = self.write_side;
-        let encoded: Vec<(FileId, Vec<u8>)> = self
+        let encoded: Vec<(IntervalId, FileId, Vec<u8>)> = self
             .sealed
             .drain(..)
-            .map(|(i, ups)| (self.files[idx(i)][side], encode_log_page(&ups, page_size)))
+            .map(|(i, ups)| (i, self.files[idx(i)][side], encode_log_page(&ups, page_size)))
             .collect();
         let writes: Vec<(FileId, &[u8])> =
-            encoded.iter().map(|(f, p)| (*f, p.as_slice())).collect();
+            encoded.iter().map(|(_, f, p)| (*f, p.as_slice())).collect();
         self.ssd.append_scattered(&writes)?;
+        for (i, _, p) in &encoded {
+            let appended = to_u64(p.len());
+            self.stats.bytes_appended += appended;
+            self.bytes_per_interval[idx(*i)] += appended;
+        }
         self.stats.pages_flushed += to_u64(writes.len());
         Ok(())
     }
@@ -621,5 +639,33 @@ mod tests {
         let s = ssd.stats().snapshot();
         assert!(s.pages_written >= 4, "one page per touched interval");
         assert_eq!(s.write_batches, 1, "single scattered dispatch");
+    }
+
+    #[test]
+    fn bytes_appended_accounting_per_interval() {
+        // 100 vertices over 4 intervals of 25 — interval i is [25i, 25i+25).
+        let mut ml = setup(1 << 20);
+        assert_eq!(ml.stats().bytes_appended, 0);
+        assert_eq!(ml.bytes_appended_per_interval(), &[0, 0, 0, 0]);
+        // 3 updates into interval 0, 1 into interval 2.
+        for dest in [0u32, 5, 24, 70] {
+            ml.send(Update::new(dest, 1, 0)).unwrap();
+        }
+        ml.finish_superstep().unwrap();
+        let per = ml.bytes_appended_per_interval().to_vec();
+        assert_eq!(per[0], to_u64(4 + 3 * UPDATE_BYTES), "header + 3 records");
+        assert_eq!(per[1], 0);
+        assert_eq!(per[2], to_u64(4 + UPDATE_BYTES));
+        assert_eq!(per[3], 0);
+        assert_eq!(ml.stats().bytes_appended, per.iter().sum::<u64>());
+        // Accounting is cumulative across supersteps and agrees between
+        // the per-interval view and the total.
+        ml.send(Update::new(99, 9, 9)).unwrap();
+        ml.finish_superstep().unwrap();
+        assert_eq!(
+            ml.stats().bytes_appended,
+            ml.bytes_appended_per_interval().iter().sum::<u64>()
+        );
+        assert_eq!(ml.bytes_appended_per_interval()[3], to_u64(4 + UPDATE_BYTES));
     }
 }

@@ -11,7 +11,7 @@ use crate::checked::{idx, mem_idx, page_byte_offset, to_u32, to_u64};
 use crate::config::SsdConfig;
 use crate::cost::{batch_time_ns, PageAddr};
 use crate::fault::{DeviceError, FaultCounters, FaultPlan, FaultState, WriteFate};
-use crate::ftl::FtlOp;
+use crate::ftl::{FtlConfig, FtlModel, FtlOp, FtlStats};
 use crate::stats::SsdStats;
 
 /// Identifier of a file on the simulated device.
@@ -62,6 +62,10 @@ pub struct Ssd {
     /// Optional host-level write/trim trace for FTL replay (see
     /// [`crate::FtlModel`]); `None` keeps the hot path allocation-free.
     trace: Mutex<Option<Vec<FtlOp>>>,
+    /// Optional *live* FTL model fed by every page write and trim as it
+    /// happens (the observability layer's flash write-amplification
+    /// source); `None` keeps the hot path to one lock + branch per batch.
+    ftl: Mutex<Option<FtlModel>>,
 }
 
 #[derive(Default)]
@@ -92,6 +96,7 @@ impl Ssd {
             files: Mutex::new(Files::default()),
             fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
+            ftl: Mutex::new(None),
         }
     }
 
@@ -105,6 +110,7 @@ impl Ssd {
             files: Mutex::new(Files::default()),
             fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
+            ftl: Mutex::new(None),
         })
     }
 
@@ -182,6 +188,46 @@ impl Ssd {
     fn trace_trims(&self, file: FileId, pages: u64) {
         if let Some(t) = self.trace.lock().as_mut() {
             t.extend((0..pages).map(|p| FtlOp::Trim((file, p))));
+        }
+    }
+
+    // ---- live FTL --------------------------------------------------------
+
+    /// Attach a live [`FtlModel`] fed by every subsequent page write and
+    /// trim (the observability layer's write-amplification source, as
+    /// opposed to the record-then-[`FtlModel::replay`] flow of
+    /// `enable_trace`). Idempotent: a model that is already attached keeps
+    /// its state so re-enabling cannot reset amplification counters.
+    pub fn enable_ftl(&self, cfg: FtlConfig) {
+        let mut g = self.ftl.lock();
+        if g.is_none() {
+            *g = Some(FtlModel::new(cfg));
+        }
+    }
+
+    /// Whether a live FTL model is attached.
+    pub fn ftl_enabled(&self) -> bool {
+        self.ftl.lock().is_some()
+    }
+
+    /// Snapshot of the live FTL's counters (`None` when not enabled).
+    pub fn ftl_stats(&self) -> Option<FtlStats> {
+        self.ftl.lock().as_ref().map(FtlModel::stats)
+    }
+
+    fn ftl_writes(&self, addrs: &[PageAddr]) {
+        if let Some(f) = self.ftl.lock().as_mut() {
+            for a in addrs {
+                f.write((a.file, a.page));
+            }
+        }
+    }
+
+    fn ftl_trims(&self, file: FileId, pages: u64) {
+        if let Some(f) = self.ftl.lock().as_mut() {
+            for p in 0..pages {
+                f.trim((file, p));
+            }
         }
     }
 
@@ -272,6 +318,7 @@ impl Ssd {
             }
         }
         self.trace_trims(file, dropped);
+        self.ftl_trims(file, dropped);
         Ok(())
     }
 
@@ -298,6 +345,7 @@ impl Ssd {
             }
         }
         self.trace_trims(file, dropped);
+        self.ftl_trims(file, dropped);
         Ok(())
     }
 
@@ -592,6 +640,7 @@ impl Ssd {
             return;
         }
         self.trace_writes(addrs);
+        self.ftl_writes(addrs);
         let t = batch_time_ns(&self.cfg, addrs, self.cfg.write_ns);
         let s = &self.stats;
         s.pages_written.fetch_add(to_u64(addrs.len()), Ordering::Relaxed);
@@ -893,6 +942,43 @@ mod tests {
         assert!(!ssd.is_crashed(), "read faults are transient, not crashes");
         ssd.revive();
         ssd.read_page(f, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn live_ftl_matches_trace_replay() {
+        use crate::ftl::FtlConfig;
+        let run_writes = |ssd: &Ssd| {
+            let f = ssd.open_or_create("log").unwrap();
+            for i in 0..10u8 {
+                ssd.append_page(f, &[i; 16]).unwrap();
+            }
+            ssd.truncate(f).unwrap();
+            for i in 0..4u8 {
+                ssd.append_page(f, &[i; 16]).unwrap();
+            }
+        };
+
+        // Live model, fed as operations happen.
+        let live = dev();
+        assert!(!live.ftl_enabled());
+        assert!(live.ftl_stats().is_none());
+        live.enable_ftl(FtlConfig::default());
+        assert!(live.ftl_enabled());
+        run_writes(&live);
+
+        // Recorded trace replayed after the fact (the pre-existing flow).
+        let rec = dev();
+        rec.enable_trace();
+        run_writes(&rec);
+        let mut model = FtlModel::new(FtlConfig::default());
+        model.replay(&rec.take_trace());
+
+        let live_stats = live.ftl_stats().unwrap();
+        assert_eq!(live_stats, model.stats(), "live feed must equal replay");
+        assert_eq!(live_stats.host_writes, 14);
+        // enable_ftl is idempotent: re-enabling keeps accumulated state.
+        live.enable_ftl(FtlConfig::default());
+        assert_eq!(live.ftl_stats().unwrap().host_writes, 14);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Fixture: the observability crate is format-scoped — its counters must
+//! mirror the device's on-disk quantities exactly, so `no-truncating-cast`
+//! and `no-magic-layout-literal` fire inside `crates/obs/src/` just like
+//! they do in `ssd`/`log`/`graph`/`recover`.
+
+pub fn bucket_index(value: u64) -> usize {
+    value as usize
+}
+
+pub fn pages_from_bytes(bytes: u64) -> u64 {
+    bytes / 16384
+}
+
+pub fn allowed_widening(n: u32) -> u64 {
+    // mlvc-lint: allow(no-truncating-cast) -- u32 -> u64 widens, never truncates
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_here_are_exempt() {
+        let idx = 3u64 as usize;
+        assert_eq!(idx, 3);
+    }
+}

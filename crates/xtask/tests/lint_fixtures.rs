@@ -9,13 +9,14 @@ use std::process::Command;
 use xtask::Diagnostic;
 
 /// (fixture path under tests/fixtures/, scope path the CLI derives).
-const FIXTURES: [(&str, &str); 6] = [
+const FIXTURES: [(&str, &str); 7] = [
     ("crates/ssd/src/bad_cast.rs", "no-truncating-cast"),
     ("crates/core/src/bad_panic.rs", "no-panic-in-lib"),
     ("crates/log/src/bad_layout.rs", "no-magic-layout-literal"),
     ("crates/ssd/src/bad_wallclock.rs", "no-wallclock-in-sim"),
     ("crates/apps/src/bad_lock.rs", "no-lock-across-par"),
     ("crates/recover/src/bad_ckpt.rs", "no-truncating-cast"),
+    ("crates/obs/src/bad_counters.rs", "no-truncating-cast"),
 ];
 
 fn fixture_dir() -> PathBuf {
@@ -85,6 +86,16 @@ fn recover_fixture_fires_both_format_rules_and_allow_suppresses() {
     assert_eq!(lines_of(&d, "no-truncating-cast"), vec![6, 10]);
     assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![14]);
     assert_eq!(d.len(), 3, "{d:?}");
+}
+
+#[test]
+fn obs_fixture_fires_both_format_rules_and_allow_suppresses() {
+    let d = lint_fixture("crates/obs/src/bad_counters.rs");
+    // Truncating cast at 7, page-size literal at 11; allow-suppressed
+    // widening cast at 16 and the test module never fire.
+    assert_eq!(lines_of(&d, "no-truncating-cast"), vec![7]);
+    assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![11]);
+    assert_eq!(d.len(), 2, "{d:?}");
 }
 
 #[test]

@@ -58,6 +58,7 @@ usage:
            --graph <file> [--engine mlvc|graphchi|grafboost|reference]
            [--steps N] [--memory-kb K] [--source V] [--seed S] [--async]
            [--ssd-dir DIR] [--checkpoint-every K] [--crash-after N]
+           [--metrics FILE]
   mlvc resume --app <app> --graph <file> --ssd-dir DIR
            [--steps N] [--memory-kb K] [--source V] [--seed S]
            [--checkpoint-every K]
@@ -69,7 +70,12 @@ SNAP-style edge-list text (auto-detected on read).
 the process; --checkpoint-every K writes a crash-consistent checkpoint
 every K supersteps; --crash-after N injects a deterministic device crash
 (torn page) at the Nth page write. `resume` restarts an interrupted
-mlvc-engine run from its last durable checkpoint.";
+mlvc-engine run from its last durable checkpoint.
+
+--metrics FILE (mlvc engine only) turns on the observability layer
+(DESIGN.md §13): the per-superstep trace is written to FILE as JSON
+lines and a Prometheus text snapshot of the run counters to FILE.prom;
+the run summary then also reports read/write amplification.";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Args<'a> {
@@ -252,6 +258,10 @@ fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
     let source: u32 = a.get_parsed("source", 0u32)?;
     let checkpoint_every: usize = a.get_parsed("checkpoint-every", 0)?;
     let crash_after: u64 = a.get_parsed("crash-after", 0)?;
+    let metrics_path = a.get("metrics");
+    if metrics_path.is_some() && engine_name != "mlvc" {
+        return Err("--metrics supports only --engine mlvc".into());
+    }
     if resume {
         if engine_name != "mlvc" {
             return Err("resume supports only --engine mlvc".into());
@@ -269,7 +279,8 @@ fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
     let mut cfg = EngineConfig::default()
         .with_memory(memory_kb << 10)
         .with_seed(seed)
-        .with_async(a.has("async"));
+        .with_async(a.has("async"))
+        .with_obs(metrics_path.is_some());
     if checkpoint_every > 0 {
         cfg = cfg.with_checkpoint_every(checkpoint_every);
     }
@@ -347,6 +358,9 @@ fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
     if let Some(from) = report.resumed_from {
         println!("\nresumed from the checkpoint at superstep {from}");
     }
+    if let Some(path) = metrics_path {
+        write_metrics(path, &report)?;
+    }
     println!(
         "\nconverged: {}; total {:.2} ms simulated ({:.0}% storage)",
         report.converged,
@@ -362,6 +376,26 @@ fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// Emit the observability artifacts of a run: the per-superstep trace as
+/// JSON lines at `path` and a Prometheus text snapshot at `path.prom`,
+/// plus the amplification summary on stdout (DESIGN.md §13).
+fn write_metrics(path: &str, report: &RunReport) -> Result<(), String> {
+    std::fs::write(path, report.trace_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    let prom = format!("{path}.prom");
+    std::fs::write(&prom, report.prometheus_text()).map_err(|e| format!("{prom}: {e}"))?;
+    let amp = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.3}"));
+    println!(
+        "metrics: {} trace records -> {path}, registry -> {prom}",
+        report.metrics().len()
+    );
+    println!(
+        "read amplification {}; flash write amplification {}",
+        amp(report.read_amplification()),
+        amp(report.write_amplification())
+    );
     Ok(())
 }
 
@@ -478,6 +512,57 @@ mod tests {
             "50",
         ]))
         .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn metrics_flag_writes_trace_and_prometheus() {
+        let dir = std::env::temp_dir().join(format!("mlvc-cli-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csr = dir.join("g.csr");
+        let csr_s = csr.to_str().unwrap();
+        let metrics = dir.join("metrics.jsonl");
+        let metrics_s = metrics.to_str().unwrap();
+
+        run(&strs(&["gen", "--kind", "rmat-social", "--scale", "8", "--out", csr_s])).unwrap();
+        run(&strs(&[
+            "run", "--app", "pagerank", "--graph", csr_s, "--steps", "5",
+            "--metrics", metrics_s,
+        ]))
+        .unwrap();
+
+        // The trace is valid JSONL with the paper's I/O accounting fields.
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "seed phase + at least one superstep");
+        for line in &lines {
+            let v = multilogvc::obs::json::parse(line).unwrap();
+            for field in multilogvc::obs::TRACE_FIELDS {
+                assert!(v.get(field).is_some(), "missing {field}");
+            }
+            assert!(v.get("read_amplification").is_some());
+        }
+        // Some superstep read pages and appended log bytes.
+        let total = |f: &str| -> f64 {
+            lines.iter().map(|l| {
+                multilogvc::obs::json::parse(l).unwrap().get(f).and_then(|x| x.as_num()).unwrap()
+            }).sum()
+        };
+        assert!(total("pages_read") > 0.0);
+        assert!(total("log_bytes_appended") > 0.0);
+
+        // The Prometheus snapshot exists and exposes the device counters.
+        let prom = std::fs::read_to_string(format!("{metrics_s}.prom")).unwrap();
+        assert!(prom.contains("# TYPE mlvc_ssd_pages_read_total counter"));
+        assert!(prom.contains("mlvc_log_bytes_appended_total"));
+
+        // --metrics is refused on non-mlvc engines.
+        assert!(run(&strs(&[
+            "run", "--app", "pagerank", "--graph", csr_s, "--engine", "graphchi",
+            "--metrics", metrics_s,
+        ]))
+        .is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -28,6 +28,7 @@ pub use mlvc_graph as graph;
 pub use mlvc_io as io;
 pub use mlvc_graphchi as graphchi;
 pub use mlvc_log as log;
+pub use mlvc_obs as obs;
 pub use mlvc_par as par;
 pub use mlvc_recover as recover;
 pub use mlvc_ssd as ssd;

@@ -6,9 +6,12 @@
 use std::sync::Arc;
 
 use multilogvc::apps::{Bfs, Cdlp, Coloring, KCore, Mis, PageRank, RandomWalk, Wcc};
-use multilogvc::core::{Engine, EngineConfig, MultiLogEngine, ReferenceEngine, VertexProgram};
+use multilogvc::core::{
+    Combine, Engine, EngineConfig, InitActive, MultiLogEngine, ReferenceEngine, TraceRecord,
+    VertexCtx, VertexProgram,
+};
 use multilogvc::grafboost::GrafBoostEngine;
-use multilogvc::graph::{Csr, StoredGraph, VertexIntervals};
+use multilogvc::graph::{Csr, StoredGraph, VertexId, VertexIntervals};
 use multilogvc::graphchi::GraphChiEngine;
 use multilogvc::ssd::{Ssd, SsdConfig};
 
@@ -160,6 +163,200 @@ fn reference_engine_agrees_on_every_app() {
         let mut r = ReferenceEngine::new(g.clone(), 0xC0FFEE);
         r.run(app_r.as_ref(), steps);
         assert_eq!(m.states(), r.states(), "app {}", app_r.name());
+    }
+}
+
+/// Forwards a program but strips its `combine` operator, so the engine's
+/// optional reduction path can be toggled without touching the app.
+struct NoCombine(Box<dyn VertexProgram>);
+
+impl VertexProgram for NoCombine {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn init_state(&self, v: VertexId) -> u64 {
+        self.0.init_state(v)
+    }
+    fn init_active(&self, num_vertices: usize) -> InitActive {
+        self.0.init_active(num_vertices)
+    }
+    fn process(&self, ctx: &mut VertexCtx<'_>) {
+        self.0.process(ctx)
+    }
+    fn combine(&self) -> Option<Combine> {
+        None
+    }
+    fn needs_weights(&self) -> bool {
+        self.0.needs_weights()
+    }
+}
+
+/// One MultiLogVC run with the observability layer on, returning final
+/// states plus the per-superstep trace.
+fn run_obs(
+    csr: &Csr,
+    prog: &dyn VertexProgram,
+    steps: usize,
+    pipeline: bool,
+    async_mode: bool,
+) -> (Vec<u64>, Vec<TraceRecord>) {
+    let iv = VertexIntervals::uniform(csr.num_vertices(), 5);
+    let cfg = EngineConfig::default()
+        .with_memory(512 << 10)
+        .with_pipeline(pipeline)
+        .with_async(async_mode)
+        .with_obs(true);
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let sg = StoredGraph::store_with(&ssd, csr, "x", iv).unwrap();
+    let mut e = MultiLogEngine::new(ssd, sg, cfg);
+    let r = e.run(prog, steps);
+    assert_eq!(
+        r.trace.len(),
+        r.supersteps.len() + 1,
+        "seed record + one per superstep"
+    );
+    for (st, tr) in r.supersteps.iter().zip(r.trace.iter().skip(1)) {
+        assert_eq!(st.metrics, Some(*tr), "SuperstepStats mirrors the trace");
+    }
+    (e.states().to_vec(), r.trace)
+}
+
+/// Field-by-field trace comparison so a mismatch names the culprit
+/// instead of dumping two 23-field structs.
+fn assert_traces_eq(a: &[TraceRecord], b: &[TraceRecord], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "trace length: {ctx}");
+    for (x, y) in a.iter().zip(b) {
+        for ((name, xv), (_, yv)) in x.fields().iter().zip(y.fields().iter()) {
+            assert_eq!(
+                xv, yv,
+                "field {name} diverges at superstep {}: {ctx}",
+                x.superstep
+            );
+        }
+    }
+}
+
+/// The trace with `sim_time_ns` zeroed. The pipeline toggle regroups
+/// reads into different batches, and the simulated-time model charges a
+/// per-batch overhead — so simulated time legitimately moves while every
+/// count (pages, bytes, messages, log activity, FTL) must not.
+fn trace_modulo_sim_time(trace: &[TraceRecord]) -> Vec<TraceRecord> {
+    trace.iter().map(|r| TraceRecord { sim_time_ns: 0, ..*r }).collect()
+}
+
+/// Only the algorithmic fields of the trace: per-superstep vertex and
+/// message counts, which are invariant even where the I/O schedule is not.
+/// In asynchronous mode (§V-F) the pipelined scatter changes *when* a
+/// same-superstep update reaches its interval log, so page/byte traffic
+/// shifts between supersteps — but what the algorithm computed cannot.
+fn trace_algorithmic_counts(trace: &[TraceRecord]) -> Vec<TraceRecord> {
+    trace
+        .iter()
+        .map(|r| TraceRecord {
+            superstep: r.superstep,
+            active_vertices: r.active_vertices,
+            messages_processed: r.messages_processed,
+            messages_delivered: r.messages_delivered,
+            messages_sent: r.messages_sent,
+            edges_scanned: r.edges_scanned,
+            fused_batches: r.fused_batches,
+            ..Default::default()
+        })
+        .collect()
+}
+
+/// The trace with the two fields the combine toggle legitimately changes
+/// (post-reduction delivery count and the compute time derived from it)
+/// zeroed out; everything else must be invariant.
+fn trace_modulo_combine(trace: &[TraceRecord]) -> Vec<TraceRecord> {
+    trace
+        .iter()
+        .map(|r| TraceRecord { messages_delivered: 0, sim_time_ns: 0, ..*r })
+        .collect()
+}
+
+/// Full execution-mode cross-product {pipeline}×{sync/async}×{combine}:
+/// final states are bit-identical within each computation model, trace
+/// counts are bit-identical across the pipeline toggle (only the
+/// batching-sensitive simulated time moves), and the combine toggle changes
+/// only the delivery count and its derived compute time. BFS additionally
+/// reaches the same vertex set across sync/async, with async levels
+/// bounded below by the sync (shortest) ones.
+#[test]
+fn obs_trace_invariant_across_pipeline_async_combine() {
+    let g = mlvc_gen::cf_mini(9, 11).graph;
+    type Factory = Box<dyn Fn() -> Box<dyn VertexProgram>>;
+    let apps: Vec<(&str, usize, Factory)> = vec![
+        ("bfs", 60, Box::new(|| Box::new(Bfs::new(1)))),
+        ("pagerank", 20, Box::new(|| Box::new(PageRank::new(0.85, 1e-9)))),
+        ("coloring", 200, Box::new(|| Box::new(Coloring::new()))),
+    ];
+    for (name, steps, make) in apps {
+        let mut sync_states: Option<Vec<u64>> = None;
+        for async_mode in [false, true] {
+            // (pipeline, combine stripped) -> (states, trace)
+            let mut runs: Vec<(bool, bool, Vec<u64>, Vec<TraceRecord>)> = Vec::new();
+            for pipeline in [false, true] {
+                for stripped in [false, true] {
+                    let prog: Box<dyn VertexProgram> =
+                        if stripped { Box::new(NoCombine(make())) } else { make() };
+                    let (st, tr) = run_obs(&g, prog.as_ref(), steps, pipeline, async_mode);
+                    runs.push((pipeline, stripped, st, tr));
+                }
+            }
+            let tag = |p: bool, c: bool| {
+                format!("{name} async={async_mode} pipeline={p} no-combine={c}")
+            };
+            // Final states: bit-identical across the whole group.
+            for (p, c, st, _) in &runs[1..] {
+                assert_eq!(st, &runs[0].2, "states diverge at {}", tag(*p, *c));
+            }
+            // Traces across the pipeline toggle (same combine): in sync
+            // mode every count is identical and only the batching-sensitive
+            // simulated time moves; in async mode the scatter-timing shift
+            // also moves log I/O between supersteps, so the invariant is
+            // the algorithmic counts.
+            for stripped in [false, true] {
+                let pair: Vec<&Vec<TraceRecord>> =
+                    runs.iter().filter(|r| r.1 == stripped).map(|r| &r.3).collect();
+                let (a, b) = if async_mode {
+                    (trace_algorithmic_counts(pair[0]), trace_algorithmic_counts(pair[1]))
+                } else {
+                    (trace_modulo_sim_time(pair[0]), trace_modulo_sim_time(pair[1]))
+                };
+                assert_traces_eq(&a, &b, &format!("pipeline toggle, {}", tag(true, stripped)));
+            }
+            // …and invariant modulo delivery/compute across the combine
+            // toggle (runs 0 and 1 share pipeline=false).
+            assert_traces_eq(
+                &trace_modulo_combine(&runs[0].3),
+                &trace_modulo_combine(&runs[1].3),
+                &format!("combine leaks into I/O accounting: {name} async={async_mode}"),
+            );
+            if async_mode {
+                if name == "bfs" {
+                    // Async BFS settles on first touch, and a same-superstep
+                    // cascade can arrive before the true frontier — so a
+                    // level is the length of *some* path (>= the sync
+                    // shortest level), and reachability is identical.
+                    let sync = sync_states.as_ref().unwrap();
+                    for (v, (&a, &s)) in runs[0].2.iter().zip(sync).enumerate() {
+                        assert_eq!(
+                            Bfs::level(a).is_some(),
+                            Bfs::level(s).is_some(),
+                            "reachability differs at vertex {v}"
+                        );
+                        assert!(a >= s, "async level below shortest at vertex {v}");
+                    }
+                }
+            } else {
+                sync_states = Some(runs[0].2.clone());
+                if name == "coloring" {
+                    let colors: Vec<u32> = runs[0].2.iter().map(|&s| s as u32).collect();
+                    assert!(mlvc_apps::is_proper_coloring(&g, &colors));
+                }
+            }
+        }
     }
 }
 

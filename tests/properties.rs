@@ -252,6 +252,85 @@ fn mis_valid_any_graph() {
     }
 }
 
+/// Both parallel sort kernels equal a naive stable sort — same order,
+/// including the relative order of equal keys — at every size class
+/// (empty, tiny, just under/over the parallel threshold, large) and
+/// thread count, with duplicate-heavy and already-sorted keys.
+#[test]
+fn par_sorts_match_naive_stable_sort() {
+    use multilogvc::par::{par_sort_by_key, par_sort_by_u32_key, set_thread_override};
+
+    // (key, tag): the tag records input position so stability is visible
+    // even among equal keys.
+    fn cases(rng: &mut SeededRng) -> Vec<Vec<(u32, u32)>> {
+        let mut out: Vec<Vec<(u32, u32)>> = Vec::new();
+        for n in [0usize, 1, 2, 37, 4095, 4096, 4097, 20_000] {
+            // Duplicate-heavy keys (range 0..8) stress stability hardest;
+            // the wide range stresses every radix digit.
+            for key_range in [8u32, u32::MAX] {
+                out.push(
+                    (0..n)
+                        .map(|i| (rng.gen_range(0u32..key_range.max(1)), i as u32))
+                        .collect(),
+                );
+            }
+        }
+        // Already sorted and reverse sorted, above the parallel threshold.
+        out.push((0..8192u32).map(|i| (i / 4, i)).collect());
+        out.push((0..8192u32).map(|i| (2048 - i / 4, i)).collect());
+        out
+    }
+
+    let mut rng = SeededRng::seed_from_u64(109);
+    let inputs = cases(&mut rng);
+    for threads in [1usize, 2, 8] {
+        set_thread_override(Some(threads));
+        for input in &inputs {
+            let mut expect = input.clone();
+            expect.sort_by_key(|&(k, _)| k); // std stable sort = ground truth
+
+            let mut a = input.clone();
+            par_sort_by_u32_key(&mut a, |&(k, _)| k);
+            assert_eq!(a, expect, "radix, n={} threads={threads}", input.len());
+
+            let mut b = input.clone();
+            par_sort_by_key(&mut b, |&(k, _)| k);
+            assert_eq!(b, expect, "merge, n={} threads={threads}", input.len());
+        }
+    }
+    set_thread_override(None);
+}
+
+/// The two kernels agree with each other on random data for any thread
+/// count — and the output is identical across thread counts (the
+/// determinism contract the engine's trace guarantee rests on).
+#[test]
+fn par_sorts_thread_count_invariant() {
+    use multilogvc::par::{par_sort_by_key, par_sort_by_u32_key, set_thread_override};
+
+    let mut rng = SeededRng::seed_from_u64(110);
+    for _ in 0..8 {
+        let n = rng.gen_range(1usize..30_000);
+        let keys: Vec<(u32, u32)> =
+            (0..n).map(|i| (rng.gen_range(0u32..997), i as u32)).collect();
+
+        let mut base: Option<Vec<(u32, u32)>> = None;
+        for threads in [1usize, 2, 8] {
+            set_thread_override(Some(threads));
+            let mut a = keys.clone();
+            par_sort_by_u32_key(&mut a, |&(k, _)| k);
+            let mut b = keys.clone();
+            par_sort_by_key(&mut b, |&(k, _)| k);
+            assert_eq!(a, b, "kernels disagree at n={n} threads={threads}");
+            match &base {
+                None => base = Some(a),
+                Some(want) => assert_eq!(&a, want, "thread-count variance at n={n}"),
+            }
+        }
+    }
+    set_thread_override(None);
+}
+
 /// Coloring output is proper on any graph.
 #[test]
 fn coloring_proper_any_graph() {
