@@ -60,6 +60,10 @@ pub struct MultiLogEngine {
     graph: Arc<StoredGraph>,
     cfg: EngineConfig,
     states: Vec<u64>,
+    /// Shadow cell auditing the superstep state protocol: worker threads
+    /// read the frozen `states` during parallel processing, the owner
+    /// writes them only after the fan-out joins (DESIGN.md §14).
+    states_audit: mlvc_par::Tracked<()>,
 }
 
 /// Work unit handed to the parallel processing stage. Everything is
@@ -101,14 +105,16 @@ impl MultiLogEngine {
     pub fn new(ssd: Arc<Ssd>, graph: StoredGraph, cfg: EngineConfig) -> Self {
         let cfg = cfg.validated();
         let states = vec![0u64; graph.num_vertices()];
-        MultiLogEngine { ssd, graph: Arc::new(graph), cfg, states }
+        let states_audit = mlvc_par::Tracked::new("MultiLogEngine::states", ());
+        MultiLogEngine { ssd, graph: Arc::new(graph), cfg, states, states_audit }
     }
 
     /// Engine over an already shared stored graph.
     pub fn with_shared_graph(ssd: Arc<Ssd>, graph: Arc<StoredGraph>, cfg: EngineConfig) -> Self {
         let cfg = cfg.validated();
         let states = vec![0u64; graph.num_vertices()];
-        MultiLogEngine { ssd, graph, cfg, states }
+        let states_audit = mlvc_par::Tracked::new("MultiLogEngine::states", ());
+        MultiLogEngine { ssd, graph, cfg, states, states_audit }
     }
 
     pub fn graph(&self) -> &Arc<StoredGraph> {
@@ -352,6 +358,7 @@ impl MultiLogEngine {
             .collect();
         let mut combined_storage: Vec<Option<Update>> = Vec::new();
         let states = &mut self.states;
+        let states_audit = &self.states_audit;
         let cfg = &self.cfg;
         let graph = &self.graph;
 
@@ -375,11 +382,18 @@ impl MultiLogEngine {
             // batches (DESIGN.md §12).
             let reader = multilog.reader();
             let prefetch = cfg.pipeline && !cfg.async_mode;
-            std::thread::scope(|scope| -> Result<(), DeviceError> {
+            // Shadow cell auditing the prefetch handoff: the prefetch
+            // thread writes the cell after loading a batch, the owner
+            // reads it after joining the handle — the join edge is what
+            // makes the handoff race-free, and removing it would trip the
+            // detector here (DESIGN.md §14).
+            let handoff_audit = mlvc_par::Tracked::new("engine prefetch handoff", ());
+            mlvc_par::scope(|scope| -> Result<(), DeviceError> {
                 let sg = &sortgroup;
                 let rd = &reader;
+                let ha = &handoff_audit;
                 let mut next: Option<
-                    std::thread::ScopedJoinHandle<'_, Result<FusedBatch, DeviceError>>,
+                    mlvc_par::ScopedJoinHandle<'_, Result<FusedBatch, DeviceError>>,
                 > = None;
                 for (bi, range) in plan.iter().enumerate() {
                     // 1. Load + in-memory sort of the fused interval logs —
@@ -387,14 +401,21 @@ impl MultiLogEngine {
                     //    iteration, or loaded inline.
                     let batch = match next.take() {
                         Some(h) => match h.join() {
-                            Ok(b) => b?,
+                            Ok(b) => {
+                                handoff_audit.audit_read();
+                                b?
+                            }
                             Err(p) => std::panic::resume_unwind(p),
                         },
                         None => sg.load_batch(rd, range.clone())?,
                     };
                     if prefetch {
                         if let Some(r) = plan.get(bi + 1).cloned() {
-                            next = Some(scope.spawn(move || sg.load_batch(rd, r)));
+                            next = Some(scope.spawn(move || {
+                                let b = sg.load_batch(rd, r);
+                                ha.audit_write();
+                                b
+                            }));
                         }
                     }
                     st.load_ns += batch.load_ns;
@@ -567,6 +588,7 @@ impl MultiLogEngine {
                         let frozen: &[u64] = states;
                         let seed = cfg.seed;
                         let outputs: Vec<_> = mlvc_par::par_map(&items, |item| {
+                            states_audit.audit_read();
                             let mut ctx = VertexCtx::new(
                                 item.v,
                                 superstep,
@@ -633,6 +655,7 @@ impl MultiLogEngine {
                             // pre-pipeline engine did.
                             graph.colidx_file(i)
                         };
+                        states_audit.audit_write();
                         for (item, out) in items.iter().zip(outputs) {
                             states[item.v as usize] = out.state;
                             active_bits.set(item.v as usize);

@@ -82,7 +82,7 @@ impl GrafBoostEngine {
             st.messages_processed = sort_stats.updates_in;
             let buf_pages = ((self.cfg.sort_budget() / self.ssd.page_size()) / 4).max(1) as u64;
             let mut groups = SortedGroups::new(&self.ssd, sorted, buf_pages)?;
-            let mut peeked: Option<(VertexId, Vec<Update>)> = groups.next()?;
+            let mut peeked: Option<(VertexId, Vec<Update>)> = groups.next_group()?;
 
             for i in intervals.iter_ids() {
                 let iv = intervals.range(i);
@@ -95,7 +95,7 @@ impl GrafBoostEngine {
                     if let Some(g) = peeked.take() {
                         msg_groups.push(g);
                     }
-                    peeked = groups.next()?;
+                    peeked = groups.next_group()?;
                 }
                 // Active set: receivers ∪ kept-active ∪ (all at superstep 1).
                 let ss = self_active.partition_point(|&v| v < iv.start);

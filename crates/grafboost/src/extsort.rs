@@ -306,7 +306,7 @@ impl<'a> SortedGroups<'a> {
     }
 
     /// Next `(dest, updates)` group, ascending by destination.
-    pub fn next(&mut self) -> Result<Option<(u32, Vec<Update>)>, DeviceError> {
+    pub fn next_group(&mut self) -> Result<Option<(u32, Vec<Update>)>, DeviceError> {
         self.refill()?;
         if self.pos >= self.buf.len() {
             return Ok(None);
@@ -384,7 +384,7 @@ mod tests {
         let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
         let mut count = 0;
         let mut last = None;
-        while let Some((d, g)) = groups.next().unwrap() {
+        while let Some((d, g)) = groups.next_group().unwrap() {
             if let Some(l) = last {
                 assert!(d > l, "ascending groups");
             }
@@ -402,10 +402,10 @@ mod tests {
         let f = write_updates(&ssd, "log", &ups);
         let (sorted, _) = external_sort(&ssd, f, 4 * 256, None, "t").unwrap();
         let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
-        let (d, g) = groups.next().unwrap().unwrap();
+        let (d, g) = groups.next_group().unwrap().unwrap();
         assert_eq!(d, 7);
         assert_eq!(g, ups);
-        assert!(groups.next().unwrap().is_none());
+        assert!(groups.next_group().unwrap().is_none());
     }
 
     #[test]
@@ -416,7 +416,7 @@ mod tests {
         let (sorted, _) = external_sort(&ssd, f, 4 * 256, Some(u64::wrapping_add as _), "t").unwrap();
         let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
         let mut seen = 0;
-        while let Some((_, g)) = groups.next().unwrap() {
+        while let Some((_, g)) = groups.next_group().unwrap() {
             assert_eq!(g.len(), 1, "sort-reduce leaves one update per dest");
             assert_eq!(g[0].data, 50);
             seen += 1;
@@ -434,7 +434,7 @@ mod tests {
         ssd1.stats().reset();
         let (s1, _) = external_sort(&ssd1, f1, 1 << 20, None, "t").unwrap();
         let mut g1 = SortedGroups::new(&ssd1, s1, 4).unwrap();
-        while g1.next().unwrap().is_some() {}
+        while g1.next_group().unwrap().is_some() {}
         let cheap = ssd1.stats().snapshot().io_time_ns();
 
         let ssd2 = Ssd::new(cfg);
@@ -442,7 +442,7 @@ mod tests {
         ssd2.stats().reset();
         let (s2, _) = external_sort(&ssd2, f2, 4 * 256, None, "t").unwrap();
         let mut g2 = SortedGroups::new(&ssd2, s2, 4).unwrap();
-        while g2.next().unwrap().is_some() {}
+        while g2.next_group().unwrap().is_some() {}
         let expensive = ssd2.stats().snapshot().io_time_ns();
 
         assert!(
@@ -458,6 +458,6 @@ mod tests {
         let (sorted, stats) = external_sort(&ssd, f, 1 << 20, None, "t").unwrap();
         assert!(stats.in_memory);
         let mut groups = SortedGroups::new(&ssd, sorted, 2).unwrap();
-        assert!(groups.next().unwrap().is_none());
+        assert!(groups.next_group().unwrap().is_none());
     }
 }

@@ -5,6 +5,10 @@ use mlvc_ssd::{DeviceError, FileId, Ssd};
 use crate::checked::{idx, mem_idx, to_u64};
 use crate::{Csr, IntervalId, VertexIntervals, VertexId, COL_IDX_BYTES, ROW_PTR_BYTES};
 
+/// One interval read back into memory: (local row pointers, out-neighbor
+/// ids, edge weights when the graph is weighted).
+pub type IntervalCsr = (Vec<u64>, Vec<VertexId>, Option<Vec<f32>>);
+
 /// Default memory allocated to the sort & group unit when callers do not
 /// specify one; used to size vertex intervals. 1 MiB keeps interval counts
 /// in the paper's "few thousands" regime for million-vertex graphs.
@@ -34,9 +38,10 @@ pub struct StoredGraph {
     rowptr_files: Vec<FileId>,
     colidx_files: Vec<FileId>,
     val_files: Option<Vec<FileId>>,
-    /// Atomic so structural merges can run behind a shared reference — the
-    /// file set never changes after construction, only extent contents.
-    num_edges: std::sync::atomic::AtomicU64,
+    /// A shared counter so structural merges can run behind a shared
+    /// reference — the file set never changes after construction, only
+    /// extent contents.
+    num_edges: mlvc_ssd::RelaxedCounter,
 }
 
 impl StoredGraph {
@@ -102,7 +107,7 @@ impl StoredGraph {
             rowptr_files,
             colidx_files,
             val_files,
-            num_edges: std::sync::atomic::AtomicU64::new(to_u64(graph.num_edges())),
+            num_edges: mlvc_ssd::RelaxedCounter::new(to_u64(graph.num_edges())),
         })
     }
 
@@ -123,7 +128,7 @@ impl StoredGraph {
     }
 
     pub fn num_edges(&self) -> u64 {
-        self.num_edges.load(std::sync::atomic::Ordering::Relaxed)
+        self.num_edges.get()
     }
 
     pub fn has_weights(&self) -> bool {
@@ -147,10 +152,7 @@ impl StoredGraph {
     /// Read the whole interval back into memory (row pointers + adjacency).
     /// Charged as sequential batch reads with 100% declared utilization;
     /// used by structural merging and by tests.
-    pub fn read_interval(
-        &self,
-        i: IntervalId,
-    ) -> Result<(Vec<u64>, Vec<VertexId>, Option<Vec<f32>>), DeviceError> {
+    pub fn read_interval(&self, i: IntervalId) -> Result<IntervalCsr, DeviceError> {
         let n_local = self.intervals.len_of(i) + 1;
         let rowptr = read_u64s(&self.ssd, self.rowptr_file(i), n_local)?;
         let n_edges = rowptr.last().map_or(0, |&e| mem_idx(e));
@@ -187,11 +189,9 @@ impl StoredGraph {
             let old = read_u64s(&self.ssd, self.rowptr_file(i), self.intervals.len_of(i) + 1)?;
             old.last().copied().unwrap_or(0)
         };
-        // Single writer per interval; Relaxed add/sub is sufficient.
-        self.num_edges
-            .fetch_add(to_u64(colidx.len()), std::sync::atomic::Ordering::Relaxed);
-        self.num_edges
-            .fetch_sub(old_edges, std::sync::atomic::Ordering::Relaxed);
+        // Single writer per interval; a statistics counter is sufficient.
+        self.num_edges.add(to_u64(colidx.len()));
+        self.num_edges.sub(old_edges);
 
         let rp = self.rowptr_file(i);
         self.ssd.truncate(rp)?;

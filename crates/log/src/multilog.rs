@@ -1,6 +1,8 @@
 use crate::checked::{idx, to_u32, to_u64};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use mlvc_par::Tracked;
+use mlvc_ssd::RelaxedCounter;
 
 use mlvc_graph::{IntervalId, VertexIntervals, VertexId};
 use mlvc_ssd::{DeviceError, FileId, Ssd};
@@ -74,7 +76,7 @@ pub struct MultiLog {
     /// [`LogReader`] draining the read side on a prefetch thread counts
     /// into the same total as the owner.
     stats: MultiLogStats,
-    updates_read: Arc<AtomicU64>,
+    updates_read: Arc<RelaxedCounter>,
     /// Per-interval share of `stats.bytes_appended` (same counting).
     bytes_per_interval: Vec<u64>,
 }
@@ -93,16 +95,24 @@ pub struct MultiLog {
 pub struct LogReader {
     ssd: Arc<Ssd>,
     files: Vec<FileId>,
-    updates_read: Arc<AtomicU64>,
+    updates_read: Arc<RelaxedCounter>,
+    /// One shadow cell per interval auditing the take-once protocol:
+    /// `take_log(i)` consumes (truncates) interval `i`'s log, so two
+    /// unordered takes of the same interval — e.g. the prefetch thread and
+    /// the owner racing on one batch — are a protocol violation the race
+    /// detector reports with both call sites (DESIGN.md §14).
+    take_audit: Vec<Tracked<()>>,
 }
 
 impl LogReader {
     /// Consume interval `i`'s read-side log, exactly like
     /// [`MultiLog::take_log`]: read every page in one channel-parallel
     /// batch, decode in log order, truncate the file.
+    #[track_caller]
     pub fn take_log(&self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
+        self.take_audit[idx(i)].audit_write();
         let out = drain_file(&self.ssd, self.files[idx(i)])?;
-        self.updates_read.fetch_add(to_u64(out.len()), Ordering::Relaxed);
+        self.updates_read.add(to_u64(out.len()));
         Ok(out)
     }
 }
@@ -211,14 +221,14 @@ impl MultiLog {
             cap_pages,
             page_cap: page_record_capacity(page_size),
             stats: MultiLogStats::default(),
-            updates_read: Arc::new(AtomicU64::new(0)),
+            updates_read: Arc::new(RelaxedCounter::new(0)),
             bytes_per_interval: vec![0; n],
         })
     }
 
     pub fn stats(&self) -> MultiLogStats {
         MultiLogStats {
-            updates_read: self.updates_read.load(Ordering::Relaxed),
+            updates_read: self.updates_read.get(),
             ..self.stats
         }
     }
@@ -236,6 +246,9 @@ impl MultiLog {
             ssd: Arc::clone(&self.ssd),
             files: self.files.iter().map(|f| f[side]).collect(),
             updates_read: Arc::clone(&self.updates_read),
+            take_audit: (0..self.files.len())
+                .map(|_| Tracked::new("LogReader::take_log interval", ()))
+                .collect(),
         }
     }
 
@@ -445,7 +458,7 @@ impl MultiLog {
         }
         out.append(&mut self.tops[idx(i)]);
         self.counts[idx(i)] -= to_u64(out.len());
-        self.updates_read.fetch_add(to_u64(out.len()), Ordering::Relaxed);
+        self.updates_read.add(to_u64(out.len()));
         Ok(out)
     }
 
@@ -454,7 +467,7 @@ impl MultiLog {
     /// declared from the in-page record counts.
     pub fn take_log(&mut self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
         let out = drain_file(&self.ssd, self.files[idx(i)][1 - self.write_side])?;
-        self.updates_read.fetch_add(to_u64(out.len()), Ordering::Relaxed);
+        self.updates_read.add(to_u64(out.len()));
         Ok(out)
     }
 }

@@ -19,11 +19,26 @@
 //! reproducible runs and CI; [`set_thread_override`] pins it
 //! programmatically (tests sweeping thread counts). Both are capped at the
 //! hardware parallelism — requesting more threads than cores buys nothing
-//! and makes timings noisy.
+//! and makes timings noisy. The `race-detect` feature lifts that cap:
+//! there the point is exercising real cross-thread interleavings, which a
+//! single-core CI box would otherwise never produce.
+//!
+//! ## Race detection
+//!
+//! All spawning funnels through [`scope`], so with the `race-detect`
+//! feature every fork, join and `mlvc_ssd::sync` lock transfer maintains a
+//! vector clock, and [`Tracked`] shadow cells audit shared engine state
+//! against them — see the [`race`] module and DESIGN.md §14.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
+
+pub mod race;
+
+pub use race::Tracked;
+#[cfg(feature = "race-detect")]
+pub use race::{set_panic_on_race, set_schedule_seed, take_reports, RaceReport};
 
 /// Below this length a parallel sort is all overhead; fall back to the
 /// sequential stable sort.
@@ -53,21 +68,134 @@ fn env_threads() -> usize {
 /// the environment variable. Intended for tests that sweep thread counts;
 /// production runs should use `MLVC_THREADS`.
 pub fn set_thread_override(n: Option<usize>) {
-    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
 
 /// The resolved worker thread count: override, else `MLVC_THREADS`, else
-/// hardware parallelism — always in `1..=hardware_parallelism`.
+/// hardware parallelism — always in `1..=hardware_parallelism`. Under
+/// `race-detect` the hardware cap is lifted (bounded at 64): the detector
+/// wants real cross-thread interleavings even on a single-core machine,
+/// where capping would silently serialize every fan-out under audit.
 pub fn max_threads() -> usize {
     let hw = hardware_threads();
-    let req = match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+    let req = match THREAD_OVERRIDE.load(Ordering::SeqCst) {
         0 => env_threads(),
         n => n,
     };
     if req == 0 {
         hw
+    } else if cfg!(feature = "race-detect") {
+        req.clamp(1, 64)
     } else {
         req.min(hw).max(1)
+    }
+}
+
+/// Scoped threads whose fork/join edges the race detector can see — the
+/// workspace-wide replacement for `std::thread::scope` (enforced by the
+/// `no-raw-thread-spawn` lint). With `race-detect` off this compiles to
+/// the std scope with zero overhead.
+pub fn scope<'env, T, F>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// See [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Under `race-detect` the child inherits the
+    /// parent's vector clock (fork edge); [`ScopedJoinHandle::join`]
+    /// merges the child's exit clock back (join edge).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        #[cfg(feature = "race-detect")]
+        {
+            let child = race::fork();
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    race::register_child(child);
+                    let out = f();
+                    (out, race::take_exit_clock())
+                }),
+            }
+        }
+        #[cfg(not(feature = "race-detect"))]
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(f) }
+        }
+    }
+}
+
+/// Handle returned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    #[cfg(feature = "race-detect")]
+    inner: thread::ScopedJoinHandle<'scope, (T, race::ExitClock)>,
+    #[cfg(not(feature = "race-detect"))]
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries the child's panic payload. A
+    /// panicked child contributes no join edge — its slot stays retired,
+    /// which can only lose happens-before information, never invent it.
+    pub fn join(self) -> thread::Result<T> {
+        #[cfg(feature = "race-detect")]
+        {
+            match self.inner.join() {
+                Ok((out, exit)) => {
+                    race::join_merge(exit);
+                    Ok(out)
+                }
+                Err(payload) => Err(payload),
+            }
+        }
+        #[cfg(not(feature = "race-detect"))]
+        {
+            self.inner.join()
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Spawn `jobs` returning handles in job order. Under `race-detect` with a
+/// schedule seed set, the *spawn* order is a seeded permutation — the way
+/// the permutation harness exercises interleavings one program order would
+/// never produce — while results still land at their original index.
+fn spawn_ordered<'scope, 'env, F, R>(
+    s: &Scope<'scope, 'env>,
+    jobs: Vec<F>,
+) -> Vec<ScopedJoinHandle<'scope, R>>
+where
+    F: FnOnce() -> R + Send + 'scope,
+    R: Send + 'scope,
+{
+    #[cfg(feature = "race-detect")]
+    {
+        let order = race::spawn_order(jobs.len());
+        let mut slots: Vec<Option<F>> = jobs.into_iter().map(Some).collect();
+        let mut handles: Vec<Option<ScopedJoinHandle<'scope, R>>> =
+            (0..slots.len()).map(|_| None).collect();
+        for i in order {
+            if let Some(job) = slots[i].take() {
+                handles[i] = Some(s.spawn(job));
+            }
+        }
+        handles.into_iter().flatten().collect()
+    }
+    #[cfg(not(feature = "race-detect"))]
+    {
+        jobs.into_iter().map(|j| s.spawn(j)).collect()
     }
 }
 
@@ -99,12 +227,12 @@ where
     let chunk = n.div_ceil(threads);
     let f = &f;
     let mut out = Vec::with_capacity(n);
-    thread::scope(|s| {
-        let handles: Vec<_> = items
+    scope(|s| {
+        let jobs: Vec<_> = items
             .chunks(chunk)
-            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .map(|c| move || c.iter().map(f).collect::<Vec<R>>())
             .collect();
-        for h in handles {
+        for h in spawn_ordered(s, jobs) {
             out.extend(join_unwind(h.join()));
         }
     });
@@ -129,15 +257,13 @@ where
     let chunk = n.div_ceil(threads);
     let f = &f;
     let mut out = Vec::with_capacity(n);
-    thread::scope(|s| {
-        let handles: Vec<_> = a
+    scope(|s| {
+        let jobs: Vec<_> = a
             .chunks(chunk)
             .zip(b.chunks(chunk))
-            .map(|(ca, cb)| {
-                s.spawn(move || ca.iter().zip(cb).map(|(x, y)| f(x, y)).collect::<Vec<R>>())
-            })
+            .map(|(ca, cb)| move || ca.iter().zip(cb).map(|(x, y)| f(x, y)).collect::<Vec<R>>())
             .collect();
-        for h in handles {
+        for h in spawn_ordered(s, jobs) {
             out.extend(join_unwind(h.join()));
         }
     });
@@ -169,9 +295,9 @@ where
     let chunk = n.div_ceil(threads);
     let f = &f;
     let mut out = Vec::with_capacity(threads);
-    thread::scope(|s| {
-        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
-        for h in handles {
+    scope(|s| {
+        let jobs: Vec<_> = items.chunks(chunk).map(|c| move || f(c)).collect();
+        for h in spawn_ordered(s, jobs) {
             out.push(join_unwind(h.join()));
         }
     });
@@ -208,12 +334,12 @@ where
 
     // 1. Stable chunk sorts: indices within a chunk start ascending, so
     //    equal keys keep input order.
-    thread::scope(|s| {
-        let handles: Vec<_> = perm
+    scope(|s| {
+        let jobs: Vec<_> = perm
             .chunks_mut(chunk)
-            .map(|c| s.spawn(move || c.sort_by(|&a, &b| keys[a].cmp(&keys[b]))))
+            .map(|c| move || c.sort_by(|&a, &b| keys[a].cmp(&keys[b])))
             .collect();
-        for h in handles {
+        for h in spawn_ordered(s, jobs) {
             join_unwind(h.join());
         }
     });
@@ -224,13 +350,13 @@ where
     let mut dst: &mut [usize] = &mut scratch;
     let mut run = chunk;
     while run < n {
-        thread::scope(|s| {
-            let handles: Vec<_> = src
+        scope(|s| {
+            let jobs: Vec<_> = src
                 .chunks(2 * run)
                 .zip(dst.chunks_mut(2 * run))
-                .map(|(sp, dp)| s.spawn(move || merge_runs_idx(sp, dp, run, keys)))
+                .map(|(sp, dp)| move || merge_runs_idx(sp, dp, run, keys))
                 .collect();
-            for h in handles {
+            for h in spawn_ordered(s, jobs) {
                 join_unwind(h.join());
             }
         });
@@ -439,9 +565,23 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "race-detect"))]
     fn thread_override_caps_at_hardware() {
         set_thread_override(Some(100_000));
         assert!(max_threads() <= hardware_threads());
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    #[cfg(feature = "race-detect")]
+    fn race_detect_lifts_the_hardware_cap() {
+        // The detector needs real threads even on a one-core box; the
+        // override is honored past the hardware parallelism (bounded).
+        set_thread_override(Some(100_000));
+        assert_eq!(max_threads(), 64);
+        set_thread_override(Some(8));
+        assert_eq!(max_threads(), 8);
         set_thread_override(None);
         assert!(max_threads() >= 1);
     }

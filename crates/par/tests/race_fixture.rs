@@ -1,0 +1,57 @@
+//! Seeded runtime race fixture (ISSUE 6 acceptance): two workers write the
+//! same `Tracked` cell with no ordering edge between them; the detector
+//! must produce a report naming BOTH conflicting access sites. Gated on
+//! `race-detect` — without the feature the audits compile to nothing.
+#![cfg(feature = "race-detect")]
+
+use mlvc_par::{scope, set_panic_on_race, take_reports, Tracked};
+
+/// The detector's report buffer and panic toggle are process-global;
+/// serialize the tests so neither drains the other's reports.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn unsynchronized_writers_are_reported_with_both_sites() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    set_panic_on_race(false);
+    let _ = take_reports();
+
+    let cell = Tracked::new("fixture: unsynchronized handoff", 0u32);
+    scope(|s| {
+        let c = &cell;
+        let a = s.spawn(move || c.audit_write());
+        let b = s.spawn(move || c.audit_write());
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+
+    let reports = take_reports();
+    set_panic_on_race(true);
+    assert_eq!(reports.len(), 1, "exactly one write-write pair: {reports:?}");
+    let r = &reports[0];
+    assert_eq!(r.label, "fixture: unsynchronized handoff");
+    assert_eq!(r.kind, "write-write");
+    assert!(r.prior_site.contains("race_fixture.rs"), "prior site: {}", r.prior_site);
+    assert!(r.current_site.contains("race_fixture.rs"), "current site: {}", r.current_site);
+    assert_ne!(r.prior_site, r.current_site, "both distinct sites must be named");
+}
+
+#[test]
+fn joined_writers_are_race_free() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    set_panic_on_race(false);
+    let _ = take_reports();
+
+    // Same protocol with the ordering edge restored: the second write
+    // happens after the first worker is joined, so no report.
+    let cell = Tracked::new("fixture: joined handoff", 0u32);
+    scope(|s| {
+        let c = &cell;
+        s.spawn(move || c.audit_write()).join().unwrap();
+        s.spawn(move || c.audit_write()).join().unwrap();
+    });
+
+    let reports = take_reports();
+    set_panic_on_race(true);
+    assert!(reports.is_empty(), "join edges order the writes: {reports:?}");
+}

@@ -2,7 +2,6 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 
 use crate::sync::Mutex;
 
@@ -66,6 +65,10 @@ pub struct Ssd {
     /// happens (the observability layer's flash write-amplification
     /// source); `None` keeps the hot path to one lock + branch per batch.
     ftl: Mutex<Option<FtlModel>>,
+    /// Shadow cell auditing the attach/consume protocol of the live FTL:
+    /// [`Ssd::enable_ftl`] must be ordered before every write that feeds
+    /// the model and every [`Ssd::ftl_stats`] read (DESIGN.md §14).
+    ftl_audit: mlvc_par::Tracked<()>,
 }
 
 #[derive(Default)]
@@ -97,6 +100,7 @@ impl Ssd {
             fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
             ftl: Mutex::new(None),
+            ftl_audit: mlvc_par::Tracked::new("Ssd::ftl attach", ()),
         }
     }
 
@@ -111,6 +115,7 @@ impl Ssd {
             fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
             ftl: Mutex::new(None),
+            ftl_audit: mlvc_par::Tracked::new("Ssd::ftl attach", ()),
         })
     }
 
@@ -199,6 +204,7 @@ impl Ssd {
     /// `enable_trace`). Idempotent: a model that is already attached keeps
     /// its state so re-enabling cannot reset amplification counters.
     pub fn enable_ftl(&self, cfg: FtlConfig) {
+        self.ftl_audit.audit_write();
         let mut g = self.ftl.lock();
         if g.is_none() {
             *g = Some(FtlModel::new(cfg));
@@ -212,10 +218,12 @@ impl Ssd {
 
     /// Snapshot of the live FTL's counters (`None` when not enabled).
     pub fn ftl_stats(&self) -> Option<FtlStats> {
+        self.ftl_audit.audit_read();
         self.ftl.lock().as_ref().map(FtlModel::stats)
     }
 
     fn ftl_writes(&self, addrs: &[PageAddr]) {
+        self.ftl_audit.audit_read();
         if let Some(f) = self.ftl.lock().as_mut() {
             for a in addrs {
                 f.write((a.file, a.page));
@@ -541,9 +549,7 @@ impl Ssd {
         }
         self.charge_read(&addrs, useful_total);
         if extra_retries > 0 {
-            self.stats
-                .read_time_ns
-                .fetch_add(extra_retries.saturating_mul(self.cfg.read_ns), Ordering::Relaxed);
+            self.stats.read_time_ns.add(extra_retries.saturating_mul(self.cfg.read_ns));
         }
         match failed {
             Some(e) => Err(e),
@@ -555,7 +561,7 @@ impl Ssd {
     /// for log readers whose per-page payload size lives *inside* the page
     /// (a count header) and is unknown at dispatch time.
     pub fn declare_useful(&self, bytes: u64) {
-        self.stats.useful_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.useful_bytes_read.add(bytes);
     }
 
     /// Read every page of a file as one sequential batch (whole-log load).
@@ -627,12 +633,11 @@ impl Ssd {
         }
         let t = batch_time_ns(&self.cfg, addrs, self.cfg.read_ns);
         let s = &self.stats;
-        s.pages_read.fetch_add(to_u64(addrs.len()), Ordering::Relaxed);
-        s.bytes_read
-            .fetch_add(to_u64(addrs.len()) * to_u64(self.cfg.page_size), Ordering::Relaxed);
-        s.useful_bytes_read.fetch_add(useful, Ordering::Relaxed);
-        s.read_time_ns.fetch_add(t, Ordering::Relaxed);
-        s.read_batches.fetch_add(1, Ordering::Relaxed);
+        s.pages_read.add(to_u64(addrs.len()));
+        s.bytes_read.add(to_u64(addrs.len()) * to_u64(self.cfg.page_size));
+        s.useful_bytes_read.add(useful);
+        s.read_time_ns.add(t);
+        s.read_batches.add(1);
     }
 
     fn charge_write(&self, addrs: &[PageAddr]) {
@@ -643,11 +648,10 @@ impl Ssd {
         self.ftl_writes(addrs);
         let t = batch_time_ns(&self.cfg, addrs, self.cfg.write_ns);
         let s = &self.stats;
-        s.pages_written.fetch_add(to_u64(addrs.len()), Ordering::Relaxed);
-        s.bytes_written
-            .fetch_add(to_u64(addrs.len()) * to_u64(self.cfg.page_size), Ordering::Relaxed);
-        s.write_time_ns.fetch_add(t, Ordering::Relaxed);
-        s.write_batches.fetch_add(1, Ordering::Relaxed);
+        s.pages_written.add(to_u64(addrs.len()));
+        s.bytes_written.add(to_u64(addrs.len()) * to_u64(self.cfg.page_size));
+        s.write_time_ns.add(t);
+        s.write_batches.add(1);
     }
 }
 

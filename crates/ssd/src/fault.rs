@@ -239,7 +239,7 @@ impl FaultState {
         let Some(period) = plan.read_fault_period else {
             return Ok(0);
         };
-        if period > 0 && self.reads_since_install % period == 0 {
+        if period > 0 && self.reads_since_install.is_multiple_of(period) {
             self.counters.transient_read_faults += 1;
             if plan.read_fault_streak > plan.max_read_retries {
                 return Err(plan.max_read_retries);

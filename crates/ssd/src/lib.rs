@@ -56,7 +56,7 @@ pub use cost::{batch_time_ns, PageAddr};
 pub use device::{Backend, FileId, Ssd};
 pub use fault::{DeviceError, FaultCounters, FaultPlan};
 pub use ftl::{FtlConfig, FtlModel, FtlOp, FtlStats, Lpa};
-pub use stats::{SsdStats, SsdStatsSnapshot};
+pub use stats::{RelaxedCounter, SsdStats, SsdStatsSnapshot};
 
 /// Default SSD page size used throughout the reproduction (bytes).
 ///

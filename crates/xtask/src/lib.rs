@@ -6,8 +6,9 @@
 //! safety of the superstep loop. Run it with:
 //!
 //! ```text
-//! cargo run -p xtask -- lint            # whole workspace
-//! cargo run -p xtask -- lint FILE...    # specific files (fixture tests)
+//! cargo run -p xtask -- lint                   # whole workspace
+//! cargo run -p xtask -- lint FILE...           # specific files (fixture tests)
+//! cargo run -p xtask -- lint --report-waivers  # audit every allow directive
 //! ```
 //!
 //! A violation can be acknowledged in place with a trailing or
@@ -28,7 +29,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use rules::{Diagnostic, RULES};
+pub use rules::{Diagnostic, WaiverUse, RULES};
 
 /// Directories never walked: build output, VCS, and the lint's own
 /// seeded-violation fixtures.
@@ -85,6 +86,46 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         out.extend(lint_file(&p, &rel)?);
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+/// One waiver directive found in the workspace, located by file.
+#[derive(Debug, Clone)]
+pub struct WaiverReport {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub waiver: WaiverUse,
+}
+
+impl WaiverReport {
+    /// A waiver that suppressed nothing is stale — the code it excused no
+    /// longer trips the rule, so the directive should be deleted.
+    pub fn is_stale(&self) -> bool {
+        self.waiver.suppressed == 0
+    }
+}
+
+/// Collect every waiver directive in the workspace, sorted by (file, line).
+/// `crates/xtask` itself is excluded: its sources and docs quote directives
+/// as data (examples, parser tests), not as live waivers.
+pub fn report_waivers(root: &Path) -> io::Result<Vec<WaiverReport>> {
+    let mut out = Vec::new();
+    for p in collect_rs_files(root)? {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let source = fs::read_to_string(&p)?;
+        let (_, waivers) = rules::check_file_with_waivers(&rel, &scan::scan(&source));
+        out.extend(waivers.into_iter().map(|waiver| WaiverReport { file: rel.clone(), waiver }));
+    }
+    out.sort_by(|a, b| (&a.file, a.waiver.line).cmp(&(&b.file, b.waiver.line)));
     Ok(out)
 }
 

@@ -1,4 +1,5 @@
-//! `cargo run -p xtask -- lint [FILE...]` — see the library docs.
+//! `cargo run -p xtask -- lint [--report-waivers | FILE...]` — see the
+//! library docs.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -6,9 +7,51 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("lint") if args.get(1).map(String::as_str) == Some("--report-waivers") => {
+            report_waivers()
+        }
         Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [FILE...]");
+            eprintln!("usage: cargo run -p xtask -- lint [--report-waivers | FILE...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// List every waiver directive in the workspace with what it suppresses;
+/// exit non-zero if any waiver is stale (suppresses nothing) so CI can
+/// force dead directives to be pruned.
+fn report_waivers() -> ExitCode {
+    let root = xtask::workspace_root();
+    match xtask::report_waivers(&root) {
+        Ok(reports) => {
+            let mut stale = 0;
+            for r in &reports {
+                let flag = if r.is_stale() {
+                    stale += 1;
+                    "  [STALE: suppresses nothing — delete this directive]"
+                } else {
+                    ""
+                };
+                println!(
+                    "{}:{}: allow({}) -- {} [suppresses {}]{}",
+                    r.file,
+                    r.waiver.line,
+                    r.waiver.rules.join(", "),
+                    if r.waiver.reason.is_empty() { "<no reason>" } else { &r.waiver.reason },
+                    r.waiver.suppressed,
+                    flag,
+                );
+            }
+            eprintln!("mlvc-lint: {} waiver(s), {stale} stale", reports.len());
+            if stale == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::from(2)
         }
     }

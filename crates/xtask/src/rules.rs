@@ -19,16 +19,31 @@
 //! * `no-lock-across-par` — a `Mutex`/`RwLock` guard held across a
 //!   `mlvc_par`/rayon fan-out or an `ssd.` I/O call serializes the very
 //!   work being fanned out (or deadlocks on re-entry).
+//! * `no-raw-thread-spawn` — all parallelism must route through
+//!   `mlvc-par` (`scope`/`par_*`): a raw `std::thread` spawn is invisible
+//!   to the `race-detect` vector clocks, so its accesses can race without
+//!   a report.
+//! * `no-shared-mut-capture-in-par` — closures handed to a `par_*`
+//!   fan-out may not capture `&mut` state declared outside the closure or
+//!   interior-mutable cells; shared state crossing the fan-out belongs in
+//!   `mlvc_ssd::sync` primitives or `Tracked` cells the detector audits.
+//! * `no-relaxed-ordering-outside-obs` — relaxed atomics are sanctioned
+//!   only in the `mlvc-obs` metrics registry and the `RelaxedCounter`
+//!   statistics type (PR 4's contract); anywhere else the missing
+//!   ordering is a correctness bug the detector cannot model.
 
 use crate::scan::Scanned;
 
 /// All rule names, in diagnostic order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 8] = [
     "no-truncating-cast",
     "no-panic-in-lib",
     "no-magic-layout-literal",
     "no-wallclock-in-sim",
     "no-lock-across-par",
+    "no-raw-thread-spawn",
+    "no-shared-mut-capture-in-par",
+    "no-relaxed-ordering-outside-obs",
 ];
 
 /// One lint finding.
@@ -46,6 +61,23 @@ impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
     }
+}
+
+/// One waiver directive (the lint's comment-based allow escape hatch) and
+/// how many diagnostics it actually suppressed in this file.
+/// `suppressed == 0` means the waiver is stale: the code it excused no
+/// longer trips the rule.
+#[derive(Debug, Clone)]
+pub struct WaiverUse {
+    /// 1-indexed line of the directive.
+    pub line: usize,
+    /// Rule names the directive waives.
+    pub rules: Vec<String>,
+    /// The `-- <reason>` text (empty for reasonless directives, which are
+    /// themselves violations).
+    pub reason: String,
+    /// Diagnostics this directive suppressed.
+    pub suppressed: usize,
 }
 
 /// Is `path` (workspace-relative, `/`-separated) inside one of the
@@ -72,6 +104,22 @@ fn in_panic_scope(path: &str) -> bool {
     let lib = (path.starts_with("crates/") && path.contains("/src/"))
         || (path.starts_with("src/") && path.ends_with(".rs"));
     lib && !path.starts_with("crates/bench/") && !path.starts_with("crates/xtask/")
+}
+
+/// Scope of the concurrency rules (`no-raw-thread-spawn`,
+/// `no-shared-mut-capture-in-par`): library code including the root facade
+/// (`src/lib.rs`, `src/bin/mlvc.rs`), minus `mlvc-par` itself — the one
+/// crate allowed to touch `std::thread`, since it *is* the instrumented
+/// runtime everything else must route through.
+fn in_concurrency_scope(path: &str) -> bool {
+    in_panic_scope(path) && !path.starts_with("crates/par/src/")
+}
+
+/// Scope of `no-relaxed-ordering-outside-obs`: library code including the
+/// root facade, minus the obs metrics registry where PR 4 defined the
+/// relaxed-counter contract.
+fn in_relaxed_scope(path: &str) -> bool {
+    in_panic_scope(path) && !path.starts_with("crates/obs/src/")
 }
 
 /// Match `ident` at `pos` in `code` with word boundaries on both sides.
@@ -101,6 +149,12 @@ fn find_words<'a>(code: &'a str, ident: &'a str) -> impl Iterator<Item = usize> 
 
 /// Run every rule over one scanned file.
 pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Diagnostic> {
+    check_file_with_waivers(path, scanned).0
+}
+
+/// Like [`check_file`], but also reports every `allow()` directive in the
+/// file with its suppression count, for `lint --report-waivers`.
+pub fn check_file_with_waivers(path: &str, scanned: &Scanned) -> (Vec<Diagnostic>, Vec<WaiverUse>) {
     let mut out = Vec::new();
     let diag = |out: &mut Vec<Diagnostic>, line: usize, rule: &'static str, message: String| {
         out.push(Diagnostic { file: path.to_string(), line, rule, message });
@@ -222,9 +276,17 @@ pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Diagnostic> {
             guards.retain(|g| !code.contains(format!("drop({})", g.name).as_str()));
 
             // 2. Fan-out or I/O with a live guard?
-            let fans_out = ["par_map", "par_map2", "par_sort_by_key", "par_iter", "rayon::"]
-                .iter()
-                .any(|n| code.contains(n))
+            let fans_out = [
+                "par_map",
+                "par_map2",
+                "par_chunk_map",
+                "par_sort_by_key",
+                "par_sort_by_u32_key",
+                "par_iter",
+                "rayon::",
+            ]
+            .iter()
+            .any(|n| code.contains(n))
                 || find_words(code, "ssd").any(|i| code[i + 3..].starts_with('.'));
             if fans_out {
                 for g in &guards {
@@ -264,10 +326,48 @@ pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Diagnostic> {
                 }
             }
         }
+
+        // ---- no-raw-thread-spawn ------------------------------------
+        if !l.in_test && in_concurrency_scope(path) {
+            for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                for _ in 0..code.matches(needle).count() {
+                    diag(
+                        &mut out,
+                        lineno,
+                        "no-raw-thread-spawn",
+                        format!(
+                            "{needle} bypasses the instrumented runtime; \
+                             route parallelism through `mlvc_par` \
+                             (`scope`/`par_*`) so race-detect sees it"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ---- no-relaxed-ordering-outside-obs ------------------------
+        if !l.in_test && in_relaxed_scope(path) {
+            for _ in find_words(code, "Relaxed") {
+                diag(
+                    &mut out,
+                    lineno,
+                    "no-relaxed-ordering-outside-obs",
+                    "`Ordering::Relaxed` outside the obs metrics registry; \
+                     use `SeqCst` or the sanctioned `mlvc_ssd::RelaxedCounter`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // ---- no-shared-mut-capture-in-par (span-based) ------------------
+    if in_concurrency_scope(path) {
+        check_par_captures(path, scanned, &mut out);
     }
 
     // ---- allow() escape hatch ---------------------------------------
     let mut suppressed = vec![false; out.len()];
+    let mut waivers: Vec<WaiverUse> = Vec::new();
     for d in &scanned.allows {
         if d.reason.is_empty() {
             out.push(Diagnostic {
@@ -277,6 +377,12 @@ pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Diagnostic> {
                 message: "allow() without a `-- <reason>`; every allow must say why".to_string(),
             });
             suppressed.push(false);
+            waivers.push(WaiverUse {
+                line: d.line,
+                rules: d.rules.clone(),
+                reason: String::new(),
+                suppressed: 0,
+            });
             continue;
         }
         for r in &d.rules {
@@ -290,19 +396,186 @@ pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Diagnostic> {
                 suppressed.push(false);
             }
         }
+        let mut uses = 0;
         for (k, v) in out.iter().enumerate() {
             if (v.line == d.line || v.line == d.line + 1)
                 && d.rules.iter().any(|r| r == v.rule)
             {
                 suppressed[k] = true;
+                uses += 1;
             }
         }
+        waivers.push(WaiverUse {
+            line: d.line,
+            rules: d.rules.clone(),
+            reason: d.reason.clone(),
+            suppressed: uses,
+        });
     }
-    out.iter()
+    let diags = out
+        .iter()
         .zip(&suppressed)
         .filter(|(_, &s)| !s)
         .map(|(d, _)| d.clone())
-        .collect()
+        .collect();
+    (diags, waivers)
+}
+
+/// Span-based scan for `no-shared-mut-capture-in-par`: find each `par_*`
+/// call, narrow to the closure argument (everything from the first `|`
+/// inside the call's parentheses — text before it is the data argument, so
+/// the `&mut updates` slice handed to a sort is not a capture), then flag
+/// `&mut` borrows of names not bound inside the closure plus
+/// interior-mutability escape hatches. `let mut` locals and closure
+/// parameters are private to one worker and stay exempt.
+fn check_par_captures(path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
+    const FAN_OUTS: [&str; 5] =
+        ["par_map", "par_map2", "par_chunk_map", "par_sort_by_key", "par_sort_by_u32_key"];
+    for (idx, l) in scanned.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for needle in FAN_OUTS {
+            for pos in find_words(&l.code, needle) {
+                let rest = &l.code[pos + needle.len()..];
+                let Some(open) = rest.find('(') else { continue };
+                if !rest[..open].trim().is_empty() {
+                    continue; // mention, not a call
+                }
+                let span = call_span(scanned, idx, pos + needle.len() + open);
+                audit_closure_span(path, &span, out);
+            }
+        }
+    }
+}
+
+/// Collect the code inside a call's parentheses as (1-indexed line, text)
+/// segments, starting at the `(` found at (`line`, `col`). Strings and
+/// comments are already blanked by the scanner, so paren depth is honest.
+fn call_span(scanned: &Scanned, line: usize, col: usize) -> Vec<(usize, String)> {
+    let mut segs = Vec::new();
+    let mut depth: i64 = 0;
+    for (li, l) in scanned.lines.iter().enumerate().skip(line) {
+        let code = l.code.as_str();
+        let from = if li == line { col } else { 0 };
+        let mut seg_start = from;
+        let mut close = None;
+        for (ci, ch) in code[from..].char_indices() {
+            match ch {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        seg_start = from + ci + 1;
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(from + ci);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = close.unwrap_or(code.len());
+        if seg_start <= end {
+            segs.push((li + 1, code[seg_start..end].to_string()));
+        }
+        if close.is_some() {
+            break;
+        }
+    }
+    segs
+}
+
+fn ident_char(c: &char) -> bool {
+    c.is_alphanumeric() || *c == '_'
+}
+
+/// Audit one fan-out call span: names bound by the closure (params and
+/// `let mut` locals) are worker-private; any other `&mut` borrow or
+/// interior-mutable cell inside the closure is shared state the detector
+/// cannot order across workers.
+fn audit_closure_span(path: &str, span: &[(usize, String)], out: &mut Vec<Diagnostic>) {
+    // Narrow to the closure argument: from the first `|` onwards.
+    let mut closure: Vec<(usize, String)> = Vec::new();
+    for (lineno, text) in span {
+        if !closure.is_empty() {
+            closure.push((*lineno, text.clone()));
+        } else if let Some(b) = text.find('|') {
+            closure.push((*lineno, text[b..].to_string()));
+        }
+    }
+    let Some((_, head)) = closure.first() else { return };
+
+    // Bindings private to one worker: the parameter list (`|a, (b, c)|`)
+    // and every `let mut` local in the body.
+    let mut declared: Vec<String> = Vec::new();
+    let params = head[1..].split('|').next().unwrap_or("");
+    let mut cur = String::new();
+    for c in params.chars() {
+        if ident_char(&c) {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            declared.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        declared.push(cur);
+    }
+    for (_, text) in &closure {
+        let mut rest = text.as_str();
+        while let Some(p) = rest.find("let mut ") {
+            rest = &rest[p + "let mut ".len()..];
+            let name: String = rest.chars().take_while(ident_char).collect();
+            if !name.is_empty() {
+                declared.push(name);
+            }
+        }
+    }
+
+    for (lineno, text) in &closure {
+        for (p, _) in text.match_indices("&mut ") {
+            let name: String =
+                text[p + "&mut ".len()..].trim_start().chars().take_while(ident_char).collect();
+            if name.is_empty() || name == "mut" || declared.contains(&name) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: *lineno,
+                rule: "no-shared-mut-capture-in-par",
+                message: format!(
+                    "closure in a `par_*` fan-out borrows `&mut {name}` from outside; \
+                     move the state into the closure or behind `mlvc_ssd::sync`"
+                ),
+            });
+        }
+        for needle in ["RefCell", "UnsafeCell", ".borrow_mut(", "static mut"] {
+            for _ in 0..text.matches(needle).count() {
+                out.push(Diagnostic {
+                    file: path.to_string(),
+                    line: *lineno,
+                    rule: "no-shared-mut-capture-in-par",
+                    message: format!(
+                        "interior-mutable `{needle}` inside a `par_*` closure; the race \
+                         detector cannot audit it — use `mlvc_ssd::sync` or `Tracked`"
+                    ),
+                });
+            }
+        }
+        for _ in find_words(text, "Cell") {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: *lineno,
+                rule: "no-shared-mut-capture-in-par",
+                message: "interior-mutable `Cell` inside a `par_*` closure; the race \
+                          detector cannot audit it — use `mlvc_ssd::sync` or `Tracked`"
+                    .to_string(),
+            });
+        }
+    }
 }
 
 /// Detect a lock-guard `let` binding; returns (bound name, byte offset of
@@ -419,5 +692,76 @@ mod tests {
         let d = lint("crates/core/src/engine.rs", unknown);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "lint-allow");
+    }
+
+    #[test]
+    fn raw_thread_rule_exempts_par_and_tests_covers_root_facade() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let d = lint("crates/core/src/engine.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-raw-thread-spawn");
+        assert!(lint("crates/par/src/lib.rs", src).is_empty(), "mlvc-par is the runtime");
+        assert_eq!(lint("src/lib.rs", src).len(), 1, "root facade is covered");
+
+        let test_src = "#[cfg(test)]\nmod tests {\n fn f() { std::thread::scope(|s| {}); }\n}\n";
+        assert!(lint("crates/core/src/engine.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_rule_exempts_obs_covers_root_facade() {
+        let src = "x.fetch_add(1, Ordering::Relaxed);\n";
+        let d = lint("crates/log/src/multilog.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-relaxed-ordering-outside-obs");
+        assert!(lint("crates/obs/src/metrics.rs", src).is_empty(), "obs owns relaxed counters");
+        assert_eq!(lint("src/bin/mlvc.rs", src).len(), 1, "root facade is covered");
+        // `RelaxedCounter` the type name must not trip the word match.
+        assert!(lint("crates/log/src/multilog.rs", "use mlvc_ssd::RelaxedCounter;\n").is_empty());
+    }
+
+    #[test]
+    fn capture_rule_flags_outer_mut_but_not_worker_locals() {
+        let bad = "fn f() {\n let mut total = 0;\n par_map(&xs, |x| {\n  add(&mut total);\n  x\n });\n}\n";
+        let d = lint("crates/apps/src/kcore.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-shared-mut-capture-in-par");
+        assert_eq!(d[0].line, 4);
+
+        let ok = "fn f() {\n par_map(&xs, |x| {\n  let mut acc = 0;\n  add(&mut acc);\n  acc + x\n });\n}\n";
+        assert!(lint("crates/apps/src/kcore.rs", ok).is_empty());
+
+        // par_map2's combiner parameter is worker-private.
+        let comb = "fn f() { par_map2(&xs, mk, |x, comb| { use_both(x, &mut comb.scratch); 0 }); }\n";
+        assert!(lint("crates/apps/src/kcore.rs", comb).is_empty());
+    }
+
+    #[test]
+    fn capture_rule_exempts_sort_slice_arg_and_flags_cells() {
+        // The `&mut` slice handed to a sort is the data argument, not a capture.
+        let sort = "fn f(updates: &mut [Update]) { par_sort_by_key(updates, |u| u.dest); }\n";
+        assert!(lint("crates/log/src/sortgroup.rs", sort).is_empty());
+        let sort2 = "fn f() { par_sort_by_u32_key(&mut updates, |u| u.dest); }\n";
+        assert!(lint("crates/log/src/sortgroup.rs", sort2).is_empty());
+
+        let cell = "fn f() { par_map(&xs, |x| cache.borrow_mut().insert(x)); }\n";
+        let d = lint("crates/apps/src/kcore.rs", cell);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-shared-mut-capture-in-par");
+
+        let refcell = "fn f() { par_chunk_map(&xs, 4, |c| RefCell::new(c.len())); }\n";
+        assert_eq!(lint("crates/apps/src/kcore.rs", refcell).len(), 1);
+    }
+
+    #[test]
+    fn waiver_report_counts_suppressions() {
+        let src = "fn f() { a.unwrap(); } // mlvc-lint: allow(no-panic-in-lib) -- demo\n\
+                   fn g() {} // mlvc-lint: allow(no-panic-in-lib) -- stale\n";
+        let (d, w) = check_file_with_waivers("crates/core/src/engine.rs", &scan(src));
+        assert!(d.is_empty());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].suppressed, 1);
+        assert_eq!(w[1].suppressed, 0, "waiver with nothing to suppress is stale");
+        assert_eq!(w[0].rules, vec!["no-panic-in-lib".to_string()]);
+        assert_eq!(w[1].reason, "stale");
     }
 }

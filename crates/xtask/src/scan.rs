@@ -94,11 +94,9 @@ impl TestRegionTracker {
                 }
                 // A `#[cfg(test)]` that gates an item without braces on the
                 // same line (e.g. `mod tests;`) ends at the semicolon.
-                ';' => {
-                    if self.pending && self.test_until.is_none() {
-                        self.pending = false;
-                        line_is_test = true;
-                    }
+                ';' if self.pending && self.test_until.is_none() => {
+                    self.pending = false;
+                    line_is_test = true;
                 }
                 _ => {}
             }

@@ -1,0 +1,12 @@
+//! Seeded violations proving the root facade (`src/`) is in lint scope:
+//! the concurrency rules apply to `src/lib.rs` and `src/bin/mlvc.rs` just
+//! like any crate's library sources.
+
+pub fn run() {
+    let h = std::thread::spawn(|| 0u32);
+    let _ = h.join();
+}
+
+pub fn count(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}

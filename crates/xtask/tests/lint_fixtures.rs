@@ -9,7 +9,7 @@ use std::process::Command;
 use xtask::Diagnostic;
 
 /// (fixture path under tests/fixtures/, scope path the CLI derives).
-const FIXTURES: [(&str, &str); 7] = [
+const FIXTURES: [(&str, &str); 11] = [
     ("crates/ssd/src/bad_cast.rs", "no-truncating-cast"),
     ("crates/core/src/bad_panic.rs", "no-panic-in-lib"),
     ("crates/log/src/bad_layout.rs", "no-magic-layout-literal"),
@@ -17,6 +17,10 @@ const FIXTURES: [(&str, &str); 7] = [
     ("crates/apps/src/bad_lock.rs", "no-lock-across-par"),
     ("crates/recover/src/bad_ckpt.rs", "no-truncating-cast"),
     ("crates/obs/src/bad_counters.rs", "no-truncating-cast"),
+    ("crates/core/src/bad_spawn.rs", "no-raw-thread-spawn"),
+    ("crates/apps/src/bad_capture.rs", "no-shared-mut-capture-in-par"),
+    ("crates/log/src/bad_relaxed.rs", "no-relaxed-ordering-outside-obs"),
+    ("src/bin/bad_facade.rs", "no-raw-thread-spawn"),
 ];
 
 fn fixture_dir() -> PathBuf {
@@ -99,6 +103,34 @@ fn obs_fixture_fires_both_format_rules_and_allow_suppresses() {
 }
 
 #[test]
+fn spawn_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/core/src/bad_spawn.rs");
+    // thread::spawn at 5, thread::scope at 10; allow-suppressed Builder at
+    // 17 and the test-module spawn never fire.
+    assert_eq!(lines_of(&d, "no-raw-thread-spawn"), vec![5, 10]);
+    assert!(d.iter().all(|d| d.rule == "no-raw-thread-spawn"), "{d:?}");
+}
+
+#[test]
+fn capture_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/apps/src/bad_capture.rs");
+    // `&mut total` captured at 7, `.borrow_mut(` at 14; the sort's data
+    // argument, the worker-private `let mut acc`, and the allow-suppressed
+    // capture at 30 never fire.
+    assert_eq!(lines_of(&d, "no-shared-mut-capture-in-par"), vec![7, 14]);
+    assert!(d.iter().all(|d| d.rule == "no-shared-mut-capture-in-par"), "{d:?}");
+}
+
+#[test]
+fn relaxed_fixture_fires_at_expected_lines_and_allow_suppresses() {
+    let d = lint_fixture("crates/log/src/bad_relaxed.rs");
+    // Relaxed at 7 and 11; SeqCst, the allow-suppressed load at 20, and the
+    // test module never fire.
+    assert_eq!(lines_of(&d, "no-relaxed-ordering-outside-obs"), vec![7, 11]);
+    assert!(d.iter().all(|d| d.rule == "no-relaxed-ordering-outside-obs"), "{d:?}");
+}
+
+#[test]
 fn every_fixture_fails_the_cli_with_exit_code_one() {
     for (rel, rule) in FIXTURES {
         let path = fixture_dir().join(rel);
@@ -121,6 +153,43 @@ fn every_fixture_fails_the_cli_with_exit_code_one() {
         // Diagnostics carry the scope path and 1-indexed lines.
         assert!(stdout.contains(&format!("{rel}:")), "{rel} path missing:\n{stdout}");
     }
+}
+
+#[test]
+fn facade_fixture_proves_root_src_is_in_scope() {
+    let d = lint_fixture("src/bin/bad_facade.rs");
+    // The root facade is linted like any crate: raw spawn at 6, Relaxed at
+    // 11.
+    assert_eq!(lines_of(&d, "no-raw-thread-spawn"), vec![6]);
+    assert_eq!(lines_of(&d, "no-relaxed-ordering-outside-obs"), vec![11]);
+    assert_eq!(d.len(), 2, "{d:?}");
+}
+
+#[test]
+fn waiver_report_lists_live_waivers_and_none_are_stale() {
+    // Every allow directive in the workspace must still suppress something;
+    // a stale one fails `lint --report-waivers` (and this backstop).
+    let reports = xtask::report_waivers(&xtask::workspace_root()).unwrap();
+    assert!(!reports.is_empty(), "the workspace has known reasoned waivers");
+    let stale: Vec<_> = reports.iter().filter(|r| r.is_stale()).collect();
+    assert!(stale.is_empty(), "stale waivers must be pruned: {stale:?}");
+    assert!(
+        reports.iter().all(|r| !r.file.starts_with("crates/xtask/")),
+        "xtask quotes directives as data, not live waivers"
+    );
+}
+
+#[test]
+fn waiver_report_cli_exits_zero_with_no_stale_waivers() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--report-waivers")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[suppresses 1]"), "per-waiver counts missing:\n{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("0 stale"));
 }
 
 #[test]

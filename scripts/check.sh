@@ -8,6 +8,16 @@ cd "$(dirname "$0")/.."
 echo "== mlvc-lint =="
 cargo run -q -p xtask -- lint
 
+echo "== mlvc-lint: waiver audit =="
+cargo run -q -p xtask -- lint --report-waivers
+
+echo "== clippy (-D warnings) =="
+# The two cast lints stay advisory (workspace [lints] sets them to warn;
+# mlvc-lint's no-truncating-cast owns the on-disk-format crates where the
+# risk is real); everything else is an error.
+cargo clippy --workspace --all-targets -q -- -D warnings \
+  -A clippy::cast-possible-truncation -A clippy::cast-sign-loss
+
 echo "== tier-1: build =="
 cargo build --release
 
