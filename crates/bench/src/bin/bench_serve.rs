@@ -1,0 +1,17 @@
+//! Serving-daemon benchmark (DESIGN.md §15): throughput and device read
+//! traffic at 1/4/16 tenants over one shared device + page cache, vs the
+//! same jobs on isolated devices. Writes `BENCH_serve.json` into the
+//! working directory and prints the Markdown section. Scaling knobs:
+//! `MLVC_SCALE`, `MLVC_MEM_KB`, `MLVC_STEPS`, `MLVC_SEED`, `MLVC_THREADS`.
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    println!(
+        "Settings: scale {} (CF/YWS), {} KiB per-job memory, {} supersteps, seed {}.",
+        s.scale,
+        s.memory_bytes >> 10,
+        s.supersteps,
+        s.seed
+    );
+    println!();
+    println!("{}", mlvc_bench::serve_bench::section(&s));
+}

@@ -20,5 +20,6 @@ pub mod engine_bench;
 pub mod figures;
 pub mod harness;
 pub mod micro;
+pub mod serve_bench;
 
 pub use harness::Settings;

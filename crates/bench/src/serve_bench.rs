@@ -1,0 +1,202 @@
+//! Serving-daemon benchmark (DESIGN.md §15): job throughput and device
+//! read traffic as the tenant count scales over ONE shared device with
+//! the shared page cache, against the same jobs run isolated (one
+//! private, uncached device each — what running N separate `mlvc run`
+//! processes would cost). Emitted as `BENCH_serve.json` by the
+//! `bench_serve` bin.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlvc_core::{Engine, EngineConfig, MultiLogEngine, VertexProgram};
+use mlvc_graph::{Csr, StoredGraph, VertexIntervals};
+use mlvc_serve::{Daemon, JobRequest, ServeConfig};
+use mlvc_ssd::{Ssd, SsdConfig};
+
+use crate::harness::Settings;
+
+/// One tenant-count sweep point.
+pub struct TenantRow {
+    pub tenants: usize,
+    /// Wall-clock for the daemon to complete all jobs, milliseconds.
+    pub wall_ms: f64,
+    pub jobs_per_s: f64,
+    /// Device page reads actually charged with the shared cache.
+    pub served_pages_read: u64,
+    /// Sum of page reads of the same jobs on isolated uncached devices.
+    pub isolated_pages_read: u64,
+    /// `1 - served/isolated`: fraction of device reads the cache removed.
+    pub read_reduction: f64,
+    /// Whole-daemon read amplification (bytes fetched / useful bytes).
+    pub read_amplification: f64,
+    pub cache_hits: u64,
+    pub cross_tenant_hits: u64,
+}
+
+pub struct ServeBenchReport {
+    pub threads: usize,
+    pub rows: Vec<TenantRow>,
+}
+
+/// The benchmark job mix: tenants rotate over four apps and both
+/// evaluation datasets, all at the Settings memory budget.
+fn job_mix(s: &Settings, tenants: usize) -> Vec<JobRequest> {
+    let apps = ["pagerank", "bfs", "wcc", "cdlp"];
+    (0..tenants)
+        .map(|i| JobRequest {
+            id: format!("t{tenants}-j{i}"),
+            app: apps[i % apps.len()].to_string(),
+            dataset: if i % 2 == 0 { "CF" } else { "YWS" }.to_string(),
+            memory_bytes: s.memory_bytes,
+            steps: s.supersteps,
+            seed: s.seed,
+            ..JobRequest::default()
+        })
+        .collect()
+}
+
+/// Mirror of the daemon's engine construction on a private uncached
+/// device: the per-job baseline cost. Returns (states, pages_read).
+fn isolated(g: &Csr, r: &JobRequest) -> (Vec<u64>, u64) {
+    let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+    let iv = VertexIntervals::for_graph(g, 16, EngineConfig::default().sort_budget());
+    let sg = StoredGraph::store_with(&ssd, g, &r.dataset, iv).expect("store graph");
+    let cfg = EngineConfig::default()
+        .with_memory(r.memory_bytes)
+        .with_seed(r.seed)
+        .with_obs(true)
+        .with_tag(&r.id);
+    let app = program(&r.app, r.source);
+    let before = ssd.stats().snapshot();
+    let mut e = MultiLogEngine::new(Arc::clone(&ssd), sg, cfg);
+    e.run(app.as_ref(), r.steps);
+    (e.states().to_vec(), ssd.stats().snapshot().since(&before).pages_read)
+}
+
+fn program(app: &str, source: u32) -> Box<dyn VertexProgram> {
+    match app {
+        "pagerank" => Box::new(mlvc_apps::PageRank::default()),
+        "bfs" => Box::new(mlvc_apps::Bfs::new(source)),
+        "wcc" => Box::new(mlvc_apps::Wcc),
+        "cdlp" => Box::new(mlvc_apps::Cdlp),
+        other => panic!("unexpected app {other}"),
+    }
+}
+
+/// Run the tenant sweep.
+pub fn run(s: &Settings) -> ServeBenchReport {
+    let datasets = s.datasets();
+    let mut rows = Vec::new();
+    for tenants in [1usize, 4, 16] {
+        let jobs = job_mix(s, tenants);
+
+        // Isolated baseline (and reference states) for every job.
+        let mut isolated_reads = 0u64;
+        let mut reference: Vec<Vec<u64>> = Vec::new();
+        for j in &jobs {
+            let g = &datasets.iter().find(|d| d.name == j.dataset).expect("dataset").graph;
+            let (states, reads) = isolated(g, j);
+            isolated_reads += reads;
+            reference.push(states);
+        }
+
+        // Served: one daemon, one device, shared cache, full concurrency.
+        let mut daemon = Daemon::new(ServeConfig {
+            memory_budget: s.memory_bytes.saturating_mul(tenants.max(1)),
+            cache_pages: 1024,
+            workers: tenants.clamp(1, 8),
+        });
+        for d in &datasets {
+            daemon.add_dataset(d.name, &d.graph).expect("add dataset");
+        }
+        let before = daemon.device().stats().snapshot();
+        let t = Instant::now();
+        let results = daemon.run_jobs(jobs.clone());
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let delta = daemon.device().stats().snapshot().since(&before);
+
+        for (res, expect) in results.iter().zip(&reference) {
+            let out = res.outcome.as_ref().expect("job completed");
+            assert_eq!(&out.states, expect, "{}: serving must not change results", res.id);
+        }
+        let cache = daemon.cache().snapshot();
+        rows.push(TenantRow {
+            tenants,
+            wall_ms,
+            jobs_per_s: tenants as f64 / (wall_ms / 1e3).max(1e-9),
+            served_pages_read: delta.pages_read,
+            isolated_pages_read: isolated_reads,
+            read_reduction: 1.0 - delta.pages_read as f64 / isolated_reads.max(1) as f64,
+            read_amplification: delta.read_amplification().unwrap_or(0.0),
+            cache_hits: cache.total_hits(),
+            cross_tenant_hits: cache.cross_tenant_hits,
+        });
+    }
+    ServeBenchReport { threads: mlvc_par::max_threads(), rows }
+}
+
+impl ServeBenchReport {
+    pub fn to_json(&self, s: &Settings) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"serve\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", s.scale));
+        out.push_str(&format!("  \"memory_kb\": {},\n", s.memory_bytes >> 10));
+        out.push_str(&format!("  \"supersteps_cap\": {},\n", s.supersteps));
+        out.push_str(&format!("  \"seed\": {},\n", s.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"rows\": [\n");
+        for (k, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tenants\": {}, \"wall_ms\": {:.3}, \"jobs_per_s\": {:.3}, \
+                 \"served_pages_read\": {}, \"isolated_pages_read\": {}, \
+                 \"read_reduction\": {:.4}, \"read_amplification\": {:.4}, \
+                 \"cache_hits\": {}, \"cross_tenant_hits\": {}}}{}\n",
+                r.tenants,
+                r.wall_ms,
+                r.jobs_per_s,
+                r.served_pages_read,
+                r.isolated_pages_read,
+                r.read_reduction,
+                r.read_amplification,
+                r.cache_hits,
+                r.cross_tenant_hits,
+                if k + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## Serving: tenant scaling over one shared device\n\n");
+        out.push_str(&format!("Threads: {}.\n\n", self.threads));
+        out.push_str(
+            "| tenants | wall ms | jobs/s | device reads | isolated reads | reduction | read amp | x-tenant hits |\n",
+        );
+        out.push_str("|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {:.1} | {:.2} | {} | {} | {:.1}% | {:.3} | {} |\n",
+                r.tenants,
+                r.wall_ms,
+                r.jobs_per_s,
+                r.served_pages_read,
+                r.isolated_pages_read,
+                r.read_reduction * 100.0,
+                r.read_amplification,
+                r.cross_tenant_hits,
+            ));
+        }
+        out
+    }
+}
+
+/// Run, write `BENCH_serve.json` into the working directory, and return
+/// the Markdown section.
+pub fn section(s: &Settings) -> String {
+    let report = run(s);
+    std::fs::write("BENCH_serve.json", report.to_json(s)).expect("write BENCH_serve.json");
+    report.to_markdown()
+}

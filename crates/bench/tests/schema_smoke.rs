@@ -133,3 +133,56 @@ fn metrics_snapshot_and_trace_jsonl_match_schema() {
         assert_eq!(num(&rec, "superstep"), k as f64, "records are in order");
     }
 }
+
+/// Run the `bench_serve` binary at a tiny scale in a scratch directory
+/// and schema-validate the `BENCH_serve.json` it writes — the tenant
+/// sweep the serving CI artifact relies on.
+#[test]
+fn bench_serve_json_matches_schema() {
+    let dir = std::env::temp_dir().join(format!("mlvc-serve-schema-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_serve"))
+        .current_dir(&dir)
+        .env("MLVC_SCALE", "8")
+        .env("MLVC_MEM_KB", "512")
+        .env("MLVC_STEPS", "5")
+        .output()
+        .expect("run bench_serve");
+    assert!(
+        out.status.success(),
+        "bench_serve failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("BENCH_serve.json")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let doc = parse(&text).expect("BENCH_serve.json parses");
+    assert_eq!(string(&doc, "bench"), "serve");
+    assert_eq!(num(&doc, "scale"), 8.0);
+    assert_eq!(num(&doc, "memory_kb"), 512.0);
+    assert!(num(&doc, "threads") >= 1.0);
+
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+    assert_eq!(rows.len(), 3, "tenant sweep points");
+    for (row, tenants) in rows.iter().zip([1.0, 4.0, 16.0]) {
+        assert_eq!(num(row, "tenants"), tenants);
+        assert!(num(row, "wall_ms") > 0.0);
+        assert!(num(row, "jobs_per_s") > 0.0);
+        assert!(num(row, "served_pages_read") > 0.0);
+        assert!(num(row, "isolated_pages_read") > 0.0);
+        // The shared cache can only remove reads, never add them; and it
+        // cannot remove everything (cold pages must be fetched once).
+        let reduction = num(row, "read_reduction");
+        assert!((0.0..1.0).contains(&reduction), "read_reduction {reduction} out of range");
+        assert!(
+            num(row, "served_pages_read") <= num(row, "isolated_pages_read"),
+            "serving must not read more than isolated runs"
+        );
+        assert!(num(row, "read_amplification") >= 0.0);
+        assert!(num(row, "cache_hits") >= 0.0);
+        assert!(num(row, "cross_tenant_hits") >= 0.0);
+    }
+    // With >1 tenant sharing datasets, cross-tenant hits must appear.
+    let last = &rows[2];
+    assert!(num(last, "cross_tenant_hits") > 0.0, "16 tenants share pages");
+}

@@ -65,6 +65,13 @@ pub struct EngineConfig {
     pub obs: bool,
     /// Seed for deterministic per-vertex randomness.
     pub seed: u64,
+    /// Job tag naming this run's on-device artifacts (multi-log extents,
+    /// edge logs, checkpoint slots) and stamped into
+    /// `RunReport::job_id`. The default `"mlvc"` preserves the historical
+    /// file names (`mlvc resume` finds old checkpoints); the serving
+    /// daemon gives each concurrent job a unique tag so runs sharing one
+    /// device never collide.
+    pub tag: String,
     pub cost: CostModel,
 }
 
@@ -82,6 +89,7 @@ impl Default for EngineConfig {
             checkpoint_every: None,
             obs: false,
             seed: 0xC0FFEE,
+            tag: "mlvc".to_string(),
             cost: CostModel::default(),
         }
     }
@@ -124,6 +132,12 @@ impl EngineConfig {
     /// Toggle the observability layer (DESIGN.md §13).
     pub fn with_obs(mut self, yes: bool) -> Self {
         self.obs = yes;
+        self
+    }
+
+    /// Tag this run's on-device artifacts and its `RunReport::job_id`.
+    pub fn with_tag(mut self, tag: &str) -> Self {
+        self.tag = tag.to_string();
         self
     }
 

@@ -14,9 +14,6 @@ use mlvc_ssd::{DeviceError, FtlConfig, FtlStats, Ssd, SsdStatsSnapshot};
 
 use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
 
-/// Device tag under which the engine's checkpoint slot files live.
-const CKPT_TAG: &str = "mlvc";
-
 /// Trace records kept per run when observability is on — far above any
 /// evaluation run (the paper caps at 15 supersteps); beyond it the ring
 /// keeps the most recent records so memory stays bounded.
@@ -213,7 +210,7 @@ impl MultiLogEngine {
     /// vertex count does not match the stored graph is ignored (it belongs
     /// to a different run), not treated as corruption.
     fn load_resume_point(&self) -> Result<Option<CheckpointState>, DeviceError> {
-        let mgr = CheckpointManager::open(&self.ssd, CKPT_TAG)?;
+        let mgr = CheckpointManager::open(&self.ssd, &self.cfg.tag)?;
         Ok(mgr
             .load_latest()?
             .map(|(_, cp)| cp)
@@ -237,6 +234,7 @@ impl MultiLogEngine {
 
         report.engine = self.name().to_string();
         report.app = prog.name().to_string();
+        report.job_id = self.cfg.tag.clone();
 
         // Observability (DESIGN.md §13): attach the live FTL before any
         // page write so flash amplification covers the whole run. Bases
@@ -261,7 +259,7 @@ impl MultiLogEngine {
             Arc::clone(&self.ssd),
             intervals.clone(),
             MultiLogConfig { buffer_bytes: self.cfg.multilog_budget() },
-            "mlvc",
+            &self.cfg.tag,
         )?;
         let mut sortgroup = SortGroup::new(self.cfg.sort_budget());
         // The reference mode measures the comparison sort the pre-pipeline
@@ -274,14 +272,14 @@ impl MultiLogEngine {
                 buffer_bytes: self.cfg.edgelog_budget(),
                 ..Default::default()
             },
-            "mlvc",
+            &self.cfg.tag,
         )?;
         let mut loader = GraphLoader::new();
         let mut structural =
             StructuralUpdateBuffer::new(intervals.clone(), self.cfg.structural_merge_threshold);
 
         let mut ckpt_mgr = match self.cfg.checkpoint_every {
-            Some(_) => Some(CheckpointManager::open(&self.ssd, CKPT_TAG)?),
+            Some(_) => Some(CheckpointManager::open(&self.ssd, &self.cfg.tag)?),
             None => None,
         };
 

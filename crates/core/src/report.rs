@@ -1,5 +1,5 @@
 use mlvc_log::{EdgeLogStats, MultiLogStats};
-use mlvc_obs::{trace_to_jsonl, MetricsSnapshot, TraceRecord};
+use mlvc_obs::{trace_to_jsonl, trace_to_jsonl_labeled, MetricsSnapshot, TraceRecord};
 use mlvc_ssd::{DeviceError, SsdStatsSnapshot};
 
 /// Statistics of one superstep — the per-superstep rows behind the paper's
@@ -76,6 +76,10 @@ impl SuperstepStats {
 pub struct RunReport {
     pub engine: String,
     pub app: String,
+    /// Stable identity of this run, from `EngineConfig::tag` — what keeps
+    /// concurrent jobs' records apart in merged JSONL/Prometheus output
+    /// (`"mlvc"` for plain single-run CLI invocations).
+    pub job_id: String,
     pub supersteps: Vec<SuperstepStats>,
     /// True if the run converged (no pending work) before the cap.
     pub converged: bool,
@@ -167,6 +171,13 @@ impl RunReport {
     /// The trace as JSON lines — the `mlvc run --metrics <path>` payload.
     pub fn trace_jsonl(&self) -> String {
         trace_to_jsonl(&self.trace)
+    }
+
+    /// The trace as JSON lines with a `"job"` field on every record, so
+    /// lines from concurrent jobs stay attributable after merging (the
+    /// serving daemon's trace output).
+    pub fn trace_jsonl_labeled(&self) -> String {
+        trace_to_jsonl_labeled(&self.trace, &self.job_id)
     }
 
     /// Prometheus text exposition of the end-of-run registry snapshot

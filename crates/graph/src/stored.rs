@@ -115,6 +115,23 @@ impl StoredGraph {
         &self.ssd
     }
 
+    /// Rebind this stored graph onto another view of the *same* device
+    /// (see [`Ssd::tenant_view`]): file ids stay valid because views share
+    /// the namespace, so the extents are reused without any I/O. The
+    /// serving daemon uses this to give each job a handle whose reads are
+    /// charged to that job's counters and cache tenant.
+    pub fn with_device(&self, ssd: Arc<Ssd>) -> StoredGraph {
+        StoredGraph {
+            ssd,
+            name: self.name.clone(),
+            intervals: self.intervals.clone(),
+            rowptr_files: self.rowptr_files.clone(),
+            colidx_files: self.colidx_files.clone(),
+            val_files: self.val_files.clone(),
+            num_edges: mlvc_ssd::RelaxedCounter::new(self.num_edges.get()),
+        }
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }

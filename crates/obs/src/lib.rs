@@ -273,6 +273,43 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Prometheus text exposition with a `job` label on every series —
+    /// how the serving daemon distinguishes per-job registries inside one
+    /// daemon-wide scrape. The label value is escaped per the exposition
+    /// format (backslash, double-quote, newline).
+    pub fn to_prometheus_labeled(&self, job: &str) -> String {
+        let esc: String = job
+            .chars()
+            .flat_map(|c| match c {
+                '\\' => vec!['\\', '\\'],
+                '"' => vec!['\\', '"'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{{job=\"{esc}\"}} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{job=\"{esc}\"}} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (bound, n) in h.bounds.iter().zip(h.buckets.iter()) {
+                cum += n;
+                let _ = writeln!(out, "{name}_bucket{{job=\"{esc}\",le=\"{bound}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{job=\"{esc}\",le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum{{job=\"{esc}\"}} {}", h.sum);
+            let _ = writeln!(out, "{name}_count{{job=\"{esc}\"}} {}", h.count());
+        }
+        out
+    }
+
     /// Hand-rolled JSON object (the workspace is dependency-free). Key order
     /// is the sorted map order, so equal snapshots produce equal bytes.
     pub fn to_json(&self) -> String {
@@ -468,6 +505,17 @@ impl TraceRecord {
         out.push('}');
         out
     }
+
+    /// Like [`TraceRecord::to_json_line`] but with a leading `"job"` field,
+    /// so records from concurrent runs merged into one stream (the serving
+    /// daemon's trace output) stay attributable.
+    pub fn to_json_line_labeled(&self, job: &str) -> String {
+        let mut out = String::from("{\"job\":");
+        out.push_str(&json_escape(job));
+        out.push(',');
+        out.push_str(&self.to_json_line()[1..]);
+        out
+    }
 }
 
 fn push_ratio(out: &mut String, name: &str, v: Option<f64>) {
@@ -488,6 +536,39 @@ pub fn trace_to_jsonl(records: &[TraceRecord]) -> String {
         out.push_str(&r.to_json_line());
         out.push('\n');
     }
+    out
+}
+
+/// Serialise a trace as JSON lines with a `"job"` label on every record.
+pub fn trace_to_jsonl_labeled(records: &[TraceRecord], job: &str) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line_labeled(job));
+        out.push('\n');
+    }
+    out
+}
+
+/// Quote `s` as a JSON string literal (including the surrounding quotes),
+/// escaping the characters JSON requires. Public so emitters elsewhere in
+/// the workspace produce strings the [`json`] parser round-trips.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }
 
@@ -706,5 +787,42 @@ mod tests {
         ring.push(TraceRecord { superstep: 1, ..TraceRecord::default() });
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.records()[0].superstep, 1);
+    }
+
+    #[test]
+    fn json_escape_round_trips_through_the_parser() {
+        for s in ["plain", "with \"quotes\"", "back\\slash", "line\nbreak", "tab\there", "\u{1}"] {
+            let quoted = json_escape(s);
+            let v = json::parse(&quoted).expect("escaped string parses");
+            assert_eq!(v.as_str(), Some(s), "round trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn labeled_trace_lines_carry_the_job_and_parse() {
+        let recs = [TraceRecord { superstep: 7, ..TraceRecord::default() }];
+        let out = trace_to_jsonl_labeled(&recs, "job-a");
+        let line = out.lines().next().expect("one line");
+        let v = json::parse(line).expect("labeled line parses");
+        assert_eq!(v.get("job").and_then(json::Json::as_str), Some("job-a"));
+        assert_eq!(v.get("superstep").and_then(json::Json::as_num), Some(7.0));
+        // The unlabeled emitter stays byte-stable: the labeled line is the
+        // same object with one extra leading field.
+        let plain = trace_to_jsonl(&recs);
+        assert!(line.ends_with(&plain.lines().next().map(|l| l[1..].to_string()).unwrap_or_default()));
+    }
+
+    #[test]
+    fn labeled_prometheus_attaches_job_to_every_series() {
+        let reg = Registry::new();
+        reg.counter("mlvc_test_total").add(3);
+        reg.gauge("mlvc_test_gauge").set(9);
+        reg.histogram("mlvc_test_hist", &[10, 100]).observe(42);
+        let text = reg.snapshot().to_prometheus_labeled("job \"x\"\n");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("job=\"job \\\"x\\\"\\n\""), "unlabeled series: {line}");
+        }
+        assert!(text.contains("mlvc_test_total{job="));
+        assert!(text.contains("le=\"+Inf\""));
     }
 }

@@ -1,0 +1,481 @@
+//! The serving daemon: many concurrent jobs, one simulated device.
+//!
+//! A [`Daemon`] owns one [`Ssd`] with an attached shared [`PageCache`],
+//! a registry of stored datasets, and a global memory [`Budget`]. Each
+//! admitted job runs on its own *tenant view* of the device — private
+//! I/O accounting and fault state, shared pages and cache — so jobs
+//! faulting the same graph pages hit each other's cache fills, and an
+//! injected crash in one job cannot touch its neighbours.
+//!
+//! Two entry points: [`Daemon::run_jobs`] executes a batch in-process on
+//! a bounded worker pool and returns typed [`JobResult`]s (the test and
+//! bench surface), and [`Daemon::serve`] drives the same pool from a
+//! line-delimited JSON transport (stdin or a socket wrapped in
+//! `BufRead`/`Write` — the `mlvc serve` subcommand).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use mlvc_apps::{Bfs, Cdlp, Coloring, KCore, Mis, PageRank, RandomWalk, Sssp, Wcc};
+use mlvc_core::{Engine, EngineConfig, MultiLogEngine, RunReport, VertexProgram};
+use mlvc_graph::{Csr, StoredGraph, VertexIntervals};
+use mlvc_obs::MetricsSnapshot;
+use mlvc_ssd::sync::Mutex as PoisonFreeMutex;
+use mlvc_ssd::{
+    DeviceError, FaultPlan, FtlConfig, PageCache, Ssd, SsdConfig, SsdStatsSnapshot,
+    TenantCacheStats, TenantId,
+};
+use std::sync::Arc;
+
+use crate::admission::{Budget, Reservation};
+use crate::protocol::{
+    accepted_line, done_line, failed_line, queued_line, rejected_line, JobRequest, RejectReason,
+    Request,
+};
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Global host-memory budget shared by all concurrently running jobs
+    /// (each job reserves its `memory_bytes` against this for its whole
+    /// lifetime).
+    pub memory_budget: usize,
+    /// Shared page-cache capacity, in device pages.
+    pub cache_pages: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { memory_budget: 64 << 20, cache_pages: 512, workers: 4 }
+    }
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Turned away at admission, never started.
+    Rejected(RejectReason),
+    /// Started but its device view faulted (e.g. an injected crash).
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Rejected(r) => write!(f, "rejected ({}): {r}", r.code()),
+            JobError::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// Everything a completed job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub id: String,
+    /// Tenant id of the job's device view (attributes its cache traffic).
+    pub tenant: TenantId,
+    pub report: RunReport,
+    /// Final per-vertex states — bit-identical to a standalone run of the
+    /// same app/dataset/config (the serving determinism contract).
+    pub states: Vec<u64>,
+    /// Device I/O charged to this job's view only (cache hits charge
+    /// nothing; see `mlvc_ssd::PageCache`).
+    pub device: SsdStatsSnapshot,
+    /// This job's share of the shared cache's traffic.
+    pub cache: TenantCacheStats,
+}
+
+/// One entry of [`Daemon::run_jobs`]' output, in submission order.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub id: String,
+    /// True when the job's reservation did not fit the free budget at
+    /// submission and it had to wait for running jobs to release memory.
+    pub queued: bool,
+    pub outcome: Result<JobOutcome, JobError>,
+}
+
+/// Multi-tenant serving daemon over one simulated flash device.
+pub struct Daemon {
+    ssd: Arc<Ssd>,
+    cache: Arc<PageCache>,
+    datasets: BTreeMap<String, Arc<StoredGraph>>,
+    budget: Budget,
+    workers: usize,
+    next_tenant: AtomicU32,
+    /// Per-job end-of-run metrics, for the daemon-wide Prometheus rollup.
+    completed: PoisonFreeMutex<Vec<(String, Option<MetricsSnapshot>)>>,
+}
+
+impl Daemon {
+    /// A daemon over a fresh in-memory device.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self::with_device(cfg, Arc::new(Ssd::new(SsdConfig::default())))
+    }
+
+    /// A daemon over a caller-provided device (e.g. file-backed via
+    /// `--ssd-dir`). Attaches the shared page cache to it.
+    pub fn with_device(cfg: ServeConfig, ssd: Arc<Ssd>) -> Self {
+        let cache = Arc::new(PageCache::new(cfg.cache_pages));
+        ssd.attach_cache(Arc::clone(&cache));
+        // Attach the live FTL now, before any worker exists: every job
+        // runs with obs on and would otherwise race to install it from
+        // concurrent pool threads. Construction happens-before every
+        // spawn, so the per-job `enable_ftl` calls are ordered no-ops.
+        ssd.enable_ftl(FtlConfig::default());
+        Daemon {
+            ssd,
+            cache,
+            datasets: BTreeMap::new(),
+            budget: Budget::new(cfg.memory_budget),
+            workers: cfg.workers.max(1),
+            next_tenant: AtomicU32::new(1),
+            completed: PoisonFreeMutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared device (its stats aggregate every tenant's charges).
+    pub fn device(&self) -> &Arc<Ssd> {
+        &self.ssd
+    }
+
+    /// The shared page cache.
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// The global admission budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Store `graph` on the shared device under `name`, making it
+    /// runnable by jobs. Interval partitioning uses the default engine
+    /// sort budget so any job budget can process it.
+    pub fn add_dataset(&mut self, name: &str, graph: &Csr) -> Result<(), DeviceError> {
+        let sort = EngineConfig::default().sort_budget();
+        let iv = VertexIntervals::for_graph(graph, 16, sort);
+        let sg = StoredGraph::store_with(&self.ssd, graph, name, iv)?;
+        self.datasets.insert(name.to_string(), Arc::new(sg));
+        Ok(())
+    }
+
+    /// Registered dataset names.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.datasets.keys().cloned().collect()
+    }
+
+    /// Admission check without reserving anything: would this request
+    /// ever be runnable?
+    pub fn validate(&self, req: &JobRequest) -> Result<(), RejectReason> {
+        if req.id.is_empty() {
+            return Err(RejectReason::MalformedRequest("empty job id".to_string()));
+        }
+        self.budget.check(req.memory_bytes)?;
+        let g = self
+            .datasets
+            .get(&req.dataset)
+            .ok_or_else(|| RejectReason::UnknownDataset(req.dataset.clone()))?;
+        if mlvc_ssd::checked::idx(req.source) >= g.num_vertices() {
+            return Err(RejectReason::MalformedRequest(format!(
+                "source {} out of range for dataset {:?}",
+                req.source, req.dataset
+            )));
+        }
+        drop(make_program(&req.app, g.has_weights(), req.source)?);
+        Ok(())
+    }
+
+    /// Run one already-validated job under a held reservation: give it a
+    /// private tenant view of the device, rebind the stored graph to the
+    /// view, and drive the engine.
+    fn execute(&self, req: &JobRequest) -> Result<JobOutcome, JobError> {
+        let graph = self
+            .datasets
+            .get(&req.dataset)
+            .ok_or_else(|| JobError::Rejected(RejectReason::UnknownDataset(req.dataset.clone())))?;
+        let prog = make_program(&req.app, graph.has_weights(), req.source)
+            .map_err(JobError::Rejected)?;
+        let tenant = self.next_tenant.fetch_add(1, Ordering::SeqCst);
+        let view = Arc::new(self.ssd.tenant_view(tenant));
+        if let Some(n) = req.crash_after {
+            view.install_fault_plan(FaultPlan::crash_after(n, req.seed));
+        }
+        let cfg = EngineConfig::default()
+            .with_memory(req.memory_bytes)
+            .with_seed(req.seed)
+            .with_async(req.async_mode)
+            .with_obs(true)
+            .with_tag(&req.id)
+            .validated();
+        let bound = Arc::new(graph.with_device(Arc::clone(&view)));
+        let mut engine = MultiLogEngine::with_shared_graph(Arc::clone(&view), bound, cfg);
+        let report = engine.run(prog.as_ref(), req.steps);
+        self.completed.lock().push((req.id.clone(), report.obs.clone()));
+        if let Some(e) = &report.interrupted {
+            return Err(JobError::Failed(format!("{e}")));
+        }
+        let states = engine.states().to_vec();
+        let device = view.stats().snapshot();
+        let cache = self.cache.snapshot().tenant(tenant);
+        Ok(JobOutcome { id: req.id.clone(), tenant, report, states, device, cache })
+    }
+
+    /// Validate, reserve (waiting if the budget is currently exhausted),
+    /// and run one job on the calling thread.
+    pub fn run_job(&self, req: &JobRequest) -> JobResult {
+        if let Err(r) = self.validate(req) {
+            return JobResult {
+                id: req.id.clone(),
+                queued: false,
+                outcome: Err(JobError::Rejected(r)),
+            };
+        }
+        let (queued, hold) = self.admit(req.memory_bytes);
+        let outcome = self.execute(req);
+        drop(hold);
+        JobResult { id: req.id.clone(), queued, outcome }
+    }
+
+    /// Reserve budget, reporting whether the job had to queue.
+    fn admit(&self, bytes: usize) -> (bool, Reservation<'_>) {
+        match self.budget.try_reserve(bytes) {
+            Some(r) => (false, r),
+            None => (true, self.budget.reserve_blocking(bytes)),
+        }
+    }
+
+    /// Execute a batch of jobs on the daemon's bounded worker pool.
+    /// Results come back in submission order; jobs start FIFO but finish
+    /// in any order, all sharing the device and its page cache.
+    pub fn run_jobs(&self, reqs: Vec<JobRequest>) -> Vec<JobResult> {
+        let n = reqs.len();
+        let queue: PoisonFreeMutex<VecDeque<(usize, JobRequest)>> =
+            PoisonFreeMutex::new(reqs.into_iter().enumerate().collect());
+        let results: PoisonFreeMutex<Vec<Option<JobResult>>> =
+            PoisonFreeMutex::new((0..n).map(|_| None).collect());
+        let workers = self.workers.min(n.max(1));
+        mlvc_par::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    while let Some((idx, req)) = pop_job(&queue) {
+                        let res = self.run_job(&req);
+                        store_result(&results, idx, res);
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| JobResult {
+                    id: format!("job-{i}"),
+                    queued: false,
+                    outcome: Err(JobError::Failed("worker terminated".to_string())),
+                })
+            })
+            .collect()
+    }
+
+    /// Drive the worker pool from a line-delimited JSON transport: read
+    /// requests from `input`, write reply events to `output` (interleaved
+    /// across jobs; each line is one JSON object). Returns after a
+    /// `shutdown` request or EOF, once every accepted job has finished.
+    pub fn serve<R: BufRead, W: Write + Send>(&self, input: R, output: W) -> std::io::Result<()> {
+        let out = PoisonFreeMutex::new(output);
+        let q = ServeQueue::default();
+        mlvc_par::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|| {
+                    while let Some(req) = q.pop() {
+                        let hold = match self.budget.try_reserve(req.memory_bytes) {
+                            Some(r) => r,
+                            None => {
+                                emit(&out, &queued_line(&req.id));
+                                self.budget.reserve_blocking(req.memory_bytes)
+                            }
+                        };
+                        let outcome = self.execute(&req);
+                        drop(hold);
+                        match outcome {
+                            Ok(o) => emit(
+                                &out,
+                                &done_line(
+                                    &o.id,
+                                    o.report.supersteps.len(),
+                                    o.report.converged,
+                                    o.device.pages_read,
+                                    o.cache.hits,
+                                    o.report.total_sim_time_ns(),
+                                ),
+                            ),
+                            Err(e) => emit(&out, &failed_line(&req.id, &format!("{e}"))),
+                        }
+                    }
+                });
+            }
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match Request::parse(line) {
+                    Ok(Request::Run(req)) => match self.validate(&req) {
+                        Ok(()) => {
+                            emit(&out, &accepted_line(&req.id));
+                            q.push(req);
+                        }
+                        Err(r) => emit(&out, &rejected_line(&req.id, &r)),
+                    },
+                    Ok(Request::Stats) => emit(&out, &self.stats_line()),
+                    Ok(Request::Shutdown) => break,
+                    Err(r) => emit(&out, &rejected_line("", &r)),
+                }
+            }
+            q.close();
+        });
+        Ok(())
+    }
+
+    /// Daemon-wide counters as one JSON line (the `stats` op reply).
+    pub fn stats_line(&self) -> String {
+        let d = self.ssd.stats().snapshot();
+        let c = self.cache.snapshot();
+        format!(
+            "{{\"event\":\"stats\",\"jobs_completed\":{},\"device_pages_read\":{},\
+             \"device_pages_written\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"cache_evictions\":{},\"cross_tenant_hits\":{},\"budget_total\":{},\
+             \"budget_reserved\":{}}}",
+            self.completed.lock().len(),
+            d.pages_read,
+            d.pages_written,
+            c.total_hits(),
+            c.total_misses(),
+            c.evictions,
+            c.cross_tenant_hits,
+            self.budget.total(),
+            self.budget.reserved(),
+        )
+    }
+
+    /// Daemon-wide metrics in Prometheus text exposition format: shared
+    /// device totals, shared cache counters (with per-tenant series), and
+    /// every completed job's end-of-run registry snapshot labeled with
+    /// its job id.
+    pub fn prometheus_rollup(&self) -> String {
+        let mut s = String::new();
+        let d = self.ssd.stats().snapshot();
+        s.push_str(&format!("mlvc_serve_device_pages_read_total {}\n", d.pages_read));
+        s.push_str(&format!("mlvc_serve_device_pages_written_total {}\n", d.pages_written));
+        s.push_str(&format!("mlvc_serve_device_bytes_read_total {}\n", d.bytes_read));
+        s.push_str(&format!("mlvc_serve_device_bytes_written_total {}\n", d.bytes_written));
+        let c = self.cache.snapshot();
+        s.push_str(&format!("mlvc_serve_cache_capacity_pages {}\n", c.capacity_pages));
+        s.push_str(&format!("mlvc_serve_cache_resident_pages {}\n", c.resident_pages));
+        s.push_str(&format!("mlvc_serve_cache_hits_total {}\n", c.total_hits()));
+        s.push_str(&format!("mlvc_serve_cache_misses_total {}\n", c.total_misses()));
+        s.push_str(&format!("mlvc_serve_cache_evictions_total {}\n", c.evictions));
+        s.push_str(&format!(
+            "mlvc_serve_cache_cross_tenant_hits_total {}\n",
+            c.cross_tenant_hits
+        ));
+        for (t, ts) in &c.tenants {
+            s.push_str(&format!(
+                "mlvc_serve_cache_tenant_hits_total{{tenant=\"{t}\"}} {}\n",
+                ts.hits
+            ));
+            s.push_str(&format!(
+                "mlvc_serve_cache_tenant_bytes_saved_total{{tenant=\"{t}\"}} {}\n",
+                ts.bytes_saved
+            ));
+        }
+        for (job, snap) in self.completed.lock().iter() {
+            if let Some(snap) = snap {
+                s.push_str(&snap.to_prometheus_labeled(job));
+            }
+        }
+        s
+    }
+}
+
+/// Construct the vertex program a request names, or say why we cannot.
+fn make_program(
+    app: &str,
+    weighted: bool,
+    source: u32,
+) -> Result<Box<dyn VertexProgram>, RejectReason> {
+    Ok(match app {
+        "bfs" => Box::new(Bfs::new(source)),
+        "pagerank" => Box::new(PageRank::default()),
+        "cdlp" => Box::new(Cdlp),
+        "coloring" => Box::new(Coloring::new()),
+        "mis" => Box::new(Mis),
+        "randomwalk" => Box::new(RandomWalk::default()),
+        "wcc" => Box::new(Wcc),
+        "kcore" => Box::new(KCore::new()),
+        "sssp" if weighted => Box::new(Sssp::new(source)),
+        "sssp" => return Err(RejectReason::NeedsWeights("sssp".to_string())),
+        other => return Err(RejectReason::UnknownApp(other.to_string())),
+    })
+}
+
+fn pop_job(q: &PoisonFreeMutex<VecDeque<(usize, JobRequest)>>) -> Option<(usize, JobRequest)> {
+    q.lock().pop_front()
+}
+
+fn store_result(r: &PoisonFreeMutex<Vec<Option<JobResult>>>, idx: usize, val: JobResult) {
+    r.lock()[idx] = Some(val);
+}
+
+/// Write one reply line, swallowing transport errors (a client that hung
+/// up stops caring about its replies; the daemon must not).
+fn emit<W: Write>(out: &PoisonFreeMutex<W>, line: &str) {
+    let _ = writeln!(out.lock(), "{line}");
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocking FIFO handoff between the transport dispatcher and the worker
+/// pool. Raw `std::sync::Mutex` because waiting needs a [`Condvar`].
+#[derive(Default)]
+struct ServeQueue {
+    /// (pending jobs, closed flag).
+    state: Mutex<(VecDeque<JobRequest>, bool)>,
+    ready: Condvar,
+}
+
+impl ServeQueue {
+    fn push(&self, job: JobRequest) {
+        locked(&self.state).0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        locked(&self.state).1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Next job, blocking while the queue is open but empty; `None` once
+    /// it is closed and drained.
+    fn pop(&self) -> Option<JobRequest> {
+        let mut g = locked(&self.state);
+        loop {
+            if let Some(job) = g.0.pop_front() {
+                return Some(job);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}

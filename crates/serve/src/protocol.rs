@@ -1,0 +1,357 @@
+//! Line-delimited JSON request protocol for the serving daemon.
+//!
+//! Each request is one JSON object per line. The `op` field selects the
+//! operation; everything else is op-specific:
+//!
+//! ```text
+//! {"op":"run","id":"j1","app":"pagerank","dataset":"cf","memory_kb":2048,"steps":10}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Replies are also one JSON object per line: `accepted`, `queued`,
+//! `rejected` (with a typed reason code), `done`, or `failed`. Parsing
+//! uses the panic-free [`mlvc_obs::json`] reader; a malformed line yields
+//! a typed [`RejectReason::MalformedRequest`], never a panic — the daemon
+//! must survive arbitrary client input.
+
+use std::fmt;
+
+use mlvc_obs::json::{self, Json};
+use mlvc_obs::json_escape;
+
+/// One job submission: which app to run on which dataset, under what
+/// memory reservation. Mirrors the `mlvc run` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Client-chosen identity; becomes `EngineConfig::tag` and
+    /// `RunReport::job_id`, and names the job's on-device artifacts.
+    pub id: String,
+    /// Vertex program name (`bfs`, `pagerank`, `wcc`, …).
+    pub app: String,
+    /// Name of a dataset registered with [`crate::Daemon::add_dataset`].
+    pub dataset: String,
+    /// Host-memory reservation for this job, in bytes. Admission control
+    /// reserves this against the daemon's global budget for the job's
+    /// whole lifetime.
+    pub memory_bytes: usize,
+    /// Superstep cap.
+    pub steps: usize,
+    /// Seed for deterministic per-vertex randomness.
+    pub seed: u64,
+    /// Source vertex for traversal apps.
+    pub source: u32,
+    /// Asynchronous computation model (§V-F).
+    pub async_mode: bool,
+    /// Fault injection: crash this job's device view after N page writes
+    /// (testing hook; other tenants are unaffected).
+    pub crash_after: Option<u64>,
+}
+
+impl Default for JobRequest {
+    fn default() -> Self {
+        JobRequest {
+            id: String::new(),
+            app: String::new(),
+            dataset: String::new(),
+            memory_bytes: 2 << 20,
+            steps: 15,
+            seed: 42,
+            source: 0,
+            async_mode: false,
+            crash_after: None,
+        }
+    }
+}
+
+/// A parsed protocol line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Run(JobRequest),
+    /// Ask for a daemon-wide metrics snapshot.
+    Stats,
+    /// Drain the queue and exit the serve loop.
+    Shutdown,
+}
+
+/// Why a job was turned away at admission. Every variant has a stable
+/// machine-readable `code()` so clients can branch without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request asks for more memory than the daemon's whole budget —
+    /// it could never be scheduled, so it is rejected rather than queued.
+    BudgetExceedsTotal { requested: usize, total: usize },
+    /// Below the engine's minimum viable budget (4 KiB); the engine
+    /// asserts on such configs, so admission rejects them up front.
+    BudgetTooSmall { requested: usize },
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// No vertex program with this name.
+    UnknownApp(String),
+    /// The app needs edge weights but the dataset is unweighted.
+    NeedsWeights(String),
+    /// The line was not a well-formed request.
+    MalformedRequest(String),
+}
+
+impl RejectReason {
+    /// Stable machine-readable reason code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::BudgetExceedsTotal { .. } => "budget-exceeds-total",
+            RejectReason::BudgetTooSmall { .. } => "budget-too-small",
+            RejectReason::UnknownDataset(_) => "unknown-dataset",
+            RejectReason::UnknownApp(_) => "unknown-app",
+            RejectReason::NeedsWeights(_) => "needs-weights",
+            RejectReason::MalformedRequest(_) => "malformed-request",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BudgetExceedsTotal { requested, total } => {
+                write!(f, "requested {requested} B exceeds the daemon budget of {total} B")
+            }
+            RejectReason::BudgetTooSmall { requested } => {
+                write!(f, "requested {requested} B is below the 4 KiB engine minimum")
+            }
+            RejectReason::UnknownDataset(d) => write!(f, "unknown dataset {d:?}"),
+            RejectReason::UnknownApp(a) => write!(f, "unknown app {a:?}"),
+            RejectReason::NeedsWeights(a) => write!(f, "app {a:?} needs a weighted dataset"),
+            RejectReason::MalformedRequest(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+/// JSON numbers arrive as `f64`; recover the unsigned integer they encode
+/// without a truncating cast. Rejects negatives, fractions, non-finite
+/// values, and magnitudes beyond `u64`.
+fn json_u64(v: &Json) -> Option<u64> {
+    let n = v.as_num()?;
+    if !n.is_finite() || n < 0.0 || n.fract() != 0.0 {
+        return None;
+    }
+    format!("{n:.0}").parse().ok()
+}
+
+fn field_u64(obj: &Json, key: &str, default: u64) -> Result<u64, RejectReason> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            json_u64(v).ok_or_else(|| bad(format!("{key} must be a non-negative integer")))
+        }
+    }
+}
+
+fn field_str(obj: &Json, key: &str) -> Result<String, RejectReason> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing string field {key:?}")))
+}
+
+fn bad(why: String) -> RejectReason {
+    RejectReason::MalformedRequest(why)
+}
+
+fn width(key: &'static str, v: u64) -> Result<usize, RejectReason> {
+    mlvc_ssd::checked::to_usize(key, v).map_err(|e| bad(format!("{e}")))
+}
+
+impl JobRequest {
+    /// Parse the body of a `"run"` request.
+    fn from_json(obj: &Json) -> Result<JobRequest, RejectReason> {
+        let d = JobRequest::default();
+        let memory_kb = field_u64(obj, "memory_kb", 0)?;
+        let memory_bytes = if memory_kb > 0 {
+            width("memory_kb", memory_kb)?.saturating_mul(1 << 10)
+        } else {
+            d.memory_bytes
+        };
+        let steps = width("steps", field_u64(obj, "steps", mlvc_ssd::checked::to_u64(d.steps))?)?;
+        let seed = field_u64(obj, "seed", d.seed)?;
+        let source = mlvc_ssd::checked::to_u32(
+            "source",
+            width("source", field_u64(obj, "source", 0)?)?,
+        )
+        .map_err(|e| bad(format!("{e}")))?;
+        let crash = field_u64(obj, "crash_after", 0)?;
+        Ok(JobRequest {
+            id: field_str(obj, "id")?,
+            app: field_str(obj, "app")?,
+            dataset: field_str(obj, "dataset")?,
+            memory_bytes,
+            steps,
+            seed,
+            source,
+            async_mode: obj.get("async").and_then(Json::as_bool).unwrap_or(false),
+            crash_after: (crash > 0).then_some(crash),
+        })
+    }
+}
+
+impl Request {
+    /// Parse one protocol line. Never panics: anything that is not a
+    /// well-formed request becomes a typed [`RejectReason`].
+    pub fn parse(line: &str) -> Result<Request, RejectReason> {
+        let v = json::parse(line).map_err(|e| bad(format!("{e}")))?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field \"op\"".to_string()))?;
+        match op {
+            "run" => Ok(Request::Run(JobRequest::from_json(&v)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+// ---- reply lines -----------------------------------------------------
+
+/// `{"event":"accepted","id":…}` — the job passed admission and was
+/// enqueued for a worker.
+pub fn accepted_line(id: &str) -> String {
+    format!("{{\"event\":\"accepted\",\"id\":{}}}", json_escape(id))
+}
+
+/// `{"event":"queued","id":…}` — the job's reservation did not fit the
+/// free budget; it waits for running jobs to release memory.
+pub fn queued_line(id: &str) -> String {
+    format!("{{\"event\":\"queued\",\"id\":{}}}", json_escape(id))
+}
+
+/// `{"event":"rejected","id":…,"code":…,"reason":…}`.
+pub fn rejected_line(id: &str, why: &RejectReason) -> String {
+    format!(
+        "{{\"event\":\"rejected\",\"id\":{},\"code\":{},\"reason\":{}}}",
+        json_escape(id),
+        json_escape(why.code()),
+        json_escape(&format!("{why}"))
+    )
+}
+
+/// `{"event":"failed","id":…,"error":…}` — the job started but its device
+/// view faulted (e.g. an injected crash).
+pub fn failed_line(id: &str, error: &str) -> String {
+    format!(
+        "{{\"event\":\"failed\",\"id\":{},\"error\":{}}}",
+        json_escape(id),
+        json_escape(error)
+    )
+}
+
+/// `{"event":"done","id":…,…}` — completion summary for one job.
+#[allow(clippy::too_many_arguments)]
+pub fn done_line(
+    id: &str,
+    supersteps: usize,
+    converged: bool,
+    pages_read: u64,
+    cache_hits: u64,
+    sim_time_ns: u64,
+) -> String {
+    format!(
+        "{{\"event\":\"done\",\"id\":{},\"supersteps\":{supersteps},\"converged\":{converged},\
+         \"pages_read\":{pages_read},\"cache_hits\":{cache_hits},\"sim_time_ns\":{sim_time_ns}}}",
+        json_escape(id)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips() {
+        let line = "{\"op\":\"run\",\"id\":\"j1\",\"app\":\"bfs\",\"dataset\":\"cf\",\
+                    \"memory_kb\":512,\"steps\":7,\"seed\":9,\"source\":3,\"async\":true}";
+        let Ok(Request::Run(r)) = Request::parse(line) else {
+            unreachable!("parse failed");
+        };
+        assert_eq!(r.id, "j1");
+        assert_eq!(r.app, "bfs");
+        assert_eq!(r.dataset, "cf");
+        assert_eq!(r.memory_bytes, 512 << 10);
+        assert_eq!(r.steps, 7);
+        assert_eq!(r.seed, 9);
+        assert_eq!(r.source, 3);
+        assert!(r.async_mode);
+        assert_eq!(r.crash_after, None);
+    }
+
+    #[test]
+    fn defaults_fill_optional_fields() {
+        let Ok(Request::Run(r)) =
+            Request::parse("{\"op\":\"run\",\"id\":\"a\",\"app\":\"wcc\",\"dataset\":\"d\"}")
+        else {
+            unreachable!("parse failed");
+        };
+        let d = JobRequest::default();
+        assert_eq!(r.memory_bytes, d.memory_bytes);
+        assert_eq!(r.steps, d.steps);
+        assert_eq!(r.seed, d.seed);
+        assert!(!r.async_mode);
+    }
+
+    #[test]
+    fn malformed_lines_become_typed_rejections() {
+        for line in [
+            "not json at all",
+            "{\"op\":\"run\"}",
+            "{\"op\":\"launch\"}",
+            "{}",
+            "{\"op\":\"run\",\"id\":\"x\",\"app\":\"bfs\",\"dataset\":\"d\",\"memory_kb\":-4}",
+            "{\"op\":\"run\",\"id\":\"x\",\"app\":\"bfs\",\"dataset\":\"d\",\"steps\":1.5}",
+        ] {
+            let Err(r) = Request::parse(line) else {
+                unreachable!("{line} should not parse");
+            };
+            assert_eq!(r.code(), "malformed-request", "{line}");
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(Request::parse("{\"op\":\"stats\"}"), Ok(Request::Stats));
+        assert_eq!(Request::parse("{\"op\":\"shutdown\"}"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn reply_lines_are_valid_json() {
+        let why = RejectReason::UnknownDataset("who \"dis\"".to_string());
+        for line in [
+            accepted_line("j\"1"),
+            queued_line("j1"),
+            rejected_line("j1", &why),
+            failed_line("j1", "device crashed"),
+            done_line("j1", 4, true, 100, 12, 5_000),
+        ] {
+            let v = json::parse(&line);
+            assert!(v.is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn reject_codes_are_stable() {
+        let cases: Vec<(RejectReason, &str)> = vec![
+            (
+                RejectReason::BudgetExceedsTotal { requested: 9, total: 1 },
+                "budget-exceeds-total",
+            ),
+            (RejectReason::BudgetTooSmall { requested: 1 }, "budget-too-small"),
+            (RejectReason::UnknownDataset("x".to_string()), "unknown-dataset"),
+            (RejectReason::UnknownApp("x".to_string()), "unknown-app"),
+            (RejectReason::NeedsWeights("sssp".to_string()), "needs-weights"),
+            (RejectReason::MalformedRequest("x".to_string()), "malformed-request"),
+        ];
+        for (r, code) in cases {
+            assert_eq!(r.code(), code);
+            assert!(!format!("{r}").is_empty());
+        }
+    }
+}

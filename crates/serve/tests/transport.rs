@@ -1,0 +1,67 @@
+//! Line-protocol transport: drive `Daemon::serve` end to end through an
+//! in-memory reader/writer pair and check the reply event stream.
+
+use std::io::Cursor;
+
+use mlvc_serve::{Daemon, ServeConfig};
+
+fn events(output: &[u8]) -> Vec<(String, String)> {
+    String::from_utf8_lossy(output)
+        .lines()
+        .map(|l| {
+            let v = mlvc_obs::json::parse(l).unwrap_or_else(|e| panic!("bad reply {l}: {e}"));
+            (
+                v.get("event").and_then(|e| e.as_str()).unwrap_or("").to_string(),
+                v.get("id").and_then(|e| e.as_str()).unwrap_or("").to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn serve_runs_jobs_and_replies_per_line() {
+    let mut daemon = Daemon::new(ServeConfig { workers: 2, ..ServeConfig::default() });
+    daemon.add_dataset("cf", &mlvc_gen::cf_mini(8, 5).graph).unwrap();
+    let input = "\
+{\"op\":\"run\",\"id\":\"a\",\"app\":\"bfs\",\"dataset\":\"cf\",\"memory_kb\":1024,\"steps\":8}\n\
+{\"op\":\"run\",\"id\":\"b\",\"app\":\"wcc\",\"dataset\":\"cf\",\"memory_kb\":1024,\"steps\":8}\n\
+{\"op\":\"run\",\"id\":\"c\",\"app\":\"nope\",\"dataset\":\"cf\"}\n\
+this is not json\n\
+{\"op\":\"stats\"}\n\
+{\"op\":\"shutdown\"}\n";
+    let mut out: Vec<u8> = Vec::new();
+    daemon.serve(Cursor::new(input), &mut out).unwrap();
+    let ev = events(&out);
+    let of = |id: &str| -> Vec<&str> {
+        ev.iter().filter(|(_, i)| i == id).map(|(e, _)| e.as_str()).collect()
+    };
+    assert_eq!(of("a").first().copied(), Some("accepted"));
+    assert_eq!(of("a").last().copied(), Some("done"));
+    assert_eq!(of("b").first().copied(), Some("accepted"));
+    assert_eq!(of("b").last().copied(), Some("done"));
+    assert_eq!(of("c"), vec!["rejected"], "bad app is rejected at admission");
+    assert!(
+        ev.iter().any(|(e, id)| e == "rejected" && id.is_empty()),
+        "non-JSON lines get a typed malformed-request rejection"
+    );
+    assert!(ev.iter().any(|(e, _)| e == "stats"));
+}
+
+#[test]
+fn eof_drains_accepted_jobs_before_returning() {
+    let mut daemon = Daemon::new(ServeConfig { workers: 1, ..ServeConfig::default() });
+    daemon.add_dataset("cf", &mlvc_gen::cf_mini(8, 5).graph).unwrap();
+    let input =
+        "{\"op\":\"run\",\"id\":\"only\",\"app\":\"pagerank\",\"dataset\":\"cf\",\"memory_kb\":1024,\"steps\":5}\n";
+    let mut out: Vec<u8> = Vec::new();
+    daemon.serve(Cursor::new(input), &mut out).unwrap();
+    let ev = events(&out);
+    assert_eq!(
+        ev.iter().filter(|(e, id)| e == "done" && id == "only").count(),
+        1,
+        "EOF must still drain the accepted job"
+    );
+    let rollup = daemon.prometheus_rollup();
+    assert!(rollup.contains("mlvc_serve_device_pages_read_total"));
+    assert!(rollup.contains("job=\"only\""), "per-job series must carry the job label");
+}

@@ -1,0 +1,482 @@
+//! Shared page cache with single-flight request merging.
+//!
+//! The serving daemon (`mlvc-serve`) runs many tenants against one
+//! simulated device; hot graph pages (interval row pointers, column
+//! indices) are identical across tenants, so a shared cache in front of
+//! the device turns N concurrent faults on the same page into one device
+//! read (FlashGraph's request-merging insight, PAPERS.md).
+//!
+//! Design:
+//!
+//! * **CLOCK eviction** over a fixed frame array — a second-chance sweep
+//!   keeps hot interval pages resident without LRU list maintenance.
+//! * **Single-flight merging** — the first tenant to fault a page marks it
+//!   in-flight and reads it from the device; concurrent tenants faulting
+//!   the same page block on a condvar and are served from the filled
+//!   frame, counted as (cross-tenant) hits.
+//! * **Write coherence** — the device invalidates cached frames on every
+//!   page write and whole files on truncate/delete. A write racing an
+//!   in-flight fill marks the fill *dirty*: the fetched data is still
+//!   returned to its requester (the read linearizes before the write) but
+//!   is never inserted, so no stale frame can outlive the write.
+//! * **Accounting identity** — a hit charges *nothing* to [`SsdStats`];
+//!   every non-hit request ends as exactly one charged device page read.
+//!   Therefore, per tenant: `cache hits + cached-run pages_read ==
+//!   uncached-run pages_read`, exactly, under eviction, merging and
+//!   dirty skips (pinned by `crates/serve` tests).
+//!
+//! The interior lock is a raw `std::sync::Mutex` (poison-recovered, the
+//! `mlvc_obs` precedent) because `Condvar` cannot wait on the workspace's
+//! custom `mlvc_ssd::sync` guards.
+//!
+//! [`SsdStats`]: crate::SsdStats
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::checked::{to_u64, to_usize};
+use crate::cost::PageAddr;
+use crate::device::{FileId, Ssd};
+use crate::fault::DeviceError;
+
+/// Identity of a cache client. The base device reads as tenant 0; the
+/// serving daemon assigns each admitted job a fresh id from 1.
+pub type TenantId = u32;
+
+type PageKey = (FileId, u64);
+
+/// One CLOCK frame: a resident page copy plus its reference bit and the
+/// tenant that inserted it (for cross-tenant hit attribution).
+struct Frame {
+    key: Option<PageKey>,
+    data: Vec<u8>,
+    referenced: bool,
+    inserter: TenantId,
+}
+
+/// A page currently being fetched from the device by one owner tenant.
+/// `dirty` is set by write invalidation racing the fill; a dirty fill is
+/// returned to its requester but never inserted.
+struct InFlight {
+    dirty: bool,
+}
+
+/// Per-tenant cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Requests served from a resident frame (including merged waits on an
+    /// in-flight fill that landed).
+    pub hits: u64,
+    /// Requests this tenant had to read from the device itself.
+    pub misses: u64,
+    /// Device bytes avoided: one full page per hit.
+    pub bytes_saved: u64,
+}
+
+/// Point-in-time view of the whole cache (per-tenant + global counters).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    pub capacity_pages: usize,
+    pub resident_pages: usize,
+    /// Frames reclaimed by the CLOCK sweep (invalidations not counted).
+    pub evictions: u64,
+    /// Hits on frames inserted by a *different* tenant — the shared-cache
+    /// win the serving daemon exists to produce.
+    pub cross_tenant_hits: u64,
+    pub tenants: BTreeMap<TenantId, TenantCacheStats>,
+}
+
+impl CacheSnapshot {
+    /// Total hits across tenants.
+    pub fn total_hits(&self) -> u64 {
+        self.tenants.values().map(|t| t.hits).sum()
+    }
+
+    /// Total misses across tenants.
+    pub fn total_misses(&self) -> u64 {
+        self.tenants.values().map(|t| t.misses).sum()
+    }
+
+    /// Stats for one tenant (zeroes if it never issued a request).
+    pub fn tenant(&self, id: TenantId) -> TenantCacheStats {
+        self.tenants.get(&id).copied().unwrap_or_default()
+    }
+}
+
+struct CacheInner {
+    frames: Vec<Frame>,
+    /// Resident pages: key -> frame index.
+    map: HashMap<PageKey, usize>,
+    /// Pages being fetched right now, each by exactly one owner.
+    in_flight: HashMap<PageKey, InFlight>,
+    hand: usize,
+    evictions: u64,
+    cross_tenant_hits: u64,
+    tenants: BTreeMap<TenantId, TenantCacheStats>,
+}
+
+/// The shared page cache. Attach to a device with [`Ssd::attach_cache`];
+/// every subsequent `read_batch` on the device (or any tenant view of it)
+/// is served through the cache.
+pub struct PageCache {
+    state: Mutex<CacheInner>,
+    filled: Condvar,
+}
+
+/// Poison recovery for the raw mutex: a panicked holder aborts its own
+/// job, not the daemon, so the guard is always usable.
+fn locked(m: &Mutex<CacheInner>) -> MutexGuard<'_, CacheInner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity_pages` resident pages (clamped to
+    /// at least one frame).
+    pub fn new(capacity_pages: usize) -> Self {
+        let cap = capacity_pages.max(1);
+        let mut frames = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            frames.push(Frame { key: None, data: Vec::new(), referenced: false, inserter: 0 });
+        }
+        PageCache {
+            state: Mutex::new(CacheInner {
+                frames,
+                map: HashMap::new(),
+                in_flight: HashMap::new(),
+                hand: 0,
+                evictions: 0,
+                cross_tenant_hits: 0,
+                tenants: BTreeMap::new(),
+            }),
+            filled: Condvar::new(),
+        }
+    }
+
+    /// Size the cache from a byte budget and the device page size.
+    pub fn for_budget(budget_bytes: u64, page_size: usize) -> Self {
+        let per = to_u64(page_size).max(1);
+        let pages = to_usize("cache frame count", budget_bytes / per).unwrap_or(usize::MAX / 2);
+        PageCache::new(pages)
+    }
+
+    /// Number of frames.
+    pub fn capacity_pages(&self) -> usize {
+        locked(&self.state).frames.len()
+    }
+
+    /// Counters + occupancy right now.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let inner = locked(&self.state);
+        CacheSnapshot {
+            capacity_pages: inner.frames.len(),
+            resident_pages: inner.map.len(),
+            evictions: inner.evictions,
+            cross_tenant_hits: inner.cross_tenant_hits,
+            tenants: inner.tenants.clone(),
+        }
+    }
+
+    /// Serve a read batch through the cache on behalf of `tenant`.
+    ///
+    /// Resident pages are copied out as hits; pages in flight under another
+    /// owner are waited for; everything else is marked in flight and read
+    /// from `dev` as one uncached device batch. The device lock is never
+    /// held while the cache lock is (and vice versa).
+    pub(crate) fn read_through(
+        &self,
+        dev: &Ssd,
+        reqs: &[(FileId, u64, usize)],
+        tenant: TenantId,
+    ) -> Result<Vec<Vec<u8>>, DeviceError> {
+        let mut out: Vec<Option<Vec<u8>>> = Vec::new();
+        out.resize_with(reqs.len(), || None);
+        let mut guard = locked(&self.state);
+        loop {
+            // Pass 1 (under the lock): hits from resident frames, claim
+            // ownership of unclaimed absent pages, note any foreign fills
+            // to wait on.
+            let mut owned: Vec<usize> = Vec::new();
+            let mut wait_key: Option<PageKey> = None;
+            for (i, &(file, page, _)) in reqs.iter().enumerate() {
+                if out[i].is_some() {
+                    continue;
+                }
+                let key = (file, page);
+                if let Some(&fi) = guard.map.get(&key) {
+                    let inserter = guard.frames[fi].inserter;
+                    guard.frames[fi].referenced = true;
+                    let data = guard.frames[fi].data.clone();
+                    let saved = to_u64(data.len());
+                    if inserter != tenant {
+                        guard.cross_tenant_hits += 1;
+                    }
+                    let t = guard.tenants.entry(tenant).or_default();
+                    t.hits += 1;
+                    t.bytes_saved += saved;
+                    out[i] = Some(data);
+                } else if let Entry::Vacant(slot) = guard.in_flight.entry(key) {
+                    slot.insert(InFlight { dirty: false });
+                    owned.push(i);
+                } else if wait_key.is_none() {
+                    wait_key = Some(key);
+                }
+            }
+            if owned.is_empty() {
+                let Some(key) = wait_key else {
+                    break; // every request resolved
+                };
+                // Wait for the owner to land (or abandon) this fill, then
+                // re-run pass 1: the page is either resident now (hit) or
+                // absent again (we become the owner).
+                while guard.in_flight.contains_key(&key) {
+                    guard = self.filled.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                }
+                continue;
+            }
+            // Fetch owned pages as one device batch, cache lock released.
+            let fetch: Vec<(FileId, u64, usize)> = owned.iter().map(|&i| reqs[i]).collect();
+            drop(guard);
+            let fetched = dev.read_batch_uncached(&fetch);
+            guard = locked(&self.state);
+            match fetched {
+                Err(e) => {
+                    for &i in &owned {
+                        let (file, page, _) = reqs[i];
+                        guard.in_flight.remove(&(file, page));
+                    }
+                    self.filled.notify_all();
+                    return Err(e);
+                }
+                Ok(pages) => {
+                    for (data, &i) in pages.into_iter().zip(&owned) {
+                        let (file, page, _) = reqs[i];
+                        let key = (file, page);
+                        // A write that raced this fill marked it dirty; the
+                        // data is still valid for *this* read (it linearizes
+                        // before the write) but must not become resident.
+                        let dirty =
+                            guard.in_flight.remove(&key).is_none_or(|f| f.dirty);
+                        if !dirty {
+                            insert_frame(&mut guard, key, data.clone(), tenant);
+                        }
+                        guard.tenants.entry(tenant).or_default().misses += 1;
+                        out[i] = Some(data);
+                    }
+                    self.filled.notify_all();
+                }
+            }
+            // Loop again: duplicates of our own keys and foreign fills are
+            // resolved by the next pass.
+        }
+        drop(guard);
+        Ok(out.into_iter().map(Option::unwrap_or_default).collect())
+    }
+
+    /// Drop resident copies of the given pages and dirty any racing fills
+    /// (called by the device on every page write).
+    pub(crate) fn invalidate_addrs(&self, addrs: &[PageAddr]) {
+        let mut guard = locked(&self.state);
+        for a in addrs {
+            let key = (a.file, a.page);
+            if let Some(fi) = guard.map.remove(&key) {
+                guard.frames[fi].key = None;
+                guard.frames[fi].data = Vec::new();
+                guard.frames[fi].referenced = false;
+            }
+            if let Some(f) = guard.in_flight.get_mut(&key) {
+                f.dirty = true;
+            }
+        }
+    }
+
+    /// Drop every resident page of `file` and dirty its racing fills
+    /// (called by the device on truncate/delete).
+    pub(crate) fn invalidate_file(&self, file: FileId) {
+        let mut guard = locked(&self.state);
+        let inner = &mut *guard;
+        inner.map.retain(|key, fi| {
+            if key.0 == file {
+                inner.frames[*fi].key = None;
+                inner.frames[*fi].data = Vec::new();
+                inner.frames[*fi].referenced = false;
+                false
+            } else {
+                true
+            }
+        });
+        for (key, f) in inner.in_flight.iter_mut() {
+            if key.0 == file {
+                f.dirty = true;
+            }
+        }
+    }
+}
+
+/// CLOCK insertion: sweep from the hand giving referenced frames a second
+/// chance; take the first empty or unreferenced frame. Bounded by two full
+/// sweeps (the first clears every reference bit).
+fn insert_frame(inner: &mut CacheInner, key: PageKey, data: Vec<u8>, tenant: TenantId) {
+    if inner.map.contains_key(&key) || inner.frames.is_empty() {
+        return;
+    }
+    let n = inner.frames.len();
+    let mut steps = 0usize;
+    while steps < 2 * n + 1 {
+        let at = inner.hand;
+        inner.hand = (inner.hand + 1) % n;
+        steps += 1;
+        let victim = &mut inner.frames[at];
+        if victim.referenced {
+            victim.referenced = false;
+            continue;
+        }
+        if let Some(old) = victim.key.take() {
+            inner.map.remove(&old);
+            inner.evictions += 1;
+        }
+        victim.key = Some(key);
+        victim.data = data;
+        victim.referenced = true;
+        victim.inserter = tenant;
+        inner.map.insert(key, at);
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use std::sync::Arc;
+
+    fn dev_with_pages(n: u8) -> (Arc<Ssd>, FileId) {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let f = ssd.open_or_create("data").unwrap();
+        for i in 0..n {
+            ssd.append_page(f, &[i; 32]).unwrap();
+        }
+        (ssd, f)
+    }
+
+    #[test]
+    fn hit_serves_identical_bytes_and_charges_nothing() {
+        let (ssd, f) = dev_with_pages(4);
+        ssd.attach_cache(Arc::new(PageCache::new(8)));
+        ssd.stats().reset();
+        let first = ssd.read_page(f, 2, 10).unwrap();
+        let cold = ssd.stats().snapshot();
+        assert_eq!(cold.pages_read, 1);
+        let second = ssd.read_page(f, 2, 10).unwrap();
+        assert_eq!(first, second, "hit must return the exact device bytes");
+        let warm = ssd.stats().snapshot();
+        assert_eq!(warm.pages_read, 1, "a hit charges no device read");
+        assert_eq!(warm.read_time_ns, cold.read_time_ns, "a hit costs no device time");
+        let snap = ssd.cache().unwrap().snapshot();
+        assert_eq!(snap.tenant(0).hits, 1);
+        assert_eq!(snap.tenant(0).misses, 1);
+        assert_eq!(snap.tenant(0).bytes_saved, 256);
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_read_the_device_once() {
+        let (ssd, f) = dev_with_pages(2);
+        ssd.attach_cache(Arc::new(PageCache::new(8)));
+        ssd.stats().reset();
+        let out = ssd.read_batch(&[(f, 0, 4), (f, 0, 4), (f, 1, 4), (f, 0, 4)]).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0], out[3]);
+        assert_eq!(ssd.stats().snapshot().pages_read, 2, "two distinct pages");
+        let snap = ssd.cache().unwrap().snapshot();
+        assert_eq!(snap.tenant(0).hits, 2);
+        assert_eq!(snap.tenant(0).misses, 2);
+    }
+
+    #[test]
+    fn accounting_identity_hits_plus_device_reads() {
+        let (ssd, f) = dev_with_pages(8);
+        // Uncached baseline.
+        let reqs: Vec<(FileId, u64, usize)> =
+            (0..32u64).map(|i| (f, i % 8, 8)).collect();
+        ssd.stats().reset();
+        ssd.read_batch(&reqs).unwrap();
+        let uncached = ssd.stats().snapshot().pages_read;
+
+        let (ssd2, f2) = dev_with_pages(8);
+        ssd2.attach_cache(Arc::new(PageCache::new(4))); // smaller than the file: churn
+        let reqs2: Vec<(FileId, u64, usize)> =
+            (0..32u64).map(|i| (f2, i % 8, 8)).collect();
+        ssd2.stats().reset();
+        ssd2.read_batch(&reqs2).unwrap();
+        let snap = ssd2.cache().unwrap().snapshot();
+        let cached = ssd2.stats().snapshot().pages_read;
+        assert_eq!(snap.tenant(0).hits + cached, uncached, "identity under eviction");
+        assert!(snap.evictions > 0, "a 4-frame cache over 8 pages must churn");
+    }
+
+    #[test]
+    fn write_invalidates_resident_page() {
+        let (ssd, f) = dev_with_pages(2);
+        ssd.attach_cache(Arc::new(PageCache::new(8)));
+        let before = ssd.read_page(f, 0, 4).unwrap();
+        ssd.write_page(f, 0, b"fresh").unwrap();
+        let after = ssd.read_page(f, 0, 5).unwrap();
+        assert_ne!(before, after, "stale frame must not survive the write");
+        assert_eq!(&after[..5], b"fresh");
+    }
+
+    #[test]
+    fn truncate_invalidates_whole_file() {
+        let (ssd, f) = dev_with_pages(3);
+        ssd.attach_cache(Arc::new(PageCache::new(8)));
+        ssd.read_batch(&[(f, 0, 4), (f, 1, 4), (f, 2, 4)]).unwrap();
+        ssd.truncate(f).unwrap();
+        assert_eq!(ssd.cache().unwrap().snapshot().resident_pages, 0);
+        // A read past the new bound must fail: the cache cannot resurrect
+        // truncated pages.
+        assert!(ssd.read_page(f, 0, 0).is_err());
+    }
+
+    #[test]
+    fn cross_tenant_hits_are_attributed() {
+        let (ssd, f) = dev_with_pages(4);
+        ssd.attach_cache(Arc::new(PageCache::new(8)));
+        let a = Arc::new(ssd.tenant_view(1));
+        let b = Arc::new(ssd.tenant_view(2));
+        a.read_page(f, 0, 8).unwrap();
+        b.read_page(f, 0, 8).unwrap();
+        let snap = ssd.cache().unwrap().snapshot();
+        assert_eq!(snap.cross_tenant_hits, 1);
+        assert_eq!(snap.tenant(1).misses, 1);
+        assert_eq!(snap.tenant(2).hits, 1);
+        assert_eq!(snap.tenant(2).misses, 0);
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_frame_before_referenced_one() {
+        let (ssd, f) = dev_with_pages(4);
+        ssd.attach_cache(Arc::new(PageCache::new(2)));
+        ssd.read_page(f, 0, 4).unwrap(); // frame 0 = page 0, referenced
+        ssd.read_page(f, 1, 4).unwrap(); // frame 1 = page 1, referenced
+        // Page 2 sweeps once (clearing both bits), evicts page 0, and
+        // lands referenced; page 1's bit stays cleared.
+        ssd.read_page(f, 2, 4).unwrap();
+        // Page 3 must take the unreferenced frame (page 1) and give the
+        // referenced page 2 its second chance.
+        ssd.read_page(f, 3, 4).unwrap();
+        ssd.stats().reset();
+        ssd.read_page(f, 2, 4).unwrap();
+        assert_eq!(ssd.stats().snapshot().pages_read, 0, "page 2 stayed resident");
+        ssd.read_page(f, 1, 4).unwrap();
+        assert_eq!(ssd.stats().snapshot().pages_read, 1, "page 1 was the victim");
+    }
+
+    #[test]
+    fn budget_sizing_clamps_to_one_frame() {
+        let c = PageCache::for_budget(0, 4096);
+        assert_eq!(c.capacity_pages(), 1);
+        let c = PageCache::for_budget(10 * 4096, 4096);
+        assert_eq!(c.capacity_pages(), 10);
+    }
+}

@@ -2,9 +2,11 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::sync::Mutex;
 
+use crate::cache::{PageCache, TenantId};
 use crate::checked::{idx, mem_idx, page_byte_offset, to_u32, to_u64};
 
 use crate::config::SsdConfig;
@@ -52,12 +54,33 @@ struct FileEntry {
 /// deterministic [`FaultPlan`] that tears a page mid-write and crashes the
 /// device, or injects transient read faults — the substrate the
 /// `mlvc-recover` crash-point sweep drives.
+///
+/// An `Ssd` value is a *view* over shared device internals. The value
+/// returned by the constructors is the base view; [`Ssd::tenant_view`]
+/// derives additional views that share the media, namespace, trace/FTL
+/// models and the attached [`PageCache`], but carry their own activity
+/// counters (also charged to the base, so daemon-wide totals stay exact)
+/// and their own fault state — a crash injected into one tenant's view
+/// must not take down its neighbours.
 pub struct Ssd {
+    shared: Arc<Shared>,
+    /// This view's activity counters.
+    stats: Arc<SsdStats>,
+    /// The base view's counters, double-charged from tenant views so the
+    /// device-wide totals remain the sum over tenants; `None` on the base.
+    base_stats: Option<Arc<SsdStats>>,
+    /// Per-view fault state: plans installed on a tenant view crash only
+    /// that tenant.
+    fault: Mutex<FaultState>,
+    /// Cache-accounting identity of this view (base = 0).
+    tenant: TenantId,
+}
+
+/// Device internals common to every view.
+struct Shared {
     cfg: SsdConfig,
     backend: Backend,
-    stats: SsdStats,
     files: Mutex<Files>,
-    fault: Mutex<FaultState>,
     /// Optional host-level write/trim trace for FTL replay (see
     /// [`crate::FtlModel`]); `None` keeps the hot path allocation-free.
     trace: Mutex<Option<Vec<FtlOp>>>,
@@ -65,6 +88,9 @@ pub struct Ssd {
     /// happens (the observability layer's flash write-amplification
     /// source); `None` keeps the hot path to one lock + branch per batch.
     ftl: Mutex<Option<FtlModel>>,
+    /// Optional shared page cache in front of the read path (the serving
+    /// daemon attaches one; `None` keeps single-run behaviour unchanged).
+    cache: Mutex<Option<Arc<PageCache>>>,
     /// Shadow cell auditing the attach/consume protocol of the live FTL:
     /// [`Ssd::enable_ftl`] must be ordered before every write that feeds
     /// the model and every [`Ssd::ftl_stats`] read (DESIGN.md §14).
@@ -90,52 +116,97 @@ fn io_err(op: &str, e: &io::Error) -> DeviceError {
 }
 
 impl Ssd {
+    fn from_shared(shared: Shared) -> Self {
+        Ssd {
+            shared: Arc::new(shared),
+            stats: Arc::new(SsdStats::default()),
+            base_stats: None,
+            fault: Mutex::new(FaultState::default()),
+            tenant: 0,
+        }
+    }
+
     /// Create a device with the in-memory backend.
     pub fn new(cfg: SsdConfig) -> Self {
-        Ssd {
+        Ssd::from_shared(Shared {
             cfg,
             backend: Backend::Mem,
-            stats: SsdStats::default(),
             files: Mutex::new(Files::default()),
-            fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
             ftl: Mutex::new(None),
+            cache: Mutex::new(None),
             ftl_audit: mlvc_par::Tracked::new("Ssd::ftl attach", ()),
-        }
+        })
     }
 
     /// Create a device whose files live under `dir` on the host filesystem.
     pub fn new_on_disk(cfg: SsdConfig, dir: PathBuf) -> io::Result<Self> {
         fs::create_dir_all(&dir)?;
-        Ok(Ssd {
+        Ok(Ssd::from_shared(Shared {
             cfg,
             backend: Backend::Dir(dir),
-            stats: SsdStats::default(),
             files: Mutex::new(Files::default()),
-            fault: Mutex::new(FaultState::default()),
             trace: Mutex::new(None),
             ftl: Mutex::new(None),
+            cache: Mutex::new(None),
             ftl_audit: mlvc_par::Tracked::new("Ssd::ftl attach", ()),
-        })
+        }))
+    }
+
+    /// Derive a tenant view: same media, namespace, FTL/trace models and
+    /// cache, but fresh activity counters (double-charged to the root
+    /// view) and independent fault state. `tenant` attributes this view's
+    /// cache traffic in [`PageCache`] accounting.
+    pub fn tenant_view(&self, tenant: TenantId) -> Ssd {
+        let root = self.base_stats.clone().unwrap_or_else(|| Arc::clone(&self.stats));
+        Ssd {
+            shared: Arc::clone(&self.shared),
+            stats: Arc::new(SsdStats::default()),
+            base_stats: Some(root),
+            fault: Mutex::new(FaultState::default()),
+            tenant,
+        }
+    }
+
+    /// Put a shared page cache in front of the read path of this device
+    /// and every view of it.
+    pub fn attach_cache(&self, cache: Arc<PageCache>) {
+        *self.shared.cache.lock() = Some(cache);
+    }
+
+    /// The attached page cache, if any.
+    pub fn cache(&self) -> Option<Arc<PageCache>> {
+        self.shared.cache.lock().clone()
+    }
+
+    /// This view's tenant id (0 on the base view).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     pub fn config(&self) -> &SsdConfig {
-        &self.cfg
+        &self.shared.cfg
     }
 
     pub fn page_size(&self) -> usize {
-        self.cfg.page_size
+        self.shared.cfg.page_size
     }
 
     /// Byte offset of `page` in a backing file. A page number that
     /// overflows 64-bit byte addressing cannot name a real page, so the
     /// saturated offset makes the positional I/O below fail loudly.
     fn byte_offset(&self, page: u64) -> u64 {
-        page_byte_offset(page, self.cfg.page_size).unwrap_or(u64::MAX)
+        page_byte_offset(page, self.shared.cfg.page_size).unwrap_or(u64::MAX)
     }
 
     pub fn stats(&self) -> &SsdStats {
         &self.stats
+    }
+
+    /// Counter sinks for this view: its own stats plus (on tenant views)
+    /// the root's, so device-wide totals equal the sum over tenants.
+    fn charge_sinks(&self) -> impl Iterator<Item = &SsdStats> {
+        std::iter::once(&*self.stats).chain(self.base_stats.as_deref())
     }
 
     // ---- fault injection -------------------------------------------------
@@ -176,22 +247,22 @@ impl Ssd {
     /// Start recording a host-level write/trim trace for FTL replay.
     /// Discards any previous trace.
     pub fn enable_trace(&self) {
-        *self.trace.lock() = Some(Vec::new());
+        *self.shared.trace.lock() = Some(Vec::new());
     }
 
     /// Stop recording and return the trace (empty if tracing was off).
     pub fn take_trace(&self) -> Vec<FtlOp> {
-        self.trace.lock().take().unwrap_or_default()
+        self.shared.trace.lock().take().unwrap_or_default()
     }
 
     fn trace_writes(&self, addrs: &[PageAddr]) {
-        if let Some(t) = self.trace.lock().as_mut() {
+        if let Some(t) = self.shared.trace.lock().as_mut() {
             t.extend(addrs.iter().map(|a| FtlOp::Write((a.file, a.page))));
         }
     }
 
     fn trace_trims(&self, file: FileId, pages: u64) {
-        if let Some(t) = self.trace.lock().as_mut() {
+        if let Some(t) = self.shared.trace.lock().as_mut() {
             t.extend((0..pages).map(|p| FtlOp::Trim((file, p))));
         }
     }
@@ -204,27 +275,34 @@ impl Ssd {
     /// `enable_trace`). Idempotent: a model that is already attached keeps
     /// its state so re-enabling cannot reset amplification counters.
     pub fn enable_ftl(&self, cfg: FtlConfig) {
-        self.ftl_audit.audit_write();
-        let mut g = self.ftl.lock();
+        let mut g = self.shared.ftl.lock();
         if g.is_none() {
+            // Only the installing call is the protocol's "attach" write;
+            // an idempotent re-attach merely observes that the model is
+            // already there. Concurrent tenants re-attaching (the serving
+            // daemon attaches once at construction, then every job calls
+            // this) are ordered readers, not racing writers.
+            self.shared.ftl_audit.audit_write();
             *g = Some(FtlModel::new(cfg));
+        } else {
+            self.shared.ftl_audit.audit_read();
         }
     }
 
     /// Whether a live FTL model is attached.
     pub fn ftl_enabled(&self) -> bool {
-        self.ftl.lock().is_some()
+        self.shared.ftl.lock().is_some()
     }
 
     /// Snapshot of the live FTL's counters (`None` when not enabled).
     pub fn ftl_stats(&self) -> Option<FtlStats> {
-        self.ftl_audit.audit_read();
-        self.ftl.lock().as_ref().map(FtlModel::stats)
+        self.shared.ftl_audit.audit_read();
+        self.shared.ftl.lock().as_ref().map(FtlModel::stats)
     }
 
     fn ftl_writes(&self, addrs: &[PageAddr]) {
-        self.ftl_audit.audit_read();
-        if let Some(f) = self.ftl.lock().as_mut() {
+        self.shared.ftl_audit.audit_read();
+        if let Some(f) = self.shared.ftl.lock().as_mut() {
             for a in addrs {
                 f.write((a.file, a.page));
             }
@@ -232,7 +310,7 @@ impl Ssd {
     }
 
     fn ftl_trims(&self, file: FileId, pages: u64) {
-        if let Some(f) = self.ftl.lock().as_mut() {
+        if let Some(f) = self.shared.ftl.lock().as_mut() {
             for p in 0..pages {
                 f.trim((file, p));
             }
@@ -249,11 +327,11 @@ impl Ssd {
     /// construction sites that need a fresh file truncate explicitly.
     pub fn open_or_create(&self, name: &str) -> Result<FileId, DeviceError> {
         self.fault.lock().check_alive()?;
-        let mut files = self.files.lock();
+        let mut files = self.shared.files.lock();
         if let Some(&id) = files.by_name.get(name) {
             return Ok(id);
         }
-        let store = match &self.backend {
+        let store = match &self.shared.backend {
             Backend::Mem => Store::Mem(Vec::new()),
             Backend::Dir(dir) => {
                 let path = dir.join(sanitize(name));
@@ -268,7 +346,7 @@ impl Ssd {
                     .metadata()
                     .map_err(|e| io_err("stat backing file", &e))?
                     .len();
-                let pages = len / to_u64(self.cfg.page_size).max(1);
+                let pages = len / to_u64(self.shared.cfg.page_size).max(1);
                 Store::Disk { file, pages }
             }
         };
@@ -284,12 +362,12 @@ impl Ssd {
 
     /// Look up a file by name.
     pub fn lookup(&self, name: &str) -> Option<FileId> {
-        self.files.lock().by_name.get(name).copied()
+        self.shared.files.lock().by_name.get(name).copied()
     }
 
     /// Number of pages currently in `file`.
     pub fn num_pages(&self, file: FileId) -> Result<u64, DeviceError> {
-        let files = self.files.lock();
+        let files = self.shared.files.lock();
         match files.entries.get(idx(file)).and_then(Option::as_ref) {
             Some(e) => Ok(match &e.store {
                 Store::Mem(pages) => to_u64(pages.len()),
@@ -307,7 +385,7 @@ impl Ssd {
         self.fault.lock().check_alive()?;
         let dropped;
         {
-            let mut files = self.files.lock();
+            let mut files = self.shared.files.lock();
             let entry = files
                 .entries
                 .get_mut(idx(file))
@@ -327,6 +405,11 @@ impl Ssd {
         }
         self.trace_trims(file, dropped);
         self.ftl_trims(file, dropped);
+        // Dropped pages must not be served from the shared cache.
+        let cache = self.shared.cache.lock().clone();
+        if let Some(c) = cache {
+            c.invalidate_file(file);
+        }
         Ok(())
     }
 
@@ -336,7 +419,7 @@ impl Ssd {
         self.fault.lock().check_alive()?;
         let dropped;
         {
-            let mut files = self.files.lock();
+            let mut files = self.shared.files.lock();
             let Some(slot) = files.entries.get_mut(idx(file)) else {
                 return Ok(());
             };
@@ -348,12 +431,17 @@ impl Ssd {
                 Store::Disk { pages, .. } => *pages,
             };
             files.by_name.remove(&entry.name);
-            if let Backend::Dir(dir) = &self.backend {
+            if let Backend::Dir(dir) = &self.shared.backend {
                 let _ = fs::remove_file(dir.join(sanitize(&entry.name)));
             }
         }
         self.trace_trims(file, dropped);
         self.ftl_trims(file, dropped);
+        // Dropped pages must not be served from the shared cache.
+        let cache = self.shared.cache.lock().clone();
+        if let Some(c) = cache {
+            c.invalidate_file(file);
+        }
         Ok(())
     }
 
@@ -419,12 +507,12 @@ impl Ssd {
         let mut done: Vec<PageAddr> = Vec::with_capacity(writes.len());
         let mut failed: Option<DeviceError> = None;
         {
-            let mut files = self.files.lock();
+            let mut files = self.shared.files.lock();
             for &(fid, page, data) in writes {
-                if data.len() > self.cfg.page_size {
+                if data.len() > self.shared.cfg.page_size {
                     failed = Some(DeviceError::PayloadTooLarge {
                         len: data.len(),
-                        page_size: self.cfg.page_size,
+                        page_size: self.shared.cfg.page_size,
                     });
                     break;
                 }
@@ -441,7 +529,7 @@ impl Ssd {
                     failed = Some(DeviceError::OutOfBounds { file: fid, page });
                     break;
                 }
-                let fate = match self.fault.lock().note_page_write(self.cfg.page_size) {
+                let fate = match self.fault.lock().note_page_write(self.shared.cfg.page_size) {
                     Ok(f) => f,
                     Err(e) => {
                         failed = Some(e);
@@ -452,7 +540,7 @@ impl Ssd {
                     WriteFate::Proceed => data.len(),
                     WriteFate::Torn { keep } => (*keep).min(data.len()),
                 };
-                let mut buf = vec![0u8; self.cfg.page_size];
+                let mut buf = vec![0u8; self.shared.cfg.page_size];
                 buf[..keep].copy_from_slice(&data[..keep]);
                 match &mut entry.store {
                     Store::Mem(pages) => pages[mem_idx(page)] = buf.into_boxed_slice(),
@@ -490,11 +578,32 @@ impl Ssd {
     /// Read a batch of pages dispatched together: `(file, page, useful)`.
     /// The whole batch is charged as one parallel dispatch across channels.
     ///
+    /// When a [`PageCache`] is attached the batch is served through it:
+    /// resident pages are hits (charged nothing), concurrent fetches of the
+    /// same page are merged, and only genuine misses reach the device.
+    ///
     /// Transient read faults within the device's retry bound are absorbed
     /// here, charging one extra page-read service time per retry on the
     /// virtual clock; a fault streak beyond the bound fails the batch with
     /// [`DeviceError::ReadUnavailable`].
     pub fn read_batch(&self, reqs: &[(FileId, u64, usize)]) -> Result<Vec<Vec<u8>>, DeviceError> {
+        let cache = self.shared.cache.lock().clone();
+        match cache {
+            Some(c) => {
+                // A crashed view must not be served from the cache either.
+                self.fault.lock().check_alive()?;
+                c.read_through(self, reqs, self.tenant)
+            }
+            None => self.read_batch_uncached(reqs),
+        }
+    }
+
+    /// The raw device read path, bypassing any attached cache — the cache's
+    /// own fill path, and the whole story when no cache is attached.
+    pub(crate) fn read_batch_uncached(
+        &self,
+        reqs: &[(FileId, u64, usize)],
+    ) -> Result<Vec<Vec<u8>>, DeviceError> {
         self.fault.lock().check_alive()?;
         let mut out = Vec::with_capacity(reqs.len());
         let mut addrs = Vec::with_capacity(reqs.len());
@@ -502,10 +611,10 @@ impl Ssd {
         let mut extra_retries = 0u64;
         let mut failed: Option<DeviceError> = None;
         {
-            let mut files = self.files.lock();
+            let mut files = self.shared.files.lock();
             for &(fid, page, useful) in reqs {
                 assert!(
-                    useful <= self.cfg.page_size,
+                    useful <= self.shared.cfg.page_size,
                     "useful bytes cannot exceed the page size"
                 );
                 let Some(entry) = files.entries.get_mut(idx(fid)).and_then(Option::as_mut)
@@ -534,7 +643,7 @@ impl Ssd {
                         .map(|p| p.to_vec())
                         .unwrap_or_default(),
                     Store::Disk { file, .. } => {
-                        let mut buf = vec![0u8; self.cfg.page_size];
+                        let mut buf = vec![0u8; self.shared.cfg.page_size];
                         if let Err(e) = read_at(file, &mut buf, self.byte_offset(page)) {
                             failed = Some(io_err("read_at", &e));
                             break;
@@ -549,7 +658,10 @@ impl Ssd {
         }
         self.charge_read(&addrs, useful_total);
         if extra_retries > 0 {
-            self.stats.read_time_ns.add(extra_retries.saturating_mul(self.cfg.read_ns));
+            let t = extra_retries.saturating_mul(self.shared.cfg.read_ns);
+            for s in self.charge_sinks() {
+                s.read_time_ns.add(t);
+            }
         }
         match failed {
             Some(e) => Err(e),
@@ -561,7 +673,9 @@ impl Ssd {
     /// for log readers whose per-page payload size lives *inside* the page
     /// (a count header) and is unknown at dispatch time.
     pub fn declare_useful(&self, bytes: u64) {
-        self.stats.useful_bytes_read.add(bytes);
+        for s in self.charge_sinks() {
+            s.useful_bytes_read.add(bytes);
+        }
     }
 
     /// Read every page of a file as one sequential batch (whole-log load).
@@ -577,7 +691,7 @@ impl Ssd {
     }
 
     fn store_append(&self, file: FileId, pages: &[&[u8]]) -> Placed {
-        let mut files = self.files.lock();
+        let mut files = self.shared.files.lock();
         let Some(entry) = files.entries.get_mut(idx(file)).and_then(Option::as_mut) else {
             return Placed { first: 0, written: 0, err: Some(DeviceError::Deleted { file }) };
         };
@@ -588,14 +702,14 @@ impl Ssd {
         let mut written = 0u64;
         let mut err = None;
         for data in pages {
-            if data.len() > self.cfg.page_size {
+            if data.len() > self.shared.cfg.page_size {
                 err = Some(DeviceError::PayloadTooLarge {
                     len: data.len(),
-                    page_size: self.cfg.page_size,
+                    page_size: self.shared.cfg.page_size,
                 });
                 break;
             }
-            let fate = match self.fault.lock().note_page_write(self.cfg.page_size) {
+            let fate = match self.fault.lock().note_page_write(self.shared.cfg.page_size) {
                 Ok(f) => f,
                 Err(e) => {
                     err = Some(e);
@@ -606,7 +720,7 @@ impl Ssd {
                 WriteFate::Proceed => data.len(),
                 WriteFate::Torn { keep } => (*keep).min(data.len()),
             };
-            let mut buf = vec![0u8; self.cfg.page_size];
+            let mut buf = vec![0u8; self.shared.cfg.page_size];
             buf[..keep].copy_from_slice(&data[..keep]);
             match &mut entry.store {
                 Store::Mem(existing) => existing.push(buf.into_boxed_slice()),
@@ -631,13 +745,14 @@ impl Ssd {
         if addrs.is_empty() {
             return;
         }
-        let t = batch_time_ns(&self.cfg, addrs, self.cfg.read_ns);
-        let s = &self.stats;
-        s.pages_read.add(to_u64(addrs.len()));
-        s.bytes_read.add(to_u64(addrs.len()) * to_u64(self.cfg.page_size));
-        s.useful_bytes_read.add(useful);
-        s.read_time_ns.add(t);
-        s.read_batches.add(1);
+        let t = batch_time_ns(&self.shared.cfg, addrs, self.shared.cfg.read_ns);
+        for s in self.charge_sinks() {
+            s.pages_read.add(to_u64(addrs.len()));
+            s.bytes_read.add(to_u64(addrs.len()) * to_u64(self.shared.cfg.page_size));
+            s.useful_bytes_read.add(useful);
+            s.read_time_ns.add(t);
+            s.read_batches.add(1);
+        }
     }
 
     fn charge_write(&self, addrs: &[PageAddr]) {
@@ -646,12 +761,18 @@ impl Ssd {
         }
         self.trace_writes(addrs);
         self.ftl_writes(addrs);
-        let t = batch_time_ns(&self.cfg, addrs, self.cfg.write_ns);
-        let s = &self.stats;
-        s.pages_written.add(to_u64(addrs.len()));
-        s.bytes_written.add(to_u64(addrs.len()) * to_u64(self.cfg.page_size));
-        s.write_time_ns.add(t);
-        s.write_batches.add(1);
+        // Overwritten pages must not be served stale from the shared cache.
+        let cache = self.shared.cache.lock().clone();
+        if let Some(c) = cache {
+            c.invalidate_addrs(addrs);
+        }
+        let t = batch_time_ns(&self.shared.cfg, addrs, self.shared.cfg.write_ns);
+        for s in self.charge_sinks() {
+            s.pages_written.add(to_u64(addrs.len()));
+            s.bytes_written.add(to_u64(addrs.len()) * to_u64(self.shared.cfg.page_size));
+            s.write_time_ns.add(t);
+            s.write_batches.add(1);
+        }
     }
 }
 

@@ -42,6 +42,7 @@
 //! page writes (tearing the in-flight page) or inject transient read
 //! faults — the substrate of the `mlvc-recover` crash-point sweep.
 
+mod cache;
 pub mod checked;
 mod config;
 mod cost;
@@ -51,6 +52,7 @@ mod ftl;
 mod stats;
 pub mod sync;
 
+pub use cache::{CacheSnapshot, PageCache, TenantCacheStats, TenantId};
 pub use config::SsdConfig;
 pub use cost::{batch_time_ns, PageAddr};
 pub use device::{Backend, FileId, Ssd};

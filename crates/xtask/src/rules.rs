@@ -5,9 +5,10 @@
 //! (see DESIGN.md "Static analysis & invariants"):
 //!
 //! * `no-truncating-cast` — `as u32/u64/usize/i64` in the on-disk-format
-//!   crates (`ssd`, `log`, `graph`, `recover`, `obs`) silently truncates or
-//!   sign-extends a page offset, record count, or vertex id once a dataset
-//!   outgrows the type; use `try_from` or the crate's checked helpers.
+//!   crates (`ssd`, `log`, `graph`, `recover`, `obs`, `serve`) silently
+//!   truncates or sign-extends a page offset, record count, or vertex id
+//!   once a dataset outgrows the type; use `try_from` or the crate's
+//!   checked helpers.
 //! * `no-panic-in-lib` — `unwrap()/expect()/panic!` in library code tears
 //!   the multi-log if it fires mid-flush; return an error instead.
 //! * `no-magic-layout-literal` — byte-layout numbers (`16 * 1024` pages,
@@ -84,7 +85,9 @@ pub struct WaiverUse {
 /// on-disk-format crates' library sources? `crates/obs` qualifies because
 /// its counters mirror on-disk quantities exactly — a truncating cast or a
 /// re-derived layout literal there silently corrupts the accounting the
-/// tests pin bit-for-bit.
+/// tests pin bit-for-bit. `crates/serve` qualifies because its protocol
+/// decoder turns untrusted JSON numbers into byte budgets and its rollup
+/// re-emits per-tenant device counters — the same corrupt-silently risk.
 fn in_format_crates(path: &str) -> bool {
     [
         "crates/ssd/src/",
@@ -92,6 +95,7 @@ fn in_format_crates(path: &str) -> bool {
         "crates/graph/src/",
         "crates/recover/src/",
         "crates/obs/src/",
+        "crates/serve/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))

@@ -1,0 +1,27 @@
+//! Fixture: the serving crate is format-scoped — its protocol decoder
+//! turns untrusted JSON numbers into byte budgets and its metrics rollup
+//! re-emits per-tenant device counters, so `no-truncating-cast` and
+//! `no-magic-layout-literal` fire inside `crates/serve/src/` just like
+//! they do in `ssd`/`log`/`graph`/`recover`/`obs`.
+
+pub fn budget_from_request(memory_kb: f64) -> usize {
+    (memory_kb * 1024.0) as usize
+}
+
+pub fn cache_pages(budget_bytes: u64) -> u64 {
+    budget_bytes / 16384
+}
+
+pub fn allowed_widening(tenant: u32) -> u64 {
+    // mlvc-lint: allow(no-truncating-cast) -- u32 -> u64 widens, never truncates
+    tenant as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_here_are_exempt() {
+        let pages = 3.0_f64 as usize;
+        assert_eq!(pages, 3);
+    }
+}

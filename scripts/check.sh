@@ -26,3 +26,9 @@ cargo test -q
 
 echo "== full workspace tests =="
 cargo test -q --workspace
+
+echo "== serving smoke (DESIGN.md §15) =="
+# Multi-tenant daemon contract: 8 concurrent jobs over 2 datasets on one
+# shared device must produce bit-identical results to standalone runs,
+# with exact per-tenant cache accounting and a pinned read reduction.
+cargo test -q --test serve_smoke

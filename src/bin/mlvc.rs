@@ -33,6 +33,7 @@ use multilogvc::io::{
     read_csr_binary, read_edge_list, write_csr_binary, write_edge_list, EdgeListOptions,
 };
 use multilogvc::graph::StoredGraph;
+use multilogvc::serve::{Daemon, ServeConfig};
 use multilogvc::ssd::{DeviceError, FaultPlan, Ssd, SsdConfig};
 
 fn main() -> ExitCode {
@@ -62,6 +63,9 @@ usage:
   mlvc resume --app <app> --graph <file> --ssd-dir DIR
            [--steps N] [--memory-kb K] [--source V] [--seed S]
            [--checkpoint-every K]
+  mlvc serve --graphs <name=file[,name=file...]> [--memory-kb K]
+           [--cache-kb K] [--workers N] [--requests FILE]
+           [--metrics FILE] [--ssd-dir DIR]
 
 graph files ending in .csr are binary snapshots; all others are
 SNAP-style edge-list text (auto-detected on read).
@@ -75,7 +79,15 @@ mlvc-engine run from its last durable checkpoint.
 --metrics FILE (mlvc engine only) turns on the observability layer
 (DESIGN.md §13): the per-superstep trace is written to FILE as JSON
 lines and a Prometheus text snapshot of the run counters to FILE.prom;
-the run summary then also reports read/write amplification.";
+the run summary then also reports read/write amplification.
+
+`serve` starts the multi-tenant daemon (DESIGN.md §15): datasets from
+--graphs are stored once on one shared device, then jobs arrive as one
+JSON object per line on stdin (or --requests FILE) and replies stream
+to stdout. --memory-kb is the global admission budget shared by all
+concurrent jobs, --cache-kb sizes the shared page cache, --workers
+bounds concurrency. --metrics FILE writes the daemon-wide Prometheus
+rollup (per-job labeled series) on shutdown.";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Args<'a> {
@@ -134,6 +146,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "convert" => cmd_convert(&rest),
         "run" => cmd_run(&rest, false),
         "resume" => cmd_run(&rest, true),
+        "serve" => cmd_serve(&rest),
         other => Err(format!("unknown command: {other}")),
     }
 }
@@ -399,6 +412,56 @@ fn write_metrics(path: &str, report: &RunReport) -> Result<(), String> {
     Ok(())
 }
 
+/// `mlvc serve`: long-running multi-tenant daemon (DESIGN.md §15). Stores
+/// the `--graphs` datasets once on one shared device, then executes jobs
+/// arriving as JSON lines (stdin or `--requests FILE`) on a bounded
+/// worker pool behind admission control and a shared page cache. Reply
+/// events stream to stdout, one JSON object per line.
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let specs = a.get("graphs").ok_or("serve needs --graphs name=file[,name=file...]")?;
+    let memory_kb: usize = a.get_parsed("memory-kb", 65536)?;
+    let cache_kb: usize = a.get_parsed("cache-kb", 8192)?;
+    let workers: usize = a.get_parsed("workers", 4)?;
+
+    let ssd = make_ssd(a)?;
+    let cache_pages = ((cache_kb << 10) / ssd.page_size()).max(1);
+    let cfg = ServeConfig { memory_budget: memory_kb << 10, cache_pages, workers };
+    let mut daemon = Daemon::with_device(cfg, Arc::clone(&ssd));
+    for spec in specs.split(',') {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --graphs entry {spec:?} (want name=file)"))?;
+        let g = load_graph(path)?;
+        eprintln!(
+            "serve: dataset {name} <- {path} ({} vertices, {} edges)",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        daemon.add_dataset(name, &g).map_err(dev)?;
+    }
+    eprintln!(
+        "serve: {} KiB budget, {cache_pages}-page shared cache, {workers} workers; \
+         one JSON request per line",
+        memory_kb
+    );
+
+    let served = match a.get("requests") {
+        Some(path) => {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            daemon.serve(std::io::BufReader::new(f), std::io::stdout())
+        }
+        None => daemon.serve(std::io::stdin().lock(), std::io::stdout()),
+    };
+    served.map_err(|e| format!("serve transport: {e}"))?;
+
+    if let Some(path) = a.get("metrics") {
+        std::fs::write(path, daemon.prometheus_rollup())
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("serve: metrics rollup -> {path}");
+    }
+    Ok(())
+}
+
 fn print_states_summary(app: &str, states: &[u64]) {
     match app {
         "bfs" => {
@@ -596,6 +659,46 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&strs(&["resume", "--app", "pagerank", "--graph", csr_s])).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn serve_subcommand_runs_a_request_file_session() {
+        let dir = std::env::temp_dir().join(format!("mlvc-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csr = dir.join("g.csr");
+        let csr_s = csr.to_str().unwrap();
+        run(&strs(&["gen", "--kind", "rmat-social", "--scale", "7", "--out", csr_s])).unwrap();
+
+        let reqs = dir.join("session.jsonl");
+        let reqs_s = reqs.to_str().unwrap();
+        std::fs::write(
+            &reqs,
+            "{\"op\":\"run\",\"id\":\"s1\",\"app\":\"bfs\",\"dataset\":\"g\",\"memory_kb\":1024,\"steps\":8}\n\
+             {\"op\":\"run\",\"id\":\"s2\",\"app\":\"wcc\",\"dataset\":\"g\",\"memory_kb\":1024,\"steps\":8}\n\
+             {\"op\":\"run\",\"id\":\"s3\",\"app\":\"bfs\",\"dataset\":\"missing\"}\n\
+             {\"op\":\"shutdown\"}\n",
+        )
+        .unwrap();
+        let metrics = dir.join("serve.prom");
+        let metrics_s = metrics.to_str().unwrap();
+
+        run(&strs(&[
+            "serve", "--graphs", &format!("g={csr_s}"), "--memory-kb", "16384",
+            "--workers", "2", "--requests", reqs_s, "--metrics", metrics_s,
+        ]))
+        .unwrap();
+
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("mlvc_serve_device_pages_read_total"));
+        assert!(prom.contains("job=\"s1\""));
+        assert!(prom.contains("job=\"s2\""));
+        assert!(!prom.contains("job=\"s3\""), "rejected jobs never ran");
+
+        // Bad --graphs spec and missing --graphs both error cleanly.
+        assert!(run(&strs(&["serve", "--graphs", "nonsense"])).is_err());
+        assert!(run(&strs(&["serve", "--requests", reqs_s])).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -31,6 +31,7 @@ pub use mlvc_log as log;
 pub use mlvc_obs as obs;
 pub use mlvc_par as par;
 pub use mlvc_recover as recover;
+pub use mlvc_serve as serve;
 pub use mlvc_ssd as ssd;
 
 /// Everything needed for typical use, in one import.
