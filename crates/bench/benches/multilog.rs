@@ -12,7 +12,8 @@ const N_SENDS: u64 = 100_000;
 fn fresh_multilog() -> MultiLog {
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
     let iv = VertexIntervals::uniform(1 << 16, 64);
-    MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes: 1 << 20 }, "bench").unwrap()
+    MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes: 1 << 20, ..Default::default() }, "bench")
+        .unwrap()
 }
 
 fn updates(n: u64) -> Vec<Update> {

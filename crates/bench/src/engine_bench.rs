@@ -1,16 +1,25 @@
 //! Engine pipeline benchmark — the BENCH trajectory's wall-clock baseline.
 //!
 //! Runs the paper workloads (PageRank, BFS) on both evaluation datasets
-//! with the pipelined superstep dataflow on and off
-//! ([`EngineConfig::with_pipeline`]; off reproduces the pre-pipeline
-//! engine: inline batch loading and the serial per-update send loop) and
-//! records wall time plus the per-stage superstep timings
-//! (`load`/`sort`/`process`/`scatter`, DESIGN.md §12). Emitted as
-//! `BENCH_engine.json` by the `bench_engine` bin and as a Markdown section
-//! by `run_all`.
+//! under three engine modes and records wall time plus the per-stage
+//! superstep timings (`load`/`sort`/`process`/`scatter`, DESIGN.md §12):
 //!
-//! Wall-clock time is the measurement here — unlike the figure
-//! reproductions, which use simulated device time. The two engine modes
+//! - **serial** — the pre-pipeline engine: pipeline off, unfolded logs,
+//!   inline batch loading and the serial per-update send loop.
+//! - **pipelined** — the one-ahead prefetch pipeline that preceded the
+//!   async queue engine: pipeline on, unfolded logs, one batch of
+//!   lookahead (`inflight_batches = 2`), queue depth 1.
+//! - **async** — the full async multi-queue engine (DESIGN.md §16):
+//!   sort-folded scatter plus K batches in flight over deep per-channel
+//!   queues (the `EngineConfig` defaults).
+//!
+//! A queue-depth sweep (depth 1/4/16 at 1 and 8 worker threads) records
+//! how submission stalls (`io_wait_ns`) shrink as the queues deepen.
+//! Emitted as `BENCH_engine.json` by the `bench_engine` bin and as a
+//! Markdown section by `run_all`.
+//!
+//! Wall-clock time is the measurement for the mode comparison — unlike
+//! the figure reproductions, which use simulated device time. All modes
 //! must produce bit-identical states; the run asserts it.
 
 use std::sync::Arc;
@@ -23,17 +32,46 @@ use mlvc_ssd::{Ssd, SsdConfig};
 
 use crate::harness::{ms, Settings};
 
-/// One workload × both engine modes.
+/// Which engine recipe a run uses (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Serial,
+    Pipelined,
+    Async,
+}
+
+/// One workload × all three engine modes.
 pub struct WorkloadRow {
     pub app: &'static str,
     pub dataset: &'static str,
+    pub wall_ms_async: f64,
     pub wall_ms_pipelined: f64,
     pub wall_ms_serial: f64,
-    pub speedup: f64,
-    /// Pipelined run's stage totals `[load, sort, process, scatter]` in ns.
+    /// `serial / async` — the headline number.
+    pub speedup_vs_serial: f64,
+    /// `pipelined / async` — what the queue engine adds over one-ahead
+    /// prefetch.
+    pub speedup_vs_pipelined: f64,
+    /// Async run's stage totals `[load, sort, process, scatter]` in ns.
     pub stages_ns: [u64; 4],
+    /// Legacy pipelined run's stage totals, same order — the sort-folding
+    /// claim (DESIGN.md §16) is visible as the sort column shrinking.
+    pub stages_ns_pipelined: [u64; 4],
     pub supersteps: usize,
     pub messages: u64,
+}
+
+/// One point of the queue-depth sweep: PageRank on the first dataset with
+/// the async engine at a fixed worker-thread count and queue depth.
+pub struct SweepPoint {
+    pub threads: usize,
+    pub depth: usize,
+    pub wall_ms: f64,
+    /// Simulated submission-stall + residual completion wait across the
+    /// run (`SuperstepStats::io_wait_ns` summed) — falls as depth grows.
+    pub io_wait_ms: f64,
+    /// Deepest any channel queue got (max over supersteps).
+    pub max_inflight: u64,
 }
 
 /// Wall-clock cost of the observability layer (DESIGN.md §13): the same
@@ -56,21 +94,44 @@ impl MetricsOverhead {
 pub struct EngineBenchReport {
     pub threads: usize,
     pub rows: Vec<WorkloadRow>,
+    pub sweep: Vec<SweepPoint>,
     pub metrics_overhead: Option<MetricsOverhead>,
 }
 
+fn geomean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0usize);
+    for x in it {
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
 impl EngineBenchReport {
-    /// Geometric mean of the per-workload speedups.
+    /// Geometric mean of the per-workload async-over-serial speedups.
     pub fn speedup_geomean(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 1.0;
-        }
-        let log_sum: f64 = self.rows.iter().map(|r| r.speedup.ln()).sum();
-        (log_sum / self.rows.len() as f64).exp()
+        geomean(self.rows.iter().map(|r| r.speedup_vs_serial))
+    }
+
+    /// Geometric mean of the async-over-legacy-pipelined speedups.
+    pub fn speedup_geomean_vs_pipelined(&self) -> f64 {
+        geomean(self.rows.iter().map(|r| r.speedup_vs_pipelined))
     }
 
     /// Hand-rolled JSON (the workspace is dependency-free).
     pub fn to_json(&self, s: &Settings) -> String {
+        let stage_obj = |st: &[u64; 4]| {
+            format!(
+                "{{\"load\": {}, \"sort\": {}, \"process\": {}, \"scatter\": {}}}",
+                ms(st[0]),
+                ms(st[1]),
+                ms(st[2]),
+                ms(st[3])
+            )
+        };
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"bench\": \"engine_pipeline\",\n");
@@ -83,21 +144,36 @@ impl EngineBenchReport {
         for (k, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"app\": \"{}\", \"dataset\": \"{}\", \
-                 \"wall_ms_pipelined\": {:.2}, \"wall_ms_serial\": {:.2}, \"speedup\": {:.3}, \
-                 \"stages_ms\": {{\"load\": {}, \"sort\": {}, \"process\": {}, \"scatter\": {}}}, \
-                 \"supersteps\": {}, \"messages\": {}}}{}\n",
+                 \"wall_ms_async\": {:.2}, \"wall_ms_pipelined\": {:.2}, \
+                 \"wall_ms_serial\": {:.2}, \"speedup_vs_serial\": {:.3}, \
+                 \"speedup_vs_pipelined\": {:.3}, \"stages_ms\": {}, \
+                 \"stages_ms_pipelined\": {}, \"supersteps\": {}, \"messages\": {}}}{}\n",
                 r.app,
                 r.dataset,
+                r.wall_ms_async,
                 r.wall_ms_pipelined,
                 r.wall_ms_serial,
-                r.speedup,
-                ms(r.stages_ns[0]),
-                ms(r.stages_ns[1]),
-                ms(r.stages_ns[2]),
-                ms(r.stages_ns[3]),
+                r.speedup_vs_serial,
+                r.speedup_vs_pipelined,
+                stage_obj(&r.stages_ns),
+                stage_obj(&r.stages_ns_pipelined),
                 r.supersteps,
                 r.messages,
                 if k + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"queue_depth_sweep\": [\n");
+        for (k, p) in self.sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"depth\": {}, \"wall_ms\": {:.2}, \
+                 \"io_wait_ms\": {:.2}, \"max_inflight\": {}}}{}\n",
+                p.threads,
+                p.depth,
+                p.wall_ms,
+                p.io_wait_ms,
+                p.max_inflight,
+                if k + 1 < self.sweep.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n");
@@ -113,6 +189,10 @@ impl EngineBenchReport {
                 100.0 * m.overhead_frac()
             ));
         }
+        out.push_str(&format!(
+            "  \"speedup_geomean_vs_pipelined\": {:.3},\n",
+            self.speedup_geomean_vs_pipelined()
+        ));
         out.push_str(&format!("  \"speedup_geomean\": {:.3}\n", self.speedup_geomean()));
         out.push_str("}\n");
         out
@@ -123,33 +203,52 @@ impl EngineBenchReport {
         let mut out = String::new();
         out.push_str("## BENCH: engine pipeline (wall clock)\n\n");
         out.push_str(&format!(
-            "Pipelined dataflow (batch prefetch + parallel scatter, DESIGN.md §12) vs the \
-             serial pre-pipeline engine, {} worker threads. Stage columns are the pipelined \
-             run's per-stage wall totals.\n\n",
+            "Async multi-queue engine (sort-folded scatter + K batches in flight, \
+             DESIGN.md §16) vs the one-ahead prefetch pipeline (DESIGN.md §12) and the \
+             serial pre-pipeline engine, {} worker threads. Stage columns are the async \
+             and legacy-pipelined runs' per-stage wall totals — folding moves the sort \
+             column into the scatter pass.\n\n",
             self.threads
         ));
         out.push_str(
-            "| app | dataset | pipelined ms | serial ms | speedup | load ms | sort ms | \
-             process ms | scatter ms | steps | messages |\n\
-             |---|---|---|---|---|---|---|---|---|---|---|\n",
+            "| app | dataset | async ms | pipelined ms | serial ms | vs serial | \
+             vs pipelined | sort ms (async/pipe) | scatter ms (async/pipe) | steps |\n\
+             |---|---|---|---|---|---|---|---|---|---|\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "| {} | {} | {:.1} | {:.1} | {:.2}x | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {:.1} | {:.1} | {:.1} | {:.2}x | {:.2}x | {}/{} | {}/{} | {} |\n",
                 r.app,
                 r.dataset,
+                r.wall_ms_async,
                 r.wall_ms_pipelined,
                 r.wall_ms_serial,
-                r.speedup,
-                ms(r.stages_ns[0]),
+                r.speedup_vs_serial,
+                r.speedup_vs_pipelined,
                 ms(r.stages_ns[1]),
-                ms(r.stages_ns[2]),
+                ms(r.stages_ns_pipelined[1]),
                 ms(r.stages_ns[3]),
+                ms(r.stages_ns_pipelined[3]),
                 r.supersteps,
-                r.messages,
             ));
         }
-        out.push_str(&format!("\nSpeedup geomean: {:.2}x\n", self.speedup_geomean()));
+        out.push_str(&format!(
+            "\nSpeedup geomean: {:.2}x vs serial, {:.2}x vs one-ahead pipelined.\n",
+            self.speedup_geomean(),
+            self.speedup_geomean_vs_pipelined()
+        ));
+        out.push_str(
+            "\nQueue-depth sweep (PageRank, first dataset, async engine): simulated \
+             submission stalls fall as per-channel queues deepen.\n\n\
+             | threads | depth | wall ms | io wait ms | max in-flight |\n\
+             |---|---|---|---|---|\n",
+        );
+        for p in &self.sweep {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {:.1} | {} |\n",
+                p.threads, p.depth, p.wall_ms, p.io_wait_ms, p.max_inflight
+            ));
+        }
         if let Some(m) = &self.metrics_overhead {
             out.push_str(&format!(
                 "\nObservability layer (`--metrics`, DESIGN.md §13) overhead on {}/{}: \
@@ -165,14 +264,31 @@ impl EngineBenchReport {
     }
 }
 
-/// A fresh MultiLogVC engine on its own simulated SSD with the pipeline
-/// and observability flags set (the `Settings::mlvc` recipe plus the
-/// toggles under test).
-fn engine(s: &Settings, d: &Dataset, pipeline: bool, obs: bool) -> MultiLogEngine {
+/// The `EngineConfig` for a mode (see module docs for the recipes).
+fn mode_config(s: &Settings, mode: Mode, obs: bool) -> mlvc_core::EngineConfig {
+    let base = s.engine_config().with_obs(obs);
+    match mode {
+        Mode::Serial => base.with_pipeline(false).with_fold_scatter(false),
+        Mode::Pipelined => base
+            .with_pipeline(true)
+            .with_fold_scatter(false)
+            .with_inflight_batches(2)
+            .with_queue_depth(1),
+        Mode::Async => base.with_pipeline(true),
+    }
+}
+
+/// A fresh MultiLogVC engine on its own simulated SSD under `mode`'s
+/// recipe, with an optional queue-depth override for the sweep.
+fn engine(s: &Settings, d: &Dataset, mode: Mode, obs: bool, depth: Option<usize>) -> MultiLogEngine {
     let ssd = Arc::new(Ssd::new(SsdConfig::default()));
     let sg = StoredGraph::store_with(&ssd, &d.graph, "g", s.intervals(&d.graph)).unwrap();
     ssd.stats().reset();
-    MultiLogEngine::new(ssd, sg, s.engine_config().with_pipeline(pipeline).with_obs(obs))
+    let mut cfg = mode_config(s, mode, obs);
+    if let Some(qd) = depth {
+        cfg = cfg.with_queue_depth(qd);
+    }
+    MultiLogEngine::new(ssd, sg, cfg)
 }
 
 /// Best-of-`reps` wall time (minimum filters scheduler noise, the standard
@@ -181,14 +297,15 @@ fn timed_run(
     s: &Settings,
     d: &Dataset,
     prog: &dyn VertexProgram,
-    pipeline: bool,
+    mode: Mode,
     obs: bool,
+    depth: Option<usize>,
     reps: usize,
 ) -> (f64, RunReport, Vec<u64>) {
     let mut best = f64::INFINITY;
     let mut kept = None;
     for _ in 0..reps {
-        let mut eng = engine(s, d, pipeline, obs);
+        let mut eng = engine(s, d, mode, obs, depth);
         let t = Instant::now();
         let report = eng.run(prog, s.supersteps);
         let wall = t.elapsed().as_secs_f64() * 1e3;
@@ -201,7 +318,8 @@ fn timed_run(
     (best, report, states)
 }
 
-/// Run the benchmark: PageRank and BFS on both evaluation datasets.
+/// Run the benchmark: PageRank and BFS on both evaluation datasets, plus
+/// the queue-depth sweep and the metrics-overhead probe.
 pub fn run(s: &Settings) -> EngineBenchReport {
     let progs: Vec<(&'static str, Box<dyn VertexProgram>)> = vec![
         ("pagerank", Box::new(mlvc_apps::PageRank::new(0.85, 1e-4))),
@@ -211,8 +329,16 @@ pub fn run(s: &Settings) -> EngineBenchReport {
     let mut metrics_overhead = None;
     for d in s.datasets() {
         for (app, prog) in &progs {
-            let (wall_p, rep_p, states_p) = timed_run(s, &d, prog.as_ref(), true, false, 5);
-            let (wall_s, _rep_s, states_s) = timed_run(s, &d, prog.as_ref(), false, false, 5);
+            let (wall_a, rep_a, states_a) = timed_run(s, &d, prog.as_ref(), Mode::Async, false, None, 5);
+            let (wall_p, rep_p, states_p) =
+                timed_run(s, &d, prog.as_ref(), Mode::Pipelined, false, None, 5);
+            let (wall_s, _rep_s, states_s) =
+                timed_run(s, &d, prog.as_ref(), Mode::Serial, false, None, 5);
+            assert_eq!(
+                states_a, states_s,
+                "{app}/{}: the async engine must not change results",
+                d.name
+            );
             assert_eq!(
                 states_p, states_s,
                 "{app}/{}: pipeline toggle must not change results",
@@ -221,12 +347,15 @@ pub fn run(s: &Settings) -> EngineBenchReport {
             rows.push(WorkloadRow {
                 app,
                 dataset: d.name,
+                wall_ms_async: wall_a,
                 wall_ms_pipelined: wall_p,
                 wall_ms_serial: wall_s,
-                speedup: wall_s / wall_p.max(1e-9),
-                stages_ns: rep_p.stage_totals_ns(),
-                supersteps: rep_p.supersteps.len(),
-                messages: rep_p.total_messages(),
+                speedup_vs_serial: wall_s / wall_a.max(1e-9),
+                speedup_vs_pipelined: wall_p / wall_a.max(1e-9),
+                stages_ns: rep_a.stage_totals_ns(),
+                stages_ns_pipelined: rep_p.stage_totals_ns(),
+                supersteps: rep_a.supersteps.len(),
+                messages: rep_a.total_messages(),
             });
             // Metrics overhead, measured once on the first (heaviest-traffic)
             // workload. The enabled and disabled reps are interleaved so
@@ -237,12 +366,12 @@ pub fn run(s: &Settings) -> EngineBenchReport {
                 let mut wall_off = f64::INFINITY;
                 for _ in 0..5 {
                     let (w_on, rep_obs, states_obs) =
-                        timed_run(s, &d, prog.as_ref(), true, true, 1);
-                    let (w_off, _, _) = timed_run(s, &d, prog.as_ref(), true, false, 1);
+                        timed_run(s, &d, prog.as_ref(), Mode::Async, true, None, 1);
+                    let (w_off, _, _) = timed_run(s, &d, prog.as_ref(), Mode::Async, false, None, 1);
                     wall_obs = wall_obs.min(w_on);
                     wall_off = wall_off.min(w_off);
                     assert_eq!(
-                        states_p, states_obs,
+                        states_a, states_obs,
                         "{app}/{}: metrics must not change results",
                         d.name
                     );
@@ -257,7 +386,36 @@ pub fn run(s: &Settings) -> EngineBenchReport {
             }
         }
     }
-    EngineBenchReport { threads: mlvc_par::max_threads(), rows, metrics_overhead }
+
+    // Queue-depth sweep: PageRank on the first dataset, async engine,
+    // depth 1/4/16 at 1 and 8 worker threads. States must match the row
+    // runs above bit-exactly at every point (DESIGN.md §16 determinism).
+    let mut sweep = Vec::new();
+    let d0 = &s.datasets()[0];
+    let pr = mlvc_apps::PageRank::new(0.85, 1e-4);
+    let mut sweep_base: Option<Vec<u64>> = None;
+    for threads in [1usize, 8] {
+        mlvc_par::set_thread_override(Some(threads));
+        for depth in [1usize, 4, 16] {
+            let (wall, rep, states) = timed_run(s, d0, &pr, Mode::Async, false, Some(depth), 3);
+            let base = sweep_base.get_or_insert(states.clone());
+            assert_eq!(
+                &states, base,
+                "queue-depth sweep: threads={threads} depth={depth} changed results"
+            );
+            sweep.push(SweepPoint {
+                threads,
+                depth,
+                wall_ms: wall,
+                io_wait_ms: rep.supersteps.iter().map(|st| st.io_wait_ns).sum::<u64>() as f64
+                    / 1e6,
+                max_inflight: rep.supersteps.iter().map(|st| st.max_inflight).max().unwrap_or(0),
+            });
+        }
+    }
+    mlvc_par::set_thread_override(None);
+
+    EngineBenchReport { threads: mlvc_par::max_threads(), rows, sweep, metrics_overhead }
 }
 
 /// Run, write `BENCH_engine.json` into the working directory, and return

@@ -53,6 +53,7 @@ fn bench_engine_json_matches_schema() {
     assert_eq!(num(&doc, "scale"), 9.0);
     assert!(num(&doc, "threads") >= 1.0);
     assert!(num(&doc, "speedup_geomean") > 0.0);
+    assert!(num(&doc, "speedup_geomean_vs_pipelined") > 0.0);
 
     let workloads = doc.get("workloads").and_then(Json::as_arr).expect("workloads array");
     assert_eq!(workloads.len(), 4, "2 apps x 2 datasets");
@@ -60,14 +61,46 @@ fn bench_engine_json_matches_schema() {
         for key in ["app", "dataset"] {
             assert!(!string(w, key).is_empty(), "workload {key}");
         }
-        for key in ["wall_ms_pipelined", "wall_ms_serial", "speedup"] {
+        for key in [
+            "wall_ms_async",
+            "wall_ms_pipelined",
+            "wall_ms_serial",
+            "speedup_vs_serial",
+            "speedup_vs_pipelined",
+        ] {
             assert!(num(w, key) > 0.0, "workload {key} positive");
         }
         assert!(num(w, "supersteps") >= 1.0);
-        let stages = w.get("stages_ms").expect("stages_ms object");
-        for key in ["load", "sort", "process", "scatter"] {
-            assert!(num(stages, key) >= 0.0, "stage {key}");
+        for obj in ["stages_ms", "stages_ms_pipelined"] {
+            let stages = w.get(obj).unwrap_or_else(|| panic!("{obj} object"));
+            for key in ["load", "sort", "process", "scatter"] {
+                assert!(num(stages, key) >= 0.0, "{obj} stage {key}");
+            }
         }
+    }
+
+    // Queue-depth sweep (DESIGN.md §16): depth 1/4/16 at 1 and 8 worker
+    // threads, and simulated submission stalls must not grow as the
+    // per-channel queues deepen at a fixed thread count.
+    let sweep = doc.get("queue_depth_sweep").and_then(Json::as_arr).expect("sweep array");
+    assert_eq!(sweep.len(), 6, "3 depths x 2 thread counts");
+    for (point, (threads, depth)) in
+        sweep.iter().zip([(1.0, 1.0), (1.0, 4.0), (1.0, 16.0), (8.0, 1.0), (8.0, 4.0), (8.0, 16.0)])
+    {
+        assert_eq!(num(point, "threads"), threads);
+        assert_eq!(num(point, "depth"), depth);
+        assert!(num(point, "wall_ms") > 0.0);
+        assert!(num(point, "io_wait_ms") >= 0.0);
+        // Outstanding-ticket high-water mark: at least one, at most the
+        // default `inflight_batches` the async engine keeps in flight.
+        assert!(num(point, "max_inflight") >= 1.0);
+        assert!(num(point, "max_inflight") <= 4.0, "more tickets than batches in flight");
+    }
+    for chunk in sweep.chunks(3) {
+        assert!(
+            num(&chunk[2], "io_wait_ms") <= num(&chunk[0], "io_wait_ms"),
+            "deeper queues must not stall more"
+        );
     }
 
     let m = doc.get("metrics_overhead").expect("metrics_overhead object");

@@ -52,6 +52,22 @@ pub struct EngineConfig {
     /// Results are bit-identical either way; `false` reproduces the
     /// pre-pipeline engine and serves as the perf baseline (`bench_engine`).
     pub pipeline: bool,
+    /// Per-channel depth of the submission/completion I/O queue the
+    /// pipelined engine reads fused log batches through (DESIGN.md §16).
+    /// Depth never changes *when* a request completes on the simulated
+    /// channels, only when submission stalls — results are bit-identical
+    /// at any depth; only `sim_time_ns` / `io_wait_ns` shift.
+    pub queue_depth: usize,
+    /// Fused log batches kept in flight on the I/O queue (K). The engine
+    /// submits up to K batch reads ahead and drains completions strictly
+    /// in plan order, so results are bit-identical at any K.
+    pub inflight_batches: usize,
+    /// Sort-reduce folding: bucket updates by destination page at append
+    /// time (`MultiLogConfig::fold_scatter`) and replace the whole-inbox
+    /// radix sort with per-interval counting passes merged by
+    /// concatenation. Results are bit-identical either way (both read
+    /// sides are stable by destination).
+    pub fold_scatter: bool,
     /// Pending structural updates per interval that trigger a merge (§V-E).
     pub structural_merge_threshold: usize,
     /// Write a crash-consistent checkpoint every `k` supersteps (`None`
@@ -85,6 +101,9 @@ impl Default for EngineConfig {
             enable_edge_log: true,
             async_mode: false,
             pipeline: true,
+            queue_depth: 16,
+            inflight_batches: 4,
+            fold_scatter: true,
             structural_merge_threshold: 1024,
             checkpoint_every: None,
             obs: false,
@@ -120,6 +139,24 @@ impl EngineConfig {
     /// Toggle the pipelined superstep dataflow (DESIGN.md §12).
     pub fn with_pipeline(mut self, yes: bool) -> Self {
         self.pipeline = yes;
+        self
+    }
+
+    /// Per-channel I/O queue depth for batch reads (DESIGN.md §16).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Number of fused batches kept in flight on the I/O queue (K).
+    pub fn with_inflight_batches(mut self, k: usize) -> Self {
+        self.inflight_batches = k;
+        self
+    }
+
+    /// Toggle sort-reduce folding of the scatter phase (DESIGN.md §16).
+    pub fn with_fold_scatter(mut self, yes: bool) -> Self {
+        self.fold_scatter = yes;
         self
     }
 
@@ -164,6 +201,8 @@ impl EngineConfig {
         if let Some(k) = self.checkpoint_every {
             assert!(k > 0, "checkpoint cadence must be at least 1 superstep");
         }
+        assert!(self.queue_depth >= 1, "queue depth must be at least 1");
+        assert!(self.inflight_batches >= 1, "at least one batch must be in flight");
     }
 
     /// Validate and return self (builder terminal).

@@ -10,7 +10,7 @@ use mlvc_log::{
 use mlvc_log::{EdgeLogStats, MultiLogStats};
 use mlvc_obs::{Registry, TraceRecord, TraceRing};
 use mlvc_recover::{CheckpointManager, CheckpointState};
-use mlvc_ssd::{DeviceError, FtlConfig, FtlStats, Ssd, SsdStatsSnapshot};
+use mlvc_ssd::{DeviceError, FtlConfig, FtlStats, IoQueue, Ssd, SsdStatsSnapshot};
 
 use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
 
@@ -258,13 +258,23 @@ impl MultiLogEngine {
         let mut multilog = MultiLog::new(
             Arc::clone(&self.ssd),
             intervals.clone(),
-            MultiLogConfig { buffer_bytes: self.cfg.multilog_budget() },
+            MultiLogConfig {
+                buffer_bytes: self.cfg.multilog_budget(),
+                // Folding is a property of the on-device log layout, so it
+                // tracks the knob alone — the I/O-visible page stream stays
+                // identical across the pipeline toggle (DESIGN.md §16).
+                fold_scatter: self.cfg.fold_scatter,
+            },
             &self.cfg.tag,
         )?;
         let mut sortgroup = SortGroup::new(self.cfg.sort_budget());
         // The reference mode measures the comparison sort the pre-pipeline
         // engine ran (both sorts are stable by dest, so results match).
         sortgroup.set_reference_sort(!self.cfg.pipeline);
+        // The counting-sort + concatenation read side of sort-folding is a
+        // wall-time strategy only (results are bit-identical either way);
+        // the baseline keeps measuring the old comparison sort.
+        sortgroup.set_fold_merge(self.cfg.pipeline && self.cfg.fold_scatter);
         let mut edgelog = EdgeLogOptimizer::new(
             Arc::clone(&self.ssd),
             n,
@@ -380,42 +390,84 @@ impl MultiLogEngine {
             // batches (DESIGN.md §12).
             let reader = multilog.reader();
             let prefetch = cfg.pipeline && !cfg.async_mode;
-            // Shadow cell auditing the prefetch handoff: the prefetch
-            // thread writes the cell after loading a batch, the owner
-            // reads it after joining the handle — the join edge is what
-            // makes the handoff race-free, and removing it would trip the
-            // detector here (DESIGN.md §14).
-            let handoff_audit = mlvc_par::Tracked::new("engine prefetch handoff", ());
+            // Submission/completion queue for the batch reads (DESIGN.md
+            // §16). Every clock-touching operation (submit, complete,
+            // advance) runs on the owner thread in plan order, so the
+            // simulated timeline — and with it every trace field — is
+            // identical at any worker-thread count.
+            let ioq = IoQueue::new(Arc::clone(&self.ssd), cfg.queue_depth);
+            // Shadow cells auditing the batch handoffs, one per fused
+            // batch: the fetch worker writes its cell after decoding, the
+            // owner reads it after joining the handle — the join edge is
+            // what makes the handoff race-free, and removing it would trip
+            // the detector here (DESIGN.md §14). Sibling workers have no
+            // happens-before edge between them, hence one cell per batch.
+            let handoffs: Vec<mlvc_par::Tracked<()>> = plan
+                .iter()
+                .map(|_| mlvc_par::Tracked::new("engine batch handoff", ()))
+                .collect();
             mlvc_par::scope(|scope| -> Result<(), DeviceError> {
                 let sg = &sortgroup;
                 let rd = &reader;
-                let ha = &handoff_audit;
-                let mut next: Option<
+                let ioq = &ioq;
+                let handoffs = &handoffs[..];
+                let mut inflight: std::collections::VecDeque<(
+                    mlvc_ssd::Ticket,
                     mlvc_par::ScopedJoinHandle<'_, Result<FusedBatch, DeviceError>>,
-                > = None;
+                )> = std::collections::VecDeque::new();
+                let mut submitted = 0usize;
                 for (bi, range) in plan.iter().enumerate() {
-                    // 1. Load + in-memory sort of the fused interval logs —
-                    //    double-buffered: prefetched by the previous
-                    //    iteration, or loaded inline.
-                    let batch = match next.take() {
-                        Some(h) => match h.join() {
-                            Ok(b) => {
-                                handoff_audit.audit_read();
-                                b?
-                            }
-                            Err(p) => std::panic::resume_unwind(p),
-                        },
-                        None => sg.load_batch(rd, range.clone())?,
-                    };
+                    // 1. Load + in-memory sort of the fused interval logs.
+                    //    The owner keeps up to K batch reads on the queue
+                    //    (planned + submitted here, in plan order); scoped
+                    //    workers fetch the pages and decode + sort them.
+                    //    Completions drain strictly in plan order, so
+                    //    results are bit-identical at any K or depth.
                     if prefetch {
-                        if let Some(r) = plan.get(bi + 1).cloned() {
-                            next = Some(scope.spawn(move || {
-                                let b = sg.load_batch(rd, r);
-                                ha.audit_write();
-                                b
-                            }));
+                        while submitted < plan.len()
+                            && submitted < bi + cfg.inflight_batches
+                        {
+                            let bplan = rd.plan_reads(plan[submitted].clone())?;
+                            let ticket = ioq.submit_read(bplan.reqs.clone());
+                            let ho = &handoffs[submitted];
+                            inflight.push_back((
+                                ticket,
+                                scope.spawn(move || {
+                                    let pages = ioq.fetch(ticket)?;
+                                    let b = sg.load_batch_prefetched(rd, &bplan, &pages);
+                                    ho.audit_write();
+                                    b
+                                }),
+                            ));
+                            submitted += 1;
                         }
                     }
+                    let batch = match inflight.pop_front() {
+                        Some((ticket, h)) => {
+                            let b = match h.join() {
+                                Ok(b) => {
+                                    handoffs[bi].audit_read();
+                                    b?
+                                }
+                                Err(p) => std::panic::resume_unwind(p),
+                            };
+                            // Retire the ticket on the owner clock: any
+                            // residual service time the overlap could not
+                            // hide is charged here.
+                            ioq.complete(ticket);
+                            b
+                        }
+                        // Non-pipelined / asynchronous path: load inline
+                        // (the async model feeds the current superstep's
+                        // own log back into later batches, so reads must
+                        // stay behind the scatter of earlier batches).
+                        None => sg.load_batch(rd, range.clone())?,
+                    };
+                    let compute0 = (
+                        st.messages_processed,
+                        st.messages_delivered,
+                        st.edges_scanned,
+                    );
                     st.load_ns += batch.load_ns;
                     st.sort_ns += batch.sort_ns;
                     st.messages_processed += batch.updates.len() as u64;
@@ -690,6 +742,19 @@ impl MultiLogEngine {
                             }
                         }
                     }
+                    // Advance the queue clock by this batch's simulated
+                    // compute time, so the service of batches already
+                    // submitted overlaps it — the overlap the paper's
+                    // async model buys (§V-F). The deltas sum exactly to
+                    // `st.compute_ns` over the superstep.
+                    if prefetch {
+                        ioq.advance(
+                            (st.messages_processed - compute0.0) * cfg.cost.sort_ns
+                                + (st.messages_delivered - compute0.1)
+                                    * cfg.cost.msg_process_ns
+                                + (st.edges_scanned - compute0.2) * cfg.cost.edge_scan_ns,
+                        );
+                    }
                 }
                 Ok(())
             })?;
@@ -734,6 +799,9 @@ impl MultiLogEngine {
                 }
             }
 
+            let qw = ioq.take_wait_stats();
+            st.io_wait_ns = qw.io_wait_ns;
+            st.max_inflight = qw.max_inflight;
             st.io = self.ssd.stats().snapshot().since(&io0);
             st.compute_ns = st.messages_processed * self.cfg.cost.sort_ns
                 + st.messages_delivered * self.cfg.cost.msg_process_ns
@@ -772,6 +840,8 @@ impl MultiLogEngine {
                     ftl_erases: ftl.erases - ob.ftl_base.erases,
                     ftl_gc_relocations: ftl.gc_relocations - ob.ftl_base.gc_relocations,
                     sim_time_ns: st.sim_time_ns(),
+                    io_wait_ns: st.io_wait_ns,
+                    max_inflight: st.max_inflight,
                 };
                 ob.ml_base = ml;
                 ob.el_base = el;

@@ -34,6 +34,14 @@ pub struct SuperstepStats {
     pub io: SsdStatsSnapshot,
     /// Simulated compute time (cost model over messages + edges).
     pub compute_ns: u64,
+    /// Simulated time the engine spent blocked on the I/O queue this
+    /// superstep (submission stalls + residual completion waits). Already
+    /// included in `io.read_time_ns`; broken out to show overlap: deeper
+    /// queues / more in-flight batches shrink it (DESIGN.md §16).
+    pub io_wait_ns: u64,
+    /// High-water mark of requests in flight on the I/O queue this
+    /// superstep.
+    pub max_inflight: u64,
     /// Host wall-clock time of the superstep (reference only; experiment
     /// claims use simulated time).
     pub wall_ns: u64,

@@ -65,8 +65,8 @@ pub use mlvc_ssd::checked;
 pub use bitset::BitSet;
 pub use edgelog::{EdgeLogConfig, EdgeLogOptimizer, EdgeLogStats};
 pub use multilog::{
-    decode_log_page, encode_log_page, page_record_capacity, LogReader, MultiLog, MultiLogConfig,
-    MultiLogStats,
+    decode_log_page, encode_log_page, page_record_capacity, BatchPlan, LogReader, MultiLog,
+    MultiLogConfig, MultiLogStats,
 };
-pub use sortgroup::{group_by_dest, plan_fusion, FusedBatch, SortGroup};
+pub use sortgroup::{counting_sort_by_dest, group_by_dest, plan_fusion, FusedBatch, SortGroup};
 pub use update::{DecodeError, Update, UPDATE_BYTES};

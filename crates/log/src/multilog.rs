@@ -1,5 +1,6 @@
-use crate::checked::{idx, to_u32, to_u64};
+use crate::checked::{idx, to_u32, to_u64, to_usize};
 use std::sync::Arc;
+use std::time::Instant;
 
 use mlvc_par::Tracked;
 use mlvc_ssd::RelaxedCounter;
@@ -9,6 +10,10 @@ use mlvc_ssd::{DeviceError, FileId, Ssd};
 
 use crate::{BitSet, Update, UPDATE_BYTES};
 
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Configuration of the Multi-Log Update Unit.
 #[derive(Debug, Clone)]
 pub struct MultiLogConfig {
@@ -16,12 +21,21 @@ pub struct MultiLogConfig {
     /// total memory (§V-A3, default 5% of 1 GB). At least one page per
     /// vertex interval is always retained, as the paper requires.
     pub buffer_bytes: usize,
+    /// Sort-reduce folding (BigSparse): bucket updates by destination
+    /// *page* at append time, so each interval's top buffer is an array of
+    /// page-width buckets and sealed pages are destination-clustered. The
+    /// read side then needs only a per-interval counting pass instead of a
+    /// whole-inbox radix sort. Off by default: unfolded logs preserve
+    /// global insertion order, which the raw `take_log` contract exposes.
+    /// Either way the per-destination insertion order is preserved, so the
+    /// sorted inbox is bit-identical across the two layouts.
+    pub fold_scatter: bool,
 }
 
 impl Default for MultiLogConfig {
     fn default() -> Self {
         // 5% of the paper's default 1 GB budget, scaled: engines override.
-        MultiLogConfig { buffer_bytes: 4 << 20 }
+        MultiLogConfig { buffer_bytes: 4 << 20, fold_scatter: false }
     }
 }
 
@@ -66,7 +80,34 @@ pub struct MultiLog {
     /// breaking BSP delivery.
     files: Vec<[FileId; 2]>,
     write_side: usize,
+    /// Top buffers. Unfolded: one slot per interval (insertion order).
+    /// Folded: one slot per destination-page *bucket*, `bucket_base[i]..
+    /// bucket_base[i+1]` covering interval `i`; each bucket spans
+    /// `page_cap` consecutive destination vertices, so a sealed full
+    /// bucket is a destination-clustered page.
     tops: Vec<Vec<Update>>,
+    /// Slot ranges into `tops` per interval (`n + 1` prefix offsets).
+    bucket_base: Vec<usize>,
+    /// Destination vertex → `tops` slot, precomputed so the scatter hot
+    /// loop is two array reads instead of an interval lookup plus a
+    /// division per record.
+    slot_lut: Vec<u32>,
+    /// Records currently sitting in interval `i`'s top buffers (all its
+    /// slots together). Keeps [`Self::buffered_pages`] O(intervals) and —
+    /// counted in `page_cap` units per interval — makes memory pressure a
+    /// function of per-interval record counts alone, independent of the
+    /// bucket layout and of how the scatter interleaves intervals.
+    top_records: Vec<usize>,
+    /// Records appended since the last pressure flush, against
+    /// `evict_every`. Pressure is measured in appended records — a global
+    /// count, so eviction points (and with them the `evictions` stat) are
+    /// identical however the scatter interleaves intervals or buckets
+    /// (per-slot fill state is not, once folding multiplies the slots).
+    pressure_records: usize,
+    /// Pressure-flush period: the buffer budget headroom above the
+    /// per-interval floor, in records.
+    evict_every: usize,
+    fold: bool,
     sealed: Vec<(IntervalId, Vec<Update>)>,
     counts: Vec<u64>,
     dest_seen: BitSet,
@@ -95,6 +136,7 @@ pub struct MultiLog {
 pub struct LogReader {
     ssd: Arc<Ssd>,
     files: Vec<FileId>,
+    intervals: VertexIntervals,
     updates_read: Arc<RelaxedCounter>,
     /// One shadow cell per interval auditing the take-once protocol:
     /// `take_log(i)` consumes (truncates) interval `i`'s log, so two
@@ -102,6 +144,21 @@ pub struct LogReader {
     /// the owner racing on one batch — are a protocol violation the race
     /// detector reports with both call sites (DESIGN.md §14).
     take_audit: Vec<Tracked<()>>,
+}
+
+/// The page reads needed to drain a fused interval range — the submission
+/// half of the queue read path. Built on the owning engine thread (so the
+/// submission order is deterministic), fetched through an
+/// [`mlvc_ssd::IoQueue`], and decoded on whichever worker joins the
+/// completion via [`LogReader::take_prefetched`].
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    pub range: std::ops::Range<IntervalId>,
+    /// `(file, page, useful=0)` requests, interval-major then page order —
+    /// exactly what `Ssd::read_all` would issue per interval.
+    pub reqs: Vec<(FileId, u64, usize)>,
+    /// Page count per interval of `range`, aligned with it.
+    pages_per_interval: Vec<u64>,
 }
 
 impl LogReader {
@@ -114,6 +171,175 @@ impl LogReader {
         let out = drain_file(&self.ssd, self.files[idx(i)])?;
         self.updates_read.add(to_u64(out.len()));
         Ok(out)
+    }
+
+    /// [`Self::take_log`] + stable sort by destination, folded into one
+    /// pass: a counting sort over the interval's (dense, narrow) vertex
+    /// span. Works for any stored log layout — folded logs arrive nearly
+    /// clustered already, unfolded ones pay one distribution pass — and
+    /// preserves per-destination insertion order either way.
+    #[track_caller]
+    pub fn take_log_sorted(&self, i: IntervalId) -> Result<Vec<Update>, DeviceError> {
+        let mut out = self.take_log(i)?;
+        let span = self.intervals.range(i);
+        crate::sortgroup::counting_sort_by_dest(&mut out, span.start, span.end);
+        Ok(out)
+    }
+
+    /// The vertex intervals this reader's logs are keyed by.
+    pub fn intervals(&self) -> &VertexIntervals {
+        &self.intervals
+    }
+
+    /// Enumerate the page reads that draining every interval in `range`
+    /// will need. Owner-thread half of the queue read path: the returned
+    /// plan's request order is deterministic (interval-major, page order),
+    /// independent of which worker later decodes the completion.
+    pub fn plan_reads(
+        &self,
+        range: std::ops::Range<IntervalId>,
+    ) -> Result<BatchPlan, DeviceError> {
+        let mut reqs = Vec::new();
+        let mut pages_per_interval = Vec::with_capacity(range.len());
+        for i in range.clone() {
+            let f = self.files[idx(i)];
+            let n = self.ssd.num_pages(f)?;
+            for p in 0..n {
+                reqs.push((f, p, 0usize));
+            }
+            pages_per_interval.push(n);
+        }
+        Ok(BatchPlan { range, reqs, pages_per_interval })
+    }
+
+    /// Completion half of the queue read path: decode pages fetched for
+    /// `plan` (one `Vec<u8>` per request, in plan order), consume the
+    /// take-once audit per interval, declare useful bytes, and truncate
+    /// the drained files — everything [`Self::take_log`] does, minus the
+    /// device read that already happened through the queue. Returns the
+    /// per-interval records in log order, aligned with `plan.range`.
+    #[track_caller]
+    pub fn take_prefetched(
+        &self,
+        plan: &BatchPlan,
+        pages: &[Vec<u8>],
+    ) -> Result<Vec<Vec<Update>>, DeviceError> {
+        assert_eq!(pages.len(), plan.reqs.len(), "fetched pages must match the plan");
+        let mut out = Vec::with_capacity(plan.pages_per_interval.len());
+        let mut cursor = 0usize;
+        let mut useful = 0u64;
+        for (k, i) in plan.range.clone().enumerate() {
+            self.take_audit[idx(i)].audit_write();
+            let n = to_usize("log page count", plan.pages_per_interval[k])
+                .map_err(|e| DeviceError::Io(e.to_string()))?;
+            let mut ups = Vec::new();
+            for p in &pages[cursor..cursor + n] {
+                useful += to_u64(decode_log_page(p, &mut ups));
+            }
+            cursor += n;
+            if n > 0 {
+                self.ssd.truncate(self.files[idx(i)])?;
+            }
+            self.updates_read.add(to_u64(ups.len()));
+            out.push(ups);
+        }
+        if useful > 0 {
+            self.ssd.declare_useful(useful);
+        }
+        Ok(out)
+    }
+
+    /// Fused read half of sort-reduce folding: decode the fetched pages
+    /// and stable counting-sort each interval by destination in one pass
+    /// pair — a histogram pass straight off the page bytes, then a decode
+    /// pass that places every record at its final slot. No intermediate
+    /// per-interval vectors, so the records are touched half as often as
+    /// `take_prefetched` + a separate sort. Consumes the same take-once
+    /// audits, truncates, and accounts exactly like
+    /// [`Self::take_prefetched`], and the output (interval-major, spans
+    /// disjoint and ascending) is bit-identical to counting-sorting that
+    /// drain per interval. The returned `(load_ns, sort_ns)` split the
+    /// wall time between the decode/place work and the histogram/prefix
+    /// work for stage reporting.
+    #[track_caller]
+    pub fn take_prefetched_sorted(
+        &self,
+        plan: &BatchPlan,
+        pages: &[Vec<u8>],
+    ) -> Result<(Vec<Update>, u64, u64), DeviceError> {
+        assert_eq!(pages.len(), plan.reqs.len(), "fetched pages must match the plan");
+        // Well-formed record count of a page: the header count, capped by
+        // the whole records actually present (same set `decode_log_page`
+        // yields on a torn page).
+        fn well_formed(page: &[u8]) -> (usize, &[u8]) {
+            match page.split_first_chunk::<4>() {
+                Some((hdr, body)) => {
+                    (idx(u32::from_le_bytes(*hdr)).min(body.len() / UPDATE_BYTES), body)
+                }
+                None => (0, &[][..]),
+            }
+        }
+        let t_load = Instant::now();
+        let total: usize = pages.iter().map(|p| well_formed(p).0).sum();
+        let mut out = vec![Update::new(0, 0, 0); total];
+        let mut counts: Vec<usize> = Vec::new();
+        let mut useful = 0u64;
+        let mut sort_ns = 0u64;
+        let mut cursor = 0usize;
+        let mut base = 0usize;
+        for (k, i) in plan.range.clone().enumerate() {
+            self.take_audit[idx(i)].audit_write();
+            let n = to_usize("log page count", plan.pages_per_interval[k])
+                .map_err(|e| DeviceError::Io(e.to_string()))?;
+            let ival_pages = &pages[cursor..cursor + n];
+            let span = self.intervals.range(i);
+            let lo = span.start;
+            // Histogram + prefix: the "sort" half of the fused pass.
+            let t_sort = Instant::now();
+            counts.clear();
+            counts.resize(idx(span.end - lo) + 1, 0);
+            let mut recs = 0usize;
+            for p in ival_pages {
+                let (m, body) = well_formed(p);
+                for rec in body.chunks_exact(UPDATE_BYTES).take(m) {
+                    // dest is the first little-endian u32 of the record.
+                    let dest = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+                    counts[idx(dest - lo) + 1] += 1;
+                }
+                recs += m;
+                useful += to_u64(4 + m * UPDATE_BYTES);
+            }
+            for w in 1..counts.len() {
+                counts[w] += counts[w - 1];
+            }
+            sort_ns += elapsed_ns(t_sort);
+            // Decode + place: each record lands at its final sorted slot.
+            let slice = &mut out[base..base + recs];
+            for p in ival_pages {
+                let (m, body) = well_formed(p);
+                for rec in body.chunks_exact(UPDATE_BYTES).take(m) {
+                    match Update::decode(rec) {
+                        Ok(u) => {
+                            let slot = &mut counts[idx(u.dest - lo)];
+                            slice[*slot] = u;
+                            *slot += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            base += recs;
+            cursor += n;
+            if n > 0 {
+                self.ssd.truncate(self.files[idx(i)])?;
+            }
+            self.updates_read.add(to_u64(recs));
+        }
+        if useful > 0 {
+            self.ssd.declare_useful(useful);
+        }
+        let load_ns = elapsed_ns(t_load).saturating_sub(sort_ns);
+        Ok((out, load_ns, sort_ns))
     }
 }
 
@@ -209,17 +435,46 @@ impl MultiLog {
         let eviction_batch = 8 * ssd.config().channels.max(8);
         let cap_pages = (cfg.buffer_bytes / page_size).max(n + eviction_batch);
         let num_vertices = intervals.num_vertices();
+        let page_cap = page_record_capacity(page_size);
+        // Folded: one bucket per `page_cap` destination vertices, at least
+        // one per interval. Unfolded: a single slot per interval.
+        let mut bucket_base = Vec::with_capacity(n + 1);
+        bucket_base.push(0usize);
+        for i in 0..n {
+            let slots = if cfg.fold_scatter {
+                intervals.len_of(to_u32("interval id", i).unwrap_or(u32::MAX)).div_ceil(page_cap).max(1)
+            } else {
+                1
+            };
+            bucket_base.push(bucket_base[i] + slots);
+        }
+        let total_slots = bucket_base[n];
+        let mut slot_lut = Vec::with_capacity(num_vertices);
+        for i in 0..n {
+            let iv = to_u32("interval id", i).unwrap_or(u32::MAX);
+            let lo = intervals.start(iv);
+            for d in intervals.range(iv) {
+                let bucket = if cfg.fold_scatter { idx(d - lo) / page_cap } else { 0 };
+                slot_lut.push(to_u32("slot", bucket_base[i] + bucket).unwrap_or(u32::MAX));
+            }
+        }
         Ok(MultiLog {
             ssd,
             intervals,
             files,
             write_side: 0,
-            tops: vec![Vec::new(); n],
+            tops: vec![Vec::new(); total_slots],
+            bucket_base,
+            slot_lut,
+            top_records: vec![0; n],
+            pressure_records: 0,
+            evict_every: cap_pages.saturating_sub(n).max(1) * page_cap,
+            fold: cfg.fold_scatter,
             sealed: Vec::new(),
             counts: vec![0; n],
             dest_seen: BitSet::new(num_vertices),
             cap_pages,
-            page_cap: page_record_capacity(page_size),
+            page_cap,
             stats: MultiLogStats::default(),
             updates_read: Arc::new(RelaxedCounter::new(0)),
             bytes_per_interval: vec![0; n],
@@ -245,6 +500,7 @@ impl MultiLog {
         LogReader {
             ssd: Arc::clone(&self.ssd),
             files: self.files.iter().map(|f| f[side]).collect(),
+            intervals: self.intervals.clone(),
             updates_read: Arc::clone(&self.updates_read),
             take_audit: (0..self.files.len())
                 .map(|_| Tracked::new("LogReader::take_log interval", ()))
@@ -256,21 +512,51 @@ impl MultiLog {
         &self.intervals
     }
 
+    /// Top-buffer slot for a destination: the interval's single slot
+    /// (unfolded) or its destination-page bucket (folded), via the
+    /// precomputed lookup table.
+    fn slot_of(&self, i: usize, dest: VertexId) -> usize {
+        if !self.fold {
+            return i;
+        }
+        idx(self.slot_lut[idx(dest)])
+    }
+
+    /// Seal slot `s`'s full top page into `sealed`, handing back a buffer
+    /// with one page of capacity so the next fill never reallocates.
+    fn seal_full_slot(&mut self, i: IntervalId, s: usize) {
+        let full = std::mem::replace(&mut self.tops[s], Vec::with_capacity(self.page_cap));
+        self.top_records[idx(i)] -= self.page_cap;
+        self.sealed.push((i, full));
+    }
+
     /// The paper's `SendUpdate(v_dest, m)` tail half: append to the top
-    /// page of the destination's interval log. Fallible: memory pressure
-    /// may force an eviction flush to the device.
+    /// page of the destination's interval log (folded: to the
+    /// destination-page bucket within it). Fallible: memory pressure may
+    /// force an eviction flush to the device.
     pub fn send(&mut self, u: Update) -> Result<(), DeviceError> {
         let i = idx(self.intervals.interval_of(u.dest));
         self.counts[i] += 1;
         self.dest_seen.set(idx(u.dest));
         self.stats.updates_logged += 1;
-        self.tops[i].push(u);
-        if self.tops[i].len() == self.page_cap {
-            let full = std::mem::take(&mut self.tops[i]);
-            self.sealed.push((i as IntervalId, full));
-            if self.buffered_pages() > self.cap_pages {
-                self.evict()?;
-            }
+        let s = self.slot_of(i, u.dest);
+        self.tops[s].push(u);
+        self.top_records[i] += 1;
+        if self.tops[s].len() == self.page_cap {
+            self.seal_full_slot(i as IntervalId, s);
+        }
+        self.note_appended(1)
+    }
+
+    /// Advance the pressure counter by `k` freshly appended records and
+    /// flush when a budget's worth accumulated. Subtracting the period
+    /// (rather than zeroing) keeps the flush points exact multiples of the
+    /// period, so per-record and per-slice appenders agree on the count.
+    fn note_appended(&mut self, k: usize) -> Result<(), DeviceError> {
+        self.pressure_records += k;
+        while self.pressure_records >= self.evict_every {
+            self.pressure_records -= self.evict_every;
+            self.evict()?;
         }
         Ok(())
     }
@@ -291,22 +577,40 @@ impl MultiLog {
         let ii = idx(i);
         self.counts[ii] += to_u64(ups.len());
         self.stats.updates_logged += to_u64(ups.len());
+        if self.fold && self.bucket_base[ii + 1] - self.bucket_base[ii] > 1 {
+            // Sort-reduce folding: route each record to its destination-
+            // page bucket. The bucketing is the sort — full buckets seal
+            // as destination-clustered pages, and the read side only needs
+            // a per-interval counting pass. (An interval narrower than one
+            // destination page has a single bucket, where bucketing equals
+            // insertion order — it takes the slice path below instead.)
+            for &u in ups {
+                self.dest_seen.set(idx(u.dest));
+                let s = idx(self.slot_lut[idx(u.dest)]);
+                self.tops[s].push(u);
+                self.top_records[ii] += 1;
+                if self.tops[s].len() == self.page_cap {
+                    self.seal_full_slot(i, s);
+                }
+                self.note_appended(1)?;
+            }
+            return Ok(());
+        }
+        let slot = self.bucket_base[ii];
         let mut rest = ups;
         while !rest.is_empty() {
-            let room = self.page_cap - self.tops[ii].len();
+            let room = self.page_cap - self.tops[slot].len();
             let (now, later) = rest.split_at(room.min(rest.len()));
             for u in now {
                 self.dest_seen.set(idx(u.dest));
             }
-            self.tops[ii].extend_from_slice(now);
+            self.tops[slot].extend_from_slice(now);
+            self.top_records[ii] += now.len();
             rest = later;
-            if self.tops[ii].len() == self.page_cap {
-                let full = std::mem::take(&mut self.tops[ii]);
-                self.sealed.push((i, full));
-                if self.buffered_pages() > self.cap_pages {
-                    self.evict()?;
-                }
+            if self.tops[slot].len() == self.page_cap {
+                self.seal_full_slot(i, slot);
             }
+            self.note_appended(now.len())?;
         }
         Ok(())
     }
@@ -317,9 +621,19 @@ impl MultiLog {
         self.dest_seen.get(idx(v))
     }
 
-    /// Pages currently buffered in host memory.
+    /// Pages currently buffered in host memory: sealed full pages plus each
+    /// interval's top records rounded up to page units. Sealed pages hold
+    /// exactly `page_cap` records, so the sum per interval telescopes to
+    /// `ceil(buffered records / page_cap)` — the same value whatever bucket
+    /// layout the records sit in (for an unfolded unit this is bit-identical
+    /// to the historical "sealed + non-empty tops" count).
     pub fn buffered_pages(&self) -> usize {
-        self.sealed.len() + self.tops.iter().filter(|t| !t.is_empty()).count()
+        self.sealed.len()
+            + self
+                .top_records
+                .iter()
+                .map(|&r| r.div_ceil(self.page_cap))
+                .sum::<usize>()
     }
 
     /// Messages logged (pending) per interval this superstep.
@@ -327,19 +641,30 @@ impl MultiLog {
         &self.counts
     }
 
+    /// Move every buffered top record into `sealed`, interval by interval.
+    /// Folded intervals pack their partial buckets — in bucket order, so
+    /// records stay destination-clustered — into full pages before a final
+    /// partial one; an unfolded interval's single top is one partial page,
+    /// exactly as before.
+    fn seal_all_tops(&mut self) {
+        for ii in 0..self.files.len() {
+            let mut pending: Vec<Update> = Vec::new();
+            for s in self.bucket_base[ii]..self.bucket_base[ii + 1] {
+                pending.append(&mut self.tops[s]);
+            }
+            for chunk in pending.chunks(self.page_cap) {
+                self.sealed.push((ii as IntervalId, chunk.to_vec()));
+            }
+            self.top_records[ii] = 0;
+        }
+    }
+
     fn evict(&mut self) -> Result<(), DeviceError> {
         self.stats.evictions += 1;
         self.flush_sealed()?;
         if self.buffered_pages() > self.cap_pages {
             // Still over: flush every non-empty top page too.
-            let tops: Vec<(IntervalId, Vec<Update>)> = self
-                .tops
-                .iter_mut()
-                .enumerate()
-                .filter(|(_, t)| !t.is_empty())
-                .map(|(i, t)| (i as IntervalId, std::mem::take(t)))
-                .collect();
-            self.sealed.extend(tops);
+            self.seal_all_tops();
             self.flush_sealed()?;
         }
         Ok(())
@@ -372,15 +697,9 @@ impl MultiLog {
     /// Returns the per-interval pending message counts (the fusing input
     /// for the next superstep) and resets counters and the seen bit vector.
     pub fn finish_superstep(&mut self) -> Result<Vec<u64>, DeviceError> {
-        let tops: Vec<(IntervalId, Vec<Update>)> = self
-            .tops
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, t)| !t.is_empty())
-            .map(|(i, t)| (i as IntervalId, std::mem::take(t)))
-            .collect();
-        self.sealed.extend(tops);
+        self.seal_all_tops();
         self.flush_sealed()?;
+        self.pressure_records = 0;
         self.dest_seen.clear();
         // Flip roles: what was written becomes readable next superstep.
         self.write_side = 1 - self.write_side;
@@ -456,7 +775,10 @@ impl MultiLog {
                 self.sealed.push((j, ups));
             }
         }
-        out.append(&mut self.tops[idx(i)]);
+        for s in self.bucket_base[idx(i)]..self.bucket_base[idx(i) + 1] {
+            out.append(&mut self.tops[s]);
+        }
+        self.top_records[idx(i)] = 0;
         self.counts[idx(i)] -= to_u64(out.len());
         self.updates_read.add(to_u64(out.len()));
         Ok(out)
@@ -478,10 +800,14 @@ mod tests {
     use mlvc_ssd::SsdConfig;
 
     fn setup(buffer_bytes: usize) -> MultiLog {
+        setup_fold(buffer_bytes, false)
+    }
+
+    fn setup_fold(buffer_bytes: usize, fold_scatter: bool) -> MultiLog {
         let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
         // 256-byte pages: 15 records per page.
         let iv = VertexIntervals::uniform(100, 4);
-        MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes }, "t").unwrap()
+        MultiLog::new(ssd, iv, MultiLogConfig { buffer_bytes, fold_scatter }, "t").unwrap()
     }
 
     #[test]
@@ -622,6 +948,32 @@ mod tests {
     }
 
     #[test]
+    fn folded_append_matches_unfolded_sorted_drain() {
+        // Same traffic into an unfolded and a folded unit, under eviction
+        // pressure: identical counters and bit-identical dest-sorted
+        // drains (the fold only changes page layout, never content).
+        let mut a = setup(4 * 256);
+        let mut b = setup_fold(4 * 256, true);
+        for k in 0..3000u32 {
+            let u = Update::new((k * 7) % 100, k, (k as u64) << 2);
+            a.send(u).unwrap();
+            b.send(u).unwrap();
+        }
+        let ca = a.finish_superstep().unwrap();
+        let cb = b.finish_superstep().unwrap();
+        assert_eq!(ca, cb);
+        assert_eq!(a.stats().updates_logged, b.stats().updates_logged);
+        assert!(b.stats().evictions > 0, "pressure must trigger evictions");
+        let (ra, rb) = (a.reader(), b.reader());
+        for i in 0..4u32 {
+            let got = rb.take_log_sorted(i).unwrap();
+            assert_eq!(got, ra.take_log_sorted(i).unwrap(), "interval {i}");
+            assert!(got.windows(2).all(|w| w[0].dest <= w[1].dest));
+        }
+        assert_eq!(a.stats().updates_read, b.stats().updates_read);
+    }
+
+    #[test]
     fn reader_drains_read_side_and_counts_into_stats() {
         let mut ml = setup(1 << 20);
         ml.send(Update::new(60, 1, 7)).unwrap();
@@ -640,7 +992,7 @@ mod tests {
         let mut ml = MultiLog::new(
             Arc::clone(&ssd),
             iv,
-            MultiLogConfig { buffer_bytes: 1 << 20 },
+            MultiLogConfig { buffer_bytes: 1 << 20, ..MultiLogConfig::default() },
             "t",
         )
         .unwrap();

@@ -412,11 +412,18 @@ pub struct TraceRecord {
     pub ftl_gc_relocations: u64,
     /// Simulated time: device I/O plus cost-model compute.
     pub sim_time_ns: u64,
+    /// Simulated nanoseconds the engine spent blocked on the I/O queue
+    /// (submission stalls at full queue depth plus completion waits).
+    /// Unlike the counters above this varies with queue depth and
+    /// in-flight batches — but not with thread count.
+    pub io_wait_ns: u64,
+    /// High-water mark of concurrently outstanding I/O tickets.
+    pub max_inflight: u64,
 }
 
 /// Names of the `u64` fields of [`TraceRecord`], in emission order — the
 /// JSONL schema contract checked by the smoke tests.
-pub const TRACE_FIELDS: [&str; 23] = [
+pub const TRACE_FIELDS: [&str; 25] = [
     "superstep",
     "active_vertices",
     "messages_processed",
@@ -440,11 +447,13 @@ pub const TRACE_FIELDS: [&str; 23] = [
     "ftl_erases",
     "ftl_gc_relocations",
     "sim_time_ns",
+    "io_wait_ns",
+    "max_inflight",
 ];
 
 impl TraceRecord {
     /// `(name, value)` pairs in [`TRACE_FIELDS`] order.
-    pub fn fields(&self) -> [(&'static str, u64); 23] {
+    pub fn fields(&self) -> [(&'static str, u64); 25] {
         [
             ("superstep", self.superstep),
             ("active_vertices", self.active_vertices),
@@ -469,6 +478,8 @@ impl TraceRecord {
             ("ftl_erases", self.ftl_erases),
             ("ftl_gc_relocations", self.ftl_gc_relocations),
             ("sim_time_ns", self.sim_time_ns),
+            ("io_wait_ns", self.io_wait_ns),
+            ("max_inflight", self.max_inflight),
         ]
     }
 

@@ -188,6 +188,7 @@ impl PageCache {
         dev: &Ssd,
         reqs: &[(FileId, u64, usize)],
         tenant: TenantId,
+        charge_time: bool,
     ) -> Result<Vec<Vec<u8>>, DeviceError> {
         let mut out: Vec<Option<Vec<u8>>> = Vec::new();
         out.resize_with(reqs.len(), || None);
@@ -237,7 +238,7 @@ impl PageCache {
             // Fetch owned pages as one device batch, cache lock released.
             let fetch: Vec<(FileId, u64, usize)> = owned.iter().map(|&i| reqs[i]).collect();
             drop(guard);
-            let fetched = dev.read_batch_uncached(&fetch);
+            let fetched = dev.read_batch_uncached_inner(&fetch, charge_time);
             guard = locked(&self.state);
             match fetched {
                 Err(e) => {

@@ -592,9 +592,43 @@ impl Ssd {
             Some(c) => {
                 // A crashed view must not be served from the cache either.
                 self.fault.lock().check_alive()?;
-                c.read_through(self, reqs, self.tenant)
+                c.read_through(self, reqs, self.tenant, true)
             }
             None => self.read_batch_uncached(reqs),
+        }
+    }
+
+    /// Read a batch whose simulated service time has already been accounted
+    /// for elsewhere — the data path of [`crate::IoQueue`], whose virtual
+    /// clocks charge queueing/service time at submit and completion. Pages,
+    /// bytes and exactly one `read_batches` are charged here (once per
+    /// ticket, regardless of how many channels or cache passes serve it);
+    /// `read_time_ns` is not. Fault-retry penalties are real extra service
+    /// time and are still charged at fetch.
+    pub fn read_batch_deferred(
+        &self,
+        reqs: &[(FileId, u64, usize)],
+    ) -> Result<Vec<Vec<u8>>, DeviceError> {
+        let cache = self.shared.cache.lock().clone();
+        match cache {
+            Some(c) => {
+                self.fault.lock().check_alive()?;
+                c.read_through(self, reqs, self.tenant, false)
+            }
+            None => self.read_batch_uncached_inner(reqs, false),
+        }
+    }
+
+    /// Add already-computed read wait/service time to this view's clock —
+    /// the [`crate::IoQueue`] charges submission stalls and completion waits
+    /// through this, keeping `read_time_ns` the single total the
+    /// observability layer mirrors.
+    pub fn charge_read_wait(&self, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        for s in self.charge_sinks() {
+            s.read_time_ns.add(ns);
         }
     }
 
@@ -603,6 +637,17 @@ impl Ssd {
     pub(crate) fn read_batch_uncached(
         &self,
         reqs: &[(FileId, u64, usize)],
+    ) -> Result<Vec<Vec<u8>>, DeviceError> {
+        self.read_batch_uncached_inner(reqs, true)
+    }
+
+    /// `read_batch_uncached` with the service-time charge made optional:
+    /// `charge_time: false` is the deferred path, where the queue's virtual
+    /// clocks own the time accounting but counts must still be exact.
+    pub(crate) fn read_batch_uncached_inner(
+        &self,
+        reqs: &[(FileId, u64, usize)],
+        charge_time: bool,
     ) -> Result<Vec<Vec<u8>>, DeviceError> {
         self.fault.lock().check_alive()?;
         let mut out = Vec::with_capacity(reqs.len());
@@ -656,7 +701,7 @@ impl Ssd {
                 out.push(data);
             }
         }
-        self.charge_read(&addrs, useful_total);
+        self.charge_read(&addrs, useful_total, charge_time);
         if extra_retries > 0 {
             let t = extra_retries.saturating_mul(self.shared.cfg.read_ns);
             for s in self.charge_sinks() {
@@ -741,11 +786,15 @@ impl Ssd {
         Placed { first, written, err }
     }
 
-    fn charge_read(&self, addrs: &[PageAddr], useful: u64) {
+    fn charge_read(&self, addrs: &[PageAddr], useful: u64, charge_time: bool) {
         if addrs.is_empty() {
             return;
         }
-        let t = batch_time_ns(&self.shared.cfg, addrs, self.shared.cfg.read_ns);
+        let t = if charge_time {
+            batch_time_ns(&self.shared.cfg, addrs, self.shared.cfg.read_ns)
+        } else {
+            0
+        };
         for s in self.charge_sinks() {
             s.pages_read.add(to_u64(addrs.len()));
             s.bytes_read.add(to_u64(addrs.len()) * to_u64(self.shared.cfg.page_size));

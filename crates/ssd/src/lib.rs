@@ -49,15 +49,17 @@ mod cost;
 mod device;
 mod fault;
 mod ftl;
+mod queue;
 mod stats;
 pub mod sync;
 
 pub use cache::{CacheSnapshot, PageCache, TenantCacheStats, TenantId};
 pub use config::SsdConfig;
-pub use cost::{batch_time_ns, PageAddr};
+pub use cost::{batch_time_ns, channel_of, PageAddr};
 pub use device::{Backend, FileId, Ssd};
 pub use fault::{DeviceError, FaultCounters, FaultPlan};
 pub use ftl::{FtlConfig, FtlModel, FtlOp, FtlStats, Lpa};
+pub use queue::{IoQueue, QueueWaitStats, Ticket};
 pub use stats::{RelaxedCounter, SsdStats, SsdStatsSnapshot};
 
 /// Default SSD page size used throughout the reproduction (bytes).

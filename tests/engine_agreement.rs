@@ -236,12 +236,17 @@ fn assert_traces_eq(a: &[TraceRecord], b: &[TraceRecord], ctx: &str) {
     }
 }
 
-/// The trace with `sim_time_ns` zeroed. The pipeline toggle regroups
-/// reads into different batches, and the simulated-time model charges a
-/// per-batch overhead — so simulated time legitimately moves while every
-/// count (pages, bytes, messages, log activity, FTL) must not.
+/// The trace with the simulated-time fields zeroed. The pipeline toggle
+/// regroups reads into different batches, the simulated-time model charges
+/// a per-batch overhead, and only the pipelined path runs batch reads
+/// through the I/O queue (so wait time and the in-flight high-water mark
+/// exist only there) — while every count (pages, bytes, messages, log
+/// activity, FTL) must not move.
 fn trace_modulo_sim_time(trace: &[TraceRecord]) -> Vec<TraceRecord> {
-    trace.iter().map(|r| TraceRecord { sim_time_ns: 0, ..*r }).collect()
+    trace
+        .iter()
+        .map(|r| TraceRecord { sim_time_ns: 0, io_wait_ns: 0, max_inflight: 0, ..*r })
+        .collect()
 }
 
 /// Only the algorithmic fields of the trace: per-superstep vertex and
@@ -265,13 +270,20 @@ fn trace_algorithmic_counts(trace: &[TraceRecord]) -> Vec<TraceRecord> {
         .collect()
 }
 
-/// The trace with the two fields the combine toggle legitimately changes
-/// (post-reduction delivery count and the compute time derived from it)
-/// zeroed out; everything else must be invariant.
+/// The trace with the fields the combine toggle legitimately changes
+/// zeroed out: the post-reduction delivery count, the compute time derived
+/// from it, and the queue waits that compute time could or could not hide;
+/// everything else must be invariant.
 fn trace_modulo_combine(trace: &[TraceRecord]) -> Vec<TraceRecord> {
     trace
         .iter()
-        .map(|r| TraceRecord { messages_delivered: 0, sim_time_ns: 0, ..*r })
+        .map(|r| TraceRecord {
+            messages_delivered: 0,
+            sim_time_ns: 0,
+            io_wait_ns: 0,
+            max_inflight: 0,
+            ..*r
+        })
         .collect()
 }
 
@@ -356,6 +368,80 @@ fn obs_trace_invariant_across_pipeline_async_combine() {
                     assert!(mlvc_apps::is_proper_coloring(&g, &colors));
                 }
             }
+        }
+    }
+}
+
+/// One MultiLogVC run with explicit queue-depth / in-flight-batch knobs
+/// (pipelined, synchronous, observability on).
+fn run_obs_queued(
+    csr: &Csr,
+    prog: &dyn VertexProgram,
+    steps: usize,
+    queue_depth: usize,
+    inflight: usize,
+) -> (Vec<u64>, Vec<TraceRecord>) {
+    let iv = VertexIntervals::uniform(csr.num_vertices(), 5);
+    let cfg = EngineConfig::default()
+        .with_memory(512 << 10)
+        .with_queue_depth(queue_depth)
+        .with_inflight_batches(inflight)
+        .with_obs(true);
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let sg = StoredGraph::store_with(&ssd, csr, "q", iv).unwrap();
+    let mut e = MultiLogEngine::new(ssd, sg, cfg);
+    let r = e.run(prog, steps);
+    (e.states().to_vec(), r.trace)
+}
+
+/// Queue-knob determinism (DESIGN.md §16): states are bit-identical across
+/// the full worker-threads × queue-depth × in-flight-batches cross-product;
+/// traces are bit-identical across thread counts at any fixed (depth, K),
+/// and across (depth, K) bit-identical modulo the simulated-time fields
+/// (`sim_time_ns`, `io_wait_ns`, `max_inflight`) — deeper queues and more
+/// batches in flight may only move *time*, never a count.
+#[test]
+fn states_and_traces_invariant_across_queue_depth_and_inflight() {
+    let g = mlvc_gen::cf_mini(9, 11).graph;
+    type Factory = Box<dyn Fn() -> Box<dyn VertexProgram>>;
+    let apps: Vec<(&str, usize, Factory)> = vec![
+        ("bfs", 60, Box::new(|| Box::new(Bfs::new(1)))),
+        ("pagerank", 15, Box::new(|| Box::new(PageRank::new(0.85, 1e-9)))),
+        ("coloring", 200, Box::new(|| Box::new(Coloring::new()))),
+    ];
+    for (name, steps, make) in apps {
+        // (queue depth, K) -> (states, trace), from the first thread count.
+        let mut base: Vec<((usize, usize), Vec<u64>, Vec<TraceRecord>)> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            mlvc_par::set_thread_override(Some(threads));
+            for qd in [1usize, 4, 16] {
+                for k in [1usize, 4] {
+                    let prog = make();
+                    let (st, tr) = run_obs_queued(&g, prog.as_ref(), steps, qd, k);
+                    let ctx = format!("{name} threads={threads} qd={qd} k={k}");
+                    match base.iter().find(|(key, _, _)| *key == (qd, k)) {
+                        None => base.push(((qd, k), st, tr)),
+                        Some((_, st0, tr0)) => {
+                            // Same (depth, K), different thread count: the
+                            // whole trace — including every time field —
+                            // must be bit-identical.
+                            assert_eq!(&st, st0, "states diverge: {ctx}");
+                            assert_traces_eq(tr0, &tr, &ctx);
+                        }
+                    }
+                }
+            }
+        }
+        mlvc_par::set_thread_override(None);
+        let (_, st0, tr0) = &base[0];
+        for ((qd, k), st, tr) in &base[1..] {
+            let ctx = format!("{name} qd={qd} k={k} vs qd=1 k=1");
+            assert_eq!(st, st0, "states diverge across queue knobs: {ctx}");
+            assert_traces_eq(
+                &trace_modulo_sim_time(tr0),
+                &trace_modulo_sim_time(tr),
+                &ctx,
+            );
         }
     }
 }

@@ -331,6 +331,154 @@ fn par_sorts_thread_count_invariant() {
     set_thread_override(None);
 }
 
+/// Sort-reduce folding oracle (DESIGN.md §16): for any update stream and
+/// any buffer pressure, draining a page-bucketed (folded) multi-log sorted
+/// by destination equals the old read path — insertion-order drain of an
+/// unfolded log followed by the stable `par_sort_by_u32_key` radix kernel —
+/// bit-exactly, at every thread count. Each update's payload carries its
+/// send index, so a stability violation among equal destinations is
+/// visible, not masked.
+#[test]
+fn folded_log_drain_matches_radix_sort_oracle() {
+    use multilogvc::log::{MultiLog, MultiLogConfig, Update};
+    use multilogvc::par::{par_sort_by_u32_key, set_thread_override};
+
+    let mut rng = SeededRng::seed_from_u64(111);
+    for case in 0..CASES {
+        let n = rng.gen_range(2usize..120);
+        let k = rng.gen_range(1usize..6);
+        let m = rng.gen_range(0usize..2500);
+        // Small enough to evict mid-superstep on the bigger cases.
+        let buffer = rng.gen_range(1usize..9) << 10;
+        let ups: Vec<Update> = (0..m)
+            .map(|i| {
+                Update::new(rng.gen_range(0u32..n as u32), rng.gen_range(0u32..999), i as u64)
+            })
+            .collect();
+        // Random mix of the per-record and pre-routed batch append paths:
+        // split the stream into chunks, each sent via `send` or
+        // `send_batch`. Both logs see the identical call sequence.
+        let chunks: Vec<(usize, bool)> = {
+            let mut out = Vec::new();
+            let mut at = 0;
+            while at < m {
+                let len = rng.gen_range(1usize..40).min(m - at);
+                out.push((len, rng.gen_bool(0.5)));
+                at += len;
+            }
+            out
+        };
+        let iv = VertexIntervals::uniform(n, k);
+
+        for threads in [1usize, 2, 8] {
+            set_thread_override(Some(threads));
+            let mut units: Vec<MultiLog> = [false, true]
+                .iter()
+                .map(|&fold_scatter| {
+                    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+                    MultiLog::new(
+                        ssd,
+                        iv.clone(),
+                        MultiLogConfig { buffer_bytes: buffer, fold_scatter },
+                        "prop",
+                    )
+                    .unwrap()
+                })
+                .collect();
+            for ml in &mut units {
+                let mut at = 0;
+                for &(len, batched) in &chunks {
+                    let chunk = &ups[at..at + len];
+                    if batched {
+                        for i in iv.iter_ids() {
+                            let routed: Vec<Update> = chunk
+                                .iter()
+                                .copied()
+                                .filter(|u| iv.interval_of(u.dest) == i)
+                                .collect();
+                            ml.send_batch(i, &routed).unwrap();
+                        }
+                    } else {
+                        for &u in chunk {
+                            ml.send(u).unwrap();
+                        }
+                    }
+                    at += len;
+                }
+                ml.finish_superstep().unwrap();
+            }
+            let unfold = units[0].reader();
+            let fold = units[1].reader();
+            for i in iv.iter_ids() {
+                // Oracle: the unfolded log preserves insertion order; the
+                // radix kernel is the sort the engine ran before folding.
+                let mut want = unfold.take_log(i).unwrap();
+                par_sort_by_u32_key(&mut want, |u| u.dest);
+                let got = fold.take_log_sorted(i).unwrap();
+                assert_eq!(
+                    got, want,
+                    "case {case} interval {i} threads={threads}: folded drain \
+                     diverges from the radix oracle"
+                );
+            }
+        }
+        set_thread_override(None);
+    }
+}
+
+/// Queue knobs never change results: for any graph, flood under a random
+/// (queue depth, in-flight K, fold toggle) configuration matches the
+/// default configuration bit-exactly.
+#[test]
+fn queue_knobs_invariant_any_graph() {
+    struct Flood;
+    impl VertexProgram for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn init_state(&self, v: VertexId) -> u64 {
+            v as u64
+        }
+        fn init_active(&self, _n: usize) -> InitActive {
+            InitActive::All
+        }
+        fn process(&self, ctx: &mut VertexCtx<'_>) {
+            let best = ctx.msgs().iter().map(|m| m.data).fold(ctx.state(), u64::max);
+            if best > ctx.state() || ctx.superstep() == 1 {
+                ctx.set_state(best);
+                ctx.send_all(best);
+            }
+        }
+    }
+    let mut rng = SeededRng::seed_from_u64(112);
+    for case in 0..CASES {
+        let (n, edges) = arb_graph(&mut rng);
+        let csr = build(n, &edges);
+        let qd = rng.gen_range(1usize..20);
+        let inflight = rng.gen_range(1usize..6);
+        let fold = rng.gen_bool(0.5);
+
+        let run = |cfg: EngineConfig| {
+            let (ssd, sg) = store(&csr, 4);
+            let mut eng = MultiLogEngine::new(ssd, sg, cfg.with_memory(64 << 10));
+            let r = eng.run(&Flood, 4 * n + 4);
+            assert!(r.converged);
+            eng.states().to_vec()
+        };
+        let base = run(EngineConfig::default());
+        let knobs = run(
+            EngineConfig::default()
+                .with_queue_depth(qd)
+                .with_inflight_batches(inflight)
+                .with_fold_scatter(fold),
+        );
+        assert_eq!(
+            base, knobs,
+            "case {case}: qd={qd} k={inflight} fold={fold} changed flood results"
+        );
+    }
+}
+
 /// Coloring output is proper on any graph.
 #[test]
 fn coloring_proper_any_graph() {

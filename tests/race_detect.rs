@@ -23,14 +23,16 @@ use multilogvc::ssd::{Ssd, SsdConfig};
 /// Per-superstep fingerprint: (messages consumed, messages sent, actives).
 type StepCounts = Vec<(u64, u64, u64)>;
 
-fn run_engine(prog: &dyn VertexProgram) -> (Vec<u64>, StepCounts) {
+fn run_engine(prog: &dyn VertexProgram, inflight: usize) -> (Vec<u64>, StepCounts) {
     let g = mlvc_gen::rmat(RmatParams::social(9, 8), 0xD7);
     let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
     let iv = VertexIntervals::uniform(g.num_vertices(), 16);
     let sg = StoredGraph::store_with(&ssd, &g, "perm", iv).unwrap();
     // Tight memory so supersteps split into several fused batches: the
-    // prefetch handoff and parallel scatter both run under the detector.
-    let cfg = EngineConfig::default().with_memory(64 << 10);
+    // batch handoffs and parallel scatter both run under the detector.
+    // `inflight > 1` keeps multiple outstanding completions (several fetch
+    // workers live at once) under every permuted schedule.
+    let cfg = EngineConfig::default().with_memory(64 << 10).with_inflight_batches(inflight);
     let mut eng = MultiLogEngine::new(ssd, sg, cfg);
     let r = eng.run(prog, 20);
     assert!(r.interrupted.is_none());
@@ -60,10 +62,18 @@ fn permuted_schedules_are_bit_identical_and_race_clean() {
     par::set_panic_on_race(true);
     par::set_thread_override(Some(8));
 
-    // Baseline under the natural spawn order.
+    // Baseline under the natural spawn order, at both one and several
+    // batches in flight on the I/O queue. The in-flight count changes only
+    // scheduling, never results, so the two baselines must already agree.
     par::set_schedule_seed(None);
-    let base_bfs = run_engine(&Bfs::new(0));
-    let base_pr = run_engine(&PageRank::new(0.85, 1e-4));
+    let base_bfs = run_engine(&Bfs::new(0), 4);
+    let base_pr = run_engine(&PageRank::new(0.85, 1e-4), 4);
+    assert_eq!(base_bfs, run_engine(&Bfs::new(0), 1), "BFS diverged across in-flight K");
+    assert_eq!(
+        base_pr,
+        run_engine(&PageRank::new(0.85, 1e-4), 1),
+        "PageRank diverged across in-flight K"
+    );
     let base_prim = run_primitives();
 
     // Seeds come from the repo's deterministic RNG, same as every
@@ -72,14 +82,16 @@ fn permuted_schedules_are_bit_identical_and_race_clean() {
     for round in 0..4 {
         let seed = rng.next_u64();
         par::set_schedule_seed(Some(seed));
-        assert_eq!(
-            base_bfs,
-            run_engine(&Bfs::new(0)),
-            "round {round}: BFS diverged under schedule seed {seed:#x}"
-        );
+        for k in [1, 4] {
+            assert_eq!(
+                base_bfs,
+                run_engine(&Bfs::new(0), k),
+                "round {round}: BFS K={k} diverged under schedule seed {seed:#x}"
+            );
+        }
         assert_eq!(
             base_pr,
-            run_engine(&PageRank::new(0.85, 1e-4)),
+            run_engine(&PageRank::new(0.85, 1e-4), 4),
             "round {round}: PageRank diverged under schedule seed {seed:#x}"
         );
         assert_eq!(
