@@ -1,14 +1,20 @@
-use mlvc_core::{Combine, InitActive, VertexCtx, VertexProgram};
+use mlvc_core::{Combine, InitActive, MutationDelta, Reconverge, VertexCtx, VertexProgram};
 use mlvc_graph::VertexId;
 use mlvc_core::Update;
 
 /// Breadth-first search from a source vertex.
 ///
 /// State = BFS level (`UNVISITED` until reached). A vertex adopts the
-/// minimum level offered by incoming messages and floods `level + 1` to
-/// its neighbors exactly once. Updates merge with `min`, so BFS belongs to
-/// the paper's "merging updates acceptable" class and also runs on
-/// GraFBoost.
+/// minimum level offered by incoming messages and floods `level + 1`
+/// whenever that lowered its state. Updates merge with `min`, so BFS
+/// belongs to the paper's "merging updates acceptable" class and also runs
+/// on GraFBoost.
+///
+/// On a fresh synchronous run the min-propagation rule settles each vertex
+/// exactly once (every message reaching a level-`d` vertex carries ≥ `d`),
+/// so it matches the classic settle-once formulation step for step — while
+/// also accepting late *smaller* offers, which is what lets an incremental
+/// re-convergence seed shortcut edges into an already-computed level map.
 ///
 /// The paper's Fig. 5 workload: BFS's frontier starts tiny and widens,
 /// which is the best case for selective active-vertex loading.
@@ -45,18 +51,33 @@ impl VertexProgram for Bfs {
     }
 
     fn process(&self, ctx: &mut VertexCtx<'_>) {
-        if ctx.state() != UNVISITED {
-            return; // already settled; BFS levels only decrease via first touch
+        let best = ctx.msgs().iter().map(|m| m.data).fold(ctx.state(), u64::min);
+        if best < ctx.state() {
+            ctx.set_state(best);
+            ctx.send_all(best + 1);
         }
-        let Some(level) = ctx.msgs().iter().map(|m| m.data).min() else {
-            return; // activation without messages delivers nothing to settle
-        };
-        ctx.set_state(level);
-        ctx.send_all(level + 1);
     }
 
     fn combine(&self) -> Option<Combine> {
         Some(u64::min as Combine)
+    }
+
+    /// Added edges can only shorten distances, and the distance map is the
+    /// unique fixpoint of min-propagation: offering `level(s) + 1` across
+    /// each new edge from a reached source re-converges to exactly the
+    /// cold-run levels. Removals can lengthen or cut paths — old levels may
+    /// be too small — so they fall back to a full recompute.
+    fn reconverge(&self, states: &[u64], delta: &MutationDelta) -> Reconverge {
+        if !delta.removed.is_empty() {
+            return Reconverge::Restart;
+        }
+        let seeds = delta
+            .added
+            .iter()
+            .filter(|&&(s, _)| states[s as usize] != UNVISITED)
+            .map(|&(s, d)| Update::new(d, s, states[s as usize] + 1))
+            .collect();
+        Reconverge::Seed(seeds)
     }
 }
 

@@ -1,4 +1,4 @@
-use mlvc_core::{Combine, InitActive, VertexCtx, VertexProgram};
+use mlvc_core::{Combine, InitActive, MutationDelta, Reconverge, VertexCtx, VertexProgram};
 use mlvc_graph::VertexId;
 
 use crate::{pack_f64, unpack_f64};
@@ -81,6 +81,15 @@ impl VertexProgram for PageRank {
 
     fn combine(&self) -> Option<Combine> {
         Some(combine_add as Combine)
+    }
+
+    /// Always a full recompute. Threshold-truncated delta-push ranks are
+    /// history-dependent — the bits depend on which residuals were dropped
+    /// along the way — so no seeding scheme can match a cold run on the
+    /// mutated graph bit for bit. (This is the trait default, restated here
+    /// so the choice is explicit and pinned by the equivalence tests.)
+    fn reconverge(&self, _states: &[u64], _delta: &MutationDelta) -> Reconverge {
+        Reconverge::Restart
     }
 }
 

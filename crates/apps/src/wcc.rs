@@ -1,4 +1,6 @@
-use mlvc_core::{Combine, InitActive, VertexCtx, VertexProgram};
+use mlvc_core::{
+    Combine, InitActive, MutationDelta, Reconverge, Update, VertexCtx, VertexProgram,
+};
 use mlvc_graph::VertexId;
 
 /// Weakly connected components by min-label propagation (DESIGN.md §8
@@ -41,6 +43,23 @@ impl VertexProgram for Wcc {
 
     fn combine(&self) -> Option<Combine> {
         Some(u64::min as Combine)
+    }
+
+    /// Edge additions can only merge components, and min-label's fixpoint
+    /// is unique: seeding each new edge's endpoint with the other side's
+    /// converged label reaches exactly the cold-run answer. A removal can
+    /// split a component — old labels may be too small — so removals fall
+    /// back to a full recompute.
+    fn reconverge(&self, states: &[u64], delta: &MutationDelta) -> Reconverge {
+        if !delta.removed.is_empty() {
+            return Reconverge::Restart;
+        }
+        let seeds = delta
+            .added
+            .iter()
+            .map(|&(s, d)| Update::new(d, s, states[s as usize]))
+            .collect();
+        Reconverge::Seed(seeds)
     }
 }
 

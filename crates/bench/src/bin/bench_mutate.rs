@@ -1,0 +1,17 @@
+//! Mutation-pipeline benchmark (DESIGN.md §17): ingest throughput, merge
+//! cost vs batch size, and incremental re-convergence vs cold recompute.
+//! Writes `BENCH_mutate.json` into the working directory and prints the
+//! Markdown section. Scaling knobs: `MLVC_SCALE`, `MLVC_MEM_KB`,
+//! `MLVC_STEPS`, `MLVC_SEED`, `MLVC_THREADS`.
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    println!(
+        "Settings: scale {} (CF), {} KiB memory, {} supersteps, seed {}.",
+        s.scale,
+        s.memory_bytes >> 10,
+        s.supersteps,
+        s.seed
+    );
+    println!();
+    println!("{}", mlvc_bench::mutate_bench::section(&s));
+}

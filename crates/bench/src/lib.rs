@@ -20,6 +20,7 @@ pub mod engine_bench;
 pub mod figures;
 pub mod harness;
 pub mod micro;
+pub mod mutate_bench;
 pub mod serve_bench;
 
 pub use harness::Settings;

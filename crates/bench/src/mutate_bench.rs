@@ -1,0 +1,243 @@
+//! Mutation-pipeline benchmark (DESIGN.md §17): ingest throughput and
+//! merge cost as the batch size scales, and incremental re-convergence
+//! against a cold recompute over the mutated graph. Emitted as
+//! `BENCH_mutate.json` by the `bench_mutate` bin.
+//!
+//! Adds-only rows take WCC's `Seed` re-convergence path — the case the
+//! incremental machinery exists for — while the `mixed` row includes
+//! effective removals, forcing the conservative full-restart path, so
+//! both costs are on the record.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlvc_core::{Engine, MultiLogEngine};
+use mlvc_gen::rng::SeededRng;
+use mlvc_graph::{Csr, StoredGraph, VertexIntervals};
+use mlvc_mutate::{apply_to_csr, EdgeMutation, MutationConfig, MutationLog};
+use mlvc_ssd::{Ssd, SsdConfig};
+
+use crate::harness::Settings;
+
+/// One batch-size sweep point.
+pub struct MutateRow {
+    pub batch_edges: usize,
+    /// `"adds"` (Seed re-convergence path) or `"mixed"` (removals force
+    /// the full-restart path).
+    pub kind: &'static str,
+    pub ingest_wall_ms: f64,
+    pub ingest_edges_per_s: f64,
+    pub accepted: u64,
+    pub deduped: u64,
+    pub log_pages_flushed: u64,
+    pub merge_wall_ms: f64,
+    pub edges_added: u64,
+    pub edges_removed: u64,
+    pub intervals_merged: u64,
+    pub dirty_vertices: u64,
+    /// Cold recompute over the mutated graph.
+    pub cold_wall_ms: f64,
+    pub cold_supersteps: usize,
+    /// Merge + incremental re-convergence from the converged base states.
+    pub inc_wall_ms: f64,
+    pub inc_supersteps: usize,
+    pub speedup_vs_cold: f64,
+}
+
+pub struct MutateBenchReport {
+    pub threads: usize,
+    pub rows: Vec<MutateRow>,
+}
+
+/// Deterministic batch over the graph's vertex id space. `mixed` batches
+/// aim ~1/4 of the entries at *existing* edges so the removals are
+/// effective (an absent-edge remove is a no-op the merge drops).
+fn make_batch(g: &Csr, seed: u64, len: usize, mixed: bool) -> Vec<EdgeMutation> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let n = u64::try_from(g.num_vertices()).expect("vertex count");
+    let edges = u64::try_from(g.col_idx().len()).expect("edge count");
+    (0..len)
+        .map(|_| {
+            let src = u32::try_from(rng.gen_range(0..n)).expect("vertex id");
+            let dst = u32::try_from(rng.gen_range(0..n)).expect("vertex id");
+            if mixed && edges > 0 && rng.gen_bool(0.25) {
+                let slot = usize::try_from(rng.gen_range(0..edges)).expect("slot");
+                let owner = match g.row_ptr().partition_point(|&p| {
+                    usize::try_from(p).expect("row ptr") <= slot
+                }) {
+                    0 => 0,
+                    i => u32::try_from(i - 1).expect("owner"),
+                };
+                EdgeMutation::remove(owner, g.col_idx()[slot])
+            } else {
+                EdgeMutation::add(src, dst)
+            }
+        })
+        .collect()
+}
+
+fn store(g: &Csr, iv: VertexIntervals, tag: &str) -> (Arc<Ssd>, Arc<StoredGraph>) {
+    let ssd = Arc::new(Ssd::new(SsdConfig::default()));
+    let sg = Arc::new(StoredGraph::store_with(&ssd, g, tag, iv).expect("store graph"));
+    (ssd, sg)
+}
+
+fn one_row(s: &Settings, g: &Csr, batch_edges: usize, kind: &'static str) -> MutateRow {
+    let cfg = s.engine_config();
+    let iv = s.intervals(g);
+    let batch = make_batch(g, s.seed ^ batch_edges as u64, batch_edges, kind == "mixed");
+    let (mutated, _delta) = apply_to_csr(g, &batch).expect("golden apply");
+
+    // Ingest + direct merge on a fresh device: the service-side cost.
+    let (ssd, sg) = store(g, iv.clone(), "mut");
+    let mut mlog = MutationLog::new(Arc::clone(&ssd), iv.clone(), MutationConfig::default(), "mut")
+        .expect("open log");
+    let t = Instant::now();
+    let ing = mlog.ingest(&batch).expect("ingest");
+    mlog.flush().expect("flush");
+    let ingest_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let out = mlog.merge(&sg, cfg.queue_depth).expect("merge");
+    let merge_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        sg.to_csr().expect("read back"),
+        mutated,
+        "merged CSR must equal the in-memory golden"
+    );
+
+    // Cold recompute over the mutated graph.
+    let (cssd, csg) = store(&mutated, s.intervals(&mutated), "cold");
+    let mut cold = MultiLogEngine::with_shared_graph(cssd, csg, cfg.clone());
+    let t = Instant::now();
+    let cr = cold.run(&mlvc_apps::Wcc, s.supersteps);
+    let cold_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Incremental: converged base run, then ingest + attach + reconverge.
+    let (issd, isg) = store(g, iv.clone(), "inc");
+    let mut inc = MultiLogEngine::with_shared_graph(Arc::clone(&issd), isg, cfg.clone());
+    let base = inc.run(&mlvc_apps::Wcc, s.supersteps);
+    let mut ilog = MutationLog::new(Arc::clone(&issd), iv, MutationConfig::default(), "inc")
+        .expect("open log");
+    ilog.ingest(&batch).expect("ingest");
+    inc.attach_mutations(Arc::new(mlvc_ssd::sync::Mutex::new(ilog))).expect("attach");
+    let t = Instant::now();
+    let ir = inc.reconverge(&mlvc_apps::Wcc, s.supersteps);
+    let inc_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    if base.converged && cr.converged && ir.converged {
+        assert_eq!(inc.states(), cold.states(), "incremental must match cold recompute");
+    }
+
+    MutateRow {
+        batch_edges,
+        kind,
+        ingest_wall_ms,
+        ingest_edges_per_s: batch_edges as f64 / (ingest_wall_ms / 1e3).max(1e-9),
+        accepted: ing.accepted,
+        deduped: ing.deduped,
+        log_pages_flushed: out.stats.log_pages_flushed,
+        merge_wall_ms,
+        edges_added: out.stats.edges_added,
+        edges_removed: out.stats.edges_removed,
+        intervals_merged: out.stats.intervals_merged,
+        dirty_vertices: out.stats.dirty_vertices,
+        cold_wall_ms,
+        cold_supersteps: cr.supersteps.len(),
+        inc_wall_ms,
+        inc_supersteps: ir.supersteps.len(),
+        speedup_vs_cold: cold_wall_ms / inc_wall_ms.max(1e-9),
+    }
+}
+
+/// Run the batch-size sweep on the CF stand-in dataset.
+pub fn run(s: &Settings) -> MutateBenchReport {
+    let g = mlvc_gen::cf_mini(s.scale, s.seed).graph;
+    let rows = vec![
+        one_row(s, &g, 256, "adds"),
+        one_row(s, &g, 1024, "adds"),
+        one_row(s, &g, 4096, "adds"),
+        one_row(s, &g, 1024, "mixed"),
+    ];
+    MutateBenchReport { threads: mlvc_par::max_threads(), rows }
+}
+
+impl MutateBenchReport {
+    pub fn to_json(&self, s: &Settings) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"mutate\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", s.scale));
+        out.push_str(&format!("  \"memory_kb\": {},\n", s.memory_bytes >> 10));
+        out.push_str(&format!("  \"supersteps_cap\": {},\n", s.supersteps));
+        out.push_str(&format!("  \"seed\": {},\n", s.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"rows\": [\n");
+        for (k, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"batch_edges\": {}, \"kind\": \"{}\", \
+                 \"ingest_wall_ms\": {:.3}, \"ingest_edges_per_s\": {:.1}, \
+                 \"accepted\": {}, \"deduped\": {}, \"log_pages_flushed\": {}, \
+                 \"merge_wall_ms\": {:.3}, \"edges_added\": {}, \"edges_removed\": {}, \
+                 \"intervals_merged\": {}, \"dirty_vertices\": {}, \
+                 \"cold_wall_ms\": {:.3}, \"cold_supersteps\": {}, \
+                 \"inc_wall_ms\": {:.3}, \"inc_supersteps\": {}, \
+                 \"speedup_vs_cold\": {:.3}}}{}\n",
+                r.batch_edges,
+                r.kind,
+                r.ingest_wall_ms,
+                r.ingest_edges_per_s,
+                r.accepted,
+                r.deduped,
+                r.log_pages_flushed,
+                r.merge_wall_ms,
+                r.edges_added,
+                r.edges_removed,
+                r.intervals_merged,
+                r.dirty_vertices,
+                r.cold_wall_ms,
+                r.cold_supersteps,
+                r.inc_wall_ms,
+                r.inc_supersteps,
+                r.speedup_vs_cold,
+                if k + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## Mutations: ingest, merge, and incremental re-convergence (WCC)\n\n");
+        out.push_str(&format!("Threads: {}.\n\n", self.threads));
+        out.push_str(
+            "| batch | kind | ingest edges/s | merge ms | added | removed | dirty | cold ms (steps) | inc ms (steps) | speedup |\n",
+        );
+        out.push_str("|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {:.0} | {:.2} | {} | {} | {} | {:.1} ({}) | {:.1} ({}) | {:.2}x |\n",
+                r.batch_edges,
+                r.kind,
+                r.ingest_edges_per_s,
+                r.merge_wall_ms,
+                r.edges_added,
+                r.edges_removed,
+                r.dirty_vertices,
+                r.cold_wall_ms,
+                r.cold_supersteps,
+                r.inc_wall_ms,
+                r.inc_supersteps,
+                r.speedup_vs_cold,
+            ));
+        }
+        out
+    }
+}
+
+/// Run, write `BENCH_mutate.json` into the working directory, and return
+/// the Markdown section.
+pub fn section(s: &Settings) -> String {
+    let report = run(s);
+    std::fs::write("BENCH_mutate.json", report.to_json(s)).expect("write BENCH_mutate.json");
+    report.to_markdown()
+}

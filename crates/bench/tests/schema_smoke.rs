@@ -219,3 +219,58 @@ fn bench_serve_json_matches_schema() {
     let last = &rows[2];
     assert!(num(last, "cross_tenant_hits") > 0.0, "16 tenants share pages");
 }
+
+/// Run the `bench_mutate` binary at a tiny scale in a scratch directory
+/// and schema-validate the `BENCH_mutate.json` it writes — the mutation
+/// sweep the ingest CI artifact relies on.
+#[test]
+fn bench_mutate_json_matches_schema() {
+    let dir = std::env::temp_dir().join(format!("mlvc-mutate-schema-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_mutate"))
+        .current_dir(&dir)
+        .env("MLVC_SCALE", "8")
+        .env("MLVC_MEM_KB", "512")
+        .env("MLVC_STEPS", "30")
+        .output()
+        .expect("run bench_mutate");
+    assert!(
+        out.status.success(),
+        "bench_mutate failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("BENCH_mutate.json")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let doc = parse(&text).expect("BENCH_mutate.json parses");
+    assert_eq!(string(&doc, "bench"), "mutate");
+    assert_eq!(num(&doc, "scale"), 8.0);
+    assert_eq!(num(&doc, "memory_kb"), 512.0);
+    assert!(num(&doc, "threads") >= 1.0);
+
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+    assert_eq!(rows.len(), 4, "3 adds-only sizes + 1 mixed");
+    for (row, (edges, kind)) in
+        rows.iter().zip([(256.0, "adds"), (1024.0, "adds"), (4096.0, "adds"), (1024.0, "mixed")])
+    {
+        assert_eq!(num(row, "batch_edges"), edges);
+        assert_eq!(string(row, "kind"), kind);
+        assert!(num(row, "ingest_edges_per_s") > 0.0);
+        assert!(num(row, "accepted") > 0.0);
+        assert!(num(row, "accepted") + num(row, "deduped") == edges, "dedup accounting");
+        assert!(num(row, "merge_wall_ms") >= 0.0);
+        assert!(num(row, "edges_added") > 0.0, "random adds must land some edges");
+        assert!(num(row, "intervals_merged") >= 1.0);
+        assert!(num(row, "dirty_vertices") >= 1.0);
+        assert!(num(row, "cold_supersteps") >= 1.0);
+        assert!(num(row, "inc_supersteps") >= 1.0);
+        assert!(num(row, "cold_wall_ms") > 0.0);
+        assert!(num(row, "inc_wall_ms") > 0.0);
+        assert!(num(row, "speedup_vs_cold") > 0.0);
+        if kind == "adds" {
+            assert_eq!(num(row, "edges_removed"), 0.0, "adds-only row removed edges");
+        } else {
+            assert!(num(row, "edges_removed") > 0.0, "mixed row must remove real edges");
+        }
+    }
+}

@@ -1,5 +1,6 @@
 use mlvc_graph::{StructuralUpdate, VertexId};
 use mlvc_log::Update;
+use mlvc_mutate::MutationDelta;
 
 /// Commutative+associative message reduction (paper §V-D). When a program
 /// provides one, the sort & group unit merges each destination's messages
@@ -217,6 +218,34 @@ pub trait VertexProgram: Send + Sync {
     fn needs_weights(&self) -> bool {
         false
     }
+
+    /// How to resume after a mutation batch merges into the stored CSR
+    /// (DESIGN.md §17). The default — recompute from scratch — is always
+    /// correct. Programs whose fixpoint is monotone under edge *additions*
+    /// (WCC's min-label, BFS's min-distance) override this to return
+    /// [`Reconverge::Seed`] for adds-only deltas: only the endpoints of
+    /// effective new edges re-activate, and the fixpoint they converge to is
+    /// bit-identical to a cold run on the mutated graph.
+    fn reconverge(&self, states: &[u64], delta: &MutationDelta) -> Reconverge {
+        let _ = (states, delta);
+        Reconverge::Restart
+    }
+}
+
+/// A program's answer to "a mutation batch just merged — how do we get the
+/// states consistent with the new graph?".
+#[derive(Debug, Clone)]
+pub enum Reconverge {
+    /// Re-initialize every vertex and recompute from superstep 1 (always
+    /// correct; the only safe answer when edges were removed or the
+    /// algorithm's converged state is history-dependent, like PageRank's
+    /// threshold-truncated residuals).
+    Restart,
+    /// Keep current states and inject these messages as the next
+    /// superstep's inbox; only their destinations re-activate. Valid only
+    /// when replaying the delta through the normal `process` path provably
+    /// reaches the same fixpoint as a cold run.
+    Seed(Vec<Update>),
 }
 
 #[cfg(test)]

@@ -8,11 +8,15 @@ use mlvc_log::{
     SortGroup, Update,
 };
 use mlvc_log::{EdgeLogStats, MultiLogStats};
+use mlvc_mutate::MutationLog;
 use mlvc_obs::{Registry, TraceRecord, TraceRing};
 use mlvc_recover::{CheckpointManager, CheckpointState};
 use mlvc_ssd::{DeviceError, FtlConfig, FtlStats, IoQueue, Ssd, SsdStatsSnapshot};
 
-use crate::{Engine, EngineConfig, InitActive, RunReport, SuperstepStats, VertexCtx, VertexProgram};
+use crate::{
+    Engine, EngineConfig, InitActive, Reconverge, RunReport, SuperstepStats, VertexCtx,
+    VertexProgram,
+};
 
 /// Trace records kept per run when observability is on — far above any
 /// evaluation run (the paper caps at 15 supersteps); beyond it the ring
@@ -61,6 +65,18 @@ pub struct MultiLogEngine {
     /// read the frozen `states` during parallel processing, the owner
     /// writes them only after the fan-out joins (DESIGN.md §14).
     states_audit: mlvc_par::Tracked<()>,
+    /// Live-ingest mutation log (DESIGN.md §17), shared with whatever is
+    /// accepting edge batches (the serving daemon, `mlvc ingest`). Pending
+    /// batches merge into the stored CSR at superstep boundaries.
+    mutations: Option<Arc<mlvc_ssd::sync::Mutex<MutationLog>>>,
+}
+
+/// How the superstep driver ended: ran to convergence/cap, or was cut
+/// short by a [`Reconverge::Restart`] after a mid-run mutation merge (the
+/// caller re-drives from scratch on the mutated graph).
+enum DriveEnd {
+    Completed,
+    Restart,
 }
 
 /// Work unit handed to the parallel processing stage. Everything is
@@ -103,7 +119,14 @@ impl MultiLogEngine {
         let cfg = cfg.validated();
         let states = vec![0u64; graph.num_vertices()];
         let states_audit = mlvc_par::Tracked::new("MultiLogEngine::states", ());
-        MultiLogEngine { ssd, graph: Arc::new(graph), cfg, states, states_audit }
+        MultiLogEngine {
+            ssd,
+            graph: Arc::new(graph),
+            cfg,
+            states,
+            states_audit,
+            mutations: None,
+        }
     }
 
     /// Engine over an already shared stored graph.
@@ -111,7 +134,7 @@ impl MultiLogEngine {
         let cfg = cfg.validated();
         let states = vec![0u64; graph.num_vertices()];
         let states_audit = mlvc_par::Tracked::new("MultiLogEngine::states", ());
-        MultiLogEngine { ssd, graph, cfg, states, states_audit }
+        MultiLogEngine { ssd, graph, cfg, states, states_audit, mutations: None }
     }
 
     pub fn graph(&self) -> &Arc<StoredGraph> {
@@ -120,6 +143,74 @@ impl MultiLogEngine {
 
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Attach a shared mutation log (DESIGN.md §17). Once attached, any
+    /// batch pending at a superstep boundary merges into the stored CSR
+    /// there, and the running program's [`VertexProgram::reconverge`]
+    /// policy decides whether the run restarts or re-activates only the
+    /// delta's dirty vertices. The log must partition vertices exactly
+    /// like the stored graph.
+    pub fn attach_mutations(
+        &mut self,
+        log: Arc<mlvc_ssd::sync::Mutex<MutationLog>>,
+    ) -> Result<(), DeviceError> {
+        {
+            let guard = log.lock();
+            if guard.intervals() != self.graph.intervals() {
+                return Err(DeviceError::Io(
+                    "mutation log interval partition does not match the stored graph"
+                        .to_string(),
+                ));
+            }
+        }
+        self.mutations = Some(log);
+        Ok(())
+    }
+
+    /// Merge the attached mutation log's pending batches into the stored
+    /// CSR and bring vertex states back to a fixpoint on the mutated
+    /// graph, per the program's [`VertexProgram::reconverge`] policy:
+    /// either a full recompute or an incremental re-convergence that
+    /// re-activates only the delta's dirty vertices. No-op (an immediately
+    /// converged report) when nothing is pending or no log is attached.
+    pub fn reconverge(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
+        let mut report = RunReport {
+            engine: self.name().to_string(),
+            app: prog.name().to_string(),
+            job_id: self.cfg.tag.clone(),
+            converged: true,
+            ..Default::default()
+        };
+        let Some(mlog) = self.mutations.clone() else {
+            return report;
+        };
+        let merged = {
+            let mut guard = mlog.lock();
+            if guard.pending() == 0 {
+                Ok(None)
+            } else {
+                guard.merge(&self.graph, self.cfg.queue_depth).map(Some)
+            }
+        };
+        let outcome = match merged {
+            Ok(None) => return report,
+            Ok(Some(outcome)) => outcome,
+            Err(e) => {
+                report.interrupted = Some(e.into_device_error());
+                return report;
+            }
+        };
+        report.mutations = Some(outcome.stats);
+        let reseed = match prog.reconverge(&self.states, &outcome.delta) {
+            Reconverge::Restart => None,
+            Reconverge::Seed(seeds) => Some(seeds),
+        };
+        report.converged = false;
+        if let Err(e) = self.run_loop(prog, max_supersteps, None, reseed, &mut report) {
+            report.interrupted = Some(e);
+        }
+        report
     }
 
     /// Active vertices of one interval in this batch: destinations holding
@@ -200,10 +291,37 @@ impl MultiLogEngine {
         if let Some(cp) = &resume {
             report.resumed_from = Some(cp.superstep);
         }
-        if let Err(e) = self.drive(prog, max_supersteps, resume.as_ref(), &mut report) {
+        if let Err(e) = self.run_loop(prog, max_supersteps, resume.as_ref(), None, &mut report) {
             report.interrupted = Some(e);
         }
         report
+    }
+
+    /// Drive to completion, restarting from scratch whenever a mid-run
+    /// mutation merge ends with [`Reconverge::Restart`]. `resume` and
+    /// `reseed` apply to the first drive only; a restart always begins
+    /// fresh on the (now mutated) graph. The restart discards the aborted
+    /// attempt's supersteps — `RunReport::mutations` accumulates across
+    /// attempts, so merge activity is never lost from the report.
+    fn run_loop(
+        &mut self,
+        prog: &dyn VertexProgram,
+        max_supersteps: usize,
+        resume: Option<&CheckpointState>,
+        reseed: Option<Vec<Update>>,
+        report: &mut RunReport,
+    ) -> Result<(), DeviceError> {
+        let mut resume = resume;
+        let mut reseed = reseed;
+        loop {
+            match self.drive(prog, max_supersteps, resume.take(), reseed.take(), report)? {
+                DriveEnd::Completed => return Ok(()),
+                DriveEnd::Restart => {
+                    report.supersteps.clear();
+                    report.converged = false;
+                }
+            }
+        }
     }
 
     /// Latest checkpoint usable for this graph, if any. A checkpoint whose
@@ -218,15 +336,18 @@ impl MultiLogEngine {
     }
 
     /// The superstep driver (Algorithm 1). Fresh runs pass `resume: None`;
-    /// `run_recoverable` passes the recovered state. Fills `report` as it
-    /// goes so completed supersteps survive a device fault.
+    /// `run_recoverable` passes the recovered state; an incremental
+    /// re-convergence passes `reseed: Some(...)` — current states are kept
+    /// and the given updates become superstep 1's inbox. Fills `report` as
+    /// it goes so completed supersteps survive a device fault.
     fn drive(
         &mut self,
         prog: &dyn VertexProgram,
         max_supersteps: usize,
         resume: Option<&CheckpointState>,
+        reseed: Option<Vec<Update>>,
         report: &mut RunReport,
-    ) -> Result<(), DeviceError> {
+    ) -> Result<DriveEnd, DeviceError> {
         let n = self.graph.num_vertices();
         let intervals = self.graph.intervals().clone();
         let needs_weights = prog.needs_weights();
@@ -309,22 +430,34 @@ impl MultiLogEngine {
                 start = cp.superstep as usize + 1;
                 multilog.restore_pending(&cp.msgs)?
             }
-            None => {
-                self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
-                start = 1;
-                match prog.init_active(n) {
-                    InitActive::All => {
-                        all_active = true;
-                        vec![0; intervals.num_intervals()]
+            // Incremental re-convergence (DESIGN.md §17): keep the current
+            // states — they are already a fixpoint of the pre-merge graph —
+            // and deliver the delta's seed messages in superstep 1.
+            None => match reseed {
+                Some(seeds) => {
+                    start = 1;
+                    for u in seeds {
+                        multilog.send(u)?;
                     }
-                    InitActive::Seeds(seeds) => {
-                        for u in seeds {
-                            multilog.send(u)?;
+                    multilog.finish_superstep()?
+                }
+                None => {
+                    self.states = (0..n as VertexId).map(|v| prog.init_state(v)).collect();
+                    start = 1;
+                    match prog.init_active(n) {
+                        InitActive::All => {
+                            all_active = true;
+                            vec![0; intervals.num_intervals()]
                         }
-                        multilog.finish_superstep()?
+                        InitActive::Seeds(seeds) => {
+                            for u in seeds {
+                                multilog.send(u)?;
+                            }
+                            multilog.finish_superstep()?
+                        }
                     }
                 }
-            }
+            },
         };
 
         // Seed-phase trace record (superstep 0): the initial activations
@@ -770,6 +903,49 @@ impl MultiLogEngine {
                 })
                 .count() as u64;
             edgelog.end_superstep(&active_bits, &usage)?;
+
+            // Mutation merge (DESIGN.md §17): any edge batch pending on the
+            // attached mutation log lands here, at the superstep boundary —
+            // after this superstep's processing read its adjacency, before
+            // the log sides flip. The program's reconverge policy decides
+            // what happens to the in-flight computation: `Seed` injects the
+            // delta's messages into the next superstep's inbox; `Restart`
+            // abandons this run so the caller recomputes from scratch on
+            // the mutated graph. Merge I/O is charged to this superstep.
+            let mut merge_restart = false;
+            if let Some(mlog) = self.mutations.as_ref() {
+                let merged = {
+                    let mut guard = mlog.lock();
+                    if guard.pending() == 0 {
+                        None
+                    } else {
+                        Some(
+                            guard
+                                .merge(graph, cfg.queue_depth)
+                                .map_err(mlvc_mutate::MutationError::into_device_error)?,
+                        )
+                    }
+                };
+                if let Some(outcome) = merged {
+                    st.mutations = outcome.stats;
+                    report
+                        .mutations
+                        .get_or_insert_with(Default::default)
+                        .absorb(&outcome.stats);
+                    // The edge log caches pre-merge adjacency; drop every
+                    // vertex whose out-edges just changed.
+                    edgelog.invalidate(&outcome.delta.dirty);
+                    match prog.reconverge(states, &outcome.delta) {
+                        Reconverge::Restart => merge_restart = true,
+                        Reconverge::Seed(seeds) => {
+                            for u in seeds {
+                                multilog.send(u)?;
+                            }
+                        }
+                    }
+                }
+            }
+
             pending = multilog.finish_superstep()?;
             st.messages_sent = pending.iter().sum();
             structural.merge_over_threshold(&self.graph)?;
@@ -842,6 +1018,9 @@ impl MultiLogEngine {
                     sim_time_ns: st.sim_time_ns(),
                     io_wait_ns: st.io_wait_ns,
                     max_inflight: st.max_inflight,
+                    mut_edges_merged: st.mutations.edges_added + st.mutations.edges_removed,
+                    mut_intervals_merged: st.mutations.intervals_merged,
+                    mut_dirty_vertices: st.mutations.dirty_vertices,
                 };
                 ob.ml_base = ml;
                 ob.el_base = el;
@@ -850,6 +1029,12 @@ impl MultiLogEngine {
                 st.metrics = Some(rec);
             }
             report.supersteps.push(st);
+            if merge_restart {
+                // Flush sub-threshold structural updates before abandoning
+                // the run — the restart rebuilds every unit from scratch.
+                structural.merge_all(&self.graph)?;
+                return Ok(DriveEnd::Restart);
+            }
         }
         if !report.converged
             && pending.iter().all(|&c| c == 0)
@@ -866,7 +1051,7 @@ impl MultiLogEngine {
             report.trace = ob.ring.records();
             report.obs = Some(self.obs_snapshot(&ob, &multilog, &edgelog, report));
         }
-        Ok(())
+        Ok(DriveEnd::Completed)
     }
 
     /// End-of-run metrics registry snapshot: the `mlvc_ssd_*` counters are
@@ -961,7 +1146,7 @@ impl Engine for MultiLogEngine {
 
     fn run(&mut self, prog: &dyn VertexProgram, max_supersteps: usize) -> RunReport {
         let mut report = RunReport::default();
-        if let Err(e) = self.drive(prog, max_supersteps, None, &mut report) {
+        if let Err(e) = self.run_loop(prog, max_supersteps, None, None, &mut report) {
             report.interrupted = Some(e);
         }
         report

@@ -25,7 +25,7 @@ mod engine;
 mod reference;
 mod report;
 
-pub use api::{Combine, InitActive, VertexCtx, VertexOutputs, VertexProgram};
+pub use api::{Combine, InitActive, Reconverge, VertexCtx, VertexOutputs, VertexProgram};
 pub use config::{CostModel, EngineConfig};
 pub use engine::MultiLogEngine;
 pub use reference::ReferenceEngine;
@@ -33,6 +33,10 @@ pub use report::{RunReport, SuperstepStats};
 
 // Re-exported so applications depend on one crate for the full API surface.
 pub use mlvc_log::Update;
+pub use mlvc_mutate::{
+    EdgeMutation, IngestStats, MergeOutcome, MutationConfig, MutationDelta, MutationError,
+    MutationLog, MutationOp, MutationStats,
+};
 pub use mlvc_obs::{MetricsSnapshot, TraceRecord};
 pub use mlvc_ssd::sync;
 

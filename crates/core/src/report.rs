@@ -1,4 +1,5 @@
 use mlvc_log::{EdgeLogStats, MultiLogStats};
+use mlvc_mutate::MutationStats;
 use mlvc_obs::{trace_to_jsonl, trace_to_jsonl_labeled, MetricsSnapshot, TraceRecord};
 use mlvc_ssd::{DeviceError, SsdStatsSnapshot};
 
@@ -57,6 +58,10 @@ pub struct SuperstepStats {
     /// True if a crash-consistency checkpoint was written at this
     /// superstep's close-out (its I/O is charged to `io`).
     pub checkpointed: bool,
+    /// Mutation-service activity at this superstep's boundary (zero unless
+    /// an attached mutation log had pending edges and merged here; its I/O
+    /// is charged to `io`). See DESIGN.md §17.
+    pub mutations: MutationStats,
     /// Deterministic observability record of this superstep (DESIGN.md
     /// §13). `None` unless the run had `EngineConfig::obs` enabled.
     pub metrics: Option<TraceRecord>,
@@ -101,6 +106,10 @@ pub struct RunReport {
     /// Engine-specific extras.
     pub multilog: Option<MultiLogStats>,
     pub edgelog: Option<EdgeLogStats>,
+    /// Accumulated mutation-service activity over the whole run, `Some`
+    /// only when at least one mutation batch merged mid-run. Survives the
+    /// superstep reset of a `Reconverge::Restart`.
+    pub mutations: Option<MutationStats>,
     /// Per-phase trace when `EngineConfig::obs` was enabled: record 0 is
     /// the seeding phase, records 1.. mirror `supersteps` (bounded by the
     /// engine's trace ring; very long runs keep the most recent records).

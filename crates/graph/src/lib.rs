@@ -33,7 +33,9 @@ pub use builder::EdgeListBuilder;
 pub use csr::Csr;
 pub use intervals::{IntervalId, VertexIntervals};
 pub use loader::{GraphLoader, LoadedVertex, PageUsage};
-pub use stored::{StoredGraph, UPDATE_BYTES};
+pub use stored::{
+    append_u32s, append_u64s, read_u32s, read_u64s, StoredGraph, UPDATE_BYTES,
+};
 pub use structural::{StructuralUpdate, StructuralUpdateBuffer};
 
 /// Vertex identifier. The paper uses 4-byte vertex ids (§VI).

@@ -148,11 +148,20 @@ impl StoredGraph {
         self.num_edges.get()
     }
 
+    /// Overwrite the edge-count statistic. The mutation merge sets the
+    /// manifest's absolute total here so a replayed install (crash
+    /// recovery) lands on the same value instead of double-counting.
+    pub fn set_num_edges(&self, n: u64) {
+        self.num_edges.set(n);
+    }
+
     pub fn has_weights(&self) -> bool {
         self.val_files.is_some()
     }
 
-    pub(crate) fn rowptr_file(&self, i: IntervalId) -> FileId {
+    /// Row-pointer extent of interval `i` (public so the mutation merge
+    /// can rewrite partitions through its own crash-consistent protocol).
+    pub fn rowptr_file(&self, i: IntervalId) -> FileId {
         self.rowptr_files[idx(i)]
     }
 
@@ -247,8 +256,11 @@ impl StoredGraph {
     }
 }
 
-/// Append a u64 slice to `file` as little-endian pages (batched).
-pub(crate) fn append_u64s(ssd: &Ssd, file: FileId, data: &[u64]) -> Result<(), DeviceError> {
+/// Append a u64 slice to `file` as little-endian pages (batched). Public
+/// so the mutation merge writes extents with exactly the layout
+/// `store_with` produces — merged partitions stay bit-identical to a
+/// cold re-store of the mutated graph.
+pub fn append_u64s(ssd: &Ssd, file: FileId, data: &[u64]) -> Result<(), DeviceError> {
     let per_page = ssd.page_size() / ROW_PTR_BYTES;
     let mut pages: Vec<Vec<u8>> = Vec::with_capacity(data.len().div_ceil(per_page));
     for chunk in data.chunks(per_page) {
@@ -265,8 +277,9 @@ pub(crate) fn append_u64s(ssd: &Ssd, file: FileId, data: &[u64]) -> Result<(), D
     Ok(())
 }
 
-/// Append a u32 slice to `file` as little-endian pages (batched).
-pub(crate) fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) -> Result<(), DeviceError> {
+/// Append a u32 slice to `file` as little-endian pages (batched); see
+/// [`append_u64s`] on why this is public.
+pub fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) -> Result<(), DeviceError> {
     let per_page = ssd.page_size() / COL_IDX_BYTES;
     let mut pages: Vec<Vec<u8>> = Vec::with_capacity(data.len().div_ceil(per_page));
     for chunk in data.chunks(per_page) {
@@ -283,7 +296,8 @@ pub(crate) fn append_u32s(ssd: &Ssd, file: FileId, data: &[u32]) -> Result<(), D
     Ok(())
 }
 
-pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u64>, DeviceError> {
+/// Read back `n` u64 entries packed by [`append_u64s`].
+pub fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u64>, DeviceError> {
     let per_page = ssd.page_size() / ROW_PTR_BYTES;
     let n_pages = to_u64(n.div_ceil(per_page));
     let reqs: Vec<_> = (0..n_pages)
@@ -306,7 +320,8 @@ pub(crate) fn read_u64s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u64>, D
     Ok(out)
 }
 
-pub(crate) fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u32>, DeviceError> {
+/// Read back `n` u32 entries packed by [`append_u32s`].
+pub fn read_u32s(ssd: &Ssd, file: FileId, n: usize) -> Result<Vec<u32>, DeviceError> {
     let per_page = ssd.page_size() / COL_IDX_BYTES;
     let n_pages = to_u64(n.div_ceil(per_page));
     let reqs: Vec<_> = (0..n_pages)

@@ -251,6 +251,17 @@ impl EdgeLogOptimizer {
         self.read_index.contains_key(&v)
     }
 
+    /// Drop the given vertices from both log sides. A structural merge
+    /// rewrote their adjacency on the device, so any logged copy is stale;
+    /// subsequent loads must go back to the CSR pages (cache invalidation
+    /// only — results never depend on the edge log holding a vertex).
+    pub fn invalidate(&mut self, vs: &[VertexId]) {
+        for v in vs {
+            self.read_index.remove(v);
+            self.write_index.remove(v);
+        }
+    }
+
     /// Little-endian `u32` at byte offset `off`. The slice indexing
     /// bounds-checks; the width-conversion `Err` arm is unreachable
     /// because the slice is exactly four bytes.

@@ -450,12 +450,12 @@ impl MultiLog {
         }
         let total_slots = bucket_base[n];
         let mut slot_lut = Vec::with_capacity(num_vertices);
-        for i in 0..n {
+        for (i, &base) in bucket_base.iter().enumerate().take(n) {
             let iv = to_u32("interval id", i).unwrap_or(u32::MAX);
             let lo = intervals.start(iv);
             for d in intervals.range(iv) {
                 let bucket = if cfg.fold_scatter { idx(d - lo) / page_cap } else { 0 };
-                slot_lut.push(to_u32("slot", bucket_base[i] + bucket).unwrap_or(u32::MAX));
+                slot_lut.push(to_u32("slot", base + bucket).unwrap_or(u32::MAX));
             }
         }
         Ok(MultiLog {

@@ -1,0 +1,256 @@
+//! Edge mutation batches: the client-facing add/remove records, the
+//! last-op-wins deduplication rule, and the pure upsert applied to an
+//! adjacency list — shared by the on-device merge, the in-memory golden
+//! path (`apply_to_csr`), and the tests that pin them against each other.
+
+use mlvc_graph::checked::to_u64;
+use mlvc_graph::{Csr, VertexId};
+
+use crate::error::MutationError;
+
+/// What a mutation does to the edge `(src, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MutationOp {
+    /// Ensure the edge is present. If `dst` is already an out-neighbor of
+    /// `src` the adjacency list is left completely untouched (no reorder,
+    /// no duplicate), so replaying an acknowledged batch is a no-op.
+    Add,
+    /// Delete every occurrence of the edge. Removing an absent edge is a
+    /// no-op, for the same replay-idempotence reason.
+    Remove,
+}
+
+/// One requested edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeMutation {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub op: MutationOp,
+}
+
+impl EdgeMutation {
+    pub fn add(src: VertexId, dst: VertexId) -> Self {
+        EdgeMutation { src, dst, op: MutationOp::Add }
+    }
+
+    pub fn remove(src: VertexId, dst: VertexId) -> Self {
+        EdgeMutation { src, dst, op: MutationOp::Remove }
+    }
+}
+
+/// What a merge changed, for incremental re-convergence: the edges that
+/// actually appeared or disappeared (requests that were already satisfied
+/// are dropped), plus the sorted, deduplicated endpoints of those edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationDelta {
+    /// Edges now present that were absent before the merge.
+    pub added: Vec<(VertexId, VertexId)>,
+    /// Edges now absent that were present before the merge.
+    pub removed: Vec<(VertexId, VertexId)>,
+    /// Endpoints of the effective changes, sorted and deduplicated — the
+    /// vertices whose adjacency or reachability may have changed.
+    pub dirty: Vec<VertexId>,
+}
+
+impl MutationDelta {
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Collapse a batch to one operation per `(src, dst)` pair — the last
+/// request wins, matching the order the client issued them. Output is
+/// sorted by `(src, dst)` so downstream processing is deterministic
+/// regardless of request interleaving within the batch.
+pub fn dedup_last_wins(muts: &[EdgeMutation]) -> Vec<EdgeMutation> {
+    let mut last: std::collections::BTreeMap<(VertexId, VertexId), MutationOp> =
+        std::collections::BTreeMap::new();
+    for m in muts {
+        last.insert((m.src, m.dst), m.op);
+    }
+    last.into_iter()
+        .map(|((src, dst), op)| EdgeMutation { src, dst, op })
+        .collect()
+}
+
+/// Apply one vertex's deduplicated mutations to its adjacency list.
+///
+/// The upsert rule: surviving old neighbors keep their order; effective
+/// additions are appended in ascending `dst` order. Returns the new list
+/// plus the effective `(added dsts, removed dsts)` — `removed` counts
+/// pairs, not occurrences (a duplicated edge disappears as one pair).
+pub fn upsert_adjacency(
+    old: &[VertexId],
+    adds: &[VertexId],
+    removes: &[VertexId],
+) -> (Vec<VertexId>, Vec<VertexId>, Vec<VertexId>) {
+    let removed_set: std::collections::BTreeSet<VertexId> = removes.iter().copied().collect();
+    let old_set: std::collections::BTreeSet<VertexId> = old.iter().copied().collect();
+    let new_adj: Vec<VertexId> =
+        old.iter().copied().filter(|d| !removed_set.contains(d)).collect();
+    let mut eff_added: Vec<VertexId> =
+        adds.iter().copied().filter(|d| !old_set.contains(d)).collect();
+    eff_added.sort_unstable();
+    eff_added.dedup();
+    let eff_removed: Vec<VertexId> =
+        removed_set.iter().copied().filter(|d| old_set.contains(d)).collect();
+    let mut out = new_adj;
+    out.extend_from_slice(&eff_added);
+    (out, eff_added, eff_removed)
+}
+
+/// Validate that every endpoint of `muts` addresses a vertex of an
+/// `num_vertices`-vertex graph.
+pub fn validate_range(muts: &[EdgeMutation], num_vertices: usize) -> Result<(), MutationError> {
+    let limit = to_u64(num_vertices);
+    for m in muts {
+        for v in [m.src, m.dst] {
+            if u64::from(v) >= limit {
+                return Err(MutationError::OutOfRange { v, num_vertices });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Golden in-memory path: apply a batch to a CSR and return the mutated
+/// graph plus the effective delta. This is the semantics the on-device
+/// merge must match bit-for-bit (`tests/mutation_equivalence.rs` pins the
+/// two against each other through full engine runs).
+pub fn apply_to_csr(
+    base: &Csr,
+    muts: &[EdgeMutation],
+) -> Result<(Csr, MutationDelta), MutationError> {
+    if base.has_weights() {
+        return Err(MutationError::WeightedUnsupported);
+    }
+    validate_range(muts, base.num_vertices())?;
+    let deduped = dedup_last_wins(muts);
+
+    let mut delta = MutationDelta::default();
+    let mut row_ptr: Vec<u64> = vec![0];
+    let mut col_idx: Vec<VertexId> = Vec::with_capacity(base.num_edges());
+    let mut k = 0usize;
+    for v in 0..base.num_vertices() {
+        let vid = to_u64(v);
+        // The deduped batch is sorted by (src, dst): this vertex's slice.
+        let lo = k;
+        while k < deduped.len() && u64::from(deduped[k].src) == vid {
+            k += 1;
+        }
+        let ops = &deduped[lo..k];
+        let old = base.out_edges(idx_to_vertex(v)?);
+        if ops.is_empty() {
+            col_idx.extend_from_slice(old);
+        } else {
+            let adds: Vec<VertexId> =
+                ops.iter().filter(|m| m.op == MutationOp::Add).map(|m| m.dst).collect();
+            let removes: Vec<VertexId> =
+                ops.iter().filter(|m| m.op == MutationOp::Remove).map(|m| m.dst).collect();
+            let (new_adj, eff_added, eff_removed) = upsert_adjacency(old, &adds, &removes);
+            let src = idx_to_vertex(v)?;
+            delta.added.extend(eff_added.iter().map(|&d| (src, d)));
+            delta.removed.extend(eff_removed.iter().map(|&d| (src, d)));
+            col_idx.extend_from_slice(&new_adj);
+        }
+        row_ptr.push(to_u64(col_idx.len()));
+    }
+    finish_dirty(&mut delta);
+    Ok((Csr::from_parts(row_ptr, col_idx, None), delta))
+}
+
+/// Fill `delta.dirty` from the effective edge lists (sorted, deduplicated).
+pub(crate) fn finish_dirty(delta: &mut MutationDelta) {
+    let mut dirty: Vec<VertexId> = delta
+        .added
+        .iter()
+        .chain(delta.removed.iter())
+        .flat_map(|&(s, d)| [s, d])
+        .collect();
+    dirty.sort_unstable();
+    dirty.dedup();
+    delta.dirty = dirty;
+}
+
+fn idx_to_vertex(v: usize) -> Result<VertexId, MutationError> {
+    Ok(mlvc_graph::checked::to_u32("vertex id", v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_last_op_per_pair() {
+        let muts = [
+            EdgeMutation::add(1, 2),
+            EdgeMutation::remove(1, 2),
+            EdgeMutation::add(3, 4),
+            EdgeMutation::add(1, 2),
+        ];
+        let d = dedup_last_wins(&muts);
+        assert_eq!(d, vec![EdgeMutation::add(1, 2), EdgeMutation::add(3, 4)]);
+    }
+
+    #[test]
+    fn upsert_is_idempotent_and_order_preserving() {
+        let old = [7u32, 3, 9];
+        let (adj, added, removed) = upsert_adjacency(&old, &[3, 5, 1], &[9, 100]);
+        assert_eq!(adj, vec![7, 3, 1, 5], "survivors keep order, adds sorted at tail");
+        assert_eq!(added, vec![1, 5], "3 was already present");
+        assert_eq!(removed, vec![9], "100 was absent");
+        // Replay: applying the same ops to the result changes nothing.
+        let (again, added2, removed2) = upsert_adjacency(&adj, &[3, 5, 1], &[9, 100]);
+        assert_eq!(again, adj);
+        assert!(added2.is_empty() && removed2.is_empty());
+    }
+
+    #[test]
+    fn upsert_removes_all_occurrences() {
+        let (adj, _, removed) = upsert_adjacency(&[4, 2, 4, 4], &[], &[4]);
+        assert_eq!(adj, vec![2]);
+        assert_eq!(removed, vec![4], "one pair even with three occurrences");
+    }
+
+    #[test]
+    fn apply_to_csr_matches_manual() {
+        let mut b = mlvc_graph::EdgeListBuilder::new(4);
+        b.push(0, 1);
+        b.push(0, 2);
+        b.push(2, 3);
+        let base = b.build();
+        let (g, delta) = apply_to_csr(
+            &base,
+            &[
+                EdgeMutation::add(0, 3),
+                EdgeMutation::remove(0, 2),
+                EdgeMutation::add(1, 1), // self-loop
+                EdgeMutation::remove(3, 0), // absent
+                EdgeMutation::add(2, 3), // already present
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.out_edges(0), &[1, 3]);
+        assert_eq!(g.out_edges(1), &[1]);
+        assert_eq!(g.out_edges(2), &[3]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(delta.added, vec![(0, 3), (1, 1)]);
+        assert_eq!(delta.removed, vec![(0, 2)]);
+        assert_eq!(delta.dirty, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_and_weighted_are_typed_errors() {
+        let mut b = mlvc_graph::EdgeListBuilder::new(2);
+        b.push(0, 1);
+        let base = b.build();
+        let err = apply_to_csr(&base, &[EdgeMutation::add(0, 9)]).unwrap_err();
+        assert!(matches!(err, MutationError::OutOfRange { v: 9, .. }));
+
+        let mut wb = mlvc_graph::EdgeListBuilder::new(2);
+        wb.push_weighted(0, 1, 1.5);
+        let weighted = wb.build();
+        let err = apply_to_csr(&weighted, &[EdgeMutation::add(1, 0)]).unwrap_err();
+        assert_eq!(err, MutationError::WeightedUnsupported);
+    }
+}

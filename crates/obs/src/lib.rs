@@ -419,11 +419,19 @@ pub struct TraceRecord {
     pub io_wait_ns: u64,
     /// High-water mark of concurrently outstanding I/O tickets.
     pub max_inflight: u64,
+    /// Edge additions + removals merged from the mutation log into the
+    /// stored CSR at this superstep's boundary (DESIGN.md §17).
+    pub mut_edges_merged: u64,
+    /// CSR interval partitions rewritten by that merge.
+    pub mut_intervals_merged: u64,
+    /// Distinct vertices whose adjacency or reachability the merge dirtied
+    /// (the incremental re-activation set).
+    pub mut_dirty_vertices: u64,
 }
 
 /// Names of the `u64` fields of [`TraceRecord`], in emission order — the
 /// JSONL schema contract checked by the smoke tests.
-pub const TRACE_FIELDS: [&str; 25] = [
+pub const TRACE_FIELDS: [&str; 28] = [
     "superstep",
     "active_vertices",
     "messages_processed",
@@ -449,11 +457,14 @@ pub const TRACE_FIELDS: [&str; 25] = [
     "sim_time_ns",
     "io_wait_ns",
     "max_inflight",
+    "mut_edges_merged",
+    "mut_intervals_merged",
+    "mut_dirty_vertices",
 ];
 
 impl TraceRecord {
     /// `(name, value)` pairs in [`TRACE_FIELDS`] order.
-    pub fn fields(&self) -> [(&'static str, u64); 25] {
+    pub fn fields(&self) -> [(&'static str, u64); 28] {
         [
             ("superstep", self.superstep),
             ("active_vertices", self.active_vertices),
@@ -480,6 +491,9 @@ impl TraceRecord {
             ("sim_time_ns", self.sim_time_ns),
             ("io_wait_ns", self.io_wait_ns),
             ("max_inflight", self.max_inflight),
+            ("mut_edges_merged", self.mut_edges_merged),
+            ("mut_intervals_merged", self.mut_intervals_merged),
+            ("mut_dirty_vertices", self.mut_dirty_vertices),
         ]
     }
 

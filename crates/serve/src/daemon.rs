@@ -20,7 +20,10 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use mlvc_apps::{Bfs, Cdlp, Coloring, KCore, Mis, PageRank, RandomWalk, Sssp, Wcc};
 use mlvc_core::{Engine, EngineConfig, MultiLogEngine, RunReport, VertexProgram};
-use mlvc_graph::{Csr, StoredGraph, VertexIntervals};
+use mlvc_graph::{Csr, StoredGraph, VertexIntervals, UPDATE_BYTES};
+use mlvc_mutate::{
+    EdgeMutation, IngestStats, MergeOutcome, MutationConfig, MutationError, MutationLog,
+};
 use mlvc_obs::MetricsSnapshot;
 use mlvc_ssd::sync::Mutex as PoisonFreeMutex;
 use mlvc_ssd::{
@@ -29,11 +32,16 @@ use mlvc_ssd::{
 };
 use std::sync::Arc;
 
-use crate::admission::{Budget, Reservation};
+use crate::admission::{Budget, Reservation, MIN_JOB_BYTES};
 use crate::protocol::{
-    accepted_line, done_line, failed_line, queued_line, rejected_line, JobRequest, RejectReason,
-    Request,
+    accepted_line, done_line, failed_line, mutated_line, queued_line, rejected_line, JobRequest,
+    MutationRequest, RejectReason, Request,
 };
+
+/// Per-request cap on mutation batch size; a batch past this is rejected
+/// with `mutation-too-large` rather than queued (it could monopolize the
+/// ingest path and the budget).
+pub const MAX_MUTATION_EDGES: usize = 1 << 20;
 
 /// Daemon sizing knobs.
 #[derive(Debug, Clone)]
@@ -104,6 +112,10 @@ pub struct Daemon {
     ssd: Arc<Ssd>,
     cache: Arc<PageCache>,
     datasets: BTreeMap<String, Arc<StoredGraph>>,
+    /// Per-dataset on-device mutation logs (DESIGN.md §17), fed by the
+    /// `mutate` op. Shared so an embedding engine can attach one for
+    /// superstep-boundary merges.
+    mutation_logs: BTreeMap<String, Arc<PoisonFreeMutex<MutationLog>>>,
     budget: Budget,
     workers: usize,
     next_tenant: AtomicU32,
@@ -131,6 +143,7 @@ impl Daemon {
             ssd,
             cache,
             datasets: BTreeMap::new(),
+            mutation_logs: BTreeMap::new(),
             budget: Budget::new(cfg.memory_budget),
             workers: cfg.workers.max(1),
             next_tenant: AtomicU32::new(1),
@@ -159,9 +172,24 @@ impl Daemon {
     pub fn add_dataset(&mut self, name: &str, graph: &Csr) -> Result<(), DeviceError> {
         let sort = EngineConfig::default().sort_budget();
         let iv = VertexIntervals::for_graph(graph, 16, sort);
-        let sg = StoredGraph::store_with(&self.ssd, graph, name, iv)?;
+        let sg = StoredGraph::store_with(&self.ssd, graph, name, iv.clone())?;
+        let mlog = MutationLog::new(
+            Arc::clone(&self.ssd),
+            iv,
+            MutationConfig::default(),
+            name,
+        )
+        .map_err(MutationError::into_device_error)?;
         self.datasets.insert(name.to_string(), Arc::new(sg));
+        self.mutation_logs
+            .insert(name.to_string(), Arc::new(PoisonFreeMutex::new(mlog)));
         Ok(())
+    }
+
+    /// The dataset's shared mutation log, for attaching to an engine or
+    /// inspecting pending counts. `None` for unregistered names.
+    pub fn mutation_log(&self, name: &str) -> Option<Arc<PoisonFreeMutex<MutationLog>>> {
+        self.mutation_logs.get(name).cloned()
     }
 
     /// Registered dataset names.
@@ -188,6 +216,87 @@ impl Daemon {
         }
         drop(make_program(&req.app, g.has_weights(), req.source)?);
         Ok(())
+    }
+
+    /// Admission check for a mutation batch without touching the log:
+    /// dataset known and unweighted, batch under the per-request cap,
+    /// every vertex id in range.
+    pub fn validate_mutation(&self, req: &MutationRequest) -> Result<(), RejectReason> {
+        if req.id.is_empty() {
+            return Err(RejectReason::MalformedRequest("empty mutation id".to_string()));
+        }
+        let g = self
+            .datasets
+            .get(&req.dataset)
+            .ok_or_else(|| RejectReason::UnknownDataset(req.dataset.clone()))?;
+        if g.has_weights() {
+            return Err(RejectReason::MalformedRequest(format!(
+                "dataset {:?} is weighted; edge mutations are unsupported",
+                req.dataset
+            )));
+        }
+        if req.len() > MAX_MUTATION_EDGES {
+            return Err(RejectReason::MutationTooLarge {
+                edges: req.len(),
+                max: MAX_MUTATION_EDGES,
+            });
+        }
+        let n = g.num_vertices();
+        for &(s, d) in req.add.iter().chain(&req.remove) {
+            for v in [s, d] {
+                if mlvc_ssd::checked::idx(v) >= n {
+                    return Err(RejectReason::MutationOutOfRange { v, num_vertices: n });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and ingest one mutation batch into the dataset's log,
+    /// holding a budget reservation for the batch's in-memory footprint
+    /// while the ingest runs (batches queue FIFO behind jobs under memory
+    /// pressure, like any other admission).
+    pub fn apply_mutation(&self, req: &MutationRequest) -> Result<IngestStats, JobError> {
+        self.validate_mutation(req).map_err(JobError::Rejected)?;
+        let mlog = self
+            .mutation_logs
+            .get(&req.dataset)
+            .ok_or_else(|| {
+                JobError::Rejected(RejectReason::UnknownDataset(req.dataset.clone()))
+            })?;
+        let footprint = req.len().saturating_mul(UPDATE_BYTES).max(MIN_JOB_BYTES);
+        let hold = self.budget.reserve_blocking(footprint);
+        let mut batch = Vec::with_capacity(req.len());
+        batch.extend(req.add.iter().map(|&(s, d)| EdgeMutation::add(s, d)));
+        batch.extend(req.remove.iter().map(|&(s, d)| EdgeMutation::remove(s, d)));
+        let ingested = mlog.lock().ingest(&batch);
+        drop(hold);
+        ingested.map_err(|e| JobError::Failed(format!("{e}")))
+    }
+
+    /// Merge a dataset's pending mutations into its stored CSR. The caller
+    /// is responsible for quiescence — no job may be mid-run on this
+    /// dataset, since the merge rewrites its interval extents in place.
+    /// Returns `None` when nothing was pending.
+    pub fn merge_mutations(
+        &self,
+        dataset: &str,
+    ) -> Result<Option<MergeOutcome>, DeviceError> {
+        let Some(mlog) = self.mutation_logs.get(dataset) else {
+            return Ok(None);
+        };
+        let Some(graph) = self.datasets.get(dataset) else {
+            return Ok(None);
+        };
+        let depth = EngineConfig::default().queue_depth;
+        let mut guard = mlog.lock();
+        if guard.pending() == 0 {
+            return Ok(None);
+        }
+        guard
+            .merge(graph, depth)
+            .map(Some)
+            .map_err(MutationError::into_device_error)
     }
 
     /// Run one already-validated job under a held reservation: give it a
@@ -333,6 +442,22 @@ impl Daemon {
                             q.push(req);
                         }
                         Err(r) => emit(&out, &rejected_line(&req.id, &r)),
+                    },
+                    // Ingest on the dispatcher thread: the batch lands in
+                    // the mutation log before any later `run` line on the
+                    // same connection is even parsed, so a client's
+                    // mutate-then-run sequence is ordered by construction.
+                    Ok(Request::Mutate(req)) => match self.apply_mutation(&req) {
+                        Ok(ing) => {
+                            let pending =
+                                self.mutation_log(&req.dataset).map_or(0, |m| m.lock().pending());
+                            emit(
+                                &out,
+                                &mutated_line(&req.id, ing.accepted, ing.deduped, pending),
+                            );
+                        }
+                        Err(JobError::Rejected(r)) => emit(&out, &rejected_line(&req.id, &r)),
+                        Err(JobError::Failed(e)) => emit(&out, &failed_line(&req.id, &e)),
                     },
                     Ok(Request::Stats) => emit(&out, &self.stats_line()),
                     Ok(Request::Shutdown) => break,

@@ -29,17 +29,26 @@
 //!   daemon-wide Prometheus text snapshot
 //!   ([`Daemon::prometheus_rollup`]), every series labeled with its job.
 //!
+//! * **Live mutations**: a `mutate` op ingests edge add/remove batches
+//!   into each dataset's on-device mutation log (`mlvc_mutate`).
+//!   Ingest happens on the dispatcher thread, so a client's
+//!   mutate-then-run sequence is ordered; merging the log into the CSR
+//!   is the explicit [`Daemon::merge_mutations`] call, which requires
+//!   quiescence (no jobs reading that dataset). See DESIGN.md §17.
+//!
 //! Protocol and transport live in [`protocol`]: one JSON object per line
 //! in, one reply event per line out (`accepted`/`queued`/`rejected`/
-//! `done`/`failed`). See DESIGN.md §15.
+//! `done`/`failed`/`mutated`). See DESIGN.md §15.
 
 mod admission;
 mod daemon;
 mod protocol;
 
 pub use admission::{Budget, Reservation, MIN_JOB_BYTES};
-pub use daemon::{Daemon, JobError, JobOutcome, JobResult, ServeConfig};
+pub use daemon::{
+    Daemon, JobError, JobOutcome, JobResult, ServeConfig, MAX_MUTATION_EDGES,
+};
 pub use protocol::{
-    accepted_line, done_line, failed_line, queued_line, rejected_line, JobRequest, RejectReason,
-    Request,
+    accepted_line, done_line, failed_line, mutated_line, queued_line, rejected_line, JobRequest,
+    MutationRequest, RejectReason, Request,
 };

@@ -64,11 +64,43 @@ impl Default for JobRequest {
     }
 }
 
+/// One edge-mutation submission: add/remove edge batches bound for a
+/// dataset's on-device mutation log (DESIGN.md §17). Mirrors the
+/// `mlvc ingest` batch format.
+///
+/// ```text
+/// {"op":"mutate","id":"m1","dataset":"cf","add":[[0,9],[9,0]],"remove":[[3,4]]}
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationRequest {
+    /// Client-chosen identity, echoed in the reply.
+    pub id: String,
+    /// Name of a dataset registered with [`crate::Daemon::add_dataset`].
+    pub dataset: String,
+    /// Edges to add, as `(src, dst)` pairs.
+    pub add: Vec<(u32, u32)>,
+    /// Edges to remove, as `(src, dst)` pairs.
+    pub remove: Vec<(u32, u32)>,
+}
+
+impl MutationRequest {
+    /// Total edges in the batch.
+    pub fn len(&self) -> usize {
+        self.add.len() + self.remove.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty()
+    }
+}
+
 /// A parsed protocol line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a job.
     Run(JobRequest),
+    /// Submit an edge-mutation batch.
+    Mutate(MutationRequest),
     /// Ask for a daemon-wide metrics snapshot.
     Stats,
     /// Drain the queue and exit the serve loop.
@@ -91,6 +123,10 @@ pub enum RejectReason {
     UnknownApp(String),
     /// The app needs edge weights but the dataset is unweighted.
     NeedsWeights(String),
+    /// A mutation names a vertex the dataset does not have.
+    MutationOutOfRange { v: u32, num_vertices: usize },
+    /// A mutation batch exceeds the daemon's per-request edge cap.
+    MutationTooLarge { edges: usize, max: usize },
     /// The line was not a well-formed request.
     MalformedRequest(String),
 }
@@ -104,6 +140,8 @@ impl RejectReason {
             RejectReason::UnknownDataset(_) => "unknown-dataset",
             RejectReason::UnknownApp(_) => "unknown-app",
             RejectReason::NeedsWeights(_) => "needs-weights",
+            RejectReason::MutationOutOfRange { .. } => "mutation-out-of-range",
+            RejectReason::MutationTooLarge { .. } => "mutation-too-large",
             RejectReason::MalformedRequest(_) => "malformed-request",
         }
     }
@@ -121,6 +159,12 @@ impl fmt::Display for RejectReason {
             RejectReason::UnknownDataset(d) => write!(f, "unknown dataset {d:?}"),
             RejectReason::UnknownApp(a) => write!(f, "unknown app {a:?}"),
             RejectReason::NeedsWeights(a) => write!(f, "app {a:?} needs a weighted dataset"),
+            RejectReason::MutationOutOfRange { v, num_vertices } => {
+                write!(f, "vertex {v} out of range (dataset has {num_vertices} vertices)")
+            }
+            RejectReason::MutationTooLarge { edges, max } => {
+                write!(f, "batch of {edges} edges exceeds the per-request cap of {max}")
+            }
             RejectReason::MalformedRequest(why) => write!(f, "malformed request: {why}"),
         }
     }
@@ -193,6 +237,44 @@ impl JobRequest {
     }
 }
 
+/// Parse an optional `[[src, dst], …]` edge array. A missing key is an
+/// empty batch; anything else malformed (a non-array, a pair that is not
+/// two vertices, a vertex that is not a `u32`) is a typed rejection.
+fn field_edges(obj: &Json, key: &str) -> Result<Vec<(u32, u32)>, RejectReason> {
+    let Some(v) = obj.get(key) else {
+        return Ok(Vec::new());
+    };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| bad(format!("{key} must be an array of [src, dst] pairs")))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (k, e) in arr.iter().enumerate() {
+        let pair = e
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| bad(format!("{key}[{k}] must be a [src, dst] pair")))?;
+        let vertex = |side: usize, name: &str| -> Result<u32, RejectReason> {
+            json_u64(&pair[side])
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad(format!("{key}[{k}].{name} must be a vertex id (u32)")))
+        };
+        out.push((vertex(0, "src")?, vertex(1, "dst")?));
+    }
+    Ok(out)
+}
+
+impl MutationRequest {
+    /// Parse the body of a `"mutate"` request.
+    fn from_json(obj: &Json) -> Result<MutationRequest, RejectReason> {
+        Ok(MutationRequest {
+            id: field_str(obj, "id")?,
+            dataset: field_str(obj, "dataset")?,
+            add: field_edges(obj, "add")?,
+            remove: field_edges(obj, "remove")?,
+        })
+    }
+}
+
 impl Request {
     /// Parse one protocol line. Never panics: anything that is not a
     /// well-formed request becomes a typed [`RejectReason`].
@@ -204,6 +286,7 @@ impl Request {
             .ok_or_else(|| bad("missing string field \"op\"".to_string()))?;
         match op {
             "run" => Ok(Request::Run(JobRequest::from_json(&v)?)),
+            "mutate" => Ok(Request::Mutate(MutationRequest::from_json(&v)?)),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!("unknown op {other:?}"))),
@@ -232,6 +315,17 @@ pub fn rejected_line(id: &str, why: &RejectReason) -> String {
         json_escape(id),
         json_escape(why.code()),
         json_escape(&format!("{why}"))
+    )
+}
+
+/// `{"event":"mutated","id":…,"accepted":…,"deduped":…,"pending":…}` —
+/// the batch was validated and ingested into the dataset's mutation log;
+/// `pending` is the log's total queued edge count after this batch.
+pub fn mutated_line(id: &str, accepted: u64, deduped: u64, pending: u64) -> String {
+    format!(
+        "{{\"event\":\"mutated\",\"id\":{},\"accepted\":{accepted},\"deduped\":{deduped},\
+         \"pending\":{pending}}}",
+        json_escape(id)
     )
 }
 
@@ -322,6 +416,51 @@ mod tests {
     }
 
     #[test]
+    fn mutate_request_round_trips() {
+        let line = "{\"op\":\"mutate\",\"id\":\"m1\",\"dataset\":\"cf\",\
+                    \"add\":[[0,9],[9,0]],\"remove\":[[3,4]]}";
+        let Ok(Request::Mutate(m)) = Request::parse(line) else {
+            unreachable!("parse failed");
+        };
+        assert_eq!(m.id, "m1");
+        assert_eq!(m.dataset, "cf");
+        assert_eq!(m.add, vec![(0, 9), (9, 0)]);
+        assert_eq!(m.remove, vec![(3, 4)]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn mutate_missing_arrays_default_empty() {
+        let Ok(Request::Mutate(m)) =
+            Request::parse("{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\"}")
+        else {
+            unreachable!("parse failed");
+        };
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn malformed_mutate_lines_become_typed_rejections() {
+        for line in [
+            "{\"op\":\"mutate\"}",
+            "{\"op\":\"mutate\",\"id\":\"m\"}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"add\":7}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"add\":[[1]]}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"add\":[[1,2,3]]}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"add\":[[1,-2]]}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"add\":[[1,2.5]]}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"add\":[[1,4294967296]]}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"remove\":[\"x\"]}",
+            "{\"op\":\"mutate\",\"id\":\"m\",\"dataset\":\"d\",\"remove\":[[\"a\",\"b\"]]}",
+        ] {
+            let Err(r) = Request::parse(line) else {
+                unreachable!("{line} should not parse");
+            };
+            assert_eq!(r.code(), "malformed-request", "{line}");
+        }
+    }
+
+    #[test]
     fn reply_lines_are_valid_json() {
         let why = RejectReason::UnknownDataset("who \"dis\"".to_string());
         for line in [
@@ -330,6 +469,7 @@ mod tests {
             rejected_line("j1", &why),
             failed_line("j1", "device crashed"),
             done_line("j1", 4, true, 100, 12, 5_000),
+            mutated_line("m\"1", 7, 2, 9),
         ] {
             let v = json::parse(&line);
             assert!(v.is_ok(), "{line}");
@@ -347,6 +487,14 @@ mod tests {
             (RejectReason::UnknownDataset("x".to_string()), "unknown-dataset"),
             (RejectReason::UnknownApp("x".to_string()), "unknown-app"),
             (RejectReason::NeedsWeights("sssp".to_string()), "needs-weights"),
+            (
+                RejectReason::MutationOutOfRange { v: 99, num_vertices: 10 },
+                "mutation-out-of-range",
+            ),
+            (
+                RejectReason::MutationTooLarge { edges: 2_000_000, max: 1_000_000 },
+                "mutation-too-large",
+            ),
             (RejectReason::MalformedRequest("x".to_string()), "malformed-request"),
         ];
         for (r, code) in cases {

@@ -1,0 +1,167 @@
+//! The `mutate` op end to end: ingest through the line protocol, typed
+//! rejections for every malformed shape (never a panic), and the explicit
+//! merge making mutations visible to later jobs.
+
+use std::io::Cursor;
+
+use mlvc_serve::{Daemon, JobError, MutationRequest, ServeConfig, MAX_MUTATION_EDGES};
+
+fn daemon_with(name: &str, g: &mlvc_graph::Csr) -> Daemon {
+    let mut d = Daemon::new(ServeConfig { workers: 1, ..ServeConfig::default() });
+    d.add_dataset(name, g).unwrap();
+    d
+}
+
+/// Parse the reply stream into `(event, id, line)` triples, panicking on
+/// any reply that is not valid JSON.
+fn events(output: &[u8]) -> Vec<(String, String, String)> {
+    String::from_utf8_lossy(output)
+        .lines()
+        .map(|l| {
+            let v = mlvc_obs::json::parse(l).unwrap_or_else(|e| panic!("bad reply {l}: {e}"));
+            (
+                v.get("event").and_then(|e| e.as_str()).unwrap_or("").to_string(),
+                v.get("id").and_then(|e| e.as_str()).unwrap_or("").to_string(),
+                l.to_string(),
+            )
+        })
+        .collect()
+}
+
+fn serve_lines(d: &mut Daemon, input: &str) -> Vec<(String, String, String)> {
+    let mut out: Vec<u8> = Vec::new();
+    d.serve(Cursor::new(input), &mut out).unwrap();
+    events(&out)
+}
+
+#[test]
+fn mutate_lines_ingest_and_merge_updates_the_stored_graph() {
+    // Path 0-1-2 plus isolated vertex 3.
+    let mut b = mlvc_graph::EdgeListBuilder::new(4).symmetrize(true);
+    b.push(0, 1);
+    b.push(1, 2);
+    let mut d = daemon_with("p", &b.build());
+
+    let input = "\
+{\"op\":\"mutate\",\"id\":\"m1\",\"dataset\":\"p\",\"add\":[[2,3],[3,2],[2,3]]}\n\
+{\"op\":\"shutdown\"}\n";
+    let ev = serve_lines(&mut d, input);
+    let m1 = ev.iter().find(|(_, id, _)| id == "m1").expect("reply for m1");
+    assert_eq!(m1.0, "mutated", "{}", m1.2);
+    let v = mlvc_obs::json::parse(&m1.2).unwrap();
+    let num = |k: &str| v.get(k).and_then(|x| x.as_num()).unwrap_or(-1.0);
+    assert_eq!(num("accepted"), 2.0, "duplicate (2,3) deduped in-batch");
+    assert_eq!(num("deduped"), 1.0);
+    assert_eq!(num("pending"), 2.0);
+
+    // Merging is explicit and requires quiescence; afterwards the log is
+    // drained and a BFS job sees the new edges.
+    let outcome = d.merge_mutations("p").unwrap().expect("pending mutations");
+    assert_eq!(outcome.stats.edges_added, 2);
+    assert_eq!(d.mutation_log("p").unwrap().lock().pending(), 0);
+    assert!(d.merge_mutations("p").unwrap().is_none(), "nothing left to merge");
+
+    let job = mlvc_serve::JobRequest {
+        id: "after".to_string(),
+        app: "bfs".to_string(),
+        dataset: "p".to_string(),
+        memory_bytes: 1 << 20,
+        steps: 16,
+        ..mlvc_serve::JobRequest::default()
+    };
+    let r = d.run_job(&job);
+    let states = &r.outcome.as_ref().expect("bfs runs").states;
+    assert_eq!(states[3], 3, "vertex 3 reachable only through the mutation");
+}
+
+#[test]
+fn fuzzed_mutate_lines_reject_without_panicking() {
+    let mut d = daemon_with("cf", &mlvc_gen::cf_mini(8, 3).graph);
+    // One malformed mutate line per failure shape. Every line must draw
+    // exactly one valid-JSON `rejected` reply; none may panic the daemon.
+    let malformed = [
+        "{\"op\":\"mutate\"}",                                         // no id
+        "{\"op\":\"mutate\",\"id\":\"a\"}",                            // no dataset
+        "{\"op\":\"mutate\",\"id\":\"b\",\"dataset\":\"nope\",\"add\":[[0,1]]}",
+        "{\"op\":\"mutate\",\"id\":\"c\",\"dataset\":\"cf\",\"add\":7}",
+        "{\"op\":\"mutate\",\"id\":\"d\",\"dataset\":\"cf\",\"add\":[[0]]}",
+        "{\"op\":\"mutate\",\"id\":\"e\",\"dataset\":\"cf\",\"add\":[[0,1,2]]}",
+        "{\"op\":\"mutate\",\"id\":\"f\",\"dataset\":\"cf\",\"add\":[[-1,1]]}",
+        "{\"op\":\"mutate\",\"id\":\"g\",\"dataset\":\"cf\",\"add\":[[0.5,1]]}",
+        "{\"op\":\"mutate\",\"id\":\"h\",\"dataset\":\"cf\",\"add\":[[0,99999999999]]}",
+        "{\"op\":\"mutate\",\"id\":\"i\",\"dataset\":\"cf\",\"remove\":[[\"x\",1]]}",
+        "{\"op\":\"mutate\",\"id\":\"j\",\"dataset\":\"cf\",\"add\":[null]}",
+        "{\"op\":\"mutate\",\"id\":\"k\",\"dataset\":\"cf\",\"add\":{\"0\":1}}",
+        "{\"op\":\"mutate\",\"id\":\"l\",\"dataset\":7,\"add\":[[0,1]]}",
+    ];
+    let input = format!("{}\n{{\"op\":\"shutdown\"}}\n", malformed.join("\n"));
+    let ev = serve_lines(&mut d, &input);
+    let rejected = ev.iter().filter(|(e, _, _)| e == "rejected").count();
+    assert_eq!(rejected, malformed.len(), "one typed rejection per bad line:\n{ev:#?}");
+    // The daemon survived the battery: a well-formed mutate still works.
+    let ok = serve_lines(
+        &mut d,
+        "{\"op\":\"mutate\",\"id\":\"ok\",\"dataset\":\"cf\",\"add\":[[0,1]]}\n{\"op\":\"shutdown\"}\n",
+    );
+    assert_eq!(ok[0].0, "mutated", "{}", ok[0].2);
+}
+
+#[test]
+fn new_rejection_codes_are_pinned_end_to_end() {
+    // cf_mini(8, ..) has 2^8 = 256 vertices, so 300 is out of range.
+    let mut d = daemon_with("cf", &mlvc_gen::cf_mini(8, 3).graph);
+    let ev = serve_lines(
+        &mut d,
+        "{\"op\":\"mutate\",\"id\":\"far\",\"dataset\":\"cf\",\"add\":[[0,300]]}\n{\"op\":\"shutdown\"}\n",
+    );
+    let far = mlvc_obs::json::parse(&ev[0].2).unwrap();
+    assert_eq!(ev[0].0, "rejected");
+    assert_eq!(far.get("code").and_then(|c| c.as_str()), Some("mutation-out-of-range"));
+
+    // The size cap would be an 8 MB request line; pin its code through the
+    // same daemon entry point the dispatcher uses.
+    let req = MutationRequest {
+        id: "big".to_string(),
+        dataset: "cf".to_string(),
+        add: vec![(0, 1); MAX_MUTATION_EDGES + 1],
+        remove: Vec::new(),
+    };
+    match d.apply_mutation(&req) {
+        Err(JobError::Rejected(r)) => assert_eq!(r.code(), "mutation-too-large"),
+        other => panic!("expected mutation-too-large, got {other:?}"),
+    }
+}
+
+#[test]
+fn weighted_datasets_refuse_mutations() {
+    let mut b = mlvc_graph::EdgeListBuilder::new(4);
+    b.push_weighted(0, 1, 2.5);
+    b.push_weighted(1, 2, 0.5);
+    let mut d = daemon_with("w", &b.build());
+    let ev = serve_lines(
+        &mut d,
+        "{\"op\":\"mutate\",\"id\":\"wm\",\"dataset\":\"w\",\"add\":[[2,3]]}\n{\"op\":\"shutdown\"}\n",
+    );
+    let r = mlvc_obs::json::parse(&ev[0].2).unwrap();
+    assert_eq!(ev[0].0, "rejected");
+    assert_eq!(r.get("code").and_then(|c| c.as_str()), Some("malformed-request"));
+    let reason = r.get("reason").and_then(|c| c.as_str()).unwrap_or("");
+    assert!(reason.contains("weighted"), "reason explains the refusal: {reason}");
+}
+
+#[test]
+fn empty_batches_and_stats_interleave_cleanly() {
+    let mut d = daemon_with("cf", &mlvc_gen::cf_mini(8, 3).graph);
+    let input = "\
+{\"op\":\"mutate\",\"id\":\"none\",\"dataset\":\"cf\"}\n\
+{\"op\":\"stats\"}\n\
+{\"op\":\"mutate\",\"id\":\"rm\",\"dataset\":\"cf\",\"remove\":[[0,1]]}\n\
+{\"op\":\"shutdown\"}\n";
+    let ev = serve_lines(&mut d, input);
+    assert_eq!(ev[0].0, "mutated", "empty batch is a no-op ack: {}", ev[0].2);
+    let none = mlvc_obs::json::parse(&ev[0].2).unwrap();
+    assert_eq!(none.get("accepted").and_then(|x| x.as_num()), Some(0.0));
+    assert!(ev.iter().any(|(e, _, _)| e == "stats"));
+    let rm = ev.iter().find(|(_, id, _)| id == "rm").unwrap();
+    assert_eq!(rm.0, "mutated");
+}

@@ -5,10 +5,10 @@
 //! (see DESIGN.md "Static analysis & invariants"):
 //!
 //! * `no-truncating-cast` — `as u32/u64/usize/i64` in the on-disk-format
-//!   crates (`ssd`, `log`, `graph`, `recover`, `obs`, `serve`) silently
-//!   truncates or sign-extends a page offset, record count, or vertex id
-//!   once a dataset outgrows the type; use `try_from` or the crate's
-//!   checked helpers.
+//!   crates (`ssd`, `log`, `graph`, `recover`, `obs`, `serve`, `mutate`)
+//!   silently truncates or sign-extends a page offset, record count, or
+//!   vertex id once a dataset outgrows the type; use `try_from` or the
+//!   crate's checked helpers.
 //! * `no-panic-in-lib` — `unwrap()/expect()/panic!` in library code tears
 //!   the multi-log if it fires mid-flush; return an error instead.
 //! * `no-magic-layout-literal` — byte-layout numbers (`16 * 1024` pages,
@@ -88,6 +88,9 @@ pub struct WaiverUse {
 /// tests pin bit-for-bit. `crates/serve` qualifies because its protocol
 /// decoder turns untrusted JSON numbers into byte budgets and its rollup
 /// re-emits per-tenant device counters — the same corrupt-silently risk.
+/// `crates/mutate` qualifies because it owns an on-device page format of
+/// its own (the mutation-log record layout) and rewrites CSR extents
+/// during a merge — a truncating cast there corrupts the stored graph.
 fn in_format_crates(path: &str) -> bool {
     [
         "crates/ssd/src/",
@@ -96,6 +99,7 @@ fn in_format_crates(path: &str) -> bool {
         "crates/recover/src/",
         "crates/obs/src/",
         "crates/serve/src/",
+        "crates/mutate/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))
@@ -614,6 +618,7 @@ mod tests {
     fn cast_rule_only_fires_in_format_crates() {
         let src = "fn f(x: u64) -> usize { x as usize }\n";
         assert_eq!(lint("crates/ssd/src/device.rs", src).len(), 1);
+        assert_eq!(lint("crates/mutate/src/log.rs", src).len(), 1);
         assert_eq!(lint("crates/core/src/engine.rs", src).len(), 0);
     }
 

@@ -1,0 +1,26 @@
+//! Fixture: the mutation crate is format-scoped — it owns the on-device
+//! mutation-log page layout and rewrites CSR extents during a merge, so
+//! `no-truncating-cast` and `no-magic-layout-literal` fire inside
+//! `crates/mutate/src/` just like they do in `ssd`/`log`/`graph`/`serve`.
+
+pub fn records_in_batch(batch_bytes: f64) -> usize {
+    (batch_bytes / 12.0) as usize
+}
+
+pub fn log_pages(pending_bytes: u64) -> u64 {
+    pending_bytes / 16384
+}
+
+pub fn allowed_widening(vertex: u32) -> u64 {
+    // mlvc-lint: allow(no-truncating-cast) -- u32 -> u64 widens, never truncates
+    vertex as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_here_are_exempt() {
+        let records = 4.0_f64 as usize;
+        assert_eq!(records, 4);
+    }
+}

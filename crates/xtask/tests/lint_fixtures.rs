@@ -9,7 +9,7 @@ use std::process::Command;
 use xtask::Diagnostic;
 
 /// (fixture path under tests/fixtures/, scope path the CLI derives).
-const FIXTURES: [(&str, &str); 12] = [
+const FIXTURES: [(&str, &str); 13] = [
     ("crates/ssd/src/bad_cast.rs", "no-truncating-cast"),
     ("crates/core/src/bad_panic.rs", "no-panic-in-lib"),
     ("crates/log/src/bad_layout.rs", "no-magic-layout-literal"),
@@ -22,6 +22,7 @@ const FIXTURES: [(&str, &str); 12] = [
     ("crates/log/src/bad_relaxed.rs", "no-relaxed-ordering-outside-obs"),
     ("src/bin/bad_facade.rs", "no-raw-thread-spawn"),
     ("crates/serve/src/bad_serve.rs", "no-truncating-cast"),
+    ("crates/mutate/src/bad_mutate.rs", "no-truncating-cast"),
 ];
 
 fn fixture_dir() -> PathBuf {
@@ -110,6 +111,16 @@ fn serve_fixture_fires_both_format_rules_and_allow_suppresses() {
     // widening cast at 17 and the test module never fire.
     assert_eq!(lines_of(&d, "no-truncating-cast"), vec![8]);
     assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![12]);
+    assert_eq!(d.len(), 2, "{d:?}");
+}
+
+#[test]
+fn mutate_fixture_fires_both_format_rules_and_allow_suppresses() {
+    let d = lint_fixture("crates/mutate/src/bad_mutate.rs");
+    // Truncating cast at 7, page-size literal at 11; allow-suppressed
+    // widening cast at 16 and the test module never fire.
+    assert_eq!(lines_of(&d, "no-truncating-cast"), vec![7]);
+    assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![11]);
     assert_eq!(d.len(), 2, "{d:?}");
 }
 

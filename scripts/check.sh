@@ -32,3 +32,10 @@ echo "== serving smoke (DESIGN.md §15) =="
 # shared device must produce bit-identical results to standalone runs,
 # with exact per-tenant cache accounting and a pinned read reduction.
 cargo test -q --test serve_smoke
+
+echo "== mutation smoke (DESIGN.md §17) =="
+# Streaming-mutation contract: the bench_mutate batch-size sweep must run
+# at mini scale and emit schema-valid JSON, and the equivalence battery
+# pins incremental re-convergence bit-identical to a cold recompute.
+cargo test -q -p mlvc-bench --test schema_smoke bench_mutate_json_matches_schema
+cargo test -q --test mutation_equivalence

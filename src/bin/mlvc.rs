@@ -33,6 +33,7 @@ use multilogvc::io::{
     read_csr_binary, read_edge_list, write_csr_binary, write_edge_list, EdgeListOptions,
 };
 use multilogvc::graph::StoredGraph;
+use multilogvc::mutate::{EdgeMutation, MutationConfig, MutationLog};
 use multilogvc::serve::{Daemon, ServeConfig};
 use multilogvc::ssd::{DeviceError, FaultPlan, Ssd, SsdConfig};
 
@@ -66,6 +67,9 @@ usage:
   mlvc serve --graphs <name=file[,name=file...]> [--memory-kb K]
            [--cache-kb K] [--workers N] [--requests FILE]
            [--metrics FILE] [--ssd-dir DIR]
+  mlvc ingest --graph <file> --batch <file> [--out FILE]
+           [--app <bfs|pagerank|wcc|...>] [--steps N] [--memory-kb K]
+           [--source V] [--seed S] [--ssd-dir DIR]
 
 graph files ending in .csr are binary snapshots; all others are
 SNAP-style edge-list text (auto-detected on read).
@@ -80,6 +84,14 @@ mlvc-engine run from its last durable checkpoint.
 (DESIGN.md §13): the per-superstep trace is written to FILE as JSON
 lines and a Prometheus text snapshot of the run counters to FILE.prom;
 the run summary then also reports read/write amplification.
+
+`ingest` applies an edge-mutation batch to a stored graph through the
+on-device mutation log (DESIGN.md §17). The batch file is text, one
+mutation per line: `add <src> <dst>` or `remove <src> <dst>` (blank
+lines and `#` comments ignored). With --app the base graph is computed
+first, then the batch is merged and the app *incrementally
+re-converges* from its previous states; without it the batch is merged
+directly. --out writes the mutated graph back out as a snapshot.
 
 `serve` starts the multi-tenant daemon (DESIGN.md §15): datasets from
 --graphs are stored once on one shared device, then jobs arrive as one
@@ -147,6 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&rest, false),
         "resume" => cmd_run(&rest, true),
         "serve" => cmd_serve(&rest),
+        "ingest" => cmd_ingest(&rest),
         other => Err(format!("unknown command: {other}")),
     }
 }
@@ -462,6 +475,121 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a text mutation batch: one `add <src> <dst>` or
+/// `remove <src> <dst>` per line, blank lines and `#` comments ignored.
+fn load_batch(path: &str) -> Result<Vec<EdgeMutation>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |what: &str| format!("{path}:{}: {what}: {raw:?}", i + 1);
+        let mut it = line.split_whitespace();
+        let op = it.next().ok_or_else(|| bad("missing op"))?;
+        let src: u32 =
+            it.next().ok_or_else(|| bad("missing src"))?.parse().map_err(|_| bad("bad src"))?;
+        let dst: u32 =
+            it.next().ok_or_else(|| bad("missing dst"))?.parse().map_err(|_| bad("bad dst"))?;
+        if it.next().is_some() {
+            return Err(bad("trailing tokens"));
+        }
+        out.push(match op {
+            "add" => EdgeMutation::add(src, dst),
+            "remove" | "rm" => EdgeMutation::remove(src, dst),
+            _ => return Err(bad("op must be add or remove")),
+        });
+    }
+    Ok(out)
+}
+
+/// `mlvc ingest`: apply an edge-mutation batch to a stored graph through
+/// the on-device mutation log (DESIGN.md §17). With `--app` the base
+/// graph is solved first and the app incrementally re-converges after
+/// the merge; without it the batch is merged directly.
+fn cmd_ingest(a: &Args) -> Result<(), String> {
+    let path = a.get("graph").ok_or("ingest needs --graph")?;
+    let batch_path = a.get("batch").ok_or("ingest needs --batch")?;
+    let steps: usize = a.get_parsed("steps", 50)?;
+    let memory_kb: usize = a.get_parsed("memory-kb", 2048)?;
+    let seed: u64 = a.get_parsed("seed", 42)?;
+    let source: u32 = a.get_parsed("source", 0u32)?;
+
+    let g = load_graph(path)?;
+    if g.has_weights() {
+        return Err("ingest supports only unweighted graphs".into());
+    }
+    let batch = load_batch(batch_path)?;
+    if let Some(&m) = batch.iter().find(|m| {
+        m.src as usize >= g.num_vertices() || m.dst as usize >= g.num_vertices()
+    }) {
+        return Err(format!(
+            "batch vertex out of range: ({}, {}) on {} vertices",
+            m.src,
+            m.dst,
+            g.num_vertices()
+        ));
+    }
+
+    let cfg = EngineConfig::default().with_memory(memory_kb << 10).with_seed(seed);
+    let iv = VertexIntervals::for_graph(&g, 16, cfg.sort_budget());
+    let ssd = make_ssd(a)?;
+    let sg = StoredGraph::store_with(&ssd, &g, "cli", iv.clone()).map_err(dev)?;
+    let mut mlog = MutationLog::new(Arc::clone(&ssd), iv, MutationConfig::default(), "cli")
+        .map_err(|e| format!("mutation log: {e}"))?;
+    println!(
+        "ingesting {} mutations from {batch_path} into {path} ({} vertices, {} edges)",
+        batch.len(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let ing = mlog.ingest(&batch).map_err(|e| format!("ingest: {e}"))?;
+    println!("accepted {} ({} deduped in-batch)", ing.accepted, ing.deduped);
+
+    let outcome = match a.get("app") {
+        None => mlog.merge(&sg, cfg.queue_depth).map_err(|e| format!("merge: {e}"))?,
+        Some(app_name) => {
+            // Solve the base graph, then merge the pending batch and
+            // incrementally re-converge from the previous states.
+            let app = make_app(app_name, &g, source)?;
+            let mut eng =
+                MultiLogEngine::new(Arc::clone(&ssd), sg.with_device(Arc::clone(&ssd)), cfg.clone());
+            let base = eng.run(app.as_ref(), steps);
+            println!(
+                "base run: {} supersteps, converged {}",
+                base.supersteps.len(),
+                base.converged
+            );
+            eng.attach_mutations(Arc::new(multilogvc::ssd::sync::Mutex::new(mlog)))
+                .map_err(dev)?;
+            let inc = eng.reconverge(app.as_ref(), steps);
+            let stats = inc.mutations.unwrap_or_default();
+            println!(
+                "re-converged in {} supersteps (cold run above took {})",
+                inc.supersteps.len(),
+                base.supersteps.len()
+            );
+            print_states_summary(app_name, eng.states());
+            multilogvc::mutate::MergeOutcome { delta: Default::default(), stats }
+        }
+    };
+    println!(
+        "merge: +{} -{} edges, {} intervals rewritten, {} dirty vertices",
+        outcome.stats.edges_added,
+        outcome.stats.edges_removed,
+        outcome.stats.intervals_merged,
+        outcome.stats.dirty_vertices
+    );
+
+    if let Some(out) = a.get("out") {
+        let mutated = sg.to_csr().map_err(dev)?;
+        save_graph(out, &mutated)?;
+        println!("wrote {out}: {} vertices, {} stored edges", mutated.num_vertices(), mutated.num_edges());
+    }
+    Ok(())
+}
+
 fn print_states_summary(app: &str, states: &[u64]) {
     match app {
         "bfs" => {
@@ -699,6 +827,61 @@ mod tests {
         // Bad --graphs spec and missing --graphs both error cleanly.
         assert!(run(&strs(&["serve", "--graphs", "nonsense"])).is_err());
         assert!(run(&strs(&["serve", "--requests", reqs_s])).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ingest_applies_a_batch_and_reconverges() {
+        let dir = std::env::temp_dir().join(format!("mlvc-cli-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csr = dir.join("g.csr");
+        let csr_s = csr.to_str().unwrap();
+        let out = dir.join("mutated.csr");
+        let out_s = out.to_str().unwrap();
+        let batch = dir.join("batch.txt");
+        let batch_s = batch.to_str().unwrap();
+
+        run(&strs(&["gen", "--kind", "rmat-social", "--scale", "7", "--out", csr_s])).unwrap();
+        let before = load_graph(csr_s).unwrap();
+        std::fs::write(
+            &batch,
+            "# connect 1 -> 2 both ways, drop an existing edge\n\
+             add 1 2\nadd 2 1\nadd 1 2\n\nremove 0 1\n",
+        )
+        .unwrap();
+
+        // Direct merge (no app) writes the mutated snapshot.
+        run(&strs(&[
+            "ingest", "--graph", csr_s, "--batch", batch_s, "--out", out_s,
+        ]))
+        .unwrap();
+        let got = load_graph(out_s).unwrap();
+        let (expect, delta) = multilogvc::mutate::apply_to_csr(
+            &before,
+            &[
+                EdgeMutation::add(1, 2),
+                EdgeMutation::add(2, 1),
+                EdgeMutation::remove(0, 1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(got, expect, "on-device merge matches the in-memory golden path");
+        assert!(!delta.is_empty() || before == expect);
+
+        // Incremental re-convergence path.
+        run(&strs(&[
+            "ingest", "--graph", csr_s, "--batch", batch_s, "--app", "wcc", "--steps", "50",
+        ]))
+        .unwrap();
+
+        // Malformed batches error with the offending line.
+        std::fs::write(&batch, "add 1\n").unwrap();
+        assert!(run(&strs(&["ingest", "--graph", csr_s, "--batch", batch_s])).is_err());
+        std::fs::write(&batch, "frob 1 2\n").unwrap();
+        assert!(run(&strs(&["ingest", "--graph", csr_s, "--batch", batch_s])).is_err());
+        std::fs::write(&batch, "add 1 999999\n").unwrap();
+        assert!(run(&strs(&["ingest", "--graph", csr_s, "--batch", batch_s])).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

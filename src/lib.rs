@@ -28,6 +28,7 @@ pub use mlvc_graph as graph;
 pub use mlvc_io as io;
 pub use mlvc_graphchi as graphchi;
 pub use mlvc_log as log;
+pub use mlvc_mutate as mutate;
 pub use mlvc_obs as obs;
 pub use mlvc_par as par;
 pub use mlvc_recover as recover;
@@ -42,5 +43,6 @@ pub mod prelude {
     pub use mlvc_grafboost::GrafBoostEngine;
     pub use mlvc_graph::{Csr, StoredGraph, VertexId};
     pub use mlvc_graphchi::GraphChiEngine;
+    pub use mlvc_mutate::{EdgeMutation, MutationConfig, MutationLog, MutationOp};
     pub use mlvc_ssd::{Ssd, SsdConfig};
 }

@@ -409,9 +409,10 @@ fn states_and_traces_invariant_across_queue_depth_and_inflight() {
         ("pagerank", 15, Box::new(|| Box::new(PageRank::new(0.85, 1e-9)))),
         ("coloring", 200, Box::new(|| Box::new(Coloring::new()))),
     ];
+    // (queue depth, K) -> (states, trace), from the first thread count.
+    type Baseline = ((usize, usize), Vec<u64>, Vec<TraceRecord>);
     for (name, steps, make) in apps {
-        // (queue depth, K) -> (states, trace), from the first thread count.
-        let mut base: Vec<((usize, usize), Vec<u64>, Vec<TraceRecord>)> = Vec::new();
+        let mut base: Vec<Baseline> = Vec::new();
         for threads in [1usize, 2, 8] {
             mlvc_par::set_thread_override(Some(threads));
             for qd in [1usize, 4, 16] {
@@ -442,6 +443,61 @@ fn states_and_traces_invariant_across_queue_depth_and_inflight() {
                 &trace_modulo_sim_time(tr),
                 &ctx,
             );
+        }
+    }
+}
+
+/// Mutations leg of the agreement cross-product: after an edge batch,
+/// all three engines still agree on the *mutated* graph, and MultiLogVC's
+/// incremental path (merge + re-converge) lands on those same states —
+/// so a mutated-and-re-converged deployment is indistinguishable from
+/// rebuilding and recomputing everywhere.
+#[test]
+fn mutated_graphs_agree_across_engines_and_paths() {
+    use multilogvc::mutate::{apply_to_csr, EdgeMutation, MutationConfig, MutationLog};
+    for (name, g) in graphs() {
+        let n = g.num_vertices() as u32;
+        let mut muts: Vec<EdgeMutation> = (0..20u32)
+            .map(|i| {
+                let (s, d) = (i.wrapping_mul(131) % n, i.wrapping_mul(251 + i) % n);
+                if i % 4 == 0 { EdgeMutation::remove(s, d) } else { EdgeMutation::add(s, d) }
+            })
+            .collect();
+        // One guaranteed-effective removal: the first stored edge.
+        if !g.col_idx().is_empty() {
+            let v = g.row_ptr().iter().position(|&p| p > 0).unwrap_or(1) as u32 - 1;
+            muts.push(EdgeMutation::remove(v, g.col_idx()[0]));
+        }
+        let (mutated, _delta) = apply_to_csr(&g, &muts).unwrap();
+
+        let bfs = Bfs::new(1);
+        for (app, steps) in [(&Wcc as &dyn VertexProgram, 80), (&bfs as &dyn VertexProgram, 60)] {
+            let (m, c, f) = run_three(&mutated, app, steps);
+            assert_eq!(m, c, "{name}/{}: MultiLogVC vs GraphChi on mutated", app.name());
+            assert_eq!(m, f, "{name}/{}: MultiLogVC vs GraFBoost on mutated", app.name());
+
+            let iv = VertexIntervals::uniform(g.num_vertices(), 5);
+            let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+            let sg = Arc::new(StoredGraph::store_with(&ssd, &g, "inc", iv.clone()).unwrap());
+            let mut eng = MultiLogEngine::with_shared_graph(
+                Arc::clone(&ssd),
+                Arc::clone(&sg),
+                EngineConfig::default().with_memory(512 << 10),
+            );
+            eng.run(app, steps);
+            let mut mlog =
+                MutationLog::new(Arc::clone(&ssd), iv, MutationConfig::default(), "inc").unwrap();
+            mlog.ingest(&muts).unwrap();
+            eng.attach_mutations(Arc::new(multilogvc::ssd::sync::Mutex::new(mlog))).unwrap();
+            let inc = eng.reconverge(app, steps);
+            assert!(inc.interrupted.is_none(), "{name}/{}", app.name());
+            assert_eq!(
+                eng.states(),
+                m.as_slice(),
+                "{name}/{}: incremental vs cold-everywhere",
+                app.name()
+            );
+            assert_eq!(sg.to_csr().unwrap(), mutated, "{name}/{}", app.name());
         }
     }
 }

@@ -13,9 +13,10 @@
 use std::sync::Arc;
 
 use mlvc_gen::rng::SeededRng;
-use multilogvc::apps::{Bfs, PageRank};
+use multilogvc::apps::{Bfs, PageRank, Wcc};
 use multilogvc::core::{Engine, EngineConfig, MultiLogEngine, VertexProgram};
 use multilogvc::graph::{StoredGraph, VertexIntervals};
+use multilogvc::mutate::{EdgeMutation, MutationConfig, MutationLog};
 use multilogvc::par;
 use multilogvc::prelude::RmatParams;
 use multilogvc::ssd::{Ssd, SsdConfig};
@@ -39,6 +40,47 @@ fn run_engine(prog: &dyn VertexProgram, inflight: usize) -> (Vec<u64>, StepCount
     let steps = r
         .supersteps
         .iter()
+        .map(|s| (s.messages_processed, s.messages_sent, s.active_vertices))
+        .collect();
+    (eng.states().to_vec(), steps)
+}
+
+/// The same engine workload with live mutations on: base run, then an
+/// edge batch is ingested, merged at the re-convergence boundary, and
+/// incrementally re-converged — the mutation log's lock discipline, the
+/// merge's queued I/O, and the reseeded scatter all run under the
+/// detector. Fingerprints the final states plus both reports' counts.
+fn run_engine_mutated(prog: &dyn VertexProgram, inflight: usize) -> (Vec<u64>, StepCounts) {
+    let g = mlvc_gen::rmat(RmatParams::social(9, 8), 0xD7);
+    let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+    let iv = VertexIntervals::uniform(g.num_vertices(), 16);
+    let sg = StoredGraph::store_with(&ssd, &g, "perm", iv).unwrap();
+    let cfg = EngineConfig::default().with_memory(64 << 10).with_inflight_batches(inflight);
+    let mut eng = MultiLogEngine::new(Arc::clone(&ssd), sg, cfg);
+    let base = eng.run(prog, 20);
+    assert!(base.interrupted.is_none());
+    let mut mlog = MutationLog::new(
+        Arc::clone(&ssd),
+        VertexIntervals::uniform(g.num_vertices(), 16),
+        MutationConfig::default(),
+        "perm",
+    )
+    .unwrap();
+    let n = g.num_vertices() as u32;
+    let muts: Vec<EdgeMutation> = (0..24u32)
+        .map(|i| {
+            let (s, d) = (i.wrapping_mul(97) % n, i.wrapping_mul(193 + i) % n);
+            if i % 3 == 0 { EdgeMutation::remove(s, d) } else { EdgeMutation::add(s, d) }
+        })
+        .collect();
+    mlog.ingest(&muts).unwrap();
+    eng.attach_mutations(Arc::new(multilogvc::ssd::sync::Mutex::new(mlog))).unwrap();
+    let inc = eng.reconverge(prog, 20);
+    assert!(inc.interrupted.is_none());
+    let steps = base
+        .supersteps
+        .iter()
+        .chain(inc.supersteps.iter())
         .map(|s| (s.messages_processed, s.messages_sent, s.active_vertices))
         .collect();
     (eng.states().to_vec(), steps)
@@ -75,6 +117,15 @@ fn permuted_schedules_are_bit_identical_and_race_clean() {
         "PageRank diverged across in-flight K"
     );
     let base_prim = run_primitives();
+    // Mutations-on leg of the cross-product: WCC takes the incremental
+    // Seed path, PageRank the full-restart path.
+    let base_wcc_mut = run_engine_mutated(&Wcc, 4);
+    let base_pr_mut = run_engine_mutated(&PageRank::new(0.85, 1e-4), 4);
+    assert_eq!(
+        base_wcc_mut,
+        run_engine_mutated(&Wcc, 1),
+        "mutated WCC diverged across in-flight K"
+    );
 
     // Seeds come from the repo's deterministic RNG, same as every
     // generator fixture: the harness replays identically on every run.
@@ -98,6 +149,16 @@ fn permuted_schedules_are_bit_identical_and_race_clean() {
             base_prim,
             run_primitives(),
             "round {round}: a par primitive diverged under schedule seed {seed:#x}"
+        );
+        assert_eq!(
+            base_wcc_mut,
+            run_engine_mutated(&Wcc, 4),
+            "round {round}: mutated WCC diverged under schedule seed {seed:#x}"
+        );
+        assert_eq!(
+            base_pr_mut,
+            run_engine_mutated(&PageRank::new(0.85, 1e-4), 4),
+            "round {round}: mutated PageRank diverged under schedule seed {seed:#x}"
         );
     }
     par::set_schedule_seed(None);
