@@ -1,0 +1,20 @@
+//! Benchmark of adaptive memory tiering (DESIGN.md §18): PageRank and
+//! WCC with a fixed extra-DRAM budget split between a page cache (CLOCK
+//! vs scan-resistant 2Q) and pinned hot-interval CSR extents. Writes
+//! `BENCH_cache.json` into the working directory and prints the Markdown
+//! section. Scaling knobs: `MLVC_SCALE`, `MLVC_MEM_KB`, `MLVC_STEPS`,
+//! `MLVC_SEED`, `MLVC_THREADS`, plus `MLVC_CACHE_KB` (total tiering
+//! budget, default 8192).
+fn main() {
+    let s = mlvc_bench::Settings::from_env();
+    println!(
+        "Settings: scale {} (CF), {} KiB memory, {} KiB tiering budget, {} supersteps, seed {}.",
+        s.scale,
+        s.memory_bytes >> 10,
+        mlvc_bench::cache_bench::budget_from_env() >> 10,
+        s.supersteps,
+        s.seed
+    );
+    println!();
+    println!("{}", mlvc_bench::cache_bench::section(&s));
+}

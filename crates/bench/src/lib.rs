@@ -16,6 +16,7 @@
 //! * `MLVC_STEPS` — superstep cap (default 15, the paper's cap);
 //! * `MLVC_SEED` — RNG seed (default 42).
 
+pub mod cache_bench;
 pub mod engine_bench;
 pub mod figures;
 pub mod harness;

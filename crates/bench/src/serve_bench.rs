@@ -105,6 +105,7 @@ pub fn run(s: &Settings) -> ServeBenchReport {
             memory_budget: s.memory_bytes.saturating_mul(tenants.max(1)),
             cache_pages: 1024,
             workers: tenants.clamp(1, 8),
+            ..ServeConfig::default()
         });
         for d in &datasets {
             daemon.add_dataset(d.name, &d.graph).expect("add dataset");

@@ -167,6 +167,83 @@ fn metrics_snapshot_and_trace_jsonl_match_schema() {
     }
 }
 
+/// Run the `bench_cache` binary at its default scale in a scratch
+/// directory and schema-validate the `BENCH_cache.json` it writes —
+/// including the perf-regression floor the tiering CI gate relies on:
+/// every workload's best split must cut device reads by at least 25%
+/// against the no-pin CLOCK baseline (DESIGN.md §18). The bench runs
+/// with pipeline prefetch off, so these numbers are bit-reproducible
+/// and the floor cannot flake.
+#[test]
+fn bench_cache_json_matches_schema_and_reduction_floor() {
+    let dir = std::env::temp_dir().join(format!("mlvc-cache-schema-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_cache"))
+        .current_dir(&dir)
+        .output()
+        .expect("run bench_cache");
+    assert!(
+        out.status.success(),
+        "bench_cache failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("BENCH_cache.json")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let doc = parse(&text).expect("BENCH_cache.json parses");
+    assert_eq!(string(&doc, "bench"), "cache_tiering");
+    assert!(num(&doc, "scale") >= 1.0);
+    assert!(num(&doc, "memory_kb") > 0.0);
+    assert!(num(&doc, "budget_kb") > 0.0);
+    assert!(num(&doc, "supersteps_cap") >= 1.0);
+    assert!(num(&doc, "seed") >= 0.0);
+    assert!(num(&doc, "threads") >= 1.0);
+
+    let workloads = doc.get("workloads").and_then(Json::as_arr).expect("workloads array");
+    assert_eq!(workloads.len(), 2, "pagerank + wcc");
+    for (w, app) in workloads.iter().zip(["pagerank", "wcc"]) {
+        assert_eq!(string(w, "app"), app);
+        assert!(!string(w, "dataset").is_empty());
+        assert!(num(w, "uncached_pages_read") > 0.0);
+        assert!(num(w, "baseline_pages_read") > 0.0);
+        // The perf-regression gate: a tiering split must beat the no-pin
+        // CLOCK baseline by >= 25% device reads at the same DRAM budget.
+        let best = num(w, "best_read_reduction");
+        assert!(best >= 0.25, "{app}: best_read_reduction {best} below the 0.25 floor");
+
+        let rows = w.get("rows").and_then(Json::as_arr).expect("rows array");
+        assert_eq!(rows.len(), 5, "clock, clock+pin, 2q, 2q+pin, 2q+maxpin");
+        let budget_kb = num(&doc, "budget_kb");
+        let mut max_row_reduction = 0.0f64;
+        for (row, policy) in rows.iter().zip(["clock", "clock+pin", "2q", "2q+pin", "2q+maxpin"]) {
+            assert_eq!(string(row, "policy"), policy);
+            // Every split spends exactly the fixed budget.
+            assert_eq!(
+                num(row, "cache_kb") + num(row, "pin_kb"),
+                budget_kb,
+                "{app}/{policy}: cache + pin must equal the budget"
+            );
+            assert!(num(row, "pages_read") > 0.0);
+            assert!(num(row, "cache_hits") >= 0.0);
+            assert!(num(row, "cache_misses") >= 0.0);
+            assert!(num(row, "cache_evictions") >= 0.0);
+            assert!(num(row, "pinned_pages") >= 0.0);
+            let r = num(row, "read_reduction");
+            assert!(r < 1.0, "{app}/{policy}: cannot remove every read");
+            max_row_reduction = max_row_reduction.max(r);
+            if policy == "clock" {
+                assert_eq!(r, 0.0, "baseline row reduces against itself");
+                assert_eq!(num(row, "pin_kb"), 0.0, "baseline row has no pins");
+                assert_eq!(num(row, "pages_read"), num(w, "baseline_pages_read"));
+            }
+            if policy.ends_with("pin") {
+                assert!(num(row, "pinned_pages") > 0.0, "{app}/{policy}: pins must land");
+            }
+        }
+        assert_eq!(max_row_reduction, best, "best_read_reduction is the row max");
+    }
+}
+
 /// Run the `bench_serve` binary at a tiny scale in a scratch directory
 /// and schema-validate the `BENCH_serve.json` it writes — the tenant
 /// sweep the serving CI artifact relies on.

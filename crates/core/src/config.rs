@@ -1,3 +1,35 @@
+use mlvc_ssd::CachePolicy;
+
+/// Adaptive memory-tiering configuration (DESIGN.md §18): a device-level
+/// page cache plus a GraphMP-style pinned tier for topology-hot interval
+/// extents. Disabled by default (both budgets zero) — the engine then
+/// touches no cache at all and the historical I/O accounting is
+/// unchanged. The two budgets are *additional* DRAM on top of
+/// [`EngineConfig::memory_bytes`]: the tiering question is what to do
+/// with spare memory beyond the paper's working-set budget.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TieringConfig {
+    /// Byte budget of the shared page cache attached to the device
+    /// (0 = no cache).
+    pub cache_bytes: usize,
+    /// Byte budget for pinning the hottest interval topology extents
+    /// (0 = no pinning; requires `cache_bytes > 0` to take effect).
+    pub pin_budget_bytes: usize,
+    /// Replacement policy of the cache's frame pool.
+    pub policy: CachePolicy,
+}
+
+impl TieringConfig {
+    /// Whether the engine should attach a cache at all.
+    pub fn enabled(&self) -> bool {
+        self.cache_bytes > 0
+    }
+
+    /// Frame count for the configured cache budget (at least one frame).
+    pub fn cache_pages(&self, page_size: usize) -> usize {
+        (self.cache_bytes / page_size.max(1)).max(1)
+    }
+}
 
 /// Simulated compute-time model. Storage access dominates in every
 /// experiment of the paper (75–95% of execution time, Fig. 5c); these
@@ -88,6 +120,9 @@ pub struct EngineConfig {
     /// daemon gives each concurrent job a unique tag so runs sharing one
     /// device never collide.
     pub tag: String,
+    /// Adaptive memory tiering (DESIGN.md §18): page cache + hot-interval
+    /// pinning. Disabled by default.
+    pub tiering: TieringConfig,
     pub cost: CostModel,
 }
 
@@ -109,6 +144,7 @@ impl Default for EngineConfig {
             obs: false,
             seed: 0xC0FFEE,
             tag: "mlvc".to_string(),
+            tiering: TieringConfig::default(),
             cost: CostModel::default(),
         }
     }
@@ -175,6 +211,12 @@ impl EngineConfig {
     /// Tag this run's on-device artifacts and its `RunReport::job_id`.
     pub fn with_tag(mut self, tag: &str) -> Self {
         self.tag = tag.to_string();
+        self
+    }
+
+    /// Configure adaptive memory tiering (DESIGN.md §18).
+    pub fn with_tiering(mut self, tiering: TieringConfig) -> Self {
+        self.tiering = tiering;
         self
     }
 

@@ -11,7 +11,10 @@ use mlvc_log::{EdgeLogStats, MultiLogStats};
 use mlvc_mutate::MutationLog;
 use mlvc_obs::{Registry, TraceRecord, TraceRing};
 use mlvc_recover::{CheckpointManager, CheckpointState};
-use mlvc_ssd::{DeviceError, FtlConfig, FtlStats, IoQueue, Ssd, SsdStatsSnapshot};
+use mlvc_ssd::{
+    CacheSnapshot, DeviceError, FileId, FtlConfig, FtlStats, IoQueue, PageCache, Ssd,
+    SsdStatsSnapshot,
+};
 
 use crate::{
     Engine, EngineConfig, InitActive, Reconverge, RunReport, SuperstepStats, VertexCtx,
@@ -36,6 +39,11 @@ struct ObsState {
     ftl_base: FtlStats,
     /// FTL stats at run start, for whole-run amplification gauges.
     ftl_run_base: FtlStats,
+    /// Page-cache snapshot at run start (defaults when no cache is
+    /// attached), for the whole-run `mlvc_cache_*` registry counters.
+    cache_run_base: CacheSnapshot,
+    /// Per-superstep cache baseline, updated like `ml_base`.
+    cache_base: CacheSnapshot,
 }
 
 /// The MultiLogVC engine — Algorithm 1 of the paper.
@@ -357,6 +365,16 @@ impl MultiLogEngine {
         report.app = prog.name().to_string();
         report.job_id = self.cfg.tag.clone();
 
+        // Adaptive memory tiering (DESIGN.md §18): attach the configured
+        // page cache before any I/O so the whole run reads through it. A
+        // cache already attached (the serving daemon's) always wins — the
+        // engine never replaces or resizes an existing cache.
+        if self.cfg.tiering.enabled() && self.ssd.cache().is_none() {
+            let pages = self.cfg.tiering.cache_pages(self.ssd.page_size());
+            self.ssd
+                .attach_cache(Arc::new(PageCache::with_policy(pages, self.cfg.tiering.policy)));
+        }
+
         // Observability (DESIGN.md §13): attach the live FTL before any
         // page write so flash amplification covers the whole run. Bases
         // are captured here — device stats may already be nonzero (graph
@@ -364,6 +382,7 @@ impl MultiLogEngine {
         let mut obs: Option<ObsState> = if self.cfg.obs {
             self.ssd.enable_ftl(FtlConfig::default());
             let ftl0 = self.ssd.ftl_stats().unwrap_or_default();
+            let cache0 = self.ssd.cache().map(|c| c.snapshot()).unwrap_or_default();
             Some(ObsState {
                 ring: TraceRing::new(TRACE_RING_CAP),
                 run_base: self.ssd.stats().snapshot(),
@@ -371,6 +390,8 @@ impl MultiLogEngine {
                 el_base: EdgeLogStats::default(),
                 ftl_base: ftl0,
                 ftl_run_base: ftl0,
+                cache_run_base: cache0.clone(),
+                cache_base: cache0,
             })
         } else {
             None
@@ -388,6 +409,33 @@ impl MultiLogEngine {
             },
             &self.cfg.tag,
         )?;
+        // Adaptive memory tiering (DESIGN.md §18), drive-entry reset: drop
+        // any pins an abandoned drive left behind so cache state and
+        // bookkeeping start in lockstep, then arm append retention with
+        // half the pin budget across both log sides — nothing is pinned
+        // yet, so the seed messages and the first superstep's log tail can
+        // be retained without overdrawing the ledger. Every superstep
+        // boundary below re-arms against what the topology ranking leaves
+        // unspent.
+        if self.cfg.tiering.pin_budget_bytes > 0 {
+            if let Some(c) = self.ssd.cache() {
+                for i in 0..intervals.num_intervals() {
+                    c.unpin_file(self.graph.rowptr_file(i as IntervalId));
+                    c.unpin_file(self.graph.colidx_file(i as IntervalId));
+                }
+                for f in multilog.all_log_files() {
+                    c.unpin_file(f);
+                }
+                self.ssd.arm_append_retention(
+                    &multilog.all_log_files(),
+                    self.cfg.tiering.pin_budget_bytes as u64 / 2,
+                );
+            } else {
+                self.ssd.disarm_append_retention();
+            }
+        } else {
+            self.ssd.disarm_append_retention();
+        }
         let mut sortgroup = SortGroup::new(self.cfg.sort_budget());
         // The reference mode measures the comparison sort the pre-pipeline
         // engine ran (both sorts are stable by dest, so results match).
@@ -468,8 +516,15 @@ impl MultiLogEngine {
             let io = self.ssd.stats().snapshot().since(&ob.run_base);
             let ml = multilog.stats();
             let ftl = self.ssd.ftl_stats().unwrap_or_default();
+            let cs = self.ssd.cache().map(|c| c.snapshot()).unwrap_or_default();
+            let (ct, cb) = (cs.tenant(self.ssd.tenant()), ob.cache_base.tenant(self.ssd.tenant()));
             ob.ring.push(TraceRecord {
                 superstep: 0,
+                cache_hits: ct.hits - cb.hits,
+                cache_misses: ct.misses - cb.misses,
+                cache_evictions: cs.evictions - ob.cache_base.evictions,
+                pinned_pages: cs.pinned_pages as u64,
+                pinned_hits: cs.pinned_hits - ob.cache_base.pinned_hits,
                 messages_sent: pending.iter().sum(),
                 pages_read: io.pages_read,
                 pages_written: io.pages_written,
@@ -488,6 +543,7 @@ impl MultiLogEngine {
             });
             ob.ml_base = ml;
             ob.ftl_base = ftl;
+            ob.cache_base = cs;
         }
 
         // Hoisted out of the hot loops: per-interval column-index file ids,
@@ -502,6 +558,29 @@ impl MultiLogEngine {
         let states_audit = &self.states_audit;
         let cfg = &self.cfg;
         let graph = &self.graph;
+
+        // Hot-interval pinning state (DESIGN.md §18): per-interval topology
+        // heat accumulated from the loader's page-usage reports, re-ranked
+        // at every superstep boundary into a pinned set under the byte
+        // budget. Any pins left by an abandoned drive (mutation restart)
+        // are cleared here so bookkeeping and cache state start in
+        // lockstep — every drive ranks from scratch.
+        let cache = self.ssd.cache();
+        let pinning = cache.is_some() && cfg.tiering.pin_budget_bytes > 0;
+        let mut heat: Vec<u64> = vec![0; num_iv];
+        let mut pinned_ivs: Vec<bool> = vec![false; num_iv];
+        let colidx_iv: std::collections::HashMap<FileId, usize> =
+            colidx_files.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        // Bytes of pin budget handed to log-tail retention by the last
+        // arming (the drive-entry arm above, then each retier below); the
+        // difference against the device's unspent counter is the retained
+        // tail still pinned, which the next topology ranking must leave
+        // room for.
+        let mut log_armed: u64 = if pinning {
+            cfg.tiering.pin_budget_bytes as u64 / 2
+        } else {
+            0
+        };
 
         for superstep in start..=max_supersteps {
             if !all_active && pending.iter().all(|&c| c == 0) && self_active.is_empty() {
@@ -902,6 +981,17 @@ impl MultiLogEngine {
                         && u.utilization() < edgelog.config().inefficiency_threshold
                 })
                 .count() as u64;
+            // Topology heat: one unit per column-index page the loader
+            // actually touched, attributed to the page's interval. Pure
+            // plan-order data, so the ranking — and with it the pinned
+            // set — is identical for any thread count.
+            if pinning {
+                for u in &usage {
+                    if let Some(&iv) = colidx_iv.get(&u.file) {
+                        heat[iv] += 1;
+                    }
+                }
+            }
             edgelog.end_superstep(&active_bits, &usage)?;
 
             // Mutation merge (DESIGN.md §17): any edge batch pending on the
@@ -935,6 +1025,18 @@ impl MultiLogEngine {
                     // The edge log caches pre-merge adjacency; drop every
                     // vertex whose out-edges just changed.
                     edgelog.invalidate(&outcome.delta.dirty);
+                    // The merge rewrote the dirty intervals' CSR files —
+                    // the device already dropped their pinned copies, so
+                    // unmark them here and let the retier below re-pin
+                    // whatever still ranks into the budget.
+                    if pinning {
+                        for &v in &outcome.delta.dirty {
+                            let iv = intervals.interval_of(v) as usize;
+                            if let Some(p) = pinned_ivs.get_mut(iv) {
+                                *p = false;
+                            }
+                        }
+                    }
                     match prog.reconverge(states, &outcome.delta) {
                         Reconverge::Restart => merge_restart = true,
                         Reconverge::Seed(seeds) => {
@@ -948,7 +1050,54 @@ impl MultiLogEngine {
 
             pending = multilog.finish_superstep()?;
             st.messages_sent = pending.iter().sum();
+            // Structural merges rewrite their intervals' CSR files too —
+            // snapshot which intervals will cross the threshold and unmark
+            // their pins before the rewrite drops them.
+            if pinning {
+                for (i, p) in pinned_ivs.iter_mut().enumerate() {
+                    if structural.pending_for(i as IntervalId).len()
+                        >= cfg.structural_merge_threshold
+                    {
+                        *p = false;
+                    }
+                }
+            }
             structural.merge_over_threshold(&self.graph)?;
+
+            // Re-rank the pinned set against the accumulated heat. Skipped
+            // on a restart superstep — the next drive clears and re-ranks
+            // from scratch anyway, so pin fills here would be wasted I/O.
+            if pinning && !merge_restart {
+                if let Some(c) = cache.as_deref() {
+                    // The tail retained during this superstep is consumed
+                    // (and its pins dropped) during the next one, so the
+                    // topology ranking only gets what it leaves free —
+                    // pinned bytes never exceed the configured budget.
+                    let retained = log_armed
+                        .saturating_sub(self.ssd.append_retention_unspent().unwrap_or(0));
+                    let unspent = retier_pins(
+                        c,
+                        graph,
+                        &self.ssd,
+                        &heat,
+                        &mut pinned_ivs,
+                        (cfg.tiering.pin_budget_bytes as u64).saturating_sub(retained),
+                    )?;
+                    // Log-tail retention (DESIGN.md §18): the next
+                    // superstep's appends are write-allocated into the
+                    // pinned tier up to everything the ranking left
+                    // unspent. `unspent` already excludes this superstep's
+                    // still-draining tail and the pinned topology, so even
+                    // at the worst instant — tail undrained, new side full
+                    // — pinned bytes total exactly the budget. Appends are
+                    // plan-order deterministic, so the retained set — and
+                    // with it every cache counter — is identical for any
+                    // thread count or queue depth.
+                    self.ssd
+                        .arm_append_retention(&multilog.write_side_files(), unspent);
+                    log_armed = unspent;
+                }
+            }
             next_self_active.sort_unstable();
             next_self_active.dedup();
             self_active = next_self_active;
@@ -992,6 +1141,9 @@ impl MultiLogEngine {
                 let ml = multilog.stats();
                 let el = edgelog.stats();
                 let ftl = self.ssd.ftl_stats().unwrap_or_default();
+                let cs = self.ssd.cache().map(|c| c.snapshot()).unwrap_or_default();
+                let (ct, cb) =
+                    (cs.tenant(self.ssd.tenant()), ob.cache_base.tenant(self.ssd.tenant()));
                 let rec = TraceRecord {
                     superstep: superstep as u64,
                     active_vertices: st.active_vertices,
@@ -1021,10 +1173,16 @@ impl MultiLogEngine {
                     mut_edges_merged: st.mutations.edges_added + st.mutations.edges_removed,
                     mut_intervals_merged: st.mutations.intervals_merged,
                     mut_dirty_vertices: st.mutations.dirty_vertices,
+                    cache_hits: ct.hits - cb.hits,
+                    cache_misses: ct.misses - cb.misses,
+                    cache_evictions: cs.evictions - ob.cache_base.evictions,
+                    pinned_pages: cs.pinned_pages as u64,
+                    pinned_hits: cs.pinned_hits - ob.cache_base.pinned_hits,
                 };
                 ob.ml_base = ml;
                 ob.el_base = el;
                 ob.ftl_base = ftl;
+                ob.cache_base = cs;
                 ob.ring.push(rec);
                 st.metrics = Some(rec);
             }
@@ -1045,6 +1203,7 @@ impl MultiLogEngine {
         }
 
         structural.merge_all(&self.graph)?;
+        self.ssd.disarm_append_retention();
         report.multilog = Some(multilog.stats());
         report.edgelog = Some(edgelog.stats());
         if let Some(ob) = obs {
@@ -1087,6 +1246,24 @@ impl MultiLogEngine {
         reg.counter("mlvc_edgelog_vertices_logged_total").add(el.vertices_logged);
         reg.counter("mlvc_edgelog_pages_written_total").add(el.pages_written);
         reg.counter("mlvc_edgelog_hits_total").add(el.hits);
+
+        // Page-cache counters (tiering, DESIGN.md §18): whole-run deltas
+        // for this engine's tenant — another tenant sharing the daemon's
+        // cache never leaks into this run's series.
+        if let Some(c) = self.ssd.cache() {
+            let cs = c.snapshot();
+            let b = &ob.cache_run_base;
+            let (ct, bt) = (cs.tenant(self.ssd.tenant()), b.tenant(self.ssd.tenant()));
+            reg.counter("mlvc_cache_hits_total").add(ct.hits - bt.hits);
+            reg.counter("mlvc_cache_misses_total").add(ct.misses - bt.misses);
+            reg.counter("mlvc_cache_bytes_saved_total").add(ct.bytes_saved - bt.bytes_saved);
+            reg.counter("mlvc_cache_evictions_total").add(cs.evictions - b.evictions);
+            reg.counter("mlvc_cache_pinned_hits_total").add(cs.pinned_hits - b.pinned_hits);
+            reg.gauge("mlvc_cache_capacity_pages").set(cs.capacity_pages as u64);
+            reg.gauge("mlvc_cache_resident_pages").set(cs.resident_pages as u64);
+            reg.gauge("mlvc_cache_pinned_pages").set(cs.pinned_pages as u64);
+            reg.gauge("mlvc_cache_pinned_bytes").set(cs.pinned_bytes);
+        }
 
         let ftl = self.ssd.ftl_stats().unwrap_or_default();
         let fb = &ob.ftl_run_base;
@@ -1133,6 +1310,54 @@ impl MultiLogEngine {
         }
         reg.snapshot()
     }
+}
+
+/// Adjust the pinned set to the accumulated heat ranking (DESIGN.md §18):
+/// greedily fit the hottest intervals' whole topology extents (row-pointer
+/// and column-index files) into the byte budget, hotter first, interval id
+/// as the deterministic tie-break. Intervals staying pinned are *not* re-pinned
+/// (no probe traffic, no counter inflation); ones falling out of the
+/// ranking are unpinned; newly ranked ones are pinned, their fills charged
+/// through the cache like any other read. Returns the bytes of budget the
+/// ranking left unspent — the caller hands those to log-tail retention.
+fn retier_pins(
+    cache: &PageCache,
+    graph: &StoredGraph,
+    dev: &Ssd,
+    heat: &[u64],
+    pinned_ivs: &mut [bool],
+    budget_bytes: u64,
+) -> Result<u64, DeviceError> {
+    let page_bytes = dev.page_size() as u64;
+    let mut order: Vec<usize> = (0..heat.len()).filter(|&i| heat[i] > 0).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(heat[i]), i));
+    let mut want = vec![false; heat.len()];
+    let mut left = budget_bytes;
+    for &i in &order {
+        let rp = graph.rowptr_file(i as IntervalId);
+        let ci = graph.colidx_file(i as IntervalId);
+        let bytes = (dev.num_pages(rp)? + dev.num_pages(ci)?) * page_bytes;
+        if bytes > 0 && bytes <= left {
+            want[i] = true;
+            left -= bytes;
+        }
+    }
+    for (i, pinned) in pinned_ivs.iter_mut().enumerate() {
+        if want[i] == *pinned {
+            continue;
+        }
+        let rp = graph.rowptr_file(i as IntervalId);
+        let ci = graph.colidx_file(i as IntervalId);
+        if want[i] {
+            cache.pin_file(dev, rp)?;
+            cache.pin_file(dev, ci)?;
+        } else {
+            cache.unpin_file(rp);
+            cache.unpin_file(ci);
+        }
+        *pinned = want[i];
+    }
+    Ok(left)
 }
 
 impl Engine for MultiLogEngine {
@@ -1566,5 +1791,73 @@ mod tests {
             0
         );
         assert!(ron.converged && roff.converged);
+    }
+
+    use crate::TieringConfig;
+
+    fn tiered_engine(csr: &mlvc_graph::Csr, tag: &str, tiering: TieringConfig) -> (Arc<Ssd>, MultiLogEngine) {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let g = StoredGraph::store_with(
+            &ssd,
+            csr,
+            tag,
+            mlvc_graph::VertexIntervals::uniform(csr.num_vertices(), 4),
+        )
+        .unwrap();
+        let eng = MultiLogEngine::new(
+            Arc::clone(&ssd),
+            g,
+            EngineConfig::default().with_obs(true).with_tiering(tiering),
+        );
+        (ssd, eng)
+    }
+
+    #[test]
+    fn tiering_reduces_device_reads_without_changing_results() {
+        let csr = ring(64);
+        let (ssd_a, mut plain) = tiered_engine(&csr, "a", TieringConfig::default());
+        let io0 = ssd_a.stats().snapshot();
+        let ra = plain.run(&Flood, 80);
+        let plain_reads = ssd_a.stats().snapshot().since(&io0).pages_read;
+
+        let tiering = TieringConfig {
+            cache_bytes: 8 << 10,
+            pin_budget_bytes: 4 << 10,
+            ..Default::default()
+        };
+        let (ssd_b, mut tiered) = tiered_engine(&csr, "b", tiering);
+        let io0 = ssd_b.stats().snapshot();
+        let rb = tiered.run(&Flood, 80);
+        let tiered_reads = ssd_b.stats().snapshot().since(&io0).pages_read;
+
+        assert!(ra.converged && rb.converged);
+        assert_eq!(plain.states(), tiered.states(), "tiering must not change results");
+        assert!(
+            tiered_reads < plain_reads,
+            "tiering must cut device reads ({tiered_reads} vs {plain_reads})"
+        );
+        let snap = ssd_b.cache().expect("tiering attaches a cache").snapshot();
+        assert!(snap.pinned_pages > 0, "the pin budget must actually pin extents");
+        assert!(
+            rb.trace.iter().any(|t| t.pinned_pages > 0 && t.pinned_hits > 0),
+            "the trace must show pinned pages serving hits"
+        );
+    }
+
+    #[test]
+    fn tiered_traces_are_bit_identical_across_runs() {
+        let csr = ring(64);
+        let tiering = TieringConfig {
+            cache_bytes: 4 << 10,
+            pin_budget_bytes: 2 << 10,
+            ..Default::default()
+        };
+        let (_sa, mut a) = tiered_engine(&csr, "t", tiering);
+        let ra = a.run(&Flood, 80);
+        let (_sb, mut b) = tiered_engine(&csr, "t", tiering);
+        let rb = b.run(&Flood, 80);
+        assert_eq!(a.states(), b.states());
+        assert_eq!(ra.trace, rb.trace, "cache + pin activity must be deterministic");
+        assert!(ra.trace.iter().any(|t| t.cache_hits > 0), "the cache must actually hit");
     }
 }

@@ -26,7 +26,7 @@ mod reference;
 mod report;
 
 pub use api::{Combine, InitActive, Reconverge, VertexCtx, VertexOutputs, VertexProgram};
-pub use config::{CostModel, EngineConfig};
+pub use config::{CostModel, EngineConfig, TieringConfig};
 pub use engine::MultiLogEngine;
 pub use reference::ReferenceEngine;
 pub use report::{RunReport, SuperstepStats};

@@ -255,10 +255,18 @@ impl EdgeLogOptimizer {
     /// rewrote their adjacency on the device, so any logged copy is stale;
     /// subsequent loads must go back to the CSR pages (cache invalidation
     /// only — results never depend on the edge log holding a vertex).
+    ///
+    /// The history-bit predictor is *patched*, not reset: a merged vertex's
+    /// recorded activity described the pre-merge graph, so its bits are
+    /// cleared in every window, while untouched vertices keep their full
+    /// history and keep predicting across the merge.
     pub fn invalidate(&mut self, vs: &[VertexId]) {
         for v in vs {
             self.read_index.remove(v);
             self.write_index.remove(v);
+            for h in &mut self.history {
+                h.clear_bit(idx(*v));
+            }
         }
     }
 
@@ -433,6 +441,27 @@ mod tests {
         assert!(opt.predicted_active(9), "still within N=3 window");
         opt.end_superstep(&active_set(&[]), &[]).unwrap();
         assert!(!opt.predicted_active(9));
+    }
+
+    #[test]
+    fn invalidate_patches_history_bits_for_dirty_vertices_only() {
+        let ssd = Arc::new(Ssd::new(SsdConfig::test_small()));
+        let cfg = EdgeLogConfig { history_supersteps: 3, ..Default::default() };
+        let mut opt = EdgeLogOptimizer::new(ssd, 128, cfg, "hp").unwrap();
+        // Vertices 7 and 9 active in every window of the N=3 history.
+        for _ in 0..3 {
+            opt.end_superstep(&active_set(&[7, 9]), &[]).unwrap();
+        }
+        assert!(opt.predicted_active(7) && opt.predicted_active(9));
+        // A mutation merge dirtied vertex 7 only: its history is patched
+        // out of every window, while vertex 9 keeps its full history.
+        opt.invalidate(&[7]);
+        assert!(!opt.predicted_active(7), "dirty vertex cleared in all windows");
+        assert!(opt.predicted_active(9), "untouched vertex keeps its history");
+        // The patch survives window rotation exactly like real inactivity.
+        opt.end_superstep(&active_set(&[]), &[]).unwrap();
+        assert!(!opt.predicted_active(7));
+        assert!(opt.predicted_active(9), "two live windows remain for 9");
     }
 
     #[test]

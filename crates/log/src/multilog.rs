@@ -641,6 +641,22 @@ impl MultiLog {
         &self.counts
     }
 
+    /// The current *write-side* log extent of every interval: this
+    /// superstep's append targets, consumed (and truncated) during the
+    /// next superstep. The engine arms the device's append retention on
+    /// exactly these files (DESIGN.md §18), so a budget-bounded tail of
+    /// freshly flushed log pages stays in the pinned tier until it is
+    /// read back.
+    pub fn write_side_files(&self) -> Vec<FileId> {
+        self.files.iter().map(|f| f[self.write_side]).collect()
+    }
+
+    /// Every log extent of every interval, both sides — the drive-entry
+    /// cleanup set for pinned-tier bookkeeping.
+    pub fn all_log_files(&self) -> Vec<FileId> {
+        self.files.iter().flat_map(|f| [f[0], f[1]]).collect()
+    }
+
     /// Move every buffered top record into `sealed`, interval by interval.
     /// Folded intervals pack their partial buckets — in bucket order, so
     /// records stay destination-clustered — into full pages before a final

@@ -427,11 +427,24 @@ pub struct TraceRecord {
     /// Distinct vertices whose adjacency or reachability the merge dirtied
     /// (the incremental re-activation set).
     pub mut_dirty_vertices: u64,
+    /// Page-cache hits this tenant scored this superstep (0 with tiering
+    /// disabled; DESIGN.md §18).
+    pub cache_hits: u64,
+    /// Page-cache misses this tenant charged to the device this superstep.
+    pub cache_misses: u64,
+    /// Frames reclaimed by the cache's replacement policy this superstep.
+    pub cache_evictions: u64,
+    /// Pages held in the pinned tier at superstep close (a gauge, not a
+    /// delta — pins persist across supersteps).
+    pub pinned_pages: u64,
+    /// Hits served from the pinned tier this superstep (also counted in
+    /// `cache_hits`).
+    pub pinned_hits: u64,
 }
 
 /// Names of the `u64` fields of [`TraceRecord`], in emission order — the
 /// JSONL schema contract checked by the smoke tests.
-pub const TRACE_FIELDS: [&str; 28] = [
+pub const TRACE_FIELDS: [&str; 33] = [
     "superstep",
     "active_vertices",
     "messages_processed",
@@ -460,11 +473,16 @@ pub const TRACE_FIELDS: [&str; 28] = [
     "mut_edges_merged",
     "mut_intervals_merged",
     "mut_dirty_vertices",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "pinned_pages",
+    "pinned_hits",
 ];
 
 impl TraceRecord {
     /// `(name, value)` pairs in [`TRACE_FIELDS`] order.
-    pub fn fields(&self) -> [(&'static str, u64); 28] {
+    pub fn fields(&self) -> [(&'static str, u64); 33] {
         [
             ("superstep", self.superstep),
             ("active_vertices", self.active_vertices),
@@ -494,6 +512,11 @@ impl TraceRecord {
             ("mut_edges_merged", self.mut_edges_merged),
             ("mut_intervals_merged", self.mut_intervals_merged),
             ("mut_dirty_vertices", self.mut_dirty_vertices),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
+            ("pinned_pages", self.pinned_pages),
+            ("pinned_hits", self.pinned_hits),
         ]
     }
 

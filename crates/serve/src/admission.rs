@@ -86,6 +86,29 @@ impl Budget {
         Some(Reservation { budget: self, bytes })
     }
 
+    /// Permanently reserve `bytes` without an RAII hold — the daemon's
+    /// pinned-tier ledger (DESIGN.md §18): pinned pages are DRAM the
+    /// admission budget can no longer hand to jobs. Returns `false`
+    /// (reserving nothing) when the free budget cannot cover the carve;
+    /// the caller then skips the pin rather than over-committing memory.
+    pub fn carve(&self, bytes: usize) -> bool {
+        let mut g = locked(&self.state);
+        if g.0.saturating_add(bytes) > self.total {
+            return false;
+        }
+        g.0 += bytes;
+        true
+    }
+
+    /// Return previously [`Budget::carve`]d bytes to the pool (the pinned
+    /// extents were dropped, e.g. by a mutation merge) and wake waiters.
+    pub fn uncarve(&self, bytes: usize) {
+        let mut g = locked(&self.state);
+        g.0 = g.0.saturating_sub(bytes);
+        drop(g);
+        self.freed.notify_all();
+    }
+
     /// Reserve, waiting for running jobs to release budget if needed. The
     /// caller must have passed [`Budget::check`] first — a request larger
     /// than `total` would wait forever, so it is clamped to `total` here
@@ -147,6 +170,19 @@ mod tests {
         drop(r1);
         assert_eq!(b.reserved(), 0);
         assert!(b.try_reserve(60 << 10).is_some());
+    }
+
+    #[test]
+    fn carve_is_permanent_until_uncarved() {
+        let b = Budget::new(100 << 10);
+        assert!(b.carve(40 << 10));
+        assert_eq!(b.reserved(), 40 << 10);
+        assert!(!b.carve(70 << 10), "over-committing carve refused");
+        assert_eq!(b.reserved(), 40 << 10, "failed carve reserves nothing");
+        assert!(b.try_reserve(70 << 10).is_none(), "jobs see the carved bytes");
+        b.uncarve(40 << 10);
+        assert_eq!(b.reserved(), 0);
+        assert!(b.try_reserve(70 << 10).is_some());
     }
 
     #[test]

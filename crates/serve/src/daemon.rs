@@ -27,8 +27,8 @@ use mlvc_mutate::{
 use mlvc_obs::MetricsSnapshot;
 use mlvc_ssd::sync::Mutex as PoisonFreeMutex;
 use mlvc_ssd::{
-    DeviceError, FaultPlan, FtlConfig, PageCache, Ssd, SsdConfig, SsdStatsSnapshot,
-    TenantCacheStats, TenantId,
+    CachePolicy, DeviceError, FaultPlan, FileId, FtlConfig, PageCache, Ssd, SsdConfig,
+    SsdStatsSnapshot, TenantCacheStats, TenantId,
 };
 use std::sync::Arc;
 
@@ -54,11 +54,25 @@ pub struct ServeConfig {
     pub cache_pages: usize,
     /// Worker threads executing jobs.
     pub workers: usize,
+    /// Byte budget for pinning dataset CSR extents resident at
+    /// registration time (adaptive memory tiering, DESIGN.md §18).
+    /// Pinned bytes are carved out of `memory_budget` — DRAM holding
+    /// pinned pages cannot be handed to jobs. 0 disables pinning.
+    pub pin_budget_bytes: usize,
+    /// Frame replacement policy of the shared cache (default scan-
+    /// resistant 2Q; `Clock` reproduces the historical daemon cache).
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { memory_budget: 64 << 20, cache_pages: 512, workers: 4 }
+        ServeConfig {
+            memory_budget: 64 << 20,
+            cache_pages: 512,
+            workers: 4,
+            pin_budget_bytes: 0,
+            cache_policy: CachePolicy::TwoQ,
+        }
     }
 }
 
@@ -121,6 +135,19 @@ pub struct Daemon {
     next_tenant: AtomicU32,
     /// Per-job end-of-run metrics, for the daemon-wide Prometheus rollup.
     completed: PoisonFreeMutex<Vec<(String, Option<MetricsSnapshot>)>>,
+    /// Pinned-tier ledger (DESIGN.md §18): remaining pin budget plus, per
+    /// dataset, the pinned extent files and the bytes carved from the
+    /// admission budget for them.
+    pins: PoisonFreeMutex<PinLedger>,
+}
+
+/// Bookkeeping for the daemon's pinned tier.
+#[derive(Default)]
+struct PinLedger {
+    /// Unspent pin budget, in bytes.
+    remaining: usize,
+    /// Per dataset: pinned extent files and the bytes carved for them.
+    datasets: BTreeMap<String, (Vec<FileId>, usize)>,
 }
 
 impl Daemon {
@@ -132,7 +159,7 @@ impl Daemon {
     /// A daemon over a caller-provided device (e.g. file-backed via
     /// `--ssd-dir`). Attaches the shared page cache to it.
     pub fn with_device(cfg: ServeConfig, ssd: Arc<Ssd>) -> Self {
-        let cache = Arc::new(PageCache::new(cfg.cache_pages));
+        let cache = Arc::new(PageCache::with_policy(cfg.cache_pages, cfg.cache_policy));
         ssd.attach_cache(Arc::clone(&cache));
         // Attach the live FTL now, before any worker exists: every job
         // runs with obs on and would otherwise race to install it from
@@ -148,6 +175,10 @@ impl Daemon {
             workers: cfg.workers.max(1),
             next_tenant: AtomicU32::new(1),
             completed: PoisonFreeMutex::new(Vec::new()),
+            pins: PoisonFreeMutex::new(PinLedger {
+                remaining: cfg.pin_budget_bytes,
+                datasets: BTreeMap::new(),
+            }),
         }
     }
 
@@ -173,6 +204,7 @@ impl Daemon {
         let sort = EngineConfig::default().sort_budget();
         let iv = VertexIntervals::for_graph(graph, 16, sort);
         let sg = StoredGraph::store_with(&self.ssd, graph, name, iv.clone())?;
+        self.pin_dataset(name, &sg)?;
         let mlog = MutationLog::new(
             Arc::clone(&self.ssd),
             iv,
@@ -184,6 +216,80 @@ impl Daemon {
         self.mutation_logs
             .insert(name.to_string(), Arc::new(PoisonFreeMutex::new(mlog)));
         Ok(())
+    }
+
+    /// Pin the dataset's interval extents (row-pointer + column-index
+    /// files) into the shared cache's pinned tier, front to back, while
+    /// each interval fits both the remaining pin budget and the free
+    /// admission budget ([`Budget::carve`]). Registration order and
+    /// interval order are deterministic, so the pinned set is too. The
+    /// ledger records what was pinned so a mutation merge can re-pin
+    /// after rewriting the extents.
+    fn pin_dataset(&self, name: &str, sg: &StoredGraph) -> Result<(), DeviceError> {
+        let page_bytes = mlvc_ssd::checked::to_u64(self.ssd.page_size());
+        if self.pins.lock().remaining == 0 {
+            return Ok(());
+        }
+        // Size every interval's extents first, so the ledger lock is
+        // never held across a device call.
+        let mut sized: Vec<(FileId, FileId, usize)> = Vec::new();
+        let mut iv: u32 = 0;
+        while mlvc_ssd::checked::idx(iv) < sg.intervals().num_intervals() {
+            let (rp, ci) = (sg.rowptr_file(iv), sg.colidx_file(iv));
+            let pages = self.ssd.num_pages(rp)?.saturating_add(self.ssd.num_pages(ci)?);
+            let bytes =
+                usize::try_from(pages.saturating_mul(page_bytes)).unwrap_or(usize::MAX);
+            sized.push((rp, ci, bytes));
+            iv += 1;
+        }
+        // Reserve greedily under the ledger; both ledgers commit before
+        // any page moves so concurrent registrations cannot overdraw.
+        let mut files: Vec<FileId> = Vec::new();
+        let mut carved = 0usize;
+        {
+            let mut ledger = self.pins.lock();
+            for &(rp, ci, bytes) in &sized {
+                if bytes > 0 && bytes <= ledger.remaining && self.budget.carve(bytes) {
+                    ledger.remaining -= bytes;
+                    carved += bytes;
+                    files.push(rp);
+                    files.push(ci);
+                }
+            }
+            if !files.is_empty() {
+                ledger.datasets.insert(name.to_string(), (files.clone(), carved));
+            }
+        }
+        // The reserved extents belong to this dataset alone, so pinning
+        // them needs no lock.
+        for f in files {
+            self.cache.pin_file(&self.ssd, f)?;
+        }
+        Ok(())
+    }
+
+    /// Re-pin a dataset after a mutation merge rewrote its extents. The
+    /// rewrite's truncate+append already dropped the stale pinned copies
+    /// device-side; this returns the dataset's carve to the budget, then
+    /// runs the same greedy pass so the pinned tier and both ledgers
+    /// match the post-merge extent sizes.
+    fn repin_dataset(&self, name: &str) -> Result<(), DeviceError> {
+        let Some(sg) = self.datasets.get(name) else { return Ok(()) };
+        {
+            let mut ledger = self.pins.lock();
+            match ledger.datasets.remove(name) {
+                Some((files, carved)) => {
+                    for f in files {
+                        self.cache.unpin_file(f);
+                    }
+                    self.budget.uncarve(carved);
+                    ledger.remaining += carved;
+                }
+                None if ledger.remaining == 0 => return Ok(()),
+                None => {}
+            }
+        }
+        self.pin_dataset(name, sg)
     }
 
     /// The dataset's shared mutation log, for attaching to an engine or
@@ -293,10 +399,15 @@ impl Daemon {
         if guard.pending() == 0 {
             return Ok(None);
         }
-        guard
+        let outcome = guard
             .merge(graph, depth)
-            .map(Some)
-            .map_err(MutationError::into_device_error)
+            .map_err(MutationError::into_device_error)?;
+        drop(guard);
+        // The merge's truncate+append rewrite already invalidated the
+        // dirty extents' cached and pinned pages; re-pin against the new
+        // extent sizes so the pinned tier and budget carve stay accurate.
+        self.repin_dataset(dataset)?;
+        Ok(Some(outcome))
     }
 
     /// Run one already-validated job under a held reservation: give it a
@@ -476,8 +587,8 @@ impl Daemon {
         format!(
             "{{\"event\":\"stats\",\"jobs_completed\":{},\"device_pages_read\":{},\
              \"device_pages_written\":{},\"cache_hits\":{},\"cache_misses\":{},\
-             \"cache_evictions\":{},\"cross_tenant_hits\":{},\"budget_total\":{},\
-             \"budget_reserved\":{}}}",
+             \"cache_evictions\":{},\"cross_tenant_hits\":{},\"pinned_pages\":{},\
+             \"pinned_hits\":{},\"budget_total\":{},\"budget_reserved\":{}}}",
             self.completed.lock().len(),
             d.pages_read,
             d.pages_written,
@@ -485,6 +596,8 @@ impl Daemon {
             c.total_misses(),
             c.evictions,
             c.cross_tenant_hits,
+            c.pinned_pages,
+            c.pinned_hits,
             self.budget.total(),
             self.budget.reserved(),
         )
@@ -507,6 +620,9 @@ impl Daemon {
         s.push_str(&format!("mlvc_serve_cache_hits_total {}\n", c.total_hits()));
         s.push_str(&format!("mlvc_serve_cache_misses_total {}\n", c.total_misses()));
         s.push_str(&format!("mlvc_serve_cache_evictions_total {}\n", c.evictions));
+        s.push_str(&format!("mlvc_serve_cache_pinned_pages {}\n", c.pinned_pages));
+        s.push_str(&format!("mlvc_serve_cache_pinned_bytes {}\n", c.pinned_bytes));
+        s.push_str(&format!("mlvc_serve_cache_pinned_hits_total {}\n", c.pinned_hits));
         s.push_str(&format!(
             "mlvc_serve_cache_cross_tenant_hits_total {}\n",
             c.cross_tenant_hits

@@ -115,6 +115,44 @@ fn eviction_pressure_preserves_results_and_accounting() {
 }
 
 #[test]
+fn pinned_tier_preserves_identity_and_carves_the_budget() {
+    let g = graph();
+    let j = req("pinned", "pagerank", 3);
+    // 2Q (the default) plus a pinned tier big enough for the dataset's
+    // CSR extents, over a deliberately tiny frame pool so unpinned pages
+    // churn while pinned ones must not.
+    let mut daemon = Daemon::new(ServeConfig {
+        cache_pages: 4,
+        workers: 1,
+        pin_budget_bytes: 4 << 20,
+        ..ServeConfig::default()
+    });
+    daemon.add_dataset("cf", &g).unwrap();
+    let snap = daemon.cache().snapshot();
+    assert!(snap.pinned_pages > 0, "registration must pin the CSR extents");
+    assert_eq!(
+        daemon.budget().reserved(),
+        snap.pinned_bytes as usize,
+        "pinned bytes must be carved out of the admission budget"
+    );
+    let out = daemon.run_job(&j).outcome.unwrap();
+    let (states, _, _, uncached_reads) = standalone(&g, &j);
+    assert_eq!(out.states, states, "pinning must not change results");
+    assert_eq!(
+        out.cache.hits + out.device.pages_read,
+        uncached_reads,
+        "accounting identity must hold under 2Q + pinning"
+    );
+    let after = daemon.cache().snapshot();
+    assert!(after.pinned_hits > 0, "the job must be served from the pinned tier");
+    assert_eq!(
+        daemon.budget().reserved(),
+        after.pinned_bytes as usize,
+        "the carve stays while the pins stay"
+    );
+}
+
+#[test]
 fn concurrent_tenants_on_one_dataset_produce_cross_tenant_hits() {
     let g = graph();
     let jobs: Vec<JobRequest> =

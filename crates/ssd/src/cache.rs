@@ -1,4 +1,4 @@
-//! Shared page cache with single-flight request merging.
+//! Shared page cache with single-flight request merging and a pinned tier.
 //!
 //! The serving daemon (`mlvc-serve`) runs many tenants against one
 //! simulated device; hot graph pages (interval row pointers, column
@@ -8,22 +8,40 @@
 //!
 //! Design:
 //!
-//! * **CLOCK eviction** over a fixed frame array — a second-chance sweep
-//!   keeps hot interval pages resident without LRU list maintenance.
+//! * **Replacement policy** — [`CachePolicy::TwoQ`] (the default) is the
+//!   classic scan-resistant 2Q: new pages enter a probationary FIFO
+//!   (*A1in*); a page evicted from A1in leaves only its key behind in a
+//!   ghost queue (*A1out*); a fault on a ghosted key proves re-reference
+//!   and admits the page to the hot LRU (*Am*). Hits inside A1in do
+//!   *not* promote — a one-pass scan flows through A1in and the ghosts
+//!   without ever displacing Am (FlashGraph's SAFS insight: partial
+//!   caching only pays off if sequential scans can't flush the hot set).
+//!   [`CachePolicy::Clock`] keeps the PR-6 second-chance sweep as a
+//!   measured baseline. Queue order is maintained lazily: entries carry a
+//!   stamp and are validated against the owning frame on pop, so an Am
+//!   hit is O(1) (push a fresh stamped entry) instead of an unlink.
+//! * **Pinned tier** — [`PageCache::pin_pages`] copies an extent into a
+//!   separate map that is exempt from eviction and checked before the
+//!   frame pool. The engine uses this for GraphMP-style hot-interval
+//!   topology pinning (DESIGN.md §18). Pinned copies are dropped by the
+//!   same write/truncate invalidation as frames; callers must not race a
+//!   writer against `pin_pages` itself.
 //! * **Single-flight merging** — the first tenant to fault a page marks it
 //!   in-flight and reads it from the device; concurrent tenants faulting
 //!   the same page block on a condvar and are served from the filled
 //!   frame, counted as (cross-tenant) hits.
-//! * **Write coherence** — the device invalidates cached frames on every
-//!   page write and whole files on truncate/delete. A write racing an
-//!   in-flight fill marks the fill *dirty*: the fetched data is still
-//!   returned to its requester (the read linearizes before the write) but
-//!   is never inserted, so no stale frame can outlive the write.
-//! * **Accounting identity** — a hit charges *nothing* to [`SsdStats`];
-//!   every non-hit request ends as exactly one charged device page read.
-//!   Therefore, per tenant: `cache hits + cached-run pages_read ==
-//!   uncached-run pages_read`, exactly, under eviction, merging and
-//!   dirty skips (pinned by `crates/serve` tests).
+//! * **Write coherence** — the device invalidates cached frames (and
+//!   pinned copies, and ghost keys) on every page write and whole files on
+//!   truncate/delete. A write racing an in-flight fill marks the fill
+//!   *dirty*: the fetched data is still returned to its requester (the
+//!   read linearizes before the write) but is never inserted, so no stale
+//!   frame can outlive the write.
+//! * **Accounting identity** — a hit (frame or pinned) charges *nothing*
+//!   to [`SsdStats`]; every non-hit request ends as exactly one charged
+//!   device page read. Therefore, per tenant: `cache hits + cached-run
+//!   pages_read == uncached-run pages_read`, exactly, under eviction,
+//!   merging, pinning and dirty skips — for *any* policy (pinned by
+//!   `crates/serve` tests and the policy-identity test below).
 //!
 //! The interior lock is a raw `std::sync::Mutex` (poison-recovered, the
 //! `mlvc_obs` precedent) because `Condvar` cannot wait on the workspace's
@@ -32,7 +50,8 @@
 //! [`SsdStats`]: crate::SsdStats
 
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::ops::Range;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::checked::{to_u64, to_usize};
@@ -46,12 +65,44 @@ pub type TenantId = u32;
 
 type PageKey = (FileId, u64);
 
-/// One CLOCK frame: a resident page copy plus its reference bit and the
+/// Replacement policy for the frame pool (the pinned tier is policy-free).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Second-chance CLOCK sweep — the original PR-6 policy, kept as the
+    /// measured baseline for the `BENCH_cache.json` sweep.
+    Clock,
+    /// Scan-resistant 2Q: probationary A1in FIFO + A1out ghost keys + hot
+    /// Am LRU. The default for every constructor except [`PageCache::with_policy`].
+    #[default]
+    TwoQ,
+}
+
+/// Which 2Q queue a resident frame currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueKind {
+    A1in,
+    Am,
+}
+
+/// One frame: a resident page copy plus its replacement state and the
 /// tenant that inserted it (for cross-tenant hit attribution).
 struct Frame {
     key: Option<PageKey>,
     data: Vec<u8>,
+    /// CLOCK reference bit (unused under 2Q).
     referenced: bool,
+    inserter: TenantId,
+    /// 2Q membership (unused under CLOCK).
+    queue: QueueKind,
+    /// Matches the live queue entry for this frame; stale entries with an
+    /// older stamp are skipped on pop.
+    stamp: u64,
+}
+
+/// A page held in the pinned tier: exempt from eviction, checked before
+/// the frame pool, dropped only by invalidation or [`PageCache::unpin_file`].
+struct PinnedPage {
+    data: Vec<u8>,
     inserter: TenantId,
 }
 
@@ -65,8 +116,8 @@ struct InFlight {
 /// Per-tenant cache counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TenantCacheStats {
-    /// Requests served from a resident frame (including merged waits on an
-    /// in-flight fill that landed).
+    /// Requests served from a resident frame or a pinned page (including
+    /// merged waits on an in-flight fill that landed).
     pub hits: u64,
     /// Requests this tenant had to read from the device itself.
     pub misses: u64,
@@ -77,13 +128,22 @@ pub struct TenantCacheStats {
 /// Point-in-time view of the whole cache (per-tenant + global counters).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CacheSnapshot {
+    pub policy: CachePolicy,
     pub capacity_pages: usize,
+    /// Frames currently holding a page (pinned pages not counted).
     pub resident_pages: usize,
-    /// Frames reclaimed by the CLOCK sweep (invalidations not counted).
+    /// Frames reclaimed by the replacement policy (invalidations and pin
+    /// take-overs not counted).
     pub evictions: u64,
-    /// Hits on frames inserted by a *different* tenant — the shared-cache
-    /// win the serving daemon exists to produce.
+    /// Hits on frames or pins inserted by a *different* tenant — the
+    /// shared-cache win the serving daemon exists to produce.
     pub cross_tenant_hits: u64,
+    /// Pages in the pinned tier.
+    pub pinned_pages: usize,
+    /// Bytes held by the pinned tier (the budget-ledger charge).
+    pub pinned_bytes: u64,
+    /// Hits served from the pinned tier (also counted in tenant hits).
+    pub pinned_hits: u64,
     pub tenants: BTreeMap<TenantId, TenantCacheStats>,
 }
 
@@ -105,15 +165,48 @@ impl CacheSnapshot {
 }
 
 struct CacheInner {
+    policy: CachePolicy,
     frames: Vec<Frame>,
     /// Resident pages: key -> frame index.
     map: HashMap<PageKey, usize>,
     /// Pages being fetched right now, each by exactly one owner.
     in_flight: HashMap<PageKey, InFlight>,
+    /// CLOCK sweep position (unused under 2Q).
     hand: usize,
+    /// Unoccupied frame indices (2Q only; CLOCK finds empties by sweeping).
+    free: Vec<usize>,
+    /// Probationary FIFO: stamped entries, validated lazily on pop.
+    a1in: VecDeque<(PageKey, u64)>,
+    /// Hot LRU: stamped entries; an Am hit pushes a fresh entry and the
+    /// stale one is skipped on pop.
+    am: VecDeque<(PageKey, u64)>,
+    /// Frames currently in A1in / Am (deque lengths overcount).
+    a1in_live: usize,
+    am_live: usize,
+    /// A1out ghost keys in FIFO order (`ghost_set` is the membership
+    /// truth; deque entries absent from the set are stale).
+    ghost: VecDeque<PageKey>,
+    ghost_set: HashSet<PageKey>,
+    stamp: u64,
+    pinned: HashMap<PageKey, PinnedPage>,
+    pinned_bytes: u64,
+    pinned_hits: u64,
     evictions: u64,
     cross_tenant_hits: u64,
     tenants: BTreeMap<TenantId, TenantCacheStats>,
+}
+
+impl CacheInner {
+    /// A1in capacity target: once the probationary queue holds this many
+    /// frames, new insertions evict from A1in (2Q's Kin, ~¼ of frames).
+    fn kin(&self) -> usize {
+        (self.frames.len() / 4).max(1)
+    }
+
+    /// Ghost-queue capacity (2Q's Kout, ~½ of frames' worth of keys).
+    fn kout(&self) -> usize {
+        (self.frames.len() / 2).max(1)
+    }
 }
 
 /// The shared page cache. Attach to a device with [`Ssd::attach_cache`];
@@ -132,19 +225,47 @@ fn locked(m: &Mutex<CacheInner>) -> MutexGuard<'_, CacheInner> {
 
 impl PageCache {
     /// A cache holding at most `capacity_pages` resident pages (clamped to
-    /// at least one frame).
+    /// at least one frame), using the default scan-resistant 2Q policy.
     pub fn new(capacity_pages: usize) -> Self {
+        PageCache::with_policy(capacity_pages, CachePolicy::default())
+    }
+
+    /// A cache with an explicit replacement policy (CLOCK is kept for
+    /// baseline measurements and the policy-identity tests).
+    pub fn with_policy(capacity_pages: usize, policy: CachePolicy) -> Self {
         let cap = capacity_pages.max(1);
         let mut frames = Vec::with_capacity(cap);
         for _ in 0..cap {
-            frames.push(Frame { key: None, data: Vec::new(), referenced: false, inserter: 0 });
+            frames.push(Frame {
+                key: None,
+                data: Vec::new(),
+                referenced: false,
+                inserter: 0,
+                queue: QueueKind::A1in,
+                stamp: 0,
+            });
         }
+        // Reverse order so `pop()` hands out frame 0 first — keeps frame
+        // assignment deterministic and matches the CLOCK fill order.
+        let free = if policy == CachePolicy::TwoQ { (0..cap).rev().collect() } else { Vec::new() };
         PageCache {
             state: Mutex::new(CacheInner {
+                policy,
                 frames,
                 map: HashMap::new(),
                 in_flight: HashMap::new(),
                 hand: 0,
+                free,
+                a1in: VecDeque::new(),
+                am: VecDeque::new(),
+                a1in_live: 0,
+                am_live: 0,
+                ghost: VecDeque::new(),
+                ghost_set: HashSet::new(),
+                stamp: 0,
+                pinned: HashMap::new(),
+                pinned_bytes: 0,
+                pinned_hits: 0,
                 evictions: 0,
                 cross_tenant_hits: 0,
                 tenants: BTreeMap::new(),
@@ -165,24 +286,140 @@ impl PageCache {
         locked(&self.state).frames.len()
     }
 
+    /// Replacement policy of the frame pool.
+    pub fn policy(&self) -> CachePolicy {
+        locked(&self.state).policy
+    }
+
+    /// Bytes currently held by the pinned tier.
+    pub fn pinned_bytes(&self) -> u64 {
+        locked(&self.state).pinned_bytes
+    }
+
+    /// Pages currently held by the pinned tier.
+    pub fn pinned_pages(&self) -> usize {
+        locked(&self.state).pinned.len()
+    }
+
     /// Counters + occupancy right now.
     pub fn snapshot(&self) -> CacheSnapshot {
         let inner = locked(&self.state);
         CacheSnapshot {
+            policy: inner.policy,
             capacity_pages: inner.frames.len(),
             resident_pages: inner.map.len(),
             evictions: inner.evictions,
             cross_tenant_hits: inner.cross_tenant_hits,
+            pinned_pages: inner.pinned.len(),
+            pinned_bytes: inner.pinned_bytes,
+            pinned_hits: inner.pinned_hits,
             tenants: inner.tenants.clone(),
         }
     }
 
+    /// Copy `pages` of `file` into the pinned tier, reading any absent
+    /// pages through the cache (charged to `dev`'s tenant like any other
+    /// read). Already-pinned pages are skipped, so re-pinning a hot extent
+    /// is idempotent and free. Returns the number of *newly* pinned pages.
+    ///
+    /// A resident frame copy is handed over to the pinned tier (the frame
+    /// is released, not counted as an eviction). Callers must not run a
+    /// writer against `file` concurrently with the pin itself; after the
+    /// pin, write/truncate invalidation drops pinned copies like frames.
+    pub fn pin_pages(&self, dev: &Ssd, file: FileId, pages: Range<u64>) -> Result<u64, DeviceError> {
+        let useful = dev.page_size();
+        let reqs: Vec<(FileId, u64, usize)> = pages.map(|p| (file, p, useful)).collect();
+        if reqs.is_empty() {
+            return Ok(0);
+        }
+        let tenant = dev.tenant();
+        let data = self.read_through(dev, &reqs, tenant, true)?;
+        let mut guard = locked(&self.state);
+        let inner = &mut *guard;
+        let mut newly = 0u64;
+        for (d, &(f, p, _)) in data.into_iter().zip(&reqs) {
+            let key = (f, p);
+            if inner.pinned.contains_key(&key) {
+                continue;
+            }
+            if let Some(fi) = inner.map.remove(&key) {
+                release_frame(inner, fi);
+            }
+            inner.ghost_set.remove(&key);
+            inner.pinned_bytes += to_u64(d.len());
+            inner.pinned.insert(key, PinnedPage { data: d, inserter: tenant });
+            newly += 1;
+        }
+        Ok(newly)
+    }
+
+    /// Pin every current page of `file` (see [`PageCache::pin_pages`]).
+    pub fn pin_file(&self, dev: &Ssd, file: FileId) -> Result<u64, DeviceError> {
+        let n = dev.num_pages(file)?;
+        self.pin_pages(dev, file, 0..n)
+    }
+
+    /// Write-allocate into the pinned tier (DESIGN.md §18): copy a page
+    /// whose bytes the writer is holding *right now* into the pinned map,
+    /// with no device read at all. The payload is zero-padded to the page
+    /// size so a later hit returns exactly what an uncached device read of
+    /// the page would. Returns `false` (and pins nothing) if a pinned copy
+    /// already exists. Called by the device's append-retention hook after
+    /// the write landed and its invalidation ran, so the copy can never go
+    /// stale out of order; a subsequent write or truncate drops it like
+    /// any other pin.
+    pub(crate) fn pin_written(
+        &self,
+        file: FileId,
+        page: u64,
+        payload: &[u8],
+        page_size: usize,
+        tenant: TenantId,
+    ) -> bool {
+        let mut guard = locked(&self.state);
+        let inner = &mut *guard;
+        let key = (file, page);
+        if inner.pinned.contains_key(&key) {
+            return false;
+        }
+        if let Some(fi) = inner.map.remove(&key) {
+            release_frame(inner, fi);
+        }
+        inner.ghost_set.remove(&key);
+        let mut data = vec![0u8; page_size];
+        let keep = payload.len().min(page_size);
+        data[..keep].copy_from_slice(&payload[..keep]);
+        inner.pinned_bytes += to_u64(data.len());
+        inner.pinned.insert(key, PinnedPage { data, inserter: tenant });
+        true
+    }
+
+    /// Drop every pinned page of `file`, returning the count dropped.
+    pub fn unpin_file(&self, file: FileId) -> u64 {
+        let mut guard = locked(&self.state);
+        let inner = &mut *guard;
+        let mut dropped = 0u64;
+        let mut freed = 0u64;
+        inner.pinned.retain(|key, p| {
+            if key.0 == file {
+                freed += to_u64(p.data.len());
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        inner.pinned_bytes = inner.pinned_bytes.saturating_sub(freed);
+        dropped
+    }
+
     /// Serve a read batch through the cache on behalf of `tenant`.
     ///
-    /// Resident pages are copied out as hits; pages in flight under another
-    /// owner are waited for; everything else is marked in flight and read
-    /// from `dev` as one uncached device batch. The device lock is never
-    /// held while the cache lock is (and vice versa).
+    /// Pinned pages and resident frames are copied out as hits; pages in
+    /// flight under another owner are waited for; everything else is
+    /// marked in flight and read from `dev` as one uncached device batch.
+    /// The device lock is never held while the cache lock is (and vice
+    /// versa).
     pub(crate) fn read_through(
         &self,
         dev: &Ssd,
@@ -194,9 +431,9 @@ impl PageCache {
         out.resize_with(reqs.len(), || None);
         let mut guard = locked(&self.state);
         loop {
-            // Pass 1 (under the lock): hits from resident frames, claim
-            // ownership of unclaimed absent pages, note any foreign fills
-            // to wait on.
+            // Pass 1 (under the lock): hits from the pinned tier and
+            // resident frames, claim ownership of unclaimed absent pages,
+            // note any foreign fills to wait on.
             let mut owned: Vec<usize> = Vec::new();
             let mut wait_key: Option<PageKey> = None;
             for (i, &(file, page, _)) in reqs.iter().enumerate() {
@@ -204,9 +441,21 @@ impl PageCache {
                     continue;
                 }
                 let key = (file, page);
-                if let Some(&fi) = guard.map.get(&key) {
+                if let Some(p) = guard.pinned.get(&key) {
+                    let inserter = p.inserter;
+                    let data = p.data.clone();
+                    let saved = to_u64(data.len());
+                    if inserter != tenant {
+                        guard.cross_tenant_hits += 1;
+                    }
+                    guard.pinned_hits += 1;
+                    let t = guard.tenants.entry(tenant).or_default();
+                    t.hits += 1;
+                    t.bytes_saved += saved;
+                    out[i] = Some(data);
+                } else if let Some(&fi) = guard.map.get(&key) {
+                    touch_frame(&mut guard, fi);
                     let inserter = guard.frames[fi].inserter;
-                    guard.frames[fi].referenced = true;
                     let data = guard.frames[fi].data.clone();
                     let saved = to_u64(data.len());
                     if inserter != tenant {
@@ -274,38 +523,54 @@ impl PageCache {
         Ok(out.into_iter().map(Option::unwrap_or_default).collect())
     }
 
-    /// Drop resident copies of the given pages and dirty any racing fills
-    /// (called by the device on every page write).
+    /// Drop resident and pinned copies of the given pages and dirty any
+    /// racing fills (called by the device on every page write).
     pub(crate) fn invalidate_addrs(&self, addrs: &[PageAddr]) {
         let mut guard = locked(&self.state);
+        let inner = &mut *guard;
         for a in addrs {
             let key = (a.file, a.page);
-            if let Some(fi) = guard.map.remove(&key) {
-                guard.frames[fi].key = None;
-                guard.frames[fi].data = Vec::new();
-                guard.frames[fi].referenced = false;
+            if let Some(fi) = inner.map.remove(&key) {
+                release_frame(inner, fi);
             }
-            if let Some(f) = guard.in_flight.get_mut(&key) {
+            if let Some(p) = inner.pinned.remove(&key) {
+                inner.pinned_bytes = inner.pinned_bytes.saturating_sub(to_u64(p.data.len()));
+            }
+            inner.ghost_set.remove(&key);
+            if let Some(f) = inner.in_flight.get_mut(&key) {
                 f.dirty = true;
             }
         }
     }
 
-    /// Drop every resident page of `file` and dirty its racing fills
-    /// (called by the device on truncate/delete).
+    /// Drop every resident and pinned page of `file` and dirty its racing
+    /// fills (called by the device on truncate/delete).
     pub(crate) fn invalidate_file(&self, file: FileId) {
         let mut guard = locked(&self.state);
         let inner = &mut *guard;
+        let mut dropped: Vec<usize> = Vec::new();
         inner.map.retain(|key, fi| {
             if key.0 == file {
-                inner.frames[*fi].key = None;
-                inner.frames[*fi].data = Vec::new();
-                inner.frames[*fi].referenced = false;
+                dropped.push(*fi);
                 false
             } else {
                 true
             }
         });
+        for fi in dropped {
+            release_frame(inner, fi);
+        }
+        let mut freed = 0u64;
+        inner.pinned.retain(|key, p| {
+            if key.0 == file {
+                freed += to_u64(p.data.len());
+                false
+            } else {
+                true
+            }
+        });
+        inner.pinned_bytes = inner.pinned_bytes.saturating_sub(freed);
+        inner.ghost_set.retain(|k| k.0 != file);
         for (key, f) in inner.in_flight.iter_mut() {
             if key.0 == file {
                 f.dirty = true;
@@ -314,13 +579,41 @@ impl PageCache {
     }
 }
 
+/// Record a hit on frame `fi`: CLOCK sets the reference bit; 2Q refreshes
+/// Am recency (stale-stamp trick) and deliberately ignores A1in hits —
+/// that non-promotion is the scan resistance.
+fn touch_frame(inner: &mut CacheInner, fi: usize) {
+    match inner.policy {
+        CachePolicy::Clock => inner.frames[fi].referenced = true,
+        CachePolicy::TwoQ => {
+            if inner.frames[fi].queue == QueueKind::Am {
+                let Some(key) = inner.frames[fi].key else { return };
+                inner.stamp += 1;
+                let stamp = inner.stamp;
+                inner.frames[fi].stamp = stamp;
+                inner.am.push_back((key, stamp));
+                prune_stale(inner);
+            }
+        }
+    }
+}
+
+/// Insert a fetched page into the frame pool (policy dispatch). Already
+/// resident or pinned pages are left alone.
+fn insert_frame(inner: &mut CacheInner, key: PageKey, data: Vec<u8>, tenant: TenantId) {
+    if inner.map.contains_key(&key) || inner.pinned.contains_key(&key) || inner.frames.is_empty() {
+        return;
+    }
+    match inner.policy {
+        CachePolicy::Clock => insert_clock(inner, key, data, tenant),
+        CachePolicy::TwoQ => insert_twoq(inner, key, data, tenant),
+    }
+}
+
 /// CLOCK insertion: sweep from the hand giving referenced frames a second
 /// chance; take the first empty or unreferenced frame. Bounded by two full
 /// sweeps (the first clears every reference bit).
-fn insert_frame(inner: &mut CacheInner, key: PageKey, data: Vec<u8>, tenant: TenantId) {
-    if inner.map.contains_key(&key) || inner.frames.is_empty() {
-        return;
-    }
+fn insert_clock(inner: &mut CacheInner, key: PageKey, data: Vec<u8>, tenant: TenantId) {
     let n = inner.frames.len();
     let mut steps = 0usize;
     while steps < 2 * n + 1 {
@@ -343,6 +636,139 @@ fn insert_frame(inner: &mut CacheInner, key: PageKey, data: Vec<u8>, tenant: Ten
         inner.map.insert(key, at);
         return;
     }
+}
+
+/// 2Q insertion: a key with a ghost entry proved re-reference and goes
+/// straight to Am; everything else enters probationary A1in.
+fn insert_twoq(inner: &mut CacheInner, key: PageKey, data: Vec<u8>, tenant: TenantId) {
+    let hot = inner.ghost_set.remove(&key);
+    let Some(fi) = reclaim_twoq(inner) else {
+        return;
+    };
+    inner.stamp += 1;
+    let stamp = inner.stamp;
+    let f = &mut inner.frames[fi];
+    f.key = Some(key);
+    f.data = data;
+    f.referenced = false;
+    f.inserter = tenant;
+    f.stamp = stamp;
+    if hot {
+        f.queue = QueueKind::Am;
+        inner.am.push_back((key, stamp));
+        inner.am_live += 1;
+    } else {
+        f.queue = QueueKind::A1in;
+        inner.a1in.push_back((key, stamp));
+        inner.a1in_live += 1;
+    }
+    inner.map.insert(key, fi);
+    prune_stale(inner);
+}
+
+/// Find a frame for a new 2Q insertion: a free frame if any, else evict —
+/// from A1in while it is over its Kin target (or Am is empty), else from
+/// Am. An A1in victim leaves its key in the ghost queue; an Am victim is
+/// simply forgotten.
+fn reclaim_twoq(inner: &mut CacheInner) -> Option<usize> {
+    if let Some(fi) = inner.free.pop() {
+        return Some(fi);
+    }
+    let from_a1in = inner.am_live == 0 || inner.a1in_live >= inner.kin();
+    let fi = if from_a1in {
+        pop_valid(inner, QueueKind::A1in).or_else(|| pop_valid(inner, QueueKind::Am))
+    } else {
+        pop_valid(inner, QueueKind::Am).or_else(|| pop_valid(inner, QueueKind::A1in))
+    }?;
+    let kout = inner.kout();
+    if let Some(old) = inner.frames[fi].key.take() {
+        inner.map.remove(&old);
+        if inner.frames[fi].queue == QueueKind::A1in {
+            ghost_push(inner, old, kout);
+        }
+        inner.evictions += 1;
+    }
+    match inner.frames[fi].queue {
+        QueueKind::A1in => inner.a1in_live = inner.a1in_live.saturating_sub(1),
+        QueueKind::Am => inner.am_live = inner.am_live.saturating_sub(1),
+    }
+    inner.frames[fi].data = Vec::new();
+    Some(fi)
+}
+
+/// Pop the first *valid* entry of `want`'s queue: the key must still be
+/// resident, on the same frame, with the entry's stamp, in the same queue.
+/// Everything else is a stale leftover from a lazy refresh or release.
+fn pop_valid(inner: &mut CacheInner, want: QueueKind) -> Option<usize> {
+    let q = match want {
+        QueueKind::A1in => &mut inner.a1in,
+        QueueKind::Am => &mut inner.am,
+    };
+    while let Some((key, stamp)) = q.pop_front() {
+        if let Some(&fi) = inner.map.get(&key) {
+            if inner.frames[fi].stamp == stamp && inner.frames[fi].queue == want {
+                return Some(fi);
+            }
+        }
+    }
+    None
+}
+
+/// Remember an evicted A1in key in the ghost queue, bounded by `kout`.
+fn ghost_push(inner: &mut CacheInner, key: PageKey, kout: usize) {
+    if inner.ghost_set.insert(key) {
+        inner.ghost.push_back(key);
+    }
+    while inner.ghost_set.len() > kout {
+        let Some(old) = inner.ghost.pop_front() else {
+            break;
+        };
+        inner.ghost_set.remove(&old);
+    }
+}
+
+/// Compact the lazily-maintained queues once stale entries dominate. The
+/// bound keeps queue memory O(capacity) while amortizing the retain.
+fn prune_stale(inner: &mut CacheInner) {
+    let limit = 4 * inner.frames.len() + 16;
+    if inner.a1in.len() > limit {
+        let map = &inner.map;
+        let frames = &inner.frames;
+        inner.a1in.retain(|&(key, stamp)| {
+            map.get(&key)
+                .is_some_and(|&fi| frames[fi].stamp == stamp && frames[fi].queue == QueueKind::A1in)
+        });
+    }
+    if inner.am.len() > limit {
+        let map = &inner.map;
+        let frames = &inner.frames;
+        inner.am.retain(|&(key, stamp)| {
+            map.get(&key)
+                .is_some_and(|&fi| frames[fi].stamp == stamp && frames[fi].queue == QueueKind::Am)
+        });
+    }
+    if inner.ghost.len() > limit {
+        let set = &inner.ghost_set;
+        inner.ghost.retain(|k| set.contains(k));
+    }
+}
+
+/// Clear a frame whose map entry was already removed (invalidation or pin
+/// take-over — *not* a policy eviction). Under 2Q the frame returns to the
+/// free list and leaves its queue entries stale.
+fn release_frame(inner: &mut CacheInner, fi: usize) {
+    if inner.frames[fi].key.take().is_none() {
+        return;
+    }
+    if inner.policy == CachePolicy::TwoQ {
+        match inner.frames[fi].queue {
+            QueueKind::A1in => inner.a1in_live = inner.a1in_live.saturating_sub(1),
+            QueueKind::Am => inner.am_live = inner.am_live.saturating_sub(1),
+        }
+        inner.free.push(fi);
+    }
+    inner.frames[fi].data = Vec::new();
+    inner.frames[fi].referenced = false;
 }
 
 #[cfg(test)]
@@ -416,6 +842,50 @@ mod tests {
         assert!(snap.evictions > 0, "a 4-frame cache over 8 pages must churn");
     }
 
+    /// Satellite: the accounting identity holds for *both* policies under
+    /// a seeded random trace with heavy eviction pressure, and the two
+    /// policies agree on the total (hits + device reads) even though they
+    /// disagree on which requests hit.
+    #[test]
+    fn policy_identity_under_random_eviction_pressure() {
+        // Uncached baseline: 300 requests = 300 device page reads.
+        let reqs_for = |f: FileId| -> Vec<(FileId, u64, usize)> {
+            let mut s: u64 = 0x5eed_cafe;
+            (0..300)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (f, (s >> 33) % 16, 8)
+                })
+                .collect()
+        };
+        let (base, fb) = dev_with_pages(16);
+        base.stats().reset();
+        for r in reqs_for(fb) {
+            base.read_batch(&[r]).unwrap();
+        }
+        let uncached = base.stats().snapshot().pages_read;
+        assert_eq!(uncached, 300);
+
+        for policy in [CachePolicy::Clock, CachePolicy::TwoQ] {
+            let (ssd, f) = dev_with_pages(16);
+            ssd.attach_cache(Arc::new(PageCache::with_policy(4, policy)));
+            ssd.stats().reset();
+            for r in reqs_for(f) {
+                ssd.read_batch(&[r]).unwrap();
+            }
+            let snap = ssd.cache().unwrap().snapshot();
+            let cached = ssd.stats().snapshot().pages_read;
+            assert_eq!(
+                snap.tenant(0).hits + cached,
+                uncached,
+                "identity must hold for {policy:?} under churn"
+            );
+            assert!(snap.evictions > 0, "{policy:?} must churn with 4 frames over 16 pages");
+        }
+    }
+
     #[test]
     fn write_invalidates_resident_page() {
         let (ssd, f) = dev_with_pages(2);
@@ -457,7 +927,7 @@ mod tests {
     #[test]
     fn clock_evicts_unreferenced_frame_before_referenced_one() {
         let (ssd, f) = dev_with_pages(4);
-        ssd.attach_cache(Arc::new(PageCache::new(2)));
+        ssd.attach_cache(Arc::new(PageCache::with_policy(2, CachePolicy::Clock)));
         ssd.read_page(f, 0, 4).unwrap(); // frame 0 = page 0, referenced
         ssd.read_page(f, 1, 4).unwrap(); // frame 1 = page 1, referenced
         // Page 2 sweeps once (clearing both bits), evicts page 0, and
@@ -471,6 +941,137 @@ mod tests {
         assert_eq!(ssd.stats().snapshot().pages_read, 0, "page 2 stayed resident");
         ssd.read_page(f, 1, 4).unwrap();
         assert_eq!(ssd.stats().snapshot().pages_read, 1, "page 1 was the victim");
+    }
+
+    /// The 2Q scan-resistance claim: a page that proved re-reference (Am)
+    /// survives a long one-pass cold scan that would flush CLOCK.
+    #[test]
+    fn twoq_hot_page_survives_cold_scan() {
+        let (ssd, f) = dev_with_pages(32);
+        ssd.attach_cache(Arc::new(PageCache::with_policy(4, CachePolicy::TwoQ)));
+        // Fill A1in, push page 0 out into the ghost queue, then re-fault
+        // it: the ghost hit admits page 0 to Am.
+        for p in 0..5u64 {
+            ssd.read_page(f, p, 4).unwrap();
+        }
+        ssd.read_page(f, 0, 4).unwrap();
+        // A 16-page cold scan churns through A1in but must not touch Am.
+        for p in 10..26u64 {
+            ssd.read_page(f, p, 4).unwrap();
+        }
+        ssd.stats().reset();
+        ssd.read_page(f, 0, 4).unwrap();
+        assert_eq!(ssd.stats().snapshot().pages_read, 0, "hot page must survive the scan");
+
+        // The CLOCK baseline loses the same page to the same scan.
+        let (ssd2, f2) = dev_with_pages(32);
+        ssd2.attach_cache(Arc::new(PageCache::with_policy(4, CachePolicy::Clock)));
+        for p in 0..5u64 {
+            ssd2.read_page(f2, p, 4).unwrap();
+        }
+        ssd2.read_page(f2, 0, 4).unwrap();
+        for p in 10..26u64 {
+            ssd2.read_page(f2, p, 4).unwrap();
+        }
+        ssd2.stats().reset();
+        ssd2.read_page(f2, 0, 4).unwrap();
+        assert_eq!(ssd2.stats().snapshot().pages_read, 1, "CLOCK loses the page to the scan");
+    }
+
+    /// Hits inside the probationary A1in FIFO must not promote: the page
+    /// is still evicted in arrival order (that non-promotion is what makes
+    /// a one-pass scan harmless).
+    #[test]
+    fn twoq_probationary_hit_does_not_promote() {
+        let (ssd, f) = dev_with_pages(8);
+        ssd.attach_cache(Arc::new(PageCache::with_policy(4, CachePolicy::TwoQ)));
+        ssd.read_page(f, 0, 4).unwrap();
+        ssd.read_page(f, 0, 4).unwrap(); // A1in hit — must NOT promote
+        for p in 1..5u64 {
+            ssd.read_page(f, p, 4).unwrap(); // fills the pool; page 4 evicts the FIFO head
+        }
+        ssd.stats().reset();
+        ssd.read_page(f, 0, 4).unwrap();
+        assert_eq!(
+            ssd.stats().snapshot().pages_read,
+            1,
+            "page 0 must be evicted in FIFO order despite its A1in hit"
+        );
+    }
+
+    /// Pinned pages are exempt from eviction: an arbitrarily long scan
+    /// cannot displace them, and hits on them charge nothing.
+    #[test]
+    fn pinned_pages_survive_eviction_and_serve_hits() {
+        let (ssd, f) = dev_with_pages(16);
+        let cache = Arc::new(PageCache::with_policy(2, CachePolicy::TwoQ));
+        ssd.attach_cache(Arc::clone(&cache));
+        assert_eq!(cache.pin_pages(&ssd, f, 0..2).unwrap(), 2);
+        assert_eq!(cache.pinned_bytes(), 512, "two full 256-byte pages held");
+        assert_eq!(cache.pin_pages(&ssd, f, 0..2).unwrap(), 0, "re-pin is idempotent");
+        ssd.stats().reset();
+        for p in 2..16u64 {
+            ssd.read_page(f, p, 4).unwrap(); // scan far beyond the 2 frames
+        }
+        ssd.read_page(f, 0, 4).unwrap();
+        ssd.read_page(f, 1, 4).unwrap();
+        assert_eq!(ssd.stats().snapshot().pages_read, 14, "pinned pages charged nothing");
+        let snap = cache.snapshot();
+        assert_eq!(snap.pinned_pages, 2);
+        // 2 hits from the idempotent re-pin probe + 2 from the reads.
+        assert_eq!(snap.pinned_hits, 4);
+    }
+
+    /// Write and truncate coherence extends to the pinned tier: no stale
+    /// pinned copy survives a mutation of its file.
+    #[test]
+    fn write_and_truncate_drop_pinned_copies() {
+        let (ssd, f) = dev_with_pages(4);
+        let cache = Arc::new(PageCache::new(8));
+        ssd.attach_cache(Arc::clone(&cache));
+        cache.pin_file(&ssd, f).unwrap();
+        assert_eq!(cache.pinned_pages(), 4);
+        ssd.write_page(f, 1, b"fresh").unwrap();
+        assert_eq!(cache.pinned_pages(), 3, "the written page's pin is dropped");
+        let after = ssd.read_page(f, 1, 5).unwrap();
+        assert_eq!(&after[..5], b"fresh");
+        ssd.truncate(f).unwrap();
+        let snap = cache.snapshot();
+        assert_eq!(snap.pinned_pages, 0);
+        assert_eq!(snap.pinned_bytes, 0);
+        assert_eq!(snap.resident_pages, 0);
+    }
+
+    /// The accounting identity is preserved by pin fills: pinning charges
+    /// its own device reads like any other request, so `hits +
+    /// cached_reads == uncached_reads` still balances when the uncached
+    /// baseline reads the pinned extent once.
+    #[test]
+    fn pin_fill_preserves_accounting_identity() {
+        let reqs_for = |f: FileId| -> Vec<(FileId, u64, usize)> {
+            (0..24u64).map(|i| (f, i % 8, 8)).collect()
+        };
+        // Uncached baseline: the pin extent once, then the workload.
+        let (base, fb) = dev_with_pages(8);
+        base.stats().reset();
+        base.read_batch(&[(fb, 0, 256), (fb, 1, 256)]).unwrap();
+        for r in reqs_for(fb) {
+            base.read_batch(&[r]).unwrap();
+        }
+        let uncached = base.stats().snapshot().pages_read;
+
+        let (ssd, f) = dev_with_pages(8);
+        let cache = Arc::new(PageCache::with_policy(2, CachePolicy::TwoQ));
+        ssd.attach_cache(Arc::clone(&cache));
+        ssd.stats().reset();
+        cache.pin_pages(&ssd, f, 0..2).unwrap();
+        for r in reqs_for(f) {
+            ssd.read_batch(&[r]).unwrap();
+        }
+        let snap = cache.snapshot();
+        let cached = ssd.stats().snapshot().pages_read;
+        assert_eq!(snap.tenant(0).hits + cached, uncached, "identity holds under pinning");
+        assert!(snap.pinned_hits >= 6, "the pinned extent served the workload's hot pages");
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //!   as read wait. `depth` therefore never changes *when* a request
 //!   completes, only when submission returns — queue depth 1 degenerates to
 //!   the old synchronous charging.
-//! * [`IoQueue::fetch`] moves the data (through the page cache when one is
-//!   attached) with counts charged but **no** service time — the queue's
-//!   clocks own time. Exactly one `read_batches` is charged per ticket,
-//!   however many channels or cache passes serve it. `fetch` may run on any
-//!   thread; the engine runs it on the prefetch workers.
+//! * [`IoQueue::fetch`] moves the data with counts charged but **no**
+//!   service time — the queue's clocks own time. Exactly one `read_batches`
+//!   is charged per ticket, however many channels or cache passes serve it.
+//!   `fetch` may run on any thread; the engine runs it on the prefetch
+//!   workers. When a page cache is attached, the data is actually moved at
+//!   *submit* time (plan order, owner thread) and `fetch` just hands it
+//!   over — so the cache's hit/miss/eviction sequence is bit-identical for
+//!   any worker-thread count.
 //! * [`IoQueue::complete`] retires a ticket on the owner's clock, charging
 //!   only the *remaining* wait `max(0, completion − now)`. Compute time the
 //!   owner spends between completions is reported via [`IoQueue::advance`],
@@ -61,8 +64,15 @@ pub struct QueueWaitStats {
 struct TicketState {
     /// Virtual completion time of the last page of this ticket.
     completion: f64,
-    /// Requests not yet fetched (`None` once [`IoQueue::fetch`] ran).
+    /// Requests not yet fetched (`None` once [`IoQueue::fetch`] ran, or
+    /// when the data was prefetched at submit).
     reqs: Option<Vec<(FileId, u64, usize)>>,
+    /// Data eagerly moved at submit time when a page cache is attached
+    /// (`None` otherwise, or once fetched). Keeping cache traffic on the
+    /// plan-order submit path makes the cache's hit/miss/eviction sequence
+    /// independent of which prefetch worker later calls [`IoQueue::fetch`]
+    /// — the determinism contract extends to cache state.
+    prefetched: Option<Result<Vec<Vec<u8>>, DeviceError>>,
 }
 
 struct QueueState {
@@ -117,6 +127,15 @@ impl IoQueue {
     /// Owner-thread, plan-order only (see the module docs). Any submission
     /// stall is charged to the device's `read_time_ns` here.
     pub fn submit_read(&self, reqs: Vec<(FileId, u64, usize)>) -> Ticket {
+        // With a cache attached, move the data *now*, on the plan-order
+        // submit path, so the cache observes an identical request sequence
+        // for any worker-thread count (counts charged, no service time —
+        // same as a deferred fetch). No queue lock is held here.
+        let prefetched = if self.ssd.cache().is_some() {
+            Some(self.ssd.read_batch_deferred(&reqs))
+        } else {
+            None
+        };
         let cfg = self.ssd.config();
         let channels = cfg.channels;
         let mut sorted: Vec<PageAddr> =
@@ -170,7 +189,8 @@ impl IoQueue {
         st.wait.max_inflight = st.wait.max_inflight.max(st.inflight);
         let id = st.next_id;
         st.next_id += 1;
-        st.tickets.insert(id, TicketState { completion, reqs: Some(reqs) });
+        let reqs = if prefetched.is_none() { Some(reqs) } else { None };
+        st.tickets.insert(id, TicketState { completion, reqs, prefetched });
         drop(st);
         if stall > 0 {
             self.ssd.charge_read_wait(stall);
@@ -183,10 +203,16 @@ impl IoQueue {
     /// queue's clocks own it. Runs on any thread; fetching a ticket twice
     /// (or one this queue never issued) is an error.
     pub fn fetch(&self, ticket: Ticket) -> Result<Vec<Vec<u8>>, DeviceError> {
-        let reqs = {
+        let (reqs, prefetched) = {
             let mut st = self.state.lock();
-            st.tickets.get_mut(&ticket.0).and_then(|t| t.reqs.take())
+            match st.tickets.get_mut(&ticket.0) {
+                Some(t) => (t.reqs.take(), t.prefetched.take()),
+                None => (None, None),
+            }
         };
+        if let Some(res) = prefetched {
+            return res;
+        }
         let Some(reqs) = reqs else {
             return Err(DeviceError::Io(format!(
                 "ticket {} was never submitted or already fetched",

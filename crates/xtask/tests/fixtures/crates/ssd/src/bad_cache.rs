@@ -1,0 +1,27 @@
+//! Fixture: the page cache is part of the `ssd` on-disk-format scope —
+//! pinned-tier accounting turns byte budgets into frame counts and pads
+//! retained log payloads to the device page size, so
+//! `no-truncating-cast` and `no-magic-layout-literal` fire in cache
+//! code exactly as they do in the rest of `crates/ssd/src/`.
+
+pub fn pinned_frames(pin_budget: u64) -> u32 {
+    (pin_budget / page_len()) as u32
+}
+
+pub fn page_len() -> u64 {
+    16384
+}
+
+pub fn allowed_widening(frames: u32) -> u64 {
+    // mlvc-lint: allow(no-truncating-cast) -- u32 -> u64 widens, never truncates
+    frames as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_here_are_exempt() {
+        let padded = 3u64 as usize;
+        assert_eq!(padded, 3);
+    }
+}

@@ -9,8 +9,9 @@ use std::process::Command;
 use xtask::Diagnostic;
 
 /// (fixture path under tests/fixtures/, scope path the CLI derives).
-const FIXTURES: [(&str, &str); 13] = [
+const FIXTURES: [(&str, &str); 14] = [
     ("crates/ssd/src/bad_cast.rs", "no-truncating-cast"),
+    ("crates/ssd/src/bad_cache.rs", "no-truncating-cast"),
     ("crates/core/src/bad_panic.rs", "no-panic-in-lib"),
     ("crates/log/src/bad_layout.rs", "no-magic-layout-literal"),
     ("crates/ssd/src/bad_wallclock.rs", "no-wallclock-in-sim"),
@@ -45,6 +46,16 @@ fn cast_fixture_fires_at_expected_lines_and_allow_suppresses() {
     // the #[cfg(test)] cast at the bottom is exempt.
     assert_eq!(lines_of(&d, "no-truncating-cast"), vec![5, 5, 9]);
     assert!(d.iter().all(|d| d.rule == "no-truncating-cast"), "{d:?}");
+}
+
+#[test]
+fn cache_fixture_fires_both_format_rules_and_allow_suppresses() {
+    let d = lint_fixture("crates/ssd/src/bad_cache.rs");
+    // Truncating cast at 8, page-size literal at 12; allow-suppressed
+    // widening cast at 17 and the test module never fire.
+    assert_eq!(lines_of(&d, "no-truncating-cast"), vec![8]);
+    assert_eq!(lines_of(&d, "no-magic-layout-literal"), vec![12]);
+    assert_eq!(d.len(), 2, "{d:?}");
 }
 
 #[test]

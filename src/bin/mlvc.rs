@@ -24,7 +24,8 @@ use multilogvc::apps::{
     Bfs, Cdlp, Coloring, KCore, Mis, PageRank, RandomWalk, Sssp, Wcc,
 };
 use multilogvc::core::{
-    Engine, EngineConfig, MultiLogEngine, ReferenceEngine, RunReport, VertexProgram,
+    Engine, EngineConfig, MultiLogEngine, ReferenceEngine, RunReport, TieringConfig,
+    VertexProgram,
 };
 use multilogvc::grafboost::GrafBoostEngine;
 use multilogvc::graph::{Csr, VertexIntervals};
@@ -35,7 +36,7 @@ use multilogvc::io::{
 use multilogvc::graph::StoredGraph;
 use multilogvc::mutate::{EdgeMutation, MutationConfig, MutationLog};
 use multilogvc::serve::{Daemon, ServeConfig};
-use multilogvc::ssd::{DeviceError, FaultPlan, Ssd, SsdConfig};
+use multilogvc::ssd::{CachePolicy, DeviceError, FaultPlan, Ssd, SsdConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,13 +61,15 @@ usage:
            --graph <file> [--engine mlvc|graphchi|grafboost|reference]
            [--steps N] [--memory-kb K] [--source V] [--seed S] [--async]
            [--ssd-dir DIR] [--checkpoint-every K] [--crash-after N]
-           [--metrics FILE]
+           [--metrics FILE] [--cache-kb K] [--pin-budget-kb K]
+           [--cache-policy 2q|clock]
   mlvc resume --app <app> --graph <file> --ssd-dir DIR
            [--steps N] [--memory-kb K] [--source V] [--seed S]
            [--checkpoint-every K]
   mlvc serve --graphs <name=file[,name=file...]> [--memory-kb K]
-           [--cache-kb K] [--workers N] [--requests FILE]
-           [--metrics FILE] [--ssd-dir DIR]
+           [--cache-kb K] [--pin-budget-kb K] [--cache-policy 2q|clock]
+           [--workers N] [--requests FILE] [--metrics FILE]
+           [--ssd-dir DIR]
   mlvc ingest --graph <file> --batch <file> [--out FILE]
            [--app <bfs|pagerank|wcc|...>] [--steps N] [--memory-kb K]
            [--source V] [--seed S] [--ssd-dir DIR]
@@ -85,6 +88,13 @@ mlvc-engine run from its last durable checkpoint.
 lines and a Prometheus text snapshot of the run counters to FILE.prom;
 the run summary then also reports read/write amplification.
 
+--cache-kb K (mlvc engine only) attaches a K-KiB device page cache
+(adaptive memory tiering, DESIGN.md §18); --pin-budget-kb K adds a
+pinned tier that holds the hottest intervals' CSR extents resident,
+and --cache-policy picks the frame replacement policy (default 2q,
+scan-resistant; clock reproduces the plain daemon cache). Cache hit,
+eviction, and pin counters flow into the --metrics artifacts.
+
 `ingest` applies an edge-mutation batch to a stored graph through the
 on-device mutation log (DESIGN.md §17). The batch file is text, one
 mutation per line: `add <src> <dst>` or `remove <src> <dst>` (blank
@@ -98,8 +108,11 @@ directly. --out writes the mutated graph back out as a snapshot.
 JSON object per line on stdin (or --requests FILE) and replies stream
 to stdout. --memory-kb is the global admission budget shared by all
 concurrent jobs, --cache-kb sizes the shared page cache, --workers
-bounds concurrency. --metrics FILE writes the daemon-wide Prometheus
-rollup (per-job labeled series) on shutdown.";
+bounds concurrency. --pin-budget-kb carves DRAM from the admission
+budget to hold dataset CSR extents pinned in the cache (DESIGN.md
+§18); --cache-policy picks the replacement policy (default 2q).
+--metrics FILE writes the daemon-wide Prometheus rollup (per-job
+labeled series) on shutdown.";
 
 /// Minimal flag parser: `--key value` pairs plus positionals.
 struct Args<'a> {
@@ -284,9 +297,22 @@ fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
     let source: u32 = a.get_parsed("source", 0u32)?;
     let checkpoint_every: usize = a.get_parsed("checkpoint-every", 0)?;
     let crash_after: u64 = a.get_parsed("crash-after", 0)?;
+    let cache_kb: usize = a.get_parsed("cache-kb", 0)?;
+    let pin_budget_kb: usize = a.get_parsed("pin-budget-kb", 0)?;
+    let policy = match a.get("cache-policy").unwrap_or("2q") {
+        "2q" => CachePolicy::TwoQ,
+        "clock" => CachePolicy::Clock,
+        other => return Err(format!("unknown --cache-policy {other} (use 2q or clock)")),
+    };
     let metrics_path = a.get("metrics");
     if metrics_path.is_some() && engine_name != "mlvc" {
         return Err("--metrics supports only --engine mlvc".into());
+    }
+    if (cache_kb > 0 || pin_budget_kb > 0) && engine_name != "mlvc" {
+        return Err("--cache-kb/--pin-budget-kb support only --engine mlvc".into());
+    }
+    if pin_budget_kb > 0 && cache_kb == 0 {
+        return Err("--pin-budget-kb requires --cache-kb (the pinned tier fills through the cache)".into());
     }
     if resume {
         if engine_name != "mlvc" {
@@ -309,6 +335,13 @@ fn cmd_run(a: &Args, resume: bool) -> Result<(), String> {
         .with_obs(metrics_path.is_some());
     if checkpoint_every > 0 {
         cfg = cfg.with_checkpoint_every(checkpoint_every);
+    }
+    if cache_kb > 0 {
+        cfg = cfg.with_tiering(TieringConfig {
+            cache_bytes: cache_kb << 10,
+            pin_budget_bytes: pin_budget_kb << 10,
+            policy,
+        });
     }
     let iv = VertexIntervals::for_graph(&g, 16, cfg.sort_budget());
 
@@ -434,11 +467,23 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     let specs = a.get("graphs").ok_or("serve needs --graphs name=file[,name=file...]")?;
     let memory_kb: usize = a.get_parsed("memory-kb", 65536)?;
     let cache_kb: usize = a.get_parsed("cache-kb", 8192)?;
+    let pin_budget_kb: usize = a.get_parsed("pin-budget-kb", 0)?;
     let workers: usize = a.get_parsed("workers", 4)?;
+    let cache_policy = match a.get("cache-policy").unwrap_or("2q") {
+        "2q" => CachePolicy::TwoQ,
+        "clock" => CachePolicy::Clock,
+        other => return Err(format!("unknown --cache-policy {other} (use 2q or clock)")),
+    };
 
     let ssd = make_ssd(a)?;
     let cache_pages = ((cache_kb << 10) / ssd.page_size()).max(1);
-    let cfg = ServeConfig { memory_budget: memory_kb << 10, cache_pages, workers };
+    let cfg = ServeConfig {
+        memory_budget: memory_kb << 10,
+        cache_pages,
+        workers,
+        pin_budget_bytes: pin_budget_kb << 10,
+        cache_policy,
+    };
     let mut daemon = Daemon::with_device(cfg, Arc::clone(&ssd));
     for spec in specs.split(',') {
         let (name, path) = spec

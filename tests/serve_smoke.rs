@@ -66,6 +66,7 @@ fn eight_concurrent_jobs_share_the_device_and_the_cache_pays() {
         memory_budget: 64 << 20,
         cache_pages: 1024,
         workers: 8,
+        ..ServeConfig::default()
     });
     for (name, g) in &data {
         daemon.add_dataset(name, g).unwrap();
